@@ -1,0 +1,89 @@
+// Merge-pipeline performance (google-benchmark).
+//
+// The paper's efficiency requirement (Section 4): trace merging must run
+// faster than real time in a single pass, and scale with the number of
+// radios — the priority-queue design makes jframe construction linear in a
+// frame's transmission range, not in the radio population.  These
+// benchmarks measure events/second through bootstrap + unification and the
+// scaling across deployment sizes.
+#include <benchmark/benchmark.h>
+
+#include "jigsaw/pipeline.h"
+#include "sim/scenario.h"
+
+namespace {
+
+using namespace jig;
+
+// One shared scenario per deployment size; regenerating traces per
+// iteration would swamp the merge being measured.
+struct Workload {
+  explicit Workload(int pods, Micros duration) {
+    ScenarioConfig cfg;
+    cfg.seed = 99;
+    cfg.duration = duration;
+    cfg.clients = 32;
+    cfg.pods_enabled = pods;
+    scenario = std::make_unique<Scenario>(cfg);
+    scenario->Run();
+    traces = std::make_unique<TraceSet>(scenario->TakeTraces());
+    sim_duration = duration;
+  }
+  std::unique_ptr<Scenario> scenario;
+  std::unique_ptr<TraceSet> traces;
+  Micros sim_duration = 0;
+};
+
+Workload& WorkloadForPods(int pods) {
+  static std::map<int, std::unique_ptr<Workload>> cache;
+  auto& slot = cache[pods];
+  if (!slot) slot = std::make_unique<Workload>(pods, Seconds(10));
+  return *slot;
+}
+
+void BM_MergePipeline(benchmark::State& state) {
+  Workload& w = WorkloadForPods(static_cast<int>(state.range(0)));
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    const MergeResult result = MergeTraces(*w.traces);
+    events = result.stats.events_in;
+    benchmark::DoNotOptimize(result.jframes.data());
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events * state.iterations()),
+      benchmark::Counter::kIsRate);
+  // Faster-than-real-time factor: simulated seconds merged per wall second.
+  state.counters["x_realtime"] = benchmark::Counter(
+      ToSeconds(w.sim_duration) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MergePipeline)->Arg(10)->Arg(20)->Arg(30)->Arg(39)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BootstrapOnly(benchmark::State& state) {
+  Workload& w = WorkloadForPods(39);
+  for (auto _ : state) {
+    const auto result = BootstrapSynchronize(*w.traces);
+    benchmark::DoNotOptimize(result.offset_us.data());
+  }
+}
+BENCHMARK(BM_BootstrapOnly)->Unit(benchmark::kMillisecond);
+
+void BM_SearchWindowCost(benchmark::State& state) {
+  // Unification cost vs. search window size (wider windows sweep more
+  // queue entries per group).
+  Workload& w = WorkloadForPods(39);
+  MergeConfig cfg;
+  cfg.unifier.search_window = state.range(0);
+  for (auto _ : state) {
+    const MergeResult result = MergeTraces(*w.traces, cfg);
+    benchmark::DoNotOptimize(result.stats.jframes);
+  }
+}
+BENCHMARK(BM_SearchWindowCost)
+    ->Arg(1'000)->Arg(10'000)->Arg(100'000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,126 @@
+// jigtool: command-line front end for stored trace directories.
+//
+// The workflow the original project shipped for its released software:
+// point the tool at a directory of per-radio capture files and ask
+// questions.  Subcommands:
+//
+//   jigtool demo <dir>              simulate a session and store traces
+//   jigtool info <dir>              per-radio record counts and clock info
+//   jigtool merge <dir>             run the merge, print summary statistics
+//   jigtool timeline <dir> [us]     Figure-2 style view of a window
+//
+// Usage: ./build/examples/jigtool <command> <trace_dir> [args]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "jigsaw/analysis/visualize.h"
+#include "jigsaw/link.h"
+#include "jigsaw/pipeline.h"
+#include "sim/scenario.h"
+
+namespace {
+
+using namespace jig;
+
+int CmdDemo(const char* dir) {
+  ScenarioConfig config;
+  config.seed = 10;
+  config.duration = Seconds(10);
+  config.clients = 20;
+  Scenario scenario(config);
+  scenario.Run();
+  TraceSet traces = scenario.TakeTraces();
+  const auto paths = traces.WriteDirectory(dir);
+  std::printf("wrote %zu traces to %s\n", paths.size(), dir);
+  return 0;
+}
+
+int CmdInfo(const char* dir) {
+  TraceSet traces = TraceSet::OpenDirectory(dir);
+  if (traces.empty()) {
+    std::fprintf(stderr, "no .jigt files in %s\n", dir);
+    return 1;
+  }
+  std::printf("%zu traces in %s\n", traces.size(), dir);
+  std::printf("  %-6s %-5s %-8s %-6s %10s %16s\n", "radio", "pod", "monitor",
+              "chan", "records", "ntp@local0 (us)");
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    auto& ft = dynamic_cast<FileTrace&>(traces.at(i));
+    const TraceHeader& h = ft.header();
+    std::printf("  %-6u %-5u %-8u %-6s %10llu %16lld\n", h.radio, h.pod,
+                h.monitor, ChannelName(h.channel).c_str(),
+                static_cast<unsigned long long>(ft.reader().TotalRecords()),
+                static_cast<long long>(h.ntp_utc_of_local_zero_us));
+  }
+  return 0;
+}
+
+int CmdMerge(const char* dir) {
+  TraceSet traces = TraceSet::OpenDirectory(dir);
+  if (traces.empty()) {
+    std::fprintf(stderr, "no .jigt files in %s\n", dir);
+    return 1;
+  }
+  const MergeResult merged = MergeTraces(traces);
+  const auto& st = merged.stats;
+  std::printf("radios synced:     %zu/%zu (BFS depth %d, |G|=%zu)\n",
+              merged.bootstrap.SyncedCount(), merged.bootstrap.synced.size(),
+              merged.bootstrap.max_bfs_depth,
+              merged.bootstrap.sync_set_size);
+  std::printf("events:            %llu (%llu valid, %llu FCS-err, %llu "
+              "PHY-err)\n",
+              static_cast<unsigned long long>(st.events_in),
+              static_cast<unsigned long long>(st.valid_in),
+              static_cast<unsigned long long>(st.fcs_error_in),
+              static_cast<unsigned long long>(st.phy_error_in));
+  std::printf("jframes:           %llu (%.2f events each, %llu resyncs)\n",
+              static_cast<unsigned long long>(st.jframes),
+              st.EventsPerJframe(),
+              static_cast<unsigned long long>(st.resyncs));
+  const auto link = ReconstructLink(merged.jframes);
+  std::printf("link layer:        %zu attempts -> %zu exchanges\n",
+              link.attempts.size(), link.exchanges.size());
+  return 0;
+}
+
+int CmdTimeline(const char* dir, Micros span) {
+  TraceSet traces = TraceSet::OpenDirectory(dir);
+  if (traces.empty()) {
+    std::fprintf(stderr, "no .jigt files in %s\n", dir);
+    return 1;
+  }
+  const MergeResult merged = MergeTraces(traces);
+  TimelineOptions options;
+  options.span = span;
+  // Start at the first busy multi-instance DATA frame.
+  for (const JFrame& jf : merged.jframes) {
+    if (jf.frame.type == FrameType::kData && jf.InstanceCount() >= 3) {
+      options.start = jf.timestamp - 100;
+      break;
+    }
+  }
+  std::printf("%s", RenderTimeline(merged.jframes, options).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: jigtool demo|info|merge|timeline <trace_dir> "
+                 "[span_us]\n");
+    return 2;
+  }
+  const char* cmd = argv[1];
+  const char* dir = argv[2];
+  if (std::strcmp(cmd, "demo") == 0) return CmdDemo(dir);
+  if (std::strcmp(cmd, "info") == 0) return CmdInfo(dir);
+  if (std::strcmp(cmd, "merge") == 0) return CmdMerge(dir);
+  if (std::strcmp(cmd, "timeline") == 0) {
+    return CmdTimeline(dir, argc > 3 ? std::atol(argv[3]) : 5000);
+  }
+  std::fprintf(stderr, "unknown command: %s\n", cmd);
+  return 2;
+}

@@ -1,0 +1,59 @@
+// Protection-mode audit: which APs are slowing their 802.11g clients for
+// 802.11b ghosts?
+//
+// Reproduces the paper's Section 7.3 operational finding as a tool: watch
+// the air, classify stations b/g from their transmit rates, track
+// CTS-to-self usage per BSS and recent 802.11b sightings, and flag the
+// overprotective APs whose g clients are paying the protection tax
+// (potentially 2x throughput — footnote 7) with no live b client in range.
+//
+// Usage: ./build/examples/protection_audit [seconds]
+#include <cstdio>
+#include <cstdlib>
+
+#include "jigsaw/analysis/protection.h"
+#include "jigsaw/pipeline.h"
+#include "sim/scenario.h"
+
+int main(int argc, char** argv) {
+  using namespace jig;
+  const Micros duration = Seconds(argc > 1 ? std::atol(argv[1]) : 90);
+
+  ScenarioConfig config;
+  config.seed = 4;
+  config.duration = duration;
+  config.clients = 40;
+  config.b_client_fraction = 0.2;
+  config.workload.diurnal = true;           // b clients come and go
+  config.ap.protection_timeout = duration;  // the "one hour" pathology
+  Scenario scenario(config);
+  scenario.Run();
+  auto traces = scenario.TakeTraces();
+  const MergeResult merged = MergeTraces(traces);
+
+  ProtectionConfig pcfg;
+  pcfg.bin_width = duration / 12;
+  pcfg.practical_timeout = pcfg.bin_width / 4;
+  pcfg.protection_active_window = pcfg.bin_width;
+  const ProtectionSeries series = ComputeProtection(merged.jframes, pcfg);
+
+  std::printf("audit over %lld s, %zu bins of %lld s:\n\n",
+              static_cast<long long>(ToSeconds(duration)), series.Bins(),
+              static_cast<long long>(pcfg.bin_width / kMicrosPerSecond));
+  std::printf("  %6s %16s %14s %20s\n", "bin", "overprotective",
+              "g clients", "g behind over-prot");
+  int worst = 0;
+  for (std::size_t i = 0; i < series.Bins(); ++i) {
+    std::printf("  %6zu %16d %14d %20d\n", i, series.overprotective_aps[i],
+                series.active_g_clients[i],
+                series.g_clients_on_overprotective[i]);
+    worst = std::max(worst, series.overprotective_aps[i]);
+  }
+  std::printf("\nrecommendation: %s\n",
+              worst > 0
+                  ? "shorten the AP protection timeout to ~1 minute; "
+                    "affected 802.11g clients could roughly double bulk "
+                    "throughput (CTS-to-self costs 264 us per frame)"
+                  : "no overprotective APs in this window");
+  return 0;
+}

@@ -1,0 +1,87 @@
+#include "jigsaw/analysis/activity.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "wifi/packet.h"
+
+namespace jig {
+
+ActivitySeries ComputeActivity(const std::vector<JFrame>& jframes,
+                               Micros bin_width) {
+  ActivitySeries out;
+  out.bin_width = bin_width;
+  if (jframes.empty() || bin_width <= 0) return out;
+  out.origin = jframes.front().timestamp;
+  const UniversalMicros span =
+      jframes.back().timestamp - out.origin + 1;
+  const std::size_t bins =
+      static_cast<std::size_t>((span + bin_width - 1) / bin_width);
+
+  out.active_clients.assign(bins, 0);
+  out.active_aps.assign(bins, 0);
+  out.data_bytes.assign(bins, 0.0);
+  out.mgmt_bytes.assign(bins, 0.0);
+  out.beacon_bytes.assign(bins, 0.0);
+  out.arp_bytes.assign(bins, 0.0);
+  out.broadcast_airtime_fraction.assign(bins, 0.0);
+
+  std::vector<std::unordered_set<MacAddress>> bin_clients(bins);
+  std::vector<std::unordered_set<MacAddress>> bin_aps(bins);
+
+  for (const JFrame& jf : jframes) {
+    const auto bin = static_cast<std::size_t>(
+        (jf.timestamp - out.origin) / bin_width);
+    if (bin >= bins) continue;
+    const Frame& f = jf.frame;
+    const double bytes = static_cast<double>(jf.wire_len);
+
+    // Category accounting (ARP rides DATA frames; check the body).
+    bool is_arp = false;
+    if (f.type == FrameType::kData) {
+      const auto info = ParseFrameBody(f.body);
+      is_arp = info && info->IsArp();
+    }
+    if (f.type == FrameType::kBeacon) {
+      out.beacon_bytes[bin] += bytes;
+    } else if (is_arp) {
+      out.arp_bytes[bin] += bytes;
+    } else if (f.type == FrameType::kData) {
+      out.data_bytes[bin] += bytes;
+    } else {
+      out.mgmt_bytes[bin] += bytes;  // management + control
+    }
+
+    if (!f.addr1.IsUnicast()) {
+      // Air time accrues per channel; the reported fraction is the mean
+      // over the three monitored channels ("as seen by any given monitor").
+      out.broadcast_airtime_fraction[bin] +=
+          static_cast<double>(TxDurationMicros(jf.rate, jf.wire_len)) /
+          static_cast<double>(kAllChannels.size());
+    }
+
+    // Activity: data exchange or association traffic marks both ends.
+    const bool assoc_mgmt = f.type == FrameType::kAssocRequest ||
+                            f.type == FrameType::kAssocResponse ||
+                            f.type == FrameType::kAuthentication;
+    if (f.type == FrameType::kData || assoc_mgmt) {
+      if (f.HasTransmitter()) {
+        if (f.addr2.IsClientTag()) bin_clients[bin].insert(f.addr2);
+        if (f.addr2.IsApTag() && f.addr1.IsUnicast()) {
+          bin_aps[bin].insert(f.addr2);
+        }
+      }
+      if (f.addr1.IsClientTag()) bin_clients[bin].insert(f.addr1);
+      if (f.addr1.IsApTag()) bin_aps[bin].insert(f.addr1);
+    }
+  }
+
+  for (std::size_t i = 0; i < bins; ++i) {
+    out.active_clients[i] = static_cast<int>(bin_clients[i].size());
+    out.active_aps[i] = static_cast<int>(bin_aps[i].size());
+    out.broadcast_airtime_fraction[i] /= static_cast<double>(bin_width);
+  }
+  return out;
+}
+
+}  // namespace jig

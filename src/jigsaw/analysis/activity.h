@@ -1,0 +1,37 @@
+// Network activity time series — paper Figure 8 (and the broadcast air-time
+// observation of Section 7.1).
+//
+// Per time bin: (a) active clients and APs — a client is active when it is
+// exchanging data with an AP or establishing an association; an AP is
+// active when communicating with an active client (beacons alone do not
+// count) — and (b) traffic volume split into the paper's categories: Data,
+// Management/control, Beacon, and ARP, plus the fraction of air time
+// consumed by broadcast frames (the paper's ~10% observation).
+#pragma once
+
+#include <vector>
+
+#include "jigsaw/jframe.h"
+
+namespace jig {
+
+struct ActivitySeries {
+  Micros bin_width = 0;
+  UniversalMicros origin = 0;  // timestamp of the first jframe
+  std::vector<int> active_clients;
+  std::vector<int> active_aps;
+  // Bytes on the air per bin, by category.
+  std::vector<double> data_bytes;
+  std::vector<double> mgmt_bytes;
+  std::vector<double> beacon_bytes;
+  std::vector<double> arp_bytes;
+  // Fraction of the bin's wall time consumed by broadcast transmissions.
+  std::vector<double> broadcast_airtime_fraction;
+
+  std::size_t Bins() const { return active_clients.size(); }
+};
+
+ActivitySeries ComputeActivity(const std::vector<JFrame>& jframes,
+                               Micros bin_width);
+
+}  // namespace jig

@@ -1,0 +1,104 @@
+#include "jigsaw/analysis/coverage.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "wifi/packet.h"
+
+namespace jig {
+namespace {
+
+// Identity of a TCP packet for wired/wireless matching: the header fields a
+// passive monitor can read from either vantage.
+std::uint64_t TcpPacketKey(Ipv4Addr src, Ipv4Addr dst, const TcpSegment& seg) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ull;
+  };
+  mix(src);
+  mix(dst);
+  mix((static_cast<std::uint64_t>(seg.src_port) << 16) | seg.dst_port);
+  mix(seg.seq);
+  mix(seg.ack);
+  mix((static_cast<std::uint64_t>(seg.flags) << 16) | seg.payload_len);
+  return h;
+}
+
+}  // namespace
+
+double CoverageReport::FractionAtLeast(double threshold, bool aps) const {
+  std::size_t total = 0, meets = 0;
+  for (const auto& s : stations) {
+    if (s.is_ap != aps) continue;
+    ++total;
+    if (s.Coverage() >= threshold) ++meets;
+  }
+  return total ? static_cast<double>(meets) / total : 0.0;
+}
+
+double CoverageReport::GroupCoverage(bool aps) const {
+  std::uint64_t packets = 0, matched = 0;
+  for (const auto& s : stations) {
+    if (s.is_ap != aps) continue;
+    packets += s.wired_packets;
+    matched += s.matched;
+  }
+  return packets ? static_cast<double>(matched) / packets : 0.0;
+}
+
+CoverageReport ComputeWiredCoverage(const std::vector<WiredRecord>& wired,
+                                    const std::vector<JFrame>& jframes) {
+  // Index every unicast TCP DATA frame seen on the air.
+  std::unordered_set<std::uint64_t> air_keys;
+  for (const JFrame& jf : jframes) {
+    const Frame& f = jf.frame;
+    if (f.type != FrameType::kData || !f.addr1.IsUnicast()) continue;
+    const auto info = ParseFrameBody(f.body);
+    if (!info || !info->IsTcp()) continue;
+    air_keys.insert(TcpPacketKey(info->src_ip, info->dst_ip, *info->tcp));
+  }
+
+  CoverageReport report;
+  std::unordered_map<MacAddress, StationCoverage> stations;
+  for (const WiredRecord& rec : wired) {
+    if (rec.ip_proto != kIpProtoTcp) continue;
+    // Which station transmits (or will transmit) the corresponding DATA
+    // frame on the air: the AP for downstream, the client for upstream.
+    const MacAddress station = rec.to_wireless
+                                   ? MacAddress::Ap(rec.ap_index)
+                                   : rec.wireless_station;
+    auto [it, inserted] = stations.try_emplace(station);
+    if (inserted) {
+      it->second.station = station;
+      it->second.is_ap = rec.to_wireless;
+    }
+    ++it->second.wired_packets;
+    ++report.wired_packets;
+    if (air_keys.contains(TcpPacketKey(rec.src_ip, rec.dst_ip, rec.tcp))) {
+      ++it->second.matched;
+      ++report.matched_packets;
+    }
+  }
+  report.stations.reserve(stations.size());
+  for (auto& [mac, sc] : stations) report.stations.push_back(sc);
+  return report;
+}
+
+OracleCoverage ComputeTruthCoverage(const TruthLog& truth,
+                                    std::optional<MacAddress> station) {
+  OracleCoverage out;
+  for (const TruthEntry& e : truth.entries()) {
+    if (station) {
+      if (e.transmitter != *station) continue;
+    } else if (!e.transmitter.IsClientTag()) {
+      continue;  // aggregate over client stations (the laptop's role)
+    }
+    ++out.events;
+    if (e.monitors_ok > 0) ++out.heard_ok;
+    if (e.monitors_any > 0) ++out.heard_any;
+  }
+  return out;
+}
+
+}  // namespace jig

@@ -1,0 +1,66 @@
+// Monitoring coverage analyses — paper Section 6, Figures 6 and 7.
+//
+// Two oracles validate how much of the air the platform actually captures:
+//  * The wired trace: every unicast TCP packet crossing the distribution
+//    network must correspond to a DATA frame on the air; matching wired
+//    records against the unified wireless trace yields per-station coverage
+//    (Figure 6) and, re-run under reduced pod deployments, the sensitivity
+//    of coverage to monitor density (Figure 7).
+//  * The instrumented-laptop experiment: a station's own record of the
+//    link-level events it generated, which in simulation is the ground
+//    truth log.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "jigsaw/jframe.h"
+#include "sim/truth.h"
+#include "sim/wired.h"
+
+namespace jig {
+
+struct StationCoverage {
+  MacAddress station;
+  bool is_ap = false;
+  std::uint32_t wired_packets = 0;
+  std::uint32_t matched = 0;
+  double Coverage() const {
+    return wired_packets ? static_cast<double>(matched) / wired_packets : 0.0;
+  }
+};
+
+struct CoverageReport {
+  std::vector<StationCoverage> stations;
+  std::uint64_t wired_packets = 0;
+  std::uint64_t matched_packets = 0;
+
+  double Overall() const {
+    return wired_packets
+               ? static_cast<double>(matched_packets) / wired_packets
+               : 0.0;
+  }
+  // Fraction of stations (APs or clients) with coverage >= threshold.
+  double FractionAtLeast(double threshold, bool aps) const;
+  double GroupCoverage(bool aps) const;  // packet-weighted
+};
+
+// Figure 6: match the wired trace against the unified wireless trace.
+CoverageReport ComputeWiredCoverage(const std::vector<WiredRecord>& wired,
+                                    const std::vector<JFrame>& jframes);
+
+// Laptop-oracle coverage (Section 6's controlled experiment): fraction of a
+// station's link-level transmissions that at least one monitor decoded.
+// `station` of nullopt aggregates over all client stations.
+struct OracleCoverage {
+  std::uint64_t events = 0;
+  std::uint64_t heard_ok = 0;      // decoded by >= 1 monitor radio
+  std::uint64_t heard_any = 0;     // detected at all
+  double Rate() const {
+    return events ? static_cast<double>(heard_ok) / events : 0.0;
+  }
+};
+OracleCoverage ComputeTruthCoverage(const TruthLog& truth,
+                                    std::optional<MacAddress> station);
+
+}  // namespace jig

@@ -1,0 +1,29 @@
+// Group-dispersion distribution — paper Figure 4.
+//
+// The paper's synchronization-accuracy metric: for every jframe, the worst
+// time offset between any two radios that heard it.  The published result:
+// with a 10 ms search window over 156 radios for 24 hours, 90% of jframes
+// have dispersion under 10 us and 99% under 20 us.
+#pragma once
+
+#include <vector>
+
+#include "jigsaw/jframe.h"
+#include "util/stats.h"
+
+namespace jig {
+
+// Collects jframe dispersions.  `multi_instance_only` restricts to jframes
+// heard by at least two radios (single-instance jframes have dispersion 0
+// by construction and would flatter the CDF).
+inline Distribution DispersionDistribution(const std::vector<JFrame>& jframes,
+                                           bool multi_instance_only = true) {
+  Distribution d;
+  for (const JFrame& jf : jframes) {
+    if (multi_instance_only && jf.instances.size() < 2) continue;
+    d.Add(static_cast<double>(jf.dispersion));
+  }
+  return d;
+}
+
+}  // namespace jig

@@ -1,0 +1,109 @@
+#include "jigsaw/analysis/interference.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace jig {
+namespace {
+
+struct PairKey {
+  MacAddress s, r;
+  bool operator==(const PairKey&) const = default;
+};
+struct PairKeyHash {
+  std::size_t operator()(const PairKey& k) const noexcept {
+    return std::hash<std::uint64_t>{}(k.s.ToU64() * 0x9E3779B97F4A7C15ull ^
+                                      k.r.ToU64());
+  }
+};
+
+// Marks, for every jframe, whether a different transmitter's frame
+// overlapped it in time on the same channel.  Sweep over the time-ordered
+// vector keeping the still-active window.
+std::vector<bool> ComputeOverlaps(const std::vector<JFrame>& jframes) {
+  std::vector<bool> overlapped(jframes.size(), false);
+  std::vector<std::size_t> active;  // indices with end >= current start
+  for (std::size_t i = 0; i < jframes.size(); ++i) {
+    const JFrame& jf = jframes[i];
+    // Retire expired frames.
+    std::erase_if(active, [&](std::size_t j) {
+      return jframes[j].EndTime() <= jf.timestamp;
+    });
+    for (std::size_t j : active) {
+      const JFrame& other = jframes[j];
+      if (other.channel != jf.channel) continue;
+      const auto t1 = jf.frame.Transmitter();
+      const auto t2 = other.frame.Transmitter();
+      if (t1 && t2 && *t1 == *t2) continue;  // same sender (CTS+DATA pair)
+      overlapped[i] = true;
+      overlapped[j] = true;
+    }
+    active.push_back(i);
+  }
+  return overlapped;
+}
+
+}  // namespace
+
+InterferenceReport ComputeInterference(const std::vector<JFrame>& jframes,
+                                       const LinkReconstruction& link,
+                                       const InterferenceConfig& config) {
+  const std::vector<bool> overlapped = ComputeOverlaps(jframes);
+
+  std::unordered_map<PairKey, PairInterference, PairKeyHash> pairs;
+  for (const TransmissionAttempt& a : link.attempts) {
+    if (a.type != FrameType::kData || a.broadcast || a.data_jframe < 0) {
+      continue;
+    }
+    const PairKey key{a.transmitter, a.receiver};
+    auto [it, inserted] = pairs.try_emplace(key);
+    PairInterference& pi = it->second;
+    if (inserted) {
+      pi.sender = a.transmitter;
+      pi.receiver = a.receiver;
+    }
+    const bool simultaneous =
+        overlapped[static_cast<std::size_t>(a.data_jframe)];
+    // Passive loss signal: no ACK observed for this transmission (the
+    // paper's methodology; Section 7.2).
+    const bool lost = !a.acked;
+    ++pi.n;
+    if (simultaneous) {
+      ++pi.nx;
+      if (lost) ++pi.nlx;
+    } else {
+      ++pi.n0;
+      if (lost) ++pi.nl0;
+    }
+  }
+
+  InterferenceReport report;
+  report.total_pairs_seen = pairs.size();
+  double bg_sum = 0.0;
+  std::size_t interfered = 0, truncated = 0, ap_senders = 0;
+  for (auto& [key, pi] : pairs) {
+    if (pi.n < config.min_packets) continue;
+    bg_sum += pi.BackgroundLossRate();
+    if (pi.Pi() > 0.0) {
+      ++interfered;
+      if (pi.sender.IsApTag()) ++ap_senders;
+    }
+    if (pi.XTruncated()) ++truncated;
+    report.pairs.push_back(pi);
+  }
+  const std::size_t kept = report.pairs.size();
+  report.mean_background_loss = kept ? bg_sum / kept : 0.0;
+  report.fraction_pairs_interfered =
+      kept ? static_cast<double>(interfered) / kept : 0.0;
+  report.fraction_truncated =
+      kept ? static_cast<double>(truncated) / kept : 0.0;
+  report.ap_sender_fraction =
+      interfered ? static_cast<double>(ap_senders) / interfered : 0.0;
+  std::sort(report.pairs.begin(), report.pairs.end(),
+            [](const PairInterference& a, const PairInterference& b) {
+              return a.X() < b.X();
+            });
+  return report;
+}
+
+}  // namespace jig

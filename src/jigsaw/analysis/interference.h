@@ -1,0 +1,69 @@
+// Co-channel interference estimation — paper Section 7.2, Figure 9.
+//
+// The global viewpoint lets Jigsaw observe that a transmission from s to r
+// failed *and* that a third node was transmitting simultaneously — which no
+// single vantage point can correlate.  For every (s, r) pair the estimator
+// compares the loss rate with simultaneous transmissions (nlx/nx) against
+// the background loss rate without them (nl0/n0) and computes
+//
+//   P_i = P[I|S] = ((nlx/nx) - (nl0/n0)) / (1 - nl0/n0)
+//
+// the conditional probability that a simultaneous transmission causes a
+// loss, and the interference loss rate X = P_i * (nx/n) — the probability
+// that any given transmission from s to r dies to interference.
+#pragma once
+
+#include <vector>
+
+#include "jigsaw/link.h"
+
+namespace jig {
+
+struct PairInterference {
+  MacAddress sender;
+  MacAddress receiver;
+  std::uint32_t n = 0;    // unicast DATA transmissions s -> r
+  std::uint32_t n0 = 0;   // ... without a simultaneous transmission
+  std::uint32_t nl0 = 0;  // ... of those, lost
+  std::uint32_t nx = 0;   // ... with a simultaneous transmission
+  std::uint32_t nlx = 0;  // ... of those, lost
+
+  double BackgroundLossRate() const {
+    return n0 ? static_cast<double>(nl0) / n0 : 0.0;
+  }
+  // P[I|S]; may be negative when sampling noise makes concurrent slots look
+  // safer than quiet ones (the paper truncates X at 0 in 11% of pairs).
+  double Pi() const {
+    if (nx == 0) return 0.0;
+    const double plx = static_cast<double>(nlx) / nx;
+    const double pl0 = BackgroundLossRate();
+    if (pl0 >= 1.0) return 0.0;
+    return (plx - pl0) / (1.0 - pl0);
+  }
+  // Interference loss rate X, truncated at zero.
+  double X() const {
+    if (n == 0) return 0.0;
+    const double x = Pi() * (static_cast<double>(nx) / n);
+    return x < 0.0 ? 0.0 : x;
+  }
+  bool XTruncated() const { return Pi() < 0.0; }
+};
+
+struct InterferenceReport {
+  std::vector<PairInterference> pairs;  // pairs meeting min_packets
+  std::uint64_t total_pairs_seen = 0;   // before the min-packets filter
+  double mean_background_loss = 0.0;
+  double fraction_pairs_interfered = 0.0;  // Pi > 0
+  double fraction_truncated = 0.0;         // Pi < 0 (X clamped to 0)
+  double ap_sender_fraction = 0.0;         // of interfered pairs
+};
+
+struct InterferenceConfig {
+  std::uint32_t min_packets = 100;  // per (s, r) pair, as in the paper
+};
+
+InterferenceReport ComputeInterference(const std::vector<JFrame>& jframes,
+                                       const LinkReconstruction& link,
+                                       const InterferenceConfig& config = {});
+
+}  // namespace jig

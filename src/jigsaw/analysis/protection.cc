@@ -1,0 +1,119 @@
+#include "jigsaw/analysis/protection.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace jig {
+
+ProtectionSeries ComputeProtection(const std::vector<JFrame>& jframes,
+                                   const ProtectionConfig& config) {
+  ProtectionSeries out;
+  out.bin_width = config.bin_width;
+  if (jframes.empty()) return out;
+  out.origin = jframes.front().timestamp;
+  const std::size_t bins = static_cast<std::size_t>(
+      (jframes.back().timestamp - out.origin) / config.bin_width + 1);
+  out.overprotective_aps.assign(bins, 0);
+  out.g_clients_on_overprotective.assign(bins, 0);
+  out.active_g_clients.assign(bins, 0);
+
+  // Pass 1: classify stations by observed rates — any OFDM transmission
+  // marks a station 802.11g.
+  std::unordered_map<MacAddress, bool> saw_ofdm;
+  for (const JFrame& jf : jframes) {
+    const Frame& f = jf.frame;
+    if (!f.HasTransmitter() || !f.addr2.IsClientTag()) continue;
+    if (f.type != FrameType::kData && !IsManagement(f.type)) continue;
+    saw_ofdm[f.addr2] = saw_ofdm[f.addr2] || IsOfdm(jf.rate);
+  }
+  const auto is_b_client = [&](MacAddress mac) {
+    auto it = saw_ofdm.find(mac);
+    return it != saw_ofdm.end() && !it->second;
+  };
+  const auto is_g_client = [&](MacAddress mac) {
+    auto it = saw_ofdm.find(mac);
+    return it != saw_ofdm.end() && it->second;
+  };
+
+  // Pass 2: sweep time, tracking per-AP protection usage and b-client
+  // sightings, plus per-bin activity.
+  std::unordered_map<MacAddress, UniversalMicros> last_cts;    // per AP
+  std::unordered_map<MacAddress, UniversalMicros> last_b_seen; // per AP
+  std::unordered_map<MacAddress, MacAddress> client_ap;        // association
+  std::vector<std::unordered_set<MacAddress>> bin_g_active(bins);
+
+  std::size_t frame_idx = 0;
+  for (std::size_t bin = 0; bin < bins; ++bin) {
+    const UniversalMicros bin_end =
+        out.origin + static_cast<Micros>(bin + 1) * config.bin_width;
+    for (; frame_idx < jframes.size() &&
+           jframes[frame_idx].timestamp < bin_end;
+         ++frame_idx) {
+      const JFrame& jf = jframes[frame_idx];
+      const Frame& f = jf.frame;
+      switch (f.type) {
+        case FrameType::kCts: {
+          // CTS-to-self: attribute to the AP's BSS — either the AP itself
+          // or one of its (last-known association) clients.
+          if (f.addr1.IsApTag()) {
+            last_cts[f.addr1] = jf.timestamp;
+          } else if (f.addr1.IsClientTag()) {
+            auto it = client_ap.find(f.addr1);
+            if (it != client_ap.end()) last_cts[it->second] = jf.timestamp;
+          }
+          break;
+        }
+        case FrameType::kProbeResponse:
+          // AP answering a probe: evidence the probing client is in range.
+          if (f.addr2.IsApTag() && is_b_client(f.addr1)) {
+            last_b_seen[f.addr2] = jf.timestamp;
+          }
+          break;
+        case FrameType::kAssocRequest:
+        case FrameType::kAuthentication:
+          if (f.addr1.IsApTag() && is_b_client(f.addr2)) {
+            last_b_seen[f.addr1] = jf.timestamp;
+          }
+          break;
+        case FrameType::kData: {
+          if (f.to_ds && f.addr2.IsClientTag() && f.addr1.IsApTag()) {
+            client_ap[f.addr2] = f.addr1;
+            if (is_b_client(f.addr2)) last_b_seen[f.addr1] = jf.timestamp;
+            if (is_g_client(f.addr2)) bin_g_active[bin].insert(f.addr2);
+          } else if (f.from_ds && f.addr1.IsClientTag() &&
+                     f.addr2.IsApTag()) {
+            client_ap[f.addr1] = f.addr2;
+            if (is_g_client(f.addr1)) bin_g_active[bin].insert(f.addr1);
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+
+    // Evaluate AP protection state at the end of the bin.
+    std::unordered_set<MacAddress> overprotective;
+    for (const auto& [ap, t_cts] : last_cts) {
+      if (bin_end - t_cts > config.protection_active_window) continue;
+      auto bit = last_b_seen.find(ap);
+      const bool justified =
+          bit != last_b_seen.end() &&
+          bin_end - bit->second <= config.practical_timeout;
+      if (!justified) overprotective.insert(ap);
+    }
+    out.overprotective_aps[bin] = static_cast<int>(overprotective.size());
+    out.active_g_clients[bin] = static_cast<int>(bin_g_active[bin].size());
+    int affected = 0;
+    for (const MacAddress& c : bin_g_active[bin]) {
+      auto it = client_ap.find(c);
+      if (it != client_ap.end() && overprotective.contains(it->second)) {
+        ++affected;
+      }
+    }
+    out.g_clients_on_overprotective[bin] = affected;
+  }
+  return out;
+}
+
+}  // namespace jig

@@ -1,0 +1,42 @@
+// 802.11g protection-mode analysis — paper Section 7.3, Figure 10.
+//
+// Identifies "overprotective" APs: BSSes still running CTS-to-self
+// protection although no 802.11b client has been in range for longer than
+// a practical timeout (one minute, vs. the deployed APs' one hour).
+// Station b/g classification comes from observed transmit rates (a station
+// that ever sends OFDM is 802.11g); b-client in-range evidence comes from
+// the b client's own frames at an AP and from probe responses the AP sends
+// it, exactly the signals the paper uses.  The series also counts active
+// 802.11g clients and how many sit behind overprotective APs (25–50%
+// during the paper's busy periods).
+#pragma once
+
+#include <vector>
+
+#include "jigsaw/jframe.h"
+
+namespace jig {
+
+struct ProtectionConfig {
+  Micros bin_width = Seconds(60);
+  // The "practical" timeout: an AP is overprotective when protecting with
+  // no b client sensed within this window.
+  Micros practical_timeout = Minutes(1);
+  // Protection considered in use if a CTS-to-self was seen this recently.
+  Micros protection_active_window = Minutes(1);
+};
+
+struct ProtectionSeries {
+  Micros bin_width = 0;
+  UniversalMicros origin = 0;
+  std::vector<int> overprotective_aps;
+  std::vector<int> g_clients_on_overprotective;
+  std::vector<int> active_g_clients;
+
+  std::size_t Bins() const { return overprotective_aps.size(); }
+};
+
+ProtectionSeries ComputeProtection(const std::vector<JFrame>& jframes,
+                                   const ProtectionConfig& config = {});
+
+}  // namespace jig

@@ -1,0 +1,90 @@
+#include "jigsaw/analysis/summary.h"
+
+#include <ostream>
+#include <unordered_set>
+
+#include "util/stats.h"
+
+namespace jig {
+
+TraceSummary Summarize(const MergeResult& merge,
+                       const LinkReconstruction& link,
+                       const TransportReconstruction& transport,
+                       std::size_t radios) {
+  TraceSummary s;
+  s.radios = radios;
+  const UnifyStats& us = merge.stats;
+  s.total_events = us.events_in;
+  s.error_event_fraction =
+      us.events_in ? static_cast<double>(us.fcs_error_in + us.phy_error_in) /
+                         static_cast<double>(us.events_in)
+                   : 0.0;
+  s.unified_events = us.events_unified;
+  s.jframes = us.jframes;
+  s.events_per_jframe = us.EventsPerJframe();
+
+  std::unordered_set<MacAddress> clients;
+  std::unordered_set<MacAddress> aps;
+  UniversalMicros t0 = 0, t1 = 0;
+  bool first = true;
+  for (const JFrame& jf : merge.jframes) {
+    if (first) {
+      t0 = jf.timestamp;
+      first = false;
+    }
+    t1 = jf.timestamp;
+    const Frame& f = jf.frame;
+    if (IsControl(f.type)) {
+      ++s.ctrl_frames;
+    } else if (IsManagement(f.type)) {
+      ++s.mgmt_frames;
+    } else {
+      ++s.data_frames;
+    }
+    if (f.HasTransmitter()) {
+      if (f.addr2.IsClientTag()) clients.insert(f.addr2);
+      if (f.addr2.IsApTag()) aps.insert(f.addr2);
+    }
+  }
+  s.duration_s = ToSeconds(t1 - t0);
+  s.clients_observed = clients.size();
+  s.aps_observed = aps.size();
+
+  s.attempts = link.stats.attempts;
+  s.exchanges = link.stats.exchanges;
+  s.attempt_inference_rate = link.stats.AttemptInferenceRate();
+  s.exchange_inference_rate = link.stats.ExchangeInferenceRate();
+  s.tcp_flows = transport.stats.flows_total;
+  s.tcp_flows_with_handshake = transport.stats.flows_with_handshake;
+  return s;
+}
+
+void PrintSummary(const TraceSummary& s, std::ostream& os) {
+  os << "=== Trace summary (paper Table 1) ===\n";
+  os << "  Trace duration            " << FormatFixed(s.duration_s, 1)
+     << " s\n";
+  os << "  Radios                    " << s.radios << "\n";
+  os << "  Events observed           " << FormatCount(s.total_events) << "\n";
+  os << "  PHY/CRC error events      "
+     << FormatPercent(s.error_event_fraction) << "\n";
+  os << "  Events unified            " << FormatCount(s.unified_events)
+     << "\n";
+  os << "  jframes                   " << FormatCount(s.jframes) << "\n";
+  os << "  Events per jframe         " << FormatFixed(s.events_per_jframe, 2)
+     << "\n";
+  os << "  Unique clients observed   " << s.clients_observed << "\n";
+  os << "  Unique APs observed       " << s.aps_observed << "\n";
+  os << "  DATA / MGMT / CTRL frames " << FormatCount(s.data_frames) << " / "
+     << FormatCount(s.mgmt_frames) << " / " << FormatCount(s.ctrl_frames)
+     << "\n";
+  os << "  Transmission attempts     " << FormatCount(s.attempts) << "\n";
+  os << "  Frame exchanges           " << FormatCount(s.exchanges) << "\n";
+  os << "  Attempts needing inference  "
+     << FormatPercent(s.attempt_inference_rate, 2) << "\n";
+  os << "  Exchanges needing inference "
+     << FormatPercent(s.exchange_inference_rate, 2) << "\n";
+  os << "  TCP flows (w/ handshake)  " << s.tcp_flows << " ("
+     << s.tcp_flows_with_handshake << ")\n";
+}
+
+}  // namespace jig

@@ -1,0 +1,31 @@
+#include "jigsaw/analysis/tcp_loss.h"
+
+namespace jig {
+
+TcpLossReport ComputeTcpLoss(const TransportReconstruction& transport,
+                             const TcpLossConfig& config) {
+  TcpLossReport report;
+  std::uint64_t segments = 0, losses = 0, wireless = 0, wired = 0;
+  for (const TcpFlowRecord& flow : transport.flows) {
+    if (!flow.handshake_complete) continue;
+    if (flow.DataSegments() < config.min_segments) continue;
+    ++report.flows_considered;
+    const double segs = flow.DataSegments();
+    report.total_loss_rate.Add(flow.losses.size() / segs);
+    report.wireless_loss_rate.Add(flow.LossesBy(LossCause::kWireless) / segs);
+    report.wired_loss_rate.Add(flow.LossesBy(LossCause::kWired) / segs);
+    segments += flow.DataSegments();
+    losses += flow.losses.size();
+    wireless += flow.LossesBy(LossCause::kWireless);
+    wired += flow.LossesBy(LossCause::kWired);
+  }
+  if (segments > 0) {
+    report.aggregate_loss_rate = static_cast<double>(losses) / segments;
+    report.aggregate_wireless_rate =
+        static_cast<double>(wireless) / segments;
+    report.aggregate_wired_rate = static_cast<double>(wired) / segments;
+  }
+  return report;
+}
+
+}  // namespace jig

@@ -1,0 +1,36 @@
+// TCP loss-rate decomposition — paper Section 7.4, Figure 11.
+//
+// For every reconstructed flow that completed a handshake (eliminating
+// scans and failed connections), decompose the TCP-visible loss rate into
+// its wireless component (original segment's frame exchange failed on the
+// air) and wired component (segment crossed the air fine — or never made
+// it to the air — and was lost elsewhere).  The paper's headline: the
+// wireless component dominates.
+#pragma once
+
+#include "jigsaw/tcp_reconstruct.h"
+#include "util/stats.h"
+
+namespace jig {
+
+struct TcpLossReport {
+  std::uint64_t flows_considered = 0;
+  // Per-flow loss-rate distributions (losses / data segments).
+  Distribution total_loss_rate;
+  Distribution wireless_loss_rate;
+  Distribution wired_loss_rate;
+  // Aggregate (segment-weighted) rates.
+  double aggregate_loss_rate = 0.0;
+  double aggregate_wireless_rate = 0.0;
+  double aggregate_wired_rate = 0.0;
+};
+
+struct TcpLossConfig {
+  // Minimum data segments for a flow to contribute (statistical floor).
+  std::uint32_t min_segments = 5;
+};
+
+TcpLossReport ComputeTcpLoss(const TransportReconstruction& transport,
+                             const TcpLossConfig& config = {});
+
+}  // namespace jig

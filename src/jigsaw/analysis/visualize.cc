@@ -1,0 +1,102 @@
+#include "jigsaw/analysis/visualize.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace jig {
+
+std::string RenderTimeline(const std::vector<JFrame>& jframes,
+                           const TimelineOptions& options) {
+  std::ostringstream out;
+  if (jframes.empty()) return "(no jframes)\n";
+
+  UniversalMicros start = options.start;
+  if (start == 0) start = jframes.front().timestamp;
+  const UniversalMicros end = start + options.span;
+
+  // Collect the window's jframes and the radios that heard them.
+  std::vector<const JFrame*> window;
+  std::map<RadioId, std::size_t> radio_rows;
+  for (const JFrame& jf : jframes) {
+    if (jf.timestamp >= end) break;
+    if (jf.EndTime() <= start) continue;
+    window.push_back(&jf);
+    for (const FrameInstance& inst : jf.instances) {
+      if (radio_rows.size() >= options.max_radios &&
+          !radio_rows.contains(inst.radio)) {
+        continue;
+      }
+      radio_rows.try_emplace(inst.radio, radio_rows.size());
+    }
+  }
+  if (window.empty()) return "(window empty)\n";
+
+  const double us_per_col =
+      static_cast<double>(options.span) / options.width_cols;
+  std::vector<std::string> grid(radio_rows.size(),
+                                std::string(options.width_cols, '.'));
+
+  char label = 'a';
+  std::ostringstream legend;
+  for (const JFrame* jf : window) {
+    const auto col_of = [&](UniversalMicros t) {
+      const double c = static_cast<double>(t - start) / us_per_col;
+      return std::clamp(static_cast<int>(c), 0, options.width_cols - 1);
+    };
+    const int c0 = col_of(jf->timestamp);
+    const int c1 = col_of(jf->EndTime());
+    for (const FrameInstance& inst : jf->instances) {
+      auto it = radio_rows.find(inst.radio);
+      if (it == radio_rows.end()) continue;
+      std::string& row = grid[it->second];
+      const char mark = inst.outcome == RxOutcome::kOk ? '#' : 'x';
+      for (int c = c0; c <= c1; ++c) row[static_cast<std::size_t>(c)] = mark;
+      row[static_cast<std::size_t>(c0)] = label;
+    }
+    legend << "  " << label << ": t+" << (jf->timestamp - start) << "us "
+           << jf->frame.Summary() << "  [" << jf->InstanceCount()
+           << " radios, dispersion " << jf->dispersion << "us]\n";
+    label = label == 'z' ? 'a' : static_cast<char>(label + 1);
+  }
+
+  out << "time ->  " << options.span << " us across " << options.width_cols
+      << " cols ('#' decoded, 'x' corrupted)\n";
+  for (const auto& [radio, row_idx] : radio_rows) {
+    char name[16];
+    std::snprintf(name, sizeof(name), "r%-4u |", radio);
+    out << name << grid[row_idx] << "\n";
+  }
+  out << "\nframes:\n" << legend.str();
+  return out.str();
+}
+
+std::string RenderFloorplan(const BuildingModel& building,
+                            const std::vector<ApInfo>& aps,
+                            const std::vector<PodInfo>& pods,
+                            const std::vector<ClientInfo>& clients,
+                            int floor) {
+  // 1 column per meter along the corridor, 1 row per 2 meters across.
+  const int cols = static_cast<int>(building.length_m) + 1;
+  const int rows = static_cast<int>(building.width_m / 2.0) + 1;
+  std::vector<std::string> grid(rows, std::string(cols, ' '));
+  const auto plot = [&](const Point3& p, char mark) {
+    if (building.FloorOf(p) != floor) return;
+    const int c = std::clamp(static_cast<int>(p.x), 0, cols - 1);
+    const int r = std::clamp(static_cast<int>(p.y / 2.0), 0, rows - 1);
+    grid[r][static_cast<std::size_t>(c)] = mark;
+  };
+  for (const auto& client : clients) plot(client.position, '.');
+  for (const auto& pod : pods) plot(pod.position, 'O');
+  for (const auto& ap : aps) plot(ap.position, '^');
+
+  std::ostringstream out;
+  out << "floor " << floor + 1 << "  (" << building.length_m << "m x "
+      << building.width_m << "m;  '^' AP, 'O' monitor pod, '.' client)\n";
+  out << "+" << std::string(cols, '-') << "+\n";
+  for (const auto& row : grid) out << "|" << row << "|\n";
+  out << "+" << std::string(cols, '-') << "+\n";
+  return out.str();
+}
+
+}  // namespace jig

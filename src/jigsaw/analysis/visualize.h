@@ -1,0 +1,44 @@
+// Trace visualization — paper Figures 1 and 2.
+//
+// Figure 2 of the paper shows Jigsaw's own visualization of a synchronized
+// trace: radios on the y-axis, microseconds on the x-axis, each reception
+// drawn for its air-time with its signal strength, corrupted receptions
+// marked.  RenderTimeline produces the ASCII equivalent from a jframe
+// window — the fastest way to eyeball whether unification is grouping the
+// right instances.
+//
+// Figure 1 is the deployment floorplan (APs as triangles, pods as circle
+// pairs); RenderFloorplan draws a floor of the simulated building.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "jigsaw/jframe.h"
+#include "phy/geometry.h"
+#include "sim/scenario.h"
+
+namespace jig {
+
+struct TimelineOptions {
+  UniversalMicros start = 0;   // 0: begin at the first jframe in range
+  Micros span = 5'000;         // window width (us)
+  int width_cols = 100;        // terminal columns for the time axis
+  std::size_t max_radios = 24;
+};
+
+// Renders jframes intersecting [start, start+span) as a radio/time grid:
+// '#' spans a valid reception, 'x' a corrupted one, '.' idle air.  A legend
+// lists each jframe with its timestamp, contents and dispersion.
+std::string RenderTimeline(const std::vector<JFrame>& jframes,
+                           const TimelineOptions& options = {});
+
+// Renders one floor of the deployment: '^' production APs, 'O' monitor
+// pods, '.' clients, all on a meter-scaled grid.
+std::string RenderFloorplan(const BuildingModel& building,
+                            const std::vector<ApInfo>& aps,
+                            const std::vector<PodInfo>& pods,
+                            const std::vector<ClientInfo>& clients,
+                            int floor);
+
+}  // namespace jig

@@ -1,0 +1,209 @@
+#include "jigsaw/bootstrap.h"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <optional>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "jigsaw/reference.h"
+
+namespace jig {
+namespace {
+
+struct Sighting {
+  std::size_t trace = 0;
+  LocalMicros local_ts = 0;
+};
+
+}  // namespace
+
+BootstrapResult BootstrapSynchronize(TraceSet& traces,
+                                     const BootstrapConfig& config) {
+  const std::size_t n = traces.size();
+  if (n == 0) throw std::runtime_error("bootstrap: empty trace set");
+
+  traces.RewindAll();
+
+  // The paper examines "the first second of data from each trace" (footnote
+  // 4: located via the NTP-disciplined system clock — the only place the
+  // system clock is ever used).  Each trace contributes sightings from its
+  // own first `window` of data; shared frames land in both participants'
+  // windows because the monitors' true start times are close.
+  std::vector<std::int64_t> ntp0(n);
+  std::vector<std::optional<CaptureRecord>> first(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ntp0[i] = traces.at(i).header().ntp_utc_of_local_zero_us;
+    first[i] = traces.at(i).Next();
+  }
+
+  // Collect sightings of unique frames inside each trace's window.
+  std::unordered_map<ContentKey, std::vector<Sighting>> sets;
+  BootstrapResult result;
+  result.offset_us.assign(n, 0.0);
+  result.synced.assign(n, false);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    std::optional<CaptureRecord> rec = std::move(first[i]);
+    const std::int64_t window_end =
+        rec ? ntp0[i] + rec->timestamp + config.window
+            : std::numeric_limits<std::int64_t>::min();
+    while (rec) {
+      const std::int64_t utc = ntp0[i] + rec->timestamp;
+      if (utc >= window_end) break;
+      if (IsUniqueReference(*rec)) {
+        ++result.reference_frames_considered;
+        const ContentKey key = MakeContentKey(rec->bytes);
+        auto& sightings = sets[key];
+        // A radio records a given transmission at most once; duplicates of
+        // the same key from one radio would be distinct transmissions with
+        // colliding content (never for unique frames) — keep the first.
+        const bool seen = std::any_of(
+            sightings.begin(), sightings.end(),
+            [i](const Sighting& s) { return s.trace == i; });
+        if (!seen) sightings.push_back(Sighting{i, rec->timestamp});
+      }
+      rec = traces.at(i).Next();
+    }
+  }
+
+  // Per trace, pick the reference set with the most radios; union into G.
+  // Overlap between the chosen sets is what makes offsets globally
+  // consistent, so G is kept minimal — but when the greedy choice leaves G
+  // partitioned, additional sets are admitted until the synchronization
+  // graph is connected (the paper's stated fallback).
+  std::vector<const std::vector<Sighting>*> g_sets;
+  {
+    std::unordered_map<ContentKey, bool> in_g;
+    std::vector<std::pair<ContentKey, const std::vector<Sighting>*>> best(
+        n, {ContentKey{}, nullptr});
+    for (const auto& [key, sightings] : sets) {
+      if (sightings.size() < config.min_set_size) continue;
+      for (const Sighting& s : sightings) {
+        if (!best[s.trace].second ||
+            sightings.size() > best[s.trace].second->size()) {
+          best[s.trace] = {key, &sightings};
+        }
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!best[i].second) continue;
+      if (!in_g[best[i].first]) {
+        in_g[best[i].first] = true;
+        g_sets.push_back(best[i].second);
+      }
+    }
+
+    // Union-find over traces: merge components along G's sets and monitor
+    // clock siblings; then admit extra sets that bridge components.
+    std::vector<std::size_t> parent(n);
+    for (std::size_t i = 0; i < n; ++i) parent[i] = i;
+    std::function<std::size_t(std::size_t)> find =
+        [&](std::size_t x) -> std::size_t {
+      while (parent[x] != x) {
+        parent[x] = parent[parent[x]];
+        x = parent[x];
+      }
+      return x;
+    };
+    const auto unite = [&](std::size_t a, std::size_t b) {
+      parent[find(a)] = find(b);
+    };
+    for (const auto* sightings : g_sets) {
+      for (std::size_t k = 1; k < sightings->size(); ++k) {
+        unite((*sightings)[0].trace, (*sightings)[k].trace);
+      }
+    }
+    {
+      std::unordered_map<std::uint16_t, std::size_t> monitor_first;
+      for (std::size_t i = 0; i < n; ++i) {
+        auto [it, inserted] =
+            monitor_first.emplace(traces.at(i).header().monitor, i);
+        if (!inserted) unite(it->second, i);
+      }
+    }
+    // Larger sets first: fewer additions bridge more.
+    std::vector<const std::vector<Sighting>*> spare;
+    for (const auto& [key, sightings] : sets) {
+      if (sightings.size() < config.min_set_size) continue;
+      if (in_g[key]) continue;
+      spare.push_back(&sightings);
+    }
+    std::sort(spare.begin(), spare.end(), [](const auto* a, const auto* b) {
+      return a->size() > b->size();
+    });
+    for (const auto* sightings : spare) {
+      bool bridges = false;
+      const std::size_t root = find((*sightings)[0].trace);
+      for (std::size_t k = 1; k < sightings->size(); ++k) {
+        if (find((*sightings)[k].trace) != root) {
+          bridges = true;
+          break;
+        }
+      }
+      if (!bridges) continue;
+      for (std::size_t k = 1; k < sightings->size(); ++k) {
+        unite((*sightings)[0].trace, (*sightings)[k].trace);
+      }
+      g_sets.push_back(sightings);
+    }
+  }
+  result.sync_set_size = g_sets.size();
+
+  // Build the synchronization graph: edges from shared reference frames,
+  // with delta such that T_j = T_i + delta, plus zero-delta edges between
+  // radios sharing a monitor clock (the cross-channel bridge).
+  struct Edge {
+    std::size_t to;
+    double delta;
+  };
+  std::vector<std::vector<Edge>> adj(n);
+  for (const auto* sightings : g_sets) {
+    for (std::size_t a = 0; a < sightings->size(); ++a) {
+      for (std::size_t b = a + 1; b < sightings->size(); ++b) {
+        const auto& sa = (*sightings)[a];
+        const auto& sb = (*sightings)[b];
+        const double delta =
+            static_cast<double>(sa.local_ts - sb.local_ts);
+        adj[sa.trace].push_back(Edge{sb.trace, delta});
+        adj[sb.trace].push_back(Edge{sa.trace, -delta});
+      }
+    }
+  }
+  {
+    std::unordered_map<std::uint16_t, std::size_t> monitor_first;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto mon = traces.at(i).header().monitor;
+      auto [it, inserted] = monitor_first.emplace(mon, i);
+      if (!inserted) {
+        adj[it->second].push_back(Edge{i, 0.0});
+        adj[i].push_back(Edge{it->second, 0.0});
+      }
+    }
+  }
+
+  // BFS from trace 0; universal time anchored at its NTP estimate so
+  // universal ~ UTC at bootstrap (it will drift, by design — Section 4.2).
+  std::deque<std::pair<std::size_t, int>> queue;
+  result.offset_us[0] = static_cast<double>(ntp0[0]);
+  result.synced[0] = true;
+  queue.emplace_back(0, 0);
+  while (!queue.empty()) {
+    const auto [u, depth] = queue.front();
+    queue.pop_front();
+    result.max_bfs_depth = std::max(result.max_bfs_depth, depth);
+    for (const Edge& e : adj[u]) {
+      if (result.synced[e.to]) continue;
+      result.synced[e.to] = true;
+      result.offset_us[e.to] = result.offset_us[u] + e.delta;
+      queue.emplace_back(e.to, depth + 1);
+    }
+  }
+
+  traces.RewindAll();
+  return result;
+}
+
+}  // namespace jig

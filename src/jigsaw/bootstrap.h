@@ -1,0 +1,52 @@
+// Bootstrap synchronization (paper Section 4.1).
+//
+// Establishes a single universal time standard across all radios before
+// unification begins.  No frame is heard building-wide, so synchronization
+// is transitive: reference sets E_k (radios that heard unique frame s_k)
+// overlap, and a breadth-first traversal assigns each radio an offset T_i
+// such that local_time + T_i agrees on the shared references.  Channels are
+// bridged through monitors whose two radios share one capture clock.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace_set.h"
+
+namespace jig {
+
+struct BootstrapConfig {
+  // Window of data examined, anchored at the latest trace start (the paper
+  // uses the first second, located via NTP-disciplined system clocks).
+  Micros window = Seconds(1);
+  // Reference sets must span at least this many radios to enter G.
+  std::size_t min_set_size = 2;
+};
+
+struct BootstrapResult {
+  // Offset T_i per trace (same order as the TraceSet): universal = local +
+  // T_i.  Valid only where synced[i].
+  std::vector<double> offset_us;
+  std::vector<bool> synced;
+  // Diagnostics.
+  std::size_t reference_frames_considered = 0;
+  std::size_t sync_set_size = 0;  // |G|
+  int max_bfs_depth = 0;
+
+  std::size_t SyncedCount() const {
+    std::size_t n = 0;
+    for (bool s : synced) {
+      if (s) ++n;
+    }
+    return n;
+  }
+  bool AllSynced() const { return SyncedCount() == synced.size(); }
+};
+
+// Scans the bootstrap window of every trace and computes offsets.  Traces
+// are rewound before and after.  Throws std::runtime_error on an empty set.
+BootstrapResult BootstrapSynchronize(TraceSet& traces,
+                                     const BootstrapConfig& config = {});
+
+}  // namespace jig

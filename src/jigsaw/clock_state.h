@@ -1,0 +1,62 @@
+// Per-trace clock state maintained during unification (paper Section 4.2).
+//
+// Each trace's mapping from local capture time to universal time is a
+// piecewise-linear model:  universal(ts) = ts + offset + skew * (ts - ref),
+// where `offset` absorbs the bootstrap T_i plus all resynchronization
+// corrections, and `skew` is an EWMA prediction from past corrections —
+// Jigsaw "pro-actively adjusts the local timestamp of each instance to
+// compensate for the clock skew" and uses "an exponentially weighted moving
+// average of past skew measurements to predict future skew".
+#pragma once
+
+#include "util/stats.h"
+#include "util/time.h"
+
+namespace jig {
+
+class TraceClockState {
+ public:
+  TraceClockState(double initial_offset_us, double skew_ewma_alpha,
+                  Micros min_skew_elapsed, bool track_skew = true)
+      : offset_us_(initial_offset_us),
+        skew_(skew_ewma_alpha),
+        min_skew_elapsed_(min_skew_elapsed),
+        track_skew_(track_skew) {}
+
+  // Maps a local capture timestamp into universal time.
+  double ToUniversal(LocalMicros ts) const {
+    return static_cast<double>(ts) + offset_us_ +
+           skew_.Value() * 1e-6 * static_cast<double>(ts - ref_local_);
+  }
+
+  // Applies a resynchronization correction observed at local time `ts`:
+  // `error_us` = universal(jframe) - ToUniversal(ts).  Collapses the linear
+  // model onto the corrected point and folds the residual rate into the
+  // skew EWMA (skipped for very short gaps where quantization noise would
+  // swamp the rate estimate).
+  void ApplyCorrection(LocalMicros ts, double error_us) {
+    const double elapsed = static_cast<double>(ts - ref_local_);
+    const double old_skew = skew_.Value();
+    if (track_skew_ && elapsed >= static_cast<double>(min_skew_elapsed_)) {
+      skew_.Add(old_skew + 1e6 * error_us / elapsed);
+    }
+    // New model anchored at ts: universal(ts) must equal old value + error.
+    offset_us_ = offset_us_ + error_us + old_skew * 1e-6 * elapsed;
+    ref_local_ = ts;
+    ++corrections_;
+  }
+
+  double offset_us() const { return offset_us_; }
+  double skew_ppm() const { return skew_.Value(); }
+  std::uint64_t corrections() const { return corrections_; }
+
+ private:
+  double offset_us_;
+  LocalMicros ref_local_ = 0;
+  Ewma skew_;
+  Micros min_skew_elapsed_;
+  bool track_skew_ = true;
+  std::uint64_t corrections_ = 0;
+};
+
+}  // namespace jig

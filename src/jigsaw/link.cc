@@ -1,0 +1,331 @@
+#include "jigsaw/link.h"
+
+#include <algorithm>
+
+namespace jig {
+namespace {
+
+constexpr int kRetryLimitGuess = kShortRetryLimit + 1;  // attempts per MSDU
+
+struct PendingAttempt {
+  TransmissionAttempt attempt;
+  UniversalMicros ack_deadline = 0;
+  UniversalMicros data_deadline = 0;
+  bool waiting_ack = false;
+  bool waiting_data = false;
+  bool open = false;
+};
+
+class AttemptAssembler {
+ public:
+  AttemptAssembler(const std::vector<JFrame>& jframes,
+                   const LinkConfig& config, LinkStats& stats)
+      : jframes_(jframes), config_(config), stats_(stats) {}
+
+  std::vector<TransmissionAttempt> Run() {
+    for (std::size_t i = 0; i < jframes_.size(); ++i) {
+      Process(i);
+    }
+    for (auto& [mac, pending] : pending_) {
+      if (pending.open) Finalize(pending);
+    }
+    std::stable_sort(out_.begin(), out_.end(),
+                     [](const TransmissionAttempt& a,
+                        const TransmissionAttempt& b) {
+                       return a.start < b.start;
+                     });
+    return std::move(out_);
+  }
+
+ private:
+  void Finalize(PendingAttempt& pending) {
+    if (!pending.open) return;
+    ++stats_.attempts;
+    if (pending.attempt.inferred) ++stats_.attempts_inferred;
+    out_.push_back(pending.attempt);
+    pending = PendingAttempt{};
+  }
+
+  void Process(std::size_t idx) {
+    const JFrame& jf = jframes_[idx];
+    const Frame& f = jf.frame;
+    if (jf.ValidInstanceCount() == 0) return;  // undecoded jframes unusable
+
+    switch (f.type) {
+      case FrameType::kRts: {
+        // RTS opens a reserved transaction for its transmitter; the CTS
+        // response and DATA must follow within the reservation.
+        PendingAttempt& p = pending_[f.addr2];
+        if (p.open) Finalize(p);
+        p.open = true;
+        p.attempt.start = jf.timestamp;
+        p.attempt.end = jf.EndTime();
+        p.attempt.transmitter = f.addr2;
+        p.attempt.receiver = f.addr1;
+        p.attempt.rts_jframe = static_cast<std::int64_t>(idx);
+        p.waiting_data = true;
+        // CTS (SIFS + cts air) then SIFS then DATA.
+        p.data_deadline = jf.EndTime() + 2 * kSifs +
+                          TxDurationMicros(f.rate, kCtsBytes) +
+                          config_.ack_slack;
+        return;
+      }
+      case FrameType::kCts: {
+        // Either the CTS response inside an RTS transaction (addr1 names
+        // the RTS sender, who has a pending attempt) or a CTS-to-self
+        // opening a protected transaction for addr1's owner.
+        PendingAttempt& p = pending_[f.addr1];
+        if (p.open && p.waiting_data && p.attempt.rts_jframe >= 0 &&
+            jf.timestamp <= p.data_deadline) {
+          p.attempt.cts_jframe = static_cast<std::int64_t>(idx);
+          p.attempt.end = jf.EndTime();
+          return;
+        }
+        if (p.open) Finalize(p);
+        p.open = true;
+        p.attempt.start = jf.timestamp;
+        p.attempt.end = jf.EndTime();
+        p.attempt.transmitter = f.addr1;
+        p.attempt.cts_jframe = static_cast<std::int64_t>(idx);
+        p.waiting_data = true;
+        // The DATA must begin one SIFS after the CTS; the duration field
+        // bounds the whole transaction.
+        p.data_deadline = jf.EndTime() + kSifs + config_.ack_slack;
+        return;
+      }
+      case FrameType::kAck: {
+        // The ACK's addr1 names the station being acknowledged.
+        auto it = pending_.find(f.addr1);
+        if (it != pending_.end() && it->second.open &&
+            it->second.waiting_ack &&
+            jf.timestamp <= it->second.ack_deadline) {
+          PendingAttempt& p = it->second;
+          p.attempt.ack_jframe = static_cast<std::int64_t>(idx);
+          p.attempt.acked = true;
+          p.attempt.end = jf.EndTime();
+          Finalize(p);
+          return;
+        }
+        // Orphan ACK: its DATA was not captured.  Record an inferred
+        // attempt; the exchange FSM queues it for resolution.
+        ++stats_.orphan_acks;
+        TransmissionAttempt a;
+        a.start = jf.timestamp;
+        a.end = jf.EndTime();
+        a.transmitter = f.addr1;  // the acknowledged sender
+        a.type = FrameType::kData;
+        a.has_sequence = false;
+        a.acked = true;
+        a.inferred = true;
+        a.ack_jframe = static_cast<std::int64_t>(idx);
+        ++stats_.attempts;
+        ++stats_.attempts_inferred;
+        out_.push_back(a);
+        return;
+      }
+      default:
+        break;  // DATA / MANAGEMENT handled below
+    }
+
+    // DATA or MANAGEMENT frame from f.addr2.
+    PendingAttempt& p = pending_[f.addr2];
+    const bool continues_cts =
+        p.open && p.waiting_data && jf.timestamp <= p.data_deadline;
+    if (p.open && !continues_cts) Finalize(p);
+    if (!continues_cts) {
+      p.open = true;
+      p.attempt.start = jf.timestamp;
+      p.attempt.transmitter = f.addr2;
+    }
+    p.waiting_data = false;
+    p.attempt.end = jf.EndTime();
+    p.attempt.receiver = f.addr1;
+    p.attempt.type = f.type;
+    p.attempt.sequence = f.sequence;
+    p.attempt.has_sequence = true;
+    p.attempt.retry = f.retry;
+    p.attempt.broadcast = !f.addr1.IsUnicast();
+    p.attempt.rate = f.rate;
+    p.attempt.data_jframe = static_cast<std::int64_t>(idx);
+    if (p.attempt.cts_jframe >= 0 && !continues_cts) p.attempt.inferred = true;
+
+    if (p.attempt.broadcast) {
+      Finalize(p);
+      return;
+    }
+    // The duration field advertises exactly when the ACK transaction ends
+    // (Section 5.1: critical when frames are missing from the trace).
+    const Micros reserve =
+        f.duration_us > 0
+            ? static_cast<Micros>(f.duration_us)
+            : kSifs + TxDurationMicros(ControlResponseRate(f.rate), kAckBytes);
+    p.waiting_ack = true;
+    p.ack_deadline = jf.EndTime() + reserve + config_.ack_slack;
+  }
+
+  const std::vector<JFrame>& jframes_;
+  const LinkConfig& config_;
+  LinkStats& stats_;
+  std::unordered_map<MacAddress, PendingAttempt> pending_;
+  std::vector<TransmissionAttempt> out_;
+};
+
+class ExchangeAssembler {
+ public:
+  ExchangeAssembler(const std::vector<TransmissionAttempt>& attempts,
+                    const LinkConfig& config, LinkStats& stats)
+      : attempts_(attempts), config_(config), stats_(stats) {}
+
+  std::vector<FrameExchange> Run() {
+    for (std::size_t i = 0; i < attempts_.size(); ++i) {
+      Process(i);
+    }
+    for (auto& [mac, st] : tx_) {
+      if (st.open) Emit(st);
+    }
+    std::stable_sort(out_.begin(), out_.end(),
+                     [](const FrameExchange& a, const FrameExchange& b) {
+                       return a.start < b.start;
+                     });
+    return std::move(out_);
+  }
+
+ private:
+  struct TxState {
+    std::optional<std::uint16_t> last_seq;
+    bool open = false;
+    FrameExchange exchange;
+    bool any_acked = false;
+  };
+
+  void Emit(TxState& st) {
+    if (!st.open) return;
+    FrameExchange& ex = st.exchange;
+    if (ex.broadcast) {
+      // R1: no ARQ for broadcast; one attempt completes the exchange.
+      ex.outcome = ExchangeOutcome::kDelivered;
+    } else if (st.any_acked) {
+      ex.outcome = ExchangeOutcome::kDelivered;
+    } else if (ex.attempts.size() >= kRetryLimitGuess) {
+      // Retry limit visibly exhausted: the sender gave up.
+      ex.outcome = ExchangeOutcome::kNotDelivered;
+    } else {
+      ex.outcome = ExchangeOutcome::kAmbiguous;
+    }
+    ++stats_.exchanges;
+    if (ex.needed_inference) ++stats_.exchanges_inferred;
+    out_.push_back(std::move(ex));
+    st.open = false;
+    st.exchange = FrameExchange{};
+    st.any_acked = false;
+  }
+
+  void Open(TxState& st, const TransmissionAttempt& a, std::size_t idx) {
+    st.open = true;
+    FrameExchange& ex = st.exchange;
+    ex.transmitter = a.transmitter;
+    ex.receiver = a.receiver;
+    ex.sequence = a.sequence;
+    ex.broadcast = a.broadcast;
+    ex.start = a.start;
+    ex.end = a.end;
+    ex.attempts.push_back(idx);
+    ex.data_jframe = a.data_jframe;
+    ex.needed_inference = a.inferred;
+    st.any_acked = a.acked;
+  }
+
+  void Append(TxState& st, const TransmissionAttempt& a, std::size_t idx) {
+    FrameExchange& ex = st.exchange;
+    ex.end = a.end;
+    ex.attempts.push_back(idx);
+    if (ex.data_jframe < 0) ex.data_jframe = a.data_jframe;
+    ex.needed_inference = ex.needed_inference || a.inferred;
+    st.any_acked = st.any_acked || a.acked;
+  }
+
+  void Process(std::size_t idx) {
+    const TransmissionAttempt& a = attempts_[idx];
+    TxState& st = tx_[a.transmitter];
+
+    // Stale open exchange: close on timeout (almost all exchanges complete
+    // within 500 ms).
+    if (st.open && a.start - st.exchange.end > config_.exchange_timeout) {
+      Emit(st);
+    }
+
+    if (a.broadcast) {  // R1: attempt == exchange, no ARQ
+      if (st.open) Emit(st);
+      Open(st, a, idx);
+      st.exchange.outcome = ExchangeOutcome::kDelivered;
+      Emit(st);
+      // Broadcasts advance the sender's sequence counter too.
+      st.last_seq = a.sequence;
+      return;
+    }
+
+    if (!a.has_sequence) {
+      // Orphan-ACK attempt.  Heuristic (ACKs are less likely lost than
+      // DATA): if the sender has an un-ACKed open exchange, this ACK
+      // acknowledges a retransmission whose DATA we missed.
+      if (st.open && !st.any_acked) {
+        Append(st, a, idx);
+        st.exchange.needed_inference = true;
+        st.any_acked = true;
+      }
+      // Otherwise it cannot be placed; leave it unassigned.
+      return;
+    }
+
+    if (!st.last_seq) {
+      if (st.open) Emit(st);
+      Open(st, a, idx);
+      st.last_seq = a.sequence;
+      return;
+    }
+
+    const std::uint16_t delta =
+        static_cast<std::uint16_t>((a.sequence - *st.last_seq) & 0x0FFF);
+    if (delta == 0 && st.open) {
+      // R2: retransmission of the open exchange.
+      Append(st, a, idx);
+    } else if (delta == 0 && !st.open) {
+      // Late retransmission after we closed (e.g. timeout) — reopen.
+      Open(st, a, idx);
+      st.exchange.needed_inference = true;
+    } else if (delta == 1) {
+      // R3: new exchange.
+      if (st.open) Emit(st);
+      Open(st, a, idx);
+      // If this first attempt carries the retry bit, earlier attempts of
+      // this exchange were missed entirely.
+      if (a.retry) st.exchange.needed_inference = true;
+    } else {
+      // R4: sequence gap — no inference; flush and restart.
+      ++stats_.sequence_gaps_flushed;
+      if (st.open) Emit(st);
+      Open(st, a, idx);
+    }
+    st.last_seq = a.sequence;
+  }
+
+  const std::vector<TransmissionAttempt>& attempts_;
+  const LinkConfig& config_;
+  LinkStats& stats_;
+  std::unordered_map<MacAddress, TxState> tx_;
+  std::vector<FrameExchange> out_;
+};
+
+}  // namespace
+
+LinkReconstruction ReconstructLink(const std::vector<JFrame>& jframes,
+                                   const LinkConfig& config) {
+  LinkReconstruction result;
+  AttemptAssembler attempts(jframes, config, result.stats);
+  result.attempts = attempts.Run();
+  ExchangeAssembler exchanges(result.attempts, config, result.stats);
+  result.exchanges = exchanges.Run();
+  return result;
+}
+
+}  // namespace jig

@@ -1,0 +1,111 @@
+// Link-layer reconstruction (paper Section 5.1, Figure 5).
+//
+// Two stages over the time-ordered jframe stream:
+//
+//  1. Transmission attempts — group the jframes of one MAC transaction
+//     (optional CTS-to-self, the DATA/MANAGEMENT frame, the trailing ACK)
+//     using addresses plus duration-field timing: a DATA frame's duration
+//     tells exactly when its ACK, if any, must have arrived, which prevents
+//     mis-assigning an ACK to an earlier frame when the trace has holes.
+//
+//  2. Frame exchanges — group attempts (original + retransmissions) into
+//     complete delivery efforts using the per-sender sequence number delta
+//     rules (R1 broadcast, R2 delta-0 retransmission, R3 delta-1 new
+//     exchange, R4 gap: flush without inference) plus the paper's
+//     heuristics (ACKs are less likely lost than DATA, rates never climb
+//     on retry, exchanges complete within 500 ms).
+//
+// Delivery from a passive vantage is inherently ambiguous: a missing ACK
+// means either loss or an unobserved ACK.  Exchanges carry a three-way
+// outcome; Section 5.2's TCP oracle resolves the ambiguous ones.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "jigsaw/jframe.h"
+
+namespace jig {
+
+struct TransmissionAttempt {
+  UniversalMicros start = 0;  // first jframe of the transaction
+  UniversalMicros end = 0;    // end of the last jframe of the transaction
+  MacAddress transmitter;
+  MacAddress receiver;
+  FrameType type = FrameType::kData;
+  std::uint16_t sequence = 0;
+  bool has_sequence = false;
+  bool retry = false;
+  bool broadcast = false;
+  PhyRate rate = PhyRate::kB1;
+
+  // Indices into the source jframe vector (-1 when that piece was not
+  // observed).
+  std::int64_t rts_jframe = -1;
+  std::int64_t cts_jframe = -1;  // CTS-to-self or CTS response
+  std::int64_t data_jframe = -1;
+  std::int64_t ack_jframe = -1;
+
+  bool acked = false;          // trailing ACK observed in the trace
+  bool inferred = false;       // assembled via inference (missing pieces)
+};
+
+enum class ExchangeOutcome : std::uint8_t {
+  kDelivered,     // ACK observed for some attempt
+  kNotDelivered,  // retry limit exhausted / abandoned without any ACK
+  kAmbiguous,     // no ACK observed, but loss cannot be concluded
+};
+
+struct FrameExchange {
+  MacAddress transmitter;
+  MacAddress receiver;
+  std::uint16_t sequence = 0;
+  bool broadcast = false;
+  UniversalMicros start = 0;
+  UniversalMicros end = 0;
+  std::vector<std::size_t> attempts;  // indices into the attempt vector
+  ExchangeOutcome outcome = ExchangeOutcome::kAmbiguous;
+  bool needed_inference = false;
+  // jframe index of the DATA content (payload source for transport
+  // reconstruction); -1 if only control frames were seen.
+  std::int64_t data_jframe = -1;
+};
+
+struct LinkStats {
+  std::uint64_t attempts = 0;
+  std::uint64_t attempts_inferred = 0;
+  std::uint64_t exchanges = 0;
+  std::uint64_t exchanges_inferred = 0;
+  std::uint64_t orphan_acks = 0;
+  std::uint64_t sequence_gaps_flushed = 0;
+
+  double AttemptInferenceRate() const {
+    return attempts ? static_cast<double>(attempts_inferred) / attempts : 0.0;
+  }
+  double ExchangeInferenceRate() const {
+    return exchanges ? static_cast<double>(exchanges_inferred) / exchanges
+                     : 0.0;
+  }
+};
+
+struct LinkReconstruction {
+  std::vector<TransmissionAttempt> attempts;
+  std::vector<FrameExchange> exchanges;
+  LinkStats stats;
+};
+
+struct LinkConfig {
+  // Slack beyond the duration-field deadline for accepting an ACK.
+  Micros ack_slack = 40;
+  // An exchange is closed if idle longer than this (paper: almost all frame
+  // exchanges complete within 500 ms).
+  Micros exchange_timeout = Milliseconds(500);
+};
+
+// Reconstructs attempts and exchanges from time-ordered jframes.
+LinkReconstruction ReconstructLink(const std::vector<JFrame>& jframes,
+                                   const LinkConfig& config = {});
+
+}  // namespace jig

@@ -1,0 +1,67 @@
+#include "jigsaw/online.h"
+
+#include "wifi/channel.h"
+
+namespace jig {
+
+void OnlineMonitor::CloseWindow() {
+  if (!window_open_) return;
+  current_.airtime_fraction =
+      airtime_us_ / static_cast<double>(width_) /
+      static_cast<double>(kAllChannels.size());
+  current_.broadcast_airtime_fraction =
+      broadcast_airtime_us_ / static_cast<double>(width_) /
+      static_cast<double>(kAllChannels.size());
+  current_.active_clients = static_cast<int>(clients_.size());
+  current_.active_aps = static_cast<int>(aps_.size());
+  sink_(current_);
+  ++windows_emitted_;
+  window_open_ = false;
+}
+
+void OnlineMonitor::OnJFrame(const JFrame& jf) {
+  if (window_open_ && jf.timestamp >= current_.window_start + width_) {
+    CloseWindow();
+  }
+  if (!window_open_) {
+    window_open_ = true;
+    current_ = OnlineWindowStats{};
+    // Windows align to multiples of width from the first-seen timestamp's
+    // window, so idle gaps skip windows rather than stretching one.
+    current_.window_start = jf.timestamp - (jf.timestamp % width_);
+    current_.width = width_;
+    airtime_us_ = 0.0;
+    broadcast_airtime_us_ = 0.0;
+    clients_.clear();
+    aps_.clear();
+  }
+
+  ++current_.jframes;
+  const Frame& f = jf.frame;
+  if (IsControl(f.type)) {
+    ++current_.ctrl_frames;
+  } else if (IsManagement(f.type)) {
+    ++current_.mgmt_frames;
+  } else {
+    ++current_.data_frames;
+  }
+  for (const FrameInstance& inst : jf.instances) {
+    if (inst.outcome != RxOutcome::kOk) ++current_.corrupted_instances;
+  }
+  current_.bytes_on_air += jf.wire_len;
+  const double air = static_cast<double>(TxDurationMicros(jf.rate,
+                                                          jf.wire_len));
+  airtime_us_ += air;
+  if (!f.addr1.IsUnicast()) broadcast_airtime_us_ += air;
+  current_.worst_dispersion =
+      std::max(current_.worst_dispersion, jf.dispersion);
+
+  if (f.HasTransmitter()) {
+    if (f.addr2.IsClientTag()) clients_.insert(f.addr2);
+    if (f.addr2.IsApTag()) aps_.insert(f.addr2);
+  }
+}
+
+void OnlineMonitor::Flush() { CloseWindow(); }
+
+}  // namespace jig

@@ -1,0 +1,69 @@
+// Online monitoring: streaming per-window statistics from the live merge.
+//
+// The paper's efficiency requirement exists precisely so Jigsaw can run
+// online ("To permit online applications, trace merging should execute
+// faster than real-time", Section 4) — the operators' closing questions
+// ("Why is the network slow?") need answers while the network is slow.
+// OnlineMonitor consumes the jframe stream (MergeTracesStreaming's sink, or
+// any time-ordered source) and emits one statistics record per wall-clock
+// window: activity, traffic mix, air-time utilization and synchronization
+// health.
+#pragma once
+
+#include <functional>
+#include <unordered_set>
+
+#include "jigsaw/jframe.h"
+#include "wifi/packet.h"
+
+namespace jig {
+
+struct OnlineWindowStats {
+  UniversalMicros window_start = 0;
+  Micros width = 0;
+  std::uint64_t jframes = 0;
+  std::uint64_t data_frames = 0;
+  std::uint64_t mgmt_frames = 0;
+  std::uint64_t ctrl_frames = 0;
+  std::uint64_t corrupted_instances = 0;
+  std::uint64_t bytes_on_air = 0;
+  // Mean air-time utilization across the monitored channels.
+  double airtime_fraction = 0.0;
+  double broadcast_airtime_fraction = 0.0;
+  int active_clients = 0;
+  int active_aps = 0;
+  // Synchronization health: worst jframe dispersion in the window.
+  Micros worst_dispersion = 0;
+};
+
+class OnlineMonitor {
+ public:
+  using WindowSink = std::function<void(const OnlineWindowStats&)>;
+
+  OnlineMonitor(Micros window_width, WindowSink sink)
+      : width_(window_width), sink_(std::move(sink)) {}
+
+  // Feed jframes in timestamp order (exactly what the streaming merge
+  // delivers).  Completed windows are emitted as they close.
+  void OnJFrame(const JFrame& jf);
+
+  // Emits the final partial window, if any.
+  void Flush();
+
+  std::uint64_t windows_emitted() const { return windows_emitted_; }
+
+ private:
+  void CloseWindow();
+
+  Micros width_;
+  WindowSink sink_;
+  bool window_open_ = false;
+  OnlineWindowStats current_;
+  double airtime_us_ = 0.0;
+  double broadcast_airtime_us_ = 0.0;
+  std::unordered_set<MacAddress> clients_;
+  std::unordered_set<MacAddress> aps_;
+  std::uint64_t windows_emitted_ = 0;
+};
+
+}  // namespace jig

@@ -1,0 +1,65 @@
+#include "jigsaw/pipeline.h"
+
+#include <algorithm>
+#include <map>
+
+namespace jig {
+namespace {
+
+// Min-buffer that releases jframes once the emit frontier passes them.
+class ReorderBuffer {
+ public:
+  ReorderBuffer(Micros horizon, std::function<void(JFrame&&)> sink)
+      : horizon_(horizon), sink_(std::move(sink)) {}
+
+  void Push(JFrame&& jf) {
+    frontier_ = std::max(frontier_, jf.timestamp);
+    buffer_.emplace(jf.timestamp, std::move(jf));
+    Drain(frontier_ - horizon_);
+  }
+
+  void Flush() { Drain(std::numeric_limits<UniversalMicros>::max()); }
+
+ private:
+  void Drain(UniversalMicros up_to) {
+    while (!buffer_.empty() && buffer_.begin()->first <= up_to) {
+      sink_(std::move(buffer_.begin()->second));
+      buffer_.erase(buffer_.begin());
+    }
+  }
+
+  Micros horizon_;
+  std::function<void(JFrame&&)> sink_;
+  std::multimap<UniversalMicros, JFrame> buffer_;
+  UniversalMicros frontier_ = std::numeric_limits<UniversalMicros>::min();
+};
+
+}  // namespace
+
+MergeStreamStats MergeTracesStreaming(TraceSet& traces,
+                                      const MergeConfig& config,
+                                      std::function<void(JFrame&&)> sink) {
+  MergeStreamStats out;
+  out.bootstrap = BootstrapSynchronize(traces, config.bootstrap);
+  ReorderBuffer reorder(std::max(config.reorder_horizon,
+                                 config.unifier.search_window * 2),
+                        std::move(sink));
+  Unifier unifier(traces, out.bootstrap, config.unifier,
+                  [&reorder](JFrame&& jf) { reorder.Push(std::move(jf)); });
+  unifier.Run();
+  reorder.Flush();
+  out.stats = unifier.stats();
+  return out;
+}
+
+MergeResult MergeTraces(TraceSet& traces, const MergeConfig& config) {
+  MergeResult result;
+  auto stream = MergeTracesStreaming(
+      traces, config,
+      [&result](JFrame&& jf) { result.jframes.push_back(std::move(jf)); });
+  result.bootstrap = std::move(stream.bootstrap);
+  result.stats = stream.stats;
+  return result;
+}
+
+}  // namespace jig

@@ -1,0 +1,45 @@
+// End-to-end merge pipeline: bootstrap → unify → time-ordered jframes.
+//
+// Wraps bootstrap synchronization and the streaming unifier behind one
+// call, and restores exact timestamp ordering with a bounded reorder buffer
+// (the unifier emits jframes in seed-pop order, which can run a few
+// microseconds ahead of a slightly earlier group still forming).  The merge
+// is a single pass over each trace — the paper's efficiency requirement for
+// online operation.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "jigsaw/bootstrap.h"
+#include "jigsaw/unifier.h"
+
+namespace jig {
+
+struct MergeConfig {
+  BootstrapConfig bootstrap;
+  UnifierConfig unifier;
+  // Reorder horizon: jframes are released once the stream has advanced this
+  // far past them.  Must exceed the search window.
+  Micros reorder_horizon = Milliseconds(50);
+};
+
+struct MergeResult {
+  std::vector<JFrame> jframes;  // strictly time-ordered
+  BootstrapResult bootstrap;
+  UnifyStats stats;
+};
+
+// Convenience batch merge: collects every jframe in memory.
+MergeResult MergeTraces(TraceSet& traces, const MergeConfig& config = {});
+
+// Streaming variant: jframes are delivered to `sink` in timestamp order.
+struct MergeStreamStats {
+  BootstrapResult bootstrap;
+  UnifyStats stats;
+};
+MergeStreamStats MergeTracesStreaming(TraceSet& traces,
+                                      const MergeConfig& config,
+                                      std::function<void(JFrame&&)> sink);
+
+}  // namespace jig

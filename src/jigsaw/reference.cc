@@ -1,0 +1,30 @@
+#include "jigsaw/reference.h"
+
+namespace jig {
+
+bool IsUniqueReference(const CaptureRecord& rec) {
+  // FCS validity comes from the capture hardware's verdict (rec.outcome):
+  // snap-length truncation means the FCS bytes themselves may not be in the
+  // capture, exactly as with real radiotap captures.
+  if (rec.outcome != RxOutcome::kOk) return false;
+  if (rec.bytes.size() < 24) return false;  // needs a full DATA/MGMT header
+  const auto parsed = ParseFrame(rec.bytes, rec.rate);
+  if (!parsed) return false;
+  const Frame& f = parsed->frame;
+  if (!f.HasSequence()) return false;          // ACK/CTS/RTS: identical bytes
+  if (f.retry) return false;                   // retransmissions repeat bytes
+  if (f.type == FrameType::kProbeRequest) return false;  // zero-seq stations
+  return true;
+}
+
+std::optional<ParsedFrame> ParseCapture(const CaptureRecord& rec) {
+  if (rec.bytes.empty()) return std::nullopt;
+  return ParseFrame(rec.bytes, rec.rate);
+}
+
+ContentKey MakeContentKey(std::span<const std::uint8_t> bytes) {
+  return ContentKey{static_cast<std::uint32_t>(bytes.size()),
+                    ContentDigest(bytes)};
+}
+
+}  // namespace jig

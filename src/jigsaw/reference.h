@@ -1,0 +1,45 @@
+// "Unique frame" identification for synchronization (paper Section 4.1).
+//
+// Not every frame can serve as a clock reference: ACKs to the same station
+// are byte-identical, some stations zero their probe sequence numbers, and
+// retransmissions are indistinguishable from one another.  Jigsaw therefore
+// drives all synchronization from frames whose bytes identify a single
+// physical transmission: FCS-valid DATA/MANAGEMENT frames carrying a
+// sequence number with the retry bit clear, excluding probe requests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "trace/record.h"
+#include "wifi/frame.h"
+
+namespace jig {
+
+// Cheap structural check on captured bytes: parses the frame control field
+// only.  Returns true when the capture can anchor synchronization.
+bool IsUniqueReference(const CaptureRecord& rec);
+
+// Full parse used by unification; nullopt when bytes are unparseable.
+std::optional<ParsedFrame> ParseCapture(const CaptureRecord& rec);
+
+// Content identity key for grouping instances across radios: length plus a
+// 64-bit digest of the captured bytes.  Equality of keys is always
+// confirmed by byte comparison before unification.
+struct ContentKey {
+  std::uint32_t length = 0;
+  std::uint64_t digest = 0;
+  bool operator==(const ContentKey&) const = default;
+};
+
+ContentKey MakeContentKey(std::span<const std::uint8_t> bytes);
+
+}  // namespace jig
+
+template <>
+struct std::hash<jig::ContentKey> {
+  std::size_t operator()(const jig::ContentKey& k) const noexcept {
+    return std::hash<std::uint64_t>{}(k.digest ^ (std::uint64_t{k.length} << 32));
+  }
+};

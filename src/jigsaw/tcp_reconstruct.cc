@@ -1,0 +1,281 @@
+#include "jigsaw/tcp_reconstruct.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace jig {
+namespace {
+
+// 32-bit sequence-space comparisons.
+bool SeqLt(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b) < 0;
+}
+bool SeqLeq(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b) <= 0;
+}
+
+struct FlowKeyHash {
+  std::size_t operator()(const TcpFlowKey& k) const noexcept {
+    std::uint64_t v = (static_cast<std::uint64_t>(k.client_ip) << 32) ^
+                      k.server_ip;
+    v ^= (static_cast<std::uint64_t>(k.client_port) << 48) ^
+         (static_cast<std::uint64_t>(k.server_port) << 32);
+    return std::hash<std::uint64_t>{}(v);
+  }
+};
+
+struct Observation {
+  UniversalMicros time = 0;
+  std::size_t exchange = 0;
+  bool downstream = false;
+  TcpSegment seg;
+};
+
+// Per-direction reassembly state.
+struct DirState {
+  // Merged [start, end) spans of payload observed on the air.
+  std::map<std::uint32_t, std::uint32_t> seen;
+  // First observation of each distinct data segment start.
+  std::unordered_map<std::uint32_t, Observation> first_tx;
+  // Ambiguous data-bearing exchanges awaiting a covering ACK:
+  // end-seq -> (exchange idx, observation time).
+  std::multimap<std::uint32_t, std::size_t> awaiting_cover;
+  std::uint32_t highest_ack_from_peer = 0;
+  bool any_ack_from_peer = false;
+};
+
+struct FlowState {
+  TcpFlowRecord record;
+  DirState down;  // server -> client payload
+  DirState up;    // client -> server payload
+  UniversalMicros syn_time = -1;
+  UniversalMicros synack_time = -1;
+  bool saw_syn = false;
+  bool saw_synack = false;
+};
+
+// Inserts [s, e) into the span map, merging; returns bytes newly covered.
+// Flows never span 4 GB here, so plain unsigned ordering holds within one
+// flow's lifetime; wraparound flows would need sequence epoching.
+std::uint64_t InsertSpan(std::map<std::uint32_t, std::uint32_t>& spans,
+                         std::uint32_t s, std::uint32_t e) {
+  if (s >= e) return 0;
+  // Count bytes of [s, e) already covered by overlapping spans.
+  std::uint64_t covered = 0;
+  auto it = spans.lower_bound(s);
+  if (it != spans.begin() && std::prev(it)->second > s) --it;
+  auto scan = it;
+  while (scan != spans.end() && scan->first < e) {
+    const std::uint32_t lo = std::max(scan->first, s);
+    const std::uint32_t hi = std::min(scan->second, e);
+    if (hi > lo) covered += hi - lo;
+    ++scan;
+  }
+  const std::uint64_t added = (e - s) - covered;
+  // Merge: extend to swallow all overlapping/adjacent spans.
+  std::uint32_t new_s = s, new_e = e;
+  while (it != spans.end() && it->first <= e) {
+    new_s = std::min(new_s, it->first);
+    new_e = std::max(new_e, it->second);
+    it = spans.erase(it);
+  }
+  spans[new_s] = new_e;
+  return added;
+}
+
+}  // namespace
+
+TransportReconstruction ReconstructTransport(
+    const std::vector<JFrame>& jframes, const LinkReconstruction& link) {
+  TransportReconstruction out;
+  out.exchange_delivered.assign(link.exchanges.size(), std::nullopt);
+
+  std::unordered_map<TcpFlowKey, FlowState, FlowKeyHash> flows;
+  std::vector<const TcpFlowKey*> flow_order;
+
+  for (std::size_t ei = 0; ei < link.exchanges.size(); ++ei) {
+    const FrameExchange& ex = link.exchanges[ei];
+    // Seed the verdict with the link layer's view.
+    if (!ex.broadcast) {
+      if (ex.outcome == ExchangeOutcome::kDelivered) {
+        out.exchange_delivered[ei] = true;
+      } else if (ex.outcome == ExchangeOutcome::kNotDelivered) {
+        out.exchange_delivered[ei] = false;
+      }
+    }
+    if (ex.data_jframe < 0 || ex.broadcast) continue;
+    const JFrame& jf = jframes[static_cast<std::size_t>(ex.data_jframe)];
+    if (jf.frame.type != FrameType::kData) continue;
+    const auto info = ParseFrameBody(jf.frame.body);
+    if (!info || !info->IsTcp()) continue;
+    ++out.stats.tcp_segments;
+
+    const bool downstream = jf.frame.from_ds;
+    TcpFlowKey key;
+    if (downstream) {
+      key.client_ip = info->dst_ip;
+      key.server_ip = info->src_ip;
+      key.client_port = info->tcp->dst_port;
+      key.server_port = info->tcp->src_port;
+    } else {
+      key.client_ip = info->src_ip;
+      key.server_ip = info->dst_ip;
+      key.client_port = info->tcp->src_port;
+      key.server_port = info->tcp->dst_port;
+    }
+
+    auto [it, inserted] = flows.try_emplace(key);
+    FlowState& fs = it->second;
+    if (inserted) {
+      fs.record.key = key;
+      fs.record.start = ex.start;
+      flow_order.push_back(&it->first);
+    }
+    fs.record.end = std::max(fs.record.end, ex.end);
+
+    const TcpSegment& seg = *info->tcp;
+    Observation obs{ex.start, ei, downstream, seg};
+
+    // --- Handshake tracking -------------------------------------------
+    if (seg.Syn() && !seg.HasAck() && !downstream) {
+      fs.saw_syn = true;
+      fs.syn_time = ex.start;
+    } else if (seg.Syn() && seg.HasAck() && downstream) {
+      if (fs.saw_syn && !fs.saw_synack) {
+        fs.saw_synack = true;
+        fs.synack_time = ex.start;
+        fs.record.wired_rtt_ms =
+            static_cast<double>(ex.start - fs.syn_time) / 1000.0;
+      }
+    } else if (!downstream && seg.HasAck() && fs.saw_synack &&
+               !fs.record.handshake_complete) {
+      fs.record.handshake_complete = true;
+      fs.record.wireless_rtt_ms =
+          static_cast<double>(ex.start - fs.synack_time) / 1000.0;
+    }
+
+    DirState& dir = downstream ? fs.down : fs.up;
+    DirState& peer = downstream ? fs.up : fs.down;
+
+    // --- Data segment accounting ---------------------------------------
+    if (seg.payload_len > 0) {
+      if (downstream) {
+        ++fs.record.segments_down;
+      } else {
+        ++fs.record.segments_up;
+      }
+      const std::uint32_t end_seq = seg.seq + seg.payload_len;
+
+      auto prior = dir.first_tx.find(seg.seq);
+      if (prior == dir.first_tx.end()) {
+        dir.first_tx.emplace(seg.seq, obs);
+        const std::uint64_t fresh = InsertSpan(dir.seen, seg.seq, end_seq);
+        if (downstream) {
+          fs.record.bytes_down += fresh;
+        } else {
+          fs.record.bytes_up += fresh;
+        }
+        // If the link layer could not tell whether this frame was
+        // delivered, register for the covering-ACK oracle.
+        if (ex.outcome == ExchangeOutcome::kAmbiguous) {
+          dir.awaiting_cover.emplace(end_seq, ei);
+        }
+      } else {
+        // TCP-level retransmission: a loss event for the original.
+        TcpLossEvent loss;
+        loss.time = ex.start;
+        loss.downstream = downstream;
+        loss.seq = seg.seq;
+        const Observation& orig = prior->second;
+        const FrameExchange& orig_ex = link.exchanges[orig.exchange];
+        const bool covered_before_rtx =
+            dir.any_ack_from_peer &&
+            SeqLt(end_seq, dir.highest_ack_from_peer + 1);
+        if (orig_ex.outcome == ExchangeOutcome::kNotDelivered) {
+          loss.cause = LossCause::kWireless;
+        } else if (covered_before_rtx) {
+          // The receiver's TCP ACK covering this segment crossed the air:
+          // the data made it end-to-end over the wireless hop, so the loss
+          // (or spurious timeout) happened in the wired path.
+          loss.cause = LossCause::kWired;
+        } else if (orig_ex.outcome == ExchangeOutcome::kDelivered) {
+          // The frame crossed the air but no covering TCP ACK appeared:
+          // the ACK itself was lost, and its first hop is the air when the
+          // receiver is the wireless client (downstream data).
+          loss.cause =
+              downstream ? LossCause::kWireless : LossCause::kWired;
+        } else {
+          // Ambiguous link outcome and no covering ACK: the weight of
+          // evidence says the air ate it.
+          loss.cause = LossCause::kWireless;
+        }
+        fs.record.losses.push_back(loss);
+        // Track the retransmission for subsequent oracle decisions.
+        prior->second = obs;
+        if (ex.outcome == ExchangeOutcome::kAmbiguous) {
+          dir.awaiting_cover.emplace(end_seq, ei);
+        }
+      }
+    }
+
+    // --- ACK processing: oracle + hole inference -----------------------
+    if (seg.HasAck()) {
+      // This segment acknowledges payload flowing in the opposite
+      // direction (stored in `peer`).
+      if (!peer.any_ack_from_peer ||
+          SeqLt(peer.highest_ack_from_peer, seg.ack)) {
+        peer.highest_ack_from_peer = seg.ack;
+        peer.any_ack_from_peer = true;
+
+        // Covering-ACK oracle: every ambiguous exchange whose payload ends
+        // at or before the ACK point was in fact delivered.
+        auto wit = peer.awaiting_cover.begin();
+        while (wit != peer.awaiting_cover.end() &&
+               SeqLeq(wit->first, seg.ack)) {
+          out.exchange_delivered[wit->second] = true;
+          ++fs.record.covering_ack_resolutions;
+          wit = peer.awaiting_cover.erase(wit);
+        }
+
+        // Hole inference: acknowledged bytes never seen on the air imply
+        // complete frame exchanges that every monitor missed.
+        if (!peer.seen.empty()) {
+          const std::uint32_t base = peer.seen.begin()->first;
+          std::uint32_t cursor = base;
+          std::uint32_t holes = 0;
+          for (const auto& [s, e] : peer.seen) {
+            if (SeqLt(cursor, s) && SeqLeq(s, seg.ack)) {
+              holes += s - cursor;
+            }
+            cursor = std::max(cursor, e);
+          }
+          if (holes > 0) {
+            const std::uint32_t segs = (holes + 1459) / 1460;
+            fs.record.inferred_missing_segments += segs;
+            // Mark the gaps as accounted so they are not re-inferred.
+            InsertSpan(peer.seen, base, std::min(seg.ack, cursor));
+          }
+        }
+      }
+    }
+  }
+
+  // Finalize.
+  out.flows.reserve(flows.size());
+  for (const TcpFlowKey* key : flow_order) {
+    FlowState& fs = flows.at(*key);
+    ++out.stats.flows_total;
+    if (fs.record.handshake_complete) ++out.stats.flows_with_handshake;
+    out.stats.loss_events += fs.record.losses.size();
+    out.stats.wireless_losses += fs.record.LossesBy(LossCause::kWireless);
+    out.stats.wired_losses += fs.record.LossesBy(LossCause::kWired);
+    out.stats.covering_ack_resolutions += fs.record.covering_ack_resolutions;
+    out.stats.inferred_missing_segments +=
+        fs.record.inferred_missing_segments;
+    out.flows.push_back(std::move(fs.record));
+  }
+  return out;
+}
+
+}  // namespace jig

@@ -1,0 +1,103 @@
+// Transport-layer reconstruction and inference (paper Section 5.2).
+//
+// Rebuilds TCP flows from the frame exchanges' payload bytes (a variant of
+// Jaiswal et al.'s passive analysis) and uses transport side effects to
+// resolve the two ambiguities unique to the passive-wireless vantage:
+//
+//  * Delivery oracle — an exchange with no observed ACK is ambiguous at the
+//    link layer; but if a later TCP ACK from the receiver covers the
+//    segment's sequence range, the frame must have been delivered.
+//  * Monitor omissions — a TCP ACK covering a sequence hole that never
+//    appeared on the air in any observed exchange implies a frame exchange
+//    completed entirely unobserved; its presence is inferred.
+//
+// Each TCP loss event (a retransmission) is classified as wireless (the
+// original segment's frame exchange failed on the air) or wired (the
+// original was delivered over the air — or never reached the air — so the
+// loss happened in the distribution network / Internet), which is exactly
+// the split Figure 11 reports.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "jigsaw/link.h"
+#include "wifi/packet.h"
+
+namespace jig {
+
+struct TcpFlowKey {
+  Ipv4Addr client_ip = 0;  // the wireless side
+  Ipv4Addr server_ip = 0;
+  std::uint16_t client_port = 0;
+  std::uint16_t server_port = 0;
+  bool operator==(const TcpFlowKey&) const = default;
+};
+
+enum class LossCause : std::uint8_t { kWireless, kWired, kUnknown };
+
+struct TcpLossEvent {
+  UniversalMicros time = 0;       // when the retransmission was observed
+  bool downstream = false;        // server -> client
+  std::uint32_t seq = 0;
+  LossCause cause = LossCause::kUnknown;
+};
+
+struct TcpFlowRecord {
+  TcpFlowKey key;
+  bool handshake_complete = false;
+  UniversalMicros start = 0;
+  UniversalMicros end = 0;
+  // Data segments observed on the air (including retransmissions).
+  std::uint32_t segments_down = 0;
+  std::uint32_t segments_up = 0;
+  std::uint64_t bytes_down = 0;
+  std::uint64_t bytes_up = 0;
+  std::vector<TcpLossEvent> losses;
+  // Passive RTT components measured at the handshake (ms).
+  double wired_rtt_ms = -1.0;     // SYN -> SYN/ACK
+  double wireless_rtt_ms = -1.0;  // SYN/ACK -> first client ACK
+  std::uint32_t covering_ack_resolutions = 0;
+  std::uint32_t inferred_missing_segments = 0;
+
+  std::uint32_t DataSegments() const { return segments_down + segments_up; }
+  std::uint32_t LossesBy(LossCause c) const {
+    std::uint32_t n = 0;
+    for (const auto& l : losses) {
+      if (l.cause == c) ++n;
+    }
+    return n;
+  }
+  double LossRate() const {
+    return DataSegments()
+               ? static_cast<double>(losses.size()) / DataSegments()
+               : 0.0;
+  }
+};
+
+struct TransportStats {
+  std::uint64_t tcp_segments = 0;
+  std::uint64_t flows_total = 0;
+  std::uint64_t flows_with_handshake = 0;
+  std::uint64_t loss_events = 0;
+  std::uint64_t wireless_losses = 0;
+  std::uint64_t wired_losses = 0;
+  std::uint64_t covering_ack_resolutions = 0;
+  std::uint64_t inferred_missing_segments = 0;
+};
+
+struct TransportReconstruction {
+  std::vector<TcpFlowRecord> flows;
+  TransportStats stats;
+  // Final per-exchange delivery verdict for data-bearing exchanges, after
+  // applying the covering-ACK oracle to ambiguous ones.  Indexed parallel
+  // to the LinkReconstruction's exchanges; nullopt = still unknown.
+  std::vector<std::optional<bool>> exchange_delivered;
+};
+
+// Reconstructs flows from time-ordered jframes + link exchanges.
+TransportReconstruction ReconstructTransport(
+    const std::vector<JFrame>& jframes, const LinkReconstruction& link);
+
+}  // namespace jig

@@ -1,0 +1,196 @@
+#include "jigsaw/unifier.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace jig {
+
+Unifier::Unifier(TraceSet& traces, const BootstrapResult& bootstrap,
+                 UnifierConfig config, JFrameSink sink)
+    : traces_(traces), config_(config), sink_(std::move(sink)) {
+  const std::size_t n = traces_.size();
+  clocks_.reserve(n);
+  heads_.resize(n);
+  active_.assign(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    clocks_.emplace_back(bootstrap.synced[i] ? bootstrap.offset_us[i] : 0.0,
+                         config_.skew_ewma_alpha, config_.min_skew_elapsed,
+                         config_.compensate_skew);
+    active_[i] = bootstrap.synced[i];
+  }
+  traces_.RewindAll();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (active_[i]) Refill(i);
+  }
+}
+
+void Unifier::Refill(std::size_t trace) {
+  heads_[trace].reset();
+  while (auto rec = traces_.at(trace).Next()) {
+    ++stats_.events_in;
+    switch (rec->outcome) {
+      case RxOutcome::kOk:
+        ++stats_.valid_in;
+        break;
+      case RxOutcome::kFcsError:
+        ++stats_.fcs_error_in;
+        break;
+      case RxOutcome::kPhyError:
+        // PHY errors carry no content to unify; they are trace events only
+        // (they count toward Table 1's error fraction).
+        ++stats_.phy_error_in;
+        continue;
+      case RxOutcome::kNotHeard:
+        continue;
+    }
+    Head head;
+    head.valid_frame = rec->outcome == RxOutcome::kOk;
+    head.unique_reference = head.valid_frame && IsUniqueReference(*rec);
+    head.key = MakeContentKey(rec->bytes);
+    head.universal = clocks_[trace].ToUniversal(rec->timestamp);
+    head.record = std::move(*rec);
+    heads_[trace] = std::move(head);
+    queue_.insert(QueueEntry{heads_[trace]->universal, trace});
+    return;
+  }
+  active_[trace] = false;  // exhausted
+}
+
+bool Unifier::Step(std::size_t max_jframes) {
+  for (std::size_t i = 0; i < max_jframes; ++i) {
+    if (queue_.empty()) return false;
+    ProcessOneGroup();
+  }
+  return !queue_.empty();
+}
+
+void Unifier::Run() {
+  while (!queue_.empty()) ProcessOneGroup();
+}
+
+void Unifier::ProcessOneGroup() {
+  // Pop the earliest instance and everything within the search window.
+  const QueueEntry seed_entry = *queue_.begin();
+  queue_.erase(queue_.begin());
+  std::vector<std::size_t> candidates;  // trace indices, heads_ populated
+  candidates.push_back(seed_entry.trace);
+  const double window_end =
+      seed_entry.universal + static_cast<double>(config_.search_window);
+  while (!queue_.empty() && queue_.begin()->universal <= window_end) {
+    candidates.push_back(queue_.begin()->trace);
+    queue_.erase(queue_.begin());
+  }
+
+  // Choose the representative: the first FCS-valid candidate matching the
+  // seed's identity; if the seed itself is corrupted, any valid candidate
+  // with the same length/rate stands in.
+  const Head& seed = *heads_[seed_entry.trace];
+  std::size_t rep_trace = seed_entry.trace;
+  if (!seed.valid_frame) {
+    for (std::size_t t : candidates) {
+      const Head& h = *heads_[t];
+      if (h.valid_frame && h.record.orig_len == seed.record.orig_len &&
+          h.record.rate == seed.record.rate) {
+        rep_trace = t;
+        break;
+      }
+    }
+  }
+  const Head& rep = *heads_[rep_trace];
+
+  // Partition candidates into the jframe group vs. reinserted leftovers.
+  std::vector<std::size_t> group;
+  std::vector<std::size_t> leftovers;
+  // Identical bytes can recur quickly for non-unique frames; bound the
+  // acceptable spread accordingly.
+  const double match_limit =
+      rep.unique_reference ? static_cast<double>(config_.search_window)
+                           : static_cast<double>(config_.duplicate_window);
+  for (std::size_t t : candidates) {
+    const Head& h = *heads_[t];
+    bool matches = false;
+    const double spread = std::abs(h.universal - rep.universal);
+    if (&h == &rep) {
+      matches = true;
+    } else if (spread > match_limit) {
+      matches = false;
+    } else if (h.valid_frame) {
+      // Short-circuit on length/rate/digest; confirm with byte comparison
+      // (simultaneous distinct transmissions must not unify).
+      matches = rep.valid_frame && h.key == rep.key &&
+                h.record.rate == rep.record.rate &&
+                h.record.bytes == rep.record.bytes;
+    } else {
+      // Corrupted instance: attach by physical identity (length + rate);
+      // contents are unusable (paper: matched on the transmitter field,
+      // never used for higher layers).
+      matches = h.record.orig_len == rep.record.orig_len &&
+                h.record.rate == rep.record.rate;
+    }
+    (matches ? group : leftovers).push_back(t);
+  }
+  for (std::size_t t : leftovers) {
+    queue_.insert(QueueEntry{heads_[t]->universal, t});
+  }
+
+  if (!rep.valid_frame) {
+    // No decodable instance anywhere in the window: the event cannot join a
+    // jframe.  (Group is the corrupted seed, possibly plus other corrupted
+    // instances — drop them all.)
+    for (std::size_t t : group) {
+      ++stats_.error_events_dropped;
+      Refill(t);
+    }
+    return;
+  }
+
+  // Median timestamp over valid instances.
+  std::vector<double> valid_times;
+  for (std::size_t t : group) {
+    if (heads_[t]->valid_frame) valid_times.push_back(heads_[t]->universal);
+  }
+  std::sort(valid_times.begin(), valid_times.end());
+  const double median = valid_times[(valid_times.size() - 1) / 2];
+  const double dispersion = valid_times.back() - valid_times.front();
+
+  // Resynchronize from unique frames when dispersion warrants it.
+  if (rep.unique_reference &&
+      dispersion >= static_cast<double>(config_.resync_dispersion_threshold)) {
+    for (std::size_t t : group) {
+      const Head& h = *heads_[t];
+      if (!h.valid_frame) continue;
+      clocks_[t].ApplyCorrection(h.record.timestamp, median - h.universal);
+    }
+    ++stats_.resyncs;
+  }
+
+  // Build and emit the jframe.
+  JFrame jf;
+  jf.timestamp = static_cast<UniversalMicros>(median);
+  jf.dispersion = static_cast<Micros>(dispersion + 0.5);
+  jf.channel = traces_.at(rep_trace).header().channel;
+  jf.rate = rep.record.rate;
+  jf.wire_len = rep.record.orig_len;
+  jf.digest = rep.key.digest;
+  if (auto parsed = ParseCapture(rep.record)) {
+    jf.frame = std::move(parsed->frame);
+  }
+  jf.instances.reserve(group.size());
+  for (std::size_t t : group) {
+    const Head& h = *heads_[t];
+    FrameInstance inst;
+    inst.radio = traces_.at(t).header().radio;
+    inst.local_timestamp = h.record.timestamp;
+    inst.universal_timestamp = static_cast<UniversalMicros>(h.universal);
+    inst.rssi_dbm = h.record.rssi_dbm;
+    inst.outcome = h.record.outcome;
+    jf.instances.push_back(inst);
+    if (!h.valid_frame) ++stats_.error_instances_attached;
+    ++stats_.events_unified;
+  }
+  ++stats_.jframes;
+  for (std::size_t t : group) Refill(t);
+  sink_(std::move(jf));
+}
+
+}  // namespace jig

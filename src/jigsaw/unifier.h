@@ -1,0 +1,117 @@
+// Frame unification and continual resynchronization (paper Section 4.2).
+//
+// A single streaming pass over all traces.  The head instance of every
+// trace sits in one global queue ordered by universal time; Jigsaw pops the
+// earliest instance, sweeps the queue within a search window for instances
+// with identical content (comparing length, rate and FCS first to
+// short-circuit), and unifies the group into a jframe timestamped at the
+// median instance.  Groups whose dispersion exceeds a threshold drive
+// per-trace clock corrections, so almost every unique data frame continually
+// resynchronizes the deployment; skew and drift are compensated predictively
+// between corrections.  Corrupted instances attach to a matching valid
+// jframe by transmitter/length, and are never used for synchronization or
+// higher-layer reconstruction.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "jigsaw/bootstrap.h"
+#include "jigsaw/clock_state.h"
+#include "jigsaw/jframe.h"
+#include "jigsaw/reference.h"
+#include "trace/trace_set.h"
+
+namespace jig {
+
+struct UnifierConfig {
+  Micros search_window = Milliseconds(10);
+  // Non-unique frames (ACKs to the same station, CTS-to-self with the same
+  // duration...) can repeat identical bytes within the search window, so
+  // their instances only unify within this much tighter spread — wider than
+  // any plausible clock error between resyncs, narrower than back-to-back
+  // control frames.
+  Micros duplicate_window = 150;
+  // Minimum group dispersion before paying for a resynchronization (the
+  // paper uses 10 us; this does not bound achievable accuracy).
+  Micros resync_dispersion_threshold = 10;
+  double skew_ewma_alpha = 0.3;
+  // Gaps shorter than this contribute corrections but no skew sample.
+  Micros min_skew_elapsed = Milliseconds(20);
+  // Disable proactive skew compensation (ablation knob).
+  bool compensate_skew = true;
+};
+
+struct UnifyStats {
+  std::uint64_t events_in = 0;
+  std::uint64_t valid_in = 0;
+  std::uint64_t fcs_error_in = 0;
+  std::uint64_t phy_error_in = 0;
+  std::uint64_t events_unified = 0;  // instances placed into jframes
+  std::uint64_t jframes = 0;
+  std::uint64_t error_instances_attached = 0;
+  std::uint64_t error_events_dropped = 0;
+  std::uint64_t resyncs = 0;
+
+  double EventsPerJframe() const {
+    return jframes == 0 ? 0.0
+                        : static_cast<double>(events_unified) /
+                              static_cast<double>(jframes);
+  }
+};
+
+class Unifier {
+ public:
+  // Sink receives jframes approximately ordered by timestamp; exact
+  // ordering is restored by the pipeline's reorder buffer.
+  using JFrameSink = std::function<void(JFrame&&)>;
+
+  Unifier(TraceSet& traces, const BootstrapResult& bootstrap,
+          UnifierConfig config, JFrameSink sink);
+
+  // Runs the merge to completion (single pass over all traces).
+  void Run();
+  // Incremental: processes at most `max_jframes` groups; returns false when
+  // input is exhausted.
+  bool Step(std::size_t max_jframes);
+
+  const UnifyStats& stats() const { return stats_; }
+  const TraceClockState& clock_state(std::size_t i) const {
+    return clocks_[i];
+  }
+
+ private:
+  struct QueueEntry {
+    double universal = 0.0;  // key at insertion
+    std::size_t trace = 0;
+    // Ordering: time, then trace for determinism.
+    bool operator<(const QueueEntry& other) const {
+      if (universal != other.universal) return universal < other.universal;
+      return trace < other.trace;
+    }
+  };
+  struct Head {
+    CaptureRecord record;
+    double universal = 0.0;
+    bool valid_frame = false;          // outcome == kOk
+    bool unique_reference = false;
+    ContentKey key;
+  };
+
+  // Loads the next usable record of trace i into heads_[i] and queues it.
+  void Refill(std::size_t trace);
+  void ProcessOneGroup();
+
+  TraceSet& traces_;
+  UnifierConfig config_;
+  JFrameSink sink_;
+  std::vector<TraceClockState> clocks_;
+  std::vector<bool> active_;            // synced and not exhausted
+  std::vector<std::optional<Head>> heads_;
+  std::set<QueueEntry> queue_;
+  UnifyStats stats_;
+};
+
+}  // namespace jig

@@ -1,0 +1,103 @@
+#include "phy/propagation.h"
+
+#include <cmath>
+
+namespace jig {
+namespace {
+
+// Deterministic 64-bit mix for the shadowing hash.
+std::uint64_t Mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDull;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+// Maps a point to a quantized cell id (0.5 m grid) so shadowing is stable
+// for stationary nodes and varies smoothly for roaming ones.
+std::uint64_t CellId(const Point3& p) {
+  const auto qx = static_cast<std::uint64_t>((p.x + 1000.0) * 2.0);
+  const auto qy = static_cast<std::uint64_t>((p.y + 1000.0) * 2.0);
+  const auto qz = static_cast<std::uint64_t>((p.z + 1000.0) * 2.0);
+  return (qx << 42) ^ (qy << 21) ^ qz;
+}
+
+}  // namespace
+
+double DbmToMw(double dbm) { return std::pow(10.0, dbm / 10.0); }
+double MwToDbm(double mw) {
+  return mw <= 0.0 ? -300.0 : 10.0 * std::log10(mw);
+}
+
+double PropagationModel::ShadowingDb(const Point3& a, const Point3& b) const {
+  // Symmetric: combine endpoint ids order-independently.
+  const std::uint64_t ia = CellId(a), ib = CellId(b);
+  const std::uint64_t key =
+      Mix(config_.shadowing_seed ^ (ia ^ ib)) ^ Mix(ia + ib);
+  // Two 32-bit halves -> approximately standard normal via sum of uniforms
+  // (Irwin–Hall with 12 terms would be heavy; 4 terms is adequate here).
+  double sum = 0.0;
+  std::uint64_t s = key;
+  for (int i = 0; i < 4; ++i) {
+    s = Mix(s + 0x9E3779B97F4A7C15ull);
+    sum += static_cast<double>(s >> 11) * 0x1.0p-53;
+  }
+  // Sum of 4 U(0,1): mean 2, var 1/3  ->  normalize.
+  const double z = (sum - 2.0) / std::sqrt(1.0 / 3.0);
+  return z * config_.shadowing_sigma_db;
+}
+
+double PropagationModel::MeanRssiDbm(const Point3& tx, const Point3& rx,
+                                     double tx_power_dbm) const {
+  const double d = std::max(Distance(tx, rx), 0.5);
+  double pl = config_.path_loss_at_1m_db +
+              10.0 * config_.path_loss_exponent * std::log10(d);
+  pl += building_.WallsBetween(tx, rx) * config_.wall_loss_db;
+  pl += building_.FloorsBetween(tx, rx) * config_.floor_loss_db;
+  pl += ShadowingDb(tx, rx);
+  return tx_power_dbm - pl;
+}
+
+double PropagationModel::SlowFadeDb(const Point3& tx, const Point3& rx,
+                                    TrueMicros now) const {
+  if (config_.slow_fading_sigma_db <= 0.0 ||
+      config_.slow_fading_period <= 0) {
+    return 0.0;
+  }
+  const std::uint64_t bucket = static_cast<std::uint64_t>(
+      now / config_.slow_fading_period);
+  const std::uint64_t ia = CellId(tx), ib = CellId(rx);
+  std::uint64_t s = Mix((ia ^ ib) + bucket * 0x9E3779B97F4A7C15ull) ^
+                    Mix(config_.shadowing_seed + bucket);
+  double sum = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    s = Mix(s + 0x9E3779B97F4A7C15ull);
+    sum += static_cast<double>(s >> 11) * 0x1.0p-53;
+  }
+  const double z = (sum - 2.0) / std::sqrt(1.0 / 3.0);
+  return z * config_.slow_fading_sigma_db;
+}
+
+double PropagationModel::SampleRssiDbm(const Point3& tx, const Point3& rx,
+                                       double tx_power_dbm, Rng& rng,
+                                       TrueMicros now) const {
+  return MeanRssiDbm(tx, rx, tx_power_dbm) + SlowFadeDb(tx, rx, now) +
+         rng.NextGaussian(0.0, config_.fading_sigma_db);
+}
+
+double PropagationModel::SinrDb(double signal_dbm,
+                                double interference_mw) const {
+  const double denom_mw = NoiseFloorMw() + interference_mw;
+  return signal_dbm - MwToDbm(denom_mw);
+}
+
+RxOutcome DecideReception(double rssi_dbm, double sinr_db, PhyRate rate) {
+  if (rssi_dbm < kPhyDetectDbm) return RxOutcome::kNotHeard;
+  if (rssi_dbm < SensitivityDbm(rate)) return RxOutcome::kPhyError;
+  if (sinr_db < RequiredSinrDb(rate)) return RxOutcome::kFcsError;
+  return RxOutcome::kOk;
+}
+
+}  // namespace jig

@@ -1,0 +1,113 @@
+#include "sim/access_point.h"
+
+namespace jig {
+
+AccessPoint::AccessPoint(EventQueue& events, Medium& medium,
+                         WiredNetwork& wired, std::uint16_t index,
+                         Point3 position, Channel channel, Rng rng,
+                         ApConfig config, MacConfig mac_config)
+    : events_(events),
+      wired_(wired),
+      index_(index),
+      rng_(rng.Fork(0xA9)),
+      config_(config),
+      mac_(events, medium, MacAddress::Ap(index), position, channel,
+           rng.Fork(0x3AC), mac_config) {
+  mac_.set_rx_handler([this](const Frame& f) { OnFrame(f); });
+}
+
+void AccessPoint::Start() {
+  if (started_) return;
+  started_ = true;
+
+  WiredNetwork::ApPort port;
+  port.deliver_unicast = [this](MacAddress client, Bytes body) {
+    mac_.EnqueueData(client, mac_.address(), std::move(body),
+                     /*from_ds=*/true, /*to_ds=*/false);
+  };
+  port.deliver_broadcast = [this](Bytes body) {
+    mac_.EnqueueData(MacAddress::Broadcast(), mac_.address(), std::move(body),
+                     /*from_ds=*/true, /*to_ds=*/false);
+  };
+  wired_.RegisterAp(index_, std::move(port));
+
+  // Desynchronize beacon phases across APs.
+  events_.ScheduleIn(rng_.NextInt(0, config_.beacon_interval),
+                     [this] { OnBeaconTimer(); });
+  events_.ScheduleIn(config_.protection_poll, [this] { PollProtection(); });
+}
+
+void AccessPoint::OnBeaconTimer() {
+  Bytes body(24, 0);
+  body[1] = protection_active_ ? kErpProtection : 0;
+  mac_.EnqueueManagement(FrameType::kBeacon, MacAddress::Broadcast(),
+                         mac_.address(), std::move(body));
+  events_.ScheduleIn(config_.beacon_interval, [this] { OnBeaconTimer(); });
+}
+
+void AccessPoint::SenseBClient() {
+  last_b_sense_ = events_.now();
+  if (!protection_active_) {
+    protection_active_ = true;
+    mac_.SetProtection(true);
+  }
+}
+
+void AccessPoint::PollProtection() {
+  const bool should = events_.now() - last_b_sense_ < config_.protection_timeout;
+  if (should != protection_active_) {
+    protection_active_ = should;
+    mac_.SetProtection(should);
+  }
+  events_.ScheduleIn(config_.protection_poll, [this] { PollProtection(); });
+}
+
+void AccessPoint::HandleDataFrame(const Frame& f) {
+  if (!f.to_ds) return;
+  auto it = clients_.find(f.addr2);
+  if (it != clients_.end() && it->second.b_only) SenseBClient();
+  wired_.DeliverFromWireless(index_, f.addr2, f.body);
+}
+
+void AccessPoint::OnFrame(const Frame& f) {
+  switch (f.type) {
+    case FrameType::kData:
+      HandleDataFrame(f);
+      return;
+    case FrameType::kProbeRequest: {
+      if (!f.body.empty() && (f.body[0] & kCapBOnly)) SenseBClient();
+      // Probe response: unicast management, ACKed by the client.
+      Bytes body(24, 0);
+      body[1] = protection_active_ ? kErpProtection : 0;
+      mac_.EnqueueManagement(FrameType::kProbeResponse, f.addr2,
+                             mac_.address(), std::move(body));
+      return;
+    }
+    case FrameType::kAuthentication: {
+      // Open-system auth: echo success.
+      if (f.addr1 != mac_.address()) return;
+      mac_.EnqueueManagement(FrameType::kAuthentication, f.addr2,
+                             mac_.address(), Bytes{0});
+      return;
+    }
+    case FrameType::kAssocRequest: {
+      if (f.addr1 != mac_.address()) return;
+      ClientState st;
+      st.b_only = !f.body.empty() && (f.body[0] & kCapBOnly);
+      clients_[f.addr2] = st;
+      if (st.b_only) SenseBClient();
+      Bytes body(4, 0);
+      body[1] = protection_active_ ? kErpProtection : 0;
+      mac_.EnqueueManagement(FrameType::kAssocResponse, f.addr2,
+                             mac_.address(), std::move(body));
+      return;
+    }
+    case FrameType::kDeauthentication:
+      clients_.erase(f.addr2);
+      return;
+    default:
+      return;
+  }
+}
+
+}  // namespace jig

@@ -1,0 +1,75 @@
+// Simulated access point (paper Sections 2, 3.1, 7.3).
+//
+// APs beacon every ~102.4 ms, answer probes, run the association handshake,
+// bridge between the air and the wired distribution network (transparent
+// bridging — which is why wired ARP broadcasts flood every channel), and
+// implement the 802.11g protection policy the paper analyzes in Section
+// 7.3: protection turns on when an 802.11b client is sensed and only turns
+// off after `protection_timeout` without one — the overly conservative
+// 1-hour default is what makes APs "overprotective".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "sim/mac.h"
+#include "sim/wired.h"
+
+namespace jig {
+
+struct ApConfig {
+  Micros beacon_interval = 102'400;
+  Micros protection_timeout = Hours(1);
+  Micros protection_poll = Seconds(5);
+  double tx_power_dbm = 18.0;
+};
+
+class AccessPoint {
+ public:
+  AccessPoint(EventQueue& events, Medium& medium, WiredNetwork& wired,
+              std::uint16_t index, Point3 position, Channel channel, Rng rng,
+              ApConfig config, MacConfig mac_config);
+
+  AccessPoint(const AccessPoint&) = delete;
+  AccessPoint& operator=(const AccessPoint&) = delete;
+
+  // Starts beaconing and protection polling; registers the wired port.
+  void Start();
+
+  std::uint16_t index() const { return index_; }
+  MacAddress address() const { return mac_.address(); }
+  Channel channel() const { return mac_.channel(); }
+  Mac& mac() { return mac_; }
+  const Mac& mac() const { return mac_; }
+  bool protection_active() const { return protection_active_; }
+  TrueMicros last_b_sense() const { return last_b_sense_; }
+  std::size_t associated_clients() const { return clients_.size(); }
+
+ private:
+  void OnFrame(const Frame& f);
+  void OnBeaconTimer();
+  void PollProtection();
+  void SenseBClient();
+  void HandleDataFrame(const Frame& f);
+
+  struct ClientState {
+    bool b_only = false;
+  };
+
+  EventQueue& events_;
+  WiredNetwork& wired_;
+  std::uint16_t index_;
+  Rng rng_;
+  ApConfig config_;
+  Mac mac_;
+
+  std::unordered_map<MacAddress, ClientState> clients_;
+  bool protection_active_ = false;
+  // "Never sensed" sentinel: far enough in the past to be beyond any
+  // realistic timeout at simulation start.
+  TrueMicros last_b_sense_ = -Hours(24 * 365);
+  bool started_ = false;
+};
+
+}  // namespace jig

@@ -1,0 +1,206 @@
+#include "sim/client.h"
+
+#include "sim/access_point.h"  // management-frame body conventions
+
+namespace jig {
+
+Client::Client(EventQueue& events, Medium& medium, WiredNetwork& wired,
+               std::uint16_t index, Point3 position, Channel channel, Rng rng,
+               MacConfig mac_config, ClientConfig config)
+    : events_(events),
+      wired_(wired),
+      index_(index),
+      rng_(rng.Fork(0xC11)),
+      config_(config),
+      mac_(events, medium, MacAddress::Client(index), position, channel,
+           rng.Fork(0xC12), mac_config) {
+  mac_.set_rx_handler([this](const Frame& f) { OnFrame(f); });
+}
+
+void Client::PowerOn() {
+  if (assoc_state_ != AssocState::kOff) return;
+  assoc_state_ = AssocState::kProbing;
+  assoc_attempts_ = 0;
+  SendAssocStep();
+}
+
+void Client::PowerOff() {
+  events_.Cancel(assoc_timer_);
+  assoc_timer_ = kInvalidEvent;
+  if (assoc_state_ == AssocState::kAssociated) {
+    mac_.EnqueueManagement(FrameType::kDeauthentication, config_.ap_mac,
+                           config_.ap_mac, Bytes{});
+    wired_.UnregisterClient(config_.ip);
+  }
+  assoc_state_ = AssocState::kOff;
+  // In-flight flows stall (SendBody drops while unassociated) rather than
+  // being destroyed: the traffic manager holds raw peer pointers in pending
+  // callbacks, and their wired peers RTO against silence, as in real life.
+}
+
+void Client::MoveTo(Point3 position, MacAddress new_ap,
+                    std::uint16_t new_ap_index, Channel new_channel) {
+  const bool was_on = assoc_state_ != AssocState::kOff;
+  if (was_on) PowerOff();
+  mac_.SetPosition(position);
+  mac_.SetChannel(new_channel);
+  config_.ap_mac = new_ap;
+  config_.ap_index = new_ap_index;
+  if (was_on) PowerOn();
+}
+
+void Client::SendAssocStep() {
+  if (assoc_state_ == AssocState::kOff ||
+      assoc_state_ == AssocState::kAssociated) {
+    return;
+  }
+  if (++assoc_attempts_ > config_.assoc_max_retries) {
+    // Start over from probing (real clients rescan).
+    assoc_state_ = AssocState::kProbing;
+    assoc_attempts_ = 0;
+  }
+  switch (assoc_state_) {
+    case AssocState::kProbing: {
+      Bytes body(16, 0);
+      body[0] = Capabilities();
+      mac_.EnqueueManagement(FrameType::kProbeRequest, MacAddress::Broadcast(),
+                             MacAddress::Broadcast(), std::move(body));
+      break;
+    }
+    case AssocState::kAuthenticating:
+      mac_.EnqueueManagement(FrameType::kAuthentication, config_.ap_mac,
+                             config_.ap_mac, Bytes{0});
+      break;
+    case AssocState::kAssociating: {
+      Bytes body(8, 0);
+      body[0] = Capabilities();
+      mac_.EnqueueManagement(FrameType::kAssocRequest, config_.ap_mac,
+                             config_.ap_mac, std::move(body));
+      break;
+    }
+    default:
+      return;
+  }
+  events_.Cancel(assoc_timer_);
+  assoc_timer_ = events_.ScheduleIn(config_.assoc_step_timeout,
+                                    [this] { SendAssocStep(); });
+}
+
+void Client::AdvanceAssociation() {
+  assoc_attempts_ = 0;
+  events_.Cancel(assoc_timer_);
+  assoc_timer_ = kInvalidEvent;
+  switch (assoc_state_) {
+    case AssocState::kProbing:
+      assoc_state_ = AssocState::kAuthenticating;
+      SendAssocStep();
+      break;
+    case AssocState::kAuthenticating:
+      assoc_state_ = AssocState::kAssociating;
+      SendAssocStep();
+      break;
+    case AssocState::kAssociating:
+      assoc_state_ = AssocState::kAssociated;
+      OnAssociated();
+      break;
+    default:
+      break;
+  }
+}
+
+void Client::OnAssociated() {
+  wired_.RegisterClient(mac_.address(), config_.ip, config_.ap_index);
+  // DHCP-style broadcast announcement (paper Section 7.1: client DHCP
+  // requests are among the network-layer broadcasts APs fan out).
+  SendUdpBroadcast(68, 67, 300);
+  if (on_associated_) on_associated_();
+}
+
+void Client::SendBody(Bytes body) {
+  mac_.EnqueueData(config_.ap_mac, config_.ap_mac, std::move(body),
+                   /*from_ds=*/false, /*to_ds=*/true);
+}
+
+void Client::SendUdpBroadcast(std::uint16_t src_port, std::uint16_t dst_port,
+                              std::uint16_t payload_len) {
+  if (assoc_state_ != AssocState::kAssociated &&
+      assoc_state_ != AssocState::kAssociating) {
+    return;
+  }
+  UdpDatagram dgram;
+  dgram.src_port = src_port;
+  dgram.dst_port = dst_port;
+  dgram.payload_len = payload_len;
+  SendBody(BuildUdpFrameBody(config_.ip, 0xFFFFFFFFu, dgram));
+}
+
+TcpPeer* Client::OpenFlow(Ipv4Addr server_ip, std::uint16_t server_port,
+                          std::uint16_t local_port,
+                          const TcpConfig& tcp_config, Rng rng) {
+  auto peer = std::make_unique<TcpPeer>(
+      events_, rng, local_port, server_port, /*initiator=*/true, tcp_config,
+      [this, server_ip, local_port, server_port](const TcpSegment& seg) {
+        if (assoc_state_ != AssocState::kAssociated) return;
+        SendBody(BuildTcpFrameBody(config_.ip, server_ip, seg));
+      });
+  TcpPeer* raw = peer.get();
+  flows_[FlowKey{server_ip, server_port, local_port}] = std::move(peer);
+  ++flows_opened_;
+  return raw;
+}
+
+void Client::OnFrame(const Frame& f) {
+  if (f.type == FrameType::kBeacon) {
+    // Follow the BSS ERP protection bit.
+    if (f.addr2 == config_.ap_mac && f.body.size() > 1) {
+      mac_.SetProtection((f.body[1] & kErpProtection) != 0);
+    }
+    return;
+  }
+  if (f.type == FrameType::kProbeResponse) {
+    if (assoc_state_ == AssocState::kProbing && f.addr2 == config_.ap_mac) {
+      AdvanceAssociation();
+    }
+    return;
+  }
+  if (f.type == FrameType::kAuthentication) {
+    if (assoc_state_ == AssocState::kAuthenticating &&
+        f.addr2 == config_.ap_mac) {
+      AdvanceAssociation();
+    }
+    return;
+  }
+  if (f.type == FrameType::kAssocResponse) {
+    if (assoc_state_ == AssocState::kAssociating &&
+        f.addr2 == config_.ap_mac) {
+      if (f.body.size() > 1) {
+        mac_.SetProtection((f.body[1] & kErpProtection) != 0);
+      }
+      AdvanceAssociation();
+    }
+    return;
+  }
+  if (f.type != FrameType::kData || !f.from_ds) return;
+
+  const auto info = ParseFrameBody(f.body);
+  if (!info) return;
+
+  if (info->IsArp() && info->arp->is_request &&
+      info->arp->target_ip == config_.ip &&
+      assoc_state_ == AssocState::kAssociated) {
+    ArpMessage reply;
+    reply.is_request = false;
+    reply.sender_ip = config_.ip;
+    reply.target_ip = info->arp->sender_ip;
+    SendBody(BuildArpFrameBody(reply));
+    return;
+  }
+
+  if (info->IsTcp() && info->dst_ip == config_.ip) {
+    auto it = flows_.find(FlowKey{info->src_ip, info->tcp->src_port,
+                                  info->tcp->dst_port});
+    if (it != flows_.end()) it->second->OnSegmentReceived(*info->tcp);
+  }
+}
+
+}  // namespace jig

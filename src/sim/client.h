@@ -1,0 +1,126 @@
+// Simulated wireless client station.
+//
+// Clients run the association handshake (probe → authenticate → associate),
+// follow the BSS protection setting from beacon ERP bits, answer ARP
+// requests for their IP, emit the broadcast chatter the paper catalogs
+// (DHCP on association, MS-Office-style UDP license broadcasts to port
+// 2222 — footnote 6), and terminate TCP flows whose peers live on the wired
+// network.  802.11b-only clients advertise that in probe/association
+// capability bits, which is what triggers AP protection mode.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "sim/mac.h"
+#include "sim/tcp.h"
+#include "sim/wired.h"
+
+namespace jig {
+
+struct ClientConfig {
+  bool b_only = false;
+  Ipv4Addr ip = 0;
+  MacAddress ap_mac;
+  std::uint16_t ap_index = 0;
+  Micros assoc_step_timeout = Milliseconds(500);
+  int assoc_max_retries = 5;
+};
+
+class Client {
+ public:
+  Client(EventQueue& events, Medium& medium, WiredNetwork& wired,
+         std::uint16_t index, Point3 position, Channel channel, Rng rng,
+         MacConfig mac_config, ClientConfig config);
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // Begins the association handshake; on_associated fires when complete.
+  void PowerOn();
+  // Deauthenticates and stops; pending flows stall (their peers RTO out).
+  void PowerOff();
+
+  // Roams to a new position and BSS: deauthenticates from the current AP,
+  // retunes, and re-runs the association handshake (the paper's laptop
+  // oracle experiment moved through the building this way).
+  void MoveTo(Point3 position, MacAddress new_ap, std::uint16_t new_ap_index,
+              Channel new_channel);
+
+  bool associated() const { return assoc_state_ == AssocState::kAssociated; }
+  bool powered() const { return assoc_state_ != AssocState::kOff; }
+  MacAddress address() const { return mac_.address(); }
+  Ipv4Addr ip() const { return config_.ip; }
+  bool b_only() const { return config_.b_only; }
+  std::uint16_t ap_index() const { return config_.ap_index; }
+  MacAddress ap_mac() const { return config_.ap_mac; }
+  Mac& mac() { return mac_; }
+
+  void set_on_associated(std::function<void()> fn) {
+    on_associated_ = std::move(fn);
+  }
+
+  // Opens a client-side TCP peer toward (server_ip, server_port).  The
+  // returned peer is owned by the client; it frames segments onto the air.
+  TcpPeer* OpenFlow(Ipv4Addr server_ip, std::uint16_t server_port,
+                    std::uint16_t local_port, const TcpConfig& tcp_config,
+                    Rng rng);
+
+  // Sends a UDP broadcast (dst 255.255.255.255) through the AP — the
+  // two-hop broadcast path that ends with every AP rebroadcasting it.
+  void SendUdpBroadcast(std::uint16_t src_port, std::uint16_t dst_port,
+                        std::uint16_t payload_len);
+
+  std::uint64_t flows_opened() const { return flows_opened_; }
+
+ private:
+  enum class AssocState : std::uint8_t {
+    kOff,
+    kProbing,
+    kAuthenticating,
+    kAssociating,
+    kAssociated,
+  };
+
+  struct FlowKey {
+    Ipv4Addr remote_ip;
+    std::uint16_t remote_port;
+    std::uint16_t local_port;
+    bool operator==(const FlowKey&) const = default;
+  };
+  struct FlowKeyHash {
+    std::size_t operator()(const FlowKey& k) const {
+      return std::hash<std::uint64_t>{}(
+          (static_cast<std::uint64_t>(k.remote_ip) << 32) ^
+          (static_cast<std::uint64_t>(k.remote_port) << 16) ^ k.local_port);
+    }
+  };
+
+  void OnFrame(const Frame& f);
+  void AdvanceAssociation();
+  void SendAssocStep();
+  void OnAssociated();
+  void SendBody(Bytes body);
+  std::uint8_t Capabilities() const {
+    return config_.b_only ? kCapBOnly : 0;
+  }
+
+  EventQueue& events_;
+  WiredNetwork& wired_;
+  std::uint16_t index_;
+  Rng rng_;
+  ClientConfig config_;
+  Mac mac_;
+
+  AssocState assoc_state_ = AssocState::kOff;
+  int assoc_attempts_ = 0;
+  EventId assoc_timer_ = kInvalidEvent;
+  std::function<void()> on_associated_;
+
+  std::unordered_map<FlowKey, std::unique_ptr<TcpPeer>, FlowKeyHash> flows_;
+  std::uint64_t flows_opened_ = 0;
+};
+
+}  // namespace jig

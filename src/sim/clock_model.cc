@@ -1,0 +1,46 @@
+#include "sim/clock_model.h"
+
+namespace jig {
+
+ClockModel::ClockModel(const ClockConfig& config, Rng rng) : rng_(rng) {
+  offset_us_ = static_cast<double>(rng_.NextInt(-config.max_initial_offset,
+                                                config.max_initial_offset));
+  skew0_ppm_ = rng_.NextGaussian(0.0, config.skew_sigma_ppm);
+  current_skew_ppm_ = skew0_ppm_;
+  // Random-walk step sized so the expected |skew change| over an hour is
+  // roughly drift_ppm_per_hour.
+  const double steps_per_hour =
+      static_cast<double>(Hours(1)) / static_cast<double>(kDriftInterval);
+  drift_step_ppm_ = config.drift_ppm_per_hour / std::sqrt(steps_per_hour);
+  ntp_utc_of_local_zero_ =
+      -static_cast<std::int64_t>(offset_us_) +
+      rng_.NextInt(-config.ntp_error_us, config.ntp_error_us);
+  jitter_sigma_us_ = config.jitter_sigma_us;
+}
+
+void ClockModel::AdvanceDriftTo(TrueMicros t) {
+  while (drift_sampled_until_ + kDriftInterval <= t) {
+    integrated_skew_us_ += current_skew_ppm_ * 1e-6 *
+                           static_cast<double>(kDriftInterval);
+    current_skew_ppm_ += rng_.NextGaussian(0.0, drift_step_ppm_);
+    drift_sampled_until_ += kDriftInterval;
+  }
+}
+
+double ClockModel::LocalAt(TrueMicros t) const {
+  // Const view: integrate the walk up to the last sampled boundary, then
+  // extrapolate with the current rate.  Callers that also call
+  // CaptureTimestamp see a consistent trajectory because CaptureTimestamp
+  // advances the walk first.
+  const double remainder =
+      static_cast<double>(t - drift_sampled_until_) * current_skew_ppm_ * 1e-6;
+  return offset_us_ + static_cast<double>(t) + integrated_skew_us_ + remainder;
+}
+
+LocalMicros ClockModel::CaptureTimestamp(TrueMicros t) {
+  AdvanceDriftTo(t);
+  const double jitter = rng_.NextGaussian(0.0, jitter_sigma_us_);
+  return static_cast<LocalMicros>(std::floor(LocalAt(t) + jitter));
+}
+
+}  // namespace jig

@@ -1,0 +1,78 @@
+// Monitor capture-clock model: offset, skew, drift, jitter, quantization.
+//
+// The synchronization algorithm's whole reason to exist is that 156 radio
+// clocks disagree (paper Section 4).  This model produces local timestamps
+// with exactly the error terms the paper discusses:
+//   * a large arbitrary offset (clocks start whenever the radio powered on),
+//   * frequency skew — the 802.11 standard allows 100 PPM; Atheros parts do
+//     much better in practice, so defaults are a few PPM,
+//   * drift — slow change of skew over time (thermal), which forced the
+//     EWMA skew predictor into the unification loop,
+//   * per-capture jitter (interrupt/DMA latency), and
+//   * 1 us quantization of the Atheros timestamp counter.
+//
+// Both radios of a monitor share one ClockModel instance, mirroring the
+// modified MadWifi driver that slaves the second radio's timestamps to the
+// first (Section 3.3) — the property bootstrap sync exploits to bridge
+// channels.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace jig {
+
+struct ClockConfig {
+  // Initial offset drawn uniformly in +/- this range.
+  Micros max_initial_offset = Seconds(100);
+  // Skew drawn from a Gaussian with this sigma (PPM).
+  double skew_sigma_ppm = 5.0;
+  // Drift: skew changes as a slow random walk with this step (PPM per
+  // simulated second of rate change, scaled by sqrt(dt)).
+  double drift_ppm_per_hour = 2.0;
+  // Per-capture timestamp jitter sigma (us) — interrupt latency etc.
+  double jitter_sigma_us = 1.2;
+  // NTP error of the monitor's system clock (uniform +/-, us).
+  Micros ntp_error_us = Milliseconds(4);
+};
+
+class ClockModel {
+ public:
+  ClockModel(const ClockConfig& config, Rng rng);
+
+  // Local clock reading for a capture at true time t, including jitter and
+  // 1 us quantization.  Not monotonic across calls at identical t (jitter),
+  // matching real interrupt-timestamp behaviour.
+  LocalMicros CaptureTimestamp(TrueMicros t);
+
+  // Noise-free local time (no jitter), for tests and analysis.
+  double LocalAt(TrueMicros t) const;
+
+  // The monitor's NTP-disciplined system-clock estimate of UTC when the
+  // local capture clock read zero.  True UTC == true time in simulation.
+  std::int64_t NtpUtcOfLocalZero() const { return ntp_utc_of_local_zero_; }
+
+  double initial_offset_us() const { return offset_us_; }
+  double skew_ppm_at_start() const { return skew0_ppm_; }
+
+ private:
+  void AdvanceDriftTo(TrueMicros t);
+
+  Rng rng_;
+  double offset_us_;
+  double skew0_ppm_;
+  double drift_step_ppm_;  // random-walk step per drift interval
+  // Piecewise-linear rate integration: skew performs a random walk sampled
+  // every kDriftInterval; integrated_us_ accumulates the extra time gained.
+  static constexpr TrueMicros kDriftInterval = Seconds(10);
+  TrueMicros drift_sampled_until_ = 0;
+  double current_skew_ppm_;
+  double integrated_skew_us_ = 0.0;
+  double jitter_sigma_us_ = 1.2;
+  std::int64_t ntp_utc_of_local_zero_;
+};
+
+}  // namespace jig

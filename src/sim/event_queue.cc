@@ -1,0 +1,56 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+namespace jig {
+
+EventId EventQueue::Schedule(TrueMicros at, Callback cb) {
+  if (at < now_) at = now_;
+  const EventId id = next_id_++;
+  heap_.push(Entry{at, id});
+  callbacks_.emplace(id, std::move(cb));
+  return id;
+}
+
+bool EventQueue::Cancel(EventId id) {
+  if (id == kInvalidEvent) return false;
+  // The heap entry stays behind as a tombstone; RunUntil skips entries whose
+  // callback is gone.  Cheaper than heap surgery given how often the MAC
+  // cancels timers.
+  return callbacks_.erase(id) > 0;
+}
+
+void EventQueue::RunUntil(TrueMicros t_end) {
+  while (!heap_.empty()) {
+    const Entry top = heap_.top();
+    auto it = callbacks_.find(top.id);
+    if (it == callbacks_.end()) {
+      heap_.pop();  // cancelled tombstone
+      continue;
+    }
+    if (top.at > t_end) break;
+    heap_.pop();
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
+    now_ = top.at;
+    ++executed_;
+    cb();
+  }
+  now_ = t_end;
+}
+
+void EventQueue::RunAll() {
+  while (!heap_.empty()) {
+    const Entry top = heap_.top();
+    heap_.pop();
+    auto it = callbacks_.find(top.id);
+    if (it == callbacks_.end()) continue;
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
+    now_ = top.at;
+    ++executed_;
+    cb();
+  }
+}
+
+}  // namespace jig

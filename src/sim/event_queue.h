@@ -1,0 +1,65 @@
+// Discrete-event scheduler driving the simulation substrate.
+//
+// All simulator components (MACs, traffic generators, TCP timers, the
+// medium) schedule callbacks at absolute true-time instants.  Cancellation
+// is first-class because the 802.11 MAC constantly cancels pending events:
+// backoff completions when the channel goes busy, ACK timeouts when the ACK
+// arrives.  Ties are broken by insertion order so runs are deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "util/time.h"
+
+namespace jig {
+
+using EventId = std::uint64_t;
+constexpr EventId kInvalidEvent = 0;
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  TrueMicros now() const { return now_; }
+
+  // Schedules `cb` at absolute time `at` (clamped to now if in the past).
+  EventId Schedule(TrueMicros at, Callback cb);
+  EventId ScheduleIn(Micros delay, Callback cb) {
+    return Schedule(now_ + delay, std::move(cb));
+  }
+
+  // Cancels a pending event; returns false if it already ran or was
+  // cancelled.  Cancelling kInvalidEvent is a no-op.
+  bool Cancel(EventId id);
+
+  // Runs events until the queue empties or the next event is after `t_end`;
+  // leaves now() at t_end.
+  void RunUntil(TrueMicros t_end);
+
+  // Runs everything (use only when the event population is finite).
+  void RunAll();
+
+  std::size_t pending() const { return callbacks_.size(); }
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    TrueMicros at;
+    EventId id;
+    bool operator>(const Entry& other) const {
+      return at != other.at ? at > other.at : id > other.id;
+    }
+  };
+
+  TrueMicros now_ = 0;
+  EventId next_id_ = 1;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+  std::unordered_map<EventId, Callback> callbacks_;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace jig

@@ -1,0 +1,498 @@
+#include "sim/mac.h"
+
+#include <algorithm>
+
+namespace jig {
+namespace {
+
+// ARF rate ladders.  802.11g stations climb from CCK into OFDM; legacy
+// stations stay on CCK.  Rates never step up in response to loss, one of
+// the empirical regularities the paper's inference heuristics rely on.
+constexpr PhyRate kLadderB[] = {PhyRate::kB1, PhyRate::kB2, PhyRate::kB5_5,
+                                PhyRate::kB11};
+constexpr PhyRate kLadderG[] = {PhyRate::kB1,  PhyRate::kB2,  PhyRate::kB5_5,
+                                PhyRate::kB11, PhyRate::kG12, PhyRate::kG18,
+                                PhyRate::kG24, PhyRate::kG36, PhyRate::kG48,
+                                PhyRate::kG54};
+constexpr int kArfUpAfter = 10;
+constexpr int kArfDownAfter = 2;
+
+}  // namespace
+
+Mac::Mac(EventQueue& events, Medium& medium, MacAddress address,
+         Point3 position, Channel channel, Rng rng, MacConfig config)
+    : events_(events),
+      medium_(medium),
+      address_(address),
+      position_(position),
+      channel_(channel),
+      rng_(rng),
+      config_(config) {
+  medium_.AddListener(this);
+}
+
+int Mac::LadderSize() const {
+  return config_.b_only ? static_cast<int>(std::size(kLadderB))
+                        : static_cast<int>(std::size(kLadderG));
+}
+
+PhyRate Mac::LadderRate(int pos) const {
+  pos = std::clamp(pos, 0, LadderSize() - 1);
+  return config_.b_only ? kLadderB[pos] : kLadderG[pos];
+}
+
+PhyRate Mac::DataRateFor(MacAddress dst) const {
+  auto it = arf_.find(dst);
+  if (it == arf_.end()) return LadderRate(config_.b_only ? 1 : 4);
+  return LadderRate(it->second.ladder_pos);
+}
+
+void Mac::SeedRate(MacAddress dst, PhyRate rate) {
+  ArfState st;
+  st.ladder_pos = 0;
+  for (int i = 0; i < LadderSize(); ++i) {
+    if (LadderRate(i) == rate) st.ladder_pos = i;
+  }
+  arf_[dst] = st;
+}
+
+void Mac::ArfReportSuccess(MacAddress dst) {
+  ArfState& st = arf_[dst];
+  st.fail_streak = 0;
+  if (++st.success_streak >= kArfUpAfter &&
+      st.ladder_pos + 1 < LadderSize()) {
+    ++st.ladder_pos;
+    st.success_streak = 0;
+  }
+}
+
+void Mac::ArfReportFailure(MacAddress dst) {
+  ArfState& st = arf_[dst];
+  st.success_streak = 0;
+  if (++st.fail_streak >= kArfDownAfter && st.ladder_pos > 0) {
+    --st.ladder_pos;
+    st.fail_streak = 0;
+  }
+}
+
+std::uint64_t Mac::EnqueueData(MacAddress dst, MacAddress bssid, Bytes body,
+                               bool from_ds, bool to_ds) {
+  if (queue_.size() >= config_.max_queue) {
+    ++counters_.queue_drops;
+    return 0;
+  }
+  Msdu m;
+  m.id = next_msdu_id_++;
+  m.type = FrameType::kData;
+  m.dst = dst;
+  m.bssid = bssid;
+  m.body = std::move(body);
+  m.from_ds = from_ds;
+  m.to_ds = to_ds;
+  queue_.push_back(std::move(m));
+  MaybeStartAccess();
+  return queue_.back().id;
+}
+
+std::uint64_t Mac::EnqueueManagement(FrameType type, MacAddress dst,
+                                     MacAddress bssid, Bytes body) {
+  if (queue_.size() >= config_.max_queue) {
+    ++counters_.queue_drops;
+    return 0;
+  }
+  Msdu m;
+  m.id = next_msdu_id_++;
+  m.type = type;
+  m.dst = dst;
+  m.bssid = bssid;
+  m.body = std::move(body);
+  queue_.push_back(std::move(m));
+  MaybeStartAccess();
+  return queue_.back().id;
+}
+
+bool Mac::TransmittingNow() const {
+  const TrueMicros now = events_.now();
+  for (const auto& [start, end] : own_tx_intervals_) {
+    if (start <= now && now < end) return true;
+  }
+  return state_ == State::kProtecting || state_ == State::kTransmitting;
+}
+
+bool Mac::MediumBusy() const {
+  return cs_count_ > 0 || events_.now() < nav_until_ || TransmittingNow();
+}
+
+void Mac::MaybeStartAccess() {
+  if (state_ != State::kIdle || queue_.empty()) return;
+  if (backoff_remaining_ < 0) {
+    backoff_remaining_ = static_cast<int>(rng_.NextBelow(
+        static_cast<std::uint64_t>(cw_) + 1));
+  }
+  BeginCountdownOrDefer();
+}
+
+void Mac::BeginCountdownOrDefer() {
+  if (MediumBusy()) {
+    state_ = State::kDeferring;
+    if (cs_count_ == 0) ScheduleNavResume();
+    return;
+  }
+  state_ = State::kBackoff;
+  countdown_started_ = events_.now();
+  countdown_event_ = events_.Schedule(
+      events_.now() + kDifs + static_cast<Micros>(backoff_remaining_) *
+                                  kSlotTime,
+      [this] { OnBackoffComplete(); });
+}
+
+void Mac::PauseCountdown() {
+  events_.Cancel(countdown_event_);
+  countdown_event_ = kInvalidEvent;
+  const Micros elapsed = events_.now() - countdown_started_;
+  if (elapsed > kDifs) {
+    const int consumed = static_cast<int>((elapsed - kDifs) / kSlotTime);
+    backoff_remaining_ = std::max(0, backoff_remaining_ - consumed);
+  }
+  state_ = State::kDeferring;
+}
+
+void Mac::ScheduleNavResume() {
+  if (nav_until_ <= events_.now()) return;
+  if (nav_resume_event_ != kInvalidEvent) return;
+  nav_resume_event_ = events_.Schedule(nav_until_, [this] {
+    nav_resume_event_ = kInvalidEvent;
+    if (state_ == State::kDeferring && !MediumBusy()) BeginCountdownOrDefer();
+  });
+}
+
+void Mac::OnBackoffComplete() {
+  countdown_event_ = kInvalidEvent;
+  if (MediumBusy()) {
+    state_ = State::kDeferring;
+    if (cs_count_ == 0) ScheduleNavResume();
+    return;
+  }
+  StartTxSequence();
+}
+
+PhyRate Mac::PickRate(const Msdu& msdu) const {
+  if (msdu.type != FrameType::kData || !msdu.dst.IsUnicast()) {
+    // Broadcast and management at the lowest mandatory rate: this is why
+    // broadcast ARP/beacons eat ~10% of air time in the paper's trace.
+    return PhyRate::kB1;
+  }
+  if (msdu.type != FrameType::kData) return PhyRate::kB2;
+  return DataRateFor(msdu.dst);
+}
+
+void Mac::StartTxSequence() {
+  Msdu& msdu = queue_.front();
+  if (!msdu.seq_assigned) {
+    msdu.seq = seq_counter_;
+    seq_counter_ = static_cast<std::uint16_t>((seq_counter_ + 1) & 0x0FFF);
+    msdu.seq_assigned = true;
+  }
+  msdu.rate = msdu.attempts == 0 ? PickRate(msdu) : std::min(msdu.rate,
+                                                             PickRate(msdu));
+
+  const bool unicast = msdu.dst.IsUnicast();
+  if (unicast && msdu.type == FrameType::kData &&
+      msdu.body.size() >= config_.rts_threshold) {
+    // RTS/CTS reservation: RTS duration covers CTS + DATA + ACK + 3 SIFS.
+    const std::size_t data_bytes = 2 + 2 + 6 + 6 + 6 + 2 + msdu.body.size() + 4;
+    const Micros data_air = TxDurationMicros(msdu.rate, data_bytes);
+    const PhyRate ctrl_rate = ControlResponseRate(msdu.rate);
+    const Micros cts_air = TxDurationMicros(ctrl_rate, kCtsBytes);
+    const Micros ack_air = TxDurationMicros(ctrl_rate, kAckBytes);
+    const Micros reserve = 3 * kSifs + cts_air + data_air + ack_air;
+    Frame rts = MakeRts(msdu.dst, address_, reserve, ctrl_rate);
+    const Micros rts_air = rts.AirTimeMicros();
+    const TrueMicros now = events_.now();
+    medium_.Transmit(std::move(rts), address_, position_,
+                     config_.tx_power_dbm, channel_, this);
+    RecordOwnTx(now, now + rts_air);
+    ++counters_.rts_sent;
+    state_ = State::kWaitCts;
+    cts_timeout_event_ = events_.Schedule(
+        now + rts_air + kSifs + cts_air + config_.ack_timeout_slack,
+        [this] { OnCtsTimeout(); });
+    return;
+  }
+  if (protection_ && IsOfdm(msdu.rate) && unicast) {
+    // 802.11g protection: reserve with a CCK CTS-to-self covering
+    // SIFS + DATA + SIFS + ACK (Section 2; footnote 7 costs this at 248 us
+    // for a 2 Mbps long-preamble CTS).
+    const std::size_t data_bytes = 2 + 2 + 6 + 6 + 6 + 2 + msdu.body.size() + 4;
+    const Micros data_air = TxDurationMicros(msdu.rate, data_bytes);
+    const Micros ack_air =
+        TxDurationMicros(ControlResponseRate(msdu.rate), kAckBytes);
+    const Micros reserve = kSifs + data_air + kSifs + ack_air;
+    Frame cts = MakeCtsToSelf(address_, reserve, PhyRate::kB2);
+    const Micros cts_air = cts.AirTimeMicros();
+    const TrueMicros now = events_.now();
+    medium_.Transmit(std::move(cts), address_, position_, config_.tx_power_dbm,
+                     channel_, this);
+    RecordOwnTx(now, now + cts_air);
+    ++counters_.cts_self_sent;
+    state_ = State::kProtecting;
+    pending_tx_event_ = events_.Schedule(now + cts_air + kSifs, [this] {
+      pending_tx_event_ = kInvalidEvent;
+      TransmitCurrentFrame();
+    });
+    return;
+  }
+  TransmitCurrentFrame();
+}
+
+void Mac::TransmitCurrentFrame() {
+  Msdu& msdu = queue_.front();
+  ++msdu.attempts;
+  if (msdu.attempts > 1) ++counters_.retries;
+
+  Frame f;
+  if (msdu.type == FrameType::kData) {
+    f = MakeData(msdu.dst, address_, msdu.bssid, msdu.seq, msdu.body,
+                 msdu.rate, msdu.from_ds, msdu.to_ds);
+    ++counters_.data_tx_attempts;
+  } else {
+    f.type = msdu.type;
+    f.addr1 = msdu.dst;
+    f.addr2 = address_;
+    f.addr3 = msdu.bssid;
+    f.sequence = msdu.seq;
+    f.body = msdu.body;
+    f.rate = msdu.rate;
+    if (msdu.dst.IsUnicast()) {
+      f.duration_us =
+          static_cast<std::uint16_t>(AckDurationFieldMicros(msdu.rate));
+    }
+    ++counters_.mgmt_tx_attempts;
+  }
+  f.retry = msdu.attempts > 1;
+
+  const bool expects_ack = msdu.dst.IsUnicast();
+  const PhyRate data_rate = msdu.rate;
+  const Micros air = f.AirTimeMicros();
+  const TrueMicros now = events_.now();
+  medium_.Transmit(std::move(f), address_, position_, config_.tx_power_dbm,
+                   channel_, this);
+  RecordOwnTx(now, now + air);
+  state_ = State::kTransmitting;
+  events_.Schedule(now + air, [this, expects_ack, data_rate] {
+    OnOwnFrameEnd(expects_ack, data_rate);
+  });
+}
+
+void Mac::OnOwnFrameEnd(bool expects_ack, PhyRate data_rate) {
+  if (!expects_ack) {
+    // Broadcast / multicast: one attempt, considered sent (rule R1 in the
+    // paper's exchange FSM: attempt == exchange).
+    CompleteMsdu(true);
+    return;
+  }
+  state_ = State::kWaitAck;
+  const Micros ack_air =
+      TxDurationMicros(ControlResponseRate(data_rate), kAckBytes);
+  ack_timeout_event_ = events_.Schedule(
+      events_.now() + kSifs + ack_air + config_.ack_timeout_slack,
+      [this] { OnAckTimeout(); });
+}
+
+void Mac::OnAckTimeout() {
+  ack_timeout_event_ = kInvalidEvent;
+  Msdu& msdu = queue_.front();
+  ArfReportFailure(msdu.dst);
+  if (msdu.attempts > config_.retry_limit) {
+    CompleteMsdu(false);
+    return;
+  }
+  cw_ = std::min(cw_ * 2 + 1, kCwMax);
+  backoff_remaining_ =
+      static_cast<int>(rng_.NextBelow(static_cast<std::uint64_t>(cw_) + 1));
+  state_ = State::kDeferring;
+  BeginCountdownOrDefer();
+}
+
+void Mac::OnCtsTimeout() {
+  cts_timeout_event_ = kInvalidEvent;
+  if (state_ != State::kWaitCts) return;
+  Msdu& msdu = queue_.front();
+  ArfReportFailure(msdu.dst);
+  // A failed reservation costs an attempt like a failed DATA would.
+  ++msdu.attempts;
+  if (msdu.attempts > config_.retry_limit) {
+    CompleteMsdu(false);
+    return;
+  }
+  ++counters_.retries;
+  cw_ = std::min(cw_ * 2 + 1, kCwMax);
+  backoff_remaining_ =
+      static_cast<int>(rng_.NextBelow(static_cast<std::uint64_t>(cw_) + 1));
+  state_ = State::kDeferring;
+  BeginCountdownOrDefer();
+}
+
+void Mac::SendCtsReply(const Frame& rts) {
+  // CTS duration: whatever remains of the RTS reservation after this CTS.
+  const PhyRate rate = rts.rate;
+  const Micros cts_air = TxDurationMicros(rate, kCtsBytes);
+  const Micros remaining =
+      rts.duration_us > kSifs + cts_air
+          ? rts.duration_us - kSifs - cts_air
+          : 0;
+  Frame cts;
+  cts.type = FrameType::kCts;
+  cts.addr1 = rts.addr2;  // addressed to the RTS sender
+  cts.duration_us = static_cast<std::uint16_t>(remaining);
+  cts.rate = rate;
+  const TrueMicros now = events_.now();
+  medium_.Transmit(std::move(cts), address_, position_, config_.tx_power_dbm,
+                   channel_, this);
+  RecordOwnTx(now, now + cts_air);
+  ++counters_.cts_replies_sent;
+}
+
+void Mac::CompleteMsdu(bool delivered) {
+  events_.Cancel(ack_timeout_event_);
+  ack_timeout_event_ = kInvalidEvent;
+  Msdu done = std::move(queue_.front());
+  queue_.pop_front();
+  if (delivered) {
+    ++counters_.msdu_delivered;
+    if (done.dst.IsUnicast()) ArfReportSuccess(done.dst);
+  } else {
+    ++counters_.msdu_failed;
+  }
+  cw_ = kCwMin;
+  backoff_remaining_ = -1;
+  state_ = State::kIdle;
+  if (tx_status_handler_) tx_status_handler_(done.id, delivered);
+  MaybeStartAccess();
+}
+
+void Mac::SendAck(MacAddress to, PhyRate eliciting_rate) {
+  const PhyRate rate = ControlResponseRate(eliciting_rate);
+  Frame ack = MakeAck(to, rate);
+  const Micros air = ack.AirTimeMicros();
+  const TrueMicros now = events_.now();
+  medium_.Transmit(std::move(ack), address_, position_, config_.tx_power_dbm,
+                   channel_, this);
+  RecordOwnTx(now, now + air);
+  ++counters_.acks_sent;
+}
+
+bool Mac::OverlapsOwnTx(TrueMicros start, TrueMicros end) const {
+  for (const auto& [s, e] : own_tx_intervals_) {
+    if (s < end && e > start) return true;
+  }
+  return false;
+}
+
+void Mac::RecordOwnTx(TrueMicros start, TrueMicros end) {
+  own_tx_intervals_.emplace_back(start, end);
+  while (own_tx_intervals_.size() > 8 &&
+         own_tx_intervals_.front().second + Seconds(1) < events_.now()) {
+    own_tx_intervals_.pop_front();
+  }
+  // Self-wakeup: the medium never calls us back about our own frames, so a
+  // contention paused by our own ACK/CTS transmission must resume here.
+  events_.Schedule(end + 1, [this] {
+    if (state_ == State::kDeferring && !MediumBusy()) BeginCountdownOrDefer();
+  });
+}
+
+void Mac::OnTxStart(const Transmission&, double rssi_dbm) {
+  if (rssi_dbm < config_.carrier_sense_dbm) return;
+  ++cs_count_;
+  if (state_ == State::kBackoff) PauseCountdown();
+}
+
+void Mac::OnTxEnd(const Transmission& tx, double rssi_dbm,
+                  RxOutcome outcome) {
+  const bool sensed = rssi_dbm >= config_.carrier_sense_dbm;
+  if (sensed) {
+    cs_count_ = std::max(0, cs_count_ - 1);
+  }
+
+  // Half duplex: anything overlapping our own transmissions is unreceivable.
+  const bool deaf = OverlapsOwnTx(tx.start, tx.end);
+  if (!deaf && outcome == RxOutcome::kOk) HandleDecodedFrame(tx);
+
+  // The channel may have just gone idle: resume a paused contention.
+  if (state_ == State::kDeferring && !MediumBusy()) {
+    BeginCountdownOrDefer();
+  } else if (state_ == State::kDeferring && cs_count_ == 0) {
+    ScheduleNavResume();
+  }
+}
+
+void Mac::HandleDecodedFrame(const Transmission& tx) {
+  const Frame& f = tx.frame;
+
+  // Virtual carrier sense: honor duration fields of frames not for us.
+  if (f.addr1 != address_ && f.duration_us > 0) {
+    const TrueMicros new_nav = events_.now() + f.duration_us;
+    if (new_nav > nav_until_) nav_until_ = new_nav;
+    if (state_ == State::kBackoff) PauseCountdown();
+    if (state_ == State::kDeferring && cs_count_ == 0) ScheduleNavResume();
+  }
+
+  if (f.type == FrameType::kAck) {
+    if (f.addr1 == address_ && state_ == State::kWaitAck) {
+      CompleteMsdu(true);
+    }
+    return;
+  }
+  if (f.type == FrameType::kCts) {
+    // CTS answering our RTS: the channel is reserved, send the DATA.
+    if (f.addr1 == address_ && state_ == State::kWaitCts) {
+      events_.Cancel(cts_timeout_event_);
+      cts_timeout_event_ = kInvalidEvent;
+      pending_tx_event_ = events_.ScheduleIn(kSifs, [this] {
+        pending_tx_event_ = kInvalidEvent;
+        TransmitCurrentFrame();
+      });
+      state_ = State::kProtecting;  // reserved; DATA follows after SIFS
+    }
+    return;
+  }
+  if (f.type == FrameType::kRts) {
+    // Respond with CTS after SIFS when addressed to us and our NAV allows.
+    if (f.addr1 == address_ && events_.now() >= nav_until_) {
+      const Frame rts_copy = f;
+      events_.ScheduleIn(kSifs, [this, rts_copy] {
+        if (!TransmittingNow()) SendCtsReply(rts_copy);
+      });
+    }
+    return;
+  }
+
+  // DATA or MANAGEMENT.
+  if (f.addr1 == address_) {
+    // ACK after SIFS unless we will be mid-transmission.
+    if (!TransmittingNow()) {
+      const MacAddress to = f.addr2;
+      const PhyRate eliciting = f.rate;
+      events_.ScheduleIn(kSifs, [this, to, eliciting] {
+        if (!TransmittingNow()) SendAck(to, eliciting);
+      });
+    }
+    // Duplicate filtering by (transmitter, sequence).
+    auto it = rx_last_seq_.find(f.addr2);
+    if (it != rx_last_seq_.end() && it->second == f.sequence && f.retry) {
+      ++counters_.rx_duplicates;
+      return;
+    }
+    rx_last_seq_[f.addr2] = f.sequence;
+    ++counters_.rx_delivered;
+    if (rx_handler_) rx_handler_(f);
+    return;
+  }
+  if (f.addr1.IsBroadcast() || f.addr1.IsMulticast()) {
+    ++counters_.rx_delivered;
+    if (rx_handler_) rx_handler_(f);
+  }
+}
+
+}  // namespace jig

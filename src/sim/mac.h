@@ -1,0 +1,212 @@
+// 802.11 DCF MAC for simulated stations (paper Section 2).
+//
+// Implements the protocol machinery whose artifacts Jigsaw later has to
+// reconstruct and disambiguate:
+//   * CSMA/CA: DIFS sensing, slotted random backoff with contention-window
+//     doubling, freeze-and-resume when the channel goes busy;
+//   * virtual carrier sense (NAV) honoring overheard duration fields;
+//   * ARQ: immediate ACKs after SIFS, retransmission with the retry bit and
+//     the same sequence number, drop after the short retry limit;
+//   * 802.11g protection: a CCK CTS-to-self preceding each OFDM frame when
+//     the BSS has (or recently had) legacy 802.11b stations;
+//   * per-destination ARF-style rate adaptation (rates step down on loss,
+//     never up — one of the paper's inference heuristics);
+//   * 12-bit per-station sequence numbers shared by DATA and MANAGEMENT.
+//
+// Stations are half-duplex: frames overlapping the station's own
+// transmissions are never received, which is one source of the monitoring
+// ambiguities Sections 5's inference rules address.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "sim/event_queue.h"
+#include "sim/medium.h"
+#include "util/rng.h"
+
+namespace jig {
+
+struct MacConfig {
+  double tx_power_dbm = 15.0;
+  double carrier_sense_dbm = -82.0;
+  bool b_only = false;       // legacy 802.11b station: CCK rates only
+  int retry_limit = kShortRetryLimit;
+  std::size_t max_queue = 128;
+  // Extra ACK-timeout slack beyond SIFS + ACK airtime.
+  Micros ack_timeout_slack = 25;
+  // RTS/CTS threshold: unicast DATA bodies of at least this many bytes are
+  // preceded by an RTS/CTS handshake (Section 2's hidden-terminal
+  // reservation).  Defaults to off, as in most production deployments.
+  std::size_t rts_threshold = static_cast<std::size_t>(-1);
+};
+
+struct MacCounters {
+  std::uint64_t data_tx_attempts = 0;
+  std::uint64_t mgmt_tx_attempts = 0;
+  std::uint64_t acks_sent = 0;
+  std::uint64_t cts_self_sent = 0;
+  std::uint64_t rts_sent = 0;
+  std::uint64_t cts_replies_sent = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t msdu_delivered = 0;
+  std::uint64_t msdu_failed = 0;
+  std::uint64_t queue_drops = 0;
+  std::uint64_t rx_delivered = 0;
+  std::uint64_t rx_duplicates = 0;
+};
+
+class Mac : public MediumListener {
+ public:
+  // Deduplicated DATA/MANAGEMENT frames addressed to (or heard broadcast by)
+  // this station, delivered upward.
+  using RxHandler = std::function<void(const Frame&)>;
+  // Final outcome of a queued MSDU: delivered (ACKed, or broadcast sent) or
+  // dropped after the retry limit.
+  using TxStatusHandler = std::function<void(std::uint64_t msdu_id,
+                                             bool delivered)>;
+
+  Mac(EventQueue& events, Medium& medium, MacAddress address, Point3 position,
+      Channel channel, Rng rng, MacConfig config);
+
+  Mac(const Mac&) = delete;
+  Mac& operator=(const Mac&) = delete;
+
+  void set_rx_handler(RxHandler h) { rx_handler_ = std::move(h); }
+  void set_tx_status_handler(TxStatusHandler h) {
+    tx_status_handler_ = std::move(h);
+  }
+
+  MacAddress address() const { return address_; }
+  const MacCounters& counters() const { return counters_; }
+  bool protection() const { return protection_; }
+
+  // 802.11g protection toggled by BSS state (AP decides, clients follow the
+  // beacon ERP element; the scenario wires the propagation).
+  void SetProtection(bool on) { protection_ = on; }
+  // Roaming support (coverage oracle experiment).  Channel changes take
+  // effect for subsequent transmissions/receptions.
+  void SetPosition(Point3 p) { position_ = p; }
+  void SetChannel(Channel c) { channel_ = c; }
+
+  // Enqueues a DATA MSDU.  Returns an id passed back to the status handler.
+  std::uint64_t EnqueueData(MacAddress dst, MacAddress bssid, Bytes body,
+                            bool from_ds, bool to_ds);
+  // Enqueues a management frame (beacon / probe / assoc / auth).  Unicast
+  // management frames are ACKed and retried like data.
+  std::uint64_t EnqueueManagement(FrameType type, MacAddress dst,
+                                  MacAddress bssid, Bytes body);
+
+  std::size_t QueueDepth() const { return queue_.size(); }
+
+  // Rate the MAC would currently use toward `dst`.
+  PhyRate DataRateFor(MacAddress dst) const;
+  // Seeds the ARF starting rate toward `dst` (scenario sets it from the mean
+  // link budget, as a real driver converges to after a few frames).
+  void SeedRate(MacAddress dst, PhyRate rate);
+
+  // MediumListener:
+  Point3 position() const override { return position_; }
+  Channel channel() const override { return channel_; }
+  std::optional<MacAddress> mac_address() const override { return address_; }
+  void OnTxStart(const Transmission& tx, double rssi_dbm) override;
+  void OnTxEnd(const Transmission& tx, double rssi_dbm,
+               RxOutcome outcome) override;
+
+ private:
+  enum class State : std::uint8_t {
+    kIdle,
+    kDeferring,   // have a frame, waiting for the medium
+    kBackoff,     // countdown event pending
+    kProtecting,  // CTS-to-self on the air / SIFS gap before DATA
+    kWaitCts,     // RTS sent, awaiting the CTS response
+    kTransmitting,
+    kWaitAck,
+  };
+
+  struct Msdu {
+    std::uint64_t id = 0;
+    FrameType type = FrameType::kData;
+    MacAddress dst;
+    MacAddress bssid;
+    Bytes body;
+    bool from_ds = false;
+    bool to_ds = false;
+    int attempts = 0;
+    bool seq_assigned = false;
+    std::uint16_t seq = 0;
+    PhyRate rate = PhyRate::kB1;
+  };
+
+  struct ArfState {
+    int ladder_pos = 0;
+    int success_streak = 0;
+    int fail_streak = 0;
+  };
+
+  bool MediumBusy() const;
+  bool TransmittingNow() const;
+  void MaybeStartAccess();
+  void BeginCountdownOrDefer();
+  void PauseCountdown();
+  void ScheduleNavResume();
+  void OnBackoffComplete();
+  void StartTxSequence();
+  void TransmitCurrentFrame();
+  void OnOwnFrameEnd(bool expects_ack, PhyRate data_rate);
+  void OnAckTimeout();
+  void OnCtsTimeout();
+  void SendCtsReply(const Frame& rts);
+  void CompleteMsdu(bool delivered);
+  void SendAck(MacAddress to, PhyRate eliciting_rate);
+  bool OverlapsOwnTx(TrueMicros start, TrueMicros end) const;
+  void RecordOwnTx(TrueMicros start, TrueMicros end);
+  void HandleDecodedFrame(const Transmission& tx);
+  PhyRate PickRate(const Msdu& msdu) const;
+  void ArfReportSuccess(MacAddress dst);
+  void ArfReportFailure(MacAddress dst);
+  int LadderSize() const;
+  PhyRate LadderRate(int pos) const;
+
+  EventQueue& events_;
+  Medium& medium_;
+  MacAddress address_;
+  Point3 position_;
+  Channel channel_;
+  Rng rng_;
+  MacConfig config_;
+
+  RxHandler rx_handler_;
+  TxStatusHandler tx_status_handler_;
+
+  State state_ = State::kIdle;
+  std::deque<Msdu> queue_;
+  std::uint64_t next_msdu_id_ = 1;
+  std::uint16_t seq_counter_ = 0;
+  bool protection_ = false;
+
+  int cs_count_ = 0;
+  TrueMicros nav_until_ = 0;
+  EventId nav_resume_event_ = kInvalidEvent;
+  int cw_ = kCwMin;
+  int backoff_remaining_ = -1;  // -1: no draw pending
+  TrueMicros countdown_started_ = 0;
+  EventId countdown_event_ = kInvalidEvent;
+  EventId ack_timeout_event_ = kInvalidEvent;
+  EventId cts_timeout_event_ = kInvalidEvent;
+  EventId pending_tx_event_ = kInvalidEvent;
+
+  std::deque<std::pair<TrueMicros, TrueMicros>> own_tx_intervals_;
+
+  // Receive-side duplicate detection: last sequence number seen per
+  // transmitter (802.11 duplicate cache).
+  std::unordered_map<MacAddress, std::uint16_t> rx_last_seq_;
+  std::unordered_map<MacAddress, ArfState> arf_;
+
+  MacCounters counters_;
+};
+
+}  // namespace jig

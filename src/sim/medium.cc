@@ -1,0 +1,164 @@
+#include "sim/medium.h"
+
+#include <algorithm>
+
+namespace jig {
+
+void Medium::AddListener(MediumListener* listener) {
+  listeners_.push_back(listener);
+}
+
+TxId Medium::Transmit(Frame frame, MacAddress transmitter, Point3 position,
+                      double power_dbm, Channel channel,
+                      const MediumListener* origin) {
+  const TxId id = next_tx_id_++;
+  ActiveTx entry;
+  entry.origin = origin;
+  entry.tx.id = id;
+  entry.tx.frame = std::move(frame);
+  entry.tx.wire = entry.tx.frame.Serialize();
+  entry.tx.transmitter = transmitter;
+  entry.tx.position = position;
+  entry.tx.power_dbm = power_dbm;
+  entry.tx.channel = channel;
+  entry.tx.start = events_.now();
+  entry.tx.end = events_.now() + entry.tx.frame.AirTimeMicros();
+
+  // Offer to every co-channel listener except the transmitter itself.
+  entry.receivers.reserve(listeners_.size());
+  for (MediumListener* l : listeners_) {
+    if (l == origin) continue;
+    if (!ChannelsInterfere(l->channel(), channel)) continue;
+    const double rssi = propagation_.SampleRssiDbm(
+        position, l->position(), power_dbm, rng_, events_.now());
+    if (rssi < kPhyDetectDbm - 6.0) continue;  // far below any effect
+    PerListener pl;
+    pl.listener = l;
+    pl.rssi_dbm = rssi;
+    // Interference already on the air when we begin.
+    for (auto& [okey, other] : active_) {
+      if (!ChannelsInterfere(other.tx.channel, channel)) continue;
+      for (const auto& opl : other.receivers) {
+        if (opl.listener == l) {
+          // `other` adds interference to us at this listener.
+          pl.interference_mw += DbmToMw(
+              propagation_.MeanRssiDbm(other.tx.position, l->position(),
+                                       other.tx.power_dbm));
+          break;
+        }
+      }
+    }
+    for (const auto& nb : noise_) {
+      if (nb.burst.end > events_.now()) {
+        pl.interference_mw += DbmToMw(propagation_.MeanRssiDbm(
+            nb.burst.position, l->position(), nb.burst.power_dbm));
+      }
+    }
+    entry.receivers.push_back(pl);
+  }
+
+  // Symmetrically, we add interference to every in-flight transmission.
+  for (auto& [okey, other] : active_) {
+    if (!ChannelsInterfere(other.tx.channel, channel)) continue;
+    for (auto& opl : other.receivers) {
+      opl.interference_mw += DbmToMw(propagation_.MeanRssiDbm(
+          position, opl.listener->position(), power_dbm));
+    }
+  }
+
+  // Announce start for carrier sense.
+  for (auto& pl : entry.receivers) {
+    pl.announced = true;
+    pl.listener->OnTxStart(entry.tx, pl.rssi_dbm);
+  }
+
+  const TrueMicros end = entry.tx.end;
+  active_.emplace(id, std::move(entry));
+  events_.Schedule(end, [this, id] { FinishTransmission(id); });
+  return id;
+}
+
+void Medium::FinishTransmission(std::uint64_t key) {
+  auto it = active_.find(key);
+  if (it == active_.end()) return;
+  // Move out so callbacks can start new transmissions without invalidating
+  // our iteration state.
+  ActiveTx entry = std::move(it->second);
+  active_.erase(it);
+
+  TruthEntry truth;
+  if (truth_) {
+    truth.tx_id = entry.tx.id;
+    truth.start = entry.tx.start;
+    truth.end = entry.tx.end;
+    truth.channel = entry.tx.channel;
+    truth.type = entry.tx.frame.type;
+    truth.transmitter = entry.tx.transmitter;
+    truth.receiver = entry.tx.frame.addr1;
+    truth.sequence = entry.tx.frame.sequence;
+    truth.retry = entry.tx.frame.retry;
+    truth.wire_len = static_cast<std::uint32_t>(entry.tx.wire.size());
+    truth.digest = ContentDigest(entry.tx.wire);
+  }
+
+  for (auto& pl : entry.receivers) {
+    const double sinr =
+        propagation_.SinrDb(pl.rssi_dbm, pl.interference_mw);
+    const RxOutcome outcome =
+        DecideReception(pl.rssi_dbm, sinr, entry.tx.frame.rate);
+    if (truth_) {
+      const auto mac = pl.listener->mac_address();
+      if (!mac) {  // passive monitor radio
+        if (outcome == RxOutcome::kOk) ++truth.monitors_ok;
+        if (outcome != RxOutcome::kNotHeard) ++truth.monitors_any;
+      } else if (entry.tx.frame.addr1.IsUnicast() &&
+                 *mac == entry.tx.frame.addr1) {
+        truth.delivered_ok = outcome == RxOutcome::kOk;
+        truth.interfered = pl.interference_mw > 0.0;
+      }
+    }
+    pl.listener->OnTxEnd(entry.tx, pl.rssi_dbm, outcome);
+  }
+  if (truth_) truth_->Add(truth);
+}
+
+void Medium::EmitNoise(Point3 position, double power_dbm, Micros duration) {
+  NoiseBurst burst;
+  burst.position = position;
+  burst.power_dbm = power_dbm;
+  burst.start = events_.now();
+  burst.end = events_.now() + duration;
+  noise_.push_back(ActiveNoise{burst});
+
+  // The burst interferes with every transmission currently in flight.
+  for (auto& [key, tx] : active_) {
+    for (auto& pl : tx.receivers) {
+      pl.interference_mw += DbmToMw(propagation_.MeanRssiDbm(
+          position, pl.listener->position(), power_dbm));
+    }
+  }
+
+  // Announce to listeners that can hear the burst at all.
+  for (MediumListener* l : listeners_) {
+    const double rssi =
+        propagation_.MeanRssiDbm(position, l->position(), power_dbm);
+    if (rssi >= kPhyDetectDbm) l->OnNoise(burst.start, duration, rssi);
+  }
+
+  events_.ScheduleIn(duration, [this] {
+    const TrueMicros now = events_.now();
+    std::erase_if(noise_, [now](const ActiveNoise& n) {
+      return n.burst.end <= now;
+    });
+  });
+}
+
+int Medium::ActiveCount(Channel ch) const {
+  int n = 0;
+  for (const auto& [key, tx] : active_) {
+    if (tx.tx.channel == ch) ++n;
+  }
+  return n;
+}
+
+}  // namespace jig

@@ -1,0 +1,136 @@
+// The shared wireless medium: transmission lifecycle, per-listener RSSI,
+// interference accounting, and broadband noise bursts.
+//
+// Wireless is a broadcast channel with spatial diversity (paper Section 4):
+// every transmission is offered to every co-channel listener, each of which
+// hears it at its own signal level and against its own interference.  The
+// medium delivers two callbacks per transmission per listener — start (for
+// carrier sense) and end (with a reception outcome) — and accumulates
+// overlap interference so hidden-terminal collisions corrupt frames at the
+// receivers that matter while distant monitors log them cleanly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include <optional>
+
+#include "phy/propagation.h"
+#include "sim/event_queue.h"
+#include "sim/truth.h"
+#include "util/rng.h"
+#include "wifi/channel.h"
+#include "wifi/frame.h"
+
+namespace jig {
+
+using TxId = std::uint64_t;
+
+// One frame on the air.
+struct Transmission {
+  TxId id = 0;
+  Frame frame;
+  Bytes wire;  // serialized bytes with valid FCS
+  MacAddress transmitter;
+  Point3 position;
+  double power_dbm = 15.0;
+  Channel channel = Channel::kCh1;
+  TrueMicros start = 0;
+  TrueMicros end = 0;
+};
+
+class MediumListener {
+ public:
+  virtual ~MediumListener() = default;
+
+  virtual Point3 position() const = 0;
+  virtual Channel channel() const = 0;
+
+  // Stations return their MAC address; passive monitors return nullopt.
+  // The medium uses this only to attribute ground-truth delivery outcomes.
+  virtual std::optional<MacAddress> mac_address() const {
+    return std::nullopt;
+  }
+
+  // Energy from `tx` became detectable (rssi above the carrier-sense or
+  // detection floor).  Listeners use this for carrier sense.
+  virtual void OnTxStart(const Transmission& tx, double rssi_dbm) = 0;
+
+  // The transmission ended; `outcome` is this listener's reception result
+  // including interference from everything that overlapped it.
+  virtual void OnTxEnd(const Transmission& tx, double rssi_dbm,
+                       RxOutcome outcome) = 0;
+
+  // A broadband noise burst became audible at this listener.  Default:
+  // ignore.  Monitors log a PHY-error event (noise is nearly half of all
+  // logged events in the paper's trace); stations rely on frame corruption.
+  virtual void OnNoise(TrueMicros /*start*/, Micros /*duration*/,
+                       double /*rssi_dbm*/) {}
+};
+
+// A stationary broadband interferer (microwave oven analog): while active it
+// adds interference power at co-located listeners on all channels and, when
+// strong enough at a monitor, produces PHY-error log events.
+struct NoiseBurst {
+  Point3 position;
+  double power_dbm = 20.0;
+  TrueMicros start = 0;
+  TrueMicros end = 0;
+};
+
+class Medium {
+ public:
+  // `truth` (optional) receives a ground-truth entry per transmission.
+  Medium(EventQueue& events, const PropagationModel& propagation, Rng rng,
+         TruthLog* truth = nullptr)
+      : events_(events), propagation_(propagation), rng_(rng),
+        truth_(truth) {}
+
+  // Listeners must outlive the medium; registration order is stable.
+  void AddListener(MediumListener* listener);
+
+  // Begins a transmission now.  The returned id identifies it in callbacks.
+  // `origin` (if non-null) is excluded from its own callbacks.
+  TxId Transmit(Frame frame, MacAddress transmitter, Point3 position,
+                double power_dbm, Channel channel,
+                const MediumListener* origin);
+
+  // Starts a broadband noise burst now, lasting `duration`.
+  void EmitNoise(Point3 position, double power_dbm, Micros duration);
+
+  // Number of transmissions currently on the air on `ch`.
+  int ActiveCount(Channel ch) const;
+
+  std::uint64_t transmissions_started() const { return next_tx_id_ - 1; }
+
+ private:
+  struct PerListener {
+    MediumListener* listener = nullptr;
+    double rssi_dbm = -300.0;
+    double interference_mw = 0.0;  // accumulated from overlapping traffic
+    bool announced = false;        // OnTxStart delivered
+  };
+  struct ActiveTx {
+    Transmission tx;
+    std::vector<PerListener> receivers;
+    const MediumListener* origin = nullptr;
+  };
+  struct ActiveNoise {
+    NoiseBurst burst;
+  };
+
+  void FinishTransmission(std::uint64_t key);
+
+  EventQueue& events_;
+  const PropagationModel& propagation_;
+  Rng rng_;
+  TruthLog* truth_ = nullptr;
+  std::vector<MediumListener*> listeners_;
+  std::unordered_map<std::uint64_t, ActiveTx> active_;
+  std::vector<ActiveNoise> noise_;
+  TxId next_tx_id_ = 1;
+};
+
+}  // namespace jig

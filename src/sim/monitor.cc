@@ -1,0 +1,107 @@
+#include "sim/monitor.h"
+
+#include <algorithm>
+
+namespace jig {
+
+MonitorRadio::MonitorRadio(EventQueue& events, ClockModel& clock,
+                           TraceHeader header, Point3 position, Rng rng)
+    : events_(events),
+      clock_(clock),
+      header_(header),
+      position_(position),
+      rng_(rng) {}
+
+void MonitorRadio::OnTxEnd(const Transmission& tx, double rssi_dbm,
+                           RxOutcome outcome) {
+  if (outcome == RxOutcome::kNotHeard) return;
+  CaptureRecord rec;
+  // The Atheros clock stamps the frame as reception begins.
+  rec.timestamp = clock_.CaptureTimestamp(tx.start);
+  rec.outcome = outcome;
+  rec.rssi_dbm = static_cast<float>(rssi_dbm);
+  rec.orig_len = static_cast<std::uint32_t>(tx.wire.size());
+
+  switch (outcome) {
+    case RxOutcome::kOk: {
+      rec.rate = tx.frame.rate;
+      const std::size_t keep =
+          std::min<std::size_t>(tx.wire.size(), header_.snaplen);
+      rec.bytes.assign(tx.wire.begin(), tx.wire.begin() + keep);
+      break;
+    }
+    case RxOutcome::kFcsError: {
+      rec.rate = tx.frame.rate;
+      const std::size_t keep =
+          std::min<std::size_t>(tx.wire.size(), header_.snaplen);
+      rec.bytes.assign(tx.wire.begin(), tx.wire.begin() + keep);
+      // Damage 1..6 bytes; the FCS check downstream fails naturally.
+      const int flips = static_cast<int>(rng_.NextInt(1, 6));
+      for (int i = 0; i < flips && !rec.bytes.empty(); ++i) {
+        const auto idx = rng_.NextBelow(rec.bytes.size());
+        rec.bytes[idx] ^= static_cast<std::uint8_t>(rng_.NextInt(1, 255));
+      }
+      break;
+    }
+    case RxOutcome::kPhyError:
+      // PLCP never decoded: no bytes, unknown rate/length.
+      rec.rate = PhyRate::kB1;
+      rec.orig_len = 0;
+      break;
+    case RxOutcome::kNotHeard:
+      return;
+  }
+  records_.push_back(std::move(rec));
+}
+
+void MonitorRadio::OnNoise(TrueMicros start, Micros duration,
+                           double rssi_dbm) {
+  // Broadband noise shows up as a burst of PHY-error events while the
+  // interferer is active; one event per ~2 ms of audible burst.
+  const int events_logged =
+      1 + static_cast<int>(std::min<Micros>(duration, Milliseconds(40)) /
+                           Milliseconds(2));
+  for (int i = 0; i < events_logged; ++i) {
+    CaptureRecord rec;
+    const TrueMicros at =
+        start + (duration * i) / std::max(1, events_logged);
+    rec.timestamp = clock_.CaptureTimestamp(at);
+    rec.outcome = RxOutcome::kPhyError;
+    rec.rssi_dbm = static_cast<float>(rssi_dbm);
+    rec.rate = PhyRate::kB1;
+    rec.orig_len = 0;
+    records_.push_back(std::move(rec));
+  }
+}
+
+std::unique_ptr<MemoryTrace> MonitorRadio::TakeTrace() {
+  std::stable_sort(records_.begin(), records_.end(),
+                   [](const CaptureRecord& a, const CaptureRecord& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+  auto trace =
+      std::make_unique<MemoryTrace>(header_, std::move(records_));
+  records_.clear();
+  return trace;
+}
+
+Monitor::Monitor(EventQueue& events, Medium& medium,
+                 const ClockConfig& clock_config, Rng rng, std::uint16_t pod,
+                 std::uint16_t monitor_index, Point3 position,
+                 std::array<Channel, 2> channels, RadioId first_radio_id)
+    : clock_(clock_config, rng.Fork(0x10C)) {
+  for (std::size_t i = 0; i < channels.size(); ++i) {
+    TraceHeader header;
+    header.radio = static_cast<RadioId>(first_radio_id + i);
+    header.pod = pod;
+    header.monitor = monitor_index;
+    header.channel = channels[i];
+    header.ntp_utc_of_local_zero_us = clock_.NtpUtcOfLocalZero();
+    auto radio = std::make_unique<MonitorRadio>(
+        events, clock_, header, position, rng.Fork(0x200 + i));
+    medium.AddListener(radio.get());
+    radios_.push_back(std::move(radio));
+  }
+}
+
+}  // namespace jig

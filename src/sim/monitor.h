@@ -1,0 +1,71 @@
+// Passive monitor pods (paper Section 3).
+//
+// A pod is a pair of monitors a meter apart; each monitor carries two radios
+// tuned to different channels and — crucially — timestamps both radios from
+// ONE local clock (the modified MadWifi driver slaves the second radio to
+// the first).  That shared clock is the bridge bootstrap synchronization
+// uses to relate channels.  Radios log every physical event they can
+// detect: valid frames, FCS-corrupted frames (with damaged bytes), and PHY
+// errors (energy they could not decode), exactly the event classes jigdump
+// records.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "sim/clock_model.h"
+#include "sim/event_queue.h"
+#include "sim/medium.h"
+#include "trace/trace_set.h"
+
+namespace jig {
+
+class MonitorRadio final : public MediumListener {
+ public:
+  MonitorRadio(EventQueue& events, ClockModel& clock, TraceHeader header,
+               Point3 position, Rng rng);
+
+  const TraceHeader& header() const { return header_; }
+  std::size_t captured() const { return records_.size(); }
+
+  // Extracts the trace, sorted by local timestamp (overlapping receptions
+  // complete out of order).  The radio keeps capturing afterwards.
+  std::unique_ptr<MemoryTrace> TakeTrace();
+
+  // MediumListener:
+  Point3 position() const override { return position_; }
+  Channel channel() const override { return header_.channel; }
+  void OnTxStart(const Transmission&, double) override {}
+  void OnTxEnd(const Transmission& tx, double rssi_dbm,
+               RxOutcome outcome) override;
+  void OnNoise(TrueMicros start, Micros duration, double rssi_dbm) override;
+
+ private:
+  EventQueue& events_;
+  ClockModel& clock_;
+  TraceHeader header_;
+  Point3 position_;
+  Rng rng_;
+  std::vector<CaptureRecord> records_;
+};
+
+// One physical monitor: two radios sharing a clock.
+class Monitor {
+ public:
+  Monitor(EventQueue& events, Medium& medium, const ClockConfig& clock_config,
+          Rng rng, std::uint16_t pod, std::uint16_t monitor_index,
+          Point3 position, std::array<Channel, 2> channels,
+          RadioId first_radio_id);
+
+  ClockModel& clock() { return clock_; }
+  const ClockModel& clock() const { return clock_; }
+  MonitorRadio& radio(std::size_t i) { return *radios_[i]; }
+  std::size_t radio_count() const { return radios_.size(); }
+
+ private:
+  ClockModel clock_;
+  std::vector<std::unique_ptr<MonitorRadio>> radios_;
+};
+
+}  // namespace jig

@@ -1,0 +1,268 @@
+#include "sim/scenario.h"
+
+#include <algorithm>
+
+namespace jig {
+namespace {
+
+// Evenly spread selection of `want` indices out of `total` — the
+// "visual redundancy" pod-reduction rule of Section 6: drop pods whose
+// coverage overlaps neighbours, keeping the spatial spread.
+std::vector<int> SpreadSelect(int total, int want) {
+  std::vector<int> keep;
+  if (want >= total) {
+    for (int i = 0; i < total; ++i) keep.push_back(i);
+    return keep;
+  }
+  for (int k = 0; k < want; ++k) {
+    keep.push_back(static_cast<int>(
+        (static_cast<double>(k) + 0.5) * total / want));
+  }
+  return keep;
+}
+
+}  // namespace
+
+Scenario::Scenario(ScenarioConfig config)
+    : config_(config),
+      rng_(config.seed),
+      propagation_(config.building, config.propagation),
+      medium_(events_, propagation_, rng_.Fork(0x3ED), &truth_) {
+  wired_ = std::make_unique<WiredNetwork>(events_, rng_.Fork(0x317),
+                                          config_.wired);
+  BuildAps();
+  BuildPods();
+  BuildClients();
+
+  std::vector<Client*> raw_clients;
+  raw_clients.reserve(clients_.size());
+  for (auto& c : clients_) raw_clients.push_back(c.get());
+  traffic_ = std::make_unique<TrafficManager>(events_, *wired_,
+                                              std::move(raw_clients),
+                                              rng_.Fork(0x7F0), config_.workload,
+                                              config_.duration);
+}
+
+Scenario::~Scenario() = default;
+
+void Scenario::BuildAps() {
+  const auto& b = config_.building;
+  MacConfig mac_cfg;
+  mac_cfg.tx_power_dbm = config_.ap.tx_power_dbm;
+  mac_cfg.carrier_sense_dbm = config_.propagation.carrier_sense_dbm;
+  int index = 0;
+  for (int floor = 0; floor < b.floors; ++floor) {
+    for (int i = 0; i < config_.aps_per_floor; ++i) {
+      Point3 pos{b.length_m * (i + 0.5) / config_.aps_per_floor,
+                 b.width_m / 2.0, floor * b.floor_height_m + 2.8};
+      const Channel ch = kAllChannels[index % kAllChannels.size()];
+      auto ap = std::make_unique<AccessPoint>(
+          events_, medium_, *wired_, static_cast<std::uint16_t>(index), pos,
+          ch, rng_.Fork(0xA000 + index), config_.ap, mac_cfg);
+      ap_info_.push_back(ApInfo{ap->address(), pos, ch,
+                                static_cast<std::uint16_t>(index)});
+      aps_.push_back(std::move(ap));
+      ++index;
+    }
+  }
+}
+
+void Scenario::BuildPods() {
+  const auto& b = config_.building;
+  // Candidate pod positions: corridor-mounted like the APs but offset so
+  // pods sit between APs.
+  struct Candidate {
+    Point3 pos;
+  };
+  std::vector<Candidate> candidates;
+  for (int floor = 0; floor < b.floors; ++floor) {
+    for (int i = 0; i < config_.pods_per_floor; ++i) {
+      candidates.push_back(Candidate{
+          Point3{b.length_m * (i + 0.15) / config_.pods_per_floor,
+                 b.width_m / 2.0 - 2.0, floor * b.floor_height_m + 2.5}});
+    }
+  }
+  int total = std::min<int>(static_cast<int>(candidates.size()),
+                            config_.total_pods_cap);
+  const int want = config_.pods_enabled < 0
+                       ? total
+                       : std::min(config_.pods_enabled, total);
+  const auto keep = SpreadSelect(total, want);
+
+  RadioId next_radio = 0;
+  std::uint16_t monitor_index = 0;
+  for (std::size_t k = 0; k < keep.size(); ++k) {
+    const auto& cand = candidates[static_cast<std::size_t>(keep[k])];
+    PodInfo info;
+    info.position = cand.pos;
+    // Two monitors a meter apart; radio channel plan covers 1, 6, 11 and
+    // doubles up on the often-busiest channel 1.
+    const std::array<std::array<Channel, 2>, 2> plans = {{
+        {Channel::kCh1, Channel::kCh6},
+        {Channel::kCh11, Channel::kCh1},
+    }};
+    for (int m = 0; m < 2; ++m) {
+      Point3 mon_pos = cand.pos;
+      mon_pos.x += m == 0 ? -0.5 : 0.5;
+      auto monitor = std::make_unique<Monitor>(
+          events_, medium_, config_.clock,
+          rng_.Fork(0xB000 + monitor_index), static_cast<std::uint16_t>(k),
+          monitor_index, mon_pos, plans[m], next_radio);
+      info.radios.push_back(next_radio);
+      info.radios.push_back(static_cast<RadioId>(next_radio + 1));
+      next_radio = static_cast<RadioId>(next_radio + 2);
+      ++monitor_index;
+      monitors_.push_back(std::move(monitor));
+    }
+    pod_info_.push_back(std::move(info));
+  }
+}
+
+Channel Scenario::BestApFor(Point3 pos, double tx_power,
+                            std::uint16_t* ap_index, double* rssi_out) const {
+  double best_rssi = -1e9;
+  std::uint16_t best = 0;
+  for (const auto& ap : ap_info_) {
+    const double rssi =
+        propagation_.MeanRssiDbm(ap.position, pos, config_.ap.tx_power_dbm);
+    if (rssi > best_rssi) {
+      best_rssi = rssi;
+      best = ap.index;
+    }
+  }
+  (void)tx_power;
+  if (ap_index) *ap_index = best;
+  if (rssi_out) *rssi_out = best_rssi;
+  return ap_info_[best].channel;
+}
+
+void Scenario::BuildClients() {
+  const auto& b = config_.building;
+  for (int i = 0; i < config_.clients; ++i) {
+    // Offices flank the corridor: two bands across the building width.
+    const double x = rng_.NextDouble(2.0, b.length_m - 2.0);
+    const double y = rng_.NextBool(0.5) ? rng_.NextDouble(3.0, 14.0)
+                                        : rng_.NextDouble(26.0, 37.0);
+    const int floor = static_cast<int>(rng_.NextBelow(
+        static_cast<std::uint64_t>(b.floors)));
+    const Point3 pos{x, y, floor * b.floor_height_m + 1.0};
+
+    ClientConfig cfg;
+    cfg.b_only = rng_.NextBool(config_.b_client_fraction);
+    cfg.ip = MakeIpv4(10, 2, static_cast<std::uint8_t>(i >> 8),
+                      static_cast<std::uint8_t>(i & 0xFF));
+    std::uint16_t ap_index = 0;
+    double rssi = 0.0;
+    const Channel ch = BestApFor(pos, config_.client_tx_power_dbm, &ap_index,
+                                 &rssi);
+    cfg.ap_index = ap_index;
+    cfg.ap_mac = ap_info_[ap_index].mac;
+
+    MacConfig mac_cfg;
+    mac_cfg.tx_power_dbm = config_.client_tx_power_dbm;
+    mac_cfg.carrier_sense_dbm = config_.propagation.carrier_sense_dbm;
+    mac_cfg.b_only = cfg.b_only;
+
+    auto client = std::make_unique<Client>(
+        events_, medium_, *wired_, static_cast<std::uint16_t>(i), pos, ch,
+        rng_.Fork(0xC000 + i), mac_cfg, cfg);
+
+    // Seed ARF near the sustainable rate for the link budget, as drivers
+    // converge to within a few frames.
+    PhyRate seed = PhyRate::kB1;
+    const auto consider = [&](PhyRate r) {
+      if (rssi >= SensitivityDbm(r) + 6.0) seed = r;
+    };
+    if (cfg.b_only) {
+      for (PhyRate r : kBRates) consider(r);
+    } else {
+      for (PhyRate r : kBRates) consider(r);
+      for (PhyRate r : kGRates) {
+        if (r >= PhyRate::kG12) consider(r);
+      }
+    }
+    client->mac().SeedRate(cfg.ap_mac, seed);
+    aps_[ap_index]->mac().SeedRate(client->address(), seed);
+
+    client_info_.push_back(ClientInfo{client->address(), cfg.ip, pos,
+                                      cfg.b_only, ap_index,
+                                      ap_info_[ap_index].channel});
+    clients_.push_back(std::move(client));
+  }
+}
+
+void Scenario::ScheduleNoise() {
+  if (config_.noise_bursts_per_min <= 0.0) return;
+  ScheduleNoiseTick();
+}
+
+void Scenario::ScheduleNoiseTick() {
+  const auto& b = config_.building;
+  const double mean_gap_us = 60.0 * 1e6 / config_.noise_bursts_per_min;
+  const Micros gap = std::max<Micros>(
+      static_cast<Micros>(rng_.NextExponential(mean_gap_us)),
+      Milliseconds(50));
+  events_.ScheduleIn(gap, [this, &b] {
+    // One kitchen per floor, near a building end; pick one per burst.
+    const int floor =
+        static_cast<int>(rng_.NextBelow(static_cast<std::uint64_t>(b.floors)));
+    const Point3 pos{b.length_m - 6.0, 6.0, floor * b.floor_height_m + 1.2};
+    const Micros dur = rng_.NextInt(Milliseconds(5), Milliseconds(60));
+    medium_.EmitNoise(pos, rng_.NextDouble(14.0, 26.0), dur);
+    ScheduleNoiseTick();
+  });
+}
+
+void Scenario::RoamClient(std::size_t i, Point3 pos) {
+  std::uint16_t ap_index = 0;
+  double rssi = 0.0;
+  const Channel ch =
+      BestApFor(pos, config_.client_tx_power_dbm, &ap_index, &rssi);
+  clients_[i]->MoveTo(pos, ap_info_[ap_index].mac, ap_index, ch);
+  client_info_[i].position = pos;
+  client_info_[i].ap_index = ap_index;
+  client_info_[i].channel = ch;
+  // Re-seed rates for the new link budget.
+  PhyRate seed = PhyRate::kB1;
+  const auto consider = [&](PhyRate r) {
+    if (rssi >= SensitivityDbm(r) + 6.0) seed = r;
+  };
+  for (PhyRate r : kBRates) consider(r);
+  if (!clients_[i]->b_only()) {
+    for (PhyRate r : kGRates) {
+      if (r >= PhyRate::kG12) consider(r);
+    }
+  }
+  clients_[i]->mac().SeedRate(ap_info_[ap_index].mac, seed);
+  aps_[ap_index]->mac().SeedRate(clients_[i]->address(), seed);
+}
+
+void Scenario::RunUntil(TrueMicros t) {
+  if (!started_) {
+    started_ = true;
+    for (auto& ap : aps_) ap->Start();
+    traffic_->Start();
+    ScheduleNoise();
+  }
+  events_.RunUntil(std::min<TrueMicros>(t, config_.duration));
+}
+
+void Scenario::Run() { RunUntil(config_.duration); }
+
+TraceSet Scenario::TakeTraces() {
+  // Radios were numbered in construction order; emit in that order.
+  std::vector<std::unique_ptr<MemoryTrace>> traces;
+  for (auto& mon : monitors_) {
+    for (std::size_t r = 0; r < mon->radio_count(); ++r) {
+      traces.push_back(mon->radio(r).TakeTrace());
+    }
+  }
+  std::sort(traces.begin(), traces.end(), [](const auto& a, const auto& b) {
+    return a->header().radio < b->header().radio;
+  });
+  TraceSet set;
+  for (auto& t : traces) set.Add(std::move(t));
+  return set;
+}
+
+}  // namespace jig

@@ -1,0 +1,139 @@
+// Scenario construction: the simulated counterpart of the paper's
+// deployment (Section 3) — a four-floor building blanketed with production
+// APs, wireless clients with a realistic traffic mix, and a constellation
+// of monitor pods, each two monitors of two radios.
+//
+// The default configuration mirrors the paper's shape at reduced time
+// scale: ~40 APs on channels 1/6/11, 39 pods (156 radios), clients split
+// ~85/15 between 802.11g and legacy 802.11b.  Everything is a knob; the
+// benches dial counts and durations per experiment.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "phy/propagation.h"
+#include "sim/access_point.h"
+#include "sim/client.h"
+#include "sim/monitor.h"
+#include "sim/traffic.h"
+#include "sim/truth.h"
+#include "sim/wired.h"
+
+namespace jig {
+
+struct ScenarioConfig {
+  std::uint64_t seed = 42;
+  Micros duration = Seconds(30);
+
+  BuildingModel building;
+  PropagationConfig propagation;
+  ClockConfig clock;
+  WiredConfig wired;
+  WorkloadConfig workload;
+  ApConfig ap;
+  double client_tx_power_dbm = 15.0;
+
+  int aps_per_floor = 10;
+  int pods_per_floor = 10;  // 4 floors * 10 = 40 pods minus one = paper's 39
+  int total_pods_cap = 39;
+  int clients = 60;
+  double b_client_fraction = 0.15;
+
+  // Restrict the deployment to the first N pods after redundancy-ordered
+  // selection (Figure 7 sensitivity); -1 uses all pods.
+  int pods_enabled = -1;
+
+  // Broadband interferers (microwave ovens): expected bursts per minute
+  // over the whole building; 0 disables.
+  double noise_bursts_per_min = 6.0;
+};
+
+struct ClientInfo {
+  MacAddress mac;
+  Ipv4Addr ip = 0;
+  Point3 position;
+  bool b_only = false;
+  std::uint16_t ap_index = 0;
+  Channel channel = Channel::kCh1;
+};
+
+struct ApInfo {
+  MacAddress mac;
+  Point3 position;
+  Channel channel = Channel::kCh1;
+  std::uint16_t index = 0;
+};
+
+struct PodInfo {
+  Point3 position;
+  std::vector<RadioId> radios;
+};
+
+// Owns the full simulation; build, Run(), then harvest traces + oracles.
+class Scenario {
+ public:
+  explicit Scenario(ScenarioConfig config);
+  ~Scenario();
+
+  Scenario(const Scenario&) = delete;
+  Scenario& operator=(const Scenario&) = delete;
+
+  // Runs the event loop to config.duration.
+  void Run();
+  // Runs to an intermediate point (callable repeatedly, ascending).
+  void RunUntil(TrueMicros t);
+
+  // Harvest (after Run): per-radio traces, sorted by local timestamp.
+  TraceSet TakeTraces();
+
+  const TruthLog& truth() const { return truth_; }
+  const std::vector<WiredRecord>& wired_records() const {
+    return wired_->sniffer();
+  }
+  const TrafficStats& traffic_stats() const { return traffic_->stats(); }
+
+  const ScenarioConfig& config() const { return config_; }
+  const std::vector<ClientInfo>& client_info() const { return client_info_; }
+  const std::vector<ApInfo>& ap_info() const { return ap_info_; }
+  const std::vector<PodInfo>& pod_info() const { return pod_info_; }
+
+  // Roams client `i` to `pos`, re-associating with the strongest AP there
+  // (at the current event time; schedule via events() for mid-run roams).
+  void RoamClient(std::size_t i, Point3 pos);
+
+  EventQueue& events() { return events_; }
+  Client& client(std::size_t i) { return *clients_[i]; }
+  AccessPoint& ap(std::size_t i) { return *aps_[i]; }
+  std::size_t client_count() const { return clients_.size(); }
+  std::size_t ap_count() const { return aps_.size(); }
+  const PropagationModel& propagation() const { return propagation_; }
+
+ private:
+  void BuildAps();
+  void BuildPods();
+  void BuildClients();
+  void ScheduleNoise();
+  void ScheduleNoiseTick();
+  Channel BestApFor(Point3 pos, double tx_power, std::uint16_t* ap_index,
+                    double* rssi_out) const;
+
+  ScenarioConfig config_;
+  Rng rng_;
+  EventQueue events_;
+  PropagationModel propagation_;
+  TruthLog truth_;
+  Medium medium_;
+  std::unique_ptr<WiredNetwork> wired_;
+  std::vector<std::unique_ptr<AccessPoint>> aps_;
+  std::vector<std::unique_ptr<Monitor>> monitors_;
+  std::vector<std::unique_ptr<Client>> clients_;
+  std::unique_ptr<TrafficManager> traffic_;
+
+  std::vector<ClientInfo> client_info_;
+  std::vector<ApInfo> ap_info_;
+  std::vector<PodInfo> pod_info_;
+  bool started_ = false;
+};
+
+}  // namespace jig

@@ -1,0 +1,303 @@
+#include "sim/tcp.h"
+
+#include <algorithm>
+
+namespace jig {
+
+TcpPeer::TcpPeer(EventQueue& events, Rng rng, std::uint16_t local_port,
+                 std::uint16_t remote_port, bool initiator, TcpConfig config,
+                 SendFn send)
+    : events_(events),
+      rng_(rng),
+      local_port_(local_port),
+      remote_port_(remote_port),
+      initiator_(initiator),
+      config_(config),
+      send_(std::move(send)) {
+  cwnd_ = config_.initial_cwnd_segments;
+  ssthresh_ = config_.initial_ssthresh_segments;
+  // Distinct deterministic ISNs per side keep wire sequences readable.
+  iss_ = initiator_ ? 1'000'000 : 5'000'000;
+}
+
+Micros TcpPeer::CurrentRto() const {
+  Micros rto;
+  if (!have_rtt_) {
+    rto = config_.initial_rto;
+  } else {
+    rto = static_cast<Micros>(srtt_us_ + 4.0 * rttvar_us_);
+  }
+  rto = std::max(rto, config_.min_rto);
+  for (int i = 0; i < rto_backoff_; ++i) rto *= 2;
+  return std::min(rto, config_.max_rto);
+}
+
+void TcpPeer::ArmRto() {
+  DisarmRto();
+  rto_event_ = events_.ScheduleIn(CurrentRto(), [this] { OnRto(); });
+}
+
+void TcpPeer::DisarmRto() {
+  events_.Cancel(rto_event_);
+  rto_event_ = kInvalidEvent;
+}
+
+void TcpPeer::SendSegment(std::uint8_t flags, std::uint32_t seq,
+                          std::uint16_t payload_len, bool is_retransmission) {
+  TcpSegment seg;
+  seg.src_port = local_port_;
+  seg.dst_port = remote_port_;
+  seg.seq = seq;
+  seg.flags = flags;
+  seg.payload_len = payload_len;
+  if (flags & kTcpAck) {
+    std::uint64_t ack_off = rcv_nxt_;
+    seg.ack = irs_ + 1 + static_cast<std::uint32_t>(ack_off);
+  }
+  ++stats_.segments_sent;
+  stats_.bytes_sent += payload_len;
+  if (is_retransmission) ++stats_.retransmissions;
+  send_(seg);
+}
+
+void TcpPeer::SendAckNow() { SendSegment(kTcpAck, iss_ + 1 +
+      static_cast<std::uint32_t>(snd_nxt_), 0, false); }
+
+void TcpPeer::StartConnect() {
+  if (state_ != State::kIdle) return;
+  state_ = State::kSynSent;
+  SendSegment(kTcpSyn, iss_, 0, false);
+  ArmRto();
+}
+
+void TcpPeer::SendData(std::uint64_t bytes) {
+  send_buffer_limit_ += bytes;
+  if (state_ == State::kEstablished) TrySendData();
+}
+
+void TcpPeer::Close() {
+  fin_pending_ = true;
+  if (state_ == State::kEstablished) TrySendData();
+}
+
+void TcpPeer::TrySendData() {
+  if (state_ != State::kEstablished && state_ != State::kFinSent) return;
+  const double cwnd_bytes = cwnd_ * config_.mss;
+  while (snd_nxt_ < send_buffer_limit_ &&
+         static_cast<double>(snd_nxt_ - snd_una_) < cwnd_bytes) {
+    const std::uint16_t len = static_cast<std::uint16_t>(std::min<std::uint64_t>(
+        config_.mss, send_buffer_limit_ - snd_nxt_));
+    const std::uint32_t wire_seq =
+        iss_ + 1 + static_cast<std::uint32_t>(snd_nxt_);
+    if (!rtt_probe_) rtt_probe_ = {snd_nxt_, events_.now()};
+    SendSegment(kTcpAck, wire_seq, len, false);
+    snd_nxt_ += len;
+  }
+  if (fin_pending_ && !fin_sent_ && snd_nxt_ == send_buffer_limit_ &&
+      snd_una_ == snd_nxt_) {
+    fin_sent_ = true;
+    state_ = State::kFinSent;
+    SendSegment(kTcpFin | kTcpAck,
+                iss_ + 1 + static_cast<std::uint32_t>(snd_nxt_), 0, false);
+  }
+  if (snd_nxt_ > snd_una_ || fin_sent_) {
+    if (rto_event_ == kInvalidEvent) ArmRto();
+  }
+}
+
+void TcpPeer::SampleRtt(std::uint32_t /*acked_seq*/) {
+  if (!rtt_probe_) return;
+  if (snd_una_ <= rtt_probe_->first) return;  // probe byte not yet covered
+  const double sample =
+      static_cast<double>(events_.now() - rtt_probe_->second);
+  rtt_probe_.reset();
+  if (!have_rtt_) {
+    srtt_us_ = sample;
+    rttvar_us_ = sample / 2.0;
+    have_rtt_ = true;
+  } else {
+    const double err = sample - srtt_us_;
+    srtt_us_ += 0.125 * err;
+    rttvar_us_ += 0.25 * (std::abs(err) - rttvar_us_);
+  }
+}
+
+void TcpPeer::OnAckAdvance(std::uint32_t ack) {
+  const std::uint64_t ack_off =
+      static_cast<std::uint32_t>(ack - (iss_ + 1));
+  if (ack_off > send_buffer_limit_ + 1) return;  // nonsense / FIN space
+  const bool fin_acked = fin_sent_ && ack_off == send_buffer_limit_ + 1;
+  const std::uint64_t new_una = std::min<std::uint64_t>(
+      fin_acked ? send_buffer_limit_ : ack_off, snd_nxt_);
+  if (new_una > snd_una_) {
+    snd_una_ = new_una;
+    dupacks_ = 0;
+    rto_backoff_ = 0;
+    SampleRtt(ack);
+    if (in_recovery_ && snd_una_ >= recovery_point_) in_recovery_ = false;
+    // Congestion growth (per-ACK): slow start below ssthresh, else AIMD.
+    if (!in_recovery_) {
+      if (cwnd_ < ssthresh_) {
+        cwnd_ += 1.0;
+      } else {
+        cwnd_ += 1.0 / cwnd_;
+      }
+      cwnd_ = std::min(cwnd_, config_.max_cwnd_segments);
+    }
+    if (snd_una_ == snd_nxt_) {
+      DisarmRto();
+      if (snd_nxt_ == send_buffer_limit_ && on_transfer_done_ &&
+          send_buffer_limit_ > 0) {
+        on_transfer_done_();
+      }
+    } else {
+      ArmRto();
+    }
+    TrySendData();
+  } else if (snd_nxt_ > snd_una_ && ack_off == snd_una_) {
+    if (++dupacks_ == 3 && !in_recovery_) EnterFastRetransmit();
+  }
+  if (fin_acked && state_ == State::kFinSent) {
+    state_ = State::kClosed;
+    DisarmRto();
+  }
+}
+
+void TcpPeer::EnterFastRetransmit() {
+  ++stats_.fast_retransmits;
+  in_recovery_ = true;
+  recovery_point_ = snd_nxt_;
+  const double inflight_segs =
+      static_cast<double>(snd_nxt_ - snd_una_) / config_.mss;
+  ssthresh_ = std::max(inflight_segs / 2.0, 2.0);
+  cwnd_ = ssthresh_;
+  rtt_probe_.reset();  // Karn: no sampling across retransmission
+  const std::uint16_t len = static_cast<std::uint16_t>(std::min<std::uint64_t>(
+      config_.mss, send_buffer_limit_ - snd_una_));
+  SendSegment(kTcpAck, iss_ + 1 + static_cast<std::uint32_t>(snd_una_), len,
+              true);
+  ArmRto();
+}
+
+void TcpPeer::OnRto() {
+  rto_event_ = kInvalidEvent;
+  ++stats_.rto_fires;
+  ++rto_backoff_;
+  if (state_ == State::kSynSent) {
+    if (++syn_retries_ > config_.max_syn_retries) {
+      state_ = State::kClosed;
+      return;
+    }
+    SendSegment(kTcpSyn, iss_, 0, false);
+    ArmRto();
+    return;
+  }
+  if (state_ == State::kFinSent && snd_una_ == snd_nxt_) {
+    SendSegment(kTcpFin | kTcpAck,
+                iss_ + 1 + static_cast<std::uint32_t>(snd_nxt_), 0, true);
+    ArmRto();
+    return;
+  }
+  if (snd_nxt_ <= snd_una_) return;
+  // Timeout congestion response + go-back retransmission of one segment.
+  const double inflight_segs =
+      static_cast<double>(snd_nxt_ - snd_una_) / config_.mss;
+  ssthresh_ = std::max(inflight_segs / 2.0, 2.0);
+  cwnd_ = 1.0;
+  in_recovery_ = false;
+  dupacks_ = 0;
+  rtt_probe_.reset();
+  const std::uint16_t len = static_cast<std::uint16_t>(std::min<std::uint64_t>(
+      config_.mss, send_buffer_limit_ - snd_una_));
+  SendSegment(kTcpAck, iss_ + 1 + static_cast<std::uint32_t>(snd_una_), len,
+              true);
+  ArmRto();
+}
+
+void TcpPeer::OnSegmentReceived(const TcpSegment& seg) {
+  if (state_ == State::kClosed) return;
+
+  if (seg.Syn() && !seg.HasAck()) {
+    // Passive open.
+    if (state_ == State::kIdle || state_ == State::kSynReceived) {
+      irs_ = seg.seq;
+      rcv_nxt_ = 0;
+      state_ = State::kSynReceived;
+      SendSegment(kTcpSyn | kTcpAck, iss_, 0, false);
+      ArmRto();
+    }
+    return;
+  }
+  if (seg.Syn() && seg.HasAck()) {
+    // SYN-ACK for our SYN.
+    if (state_ == State::kSynSent && seg.ack == iss_ + 1) {
+      irs_ = seg.seq;
+      rcv_nxt_ = 0;
+      state_ = State::kEstablished;
+      DisarmRto();
+      rto_backoff_ = 0;
+      SendAckNow();
+      if (on_connected_) on_connected_();
+      TrySendData();
+    }
+    return;
+  }
+
+  if (state_ == State::kSynReceived && seg.HasAck() && seg.ack == iss_ + 1) {
+    state_ = State::kEstablished;
+    DisarmRto();
+    rto_backoff_ = 0;
+    if (on_connected_) on_connected_();
+    TrySendData();
+    // fall through: the segment may carry data too
+  }
+
+  if (state_ != State::kEstablished && state_ != State::kFinSent) return;
+
+  // Inbound data / FIN processing.
+  const std::uint64_t seg_off =
+      static_cast<std::uint32_t>(seg.seq - (irs_ + 1));
+  bool advanced = false;
+  if (seg.payload_len > 0) {
+    if (seg_off <= rcv_nxt_ && seg_off + seg.payload_len > rcv_nxt_) {
+      const std::uint64_t new_bytes = seg_off + seg.payload_len - rcv_nxt_;
+      rcv_nxt_ = seg_off + seg.payload_len;
+      if (data_sink_) data_sink_(static_cast<std::uint32_t>(new_bytes));
+      advanced = true;
+      // Merge any now-contiguous out-of-order spans.
+      auto it = ooo_.begin();
+      while (it != ooo_.end() && it->first <= rcv_nxt_) {
+        if (it->second > rcv_nxt_) {
+          if (data_sink_) {
+            data_sink_(static_cast<std::uint32_t>(it->second - rcv_nxt_));
+          }
+          rcv_nxt_ = it->second;
+        }
+        it = ooo_.erase(it);
+      }
+    } else if (seg_off > rcv_nxt_) {
+      auto [it, inserted] =
+          ooo_.emplace(seg_off, seg_off + seg.payload_len);
+      if (!inserted && it->second < seg_off + seg.payload_len) {
+        it->second = seg_off + seg.payload_len;
+      }
+    }
+    // Data (in order, duplicate, or gap-creating) always elicits an ACK.
+    SendAckNow();
+  }
+
+  if (seg.Fin()) {
+    if (seg_off + seg.payload_len == rcv_nxt_) {
+      rcv_nxt_ += 1;  // consume the FIN
+      SendAckNow();
+      if (state_ == State::kEstablished && fin_sent_) state_ = State::kClosed;
+    } else {
+      SendAckNow();
+    }
+  }
+
+  if (seg.HasAck()) OnAckAdvance(seg.ack);
+  (void)advanced;
+}
+
+}  // namespace jig

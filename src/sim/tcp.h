@@ -1,0 +1,152 @@
+// TCP-lite endpoints for workload generation.
+//
+// Jigsaw's transport reconstruction (paper Section 5.2) infers link-layer
+// delivery from TCP side effects — covering ACKs, retransmissions, RTO
+// dynamics — so the simulated traffic must carry real TCP mechanics, not
+// just sized packets.  TcpPeer implements a compact but honest TCP: 3-way
+// handshake, cumulative ACKs with out-of-order buffering, slow start +
+// congestion avoidance, RTT estimation (Karn-sampled SRTT/RTTVAR), RTO with
+// exponential backoff, and fast retransmit on triple duplicate ACKs.
+//
+// A peer is transport-only: it emits TcpSegment descriptors through a
+// caller-supplied send function (the client side frames them onto the air,
+// the server side hands them to the wired network) and consumes segments
+// via OnSegmentReceived.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "sim/event_queue.h"
+#include "util/rng.h"
+#include "wifi/packet.h"
+
+namespace jig {
+
+struct TcpConfig {
+  std::uint32_t mss = 1460;
+  double initial_cwnd_segments = 2.0;
+  double max_cwnd_segments = 64.0;
+  double initial_ssthresh_segments = 32.0;
+  Micros min_rto = Milliseconds(600);
+  Micros max_rto = Seconds(60);
+  Micros initial_rto = Seconds(2);
+  int max_syn_retries = 5;
+};
+
+struct TcpPeerStats {
+  std::uint64_t segments_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t fast_retransmits = 0;
+  std::uint64_t rto_fires = 0;
+};
+
+class TcpPeer {
+ public:
+  using SendFn = std::function<void(const TcpSegment&)>;
+  using ConnectedFn = std::function<void()>;
+  using TransferDoneFn = std::function<void()>;
+  using DataSink = std::function<void(std::uint32_t bytes)>;
+
+  TcpPeer(EventQueue& events, Rng rng, std::uint16_t local_port,
+          std::uint16_t remote_port, bool initiator, TcpConfig config,
+          SendFn send);
+
+  TcpPeer(const TcpPeer&) = delete;
+  TcpPeer& operator=(const TcpPeer&) = delete;
+
+  void set_on_connected(ConnectedFn fn) { on_connected_ = std::move(fn); }
+  void set_on_transfer_done(TransferDoneFn fn) {
+    on_transfer_done_ = std::move(fn);
+  }
+  void set_data_sink(DataSink fn) { data_sink_ = std::move(fn); }
+
+  // Initiator: sends SYN.  The passive side connects on receiving one.
+  void StartConnect();
+
+  // Adds `bytes` to the outbound stream; segments flow as cwnd allows.
+  // on_transfer_done fires each time the send buffer fully drains (all
+  // bytes acknowledged).
+  void SendData(std::uint64_t bytes);
+
+  // Sends FIN after all pending data (half-close; peer ACKs).
+  void Close();
+
+  void OnSegmentReceived(const TcpSegment& seg);
+
+  bool connected() const { return state_ == State::kEstablished; }
+  bool closed() const { return state_ == State::kClosed; }
+  std::uint64_t bytes_unacked() const { return snd_nxt_ - snd_una_; }
+  std::uint64_t bytes_pending() const { return send_buffer_limit_ - snd_nxt_; }
+  const TcpPeerStats& stats() const { return stats_; }
+  double srtt_ms() const { return srtt_us_ / 1000.0; }
+
+ private:
+  enum class State : std::uint8_t {
+    kIdle,
+    kSynSent,
+    kSynReceived,
+    kEstablished,
+    kFinSent,
+    kClosed,
+  };
+
+  void SendSegment(std::uint8_t flags, std::uint32_t seq,
+                   std::uint16_t payload_len, bool is_retransmission);
+  void SendAckNow();
+  void TrySendData();
+  void ArmRto();
+  void DisarmRto();
+  void OnRto();
+  void OnAckAdvance(std::uint32_t ack);
+  void EnterFastRetransmit();
+  void SampleRtt(std::uint32_t acked_seq);
+  Micros CurrentRto() const;
+
+  EventQueue& events_;
+  Rng rng_;
+  std::uint16_t local_port_;
+  std::uint16_t remote_port_;
+  bool initiator_;
+  TcpConfig config_;
+  SendFn send_;
+  ConnectedFn on_connected_;
+  TransferDoneFn on_transfer_done_;
+  DataSink data_sink_;
+
+  State state_ = State::kIdle;
+  // Send side (byte sequence space; ISN fixed for determinism).
+  std::uint32_t iss_ = 1000;
+  std::uint64_t snd_una_ = 0;  // absolute stream offsets (not wrapped)
+  std::uint64_t snd_nxt_ = 0;
+  std::uint64_t send_buffer_limit_ = 0;  // total bytes app asked to send
+  double cwnd_ = 2.0;                    // in segments
+  double ssthresh_ = 32.0;
+  int dupacks_ = 0;
+  bool in_recovery_ = false;
+  std::uint64_t recovery_point_ = 0;
+  int syn_retries_ = 0;
+  bool fin_pending_ = false;
+  bool fin_sent_ = false;
+
+  // Receive side.
+  std::uint32_t irs_ = 0;
+  std::uint64_t rcv_nxt_ = 0;
+  std::map<std::uint64_t, std::uint64_t> ooo_;  // start -> end (exclusive)
+
+  // RTT estimation: timestamp of the oldest in-flight, non-retransmitted
+  // segment (Karn's rule — retransmitted segments are never sampled).
+  std::optional<std::pair<std::uint64_t, TrueMicros>> rtt_probe_;
+  double srtt_us_ = 0.0;
+  double rttvar_us_ = 0.0;
+  bool have_rtt_ = false;
+  int rto_backoff_ = 0;
+  EventId rto_event_ = kInvalidEvent;
+
+  TcpPeerStats stats_;
+};
+
+}  // namespace jig

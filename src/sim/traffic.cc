@@ -1,0 +1,257 @@
+#include "sim/traffic.h"
+
+#include <algorithm>
+
+namespace jig {
+
+const double kDiurnalProfile[24] = {
+    0.10, 0.08, 0.06, 0.05, 0.05, 0.06, 0.10, 0.20,  // 00-07
+    0.45, 0.70, 0.95, 1.00, 0.95, 0.90, 1.00, 0.95,  // 08-15
+    0.85, 0.70, 0.50, 0.40, 0.32, 0.25, 0.18, 0.12,  // 16-23
+};
+
+TrafficManager::TrafficManager(EventQueue& events, WiredNetwork& wired,
+                               std::vector<Client*> clients, Rng rng,
+                               WorkloadConfig config, Micros duration)
+    : events_(events),
+      wired_(wired),
+      clients_(std::move(clients)),
+      rng_(rng),
+      config_(config),
+      duration_(duration) {}
+
+void TrafficManager::Start() {
+  SetupServers();
+  ScheduleClientSessions();
+  events_.ScheduleIn(config_.arp_interval, [this] { ArpTick(); });
+}
+
+void TrafficManager::SetupServers() {
+  for (int i = 0; i < config_.server_count; ++i) {
+    auto server = std::make_unique<Server>();
+    server->ip = ServerIp(i);
+    Server* raw = server.get();
+    wired_.RegisterServer(
+        server->ip, [this, raw](const PacketInfo& info, Bytes) {
+          if (!info.IsTcp()) return;
+          const auto key =
+              FlowKey(info.src_ip, info.tcp->src_port, info.tcp->dst_port);
+          auto it = raw->flows.find(key);
+          if (it != raw->flows.end()) {
+            it->second.peer->OnSegmentReceived(*info.tcp);
+          }
+        });
+    servers_.push_back(std::move(server));
+  }
+}
+
+TcpPeer* TrafficManager::MakeServerPeer(Server& server, Ipv4Addr client_ip,
+                                        std::uint16_t client_port,
+                                        std::uint16_t server_port) {
+  ServerFlow flow;
+  flow.client_ip = client_ip;
+  const Ipv4Addr server_ip = server.ip;
+  flow.peer = std::make_unique<TcpPeer>(
+      events_, rng_.Fork(server_port ^ client_port ^ client_ip), server_port,
+      client_port, /*initiator=*/false, config_.tcp,
+      [this, server_ip, client_ip](const TcpSegment& seg) {
+        wired_.SendToWireless(server_ip, client_ip,
+                              BuildTcpFrameBody(server_ip, client_ip, seg));
+      });
+  TcpPeer* raw = flow.peer.get();
+  server.flows[FlowKey(client_ip, client_port, server_port)] =
+      std::move(flow);
+  return raw;
+}
+
+void TrafficManager::ScheduleClientSessions() {
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    if (!config_.diurnal) {
+      // Staggered power-on in the first 5% of the run, then always active.
+      const Micros on_at = rng_.NextInt(0, std::max<Micros>(duration_ / 20, 1));
+      events_.Schedule(on_at, [this, i] {
+        StartClientSession(i, duration_);
+      });
+      continue;
+    }
+    // Diurnal: draw session count and session windows from the profile.
+    const int sessions = std::max<int>(
+        1, static_cast<int>(rng_.NextExponential(config_.sessions_per_client) +
+                            0.5));
+    for (int s = 0; s < sessions; ++s) {
+      // Rejection-sample a start hour from the profile.
+      double hour;
+      for (;;) {
+        hour = rng_.NextDouble(0.0, 24.0);
+        if (rng_.NextDouble() <
+            kDiurnalProfile[static_cast<int>(hour) % 24]) {
+          break;
+        }
+      }
+      const Micros start =
+          static_cast<Micros>(hour / 24.0 * static_cast<double>(duration_));
+      const Micros length = static_cast<Micros>(
+          rng_.NextExponential(config_.session_mean_fraction) *
+          static_cast<double>(duration_));
+      const Micros end = std::min(duration_, start + std::max<Micros>(
+          length, duration_ / 100));
+      events_.Schedule(start, [this, i, end] { StartClientSession(i, end); });
+    }
+  }
+}
+
+void TrafficManager::StartClientSession(std::size_t client_idx,
+                                        Micros session_end) {
+  Client& c = *clients_[client_idx];
+  if (!c.powered()) {
+    c.set_on_associated([this, client_idx, session_end] {
+      ScheduleNextFlow(client_idx, session_end);
+    });
+    c.PowerOn();
+    events_.Schedule(session_end, [this, client_idx] {
+      clients_[client_idx]->PowerOff();
+    });
+  } else {
+    ScheduleNextFlow(client_idx, session_end);
+  }
+}
+
+void TrafficManager::ScheduleNextFlow(std::size_t client_idx,
+                                      Micros session_end) {
+  const double per_min = config_.web_per_min + config_.scp_per_min +
+                         config_.ssh_per_min +
+                         config_.office_broadcast_per_min;
+  if (per_min <= 0.0) return;
+  const Micros gap = static_cast<Micros>(
+      rng_.NextExponential(60.0 / per_min) * kMicrosPerSecond);
+  const TrueMicros at = events_.now() + std::max<Micros>(gap, 1000);
+  if (at >= session_end) return;
+  events_.Schedule(at, [this, client_idx, session_end] {
+    LaunchFlow(client_idx, session_end);
+    ScheduleNextFlow(client_idx, session_end);
+  });
+}
+
+void TrafficManager::LaunchFlow(std::size_t client_idx, Micros session_end) {
+  Client& c = *clients_[client_idx];
+  if (!c.associated()) return;
+  const double total = config_.web_per_min + config_.scp_per_min +
+                       config_.ssh_per_min + config_.office_broadcast_per_min;
+  const double pick = rng_.NextDouble(0.0, total);
+  if (pick < config_.web_per_min) {
+    LaunchWebFlow(c);
+  } else if (pick < config_.web_per_min + config_.scp_per_min) {
+    LaunchScpFlow(c);
+  } else if (pick <
+             config_.web_per_min + config_.scp_per_min + config_.ssh_per_min) {
+    LaunchSshSession(c, session_end);
+  } else {
+    // MS-Office-style license broadcast to UDP port 2222 (footnote 6).
+    c.SendUdpBroadcast(2222, 2222, 180);
+    ++stats_.office_broadcasts;
+  }
+}
+
+void TrafficManager::LaunchWebFlow(Client& c) {
+  Server& server = *servers_[rng_.NextBelow(servers_.size())];
+  const std::uint16_t client_port = next_ephemeral_port_++;
+  const std::uint16_t server_port = 80;
+  TcpPeer* srv =
+      MakeServerPeer(server, c.ip(), client_port, server_port);
+  TcpPeer* cli = c.OpenFlow(server.ip, server_port, client_port, config_.tcp,
+                            rng_.Fork(client_port));
+  const auto bytes = static_cast<std::uint64_t>(rng_.NextHeavyTail(
+      config_.web_min_bytes, config_.web_cap_bytes, config_.web_alpha));
+  // Request upstream, response downstream.
+  cli->set_on_connected([cli] { cli->SendData(300); });
+  srv->set_on_connected([srv, bytes] { srv->SendData(bytes); });
+  srv->set_on_transfer_done([this, srv] {
+    ++stats_.flows_completed;
+    srv->Close();
+  });
+  cli->StartConnect();
+  ++stats_.flows_started;
+  ++stats_.web_flows;
+}
+
+void TrafficManager::LaunchScpFlow(Client& c) {
+  Server& server = *servers_[rng_.NextBelow(servers_.size())];
+  const std::uint16_t client_port = next_ephemeral_port_++;
+  const std::uint16_t server_port = 22;
+  TcpPeer* srv = MakeServerPeer(server, c.ip(), client_port, server_port);
+  TcpPeer* cli = c.OpenFlow(server.ip, server_port, client_port, config_.tcp,
+                            rng_.Fork(client_port));
+  const auto bytes = static_cast<std::uint64_t>(rng_.NextHeavyTail(
+      config_.scp_min_bytes, config_.scp_cap_bytes, config_.scp_alpha));
+  const bool upload = rng_.NextBool(0.5);
+  if (upload) {
+    cli->set_on_connected([cli, bytes] { cli->SendData(bytes); });
+    cli->set_on_transfer_done([this, cli] {
+      ++stats_.flows_completed;
+      cli->Close();
+    });
+  } else {
+    srv->set_on_connected([srv, bytes] { srv->SendData(bytes); });
+    srv->set_on_transfer_done([this, srv] {
+      ++stats_.flows_completed;
+      srv->Close();
+    });
+  }
+  cli->StartConnect();
+  ++stats_.flows_started;
+  ++stats_.scp_flows;
+}
+
+void TrafficManager::LaunchSshSession(Client& c, Micros session_end) {
+  Server& server = *servers_[rng_.NextBelow(servers_.size())];
+  const std::uint16_t client_port = next_ephemeral_port_++;
+  const std::uint16_t server_port = 22;
+  TcpPeer* srv = MakeServerPeer(server, c.ip(), client_port, server_port);
+  TcpPeer* cli = c.OpenFlow(server.ip, server_port, client_port, config_.tcp,
+                            rng_.Fork(client_port));
+  const Micros chat_len = static_cast<Micros>(
+      rng_.NextExponential(config_.ssh_session_mean_s) * kMicrosPerSecond);
+  const TrueMicros until =
+      std::min<TrueMicros>(events_.now() + chat_len, session_end);
+  cli->set_on_connected([this, cli, srv, until] {
+    SshChatStep(cli, srv, until);
+  });
+  cli->StartConnect();
+  ++stats_.flows_started;
+  ++stats_.ssh_sessions;
+}
+
+void TrafficManager::SshChatStep(TcpPeer* client_peer, TcpPeer* server_peer,
+                                 TrueMicros until) {
+  if (events_.now() >= until || client_peer->closed() ||
+      server_peer->closed()) {
+    ++stats_.flows_completed;
+    client_peer->Close();
+    return;
+  }
+  // Keystroke burst upstream, echo/output downstream.
+  client_peer->SendData(rng_.NextInt(20, 200));
+  server_peer->SendData(rng_.NextInt(60, 1200));
+  const Micros think = static_cast<Micros>(
+      rng_.NextExponential(2.0) * kMicrosPerSecond);
+  events_.ScheduleIn(std::max<Micros>(think, Milliseconds(100)),
+                     [this, client_peer, server_peer, until] {
+                       SshChatStep(client_peer, server_peer, until);
+                     });
+}
+
+void TrafficManager::ArpTick() {
+  // Vernier-style tracker ARPs every registered (associated) client.
+  for (Client* c : clients_) {
+    if (!c->associated()) continue;
+    ArpMessage arp;
+    arp.is_request = true;
+    arp.sender_ip = TrackerIp();
+    arp.target_ip = c->ip();
+    wired_.BroadcastToAir(BuildArpFrameBody(arp));
+    ++stats_.arp_broadcasts;
+  }
+  events_.ScheduleIn(config_.arp_interval, [this] { ArpTick(); });
+}
+
+}  // namespace jig

@@ -1,0 +1,127 @@
+// Workload generation: servers, flows, diurnal activity, ARP tracker.
+//
+// Reproduces the traffic mix the paper's building carries (Sections 6–7):
+// web-style short TCP downloads, interactive ssh chatter, bulk scp copies,
+// a Vernier-style management server ARPing every registered client, client
+// license-chatter broadcasts (footnote 6), and a diurnal activity profile —
+// clients arrive late morning, peak 10am–5pm, a few run overnight — that
+// shapes Figure 8's time series.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/client.h"
+#include "sim/event_queue.h"
+#include "sim/tcp.h"
+#include "sim/wired.h"
+
+namespace jig {
+
+struct WorkloadConfig {
+  // Per-active-client flow arrival rates (flows per minute).
+  double web_per_min = 1.5;
+  double scp_per_min = 0.08;
+  double ssh_per_min = 0.15;
+  double office_broadcast_per_min = 0.3;
+
+  // Flow size distributions (bytes).
+  double web_min_bytes = 2'000;
+  double web_cap_bytes = 400'000;
+  double web_alpha = 1.15;
+  double scp_min_bytes = 200'000;
+  double scp_cap_bytes = 3'000'000;
+  double scp_alpha = 1.3;
+  double ssh_session_mean_s = 30.0;
+
+  Micros arp_interval = Seconds(10);
+  int server_count = 6;
+  TcpConfig tcp;
+
+  // Diurnal activity: when enabled, `duration` maps onto a 24-hour day and
+  // client sessions are drawn from the hourly profile; otherwise clients
+  // power on early and stay on.
+  bool diurnal = false;
+  double sessions_per_client = 1.6;
+  double session_mean_fraction = 0.18;  // of the day
+};
+
+// Hourly activity weights, 24 entries (relative).  Matches the paper's
+// Figure 8 shape: quiet overnight, ramp from 9am, peak 10am–5pm, long tail
+// into the evening.
+extern const double kDiurnalProfile[24];
+
+struct TrafficStats {
+  std::uint64_t flows_started = 0;
+  std::uint64_t flows_completed = 0;
+  std::uint64_t web_flows = 0;
+  std::uint64_t scp_flows = 0;
+  std::uint64_t ssh_sessions = 0;
+  std::uint64_t arp_broadcasts = 0;
+  std::uint64_t office_broadcasts = 0;
+};
+
+// Owns the server side of every TCP flow and drives client activity.
+class TrafficManager {
+ public:
+  TrafficManager(EventQueue& events, WiredNetwork& wired,
+                 std::vector<Client*> clients, Rng rng, WorkloadConfig config,
+                 Micros duration);
+
+  TrafficManager(const TrafficManager&) = delete;
+  TrafficManager& operator=(const TrafficManager&) = delete;
+
+  // Schedules client sessions, server registration and the ARP tracker.
+  void Start();
+
+  const TrafficStats& stats() const { return stats_; }
+  static constexpr Ipv4Addr ServerIp(int i) {
+    return MakeIpv4(10, 1, 0, static_cast<std::uint8_t>(10 + i));
+  }
+  static constexpr Ipv4Addr TrackerIp() { return MakeIpv4(10, 0, 0, 2); }
+
+ private:
+  struct ServerFlow {
+    std::unique_ptr<TcpPeer> peer;
+    Ipv4Addr client_ip = 0;
+  };
+  struct Server {
+    Ipv4Addr ip = 0;
+    // Keyed by (client_ip, client_port, server_port).
+    std::unordered_map<std::uint64_t, ServerFlow> flows;
+  };
+
+  void SetupServers();
+  void ScheduleClientSessions();
+  void StartClientSession(std::size_t client_idx, Micros session_end);
+  void ScheduleNextFlow(std::size_t client_idx, Micros session_end);
+  void LaunchFlow(std::size_t client_idx, Micros session_end);
+  void LaunchWebFlow(Client& c);
+  void LaunchScpFlow(Client& c);
+  void LaunchSshSession(Client& c, Micros session_end);
+  void SshChatStep(TcpPeer* client_peer, TcpPeer* server_peer,
+                   TrueMicros until);
+  void ArpTick();
+  TcpPeer* MakeServerPeer(Server& server, Ipv4Addr client_ip,
+                          std::uint16_t client_port,
+                          std::uint16_t server_port);
+  static std::uint64_t FlowKey(Ipv4Addr client_ip, std::uint16_t client_port,
+                               std::uint16_t server_port) {
+    return (static_cast<std::uint64_t>(client_ip) << 32) ^
+           (static_cast<std::uint64_t>(client_port) << 16) ^ server_port;
+  }
+
+  EventQueue& events_;
+  WiredNetwork& wired_;
+  std::vector<Client*> clients_;
+  Rng rng_;
+  WorkloadConfig config_;
+  Micros duration_;
+
+  std::vector<std::unique_ptr<Server>> servers_;
+  std::uint16_t next_ephemeral_port_ = 10'000;
+  TrafficStats stats_;
+};
+
+}  // namespace jig

@@ -1,0 +1,68 @@
+// Ground-truth log of every air transmission.
+//
+// The simulator's privileged viewpoint: what actually happened on the air,
+// with true timestamps and true delivery outcomes.  The paper approximated
+// this with oracle experiments (an instrumented laptop, a wired-side trace —
+// Section 6); we have the real thing, and use it to validate synchronization
+// accuracy, coverage, delivery inference, and the interference estimator.
+// Nothing in src/jigsaw may read this — it exists for tests and benches.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/time.h"
+#include "wifi/channel.h"
+#include "wifi/frame.h"
+
+namespace jig {
+
+struct TruthEntry {
+  std::uint64_t tx_id = 0;
+  TrueMicros start = 0;
+  TrueMicros end = 0;
+  Channel channel = Channel::kCh1;
+  FrameType type = FrameType::kData;
+  MacAddress transmitter;
+  MacAddress receiver;
+  std::uint16_t sequence = 0;
+  bool retry = false;
+  std::uint32_t wire_len = 0;
+  std::uint64_t digest = 0;  // ContentDigest of the wire bytes
+  // Did the addressed receiver decode this transmission?  (False for
+  // broadcast, where no single receiver defines success.)
+  bool delivered_ok = false;
+  // Did any other same-channel transmission or noise burst overlap this one
+  // at the addressed receiver?
+  bool interfered = false;
+  // Monitoring-platform visibility: how many monitor radios decoded this
+  // transmission cleanly / detected it at all.  This is the ground truth
+  // behind the paper's laptop-oracle coverage experiment (Section 6).
+  int monitors_ok = 0;
+  int monitors_any = 0;
+};
+
+class TruthLog {
+ public:
+  void Add(TruthEntry entry) { entries_.push_back(entry); }
+  const std::vector<TruthEntry>& entries() const { return entries_; }
+  std::size_t size() const { return entries_.size(); }
+
+  // Index from content digest to entry positions (several transmissions can
+  // share bytes only if identical retries; retries share digest except the
+  // retry bit flips the FCS, so digests are near-unique).
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> DigestIndex()
+      const {
+    std::unordered_map<std::uint64_t, std::vector<std::size_t>> idx;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      idx[entries_[i].digest].push_back(i);
+    }
+    return idx;
+  }
+
+ private:
+  std::vector<TruthEntry> entries_;
+};
+
+}  // namespace jig

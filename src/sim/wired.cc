@@ -1,0 +1,134 @@
+#include "sim/wired.h"
+
+namespace jig {
+
+void WiredNetwork::RegisterAp(std::uint16_t ap_index, ApPort port) {
+  aps_[ap_index] = std::move(port);
+}
+
+void WiredNetwork::RegisterClient(MacAddress mac, Ipv4Addr ip,
+                                  std::uint16_t ap_index) {
+  clients_[ip] = ClientEntry{mac, ap_index};
+}
+
+void WiredNetwork::UnregisterClient(Ipv4Addr ip) { clients_.erase(ip); }
+
+Micros WiredNetwork::RegisterServer(Ipv4Addr ip, ServerSink sink) {
+  ServerEntry entry;
+  entry.sink = std::move(sink);
+  entry.one_way_delay = rng_.NextInt(config_.min_one_way_delay,
+                                     config_.max_one_way_delay);
+  const Micros delay = entry.one_way_delay;
+  servers_[ip] = std::move(entry);
+  return delay;
+}
+
+Micros WiredNetwork::DelayFor(Ipv4Addr server_ip) {
+  auto it = servers_.find(server_ip);
+  const Micros base = it != servers_.end() ? it->second.one_way_delay
+                                           : config_.min_one_way_delay;
+  return base + rng_.NextInt(0, config_.delay_jitter);
+}
+
+TrueMicros WiredNetwork::OrderedArrival(Ipv4Addr dst, Micros delay) {
+  TrueMicros arrival = events_.now() + delay;
+  auto [it, inserted] = last_arrival_.try_emplace(dst, arrival);
+  if (!inserted) {
+    if (arrival <= it->second) arrival = it->second + 1;
+    it->second = arrival;
+  }
+  return arrival;
+}
+
+void WiredNetwork::Tap(bool to_wireless, std::uint16_t ap_index,
+                       MacAddress station, const PacketInfo& info) {
+  WiredRecord rec;
+  rec.time = events_.now();
+  rec.to_wireless = to_wireless;
+  rec.ap_index = ap_index;
+  rec.wireless_station = station;
+  rec.src_ip = info.src_ip;
+  rec.dst_ip = info.dst_ip;
+  rec.ip_proto = info.ip_proto;
+  if (info.tcp) rec.tcp = *info.tcp;
+  if (info.udp) rec.udp = *info.udp;
+  sniffer_.push_back(rec);
+}
+
+void WiredNetwork::DeliverFromWireless(std::uint16_t ap_index,
+                                       MacAddress client, Bytes body) {
+  const auto info = ParseFrameBody(body);
+  if (!info) return;
+
+  if (info->IsArp()) {
+    // ARP replies ride the wire back to the requester; requests from
+    // clients fan out as wired broadcasts.  Neither is unicast DATA for
+    // coverage purposes, so no tap record.
+    if (info->arp->is_request) BroadcastToAir(std::move(body));
+    return;
+  }
+  if (info->ether_type != kEtherTypeIpv4) return;
+
+  if (info->dst_ip == 0xFFFFFFFFu) {
+    // Client-originated broadcast (DHCP, license chatter): the AP forwards
+    // it to the wire and every AP rebroadcasts it on the air — the
+    // amplification the paper laments.
+    BroadcastToAir(std::move(body));
+    return;
+  }
+
+  // Unicast toward a wired server: tapped when the AP puts it on the wire.
+  Tap(/*to_wireless=*/false, ap_index, client, *info);
+  auto it = servers_.find(info->dst_ip);
+  if (it == servers_.end()) return;
+  if (rng_.NextBool(config_.loss_probability)) {
+    ++wired_losses_;
+    return;
+  }
+  const TrueMicros arrival = OrderedArrival(info->dst_ip,
+                                            DelayFor(info->dst_ip));
+  const PacketInfo info_copy = *info;
+  // Callback owns the body; sinks parse what they need.
+  events_.Schedule(arrival, [this, info_copy, body = std::move(body),
+                             dst = info->dst_ip]() mutable {
+    auto sit = servers_.find(dst);
+    if (sit != servers_.end()) sit->second.sink(info_copy, std::move(body));
+  });
+}
+
+void WiredNetwork::SendToWireless(Ipv4Addr src_ip, Ipv4Addr dst_ip,
+                                  Bytes body) {
+  if (rng_.NextBool(config_.loss_probability)) {
+    ++wired_losses_;
+    return;
+  }
+  const TrueMicros arrival = OrderedArrival(dst_ip, DelayFor(src_ip));
+  events_.Schedule(arrival, [this, dst_ip, body = std::move(body)]() mutable {
+    auto cit = clients_.find(dst_ip);
+    if (cit == clients_.end()) return;  // client gone / roamed away
+    auto ait = aps_.find(cit->second.ap_index);
+    if (ait == aps_.end()) return;
+    const auto info = ParseFrameBody(body);
+    if (info) {
+      Tap(/*to_wireless=*/true, cit->second.ap_index, cit->second.mac, *info);
+    }
+    ait->second.deliver_unicast(cit->second.mac, std::move(body));
+  });
+}
+
+void WiredNetwork::BroadcastToAir(Bytes body) {
+  // Wired broadcasts reach every AP within switch latency of each other;
+  // broadcast_jitter == 0 reproduces the synchronized self-interference.
+  for (const auto& [index, port] : aps_) {
+    const Micros jitter =
+        config_.broadcast_jitter > 0
+            ? rng_.NextInt(0, config_.broadcast_jitter)
+            : rng_.NextInt(0, Micros{50});  // switch fan-out spread
+    events_.ScheduleIn(Milliseconds(1) + jitter, [this, idx = index, body] {
+      auto it = aps_.find(idx);
+      if (it != aps_.end()) it->second.deliver_broadcast(body);
+    });
+  }
+}
+
+}  // namespace jig

@@ -1,0 +1,120 @@
+// Wired distribution network, wired sniffer, and server-side endpoints.
+//
+// The paper validates wireless coverage against "a second trace of the same
+// traffic captured on the wired distribution network" (Section 6, Figures 6
+// and 7): every unicast packet crossing the wire must correspond to a DATA
+// frame on the air.  This module is that wire: it carries packets between
+// APs and wired hosts with configurable latency and loss, taps every packet
+// at the building switch, and fans wired broadcasts (ARP) out to all APs at
+// effectively the same instant — the implicit-synchronization artifact the
+// paper calls out in Section 7.1.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "util/rng.h"
+#include "wifi/mac_address.h"
+#include "wifi/packet.h"
+
+namespace jig {
+
+// One packet observed at the wired tap.
+struct WiredRecord {
+  TrueMicros time = 0;
+  bool to_wireless = false;      // direction: wire -> air
+  std::uint16_t ap_index = 0;    // bridging AP
+  MacAddress wireless_station;   // the client behind the AP
+  Ipv4Addr src_ip = 0;
+  Ipv4Addr dst_ip = 0;
+  std::uint8_t ip_proto = 0;
+  TcpSegment tcp;                // valid when ip_proto == kIpProtoTcp
+  UdpDatagram udp;               // valid when ip_proto == kIpProtoUdp
+};
+
+struct WiredConfig {
+  // One-way wired/Internet delay range per server (drawn at registration).
+  Micros min_one_way_delay = Milliseconds(3);
+  Micros max_one_way_delay = Milliseconds(40);
+  Micros delay_jitter = Milliseconds(2);
+  double loss_probability = 0.002;  // per packet per direction
+  // Optional jitter added when fanning a wired broadcast out to APs — the
+  // paper proposes this as a fix for self-interfering synchronized
+  // broadcasts; 0 reproduces the observed (pathological) behaviour.
+  Micros broadcast_jitter = 0;
+};
+
+class WiredNetwork {
+ public:
+  // AP-side hooks, registered by the scenario.
+  struct ApPort {
+    // Deliver a unicast IP packet body to `client` through this AP.
+    std::function<void(MacAddress client, Bytes body)> deliver_unicast;
+    // Broadcast a frame body on this AP's air.
+    std::function<void(Bytes body)> deliver_broadcast;
+  };
+  // Server-side packet sink (dst_ip keyed).
+  using ServerSink = std::function<void(const PacketInfo&, Bytes body)>;
+
+  WiredNetwork(EventQueue& events, Rng rng, WiredConfig config)
+      : events_(events), rng_(rng), config_(config) {}
+
+  void RegisterAp(std::uint16_t ap_index, ApPort port);
+  // Client location update (association); ip -> (mac, ap).
+  void RegisterClient(MacAddress mac, Ipv4Addr ip, std::uint16_t ap_index);
+  void UnregisterClient(Ipv4Addr ip);
+  // Wired server: returns the delay assigned to it.
+  Micros RegisterServer(Ipv4Addr ip, ServerSink sink);
+
+  // AP -> wire: a frame body arrived from `client` through AP `ap_index`.
+  // Parses it; unicast IP goes to the matching server (tapped), broadcast
+  // UDP / ARP replies fan out as wired broadcasts.
+  void DeliverFromWireless(std::uint16_t ap_index, MacAddress client,
+                           Bytes body);
+
+  // Server -> wireless client (by IP).  Applies wired delay + loss; logs at
+  // the tap on arrival at the AP.
+  void SendToWireless(Ipv4Addr src_ip, Ipv4Addr dst_ip, Bytes body);
+
+  // Wired broadcast (e.g. the ARP tracker): every AP transmits it on air.
+  void BroadcastToAir(Bytes body);
+
+  const std::vector<WiredRecord>& sniffer() const { return sniffer_; }
+  std::uint64_t wired_losses() const { return wired_losses_; }
+
+  // Client lookup helpers for traffic wiring.
+  bool ClientRegistered(Ipv4Addr ip) const { return clients_.contains(ip); }
+
+ private:
+  struct ClientEntry {
+    MacAddress mac;
+    std::uint16_t ap_index = 0;
+  };
+  struct ServerEntry {
+    ServerSink sink;
+    Micros one_way_delay = 0;
+  };
+
+  void Tap(bool to_wireless, std::uint16_t ap_index, MacAddress station,
+           const PacketInfo& info);
+  Micros DelayFor(Ipv4Addr server_ip);
+  // FIFO discipline: switches don't reorder a flow; per-destination arrival
+  // times are clamped monotonic so jitter never reorders segments (which
+  // would fake duplicate-ACK loss signals).
+  TrueMicros OrderedArrival(Ipv4Addr dst, Micros delay);
+
+  EventQueue& events_;
+  Rng rng_;
+  WiredConfig config_;
+  std::unordered_map<std::uint16_t, ApPort> aps_;
+  std::unordered_map<Ipv4Addr, ClientEntry> clients_;
+  std::unordered_map<Ipv4Addr, ServerEntry> servers_;
+  std::unordered_map<Ipv4Addr, TrueMicros> last_arrival_;
+  std::vector<WiredRecord> sniffer_;
+  std::uint64_t wired_losses_ = 0;
+};
+
+}  // namespace jig

@@ -1,0 +1,236 @@
+#include "trace/trace_file.h"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "util/compression.h"
+
+namespace jig {
+namespace {
+
+constexpr char kDataMagic[4] = {'J', 'I', 'G', 'T'};
+constexpr char kIndexMagic[4] = {'J', 'I', 'G', 'X'};
+constexpr std::uint32_t kVersion = 1;
+
+void WriteAll(std::FILE* f, const void* data, std::size_t n) {
+  if (std::fwrite(data, 1, n, f) != n) {
+    throw std::runtime_error("trace file: short write");
+  }
+}
+
+void WriteU32(std::FILE* f, std::uint32_t v) {
+  std::uint8_t buf[4] = {static_cast<std::uint8_t>(v),
+                         static_cast<std::uint8_t>(v >> 8),
+                         static_cast<std::uint8_t>(v >> 16),
+                         static_cast<std::uint8_t>(v >> 24)};
+  WriteAll(f, buf, 4);
+}
+
+void WriteU64(std::FILE* f, std::uint64_t v) {
+  WriteU32(f, static_cast<std::uint32_t>(v));
+  WriteU32(f, static_cast<std::uint32_t>(v >> 32));
+}
+
+void ReadAll(std::FILE* f, void* data, std::size_t n) {
+  if (std::fread(data, 1, n, f) != n) {
+    throw std::runtime_error("trace file: short read");
+  }
+}
+
+std::uint32_t ReadU32(std::FILE* f) {
+  std::uint8_t buf[4];
+  ReadAll(f, buf, 4);
+  return static_cast<std::uint32_t>(buf[0]) |
+         (static_cast<std::uint32_t>(buf[1]) << 8) |
+         (static_cast<std::uint32_t>(buf[2]) << 16) |
+         (static_cast<std::uint32_t>(buf[3]) << 24);
+}
+
+std::uint64_t ReadU64(std::FILE* f) {
+  const std::uint64_t lo = ReadU32(f);
+  const std::uint64_t hi = ReadU32(f);
+  return lo | (hi << 32);
+}
+
+}  // namespace
+
+TraceFileWriter::TraceFileWriter(const std::filesystem::path& path,
+                                 const TraceHeader& header,
+                                 std::size_t records_per_block)
+    : records_per_block_(records_per_block) {
+  file_ = std::fopen(path.string().c_str(), "wb");
+  if (!file_) {
+    throw std::runtime_error("cannot open trace for writing: " +
+                             path.string());
+  }
+  WriteAll(file_, kDataMagic, 4);
+  WriteU32(file_, kVersion);
+  Bytes hdr;
+  SerializeHeader(header, hdr);
+  WriteU32(file_, static_cast<std::uint32_t>(hdr.size()));
+  WriteAll(file_, hdr.data(), hdr.size());
+}
+
+TraceFileWriter::~TraceFileWriter() {
+  try {
+    if (!finished_) Finish();
+  } catch (...) {
+    // Destructor must not throw; an explicit Finish() reports errors.
+  }
+  if (file_) std::fclose(file_);
+}
+
+void TraceFileWriter::Append(const CaptureRecord& rec) {
+  if (finished_) throw std::logic_error("Append after Finish");
+  if (pending_count_ == 0) {
+    block_first_ts_ = rec.timestamp;
+    prev_ts_ = 0;  // each block is self-contained for seekability
+  }
+  SerializeRecord(rec, prev_ts_, pending_);
+  prev_ts_ = rec.timestamp;
+  ++pending_count_;
+  ++records_written_;
+  if (pending_count_ >= records_per_block_) FlushBlock();
+}
+
+void TraceFileWriter::FlushBlock() {
+  if (pending_count_ == 0) return;
+  const auto packed = LzCompress(pending_);
+  BlockIndexEntry entry;
+  entry.file_offset = static_cast<std::uint64_t>(std::ftell(file_));
+  entry.first_timestamp = block_first_ts_;
+  entry.last_timestamp = prev_ts_;
+  entry.record_count = pending_count_;
+  index_.push_back(entry);
+
+  WriteU32(file_, static_cast<std::uint32_t>(packed.size()));
+  WriteAll(file_, packed.data(), packed.size());
+  pending_.clear();
+  pending_count_ = 0;
+}
+
+void TraceFileWriter::Finish() {
+  if (finished_) return;
+  FlushBlock();
+  WriteU32(file_, 0);  // terminator
+  const auto index_offset = static_cast<std::uint64_t>(std::ftell(file_));
+  WriteU32(file_, static_cast<std::uint32_t>(index_.size()));
+  for (const auto& e : index_) {
+    WriteU64(file_, e.file_offset);
+    WriteU64(file_, static_cast<std::uint64_t>(e.first_timestamp));
+    WriteU64(file_, static_cast<std::uint64_t>(e.last_timestamp));
+    WriteU32(file_, e.record_count);
+  }
+  WriteU64(file_, index_offset);
+  WriteAll(file_, kIndexMagic, 4);
+  if (std::fflush(file_) != 0) throw std::runtime_error("trace file: flush");
+  finished_ = true;
+}
+
+TraceFileReader::TraceFileReader(const std::filesystem::path& path) {
+  file_ = std::fopen(path.string().c_str(), "rb");
+  if (!file_) {
+    throw std::runtime_error("cannot open trace for reading: " +
+                             path.string());
+  }
+  char magic[4];
+  ReadAll(file_, magic, 4);
+  if (std::memcmp(magic, kDataMagic, 4) != 0) {
+    throw std::runtime_error("bad trace magic: " + path.string());
+  }
+  if (ReadU32(file_) != kVersion) {
+    throw std::runtime_error("bad trace version: " + path.string());
+  }
+  const std::uint32_t hdr_len = ReadU32(file_);
+  Bytes hdr(hdr_len);
+  ReadAll(file_, hdr.data(), hdr_len);
+  ByteReader hr(hdr);
+  header_ = DeserializeHeader(hr);
+
+  // Load the index from the trailer.
+  if (std::fseek(file_, -12, SEEK_END) != 0) {
+    throw std::runtime_error("trace file: seek to trailer");
+  }
+  const std::uint64_t index_offset = ReadU64(file_);
+  ReadAll(file_, magic, 4);
+  if (std::memcmp(magic, kIndexMagic, 4) != 0) {
+    throw std::runtime_error("bad index magic (unfinished trace?): " +
+                             path.string());
+  }
+  if (std::fseek(file_, static_cast<long>(index_offset), SEEK_SET) != 0) {
+    throw std::runtime_error("trace file: seek to index");
+  }
+  const std::uint32_t n_blocks = ReadU32(file_);
+  index_.reserve(n_blocks);
+  for (std::uint32_t i = 0; i < n_blocks; ++i) {
+    BlockIndexEntry e;
+    e.file_offset = ReadU64(file_);
+    e.first_timestamp = static_cast<LocalMicros>(ReadU64(file_));
+    e.last_timestamp = static_cast<LocalMicros>(ReadU64(file_));
+    e.record_count = ReadU32(file_);
+    index_.push_back(e);
+  }
+  Rewind();
+}
+
+TraceFileReader::~TraceFileReader() {
+  if (file_) std::fclose(file_);
+}
+
+std::uint64_t TraceFileReader::TotalRecords() const {
+  std::uint64_t n = 0;
+  for (const auto& e : index_) n += e.record_count;
+  return n;
+}
+
+void TraceFileReader::LoadBlock(std::size_t block_idx) {
+  block_records_.clear();
+  block_pos_ = 0;
+  if (block_idx >= index_.size()) return;
+  const auto& entry = index_[block_idx];
+  if (std::fseek(file_, static_cast<long>(entry.file_offset), SEEK_SET) != 0) {
+    throw std::runtime_error("trace file: seek to block");
+  }
+  const std::uint32_t packed_len = ReadU32(file_);
+  Bytes packed(packed_len);
+  ReadAll(file_, packed.data(), packed_len);
+  const Bytes raw = LzDecompress(packed);
+  ByteReader r(raw);
+  LocalMicros prev = 0;
+  block_records_.reserve(entry.record_count);
+  for (std::uint32_t i = 0; i < entry.record_count; ++i) {
+    block_records_.push_back(DeserializeRecord(r, prev));
+    prev = block_records_.back().timestamp;
+  }
+}
+
+std::optional<CaptureRecord> TraceFileReader::Next() {
+  while (block_pos_ >= block_records_.size()) {
+    if (current_block_ >= index_.size()) return std::nullopt;
+    LoadBlock(current_block_++);
+  }
+  return block_records_[block_pos_++];
+}
+
+void TraceFileReader::SeekToTimestamp(LocalMicros ts) {
+  std::size_t idx = 0;
+  while (idx < index_.size() && index_[idx].last_timestamp < ts) ++idx;
+  current_block_ = idx;
+  block_records_.clear();
+  block_pos_ = 0;
+  if (idx < index_.size()) {
+    LoadBlock(current_block_++);
+    while (block_pos_ < block_records_.size() &&
+           block_records_[block_pos_].timestamp < ts) {
+      ++block_pos_;
+    }
+  }
+}
+
+void TraceFileReader::Rewind() {
+  current_block_ = 0;
+  block_records_.clear();
+  block_pos_ = 0;
+}
+
+}  // namespace jig

@@ -1,0 +1,97 @@
+// Compressed per-radio trace files with a metadata index.
+//
+// jigdump writes hour-long (data, metadata) file pairs per radio, with the
+// data LZO-compressed in blocks and the metadata indexing those blocks for
+// random access (Section 3.3).  We reproduce the shape in a single file:
+//
+//   [magic "JIGT"][u32 version]
+//   [u32 header_len][header]
+//   repeated blocks: [u32 packed_len][LZ-compressed records]
+//   [u32 0]  (terminator)
+//   index: per block {file_offset, first_ts, last_ts, record_count}
+//   [u64 index_offset][magic "JIGX"]
+//
+// The index allows seeking to a time range without decompressing the whole
+// file — TraceFileReader::SeekToTimestamp uses it, as do the bootstrap
+// passes which only need the first second of data.
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trace/record.h"
+
+namespace jig {
+
+struct BlockIndexEntry {
+  std::uint64_t file_offset = 0;
+  LocalMicros first_timestamp = 0;
+  LocalMicros last_timestamp = 0;
+  std::uint32_t record_count = 0;
+};
+
+class TraceFileWriter {
+ public:
+  TraceFileWriter(const std::filesystem::path& path, const TraceHeader& header,
+                  std::size_t records_per_block = 512);
+  ~TraceFileWriter();
+
+  TraceFileWriter(const TraceFileWriter&) = delete;
+  TraceFileWriter& operator=(const TraceFileWriter&) = delete;
+
+  void Append(const CaptureRecord& rec);
+  // Flushes any partial block and writes the index trailer.  Called by the
+  // destructor if not called explicitly; explicit callers get exceptions.
+  void Finish();
+
+  std::uint64_t records_written() const { return records_written_; }
+
+ private:
+  void FlushBlock();
+
+  std::FILE* file_ = nullptr;
+  std::size_t records_per_block_;
+  Bytes pending_;               // serialized records awaiting compression
+  std::uint32_t pending_count_ = 0;
+  LocalMicros block_first_ts_ = 0;
+  LocalMicros prev_ts_ = 0;  // delta-coding state, reset per block
+  std::vector<BlockIndexEntry> index_;
+  std::uint64_t records_written_ = 0;
+  bool finished_ = false;
+};
+
+class TraceFileReader {
+ public:
+  explicit TraceFileReader(const std::filesystem::path& path);
+  ~TraceFileReader();
+
+  TraceFileReader(const TraceFileReader&) = delete;
+  TraceFileReader& operator=(const TraceFileReader&) = delete;
+
+  const TraceHeader& header() const { return header_; }
+  const std::vector<BlockIndexEntry>& index() const { return index_; }
+  std::uint64_t TotalRecords() const;
+
+  // Sequential record access; nullopt at end of trace.
+  std::optional<CaptureRecord> Next();
+
+  // Positions the cursor at the first block whose last timestamp is >= ts.
+  void SeekToTimestamp(LocalMicros ts);
+  void Rewind();
+
+ private:
+  void LoadBlock(std::size_t block_idx);
+
+  std::FILE* file_ = nullptr;
+  TraceHeader header_;
+  std::vector<BlockIndexEntry> index_;
+  std::size_t current_block_ = 0;
+  std::vector<CaptureRecord> block_records_;
+  std::size_t block_pos_ = 0;
+};
+
+}  // namespace jig

@@ -1,0 +1,44 @@
+#include "trace/trace_set.h"
+
+#include <algorithm>
+
+namespace jig {
+
+TraceSet TraceSet::OpenDirectory(const std::filesystem::path& dir) {
+  std::vector<std::filesystem::path> paths;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".jigt") {
+      paths.push_back(entry.path());
+    }
+  }
+  std::vector<std::unique_ptr<RecordStream>> opened;
+  opened.reserve(paths.size());
+  for (const auto& p : paths) opened.push_back(std::make_unique<FileTrace>(p));
+  std::sort(opened.begin(), opened.end(),
+            [](const auto& a, const auto& b) {
+              return a->header().radio < b->header().radio;
+            });
+  TraceSet set;
+  for (auto& s : opened) set.Add(std::move(s));
+  return set;
+}
+
+std::vector<std::filesystem::path> TraceSet::WriteDirectory(
+    const std::filesystem::path& dir) {
+  std::filesystem::create_directories(dir);
+  std::vector<std::filesystem::path> paths;
+  paths.reserve(streams_.size());
+  for (auto& stream : streams_) {
+    stream->Rewind();
+    const auto path =
+        dir / ("r" + std::to_string(stream->header().radio) + ".jigt");
+    TraceFileWriter writer(path, stream->header());
+    while (auto rec = stream->Next()) writer.Append(*rec);
+    writer.Finish();
+    stream->Rewind();
+    paths.push_back(path);
+  }
+  return paths;
+}
+
+}  // namespace jig

@@ -1,0 +1,96 @@
+// A set of per-radio record streams — the input shape of the Jigsaw merge.
+//
+// Jigsaw's merge pass reads every radio's trace in parallel, one record at a
+// time (Section 4 requires a single streaming pass for online operation).
+// RecordStream abstracts over where those records live: an in-memory buffer
+// produced directly by the simulator, or an on-disk jigdump-style file.
+#pragma once
+
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "trace/record.h"
+#include "trace/trace_file.h"
+
+namespace jig {
+
+class RecordStream {
+ public:
+  virtual ~RecordStream() = default;
+  virtual const TraceHeader& header() const = 0;
+  virtual std::optional<CaptureRecord> Next() = 0;
+  virtual void Rewind() = 0;
+};
+
+// In-memory trace, filled by the simulator's monitors.
+class MemoryTrace final : public RecordStream {
+ public:
+  MemoryTrace(TraceHeader header, std::vector<CaptureRecord> records)
+      : header_(header), records_(std::move(records)) {}
+
+  const TraceHeader& header() const override { return header_; }
+  std::optional<CaptureRecord> Next() override {
+    if (pos_ >= records_.size()) return std::nullopt;
+    return records_[pos_++];
+  }
+  void Rewind() override { pos_ = 0; }
+
+  const std::vector<CaptureRecord>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+
+ private:
+  TraceHeader header_;
+  std::vector<CaptureRecord> records_;
+  std::size_t pos_ = 0;
+};
+
+// File-backed trace.
+class FileTrace final : public RecordStream {
+ public:
+  explicit FileTrace(const std::filesystem::path& path) : reader_(path) {}
+
+  const TraceHeader& header() const override { return reader_.header(); }
+  std::optional<CaptureRecord> Next() override { return reader_.Next(); }
+  void Rewind() override { reader_.Rewind(); }
+
+  TraceFileReader& reader() { return reader_; }
+
+ private:
+  TraceFileReader reader_;
+};
+
+// Owning collection of streams, one per radio.
+class TraceSet {
+ public:
+  TraceSet() = default;
+
+  void Add(std::unique_ptr<RecordStream> stream) {
+    streams_.push_back(std::move(stream));
+  }
+
+  std::size_t size() const { return streams_.size(); }
+  bool empty() const { return streams_.empty(); }
+  RecordStream& at(std::size_t i) { return *streams_[i]; }
+  const RecordStream& at(std::size_t i) const { return *streams_[i]; }
+
+  void RewindAll() {
+    for (auto& s : streams_) s->Rewind();
+  }
+
+  // Opens every *.jigt file in a directory as one trace set, ordered by
+  // radio id so analyses are deterministic regardless of directory order.
+  static TraceSet OpenDirectory(const std::filesystem::path& dir);
+
+  // Writes every stream out as jigdump-style files into `dir` (one file per
+  // radio, named r<id>.jigt) and returns the paths.  Streams are rewound.
+  std::vector<std::filesystem::path> WriteDirectory(
+      const std::filesystem::path& dir);
+
+ private:
+  std::vector<std::unique_ptr<RecordStream>> streams_;
+};
+
+}  // namespace jig

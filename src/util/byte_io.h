@@ -1,0 +1,123 @@
+// Little-endian byte serialization helpers for trace files and frame bodies.
+//
+// The trace format (src/trace) and the 802.11 frame model (src/wifi) both
+// need portable fixed-width integer (de)serialization.  These helpers write
+// into a growable byte vector and read from a span with explicit bounds
+// checking; a failed read throws, since a short trace record is corruption,
+// not a recoverable condition for callers.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace jig {
+
+using Bytes = std::vector<std::uint8_t>;
+
+class ByteWriter {
+ public:
+  explicit ByteWriter(Bytes& out) : out_(out) {}
+
+  void U8(std::uint8_t v) { out_.push_back(v); }
+  void U16(std::uint16_t v) {
+    out_.push_back(static_cast<std::uint8_t>(v));
+    out_.push_back(static_cast<std::uint8_t>(v >> 8));
+  }
+  void U32(std::uint32_t v) {
+    U16(static_cast<std::uint16_t>(v));
+    U16(static_cast<std::uint16_t>(v >> 16));
+  }
+  void U64(std::uint64_t v) {
+    U32(static_cast<std::uint32_t>(v));
+    U32(static_cast<std::uint32_t>(v >> 32));
+  }
+  void I64(std::int64_t v) { U64(static_cast<std::uint64_t>(v)); }
+  void Raw(std::span<const std::uint8_t> data) {
+    out_.insert(out_.end(), data.begin(), data.end());
+  }
+  // Unsigned LEB128 — used for delta-coded fields in trace files.
+  void Varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      out_.push_back(static_cast<std::uint8_t>(v) | 0x80u);
+      v >>= 7;
+    }
+    out_.push_back(static_cast<std::uint8_t>(v));
+  }
+  // Zig-zag signed varint.
+  void SVarint(std::int64_t v) {
+    Varint((static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63));
+  }
+
+ private:
+  Bytes& out_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+  std::size_t position() const { return pos_; }
+
+  std::uint8_t U8() {
+    Require(1);
+    return data_[pos_++];
+  }
+  std::uint16_t U16() {
+    Require(2);
+    const std::uint16_t v = static_cast<std::uint16_t>(
+        data_[pos_] | (static_cast<std::uint16_t>(data_[pos_ + 1]) << 8));
+    pos_ += 2;
+    return v;
+  }
+  std::uint32_t U32() {
+    const std::uint32_t lo = U16();
+    const std::uint32_t hi = U16();
+    return lo | (hi << 16);
+  }
+  std::uint64_t U64() {
+    const std::uint64_t lo = U32();
+    const std::uint64_t hi = U32();
+    return lo | (hi << 32);
+  }
+  std::int64_t I64() { return static_cast<std::int64_t>(U64()); }
+  std::span<const std::uint8_t> Raw(std::size_t n) {
+    Require(n);
+    auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+  std::uint64_t Varint() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    for (;;) {
+      const std::uint8_t byte = U8();
+      v |= static_cast<std::uint64_t>(byte & 0x7Fu) << shift;
+      if (!(byte & 0x80u)) return v;
+      shift += 7;
+      if (shift >= 64) throw std::runtime_error("varint overflow");
+    }
+  }
+  std::int64_t SVarint() {
+    const std::uint64_t raw = Varint();
+    return static_cast<std::int64_t>((raw >> 1) ^ (~(raw & 1) + 1));
+  }
+
+ private:
+  void Require(std::size_t n) const {
+    if (pos_ + n > data_.size()) {
+      throw std::runtime_error("ByteReader: truncated input at offset " +
+                               std::to_string(pos_));
+    }
+  }
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace jig

@@ -1,0 +1,129 @@
+#include "util/compression.h"
+
+#include <array>
+#include <cstring>
+#include <stdexcept>
+
+namespace jig {
+namespace {
+
+constexpr std::size_t kHashBits = 15;
+constexpr std::size_t kHashSize = 1u << kHashBits;
+
+std::uint32_t Hash4(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void PutU16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void PutU32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  PutU16(out, static_cast<std::uint16_t>(v));
+  PutU16(out, static_cast<std::uint16_t>(v >> 16));
+}
+
+// Flushes pending literals as runs of <=128 bytes.
+void FlushLiterals(std::vector<std::uint8_t>& out, const std::uint8_t* base,
+                   std::size_t start, std::size_t end) {
+  while (start < end) {
+    const std::size_t run = std::min<std::size_t>(end - start, 0x80);
+    out.push_back(static_cast<std::uint8_t>(run - 1));
+    out.insert(out.end(), base + start, base + start + run);
+    start += run;
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> LzCompress(std::span<const std::uint8_t> raw) {
+  std::vector<std::uint8_t> out;
+  out.reserve(raw.size() / 2 + 16);
+  PutU32(out, static_cast<std::uint32_t>(raw.size()));
+
+  const std::uint8_t* data = raw.data();
+  const std::size_t n = raw.size();
+  std::array<std::int64_t, kHashSize> table;
+  table.fill(-1);
+
+  std::size_t pos = 0;
+  std::size_t literal_start = 0;
+  while (pos + kLzMinMatch <= n) {
+    const std::uint32_t h = Hash4(data + pos);
+    const std::int64_t cand = table[h];
+    table[h] = static_cast<std::int64_t>(pos);
+
+    std::size_t match_len = 0;
+    if (cand >= 0 && pos - static_cast<std::size_t>(cand) <= kLzWindow) {
+      const std::uint8_t* a = data + cand;
+      const std::uint8_t* b = data + pos;
+      const std::size_t limit = std::min(n - pos, kLzMaxMatch);
+      while (match_len < limit && a[match_len] == b[match_len]) ++match_len;
+    }
+
+    if (match_len >= kLzMinMatch) {
+      FlushLiterals(out, data, literal_start, pos);
+      out.push_back(static_cast<std::uint8_t>(
+          0x80u | static_cast<std::uint8_t>(match_len - kLzMinMatch)));
+      PutU16(out, static_cast<std::uint16_t>(pos - cand));
+      // Insert hashes inside the match so later data can reference it.
+      const std::size_t stop = std::min(pos + match_len, n - kLzMinMatch + 1);
+      for (std::size_t i = pos + 1; i < stop; ++i) {
+        table[Hash4(data + i)] = static_cast<std::int64_t>(i);
+      }
+      pos += match_len;
+      literal_start = pos;
+    } else {
+      ++pos;
+    }
+  }
+  FlushLiterals(out, data, literal_start, n);
+  return out;
+}
+
+std::vector<std::uint8_t> LzDecompress(std::span<const std::uint8_t> packed) {
+  if (packed.size() < 4) throw std::runtime_error("LzDecompress: short header");
+  std::uint32_t raw_size;
+  std::memcpy(&raw_size, packed.data(), 4);
+  // Stored little-endian by PutU32 on all supported targets; re-read portably.
+  raw_size = static_cast<std::uint32_t>(packed[0]) |
+             (static_cast<std::uint32_t>(packed[1]) << 8) |
+             (static_cast<std::uint32_t>(packed[2]) << 16) |
+             (static_cast<std::uint32_t>(packed[3]) << 24);
+
+  std::vector<std::uint8_t> out;
+  out.reserve(raw_size);
+  std::size_t pos = 4;
+  const std::size_t n = packed.size();
+  while (pos < n) {
+    const std::uint8_t control = packed[pos++];
+    if (control < 0x80) {
+      const std::size_t run = static_cast<std::size_t>(control) + 1;
+      if (pos + run > n) throw std::runtime_error("LzDecompress: bad literal");
+      out.insert(out.end(), packed.begin() + pos, packed.begin() + pos + run);
+      pos += run;
+    } else {
+      const std::size_t len = (control & 0x7Fu) + kLzMinMatch;
+      if (pos + 2 > n) throw std::runtime_error("LzDecompress: bad match");
+      const std::size_t dist = static_cast<std::size_t>(packed[pos]) |
+                               (static_cast<std::size_t>(packed[pos + 1]) << 8);
+      pos += 2;
+      if (dist == 0 || dist > out.size()) {
+        throw std::runtime_error("LzDecompress: bad distance");
+      }
+      // Byte-by-byte copy: overlapping matches (dist < len) are legal and
+      // encode runs, so memcpy would be wrong here.
+      std::size_t src = out.size() - dist;
+      for (std::size_t i = 0; i < len; ++i) out.push_back(out[src + i]);
+    }
+  }
+  if (out.size() != raw_size) {
+    throw std::runtime_error("LzDecompress: size mismatch");
+  }
+  return out;
+}
+
+}  // namespace jig

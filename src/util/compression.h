@@ -1,0 +1,32 @@
+// Byte-oriented LZ compression for trace storage.
+//
+// The paper's jigdump compresses capture blocks with LZO before shipping them
+// over NFS, because storage and I/O are the monitor platform's bottlenecks
+// (Section 3.3).  LZO is not available offline, so this is a from-scratch
+// LZ77-style codec with the same design point: cheap, byte-oriented, good
+// enough on highly repetitive capture data (802.11 headers repeat heavily).
+//
+// Format (little-endian):
+//   [u32 raw_size] then a token stream:
+//     control byte C:
+//       C < 0x80  : literal run of C+1 bytes follows
+//       C >= 0x80 : match; length = (C & 0x7F) + kMinMatch,
+//                   followed by u16 distance (1-based, <= 64 KiB window)
+// The codec is deterministic and self-contained; Decompress validates all
+// offsets and throws std::runtime_error on malformed input.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace jig {
+
+constexpr std::size_t kLzMinMatch = 4;
+constexpr std::size_t kLzMaxMatch = 0x7F + kLzMinMatch;
+constexpr std::size_t kLzWindow = 65535;
+
+std::vector<std::uint8_t> LzCompress(std::span<const std::uint8_t> raw);
+std::vector<std::uint8_t> LzDecompress(std::span<const std::uint8_t> packed);
+
+}  // namespace jig

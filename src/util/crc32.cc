@@ -1,0 +1,40 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace jig {
+namespace {
+
+constexpr std::uint32_t kPoly = 0xEDB88320u;  // reflected 0x04C11DB7
+
+constexpr std::array<std::uint32_t, 256> MakeTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? (kPoly ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kTable = MakeTable();
+
+}  // namespace
+
+void Crc32Accumulator::Update(std::span<const std::uint8_t> data) {
+  std::uint32_t c = state_;
+  for (std::uint8_t byte : data) {
+    c = kTable[(c ^ byte) & 0xFFu] ^ (c >> 8);
+  }
+  state_ = c;
+}
+
+std::uint32_t Crc32(std::span<const std::uint8_t> data) {
+  Crc32Accumulator acc;
+  acc.Update(data);
+  return acc.Value();
+}
+
+}  // namespace jig

@@ -1,0 +1,31 @@
+// CRC-32 (IEEE 802.3 polynomial), used as the 802.11 frame check sequence.
+//
+// 802.11 frames carry a 4-byte FCS computed over the MAC header and body with
+// the same polynomial as Ethernet.  Jigsaw uses the FCS both to detect
+// corrupted captures and as a cheap first-stage comparison key during frame
+// unification (paper Section 4.2), so the implementation lives in util where
+// both the simulator and the core library can reach it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace jig {
+
+// Computes the CRC-32 of `data` (reflected, init 0xFFFFFFFF, final xor
+// 0xFFFFFFFF — i.e. the standard IEEE 802.3 / zlib CRC).
+std::uint32_t Crc32(std::span<const std::uint8_t> data);
+
+// Incremental interface for streaming use.
+class Crc32Accumulator {
+ public:
+  void Update(std::span<const std::uint8_t> data);
+  // Finalized CRC of everything fed so far.  Update() may be called again
+  // afterwards; Value() is non-destructive.
+  std::uint32_t Value() const { return state_ ^ 0xFFFFFFFFu; }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+}  // namespace jig

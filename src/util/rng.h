@@ -1,0 +1,62 @@
+// Deterministic random number generation for the simulation substrate.
+//
+// Every stochastic component of the simulator (clock skews, path-loss
+// shadowing, traffic arrivals, backoff draws...) derives its stream from a
+// single scenario seed so that experiments are exactly reproducible.  Rng is
+// a thin wrapper over a 64-bit SplitMix/xoshiro-style generator with the
+// distribution helpers the codebase needs; it avoids <random> distribution
+// objects whose sequences vary across standard library implementations.
+#pragma once
+
+#include <cstdint>
+
+namespace jig {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) { Reseed(seed); }
+
+  void Reseed(std::uint64_t seed);
+
+  // Uniform 64-bit value.
+  std::uint64_t NextU64();
+
+  // Uniform in [0, bound) — bound must be > 0.
+  std::uint64_t NextBelow(std::uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t NextInt(std::int64_t lo, std::int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  // True with probability p (clamped to [0,1]).
+  bool NextBool(double p);
+
+  // Standard normal via Box–Muller (cached second value).
+  double NextGaussian();
+
+  // Gaussian with the given mean and standard deviation.
+  double NextGaussian(double mean, double stddev);
+
+  // Exponential with the given mean (> 0).
+  double NextExponential(double mean);
+
+  // Bounded Pareto-ish heavy tail in [min, cap] with shape alpha — used for
+  // flow sizes so the traffic mix has both mice and elephants.
+  double NextHeavyTail(double min, double cap, double alpha);
+
+  // Derives an independent child generator; stable across runs for the same
+  // (seed, stream) pair.  Used to give each station/pod its own stream.
+  Rng Fork(std::uint64_t stream);
+
+ private:
+  std::uint64_t s_[4];
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+}  // namespace jig

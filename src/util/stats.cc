@@ -1,0 +1,114 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace jig {
+
+void Distribution::AddN(double x, std::size_t n) {
+  samples_.insert(samples_.end(), n, x);
+  sorted_ = false;
+}
+
+void Distribution::EnsureSorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Distribution::Min() const {
+  EnsureSorted();
+  return samples_.empty() ? 0.0 : samples_.front();
+}
+
+double Distribution::Max() const {
+  EnsureSorted();
+  return samples_.empty() ? 0.0 : samples_.back();
+}
+
+double Distribution::Mean() const {
+  if (samples_.empty()) return 0.0;
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+         static_cast<double>(samples_.size());
+}
+
+double Distribution::Stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double mean = Mean();
+  double acc = 0.0;
+  for (double s : samples_) acc += (s - mean) * (s - mean);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double Distribution::Quantile(double q) const {
+  if (samples_.empty()) return 0.0;
+  EnsureSorted();
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double Distribution::CdfAt(double x) const {
+  if (samples_.empty()) return 0.0;
+  EnsureSorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+std::vector<std::pair<double, double>> Distribution::CdfSeries(
+    std::size_t points) const {
+  std::vector<std::pair<double, double>> series;
+  if (samples_.empty() || points == 0) return series;
+  series.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double q = static_cast<double>(i + 1) / static_cast<double>(points);
+    series.emplace_back(Quantile(q), q);
+  }
+  return series;
+}
+
+TimeBins::TimeBins(Micros bin_width, Micros horizon) : width_(bin_width) {
+  if (bin_width <= 0 || horizon <= 0) {
+    throw std::invalid_argument("TimeBins requires positive width and horizon");
+  }
+  bins_.assign(static_cast<std::size_t>((horizon + bin_width - 1) / bin_width),
+               0.0);
+}
+
+void TimeBins::Add(Micros t, double amount) {
+  if (t < 0) return;
+  const auto idx = static_cast<std::size_t>(t / width_);
+  if (idx < bins_.size()) bins_[idx] += amount;
+}
+
+std::string FormatFixed(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+std::string FormatPercent(double fraction, int decimals) {
+  return FormatFixed(fraction * 100.0, decimals) + "%";
+}
+
+std::string FormatCount(std::uint64_t n) {
+  std::string digits = std::to_string(n);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  int pos = static_cast<int>(digits.size());
+  for (char c : digits) {
+    out.push_back(c);
+    --pos;
+    if (pos > 0 && pos % 3 == 0) out.push_back(',');
+  }
+  return out;
+}
+
+}  // namespace jig

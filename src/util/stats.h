@@ -1,0 +1,100 @@
+// Small statistics toolkit shared by the analyses and benches.
+//
+// The paper's evaluation is built out of CDFs (Figures 4, 6, 9), time-series
+// histograms (Figures 8, 10) and summary counts (Table 1).  This header
+// provides those primitives: an empirical-distribution accumulator with
+// percentile queries, a fixed-bin time-series counter, and an exponentially
+// weighted moving average used by the skew/drift predictor (Section 4.2).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/time.h"
+
+namespace jig {
+
+// Accumulates samples and answers distribution queries.  Samples are stored;
+// intended for up to a few tens of millions of values.
+class Distribution {
+ public:
+  void Add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+  void AddN(double x, std::size_t n);
+
+  bool empty() const { return samples_.empty(); }
+  std::size_t size() const { return samples_.size(); }
+
+  double Min() const;
+  double Max() const;
+  double Mean() const;
+  double Stddev() const;
+  // q in [0,1]; linear interpolation between order statistics.
+  double Quantile(double q) const;
+  // Fraction of samples <= x.
+  double CdfAt(double x) const;
+
+  // Evenly spaced (in quantile space) CDF points, suitable for printing a
+  // figure series: returns {x, F(x)} pairs at `points` quantiles.
+  std::vector<std::pair<double, double>> CdfSeries(std::size_t points) const;
+
+ private:
+  void EnsureSorted() const;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+// Exponentially weighted moving average.  alpha is the weight of the newest
+// sample.  Before the first sample, Value() returns the configured initial.
+class Ewma {
+ public:
+  explicit Ewma(double alpha, double initial = 0.0)
+      : alpha_(alpha), value_(initial) {}
+
+  void Add(double sample) {
+    if (!seeded_) {
+      value_ = sample;
+      seeded_ = true;
+    } else {
+      value_ = alpha_ * sample + (1.0 - alpha_) * value_;
+    }
+  }
+  double Value() const { return value_; }
+  bool seeded() const { return seeded_; }
+
+ private:
+  double alpha_;
+  double value_;
+  bool seeded_ = false;
+};
+
+// Counts events into fixed-width time bins over [0, horizon).  Used for the
+// one-minute activity series of Figures 8 and 10.
+class TimeBins {
+ public:
+  TimeBins(Micros bin_width, Micros horizon);
+
+  void Add(Micros t, double amount = 1.0);
+  std::size_t BinCount() const { return bins_.size(); }
+  double BinValue(std::size_t i) const { return bins_[i]; }
+  Micros BinStart(std::size_t i) const {
+    return static_cast<Micros>(i) * width_;
+  }
+  Micros bin_width() const { return width_; }
+
+ private:
+  Micros width_;
+  std::vector<double> bins_;
+};
+
+// Simple fixed-point number formatting helpers for bench/table output.
+std::string FormatFixed(double v, int decimals);
+std::string FormatPercent(double fraction, int decimals = 1);
+std::string FormatCount(std::uint64_t n);  // thousands separators
+
+}  // namespace jig

@@ -1,0 +1,43 @@
+// Time types used throughout Jigsaw.
+//
+// All air-side timing in this codebase is expressed in integer microseconds,
+// matching the 1 us resolution of the Atheros capture clock the paper's
+// monitors use.  Two distinct notions of time exist and must not be mixed:
+//
+//  * TrueMicros   — the simulator's ground-truth clock (exists only inside
+//                   the simulation substrate; real deployments never see it).
+//  * LocalMicros  — a monitor radio's local capture clock, subject to offset,
+//                   skew and drift.
+//  * UniversalMicros — Jigsaw's synthesized "universal time" standard, the
+//                   output of bootstrap synchronization (paper Section 4.1).
+//
+// They are all 64-bit tick counts; the type aliases exist to document intent
+// at interfaces.  Arithmetic helpers are deliberately plain: the values are
+// durations/instants in us and code reads best with ordinary integer math.
+#pragma once
+
+#include <cstdint>
+
+namespace jig {
+
+using Micros = std::int64_t;
+
+using TrueMicros = Micros;       // simulator ground truth
+using LocalMicros = Micros;      // per-radio capture clock
+using UniversalMicros = Micros;  // Jigsaw universal time
+
+constexpr Micros kMicrosPerMilli = 1'000;
+constexpr Micros kMicrosPerSecond = 1'000'000;
+constexpr Micros kMicrosPerMinute = 60 * kMicrosPerSecond;
+constexpr Micros kMicrosPerHour = 60 * kMicrosPerMinute;
+
+constexpr Micros Milliseconds(std::int64_t ms) { return ms * kMicrosPerMilli; }
+constexpr Micros Seconds(std::int64_t s) { return s * kMicrosPerSecond; }
+constexpr Micros Minutes(std::int64_t m) { return m * kMicrosPerMinute; }
+constexpr Micros Hours(std::int64_t h) { return h * kMicrosPerHour; }
+
+constexpr double ToSeconds(Micros us) {
+  return static_cast<double>(us) / static_cast<double>(kMicrosPerSecond);
+}
+
+}  // namespace jig

@@ -1,0 +1,35 @@
+// 2.4 GHz channel model.
+//
+// The deployment monitors the three "non-overlapping" channels 1, 6 and 11
+// (paper Section 3.1); adjacent-channel interference is rare on those, so
+// the simulator treats distinct channels as orthogonal (paper Section 7.2
+// makes the same assumption for its interference analysis).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace jig {
+
+enum class Channel : std::uint8_t {
+  kCh1 = 1,
+  kCh6 = 6,
+  kCh11 = 11,
+};
+
+constexpr std::array<Channel, 3> kAllChannels = {Channel::kCh1, Channel::kCh6,
+                                                 Channel::kCh11};
+
+constexpr int CenterFrequencyMhz(Channel c) {
+  return 2407 + 5 * static_cast<int>(c);
+}
+
+// Channels 1/6/11 are spaced >= 25 MHz apart; we model them as orthogonal.
+constexpr bool ChannelsInterfere(Channel a, Channel b) { return a == b; }
+
+inline std::string ChannelName(Channel c) {
+  return "ch" + std::to_string(static_cast<int>(c));
+}
+
+}  // namespace jig

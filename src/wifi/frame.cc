@@ -1,0 +1,279 @@
+#include "wifi/frame.h"
+
+#include <stdexcept>
+
+#include "util/crc32.h"
+
+namespace jig {
+namespace {
+
+// Frame-control type/subtype encoding per IEEE 802.11-1999 Table 1.
+struct TypeBits {
+  std::uint8_t type;     // 0 mgmt, 1 ctrl, 2 data
+  std::uint8_t subtype;  // 4 bits
+};
+
+TypeBits ToBits(FrameType t) {
+  switch (t) {
+    case FrameType::kAssocRequest: return {0, 0};
+    case FrameType::kAssocResponse: return {0, 1};
+    case FrameType::kProbeRequest: return {0, 4};
+    case FrameType::kProbeResponse: return {0, 5};
+    case FrameType::kBeacon: return {0, 8};
+    case FrameType::kAuthentication: return {0, 11};
+    case FrameType::kDeauthentication: return {0, 12};
+    case FrameType::kRts: return {1, 11};
+    case FrameType::kCts: return {1, 12};
+    case FrameType::kAck: return {1, 13};
+    case FrameType::kData: return {2, 0};
+  }
+  throw std::invalid_argument("bad frame type");
+}
+
+std::optional<FrameType> FromBits(std::uint8_t type, std::uint8_t subtype) {
+  switch (type) {
+    case 0:
+      switch (subtype) {
+        case 0: return FrameType::kAssocRequest;
+        case 1: return FrameType::kAssocResponse;
+        case 4: return FrameType::kProbeRequest;
+        case 5: return FrameType::kProbeResponse;
+        case 8: return FrameType::kBeacon;
+        case 11: return FrameType::kAuthentication;
+        case 12: return FrameType::kDeauthentication;
+        default: return std::nullopt;
+      }
+    case 1:
+      switch (subtype) {
+        case 11: return FrameType::kRts;
+        case 12: return FrameType::kCts;
+        case 13: return FrameType::kAck;
+        default: return std::nullopt;
+      }
+    case 2:
+      return subtype == 0 ? std::optional<FrameType>(FrameType::kData)
+                          : std::nullopt;
+    default:
+      return std::nullopt;
+  }
+}
+
+void WriteMac(ByteWriter& w, const MacAddress& mac) {
+  w.Raw(std::span<const std::uint8_t>(mac.octets().data(), 6));
+}
+
+MacAddress ReadMac(ByteReader& r) {
+  auto raw = r.Raw(6);
+  std::array<std::uint8_t, 6> octets;
+  std::copy(raw.begin(), raw.end(), octets.begin());
+  return MacAddress(octets);
+}
+
+}  // namespace
+
+std::string FrameTypeName(FrameType t) {
+  switch (t) {
+    case FrameType::kData: return "DATA";
+    case FrameType::kAck: return "ACK";
+    case FrameType::kRts: return "RTS";
+    case FrameType::kCts: return "CTS";
+    case FrameType::kBeacon: return "BEACON";
+    case FrameType::kProbeRequest: return "PROBE-REQ";
+    case FrameType::kProbeResponse: return "PROBE-RESP";
+    case FrameType::kAssocRequest: return "ASSOC-REQ";
+    case FrameType::kAssocResponse: return "ASSOC-RESP";
+    case FrameType::kAuthentication: return "AUTH";
+    case FrameType::kDeauthentication: return "DEAUTH";
+  }
+  return "?";
+}
+
+std::size_t Frame::WireSize() const {
+  // fc(2) + duration(2) + addr1(6) ... + fcs(4)
+  std::size_t n = 2 + 2 + 6 + 4;
+  if (type == FrameType::kRts) n += 6;                       // addr2
+  if (!IsControl(type)) n += 6 + 6 + 2 + body.size();        // a2,a3,seq,body
+  return n;
+}
+
+Bytes Frame::Serialize() const {
+  Bytes out;
+  out.reserve(WireSize());
+  ByteWriter w(out);
+  const TypeBits bits = ToBits(type);
+  const std::uint8_t fc0 =
+      static_cast<std::uint8_t>((bits.type << 2) | (bits.subtype << 4));
+  std::uint8_t fc1 = 0;
+  if (to_ds) fc1 |= 0x01;
+  if (from_ds) fc1 |= 0x02;
+  if (retry) fc1 |= 0x08;
+  w.U8(fc0);
+  w.U8(fc1);
+  w.U16(duration_us);
+  WriteMac(w, addr1);
+  if (type == FrameType::kRts) {
+    WriteMac(w, addr2);
+  } else if (!IsControl(type)) {
+    WriteMac(w, addr2);
+    WriteMac(w, addr3);
+    w.U16(static_cast<std::uint16_t>((sequence & 0x0FFF) << 4));
+    w.Raw(body);
+  }
+  const std::uint32_t fcs = Crc32(out);
+  w.U32(fcs);
+  return out;
+}
+
+std::optional<ParsedFrame> ParseFrame(std::span<const std::uint8_t> wire,
+                                      PhyRate rate) {
+  if (wire.size() < 14) return std::nullopt;  // smallest frame: ACK/CTS
+  try {
+    ByteReader r(wire);
+    const std::uint8_t fc0 = r.U8();
+    const std::uint8_t fc1 = r.U8();
+    if ((fc0 & 0x03) != 0) return std::nullopt;  // protocol version != 0
+    const auto type = FromBits((fc0 >> 2) & 0x03, (fc0 >> 4) & 0x0F);
+    if (!type) return std::nullopt;
+
+    ParsedFrame out;
+    Frame& f = out.frame;
+    f.type = *type;
+    f.to_ds = (fc1 & 0x01) != 0;
+    f.from_ds = (fc1 & 0x02) != 0;
+    f.retry = (fc1 & 0x08) != 0;
+    f.duration_us = r.U16();
+    f.rate = rate;
+    f.addr1 = ReadMac(r);
+    if (f.type == FrameType::kRts) {
+      f.addr2 = ReadMac(r);
+    } else if (!IsControl(f.type)) {
+      f.addr2 = ReadMac(r);
+      f.addr3 = ReadMac(r);
+      f.sequence = static_cast<std::uint16_t>(r.U16() >> 4);
+      const std::size_t body_len = r.remaining() - 4;
+      auto body = r.Raw(body_len);
+      f.body.assign(body.begin(), body.end());
+    }
+    if (r.remaining() != 4) {
+      // Control frames with trailing slack or short frames: reject.
+      if (r.remaining() < 4) return std::nullopt;
+      // Longer-than-expected control frame; treat extra as unparsable.
+      return std::nullopt;
+    }
+    out.fcs = r.U32();
+    out.fcs_ok = Crc32(wire.first(wire.size() - 4)) == out.fcs;
+    return out;
+  } catch (const std::runtime_error&) {
+    return std::nullopt;  // truncated capture
+  }
+}
+
+std::uint64_t ContentDigest(std::span<const std::uint8_t> wire) {
+  std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a offset basis
+  for (std::uint8_t b : wire) {
+    h ^= b;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::string Frame::Summary() const {
+  std::string s = FrameTypeName(type);
+  if (HasTransmitter()) s += " from " + addr2.ToString();
+  s += " to " + addr1.ToString();
+  if (HasSequence()) s += " seq " + std::to_string(sequence);
+  if (retry) s += " (retry)";
+  s += " @" + RateName(rate);
+  return s;
+}
+
+Frame MakeAck(MacAddress receiver, PhyRate rate) {
+  Frame f;
+  f.type = FrameType::kAck;
+  f.addr1 = receiver;
+  f.duration_us = 0;
+  f.rate = rate;
+  return f;
+}
+
+Frame MakeCtsToSelf(MacAddress self, Micros reserve_us, PhyRate rate) {
+  Frame f;
+  f.type = FrameType::kCts;
+  f.addr1 = self;
+  f.duration_us = static_cast<std::uint16_t>(
+      std::min<Micros>(reserve_us, 0x7FFF));
+  f.rate = rate;
+  return f;
+}
+
+Frame MakeRts(MacAddress receiver, MacAddress transmitter, Micros reserve_us,
+              PhyRate rate) {
+  Frame f;
+  f.type = FrameType::kRts;
+  f.addr1 = receiver;
+  f.addr2 = transmitter;
+  f.duration_us = static_cast<std::uint16_t>(
+      std::min<Micros>(reserve_us, 0x7FFF));
+  f.rate = rate;
+  return f;
+}
+
+Frame MakeData(MacAddress receiver, MacAddress transmitter, MacAddress bssid,
+               std::uint16_t sequence, Bytes body, PhyRate rate, bool from_ds,
+               bool to_ds) {
+  Frame f;
+  f.type = FrameType::kData;
+  f.addr1 = receiver;
+  f.addr2 = transmitter;
+  f.addr3 = bssid;
+  f.sequence = sequence & 0x0FFF;
+  f.body = std::move(body);
+  f.rate = rate;
+  f.from_ds = from_ds;
+  f.to_ds = to_ds;
+  if (receiver.IsUnicast()) {
+    f.duration_us = static_cast<std::uint16_t>(AckDurationFieldMicros(rate));
+  }
+  return f;
+}
+
+Frame MakeBeacon(MacAddress ap, std::uint16_t sequence, PhyRate rate) {
+  Frame f;
+  f.type = FrameType::kBeacon;
+  f.addr1 = MacAddress::Broadcast();
+  f.addr2 = ap;
+  f.addr3 = ap;
+  f.sequence = sequence & 0x0FFF;
+  // Beacon body: timestamp(8) + interval(2) + capabilities(2) + SSID-ish tag.
+  f.body.assign(24, 0);
+  f.rate = rate;
+  return f;
+}
+
+Frame MakeProbeRequest(MacAddress client, std::uint16_t sequence) {
+  Frame f;
+  f.type = FrameType::kProbeRequest;
+  f.addr1 = MacAddress::Broadcast();
+  f.addr2 = client;
+  f.addr3 = MacAddress::Broadcast();
+  f.sequence = sequence & 0x0FFF;
+  f.body.assign(16, 0);
+  f.rate = PhyRate::kB1;  // probes go out at the lowest rate
+  return f;
+}
+
+Frame MakeProbeResponse(MacAddress ap, MacAddress client,
+                        std::uint16_t sequence, PhyRate rate) {
+  Frame f;
+  f.type = FrameType::kProbeResponse;
+  f.addr1 = client;
+  f.addr2 = ap;
+  f.addr3 = ap;
+  f.sequence = sequence & 0x0FFF;
+  f.body.assign(24, 0);
+  f.rate = rate;
+  f.duration_us = static_cast<std::uint16_t>(AckDurationFieldMicros(rate));
+  return f;
+}
+
+}  // namespace jig

@@ -1,0 +1,89 @@
+// 48-bit IEEE MAC addresses (paper Section 2).
+//
+// Addresses identify stations in frames and key most of Jigsaw's per-sender
+// state (sequence tracking, link-layer FSMs, coverage accounting).  The
+// simulator mints addresses from distinct OUI-style prefixes per station
+// class so traces are easy to eyeball and analyses can recover station roles
+// without out-of-band metadata.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace jig {
+
+class MacAddress {
+ public:
+  constexpr MacAddress() : octets_{} {}
+  constexpr explicit MacAddress(std::array<std::uint8_t, 6> octets)
+      : octets_(octets) {}
+
+  static constexpr MacAddress Broadcast() {
+    return MacAddress({0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF});
+  }
+
+  // Simulator address factories.  The prefix byte doubles as a station-class
+  // tag: 0x02 locally administered client, 0x06 AP, 0x0A wired host.
+  static constexpr MacAddress Client(std::uint16_t index) {
+    return FromTag(0x02, index);
+  }
+  static constexpr MacAddress Ap(std::uint16_t index) {
+    return FromTag(0x06, index);
+  }
+  static constexpr MacAddress WiredHost(std::uint16_t index) {
+    return FromTag(0x0A, index);
+  }
+
+  constexpr bool IsBroadcast() const {
+    for (auto o : octets_) {
+      if (o != 0xFF) return false;
+    }
+    return true;
+  }
+  constexpr bool IsMulticast() const { return (octets_[0] & 0x01) != 0; }
+  constexpr bool IsUnicast() const { return !IsMulticast(); }
+
+  constexpr bool IsClientTag() const { return octets_[0] == 0x02; }
+  constexpr bool IsApTag() const { return octets_[0] == 0x06; }
+
+  constexpr const std::array<std::uint8_t, 6>& octets() const {
+    return octets_;
+  }
+
+  std::uint64_t ToU64() const {
+    std::uint64_t v = 0;
+    for (auto o : octets_) v = (v << 8) | o;
+    return v;
+  }
+
+  std::string ToString() const {
+    char buf[18];
+    std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x",
+                  octets_[0], octets_[1], octets_[2], octets_[3], octets_[4],
+                  octets_[5]);
+    return buf;
+  }
+
+  friend constexpr auto operator<=>(const MacAddress&,
+                                    const MacAddress&) = default;
+
+ private:
+  static constexpr MacAddress FromTag(std::uint8_t tag, std::uint16_t index) {
+    return MacAddress({tag, 0x00, 0x5E, 0x00,
+                       static_cast<std::uint8_t>(index >> 8),
+                       static_cast<std::uint8_t>(index & 0xFF)});
+  }
+  std::array<std::uint8_t, 6> octets_;
+};
+
+}  // namespace jig
+
+template <>
+struct std::hash<jig::MacAddress> {
+  std::size_t operator()(const jig::MacAddress& a) const noexcept {
+    return std::hash<std::uint64_t>{}(a.ToU64());
+  }
+};

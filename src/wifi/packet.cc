@@ -1,0 +1,202 @@
+#include "wifi/packet.h"
+
+namespace jig {
+namespace {
+
+constexpr std::uint8_t kLlcSnap[6] = {0xAA, 0xAA, 0x03, 0x00, 0x00, 0x00};
+constexpr std::size_t kLlcLen = 8;   // LLC/SNAP incl. ethertype
+constexpr std::size_t kIpv4Len = 20;
+constexpr std::size_t kTcpLen = 20;
+constexpr std::size_t kUdpLen = 8;
+constexpr std::size_t kArpLen = 28;
+
+void WriteBE16(ByteWriter& w, std::uint16_t v) {
+  w.U8(static_cast<std::uint8_t>(v >> 8));
+  w.U8(static_cast<std::uint8_t>(v));
+}
+void WriteBE32(ByteWriter& w, std::uint32_t v) {
+  WriteBE16(w, static_cast<std::uint16_t>(v >> 16));
+  WriteBE16(w, static_cast<std::uint16_t>(v));
+}
+std::uint16_t ReadBE16(ByteReader& r) {
+  const std::uint16_t hi = r.U8();
+  return static_cast<std::uint16_t>((hi << 8) | r.U8());
+}
+std::uint32_t ReadBE32(ByteReader& r) {
+  const std::uint32_t hi = ReadBE16(r);
+  return (hi << 16) | ReadBE16(r);
+}
+
+void WriteLlcSnap(ByteWriter& w, std::uint16_t ether_type) {
+  w.Raw(std::span<const std::uint8_t>(kLlcSnap, 6));
+  WriteBE16(w, ether_type);
+}
+
+void WriteIpv4(ByteWriter& w, Ipv4Addr src, Ipv4Addr dst, std::uint8_t proto,
+               std::uint16_t total_len, std::uint16_t ip_id) {
+  w.U8(0x45);  // version 4, IHL 5
+  w.U8(0x00);  // TOS
+  WriteBE16(w, total_len);
+  WriteBE16(w, ip_id);
+  WriteBE16(w, 0x4000);  // DF
+  w.U8(64);              // TTL
+  w.U8(proto);
+  WriteBE16(w, 0);  // header checksum: not modeled (link FCS covers capture)
+  WriteBE32(w, src);
+  WriteBE32(w, dst);
+}
+
+void AppendFiller(Bytes& out, std::size_t logical_len, std::size_t cap) {
+  const std::size_t inline_len = std::min(logical_len, cap);
+  // Non-zero filler so payload bytes contribute to content comparisons.
+  for (std::size_t i = 0; i < inline_len; ++i) {
+    out.push_back(static_cast<std::uint8_t>(0x5A ^ (i & 0xFF)));
+  }
+}
+
+}  // namespace
+
+std::string Ipv4ToString(Ipv4Addr a) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (a >> 24) & 0xFF,
+                (a >> 16) & 0xFF, (a >> 8) & 0xFF, a & 0xFF);
+  return buf;
+}
+
+Bytes BuildTcpFrameBody(Ipv4Addr src_ip, Ipv4Addr dst_ip, const TcpSegment& seg,
+                        std::size_t inline_cap) {
+  Bytes out;
+  out.reserve(kLlcLen + kIpv4Len + kTcpLen + std::min<std::size_t>(
+                                                 seg.payload_len, inline_cap));
+  ByteWriter w(out);
+  WriteLlcSnap(w, kEtherTypeIpv4);
+  WriteIpv4(w, src_ip, dst_ip, kIpProtoTcp,
+            static_cast<std::uint16_t>(kIpv4Len + kTcpLen + seg.payload_len),
+            static_cast<std::uint16_t>(seg.seq & 0xFFFF));
+  WriteBE16(w, seg.src_port);
+  WriteBE16(w, seg.dst_port);
+  WriteBE32(w, seg.seq);
+  WriteBE32(w, seg.ack);
+  w.U8(0x50);  // data offset 5
+  w.U8(seg.flags);
+  WriteBE16(w, seg.window);
+  WriteBE16(w, 0);  // checksum (not modeled)
+  WriteBE16(w, 0);  // urgent
+  AppendFiller(out, seg.payload_len, inline_cap);
+  return out;
+}
+
+Bytes BuildUdpFrameBody(Ipv4Addr src_ip, Ipv4Addr dst_ip,
+                        const UdpDatagram& dgram, std::size_t inline_cap) {
+  Bytes out;
+  ByteWriter w(out);
+  WriteLlcSnap(w, kEtherTypeIpv4);
+  WriteIpv4(w, src_ip, dst_ip, kIpProtoUdp,
+            static_cast<std::uint16_t>(kIpv4Len + kUdpLen + dgram.payload_len),
+            dgram.src_port);
+  WriteBE16(w, dgram.src_port);
+  WriteBE16(w, dgram.dst_port);
+  WriteBE16(w, static_cast<std::uint16_t>(kUdpLen + dgram.payload_len));
+  WriteBE16(w, 0);  // checksum
+  AppendFiller(out, dgram.payload_len, inline_cap);
+  return out;
+}
+
+Bytes BuildArpFrameBody(const ArpMessage& arp) {
+  Bytes out;
+  out.reserve(kLlcLen + kArpLen);
+  ByteWriter w(out);
+  WriteLlcSnap(w, kEtherTypeArp);
+  WriteBE16(w, 1);       // htype ethernet
+  WriteBE16(w, 0x0800);  // ptype IPv4
+  w.U8(6);
+  w.U8(4);
+  WriteBE16(w, arp.is_request ? 1 : 2);
+  // Hardware addresses carry no analysis weight; zero-filled.
+  for (int i = 0; i < 6; ++i) w.U8(0);
+  WriteBE32(w, arp.sender_ip);
+  for (int i = 0; i < 6; ++i) w.U8(0);
+  WriteBE32(w, arp.target_ip);
+  return out;
+}
+
+std::optional<PacketInfo> ParseFrameBody(std::span<const std::uint8_t> body) {
+  if (body.size() < kLlcLen) return std::nullopt;
+  for (std::size_t i = 0; i < 6; ++i) {
+    if (body[i] != kLlcSnap[i]) return std::nullopt;
+  }
+  try {
+    ByteReader r(body);
+    r.Raw(6);
+    PacketInfo info;
+    info.ether_type = ReadBE16(r);
+
+    if (info.ether_type == kEtherTypeArp) {
+      if (r.remaining() < kArpLen) return std::nullopt;
+      ReadBE16(r);  // htype
+      ReadBE16(r);  // ptype
+      r.U8();       // hlen
+      r.U8();       // plen
+      ArpMessage arp;
+      arp.is_request = ReadBE16(r) == 1;
+      r.Raw(6);
+      arp.sender_ip = ReadBE32(r);
+      r.Raw(6);
+      arp.target_ip = ReadBE32(r);
+      info.arp = arp;
+      return info;
+    }
+
+    if (info.ether_type != kEtherTypeIpv4) return std::nullopt;
+    if (r.remaining() < kIpv4Len) return std::nullopt;
+    const std::uint8_t ver_ihl = r.U8();
+    if ((ver_ihl >> 4) != 4) return std::nullopt;
+    r.U8();  // TOS
+    const std::uint16_t total_len = ReadBE16(r);
+    info.ip_id = ReadBE16(r);
+    ReadBE16(r);  // flags/frag
+    info.ttl = r.U8();
+    info.ip_proto = r.U8();
+    ReadBE16(r);  // checksum
+    info.src_ip = ReadBE32(r);
+    info.dst_ip = ReadBE32(r);
+
+    if (info.ip_proto == kIpProtoTcp) {
+      if (r.remaining() < kTcpLen) return std::nullopt;
+      TcpSegment seg;
+      seg.src_port = ReadBE16(r);
+      seg.dst_port = ReadBE16(r);
+      seg.seq = ReadBE32(r);
+      seg.ack = ReadBE32(r);
+      r.U8();  // data offset
+      seg.flags = r.U8();
+      seg.window = ReadBE16(r);
+      ReadBE16(r);  // checksum
+      ReadBE16(r);  // urgent
+      // Logical payload length from the IP header, not the (possibly
+      // snap-truncated) captured bytes — this is what makes TCP sequence
+      // accounting work on 200-byte captures.
+      seg.payload_len = total_len >= kIpv4Len + kTcpLen
+                            ? static_cast<std::uint16_t>(total_len - kIpv4Len -
+                                                         kTcpLen)
+                            : 0;
+      info.tcp = seg;
+    } else if (info.ip_proto == kIpProtoUdp) {
+      if (r.remaining() < kUdpLen) return std::nullopt;
+      UdpDatagram dgram;
+      dgram.src_port = ReadBE16(r);
+      dgram.dst_port = ReadBE16(r);
+      const std::uint16_t udp_len = ReadBE16(r);
+      ReadBE16(r);  // checksum
+      dgram.payload_len =
+          udp_len >= kUdpLen ? static_cast<std::uint16_t>(udp_len - kUdpLen)
+                             : 0;
+      info.udp = dgram;
+    }
+    return info;
+  } catch (const std::runtime_error&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace jig

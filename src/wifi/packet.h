@@ -1,0 +1,101 @@
+// Network/transport payload encapsulation inside 802.11 DATA frames.
+//
+// The paper notes each captured frame retains up to 200 bytes of payload,
+// "used to identify MAC addresses, IP addresses and TCP port numbers"
+// (Section 5).  This module builds and parses that payload: an LLC/SNAP
+// header followed by IPv4 + TCP/UDP, or an ARP body.  Jigsaw's transport
+// reconstruction (Section 5.2) parses these bytes back out of unified
+// frames; the simulator's traffic generators build them.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "util/byte_io.h"
+
+namespace jig {
+
+using Ipv4Addr = std::uint32_t;
+
+constexpr Ipv4Addr MakeIpv4(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                            std::uint8_t d) {
+  return (static_cast<Ipv4Addr>(a) << 24) | (static_cast<Ipv4Addr>(b) << 16) |
+         (static_cast<Ipv4Addr>(c) << 8) | d;
+}
+std::string Ipv4ToString(Ipv4Addr a);
+
+// TCP flag bits.
+constexpr std::uint8_t kTcpFin = 0x01;
+constexpr std::uint8_t kTcpSyn = 0x02;
+constexpr std::uint8_t kTcpRst = 0x04;
+constexpr std::uint8_t kTcpPsh = 0x08;
+constexpr std::uint8_t kTcpAck = 0x10;
+
+constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+constexpr std::uint16_t kEtherTypeArp = 0x0806;
+
+constexpr std::uint8_t kIpProtoTcp = 6;
+constexpr std::uint8_t kIpProtoUdp = 17;
+
+struct TcpSegment {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t flags = 0;
+  std::uint16_t window = 65535;
+  std::uint16_t payload_len = 0;  // TCP payload bytes (may exceed captured)
+
+  bool Syn() const { return flags & kTcpSyn; }
+  bool Fin() const { return flags & kTcpFin; }
+  bool Rst() const { return flags & kTcpRst; }
+  bool HasAck() const { return flags & kTcpAck; }
+};
+
+struct UdpDatagram {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t payload_len = 0;
+};
+
+struct ArpMessage {
+  bool is_request = true;
+  Ipv4Addr sender_ip = 0;
+  Ipv4Addr target_ip = 0;
+};
+
+// Parsed view of a DATA frame body.
+struct PacketInfo {
+  std::uint16_t ether_type = 0;
+  // IPv4 fields (valid when ether_type == kEtherTypeIpv4).
+  Ipv4Addr src_ip = 0;
+  Ipv4Addr dst_ip = 0;
+  std::uint8_t ip_proto = 0;
+  std::uint8_t ttl = 0;
+  std::uint16_t ip_id = 0;
+  std::optional<TcpSegment> tcp;
+  std::optional<UdpDatagram> udp;
+  std::optional<ArpMessage> arp;
+
+  bool IsTcp() const { return tcp.has_value(); }
+  bool IsArp() const { return arp.has_value(); }
+};
+
+// --- Builders (simulator side) ---------------------------------------------
+// `payload_len` is the logical TCP/UDP payload size; only min(payload_len,
+// inline_cap) filler bytes are actually materialized, with the true length
+// recorded in the IP/TCP headers, mirroring how a snap-length capture works.
+Bytes BuildTcpFrameBody(Ipv4Addr src_ip, Ipv4Addr dst_ip, const TcpSegment& seg,
+                        std::size_t inline_cap = 160);
+Bytes BuildUdpFrameBody(Ipv4Addr src_ip, Ipv4Addr dst_ip,
+                        const UdpDatagram& dgram, std::size_t inline_cap = 160);
+Bytes BuildArpFrameBody(const ArpMessage& arp);
+
+// --- Parser (Jigsaw side) ---------------------------------------------------
+// Parses an LLC/SNAP-encapsulated body.  Returns nullopt when the body is
+// not parseable (non-IP/ARP ethertype, truncated below header size, etc.).
+std::optional<PacketInfo> ParseFrameBody(std::span<const std::uint8_t> body);
+
+}  // namespace jig

@@ -1,0 +1,107 @@
+#include "wifi/rates.h"
+
+#include <stdexcept>
+
+namespace jig {
+
+double RateMbps(PhyRate r) {
+  switch (r) {
+    case PhyRate::kB1: return 1.0;
+    case PhyRate::kB2: return 2.0;
+    case PhyRate::kB5_5: return 5.5;
+    case PhyRate::kB11: return 11.0;
+    case PhyRate::kG6: return 6.0;
+    case PhyRate::kG9: return 9.0;
+    case PhyRate::kG12: return 12.0;
+    case PhyRate::kG18: return 18.0;
+    case PhyRate::kG24: return 24.0;
+    case PhyRate::kG36: return 36.0;
+    case PhyRate::kG48: return 48.0;
+    case PhyRate::kG54: return 54.0;
+  }
+  throw std::invalid_argument("bad rate");
+}
+
+std::string RateName(PhyRate r) {
+  switch (r) {
+    case PhyRate::kB5_5: return "5.5Mbps(b)";
+    default: {
+      const double mbps = RateMbps(r);
+      return std::to_string(static_cast<int>(mbps)) + "Mbps" +
+             (IsOfdm(r) ? "(g)" : "(b)");
+    }
+  }
+}
+
+Micros PlcpOverheadMicros(PhyRate r) {
+  if (IsCck(r)) return 192;  // long preamble, as the paper's APs use
+  return 20;                 // 16 us preamble + 4 us SIGNAL
+}
+
+Micros TxDurationMicros(PhyRate r, std::size_t mac_bytes) {
+  const std::size_t bits = mac_bytes * 8;
+  if (IsCck(r)) {
+    // Payload time rounded up to whole us.
+    const double us = static_cast<double>(bits) / RateMbps(r);
+    return PlcpOverheadMicros(r) + static_cast<Micros>(us + 0.999999);
+  }
+  // OFDM: 4 us symbols carrying N_DBPS = rate * 4 bits; 16 service bits and
+  // 6 tail bits wrap the PSDU; 6 us signal extension follows (802.11g).
+  const std::size_t n_dbps = static_cast<std::size_t>(RateMbps(r) * 4.0);
+  const std::size_t symbols = (16 + bits + 6 + n_dbps - 1) / n_dbps;
+  return PlcpOverheadMicros(r) + static_cast<Micros>(symbols) * 4 + 6;
+}
+
+PhyRate ControlResponseRate(PhyRate eliciting) {
+  if (IsCck(eliciting)) {
+    // Mandatory CCK rates: 1, 2 Mbps (5.5/11 optional for control).
+    return eliciting == PhyRate::kB1 ? PhyRate::kB1 : PhyRate::kB2;
+  }
+  // Mandatory OFDM rates: 6, 12, 24.
+  if (eliciting >= PhyRate::kG24) return PhyRate::kG24;
+  if (eliciting >= PhyRate::kG12) return PhyRate::kG12;
+  return PhyRate::kG6;
+}
+
+Micros AckDurationFieldMicros(PhyRate data_rate) {
+  const PhyRate ack_rate = ControlResponseRate(data_rate);
+  return kSifs + TxDurationMicros(ack_rate, kAckBytes);
+}
+
+double RequiredSinrDb(PhyRate r) {
+  switch (r) {
+    case PhyRate::kB1: return 2.0;
+    case PhyRate::kB2: return 4.0;
+    case PhyRate::kB5_5: return 7.0;
+    case PhyRate::kB11: return 10.0;
+    case PhyRate::kG6: return 5.0;
+    case PhyRate::kG9: return 6.5;
+    case PhyRate::kG12: return 8.0;
+    case PhyRate::kG18: return 10.5;
+    case PhyRate::kG24: return 13.5;
+    case PhyRate::kG36: return 17.5;
+    case PhyRate::kG48: return 21.5;
+    case PhyRate::kG54: return 23.5;
+  }
+  throw std::invalid_argument("bad rate");
+}
+
+double SensitivityDbm(PhyRate r) {
+  switch (r) {
+    case PhyRate::kB1: return -94.0;
+    case PhyRate::kB2: return -91.0;
+    case PhyRate::kB5_5: return -89.0;
+    case PhyRate::kB11: return -86.0;
+    case PhyRate::kG6: return -90.0;
+    case PhyRate::kG9: return -89.0;
+    case PhyRate::kG12: return -87.0;
+    case PhyRate::kG18: return -85.0;
+    case PhyRate::kG24: return -82.0;
+    case PhyRate::kG36: return -78.0;
+    case PhyRate::kG48: return -74.0;
+    case PhyRate::kG54: return -72.0;
+  }
+  throw std::invalid_argument("bad rate");
+}
+
+}  // namespace jig

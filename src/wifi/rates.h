@@ -1,0 +1,95 @@
+// 802.11b/g PHY rates and air-time arithmetic (paper Section 2).
+//
+// Every timing inference in Jigsaw — duration-field checks, ACK-timeout
+// deduction, protection-mode cost accounting (footnote 7) — rests on knowing
+// exactly how long a frame occupies the air.  This module computes PLCP
+// preamble + payload transmission times for CCK (802.11b) and OFDM (802.11g)
+// encodings, the duration-field values senders advertise, and the per-rate
+// receiver requirements the PHY simulation uses.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "util/time.h"
+
+namespace jig {
+
+enum class PhyRate : std::uint8_t {
+  // 802.11b (CCK / DSSS)
+  kB1,
+  kB2,
+  kB5_5,
+  kB11,
+  // 802.11g (OFDM)
+  kG6,
+  kG9,
+  kG12,
+  kG18,
+  kG24,
+  kG36,
+  kG48,
+  kG54,
+};
+
+constexpr std::array<PhyRate, 12> kAllRates = {
+    PhyRate::kB1,  PhyRate::kB2,  PhyRate::kB5_5, PhyRate::kB11,
+    PhyRate::kG6,  PhyRate::kG9,  PhyRate::kG12,  PhyRate::kG18,
+    PhyRate::kG24, PhyRate::kG36, PhyRate::kG48,  PhyRate::kG54,
+};
+
+constexpr std::array<PhyRate, 4> kBRates = {PhyRate::kB1, PhyRate::kB2,
+                                            PhyRate::kB5_5, PhyRate::kB11};
+constexpr std::array<PhyRate, 8> kGRates = {
+    PhyRate::kG6,  PhyRate::kG9,  PhyRate::kG12, PhyRate::kG18,
+    PhyRate::kG24, PhyRate::kG36, PhyRate::kG48, PhyRate::kG54};
+
+constexpr bool IsOfdm(PhyRate r) { return r >= PhyRate::kG6; }
+constexpr bool IsCck(PhyRate r) { return !IsOfdm(r); }
+
+double RateMbps(PhyRate r);
+std::string RateName(PhyRate r);
+
+// MAC timing constants (802.11b/g, long slot where legacy stations present).
+constexpr Micros kSifs = 10;             // 802.11b/g SIFS
+constexpr Micros kSlotTime = 20;         // long slot (b-compatible)
+constexpr Micros kDifs = kSifs + 2 * kSlotTime;  // 50 us
+constexpr int kCwMin = 31;
+constexpr int kCwMax = 1023;
+constexpr int kShortRetryLimit = 7;
+
+// PLCP preamble+header time that precedes the payload bits.
+// CCK long preamble: 144 us preamble + 48 us header = 192 us.
+// OFDM: 16 us preamble + 4 us SIGNAL; payload symbols are 4 us each and a
+// 6 us signal-extension trails 802.11g transmissions.
+Micros PlcpOverheadMicros(PhyRate r);
+
+// Full transmission time of `mac_bytes` (MAC header + body + FCS) at rate r,
+// including PLCP overhead (and OFDM signal extension).
+Micros TxDurationMicros(PhyRate r, std::size_t mac_bytes);
+
+// Control-response rate: the highest mandatory rate of the same PHY family
+// that does not exceed the eliciting frame's rate.  ACKs/CTSs use this.
+PhyRate ControlResponseRate(PhyRate eliciting);
+
+// Duration-field value (us) a unicast DATA frame advertises: time remaining
+// after this frame, i.e. SIFS + ACK at the control-response rate.
+Micros AckDurationFieldMicros(PhyRate data_rate);
+
+// Lengths of control frames on the wire (bytes incl. FCS).
+constexpr std::size_t kAckBytes = 14;
+constexpr std::size_t kCtsBytes = 14;
+constexpr std::size_t kRtsBytes = 20;
+
+// Minimum SINR (dB) needed to decode the payload at rate r with high
+// probability; below this the frame is captured but fails its FCS.
+double RequiredSinrDb(PhyRate r);
+
+// Receiver sensitivity (dBm): minimum RSSI for the radio to lock onto the
+// PLCP preamble at all.  Below kPhyDetectDbm nothing is logged; between
+// kPhyDetectDbm and the rate's sensitivity a PHY-error event is logged.
+double SensitivityDbm(PhyRate r);
+constexpr double kPhyDetectDbm = -96.0;
+
+}  // namespace jig

@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include "jigsaw/analysis/activity.h"
+#include "jigsaw/analysis/coverage.h"
+#include "jigsaw/analysis/dispersion.h"
+#include "jigsaw/analysis/interference.h"
+#include "jigsaw/analysis/protection.h"
+#include "jigsaw/analysis/tcp_loss.h"
+
+namespace jig {
+namespace {
+
+JFrame MakeJFrame(Frame f, UniversalMicros at, std::size_t instances = 1,
+                  Micros dispersion = 0) {
+  JFrame jf;
+  jf.timestamp = at;
+  jf.rate = f.rate;
+  const Bytes wire = f.Serialize();
+  jf.wire_len = static_cast<std::uint32_t>(wire.size());
+  jf.frame = std::move(f);
+  jf.dispersion = dispersion;
+  for (std::size_t i = 0; i < instances; ++i) {
+    FrameInstance inst;
+    inst.radio = static_cast<RadioId>(i);
+    inst.outcome = RxOutcome::kOk;
+    jf.instances.push_back(inst);
+  }
+  return jf;
+}
+
+TEST(DispersionAnalysis, MultiInstanceFilter) {
+  std::vector<JFrame> jframes;
+  Frame f = MakeData(MacAddress::Ap(0), MacAddress::Client(1),
+                     MacAddress::Ap(0), 1, Bytes(10), PhyRate::kB2, false,
+                     true);
+  jframes.push_back(MakeJFrame(f, 100, 1, 0));
+  jframes.push_back(MakeJFrame(f, 200, 3, 8));
+  jframes.push_back(MakeJFrame(f, 300, 2, 15));
+  const auto all = DispersionDistribution(jframes, false);
+  const auto multi = DispersionDistribution(jframes, true);
+  EXPECT_EQ(all.size(), 3u);
+  EXPECT_EQ(multi.size(), 2u);
+  EXPECT_DOUBLE_EQ(multi.Max(), 15.0);
+}
+
+TEST(InterferencePair, PiFormulaMatchesPaper) {
+  // Hand-computed example: background loss 10%, loss under simultaneous
+  // transmissions 55%: Pi = (0.55 - 0.10) / (1 - 0.10) = 0.5.
+  PairInterference pi;
+  pi.n = 300;
+  pi.n0 = 200;
+  pi.nl0 = 20;
+  pi.nx = 100;
+  pi.nlx = 55;
+  EXPECT_NEAR(pi.Pi(), 0.5, 1e-9);
+  // X = Pi * nx/n = 0.5 * 1/3.
+  EXPECT_NEAR(pi.X(), 0.5 / 3.0, 1e-9);
+  EXPECT_FALSE(pi.XTruncated());
+}
+
+TEST(InterferencePair, NegativePiTruncatesX) {
+  PairInterference pi;
+  pi.n = 200;
+  pi.n0 = 100;
+  pi.nl0 = 30;
+  pi.nx = 100;
+  pi.nlx = 10;  // cleaner under contention: sampling noise
+  EXPECT_LT(pi.Pi(), 0.0);
+  EXPECT_DOUBLE_EQ(pi.X(), 0.0);
+  EXPECT_TRUE(pi.XTruncated());
+}
+
+TEST(InterferencePair, DegenerateCountsSafe) {
+  PairInterference pi;
+  EXPECT_DOUBLE_EQ(pi.Pi(), 0.0);
+  EXPECT_DOUBLE_EQ(pi.X(), 0.0);
+  pi.n = pi.n0 = pi.nl0 = 10;  // 100% background loss
+  EXPECT_DOUBLE_EQ(pi.Pi(), 0.0);
+}
+
+TEST(Activity, CategoriesAndBinning) {
+  std::vector<JFrame> jframes;
+  const UniversalMicros t0 = 1'000'000;
+  // Beacon, ARP, plain data, management — one per bin.
+  jframes.push_back(
+      MakeJFrame(MakeBeacon(MacAddress::Ap(0), 1, PhyRate::kB1), t0));
+  ArpMessage arp{true, MakeIpv4(10, 0, 0, 2), MakeIpv4(10, 2, 0, 1)};
+  Frame arp_frame = MakeData(MacAddress::Broadcast(), MacAddress::Ap(0),
+                             MacAddress::Ap(0), 2, BuildArpFrameBody(arp),
+                             PhyRate::kB1, true, false);
+  jframes.push_back(MakeJFrame(arp_frame, t0 + Seconds(1)));
+  Frame data = MakeData(MacAddress::Ap(0), MacAddress::Client(1),
+                        MacAddress::Ap(0), 3, Bytes(500), PhyRate::kB11,
+                        false, true);
+  jframes.push_back(MakeJFrame(data, t0 + Seconds(2)));
+  jframes.push_back(MakeJFrame(MakeAck(MacAddress::Client(1), PhyRate::kB2),
+                               t0 + Seconds(2) + 700));
+
+  const auto series = ComputeActivity(jframes, Seconds(1));
+  ASSERT_EQ(series.Bins(), 3u);
+  EXPECT_GT(series.beacon_bytes[0], 0.0);
+  EXPECT_EQ(series.data_bytes[0], 0.0);
+  EXPECT_GT(series.arp_bytes[1], 0.0);
+  EXPECT_GT(series.data_bytes[2], 0.0);
+  EXPECT_GT(series.mgmt_bytes[2], 0.0);  // the ACK
+  // The client and its AP count as active only in the data bin.
+  EXPECT_EQ(series.active_clients[0], 0);
+  EXPECT_EQ(series.active_clients[2], 1);
+  EXPECT_EQ(series.active_aps[2], 1);
+  // Broadcast air time accrues in beacon/ARP bins.
+  EXPECT_GT(series.broadcast_airtime_fraction[0], 0.0);
+  EXPECT_GT(series.broadcast_airtime_fraction[1], 0.0);
+  EXPECT_EQ(series.broadcast_airtime_fraction[2], 0.0);
+}
+
+TEST(Coverage, MatchesWiredAgainstAir) {
+  // One downstream TCP packet seen on the wire and on the air; one seen
+  // only on the wire.
+  TcpSegment seen;
+  seen.src_port = 80;
+  seen.dst_port = 10'000;
+  seen.seq = 5000;
+  seen.flags = kTcpAck;
+  seen.payload_len = 100;
+  TcpSegment missed = seen;
+  missed.seq = 6000;
+
+  const Ipv4Addr server = MakeIpv4(10, 1, 0, 10);
+  const Ipv4Addr client = MakeIpv4(10, 2, 0, 1);
+
+  std::vector<JFrame> jframes;
+  Frame f = MakeData(MacAddress::Client(1), MacAddress::Ap(3),
+                     MacAddress::Ap(3), 1,
+                     BuildTcpFrameBody(server, client, seen), PhyRate::kB11,
+                     true, false);
+  jframes.push_back(MakeJFrame(f, 1000));
+
+  std::vector<WiredRecord> wired;
+  for (const auto& seg : {seen, missed}) {
+    WiredRecord rec;
+    rec.to_wireless = true;
+    rec.ap_index = 3;
+    rec.wireless_station = MacAddress::Client(1);
+    rec.src_ip = server;
+    rec.dst_ip = client;
+    rec.ip_proto = kIpProtoTcp;
+    rec.tcp = seg;
+    wired.push_back(rec);
+  }
+
+  const auto report = ComputeWiredCoverage(wired, jframes);
+  EXPECT_EQ(report.wired_packets, 2u);
+  EXPECT_EQ(report.matched_packets, 1u);
+  EXPECT_DOUBLE_EQ(report.Overall(), 0.5);
+  ASSERT_EQ(report.stations.size(), 1u);
+  EXPECT_TRUE(report.stations[0].is_ap);
+  EXPECT_DOUBLE_EQ(report.GroupCoverage(true), 0.5);
+  EXPECT_DOUBLE_EQ(report.FractionAtLeast(0.4, true), 1.0);
+  EXPECT_DOUBLE_EQ(report.FractionAtLeast(0.9, true), 0.0);
+}
+
+TEST(Coverage, TruthOracle) {
+  TruthLog truth;
+  TruthEntry heard;
+  heard.transmitter = MacAddress::Client(1);
+  heard.monitors_ok = 3;
+  heard.monitors_any = 4;
+  truth.Add(heard);
+  TruthEntry missed;
+  missed.transmitter = MacAddress::Client(1);
+  truth.Add(missed);
+  TruthEntry ap_frame;  // not a client: excluded from the aggregate
+  ap_frame.transmitter = MacAddress::Ap(0);
+  ap_frame.monitors_ok = 1;
+  truth.Add(ap_frame);
+
+  const auto agg = ComputeTruthCoverage(truth, std::nullopt);
+  EXPECT_EQ(agg.events, 2u);
+  EXPECT_EQ(agg.heard_ok, 1u);
+  EXPECT_DOUBLE_EQ(agg.Rate(), 0.5);
+  const auto one = ComputeTruthCoverage(truth, MacAddress::Ap(0));
+  EXPECT_EQ(one.events, 1u);
+  EXPECT_EQ(one.heard_ok, 1u);
+}
+
+TEST(Protection, OverprotectiveApDetected) {
+  std::vector<JFrame> jframes;
+  UniversalMicros t = 1'000'000;
+  const MacAddress ap = MacAddress::Ap(1);
+  const MacAddress g_client = MacAddress::Client(1);
+
+  // The g client's OFDM data marks it 802.11g and associates it to the AP.
+  Frame data = MakeData(ap, g_client, ap, 1, Bytes(100), PhyRate::kG24,
+                        false, true);
+  jframes.push_back(MakeJFrame(data, t));
+  // The AP protects (CTS-to-self) with no b client anywhere in sight.
+  jframes.push_back(
+      MakeJFrame(MakeCtsToSelf(ap, 400, PhyRate::kB2), t + 1000));
+  Frame data2 = MakeData(ap, g_client, ap, 2, Bytes(100), PhyRate::kG24,
+                         false, true);
+  jframes.push_back(MakeJFrame(data2, t + Seconds(30)));
+
+  ProtectionConfig cfg;
+  cfg.bin_width = Seconds(60);
+  const auto series = ComputeProtection(jframes, cfg);
+  ASSERT_GE(series.Bins(), 1u);
+  EXPECT_EQ(series.overprotective_aps[0], 1);
+  EXPECT_EQ(series.active_g_clients[0], 1);
+  EXPECT_EQ(series.g_clients_on_overprotective[0], 1);
+}
+
+TEST(Protection, BClientInRangeJustifiesProtection) {
+  std::vector<JFrame> jframes;
+  UniversalMicros t = 1'000'000;
+  const MacAddress ap = MacAddress::Ap(1);
+  const MacAddress b_client = MacAddress::Client(2);
+
+  // The b client's CCK-only data classifies it and proves it in range.
+  Frame b_data = MakeData(ap, b_client, ap, 1, Bytes(50), PhyRate::kB11,
+                          false, true);
+  jframes.push_back(MakeJFrame(b_data, t));
+  jframes.push_back(
+      MakeJFrame(MakeCtsToSelf(ap, 400, PhyRate::kB2), t + 1000));
+
+  const auto series = ComputeProtection(jframes, {});
+  ASSERT_GE(series.Bins(), 1u);
+  EXPECT_EQ(series.overprotective_aps[0], 0);
+}
+
+TEST(TcpLossAnalysis, AggregatesAndFilters) {
+  TransportReconstruction tr;
+  TcpFlowRecord good;
+  good.handshake_complete = true;
+  good.segments_down = 100;
+  good.losses.push_back({0, true, 0, LossCause::kWireless});
+  good.losses.push_back({0, true, 0, LossCause::kWireless});
+  good.losses.push_back({0, true, 0, LossCause::kWired});
+  tr.flows.push_back(good);
+  TcpFlowRecord scan;  // no handshake: excluded
+  scan.segments_down = 50;
+  tr.flows.push_back(scan);
+  TcpFlowRecord tiny;  // below min segments: excluded
+  tiny.handshake_complete = true;
+  tiny.segments_down = 2;
+  tr.flows.push_back(tiny);
+
+  const auto report = ComputeTcpLoss(tr, {.min_segments = 5});
+  EXPECT_EQ(report.flows_considered, 1u);
+  EXPECT_DOUBLE_EQ(report.aggregate_loss_rate, 0.03);
+  EXPECT_DOUBLE_EQ(report.aggregate_wireless_rate, 0.02);
+  EXPECT_DOUBLE_EQ(report.aggregate_wired_rate, 0.01);
+  EXPECT_DOUBLE_EQ(report.total_loss_rate.Max(), 0.03);
+}
+
+}  // namespace
+}  // namespace jig

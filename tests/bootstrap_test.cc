@@ -1,0 +1,176 @@
+#include "jigsaw/bootstrap.h"
+
+#include <gtest/gtest.h>
+
+#include "synthetic.h"
+#include "util/rng.h"
+
+namespace jig {
+namespace {
+
+using testing::SyntheticNetwork;
+using testing::SyntheticRadio;
+
+// Offsets must agree pairwise: (T_j - T_i) must equal the true offset
+// difference for synced radios.
+void ExpectConsistentOffsets(const BootstrapResult& result,
+                             const std::vector<SyntheticRadio>& radios,
+                             double tolerance_us = 2.0) {
+  for (std::size_t i = 0; i < radios.size(); ++i) {
+    for (std::size_t j = 0; j < radios.size(); ++j) {
+      if (!result.synced[i] || !result.synced[j]) continue;
+      const double got = result.offset_us[j] - result.offset_us[i];
+      const double want = radios[i].offset_us - radios[j].offset_us;
+      EXPECT_NEAR(got, want, tolerance_us) << "radios " << i << "," << j;
+    }
+  }
+}
+
+TEST(Bootstrap, TwoRadiosSharedFrame) {
+  std::vector<SyntheticRadio> radios = {
+      {.id = 0, .monitor = 0, .offset_us = 1000.0},
+      {.id = 1, .monitor = 1, .offset_us = -2500.0},
+  };
+  SyntheticNetwork net(radios);
+  net.Data(100'000, 1, 10, {0, 1});
+  net.Data(200'000, 1, 11, {0, 1});
+  auto traces = net.Build();
+  const auto result = BootstrapSynchronize(traces);
+  EXPECT_TRUE(result.AllSynced());
+  ExpectConsistentOffsets(result, radios);
+}
+
+TEST(Bootstrap, TransitiveChain) {
+  // r0 -- r1 -- r2 -- r3: no frame spans non-adjacent radios (the paper's
+  // core scenario: no single frame covers the building).
+  std::vector<SyntheticRadio> radios = {
+      {.id = 0, .monitor = 0, .offset_us = 0.0},
+      {.id = 1, .monitor = 1, .offset_us = 5000.0},
+      {.id = 2, .monitor = 2, .offset_us = -800.0},
+      {.id = 3, .monitor = 3, .offset_us = 120.0},
+  };
+  SyntheticNetwork net(radios);
+  net.Data(50'000, 1, 1, {0, 1});
+  net.Data(150'000, 2, 2, {1, 2});
+  net.Data(250'000, 3, 3, {2, 3});
+  auto traces = net.Build();
+  const auto result = BootstrapSynchronize(traces);
+  EXPECT_TRUE(result.AllSynced());
+  EXPECT_GE(result.max_bfs_depth, 2);
+  ExpectConsistentOffsets(result, radios);
+}
+
+TEST(Bootstrap, CrossChannelBridgeViaSharedClock) {
+  // Radios 0/1 share monitor 0's clock but listen on different channels;
+  // radio 2 shares frames only with radio 1 (channel 6).  Radio 0 (channel
+  // 1) must still synchronize through the shared clock.
+  std::vector<SyntheticRadio> radios = {
+      {.id = 0, .monitor = 0, .channel = Channel::kCh1, .offset_us = 700.0},
+      {.id = 1, .monitor = 0, .channel = Channel::kCh6, .offset_us = 700.0},
+      {.id = 2, .monitor = 1, .channel = Channel::kCh6, .offset_us = -300.0},
+  };
+  SyntheticNetwork net(radios);
+  net.Data(80'000, 1, 5, {1, 2});  // channel-6 frame only
+  auto traces = net.Build();
+  const auto result = BootstrapSynchronize(traces);
+  EXPECT_TRUE(result.AllSynced());
+  ExpectConsistentOffsets(result, radios);
+}
+
+TEST(Bootstrap, PartitionDetected) {
+  // Radios {0,1} and {2,3} never share a frame or a clock: the second
+  // island must be reported unsynced (paper: 10-pod configurations
+  // partition the bootstrap and prevent unification).
+  std::vector<SyntheticRadio> radios = {
+      {.id = 0, .monitor = 0, .offset_us = 0.0},
+      {.id = 1, .monitor = 1, .offset_us = 10.0},
+      {.id = 2, .monitor = 2, .offset_us = 20.0},
+      {.id = 3, .monitor = 3, .offset_us = 30.0},
+  };
+  SyntheticNetwork net(radios);
+  net.Data(10'000, 1, 1, {0, 1});
+  net.Data(20'000, 2, 2, {2, 3});
+  auto traces = net.Build();
+  const auto result = BootstrapSynchronize(traces);
+  EXPECT_FALSE(result.AllSynced());
+  EXPECT_EQ(result.SyncedCount(), 2u);
+  EXPECT_TRUE(result.synced[0]);
+  EXPECT_TRUE(result.synced[1]);
+  EXPECT_FALSE(result.synced[2]);
+  EXPECT_FALSE(result.synced[3]);
+}
+
+TEST(Bootstrap, RetransmissionsNotUsedAsReferences) {
+  // Identical retransmitted frames would alias distinct transmissions; a
+  // retry-bit frame alone must not synchronize the pair.
+  std::vector<SyntheticRadio> radios = {
+      {.id = 0, .monitor = 0, .offset_us = 0.0},
+      {.id = 1, .monitor = 1, .offset_us = 999.0},
+  };
+  SyntheticNetwork net(radios);
+  net.Data(10'000, 1, 1, {0, 1}, /*retry=*/true);
+  auto traces = net.Build();
+  const auto result = BootstrapSynchronize(traces);
+  EXPECT_EQ(result.SyncedCount(), 1u);  // only the BFS root
+}
+
+TEST(Bootstrap, WindowExcludesLateFrames) {
+  std::vector<SyntheticRadio> radios = {
+      {.id = 0, .monitor = 0, .offset_us = 0.0},
+      {.id = 1, .monitor = 1, .offset_us = 50.0},
+  };
+  SyntheticNetwork net(radios);
+  net.Data(100, 1, 1, {0});          // anchors both traces' starts
+  net.Data(200, 2, 1, {1});
+  net.Data(Seconds(5), 1, 7, {0, 1});  // outside the 1 s window
+  auto traces = net.Build();
+  BootstrapConfig cfg;
+  cfg.window = Seconds(1);
+  const auto result = BootstrapSynchronize(traces, cfg);
+  EXPECT_EQ(result.SyncedCount(), 1u);
+  // Widening the window (the paper's documented fallback) recovers sync.
+  cfg.window = Seconds(10);
+  const auto wide = BootstrapSynchronize(traces, cfg);
+  EXPECT_TRUE(wide.AllSynced());
+}
+
+TEST(Bootstrap, ManyRadiosRandomOffsetsProperty) {
+  // Property test: random offsets, randomized overlapping reference sets;
+  // all offsets must be recovered through transitive paths.
+  Rng rng(77);
+  std::vector<SyntheticRadio> radios;
+  for (RadioId i = 0; i < 24; ++i) {
+    radios.push_back(SyntheticRadio{
+        .id = i,
+        .monitor = static_cast<std::uint16_t>(i),
+        .offset_us = static_cast<double>(rng.NextInt(-500'000, 500'000)),
+        .ntp_error_us = rng.NextInt(-3000, 3000)});
+  }
+  SyntheticNetwork net(radios);
+  std::uint16_t seq = 1;
+  for (int k = 0; k < 60; ++k) {
+    // Each frame heard by a contiguous window of 3-6 radios: overlapping
+    // sets chain the whole population together.
+    const int width = 3 + static_cast<int>(rng.NextBelow(4));
+    const int start = static_cast<int>(
+        rng.NextBelow(radios.size() - static_cast<std::size_t>(width) + 1));
+    std::vector<RadioId> heard;
+    for (int i = start; i < start + width; ++i) {
+      heard.push_back(static_cast<RadioId>(i));
+    }
+    net.Data(1000 + k * 12'000, static_cast<std::uint16_t>(1 + k % 5), seq++,
+             heard);
+  }
+  auto traces = net.Build();
+  const auto result = BootstrapSynchronize(traces);
+  EXPECT_TRUE(result.AllSynced());
+  ExpectConsistentOffsets(result, radios, 3.0);
+}
+
+TEST(Bootstrap, EmptySetThrows) {
+  TraceSet empty;
+  EXPECT_THROW(BootstrapSynchronize(empty), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace jig

@@ -1,0 +1,115 @@
+#include "util/byte_io.h"
+
+#include <gtest/gtest.h>
+
+namespace jig {
+namespace {
+
+TEST(ByteIo, FixedWidthRoundtrip) {
+  Bytes buf;
+  ByteWriter w(buf);
+  w.U8(0xAB);
+  w.U16(0x1234);
+  w.U32(0xDEADBEEF);
+  w.U64(0x0123456789ABCDEFull);
+  w.I64(-42);
+
+  ByteReader r(buf);
+  EXPECT_EQ(r.U8(), 0xAB);
+  EXPECT_EQ(r.U16(), 0x1234);
+  EXPECT_EQ(r.U32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.U64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.I64(), -42);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(ByteIo, LittleEndianLayout) {
+  Bytes buf;
+  ByteWriter w(buf);
+  w.U32(0x01020304);
+  ASSERT_EQ(buf.size(), 4u);
+  EXPECT_EQ(buf[0], 0x04);
+  EXPECT_EQ(buf[3], 0x01);
+}
+
+TEST(ByteIo, RawBytes) {
+  Bytes buf;
+  ByteWriter w(buf);
+  const Bytes payload = {1, 2, 3, 4, 5};
+  w.Raw(payload);
+  ByteReader r(buf);
+  auto got = r.Raw(5);
+  EXPECT_TRUE(std::equal(got.begin(), got.end(), payload.begin()));
+}
+
+TEST(ByteIo, TruncatedReadThrows) {
+  Bytes buf = {1, 2, 3};
+  ByteReader r(buf);
+  r.U16();
+  EXPECT_THROW(r.U16(), std::runtime_error);
+  ByteReader r2(buf);
+  EXPECT_THROW(r2.Raw(4), std::runtime_error);
+}
+
+class VarintTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VarintTest, Roundtrip) {
+  Bytes buf;
+  ByteWriter w(buf);
+  w.Varint(GetParam());
+  ByteReader r(buf);
+  EXPECT_EQ(r.Varint(), GetParam());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, VarintTest,
+    ::testing::Values(0ull, 1ull, 127ull, 128ull, 129ull, 16383ull, 16384ull,
+                      0xFFFFFFFFull, 0xFFFFFFFFFFFFFFFFull));
+
+class SVarintTest : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(SVarintTest, Roundtrip) {
+  Bytes buf;
+  ByteWriter w(buf);
+  w.SVarint(GetParam());
+  ByteReader r(buf);
+  EXPECT_EQ(r.SVarint(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, SVarintTest,
+    ::testing::Values(0, 1, -1, 63, 64, -64, -65, 1'000'000, -1'000'000,
+                      std::numeric_limits<std::int64_t>::max(),
+                      std::numeric_limits<std::int64_t>::min()));
+
+TEST(ByteIo, SmallSVarintsAreCompact) {
+  // Zig-zag: timestamps deltas of a few us must encode in one byte.
+  for (std::int64_t v : {0, 1, -1, 40, -40, 63, -64}) {
+    Bytes buf;
+    ByteWriter w(buf);
+    w.SVarint(v);
+    EXPECT_EQ(buf.size(), 1u) << v;
+  }
+}
+
+TEST(ByteIo, VarintOverflowRejected) {
+  Bytes buf(11, 0xFF);  // continuation bits forever
+  ByteReader r(buf);
+  EXPECT_THROW(r.Varint(), std::runtime_error);
+}
+
+TEST(ByteIo, PositionTracking) {
+  Bytes buf;
+  ByteWriter w(buf);
+  w.U32(7);
+  w.U32(8);
+  ByteReader r(buf);
+  EXPECT_EQ(r.position(), 0u);
+  r.U32();
+  EXPECT_EQ(r.position(), 4u);
+  EXPECT_EQ(r.remaining(), 4u);
+}
+
+}  // namespace
+}  // namespace jig

@@ -1,0 +1,90 @@
+#include "sim/clock_model.h"
+
+#include <gtest/gtest.h>
+
+namespace jig {
+namespace {
+
+ClockConfig NoNoise() {
+  ClockConfig cfg;
+  cfg.jitter_sigma_us = 0.0;
+  cfg.drift_ppm_per_hour = 0.0;
+  return cfg;
+}
+
+TEST(ClockModel, OffsetWithinRange) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    ClockModel clock(NoNoise(), Rng(seed));
+    EXPECT_LE(std::abs(clock.initial_offset_us()),
+              static_cast<double>(ClockConfig{}.max_initial_offset));
+  }
+}
+
+TEST(ClockModel, SkewScalesWithTime) {
+  ClockConfig cfg = NoNoise();
+  cfg.skew_sigma_ppm = 10.0;
+  ClockModel clock(cfg, Rng(3));
+  const double skew = clock.skew_ppm_at_start();
+  const double local_1s = clock.LocalAt(Seconds(1));
+  const double local_2s = clock.LocalAt(Seconds(2));
+  // Rate = 1 + skew ppm.
+  EXPECT_NEAR(local_2s - local_1s, 1e6 * (1.0 + skew * 1e-6), 0.01);
+}
+
+TEST(ClockModel, CaptureTimestampsTrackLocalTime) {
+  ClockModel clock(NoNoise(), Rng(7));
+  for (TrueMicros t : {Micros{0}, Micros{1000}, Seconds(1), Seconds(5)}) {
+    const LocalMicros ts = clock.CaptureTimestamp(t);
+    EXPECT_NEAR(static_cast<double>(ts), clock.LocalAt(t), 1.5);
+  }
+}
+
+TEST(ClockModel, JitterPerturbsTimestamps) {
+  ClockConfig cfg = NoNoise();
+  cfg.jitter_sigma_us = 2.0;
+  ClockModel clock(cfg, Rng(11));
+  // Two captures at the same true instant rarely agree with jitter on.
+  int distinct = 0;
+  for (int i = 0; i < 20; ++i) {
+    const LocalMicros a = clock.CaptureTimestamp(Seconds(1));
+    const LocalMicros b = clock.CaptureTimestamp(Seconds(1));
+    distinct += a != b;
+  }
+  EXPECT_GT(distinct, 5);
+}
+
+TEST(ClockModel, DriftChangesEffectiveSkew) {
+  ClockConfig cfg = NoNoise();
+  cfg.drift_ppm_per_hour = 50.0;  // exaggerated for test visibility
+  cfg.skew_sigma_ppm = 0.0;
+  ClockModel clock(cfg, Rng(13));
+  // Clock rate before the drift walk advances.
+  const double early_rate = clock.LocalAt(Seconds(1)) - clock.LocalAt(0);
+  // Advance the drift walk 10 minutes, then measure the rate again.
+  (void)clock.CaptureTimestamp(Minutes(10));
+  const double late_rate =
+      clock.LocalAt(Minutes(10) + Seconds(1)) - clock.LocalAt(Minutes(10));
+  EXPECT_NE(early_rate, late_rate);
+}
+
+TEST(ClockModel, NtpEstimateCloseToTruth) {
+  // The NTP estimate of "UTC at local zero" must be within the configured
+  // error of the true value (-offset, since true time == UTC).
+  ClockConfig cfg = NoNoise();
+  for (std::uint64_t seed = 1; seed < 30; ++seed) {
+    ClockModel clock(cfg, Rng(seed));
+    const double true_utc_of_zero = -clock.initial_offset_us();
+    EXPECT_LE(std::abs(clock.NtpUtcOfLocalZero() - true_utc_of_zero),
+              static_cast<double>(cfg.ntp_error_us) + 1.0)
+        << "seed " << seed;
+  }
+}
+
+TEST(ClockModel, DistinctClocksDisagree) {
+  ClockModel a(NoNoise(), Rng(1));
+  ClockModel b(NoNoise(), Rng(2));
+  EXPECT_NE(a.CaptureTimestamp(Seconds(1)), b.CaptureTimestamp(Seconds(1)));
+}
+
+}  // namespace
+}  // namespace jig

@@ -1,0 +1,106 @@
+#include "jigsaw/clock_state.h"
+
+#include <gtest/gtest.h>
+
+#include "jigsaw/reference.h"
+
+namespace jig {
+namespace {
+
+TEST(ClockState, InitialOffsetApplied) {
+  TraceClockState clock(500.0, 0.3, 1000);
+  EXPECT_DOUBLE_EQ(clock.ToUniversal(100), 600.0);
+}
+
+TEST(ClockState, CorrectionCollapsesError) {
+  TraceClockState clock(0.0, 0.3, 1000);
+  // Observe that at local t=100000 we are 25 us behind universal.
+  clock.ApplyCorrection(100'000, 25.0);
+  EXPECT_NEAR(clock.ToUniversal(100'000), 100'025.0, 1e-6);
+  EXPECT_EQ(clock.corrections(), 1u);
+}
+
+TEST(ClockState, SkewLearnedFromCorrections) {
+  // A clock running slow by 50 PPM: each second its local reading falls a
+  // further 50 us behind universal time.  The predictor's skew (universal
+  // gained per local microsecond) must converge to +50 PPM and late
+  // corrections must shrink toward zero.
+  TraceClockState clock(0.0, 0.5, 1000);
+  const double local_rate = 1.0 - 50e-6;  // local = true * (1 - 50 PPM)
+  double worst_late_error = 0.0;
+  for (int k = 1; k <= 20; ++k) {
+    const double true_time = k * 1e6;
+    const double local = true_time * local_rate;
+    const double err =
+        true_time - clock.ToUniversal(static_cast<LocalMicros>(local));
+    if (k > 10) worst_late_error = std::max(worst_late_error, std::abs(err));
+    clock.ApplyCorrection(static_cast<LocalMicros>(local), err);
+  }
+  EXPECT_LT(worst_late_error, 10.0);
+  EXPECT_NEAR(clock.skew_ppm(), 50.0, 10.0);
+}
+
+TEST(ClockState, ShortGapsSkipSkewSampling) {
+  TraceClockState clock(0.0, 0.5, /*min_skew_elapsed=*/Milliseconds(10));
+  clock.ApplyCorrection(100, 50.0);  // 100 us elapsed: too short
+  EXPECT_DOUBLE_EQ(clock.skew_ppm(), 0.0);
+  // But the offset correction still lands.
+  EXPECT_NEAR(clock.ToUniversal(100), 150.0, 1e-6);
+}
+
+TEST(ClockState, TrackSkewDisabled) {
+  TraceClockState clock(0.0, 0.5, 1000, /*track_skew=*/false);
+  clock.ApplyCorrection(Seconds(1), 100.0);
+  clock.ApplyCorrection(Seconds(2), 100.0);
+  EXPECT_DOUBLE_EQ(clock.skew_ppm(), 0.0);
+}
+
+TEST(Reference, UniquePredicateCases) {
+  const auto record_for = [](Frame f, RxOutcome outcome = RxOutcome::kOk) {
+    CaptureRecord rec;
+    rec.outcome = outcome;
+    rec.rate = f.rate;
+    rec.bytes = f.Serialize();
+    rec.orig_len = static_cast<std::uint32_t>(rec.bytes.size());
+    return rec;
+  };
+
+  Frame data = MakeData(MacAddress::Ap(0), MacAddress::Client(1),
+                        MacAddress::Ap(0), 7, Bytes(30), PhyRate::kB2, false,
+                        true);
+  EXPECT_TRUE(IsUniqueReference(record_for(data)));
+
+  Frame retry = data;
+  retry.retry = true;
+  EXPECT_FALSE(IsUniqueReference(record_for(retry)));
+
+  EXPECT_FALSE(IsUniqueReference(
+      record_for(MakeAck(MacAddress::Client(1), PhyRate::kB2))));
+  EXPECT_FALSE(IsUniqueReference(
+      record_for(MakeCtsToSelf(MacAddress::Ap(0), 100, PhyRate::kB2))));
+  EXPECT_FALSE(IsUniqueReference(
+      record_for(MakeProbeRequest(MacAddress::Client(1), 0))));
+  EXPECT_TRUE(IsUniqueReference(
+      record_for(MakeBeacon(MacAddress::Ap(0), 3, PhyRate::kB1))));
+
+  // Corrupted captures never anchor synchronization.
+  EXPECT_FALSE(IsUniqueReference(record_for(data, RxOutcome::kFcsError)));
+  CaptureRecord phy;
+  phy.outcome = RxOutcome::kPhyError;
+  EXPECT_FALSE(IsUniqueReference(phy));
+}
+
+TEST(Reference, ContentKeyDiscriminates) {
+  Frame a = MakeData(MacAddress::Ap(0), MacAddress::Client(1),
+                     MacAddress::Ap(0), 7, Bytes(30), PhyRate::kB2, false,
+                     true);
+  Frame b = a;
+  b.sequence = 8;
+  const auto wa = a.Serialize();
+  const auto wb = b.Serialize();
+  EXPECT_FALSE(MakeContentKey(wa) == MakeContentKey(wb));
+  EXPECT_TRUE(MakeContentKey(wa) == MakeContentKey(a.Serialize()));
+}
+
+}  // namespace
+}  // namespace jig

@@ -1,0 +1,100 @@
+#include "util/compression.h"
+
+#include "util/byte_io.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace jig {
+namespace {
+
+Bytes RandomBytes(std::size_t n, std::uint64_t seed, int alphabet = 256) {
+  Rng rng(seed);
+  Bytes out(n);
+  for (auto& b : out) {
+    b = static_cast<std::uint8_t>(rng.NextBelow(alphabet));
+  }
+  return out;
+}
+
+TEST(Compression, EmptyRoundtrip) {
+  const Bytes empty;
+  const auto packed = LzCompress(empty);
+  EXPECT_EQ(LzDecompress(packed), empty);
+}
+
+TEST(Compression, RepetitiveDataShrinks) {
+  Bytes data(10000, 0xAB);
+  const auto packed = LzCompress(data);
+  EXPECT_LT(packed.size(), data.size() / 10);
+  EXPECT_EQ(LzDecompress(packed), data);
+}
+
+TEST(Compression, CaptureLikeDataShrinks) {
+  // 802.11 captures repeat headers heavily: simulate with a repeating
+  // 36-byte header + varying payload bytes.
+  Bytes data;
+  Rng rng(5);
+  for (int frame = 0; frame < 200; ++frame) {
+    for (int i = 0; i < 36; ++i) data.push_back(static_cast<std::uint8_t>(i));
+    for (int i = 0; i < 20; ++i) {
+      data.push_back(static_cast<std::uint8_t>(rng.NextBelow(256)));
+    }
+  }
+  const auto packed = LzCompress(data);
+  EXPECT_LT(packed.size(), data.size() * 2 / 3);
+  EXPECT_EQ(LzDecompress(packed), data);
+}
+
+TEST(Compression, IncompressibleDataSurvives) {
+  const auto data = RandomBytes(4096, 99);
+  const auto packed = LzCompress(data);
+  EXPECT_EQ(LzDecompress(packed), data);
+  // Worst-case expansion is bounded (1 control byte per 128 literals + hdr).
+  EXPECT_LT(packed.size(), data.size() + data.size() / 64 + 64);
+}
+
+TEST(Compression, OverlappingMatchRun) {
+  // "abcabcabc..." forces overlapping match copies (dist < len).
+  Bytes data;
+  for (int i = 0; i < 1000; ++i) data.push_back("abc"[i % 3]);
+  const auto packed = LzCompress(data);
+  EXPECT_EQ(LzDecompress(packed), data);
+}
+
+TEST(Compression, RejectsTruncatedHeader) {
+  EXPECT_THROW(LzDecompress(Bytes{1, 2}), std::runtime_error);
+}
+
+TEST(Compression, RejectsCorruptStream) {
+  Bytes data(1000, 0x77);
+  auto packed = LzCompress(data);
+  // Declare a larger raw size than the stream produces.
+  packed[0] ^= 0xFF;
+  EXPECT_THROW(LzDecompress(packed), std::runtime_error);
+}
+
+TEST(Compression, RejectsBadDistance) {
+  // Hand-craft: raw_size=4, match token with distance beyond output.
+  Bytes bad = {4, 0, 0, 0, 0x80, 9, 0};
+  EXPECT_THROW(LzDecompress(bad), std::runtime_error);
+}
+
+class CompressionRoundtripTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, int>> {};
+
+TEST_P(CompressionRoundtripTest, Roundtrip) {
+  const auto [size, alphabet] = GetParam();
+  const auto data = RandomBytes(size, size * 131 + alphabet, alphabet);
+  EXPECT_EQ(LzDecompress(LzCompress(data)), data);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndAlphabets, CompressionRoundtripTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 15, 16, 17, 100, 1000,
+                                         65535, 65536, 200000),
+                       ::testing::Values(2, 16, 256)));
+
+}  // namespace
+}  // namespace jig

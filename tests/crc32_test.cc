@@ -1,0 +1,82 @@
+#include "util/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace jig {
+namespace {
+
+std::vector<std::uint8_t> AsBytes(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(Crc32, KnownVectors) {
+  // Standard IEEE 802.3 / zlib CRC-32 test vectors.
+  EXPECT_EQ(Crc32(AsBytes("")), 0x00000000u);
+  EXPECT_EQ(Crc32(AsBytes("a")), 0xE8B7BE43u);
+  EXPECT_EQ(Crc32(AsBytes("abc")), 0x352441C2u);
+  EXPECT_EQ(Crc32(AsBytes("123456789")), 0xCBF43926u);
+  EXPECT_EQ(Crc32(AsBytes("The quick brown fox jumps over the lazy dog")),
+            0x414FA339u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  const auto data = AsBytes("jigsaw unifies 802.11 traces");
+  Crc32Accumulator acc;
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    Crc32Accumulator two_part;
+    two_part.Update(std::span(data.data(), split));
+    two_part.Update(std::span(data.data() + split, data.size() - split));
+    EXPECT_EQ(two_part.Value(), Crc32(data)) << "split at " << split;
+  }
+  acc.Update(data);
+  EXPECT_EQ(acc.Value(), Crc32(data));
+}
+
+TEST(Crc32, ValueIsNonDestructive) {
+  Crc32Accumulator acc;
+  acc.Update(AsBytes("abc"));
+  const auto first = acc.Value();
+  EXPECT_EQ(acc.Value(), first);
+  acc.Update(AsBytes("def"));
+  EXPECT_NE(acc.Value(), first);
+  EXPECT_EQ(acc.Value(), Crc32(AsBytes("abcdef")));
+}
+
+TEST(Crc32, SingleBitFlipChangesChecksum) {
+  auto data = AsBytes("frame check sequence sensitivity");
+  const auto original = Crc32(data);
+  for (std::size_t byte = 0; byte < data.size(); byte += 3) {
+    for (int bit = 0; bit < 8; bit += 2) {
+      data[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      EXPECT_NE(Crc32(data), original)
+          << "flip byte " << byte << " bit " << bit;
+      data[byte] ^= static_cast<std::uint8_t>(1u << bit);
+    }
+  }
+  EXPECT_EQ(Crc32(data), original);
+}
+
+class Crc32LengthTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Crc32LengthTest, DeterministicPerLength) {
+  std::vector<std::uint8_t> data(GetParam());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 31 + 7);
+  }
+  EXPECT_EQ(Crc32(data), Crc32(data));
+  if (!data.empty()) {
+    auto copy = data;
+    copy.back() ^= 0xFF;
+    EXPECT_NE(Crc32(copy), Crc32(data));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, Crc32LengthTest,
+                         ::testing::Values(0, 1, 2, 3, 4, 7, 8, 63, 64, 255,
+                                           1024, 1500));
+
+}  // namespace
+}  // namespace jig

@@ -1,0 +1,99 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace jig {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(30, [&] { order.push_back(3); });
+  q.Schedule(10, [&] { order.push_back(1); });
+  q.Schedule(20, [&] { order.push_back(2); });
+  q.RunUntil(100);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 100);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(5, [&] { order.push_back(1); });
+  q.Schedule(5, [&] { order.push_back(2); });
+  q.Schedule(5, [&] { order.push_back(3); });
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  int fired = 0;
+  q.Schedule(10, [&] { ++fired; });
+  q.Schedule(20, [&] { ++fired; });
+  q.RunUntil(15);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.now(), 15);
+  q.RunUntil(25);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  int fired = 0;
+  const EventId id = q.Schedule(10, [&] { ++fired; });
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_FALSE(q.Cancel(id));  // already cancelled
+  q.RunAll();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(EventQueue, CancelInvalidIsNoop) {
+  EventQueue q;
+  EXPECT_FALSE(q.Cancel(kInvalidEvent));
+  EXPECT_FALSE(q.Cancel(99999));
+}
+
+TEST(EventQueue, EventsScheduleEvents) {
+  EventQueue q;
+  std::vector<TrueMicros> times;
+  std::function<void()> chain = [&] {
+    times.push_back(q.now());
+    if (times.size() < 5) q.ScheduleIn(10, chain);
+  };
+  q.Schedule(0, chain);
+  q.RunUntil(1000);
+  EXPECT_EQ(times, (std::vector<TrueMicros>{0, 10, 20, 30, 40}));
+}
+
+TEST(EventQueue, PastEventsClampToNow) {
+  EventQueue q;
+  q.RunUntil(100);
+  TrueMicros fired_at = -1;
+  q.Schedule(50, [&] { fired_at = q.now(); });  // in the past
+  q.RunUntil(200);
+  EXPECT_EQ(fired_at, 100);
+}
+
+TEST(EventQueue, CancelDuringExecution) {
+  EventQueue q;
+  int fired = 0;
+  EventId later = kInvalidEvent;
+  q.Schedule(10, [&] { q.Cancel(later); });
+  later = q.Schedule(20, [&] { ++fired; });
+  q.RunAll();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(EventQueue, ExecutedCount) {
+  EventQueue q;
+  for (int i = 0; i < 7; ++i) q.Schedule(i, [] {});
+  q.RunAll();
+  EXPECT_EQ(q.executed(), 7u);
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+}  // namespace
+}  // namespace jig

@@ -1,0 +1,189 @@
+#include "wifi/frame.h"
+
+#include <gtest/gtest.h>
+
+namespace jig {
+namespace {
+
+Frame SampleData() {
+  Bytes body(64);
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    body[i] = static_cast<std::uint8_t>(i);
+  }
+  return MakeData(MacAddress::Ap(3), MacAddress::Client(7), MacAddress::Ap(3),
+                  1234, body, PhyRate::kG24, /*from_ds=*/false,
+                  /*to_ds=*/true);
+}
+
+TEST(Frame, DataRoundtrip) {
+  const Frame f = SampleData();
+  const Bytes wire = f.Serialize();
+  EXPECT_EQ(wire.size(), f.WireSize());
+  const auto parsed = ParseFrame(wire, f.rate);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->fcs_ok);
+  EXPECT_EQ(parsed->frame.type, FrameType::kData);
+  EXPECT_EQ(parsed->frame.addr1, f.addr1);
+  EXPECT_EQ(parsed->frame.addr2, f.addr2);
+  EXPECT_EQ(parsed->frame.addr3, f.addr3);
+  EXPECT_EQ(parsed->frame.sequence, f.sequence);
+  EXPECT_EQ(parsed->frame.body, f.body);
+  EXPECT_EQ(parsed->frame.to_ds, true);
+  EXPECT_EQ(parsed->frame.from_ds, false);
+  EXPECT_EQ(parsed->frame.duration_us, f.duration_us);
+}
+
+TEST(Frame, AckIsMinimal) {
+  const Frame ack = MakeAck(MacAddress::Client(1), PhyRate::kB2);
+  EXPECT_EQ(ack.WireSize(), kAckBytes);
+  const auto parsed = ParseFrame(ack.Serialize(), ack.rate);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->fcs_ok);
+  EXPECT_EQ(parsed->frame.type, FrameType::kAck);
+  EXPECT_FALSE(parsed->frame.HasTransmitter());
+  EXPECT_FALSE(parsed->frame.HasSequence());
+}
+
+TEST(Frame, CtsToSelfIdentifiesTransmitter) {
+  const Frame cts = MakeCtsToSelf(MacAddress::Ap(4), 500, PhyRate::kB2);
+  EXPECT_TRUE(cts.IsCtsToSelf());
+  const auto tx = cts.Transmitter();
+  ASSERT_TRUE(tx.has_value());
+  EXPECT_EQ(*tx, MacAddress::Ap(4));
+  EXPECT_EQ(cts.duration_us, 500);
+}
+
+TEST(Frame, RtsCarriesBothAddresses) {
+  const Frame rts = MakeRts(MacAddress::Ap(1), MacAddress::Client(2), 300,
+                            PhyRate::kB1);
+  EXPECT_EQ(rts.WireSize(), kRtsBytes);
+  const auto parsed = ParseFrame(rts.Serialize(), rts.rate);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->frame.addr1, MacAddress::Ap(1));
+  EXPECT_EQ(parsed->frame.addr2, MacAddress::Client(2));
+}
+
+TEST(Frame, CorruptionDetected) {
+  Bytes wire = SampleData().Serialize();
+  wire[20] ^= 0x40;
+  const auto parsed = ParseFrame(wire, PhyRate::kG24);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->fcs_ok);
+}
+
+TEST(Frame, RetryBitRoundtrip) {
+  Frame f = SampleData();
+  f.retry = true;
+  const auto parsed = ParseFrame(f.Serialize(), f.rate);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->frame.retry);
+  EXPECT_TRUE(parsed->fcs_ok);
+  // The retry bit changes the wire bytes (and hence content digests).
+  Frame g = SampleData();
+  EXPECT_NE(ContentDigest(f.Serialize()), ContentDigest(g.Serialize()));
+}
+
+TEST(Frame, SequenceMasksTo12Bits) {
+  Frame f = SampleData();
+  f.sequence = 0x0FFF;
+  auto parsed = ParseFrame(f.Serialize(), f.rate);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->frame.sequence, 0x0FFF);
+}
+
+TEST(Frame, TruncatedBufferRejected) {
+  const Bytes wire = SampleData().Serialize();
+  EXPECT_FALSE(ParseFrame(std::span(wire.data(), 10), PhyRate::kB1));
+  EXPECT_FALSE(ParseFrame(std::span(wire.data(), std::size_t{0}),
+                          PhyRate::kB1));
+}
+
+TEST(Frame, GarbageRejected) {
+  Bytes garbage(40, 0xFF);
+  EXPECT_FALSE(ParseFrame(garbage, PhyRate::kB1).has_value());
+}
+
+TEST(Frame, ContentDigestDiscriminates) {
+  Frame a = SampleData();
+  Frame b = SampleData();
+  b.sequence += 1;
+  EXPECT_NE(ContentDigest(a.Serialize()), ContentDigest(b.Serialize()));
+  EXPECT_EQ(ContentDigest(a.Serialize()),
+            ContentDigest(SampleData().Serialize()));
+}
+
+TEST(Frame, BeaconBroadcast) {
+  const Frame b = MakeBeacon(MacAddress::Ap(9), 77, PhyRate::kB1);
+  EXPECT_TRUE(b.IsBroadcast());
+  EXPECT_EQ(b.duration_us, 0);  // broadcasts reserve nothing
+  const auto parsed = ParseFrame(b.Serialize(), b.rate);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->frame.type, FrameType::kBeacon);
+  EXPECT_EQ(parsed->frame.sequence, 77);
+}
+
+TEST(Frame, UnicastDataAdvertisesAckDuration) {
+  const Frame f = SampleData();
+  EXPECT_EQ(f.duration_us, AckDurationFieldMicros(f.rate));
+  const Frame bcast =
+      MakeData(MacAddress::Broadcast(), MacAddress::Client(1),
+               MacAddress::Ap(0), 5, Bytes(10), PhyRate::kB1, true, false);
+  EXPECT_EQ(bcast.duration_us, 0);
+}
+
+TEST(Frame, AirTimeMatchesRateMath) {
+  const Frame f = SampleData();
+  EXPECT_EQ(f.AirTimeMicros(), TxDurationMicros(f.rate, f.WireSize()));
+}
+
+class FrameTypeRoundtrip : public ::testing::TestWithParam<FrameType> {};
+
+TEST_P(FrameTypeRoundtrip, SerializeParsePreservesType) {
+  Frame f;
+  f.type = GetParam();
+  f.addr1 = MacAddress::Client(1);
+  f.addr2 = MacAddress::Ap(2);
+  f.addr3 = MacAddress::Ap(2);
+  f.sequence = 42;
+  f.rate = PhyRate::kB2;
+  if (!IsControl(f.type)) f.body.assign(8, 0x55);
+  const auto parsed = ParseFrame(f.Serialize(), f.rate);
+  ASSERT_TRUE(parsed.has_value()) << FrameTypeName(GetParam());
+  EXPECT_EQ(parsed->frame.type, GetParam());
+  EXPECT_TRUE(parsed->fcs_ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTypes, FrameTypeRoundtrip,
+    ::testing::Values(FrameType::kData, FrameType::kAck, FrameType::kRts,
+                      FrameType::kCts, FrameType::kBeacon,
+                      FrameType::kProbeRequest, FrameType::kProbeResponse,
+                      FrameType::kAssocRequest, FrameType::kAssocResponse,
+                      FrameType::kAuthentication,
+                      FrameType::kDeauthentication));
+
+TEST(MacAddressT, TagsAndSpecials) {
+  EXPECT_TRUE(MacAddress::Broadcast().IsBroadcast());
+  EXPECT_TRUE(MacAddress::Broadcast().IsMulticast());
+  EXPECT_FALSE(MacAddress::Client(5).IsBroadcast());
+  EXPECT_TRUE(MacAddress::Client(5).IsClientTag());
+  EXPECT_FALSE(MacAddress::Client(5).IsApTag());
+  EXPECT_TRUE(MacAddress::Ap(5).IsApTag());
+  EXPECT_TRUE(MacAddress::Client(5).IsUnicast());
+}
+
+TEST(MacAddressT, DistinctPerIndex) {
+  EXPECT_NE(MacAddress::Client(1), MacAddress::Client(2));
+  EXPECT_NE(MacAddress::Client(1), MacAddress::Ap(1));
+  EXPECT_EQ(MacAddress::Ap(600).ToU64() & 0xFFFF,
+            600u);  // index in low octets
+}
+
+TEST(MacAddressT, StringForm) {
+  EXPECT_EQ(MacAddress::Broadcast().ToString(), "ff:ff:ff:ff:ff:ff");
+  EXPECT_EQ(MacAddress({0x02, 0x00, 0x5E, 0x00, 0x01, 0x02}).ToString(),
+            "02:00:5e:00:01:02");
+}
+
+}  // namespace
+}  // namespace jig

@@ -1,0 +1,193 @@
+// End-to-end integration: simulator → trace files → merge → link →
+// transport → analyses, with invariants checked against ground truth.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "jigsaw/analysis/coverage.h"
+#include "jigsaw/analysis/dispersion.h"
+#include "jigsaw/analysis/summary.h"
+#include "jigsaw/link.h"
+#include "jigsaw/pipeline.h"
+#include "jigsaw/tcp_reconstruct.h"
+#include "sim/scenario.h"
+
+namespace jig {
+namespace {
+
+ScenarioConfig SmallBuilding() {
+  ScenarioConfig cfg;
+  cfg.seed = 7;
+  cfg.duration = Seconds(12);
+  cfg.clients = 24;
+  cfg.workload.web_per_min = 3.0;
+  return cfg;
+}
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    scenario_ = new Scenario(SmallBuilding());
+    scenario_->Run();
+    traces_ = new TraceSet(scenario_->TakeTraces());
+    merge_ = new MergeResult(MergeTraces(*traces_));
+    link_ = new LinkReconstruction(ReconstructLink(merge_->jframes));
+    transport_ = new TransportReconstruction(
+        ReconstructTransport(merge_->jframes, *link_));
+  }
+  static void TearDownTestSuite() {
+    delete transport_;
+    delete link_;
+    delete merge_;
+    delete traces_;
+    delete scenario_;
+    transport_ = nullptr;
+    link_ = nullptr;
+    merge_ = nullptr;
+    traces_ = nullptr;
+    scenario_ = nullptr;
+  }
+
+  static Scenario* scenario_;
+  static TraceSet* traces_;
+  static MergeResult* merge_;
+  static LinkReconstruction* link_;
+  static TransportReconstruction* transport_;
+};
+
+Scenario* IntegrationTest::scenario_ = nullptr;
+TraceSet* IntegrationTest::traces_ = nullptr;
+MergeResult* IntegrationTest::merge_ = nullptr;
+LinkReconstruction* IntegrationTest::link_ = nullptr;
+TransportReconstruction* IntegrationTest::transport_ = nullptr;
+
+TEST_F(IntegrationTest, AllRadiosSync) {
+  EXPECT_TRUE(merge_->bootstrap.AllSynced());
+  EXPECT_EQ(merge_->bootstrap.synced.size(), 156u);
+}
+
+TEST_F(IntegrationTest, JframeCountTracksTruth) {
+  // Nearly every true transmission should surface as exactly one jframe.
+  const double ratio = static_cast<double>(merge_->stats.jframes) /
+                       static_cast<double>(scenario_->truth().size());
+  EXPECT_GT(ratio, 0.90);
+  EXPECT_LT(ratio, 1.02);
+}
+
+TEST_F(IntegrationTest, DispersionMatchesPaperShape) {
+  const auto d = DispersionDistribution(merge_->jframes);
+  ASSERT_GT(d.size(), 100u);
+  // Paper Figure 4: 90% under 10 us, 99% under 20 us.
+  EXPECT_LE(d.Quantile(0.90), 12.0);
+  EXPECT_LE(d.Quantile(0.99), 25.0);
+}
+
+TEST_F(IntegrationTest, JframesStrictlyOrdered) {
+  for (std::size_t i = 1; i < merge_->jframes.size(); ++i) {
+    ASSERT_LE(merge_->jframes[i - 1].timestamp, merge_->jframes[i].timestamp);
+  }
+}
+
+TEST_F(IntegrationTest, StatsInternallyConsistent) {
+  const auto& st = merge_->stats;
+  EXPECT_EQ(st.events_in, st.valid_in + st.fcs_error_in + st.phy_error_in);
+  EXPECT_LE(st.events_unified, st.valid_in + st.fcs_error_in);
+  EXPECT_GE(st.jframes, 1u);
+  EXPECT_GE(st.EventsPerJframe(), 1.0);
+}
+
+TEST_F(IntegrationTest, EveryJframeHasValidRepresentative) {
+  for (const auto& jf : merge_->jframes) {
+    EXPECT_GE(jf.ValidInstanceCount(), 1u);
+    EXPECT_GT(jf.wire_len, 0u);
+  }
+}
+
+TEST_F(IntegrationTest, WiredCoverageHigh) {
+  const auto report =
+      ComputeWiredCoverage(scenario_->wired_records(), merge_->jframes);
+  ASSERT_GT(report.wired_packets, 50u);
+  EXPECT_GT(report.Overall(), 0.85);           // paper: 97%
+  EXPECT_GT(report.GroupCoverage(true), 0.9);  // AP frames are easy to hear
+}
+
+TEST_F(IntegrationTest, TruthOracleCoverage) {
+  const auto oracle = ComputeTruthCoverage(scenario_->truth(), std::nullopt);
+  ASSERT_GT(oracle.events, 500u);
+  EXPECT_GT(oracle.Rate(), 0.7);  // paper's laptop experiment: 95%
+  EXPECT_GE(oracle.heard_any, oracle.heard_ok);
+}
+
+TEST_F(IntegrationTest, ExchangesReferenceValidAttempts) {
+  for (const auto& ex : link_->exchanges) {
+    EXPECT_FALSE(ex.attempts.empty());
+    for (std::size_t idx : ex.attempts) {
+      ASSERT_LT(idx, link_->attempts.size());
+      const auto& a = link_->attempts[idx];
+      if (a.has_sequence) {
+        EXPECT_EQ(a.transmitter, ex.transmitter);
+      }
+    }
+  }
+}
+
+TEST_F(IntegrationTest, InferenceRatesSmall) {
+  // Paper Section 5.1: 0.58% of attempts, 0.14% of exchanges.  Ours must be
+  // the same order of magnitude — small but nonzero in a lossy building.
+  EXPECT_LT(link_->stats.AttemptInferenceRate(), 0.05);
+  EXPECT_LT(link_->stats.ExchangeInferenceRate(), 0.05);
+}
+
+TEST_F(IntegrationTest, TcpFlowsReconstructed) {
+  EXPECT_GT(transport_->stats.flows_total, 5u);
+  EXPECT_GT(transport_->stats.flows_with_handshake, 3u);
+  EXPECT_GT(transport_->stats.tcp_segments, 100u);
+  for (const auto& flow : transport_->flows) {
+    EXPECT_LE(flow.losses.size(), flow.DataSegments());
+    if (flow.handshake_complete) {
+      EXPECT_GE(flow.wired_rtt_ms, 0.0);
+    }
+  }
+}
+
+TEST_F(IntegrationTest, SummaryFieldsPopulated) {
+  const auto summary =
+      Summarize(*merge_, *link_, *transport_, traces_->size());
+  EXPECT_EQ(summary.radios, 156u);
+  EXPECT_GT(summary.total_events, 10'000u);
+  EXPECT_GT(summary.error_event_fraction, 0.05);
+  EXPECT_LT(summary.error_event_fraction, 0.8);
+  EXPECT_GT(summary.clients_observed, 10u);
+  EXPECT_GT(summary.aps_observed, 10u);
+  EXPECT_GT(summary.data_frames, 0u);
+  EXPECT_GT(summary.ctrl_frames, 0u);
+}
+
+TEST_F(IntegrationTest, TraceFileRoundtripPreservesMerge) {
+  // Write the traces as jigdump-style files, reload, merge again: identical
+  // jframe count and dispersion stats.
+  namespace fs = std::filesystem;
+  const auto dir = fs::temp_directory_path() / "jigsaw_integration_traces";
+  fs::remove_all(dir);
+  traces_->WriteDirectory(dir);
+  TraceSet reloaded = TraceSet::OpenDirectory(dir);
+  ASSERT_EQ(reloaded.size(), traces_->size());
+  const auto remerged = MergeTraces(reloaded);
+  EXPECT_EQ(remerged.stats.jframes, merge_->stats.jframes);
+  EXPECT_EQ(remerged.stats.events_in, merge_->stats.events_in);
+  fs::remove_all(dir);
+}
+
+TEST_F(IntegrationTest, MergeDeterministic) {
+  // Re-running the same scenario yields byte-identical statistics.
+  Scenario again(SmallBuilding());
+  again.Run();
+  auto traces = again.TakeTraces();
+  const auto merged = MergeTraces(traces);
+  EXPECT_EQ(merged.stats.jframes, merge_->stats.jframes);
+  EXPECT_EQ(merged.stats.events_in, merge_->stats.events_in);
+  EXPECT_EQ(merged.stats.resyncs, merge_->stats.resyncs);
+}
+
+}  // namespace
+}  // namespace jig

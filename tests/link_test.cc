@@ -1,0 +1,276 @@
+#include "jigsaw/link.h"
+
+#include <gtest/gtest.h>
+
+namespace jig {
+namespace {
+
+// Builds decoded jframes directly (bypassing the unifier) so attempt and
+// exchange assembly can be tested against exact scripts.
+class JFrameScript {
+ public:
+  UniversalMicros now = 1'000'000;
+
+  JFrame& Push(Frame f, UniversalMicros at) {
+    JFrame jf;
+    jf.timestamp = at;
+    jf.rate = f.rate;
+    const Bytes wire = f.Serialize();
+    jf.wire_len = static_cast<std::uint32_t>(wire.size());
+    jf.digest = ContentDigest(wire);
+    jf.frame = std::move(f);
+    FrameInstance inst;
+    inst.radio = 0;
+    inst.outcome = RxOutcome::kOk;
+    inst.universal_timestamp = at;
+    jf.instances.push_back(inst);
+    jframes.push_back(std::move(jf));
+    return jframes.back();
+  }
+
+  // One complete DATA+ACK transaction from client c; returns end time.
+  UniversalMicros DataAck(std::uint16_t client, std::uint16_t seq,
+                          bool retry = false, bool with_ack = true,
+                          PhyRate rate = PhyRate::kB2) {
+    Frame data = MakeData(MacAddress::Ap(0), MacAddress::Client(client),
+                          MacAddress::Ap(0), seq, Bytes(50), rate, false,
+                          true);
+    data.retry = retry;
+    const Micros air = data.AirTimeMicros();
+    Push(std::move(data), now);
+    UniversalMicros t = now + air;
+    if (with_ack) {
+      Frame ack = MakeAck(MacAddress::Client(client),
+                          ControlResponseRate(rate));
+      Push(std::move(ack), t + kSifs);
+      t += kSifs + TxDurationMicros(ControlResponseRate(rate), kAckBytes);
+    }
+    now = t + 200;  // inter-transaction gap
+    return t;
+  }
+
+  std::vector<JFrame> jframes;
+};
+
+TEST(LinkAttempts, DataAckGroupsIntoOneAttempt) {
+  JFrameScript script;
+  script.DataAck(1, 10);
+  const auto link = ReconstructLink(script.jframes);
+  ASSERT_EQ(link.attempts.size(), 1u);
+  const auto& a = link.attempts[0];
+  EXPECT_TRUE(a.acked);
+  EXPECT_EQ(a.sequence, 10);
+  EXPECT_EQ(a.transmitter, MacAddress::Client(1));
+  EXPECT_EQ(a.receiver, MacAddress::Ap(0));
+  EXPECT_GE(a.data_jframe, 0);
+  EXPECT_GE(a.ack_jframe, 0);
+  EXPECT_FALSE(a.inferred);
+}
+
+TEST(LinkAttempts, CtsToSelfDataAckTransaction) {
+  JFrameScript script;
+  // CTS-to-self, SIFS, DATA at OFDM, SIFS, ACK — the protected sequence.
+  Frame cts = MakeCtsToSelf(MacAddress::Ap(2), 500, PhyRate::kB2);
+  const Micros cts_air = cts.AirTimeMicros();
+  script.Push(std::move(cts), script.now);
+  Frame data = MakeData(MacAddress::Client(1), MacAddress::Ap(2),
+                        MacAddress::Ap(2), 20, Bytes(300), PhyRate::kG24,
+                        true, false);
+  const Micros data_air = data.AirTimeMicros();
+  script.Push(std::move(data), script.now + cts_air + kSifs);
+  Frame ack = MakeAck(MacAddress::Ap(2), PhyRate::kG24);
+  script.Push(std::move(ack),
+              script.now + cts_air + kSifs + data_air + kSifs);
+  const auto link = ReconstructLink(script.jframes);
+  ASSERT_EQ(link.attempts.size(), 1u);
+  const auto& a = link.attempts[0];
+  EXPECT_GE(a.cts_jframe, 0);
+  EXPECT_GE(a.data_jframe, 0);
+  EXPECT_GE(a.ack_jframe, 0);
+  EXPECT_TRUE(a.acked);
+}
+
+TEST(LinkAttempts, RtsCtsDataAckTransaction) {
+  JFrameScript script;
+  const PhyRate ctrl = PhyRate::kB2;
+  Frame rts = MakeRts(MacAddress::Ap(0), MacAddress::Client(1), 2000, ctrl);
+  const Micros rts_air = rts.AirTimeMicros();
+  script.Push(std::move(rts), script.now);
+  Frame cts;
+  cts.type = FrameType::kCts;
+  cts.addr1 = MacAddress::Client(1);  // answers the RTS sender
+  cts.duration_us = 1500;
+  cts.rate = ctrl;
+  const Micros cts_air = cts.AirTimeMicros();
+  script.Push(std::move(cts), script.now + rts_air + kSifs);
+  Frame data = MakeData(MacAddress::Ap(0), MacAddress::Client(1),
+                        MacAddress::Ap(0), 42, Bytes(800), PhyRate::kB11,
+                        false, true);
+  const Micros data_air = data.AirTimeMicros();
+  const UniversalMicros data_at = script.now + rts_air + kSifs + cts_air +
+                                  kSifs;
+  script.Push(std::move(data), data_at);
+  Frame ack = MakeAck(MacAddress::Client(1), ctrl);
+  script.Push(std::move(ack), data_at + data_air + kSifs);
+
+  const auto link = ReconstructLink(script.jframes);
+  ASSERT_EQ(link.attempts.size(), 1u);
+  const auto& a = link.attempts[0];
+  EXPECT_GE(a.rts_jframe, 0);
+  EXPECT_GE(a.cts_jframe, 0);
+  EXPECT_GE(a.data_jframe, 0);
+  EXPECT_GE(a.ack_jframe, 0);
+  EXPECT_TRUE(a.acked);
+  EXPECT_EQ(a.sequence, 42);
+  ASSERT_EQ(link.exchanges.size(), 1u);
+  EXPECT_EQ(link.exchanges[0].outcome, ExchangeOutcome::kDelivered);
+}
+
+TEST(LinkAttempts, LateAckNotAssigned) {
+  // An ACK far beyond the duration-field deadline must not attach to the
+  // earlier DATA (the timing analysis the paper calls critical).
+  JFrameScript script;
+  Frame data = MakeData(MacAddress::Ap(0), MacAddress::Client(1),
+                        MacAddress::Ap(0), 5, Bytes(50), PhyRate::kB2, false,
+                        true);
+  script.Push(std::move(data), script.now);
+  Frame ack = MakeAck(MacAddress::Client(1), PhyRate::kB2);
+  script.Push(std::move(ack), script.now + 50'000);  // 50 ms later
+  const auto link = ReconstructLink(script.jframes);
+  // The DATA attempt is unacked; the orphan ACK forms an inferred attempt.
+  ASSERT_EQ(link.attempts.size(), 2u);
+  EXPECT_FALSE(link.attempts[0].acked);
+  EXPECT_TRUE(link.attempts[1].acked);
+  EXPECT_TRUE(link.attempts[1].inferred);
+  EXPECT_EQ(link.stats.orphan_acks, 1u);
+}
+
+TEST(LinkExchanges, RetransmissionsCoalesce) {
+  JFrameScript script;
+  script.DataAck(1, 7, /*retry=*/false, /*with_ack=*/false);
+  script.DataAck(1, 7, /*retry=*/true, /*with_ack=*/false);
+  script.DataAck(1, 7, /*retry=*/true, /*with_ack=*/true);
+  const auto link = ReconstructLink(script.jframes);
+  EXPECT_EQ(link.attempts.size(), 3u);
+  ASSERT_EQ(link.exchanges.size(), 1u);
+  const auto& ex = link.exchanges[0];
+  EXPECT_EQ(ex.attempts.size(), 3u);
+  EXPECT_EQ(ex.outcome, ExchangeOutcome::kDelivered);
+}
+
+TEST(LinkExchanges, SequenceDeltaOneStartsNewExchange) {
+  JFrameScript script;
+  script.DataAck(1, 7);
+  script.DataAck(1, 8);
+  script.DataAck(1, 9);
+  const auto link = ReconstructLink(script.jframes);
+  EXPECT_EQ(link.exchanges.size(), 3u);
+  for (const auto& ex : link.exchanges) {
+    EXPECT_EQ(ex.outcome, ExchangeOutcome::kDelivered);
+    EXPECT_EQ(ex.attempts.size(), 1u);
+  }
+}
+
+TEST(LinkExchanges, SequenceWrapHandled) {
+  JFrameScript script;
+  script.DataAck(1, 0x0FFF);
+  script.DataAck(1, 0x0000);  // 12-bit wraparound is delta 1
+  const auto link = ReconstructLink(script.jframes);
+  EXPECT_EQ(link.exchanges.size(), 2u);
+  EXPECT_EQ(link.stats.sequence_gaps_flushed, 0u);
+}
+
+TEST(LinkExchanges, SequenceGapFlushesWithoutInference) {
+  JFrameScript script;
+  script.DataAck(1, 5);
+  script.DataAck(1, 9);  // delta 4: rule R4
+  const auto link = ReconstructLink(script.jframes);
+  EXPECT_EQ(link.exchanges.size(), 2u);
+  EXPECT_EQ(link.stats.sequence_gaps_flushed, 1u);
+  EXPECT_FALSE(link.exchanges[1].needed_inference);
+}
+
+TEST(LinkExchanges, BroadcastIsItsOwnExchange) {
+  JFrameScript script;
+  Frame bcast = MakeData(MacAddress::Broadcast(), MacAddress::Ap(0),
+                         MacAddress::Ap(0), 3, Bytes(60), PhyRate::kB1, true,
+                         false);
+  script.Push(std::move(bcast), script.now);
+  const auto link = ReconstructLink(script.jframes);
+  ASSERT_EQ(link.exchanges.size(), 1u);
+  EXPECT_TRUE(link.exchanges[0].broadcast);
+  EXPECT_EQ(link.exchanges[0].attempts.size(), 1u);
+  EXPECT_EQ(link.exchanges[0].outcome, ExchangeOutcome::kDelivered);
+}
+
+TEST(LinkExchanges, MissedDataInferredFromOrphanAck) {
+  // DATA(seq 5) unacked; the monitors miss the retransmitted DATA but hear
+  // its ACK.  The heuristic assigns the orphan ACK to the open exchange.
+  JFrameScript script;
+  script.DataAck(1, 5, false, /*with_ack=*/false);
+  Frame ack = MakeAck(MacAddress::Client(1), PhyRate::kB2);
+  script.Push(std::move(ack), script.now + 2'000);
+  const auto link = ReconstructLink(script.jframes);
+  ASSERT_EQ(link.exchanges.size(), 1u);
+  const auto& ex = link.exchanges[0];
+  EXPECT_EQ(ex.outcome, ExchangeOutcome::kDelivered);
+  EXPECT_TRUE(ex.needed_inference);
+  EXPECT_EQ(ex.attempts.size(), 2u);
+}
+
+TEST(LinkExchanges, UnackedSingleAttemptIsAmbiguous) {
+  JFrameScript script;
+  script.DataAck(1, 5, false, /*with_ack=*/false);
+  script.DataAck(1, 6);  // sender moved on
+  const auto link = ReconstructLink(script.jframes);
+  ASSERT_EQ(link.exchanges.size(), 2u);
+  EXPECT_EQ(link.exchanges[0].outcome, ExchangeOutcome::kAmbiguous);
+  EXPECT_EQ(link.exchanges[1].outcome, ExchangeOutcome::kDelivered);
+}
+
+TEST(LinkExchanges, RetryLimitExhaustionIsNotDelivered) {
+  JFrameScript script;
+  script.DataAck(1, 5, false, false);
+  for (int i = 0; i < kShortRetryLimit; ++i) {
+    script.DataAck(1, 5, true, false);
+  }
+  const auto link = ReconstructLink(script.jframes);
+  ASSERT_EQ(link.exchanges.size(), 1u);
+  EXPECT_EQ(link.exchanges[0].attempts.size(),
+            static_cast<std::size_t>(kShortRetryLimit) + 1);
+  EXPECT_EQ(link.exchanges[0].outcome, ExchangeOutcome::kNotDelivered);
+}
+
+TEST(LinkExchanges, FirstAttemptWithRetryBitNeedsInference) {
+  // Seeing only a retry means the original attempt was missed.
+  JFrameScript script;
+  script.DataAck(1, 5);
+  script.DataAck(1, 6, /*retry=*/true);
+  const auto link = ReconstructLink(script.jframes);
+  ASSERT_EQ(link.exchanges.size(), 2u);
+  EXPECT_TRUE(link.exchanges[1].needed_inference);
+}
+
+TEST(LinkStats, InferenceRatesComputed) {
+  JFrameScript script;
+  for (std::uint16_t s = 1; s <= 50; ++s) script.DataAck(1, s);
+  const auto link = ReconstructLink(script.jframes);
+  EXPECT_EQ(link.stats.attempts, 50u);
+  EXPECT_EQ(link.stats.exchanges, 50u);
+  EXPECT_EQ(link.stats.AttemptInferenceRate(), 0.0);
+  EXPECT_EQ(link.stats.ExchangeInferenceRate(), 0.0);
+}
+
+TEST(LinkExchanges, InterleavedSendersIndependent) {
+  JFrameScript script;
+  script.DataAck(1, 5);
+  script.DataAck(2, 100);
+  script.DataAck(1, 6);
+  script.DataAck(2, 101);
+  const auto link = ReconstructLink(script.jframes);
+  EXPECT_EQ(link.exchanges.size(), 4u);
+  EXPECT_EQ(link.stats.sequence_gaps_flushed, 0u);
+}
+
+}  // namespace
+}  // namespace jig

@@ -1,0 +1,136 @@
+#include "jigsaw/online.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "jigsaw/analysis/visualize.h"
+
+namespace jig {
+namespace {
+
+JFrame DataJFrame(UniversalMicros at, std::uint16_t client,
+                  std::uint16_t seq, std::size_t instances = 2) {
+  Frame f = MakeData(MacAddress::Ap(0), MacAddress::Client(client),
+                     MacAddress::Ap(0), seq, Bytes(100), PhyRate::kB11,
+                     false, true);
+  JFrame jf;
+  jf.timestamp = at;
+  jf.rate = f.rate;
+  const Bytes wire = f.Serialize();
+  jf.wire_len = static_cast<std::uint32_t>(wire.size());
+  jf.frame = std::move(f);
+  for (std::size_t i = 0; i < instances; ++i) {
+    FrameInstance inst;
+    inst.radio = static_cast<RadioId>(i);
+    inst.outcome = i == 0 ? RxOutcome::kOk : RxOutcome::kFcsError;
+    jf.instances.push_back(inst);
+  }
+  jf.dispersion = 7;
+  return jf;
+}
+
+TEST(OnlineMonitor, WindowsEmittedInOrder) {
+  std::vector<OnlineWindowStats> windows;
+  OnlineMonitor monitor(Seconds(1), [&](const OnlineWindowStats& w) {
+    windows.push_back(w);
+  });
+  const UniversalMicros t0 = Seconds(100);
+  monitor.OnJFrame(DataJFrame(t0 + 100, 1, 1));
+  monitor.OnJFrame(DataJFrame(t0 + 500'000, 2, 2));
+  monitor.OnJFrame(DataJFrame(t0 + Seconds(1) + 10, 1, 3));
+  monitor.Flush();
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[0].jframes, 2u);
+  EXPECT_EQ(windows[0].active_clients, 2);
+  EXPECT_EQ(windows[1].jframes, 1u);
+  EXPECT_LT(windows[0].window_start, windows[1].window_start);
+}
+
+TEST(OnlineMonitor, StatsAccumulate) {
+  std::vector<OnlineWindowStats> windows;
+  OnlineMonitor monitor(Seconds(1), [&](const OnlineWindowStats& w) {
+    windows.push_back(w);
+  });
+  const UniversalMicros t0 = Seconds(5);
+  for (int i = 0; i < 10; ++i) {
+    monitor.OnJFrame(DataJFrame(t0 + i * 1000, 1, static_cast<std::uint16_t>(i)));
+  }
+  monitor.Flush();
+  ASSERT_EQ(windows.size(), 1u);
+  const auto& w = windows[0];
+  EXPECT_EQ(w.jframes, 10u);
+  EXPECT_EQ(w.data_frames, 10u);
+  EXPECT_EQ(w.corrupted_instances, 10u);  // one per jframe
+  EXPECT_EQ(w.worst_dispersion, 7);
+  EXPECT_GT(w.airtime_fraction, 0.0);
+  EXPECT_EQ(w.broadcast_airtime_fraction, 0.0);  // all unicast
+  EXPECT_GT(w.bytes_on_air, 0u);
+}
+
+TEST(OnlineMonitor, IdleGapsSkipWindows) {
+  std::vector<OnlineWindowStats> windows;
+  OnlineMonitor monitor(Seconds(1), [&](const OnlineWindowStats& w) {
+    windows.push_back(w);
+  });
+  monitor.OnJFrame(DataJFrame(Seconds(10), 1, 1));
+  monitor.OnJFrame(DataJFrame(Seconds(60), 1, 2));  // 50 s of silence
+  monitor.Flush();
+  ASSERT_EQ(windows.size(), 2u);
+  // No empty windows in between.
+  EXPECT_EQ(windows[0].jframes, 1u);
+  EXPECT_EQ(windows[1].jframes, 1u);
+}
+
+TEST(Visualize, TimelineShowsInstancesAndLegend) {
+  std::vector<JFrame> jframes;
+  jframes.push_back(DataJFrame(1'000'000, 1, 1, 3));
+  jframes.push_back(DataJFrame(1'002'000, 2, 2, 2));
+  TimelineOptions options;
+  options.span = 5'000;
+  const std::string art = RenderTimeline(jframes, options);
+  // Rows for the radios involved, decoded and corrupted markers, legend.
+  EXPECT_NE(art.find("r0"), std::string::npos);
+  EXPECT_NE(art.find("r1"), std::string::npos);
+  EXPECT_NE(art.find('#'), std::string::npos);
+  EXPECT_NE(art.find('x'), std::string::npos);
+  EXPECT_NE(art.find("DATA"), std::string::npos);
+  EXPECT_NE(art.find("dispersion"), std::string::npos);
+}
+
+TEST(Visualize, EmptyInputsHandled) {
+  EXPECT_EQ(RenderTimeline({}), "(no jframes)\n");
+  std::vector<JFrame> jframes;
+  jframes.push_back(DataJFrame(1'000'000, 1, 1));
+  TimelineOptions options;
+  options.start = 5'000'000;  // far beyond the data
+  EXPECT_EQ(RenderTimeline(jframes, options), "(window empty)\n");
+}
+
+TEST(Visualize, FloorplanMarksAllStationKinds) {
+  BuildingModel building;
+  std::vector<ApInfo> aps = {{MacAddress::Ap(0), {10, 20, 2.8},
+                              Channel::kCh1, 0}};
+  std::vector<PodInfo> pods;
+  pods.push_back(PodInfo{{20, 18, 2.5}, {0, 1, 2, 3}});
+  std::vector<ClientInfo> clients = {{MacAddress::Client(0),
+                                      MakeIpv4(10, 2, 0, 0),
+                                      {30, 8, 1.0}, false, 0,
+                                      Channel::kCh1}};
+  const auto count = [](const std::string& s, char c) {
+    return std::count(s.begin(), s.end(), c);
+  };
+  const std::string art = RenderFloorplan(building, aps, pods, clients, 0);
+  // One of each marker in the legend, plus one plotted on the grid.
+  EXPECT_EQ(count(art, '^'), 2);
+  EXPECT_EQ(count(art, 'O'), 2);
+  EXPECT_GE(count(art, '.'), 2);
+  // Stations on other floors are not drawn (legend marker only).
+  const std::string empty_floor =
+      RenderFloorplan(building, aps, pods, clients, 2);
+  EXPECT_EQ(count(empty_floor, '^'), 1);
+  EXPECT_EQ(count(empty_floor, 'O'), 1);
+}
+
+}  // namespace
+}  // namespace jig

@@ -1,0 +1,143 @@
+#include "wifi/packet.h"
+
+#include <gtest/gtest.h>
+
+namespace jig {
+namespace {
+
+constexpr Ipv4Addr kClientIp = MakeIpv4(10, 2, 0, 5);
+constexpr Ipv4Addr kServerIp = MakeIpv4(10, 1, 0, 10);
+
+TEST(Packet, Ipv4StringForm) {
+  EXPECT_EQ(Ipv4ToString(MakeIpv4(10, 2, 0, 5)), "10.2.0.5");
+  EXPECT_EQ(Ipv4ToString(0xFFFFFFFFu), "255.255.255.255");
+}
+
+TEST(Packet, TcpRoundtrip) {
+  TcpSegment seg;
+  seg.src_port = 10001;
+  seg.dst_port = 80;
+  seg.seq = 123456789;
+  seg.ack = 987654321;
+  seg.flags = kTcpAck | kTcpPsh;
+  seg.payload_len = 1460;
+  const Bytes body = BuildTcpFrameBody(kClientIp, kServerIp, seg);
+  const auto info = ParseFrameBody(body);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->ether_type, kEtherTypeIpv4);
+  EXPECT_EQ(info->src_ip, kClientIp);
+  EXPECT_EQ(info->dst_ip, kServerIp);
+  ASSERT_TRUE(info->IsTcp());
+  EXPECT_EQ(info->tcp->src_port, 10001);
+  EXPECT_EQ(info->tcp->dst_port, 80);
+  EXPECT_EQ(info->tcp->seq, 123456789u);
+  EXPECT_EQ(info->tcp->ack, 987654321u);
+  EXPECT_EQ(info->tcp->flags, kTcpAck | kTcpPsh);
+  EXPECT_EQ(info->tcp->payload_len, 1460);
+}
+
+TEST(Packet, PayloadLengthSurvivesInlineCap) {
+  // A snap-length capture materializes only `inline_cap` payload bytes, but
+  // the logical length must come back from the IP header — this is what
+  // makes TCP sequence accounting work on truncated captures (Section 5).
+  TcpSegment seg;
+  seg.payload_len = 1460;
+  const Bytes body = BuildTcpFrameBody(kClientIp, kServerIp, seg,
+                                       /*inline_cap=*/100);
+  EXPECT_LT(body.size(), 200u);
+  const auto info = ParseFrameBody(body);
+  ASSERT_TRUE(info.has_value() && info->IsTcp());
+  EXPECT_EQ(info->tcp->payload_len, 1460);
+}
+
+TEST(Packet, TcpFlagHelpers) {
+  TcpSegment seg;
+  seg.flags = kTcpSyn;
+  EXPECT_TRUE(seg.Syn());
+  EXPECT_FALSE(seg.HasAck());
+  seg.flags = kTcpSyn | kTcpAck;
+  EXPECT_TRUE(seg.Syn());
+  EXPECT_TRUE(seg.HasAck());
+  seg.flags = kTcpFin | kTcpAck;
+  EXPECT_TRUE(seg.Fin());
+  seg.flags = kTcpRst;
+  EXPECT_TRUE(seg.Rst());
+}
+
+TEST(Packet, UdpRoundtrip) {
+  UdpDatagram dgram;
+  dgram.src_port = 2222;
+  dgram.dst_port = 2222;
+  dgram.payload_len = 180;
+  const Bytes body = BuildUdpFrameBody(kClientIp, 0xFFFFFFFFu, dgram);
+  const auto info = ParseFrameBody(body);
+  ASSERT_TRUE(info.has_value());
+  ASSERT_TRUE(info->udp.has_value());
+  EXPECT_EQ(info->udp->src_port, 2222);
+  EXPECT_EQ(info->udp->dst_port, 2222);
+  EXPECT_EQ(info->udp->payload_len, 180);
+  EXPECT_EQ(info->dst_ip, 0xFFFFFFFFu);
+  EXPECT_FALSE(info->IsTcp());
+}
+
+TEST(Packet, ArpRoundtrip) {
+  ArpMessage arp;
+  arp.is_request = true;
+  arp.sender_ip = MakeIpv4(10, 0, 0, 2);
+  arp.target_ip = kClientIp;
+  const auto info = ParseFrameBody(BuildArpFrameBody(arp));
+  ASSERT_TRUE(info.has_value());
+  ASSERT_TRUE(info->IsArp());
+  EXPECT_TRUE(info->arp->is_request);
+  EXPECT_EQ(info->arp->sender_ip, MakeIpv4(10, 0, 0, 2));
+  EXPECT_EQ(info->arp->target_ip, kClientIp);
+
+  arp.is_request = false;
+  const auto reply = ParseFrameBody(BuildArpFrameBody(arp));
+  ASSERT_TRUE(reply.has_value() && reply->IsArp());
+  EXPECT_FALSE(reply->arp->is_request);
+}
+
+TEST(Packet, RejectsNonSnapBody) {
+  Bytes junk(64, 0x11);
+  EXPECT_FALSE(ParseFrameBody(junk).has_value());
+}
+
+TEST(Packet, RejectsTruncatedHeaders) {
+  TcpSegment seg;
+  seg.payload_len = 100;
+  Bytes body = BuildTcpFrameBody(kClientIp, kServerIp, seg);
+  // Chop inside the TCP header.
+  body.resize(8 + 20 + 10);
+  EXPECT_FALSE(ParseFrameBody(body).has_value());
+  body.resize(8 + 10);  // inside IP header
+  EXPECT_FALSE(ParseFrameBody(body).has_value());
+  body.resize(4);  // inside LLC
+  EXPECT_FALSE(ParseFrameBody(body).has_value());
+}
+
+TEST(Packet, DistinctSegmentsProduceDistinctBytes) {
+  TcpSegment a, b;
+  a.seq = 1000;
+  b.seq = 2460;
+  a.payload_len = b.payload_len = 1460;
+  EXPECT_NE(BuildTcpFrameBody(kClientIp, kServerIp, a),
+            BuildTcpFrameBody(kClientIp, kServerIp, b));
+}
+
+class PacketPayloadSizes : public ::testing::TestWithParam<std::uint16_t> {};
+
+TEST_P(PacketPayloadSizes, RoundtripAnySize) {
+  TcpSegment seg;
+  seg.payload_len = GetParam();
+  const auto info = ParseFrameBody(BuildTcpFrameBody(kClientIp, kServerIp,
+                                                     seg));
+  ASSERT_TRUE(info.has_value() && info->IsTcp());
+  EXPECT_EQ(info->tcp->payload_len, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PacketPayloadSizes,
+                         ::testing::Values(0, 1, 100, 536, 1460));
+
+}  // namespace
+}  // namespace jig

@@ -1,0 +1,142 @@
+#include "phy/propagation.h"
+
+#include <gtest/gtest.h>
+
+#include "phy/geometry.h"
+
+namespace jig {
+namespace {
+
+PropagationConfig QuietConfig() {
+  PropagationConfig cfg;
+  cfg.shadowing_sigma_db = 0.0;
+  cfg.fading_sigma_db = 0.0;
+  cfg.slow_fading_sigma_db = 0.0;
+  return cfg;
+}
+
+TEST(Geometry, Distance) {
+  EXPECT_DOUBLE_EQ(Distance({0, 0, 0}, {3, 4, 0}), 5.0);
+  EXPECT_DOUBLE_EQ(Distance({1, 1, 1}, {1, 1, 1}), 0.0);
+}
+
+TEST(Geometry, Floors) {
+  BuildingModel b;
+  EXPECT_EQ(b.FloorOf({0, 0, 1.0}), 0);
+  EXPECT_EQ(b.FloorOf({0, 0, 5.0}), 1);
+  EXPECT_EQ(b.FloorsBetween({0, 0, 1}, {0, 0, 13}), 3);
+  EXPECT_EQ(b.FloorsBetween({0, 0, 1}, {5, 5, 2}), 0);
+}
+
+TEST(Geometry, WallsGrowWithDistance) {
+  BuildingModel b;
+  EXPECT_EQ(b.WallsBetween({0, 0, 1}, {3, 0, 1}), 0);  // same room
+  const int near = b.WallsBetween({0, 0, 1}, {12, 0, 1});
+  const int far = b.WallsBetween({0, 0, 1}, {60, 0, 1});
+  EXPECT_GT(near, 0);
+  EXPECT_GT(far, near);
+}
+
+TEST(Geometry, Contains) {
+  BuildingModel b;
+  EXPECT_TRUE(b.Contains({10, 10, 2}));
+  EXPECT_FALSE(b.Contains({-1, 10, 2}));
+  EXPECT_FALSE(b.Contains({10, 10, 100}));
+}
+
+TEST(Propagation, DbmMwRoundtrip) {
+  for (double dbm : {-90.0, -50.0, 0.0, 20.0}) {
+    EXPECT_NEAR(MwToDbm(DbmToMw(dbm)), dbm, 1e-9);
+  }
+  EXPECT_LT(MwToDbm(0.0), -250.0);
+}
+
+TEST(Propagation, RssiDecaysWithDistance) {
+  BuildingModel b;
+  PropagationModel model(b, QuietConfig());
+  const Point3 tx{10, 20, 2};
+  double prev = 1000.0;
+  for (double d : {1.0, 5.0, 10.0, 20.0, 40.0}) {
+    const double rssi = model.MeanRssiDbm(tx, {10 + d, 20, 2}, 15.0);
+    EXPECT_LT(rssi, prev);
+    prev = rssi;
+  }
+}
+
+TEST(Propagation, FloorsAttenuate) {
+  BuildingModel b;
+  PropagationModel model(b, QuietConfig());
+  const Point3 tx{10, 20, 2};
+  const double same = model.MeanRssiDbm(tx, {14, 20, 2}, 15.0);
+  const double above = model.MeanRssiDbm(tx, {14, 20, 6}, 15.0);
+  EXPECT_LT(above, same - 20.0);  // a slab costs 28 dB by default
+}
+
+TEST(Propagation, ShadowingSymmetricAndDeterministic) {
+  BuildingModel b;
+  PropagationConfig cfg;  // default shadowing on
+  cfg.fading_sigma_db = 0.0;
+  PropagationModel model(b, cfg);
+  const Point3 a{5, 8, 2}, c{40, 30, 2};
+  EXPECT_DOUBLE_EQ(model.MeanRssiDbm(a, c, 15.0),
+                   model.MeanRssiDbm(a, c, 15.0));
+  // Symmetric shadowing: path loss a->c equals c->a.
+  EXPECT_NEAR(model.MeanRssiDbm(a, c, 15.0), model.MeanRssiDbm(c, a, 15.0),
+              1e-9);
+}
+
+TEST(Propagation, SlowFadeCoherence) {
+  BuildingModel b;
+  PropagationConfig cfg;
+  PropagationModel model(b, cfg);
+  const Point3 a{5, 8, 2}, c{40, 30, 2};
+  // Same coherence bucket: identical fade.
+  EXPECT_DOUBLE_EQ(model.SlowFadeDb(a, c, 1000), model.SlowFadeDb(a, c, 2000));
+  // Across many buckets the fade varies.
+  bool varies = false;
+  const double first = model.SlowFadeDb(a, c, 0);
+  for (int i = 1; i < 20; ++i) {
+    if (std::abs(model.SlowFadeDb(a, c, i * cfg.slow_fading_period) - first) >
+        0.5) {
+      varies = true;
+    }
+  }
+  EXPECT_TRUE(varies);
+}
+
+TEST(Propagation, SinrAgainstNoiseOnly) {
+  BuildingModel b;
+  PropagationModel model(b, QuietConfig());
+  // Signal at -60 dBm vs -95 dBm noise floor: SINR ~ 35 dB.
+  EXPECT_NEAR(model.SinrDb(-60.0, 0.0), 35.0, 0.01);
+  // Strong interference drowns it.
+  EXPECT_LT(model.SinrDb(-60.0, DbmToMw(-55.0)), 0.0);
+}
+
+TEST(Reception, OutcomeThresholds) {
+  // Below detection: nothing.
+  EXPECT_EQ(DecideReception(-97.0, 50.0, PhyRate::kB1), RxOutcome::kNotHeard);
+  // Detectable but below sensitivity: PHY error.
+  EXPECT_EQ(DecideReception(-93.0, 50.0, PhyRate::kG54),
+            RxOutcome::kPhyError);
+  // Strong signal, terrible SINR: corrupted.
+  EXPECT_EQ(DecideReception(-50.0, 1.0, PhyRate::kB11),
+            RxOutcome::kFcsError);
+  // Strong and clean: decoded.
+  EXPECT_EQ(DecideReception(-50.0, 30.0, PhyRate::kG54), RxOutcome::kOk);
+}
+
+class ReceptionRateTest : public ::testing::TestWithParam<PhyRate> {};
+
+TEST_P(ReceptionRateTest, SensitivityBoundaryConsistent) {
+  const PhyRate r = GetParam();
+  const double s = SensitivityDbm(r);
+  EXPECT_EQ(DecideReception(s - 0.5, 60.0, r), RxOutcome::kPhyError);
+  EXPECT_EQ(DecideReception(s + 0.5, 60.0, r), RxOutcome::kOk);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRates, ReceptionRateTest,
+                         ::testing::ValuesIn(kAllRates));
+
+}  // namespace
+}  // namespace jig

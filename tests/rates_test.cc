@@ -1,0 +1,108 @@
+#include "wifi/rates.h"
+
+#include <gtest/gtest.h>
+
+namespace jig {
+namespace {
+
+TEST(Rates, Classification) {
+  EXPECT_TRUE(IsCck(PhyRate::kB1));
+  EXPECT_TRUE(IsCck(PhyRate::kB11));
+  EXPECT_TRUE(IsOfdm(PhyRate::kG6));
+  EXPECT_TRUE(IsOfdm(PhyRate::kG54));
+}
+
+TEST(Rates, Mbps) {
+  EXPECT_DOUBLE_EQ(RateMbps(PhyRate::kB1), 1.0);
+  EXPECT_DOUBLE_EQ(RateMbps(PhyRate::kB5_5), 5.5);
+  EXPECT_DOUBLE_EQ(RateMbps(PhyRate::kG54), 54.0);
+}
+
+// The paper's footnote 7 costs protection overhead precisely: "CTS: 248 us
+// (our APs send CTS at 2 Mbps with the long preamble) ... ACK: 28 us" (at
+// 24 Mbps OFDM).  Our air-time math must reproduce those numbers.
+TEST(Rates, PaperFootnote7CtsTime) {
+  // 14-byte CTS at 2 Mbps CCK with 192 us long preamble:
+  // 192 + 14*8/2 = 192 + 56 = 248 us.
+  EXPECT_EQ(TxDurationMicros(PhyRate::kB2, kCtsBytes), 248);
+}
+
+TEST(Rates, PaperFootnote7AckTime) {
+  // 14-byte ACK at 24 Mbps OFDM: 20 us PLCP + ceil((16+112+6)/96)*4 + 6
+  // = 20 + 8 + 6 = 34; the paper quotes 28 us (no signal extension).
+  // With the 802.11g 6 us signal extension we are 6 us above the paper's
+  // 802.11a-style figure.
+  EXPECT_EQ(TxDurationMicros(PhyRate::kG24, kAckBytes), 34);
+}
+
+TEST(Rates, OfdmSymbolQuantization) {
+  // OFDM air time quantizes to whole 4 us symbols.
+  const Micros t0 = TxDurationMicros(PhyRate::kG54, 100);
+  const Micros t1 = TxDurationMicros(PhyRate::kG54, 101);
+  EXPECT_TRUE(t0 == t1 || t1 - t0 == 4);
+}
+
+TEST(Rates, CckTimeLinearInBytes) {
+  // 1 Mbps CCK: 8 us per byte after the preamble.
+  EXPECT_EQ(TxDurationMicros(PhyRate::kB1, 100) -
+                TxDurationMicros(PhyRate::kB1, 99),
+            8);
+}
+
+TEST(Rates, FasterRateNeverSlower) {
+  for (std::size_t bytes : {14u, 100u, 1500u}) {
+    EXPECT_LE(TxDurationMicros(PhyRate::kB11, bytes),
+              TxDurationMicros(PhyRate::kB1, bytes));
+    EXPECT_LE(TxDurationMicros(PhyRate::kG54, bytes),
+              TxDurationMicros(PhyRate::kG6, bytes));
+  }
+}
+
+TEST(Rates, ControlResponseRates) {
+  EXPECT_EQ(ControlResponseRate(PhyRate::kB1), PhyRate::kB1);
+  EXPECT_EQ(ControlResponseRate(PhyRate::kB11), PhyRate::kB2);
+  EXPECT_EQ(ControlResponseRate(PhyRate::kG6), PhyRate::kG6);
+  EXPECT_EQ(ControlResponseRate(PhyRate::kG18), PhyRate::kG12);
+  EXPECT_EQ(ControlResponseRate(PhyRate::kG54), PhyRate::kG24);
+}
+
+TEST(Rates, AckDurationFieldCoversSifsPlusAck) {
+  for (PhyRate r : kAllRates) {
+    const Micros d = AckDurationFieldMicros(r);
+    EXPECT_EQ(d, kSifs + TxDurationMicros(ControlResponseRate(r), kAckBytes));
+    EXPECT_GT(d, kSifs);
+  }
+}
+
+class RateOrderTest : public ::testing::TestWithParam<PhyRate> {};
+
+TEST_P(RateOrderTest, SensitivityAndSinrMonotoneInRate) {
+  const PhyRate r = GetParam();
+  // Within a PHY family, faster rates need stronger signal.
+  for (PhyRate other : kAllRates) {
+    if (IsOfdm(other) != IsOfdm(r)) continue;
+    if (RateMbps(other) < RateMbps(r)) {
+      EXPECT_LE(SensitivityDbm(other), SensitivityDbm(r))
+          << RateName(other) << " vs " << RateName(r);
+      EXPECT_LE(RequiredSinrDb(other), RequiredSinrDb(r));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRates, RateOrderTest,
+                         ::testing::ValuesIn(kAllRates));
+
+TEST(Rates, NamesDistinct) {
+  std::set<std::string> names;
+  for (PhyRate r : kAllRates) names.insert(RateName(r));
+  EXPECT_EQ(names.size(), kAllRates.size());
+}
+
+TEST(Rates, MacTimingConstants) {
+  EXPECT_EQ(kSifs, 10);
+  EXPECT_EQ(kSlotTime, 20);
+  EXPECT_EQ(kDifs, 50);  // SIFS + 2 slots
+}
+
+}  // namespace
+}  // namespace jig

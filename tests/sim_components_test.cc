@@ -1,0 +1,295 @@
+// Tests for the remaining simulator components: medium, monitor, wired
+// network, access point + client association, traffic manager.
+#include <gtest/gtest.h>
+
+#include "sim/access_point.h"
+#include "sim/client.h"
+#include "sim/monitor.h"
+#include "sim/scenario.h"
+#include "sim/traffic.h"
+#include "sim/wired.h"
+
+namespace jig {
+namespace {
+
+PropagationConfig CleanAir() {
+  PropagationConfig cfg;
+  cfg.path_loss_exponent = 3.0;
+  cfg.wall_loss_db = 0.0;
+  cfg.floor_loss_db = 0.0;
+  cfg.shadowing_sigma_db = 0.0;
+  cfg.fading_sigma_db = 0.0;
+  cfg.slow_fading_sigma_db = 0.0;
+  return cfg;
+}
+
+class SimFixture : public ::testing::Test {
+ protected:
+  SimFixture()
+      : propagation_(BuildingModel{}, CleanAir()),
+        medium_(events_, propagation_, Rng(1), &truth_),
+        wired_(events_, Rng(2), WiredConfig{}) {}
+
+  EventQueue events_;
+  PropagationModel propagation_;
+  TruthLog truth_;
+  Medium medium_;
+  WiredNetwork wired_;
+};
+
+TEST_F(SimFixture, MonitorCapturesWithSharedClock) {
+  ClockConfig clock_cfg;
+  clock_cfg.jitter_sigma_us = 0.0;
+  Monitor monitor(events_, medium_, clock_cfg, Rng(5), /*pod=*/0,
+                  /*monitor_index=*/0, Point3{10, 10, 2},
+                  {Channel::kCh1, Channel::kCh6}, /*first_radio_id=*/0);
+
+  // One transmission per channel at the same true instant.
+  Frame f1 = MakeBeacon(MacAddress::Ap(0), 1, PhyRate::kB1);
+  Frame f6 = MakeBeacon(MacAddress::Ap(1), 1, PhyRate::kB1);
+  medium_.Transmit(f1, MacAddress::Ap(0), {12, 10, 2}, 18.0, Channel::kCh1,
+                   nullptr);
+  medium_.Transmit(f6, MacAddress::Ap(1), {12, 10, 2}, 18.0, Channel::kCh6,
+                   nullptr);
+  events_.RunUntil(Seconds(1));
+
+  auto t0 = monitor.radio(0).TakeTrace();
+  auto t1 = monitor.radio(1).TakeTrace();
+  ASSERT_EQ(t0->size(), 1u);
+  ASSERT_EQ(t1->size(), 1u);
+  // Both radios stamped the same instant with the same (shared) clock.
+  EXPECT_EQ(t0->records()[0].timestamp, t1->records()[0].timestamp);
+  EXPECT_EQ(t0->header().monitor, t1->header().monitor);
+  EXPECT_NE(t0->header().radio, t1->header().radio);
+}
+
+TEST_F(SimFixture, MonitorTruncatesToSnaplen) {
+  ClockConfig clock_cfg;
+  Monitor monitor(events_, medium_, clock_cfg, Rng(5), 0, 0,
+                  Point3{10, 10, 2}, {Channel::kCh1, Channel::kCh6}, 0);
+  Frame big = MakeData(MacAddress::Ap(0), MacAddress::Client(1),
+                       MacAddress::Ap(0), 1, Bytes(300, 0x77), PhyRate::kB11,
+                       false, true);
+  const std::size_t wire_size = big.WireSize();
+  medium_.Transmit(big, MacAddress::Client(1), {12, 10, 2}, 15.0,
+                   Channel::kCh1, nullptr);
+  events_.RunUntil(Seconds(1));
+  auto trace = monitor.radio(0).TakeTrace();
+  ASSERT_EQ(trace->size(), 1u);
+  const auto& rec = trace->records()[0];
+  EXPECT_EQ(rec.orig_len, wire_size);
+  EXPECT_EQ(rec.bytes.size(), trace->header().snaplen);
+  EXPECT_LT(rec.bytes.size(), wire_size);
+}
+
+TEST_F(SimFixture, NoiseBurstsLogPhyErrors) {
+  ClockConfig clock_cfg;
+  Monitor monitor(events_, medium_, clock_cfg, Rng(5), 0, 0,
+                  Point3{10, 10, 2}, {Channel::kCh1, Channel::kCh6}, 0);
+  medium_.EmitNoise({11, 10, 2}, 20.0, Milliseconds(10));
+  events_.RunUntil(Seconds(1));
+  auto trace = monitor.radio(0).TakeTrace();
+  ASSERT_GT(trace->size(), 0u);
+  for (const auto& rec : trace->records()) {
+    EXPECT_EQ(rec.outcome, RxOutcome::kPhyError);
+    EXPECT_TRUE(rec.bytes.empty());
+  }
+}
+
+TEST_F(SimFixture, ClientAssociatesThroughFullHandshake) {
+  ApConfig ap_cfg;
+  MacConfig mac_cfg;
+  AccessPoint ap(events_, medium_, wired_, 0, Point3{10, 20, 2},
+                 Channel::kCh1, Rng(3), ap_cfg, mac_cfg);
+  ap.Start();
+
+  ClientConfig c_cfg;
+  c_cfg.ip = MakeIpv4(10, 2, 0, 1);
+  c_cfg.ap_mac = ap.address();
+  c_cfg.ap_index = 0;
+  Client client(events_, medium_, wired_, 1, Point3{15, 20, 2},
+                Channel::kCh1, Rng(4), mac_cfg, c_cfg);
+  bool associated = false;
+  client.set_on_associated([&] { associated = true; });
+  client.PowerOn();
+  events_.RunUntil(Seconds(5));
+
+  EXPECT_TRUE(associated);
+  EXPECT_TRUE(client.associated());
+  EXPECT_EQ(ap.associated_clients(), 1u);
+  EXPECT_TRUE(wired_.ClientRegistered(c_cfg.ip));
+
+  // The handshake generated the full management conversation on the air.
+  bool saw_probe_req = false, saw_probe_resp = false, saw_auth = false,
+       saw_assoc_req = false, saw_assoc_resp = false, saw_dhcp = false;
+  for (const auto& e : truth_.entries()) {
+    saw_probe_req |= e.type == FrameType::kProbeRequest;
+    saw_probe_resp |= e.type == FrameType::kProbeResponse;
+    saw_auth |= e.type == FrameType::kAuthentication;
+    saw_assoc_req |= e.type == FrameType::kAssocRequest;
+    saw_assoc_resp |= e.type == FrameType::kAssocResponse;
+    saw_dhcp |= e.type == FrameType::kData;
+  }
+  EXPECT_TRUE(saw_probe_req);
+  EXPECT_TRUE(saw_probe_resp);
+  EXPECT_TRUE(saw_auth);
+  EXPECT_TRUE(saw_assoc_req);
+  EXPECT_TRUE(saw_assoc_resp);
+  EXPECT_TRUE(saw_dhcp);  // DHCP-style broadcast after association
+}
+
+TEST_F(SimFixture, BClientTriggersApProtection) {
+  ApConfig ap_cfg;
+  ap_cfg.protection_timeout = Hours(1);
+  MacConfig mac_cfg;
+  AccessPoint ap(events_, medium_, wired_, 0, Point3{10, 20, 2},
+                 Channel::kCh1, Rng(3), ap_cfg, mac_cfg);
+  ap.Start();
+  EXPECT_FALSE(ap.protection_active());
+
+  ClientConfig c_cfg;
+  c_cfg.b_only = true;
+  c_cfg.ip = MakeIpv4(10, 2, 0, 2);
+  c_cfg.ap_mac = ap.address();
+  MacConfig b_mac_cfg;
+  b_mac_cfg.b_only = true;
+  Client b_client(events_, medium_, wired_, 2, Point3{14, 20, 2},
+                  Channel::kCh1, Rng(6), b_mac_cfg, c_cfg);
+  b_client.PowerOn();
+  events_.RunUntil(Seconds(10));
+  EXPECT_TRUE(ap.protection_active());
+  EXPECT_GT(ap.last_b_sense(), 0);
+}
+
+TEST_F(SimFixture, ProtectionPropagatesToGClientsViaBeacons) {
+  ApConfig ap_cfg;
+  MacConfig mac_cfg;
+  AccessPoint ap(events_, medium_, wired_, 0, Point3{10, 20, 2},
+                 Channel::kCh1, Rng(3), ap_cfg, mac_cfg);
+  ap.Start();
+
+  ClientConfig g_cfg;
+  g_cfg.ip = MakeIpv4(10, 2, 0, 3);
+  g_cfg.ap_mac = ap.address();
+  Client g_client(events_, medium_, wired_, 3, Point3{16, 20, 2},
+                  Channel::kCh1, Rng(7), mac_cfg, g_cfg);
+  g_client.PowerOn();
+
+  ClientConfig b_cfg;
+  b_cfg.b_only = true;
+  b_cfg.ip = MakeIpv4(10, 2, 0, 4);
+  b_cfg.ap_mac = ap.address();
+  MacConfig b_mac;
+  b_mac.b_only = true;
+  Client b_client(events_, medium_, wired_, 4, Point3{14, 20, 2},
+                  Channel::kCh1, Rng(8), b_mac, b_cfg);
+
+  events_.RunUntil(Seconds(2));
+  EXPECT_FALSE(g_client.mac().protection());
+  b_client.PowerOn();
+  events_.RunUntil(Seconds(8));  // beacons carry the ERP bit within ~100 ms
+  EXPECT_TRUE(g_client.mac().protection());
+}
+
+TEST_F(SimFixture, WiredTapsAndRoutesPackets) {
+  std::vector<PacketInfo> at_server;
+  wired_.RegisterServer(MakeIpv4(10, 1, 0, 10),
+                        [&](const PacketInfo& info, Bytes) {
+                          at_server.push_back(info);
+                        });
+  bool to_client_delivered = false;
+  WiredNetwork::ApPort port;
+  port.deliver_unicast = [&](MacAddress, Bytes) {
+    to_client_delivered = true;
+  };
+  port.deliver_broadcast = [](Bytes) {};
+  wired_.RegisterAp(0, std::move(port));
+  wired_.RegisterClient(MacAddress::Client(1), MakeIpv4(10, 2, 0, 1), 0);
+
+  TcpSegment seg;
+  seg.src_port = 10'000;
+  seg.dst_port = 80;
+  seg.seq = 1;
+  seg.flags = kTcpSyn;
+  wired_.DeliverFromWireless(
+      0, MacAddress::Client(1),
+      BuildTcpFrameBody(MakeIpv4(10, 2, 0, 1), MakeIpv4(10, 1, 0, 10), seg));
+  events_.RunUntil(Seconds(1));
+  ASSERT_EQ(at_server.size(), 1u);
+  EXPECT_EQ(at_server[0].tcp->dst_port, 80);
+  ASSERT_EQ(wired_.sniffer().size(), 1u);
+  EXPECT_FALSE(wired_.sniffer()[0].to_wireless);
+
+  wired_.SendToWireless(MakeIpv4(10, 1, 0, 10), MakeIpv4(10, 2, 0, 1),
+                        BuildTcpFrameBody(MakeIpv4(10, 1, 0, 10),
+                                          MakeIpv4(10, 2, 0, 1), seg));
+  events_.RunUntil(Seconds(2));
+  EXPECT_TRUE(to_client_delivered);
+  EXPECT_EQ(wired_.sniffer().size(), 2u);
+  EXPECT_TRUE(wired_.sniffer()[1].to_wireless);
+}
+
+TEST_F(SimFixture, WiredBroadcastFansOutToAllAps) {
+  int broadcasts = 0;
+  for (std::uint16_t i = 0; i < 4; ++i) {
+    WiredNetwork::ApPort port;
+    port.deliver_unicast = [](MacAddress, Bytes) {};
+    port.deliver_broadcast = [&](Bytes) { ++broadcasts; };
+    wired_.RegisterAp(i, std::move(port));
+  }
+  ArpMessage arp{true, MakeIpv4(10, 0, 0, 2), MakeIpv4(10, 2, 0, 1)};
+  wired_.BroadcastToAir(BuildArpFrameBody(arp));
+  events_.RunUntil(Seconds(1));
+  EXPECT_EQ(broadcasts, 4);
+}
+
+TEST(ScenarioTest, BuildsPaperScaleDeployment) {
+  ScenarioConfig cfg;
+  cfg.duration = Seconds(1);
+  cfg.clients = 10;
+  Scenario scenario(cfg);
+  EXPECT_EQ(scenario.pod_info().size(), 39u);   // paper: 39 pods
+  std::size_t radios = 0;
+  for (const auto& pod : scenario.pod_info()) radios += pod.radios.size();
+  EXPECT_EQ(radios, 156u);                      // paper: 156 radios
+  EXPECT_EQ(scenario.ap_count(), 40u);
+  EXPECT_EQ(scenario.client_count(), 10u);
+  // Channel plan covers all three orthogonal channels.
+  std::set<Channel> channels;
+  for (const auto& ap : scenario.ap_info()) channels.insert(ap.channel);
+  EXPECT_EQ(channels.size(), 3u);
+}
+
+TEST(ScenarioTest, PodReductionKeepsSpread) {
+  ScenarioConfig cfg;
+  cfg.duration = Seconds(1);
+  cfg.clients = 5;
+  cfg.pods_enabled = 20;
+  Scenario scenario(cfg);
+  EXPECT_EQ(scenario.pod_info().size(), 20u);
+  // Kept pods must span the building, not cluster at one end.
+  double min_x = 1e9, max_x = -1e9;
+  for (const auto& pod : scenario.pod_info()) {
+    min_x = std::min(min_x, pod.position.x);
+    max_x = std::max(max_x, pod.position.x);
+  }
+  EXPECT_LT(min_x, 20.0);
+  EXPECT_GT(max_x, 60.0);
+}
+
+TEST(ScenarioTest, TrafficFlowsEndToEnd) {
+  ScenarioConfig cfg;
+  cfg.seed = 11;
+  cfg.duration = Seconds(10);
+  cfg.clients = 12;
+  cfg.workload.web_per_min = 6.0;
+  Scenario scenario(cfg);
+  scenario.Run();
+  EXPECT_GT(scenario.traffic_stats().flows_started, 0u);
+  EXPECT_GT(scenario.traffic_stats().flows_completed, 0u);
+  EXPECT_GT(scenario.wired_records().size(), 10u);
+  EXPECT_GT(scenario.truth().size(), 500u);
+}
+
+}  // namespace
+}  // namespace jig

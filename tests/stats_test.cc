@@ -1,0 +1,129 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace jig {
+namespace {
+
+TEST(Distribution, EmptyBehaviour) {
+  Distribution d;
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.Quantile(0.5), 0.0);
+  EXPECT_EQ(d.CdfAt(1.0), 0.0);
+  EXPECT_TRUE(d.CdfSeries(10).empty());
+}
+
+TEST(Distribution, QuantilesOfKnownData) {
+  Distribution d;
+  for (int i = 1; i <= 100; ++i) d.Add(i);
+  EXPECT_DOUBLE_EQ(d.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(d.Max(), 100.0);
+  EXPECT_NEAR(d.Quantile(0.5), 50.5, 0.01);
+  EXPECT_NEAR(d.Quantile(0.9), 90.1, 0.2);
+  EXPECT_DOUBLE_EQ(d.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(d.Quantile(1.0), 100.0);
+}
+
+TEST(Distribution, MeanAndStddev) {
+  Distribution d;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) d.Add(v);
+  EXPECT_DOUBLE_EQ(d.Mean(), 5.0);
+  EXPECT_NEAR(d.Stddev(), 2.138, 0.01);  // sample stddev
+}
+
+TEST(Distribution, CdfAt) {
+  Distribution d;
+  for (int i = 1; i <= 10; ++i) d.Add(i);
+  EXPECT_DOUBLE_EQ(d.CdfAt(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(d.CdfAt(5.0), 0.5);
+  EXPECT_DOUBLE_EQ(d.CdfAt(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(d.CdfAt(100.0), 1.0);
+}
+
+TEST(Distribution, CdfSeriesMonotone) {
+  Distribution d;
+  for (int i = 0; i < 500; ++i) d.Add((i * 37) % 101);
+  const auto series = d.CdfSeries(25);
+  ASSERT_EQ(series.size(), 25u);
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GE(series[i].first, series[i - 1].first);
+    EXPECT_GT(series[i].second, series[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(series.back().second, 1.0);
+}
+
+TEST(Distribution, AddNRepeats) {
+  Distribution d;
+  d.AddN(3.0, 5);
+  d.Add(10.0);
+  EXPECT_EQ(d.size(), 6u);
+  EXPECT_DOUBLE_EQ(d.Quantile(0.5), 3.0);
+}
+
+TEST(Distribution, InterleavedAddAndQuery) {
+  Distribution d;
+  d.Add(5.0);
+  EXPECT_DOUBLE_EQ(d.Quantile(0.5), 5.0);
+  d.Add(1.0);  // must re-sort internally
+  EXPECT_DOUBLE_EQ(d.Min(), 1.0);
+}
+
+TEST(Ewma, FirstSampleSeeds) {
+  Ewma e(0.5, 99.0);
+  EXPECT_DOUBLE_EQ(e.Value(), 99.0);
+  EXPECT_FALSE(e.seeded());
+  e.Add(10.0);
+  EXPECT_DOUBLE_EQ(e.Value(), 10.0);
+  EXPECT_TRUE(e.seeded());
+}
+
+TEST(Ewma, ConvergesToConstant) {
+  Ewma e(0.3);
+  for (int i = 0; i < 100; ++i) e.Add(42.0);
+  EXPECT_NEAR(e.Value(), 42.0, 1e-9);
+}
+
+TEST(Ewma, WeightsNewSamples) {
+  Ewma e(0.25);
+  e.Add(0.0);
+  e.Add(100.0);
+  EXPECT_DOUBLE_EQ(e.Value(), 25.0);
+}
+
+TEST(TimeBins, BinsAndBounds) {
+  TimeBins bins(Seconds(1), Seconds(10));
+  EXPECT_EQ(bins.BinCount(), 10u);
+  bins.Add(0, 1.0);
+  bins.Add(Seconds(1) - 1, 2.0);
+  bins.Add(Seconds(1), 4.0);
+  bins.Add(Seconds(10) + 5, 100.0);  // out of range: dropped
+  bins.Add(-5, 100.0);               // negative: dropped
+  EXPECT_DOUBLE_EQ(bins.BinValue(0), 3.0);
+  EXPECT_DOUBLE_EQ(bins.BinValue(1), 4.0);
+  EXPECT_EQ(bins.BinStart(3), Seconds(3));
+}
+
+TEST(TimeBins, RejectsBadArguments) {
+  EXPECT_THROW(TimeBins(0, Seconds(1)), std::invalid_argument);
+  EXPECT_THROW(TimeBins(Seconds(1), 0), std::invalid_argument);
+}
+
+TEST(Format, Fixed) {
+  EXPECT_EQ(FormatFixed(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatFixed(2.0, 0), "2");
+}
+
+TEST(Format, Percent) {
+  EXPECT_EQ(FormatPercent(0.4567), "45.7%");
+  EXPECT_EQ(FormatPercent(1.0, 0), "100%");
+}
+
+TEST(Format, CountSeparators) {
+  EXPECT_EQ(FormatCount(0), "0");
+  EXPECT_EQ(FormatCount(999), "999");
+  EXPECT_EQ(FormatCount(1000), "1,000");
+  EXPECT_EQ(FormatCount(1234567890), "1,234,567,890");
+}
+
+}  // namespace
+}  // namespace jig

@@ -1,0 +1,102 @@
+// Synthetic trace construction for Jigsaw-core unit tests.
+//
+// Builds per-radio capture records for a scripted set of transmissions with
+// known per-radio clock offsets/skews, bypassing the full simulator so
+// tests can assert exact expectations (which transmissions exist, who heard
+// what, what the true offsets are).
+#pragma once
+
+#include <vector>
+
+#include "trace/trace_set.h"
+#include "wifi/frame.h"
+
+namespace jig::testing {
+
+struct SyntheticRadio {
+  RadioId id = 0;
+  std::uint16_t monitor = 0;  // radios sharing a monitor share a clock
+  Channel channel = Channel::kCh1;
+  double offset_us = 0.0;   // local = true + offset (+ skew * true)
+  double skew_ppm = 0.0;
+  std::int64_t ntp_error_us = 0;
+};
+
+struct SyntheticTx {
+  TrueMicros at = 0;
+  Frame frame;
+  std::vector<RadioId> heard_by;
+  // Radios that receive a corrupted copy.
+  std::vector<RadioId> corrupted_at;
+};
+
+class SyntheticNetwork {
+ public:
+  explicit SyntheticNetwork(std::vector<SyntheticRadio> radios)
+      : radios_(std::move(radios)) {}
+
+  void Transmit(SyntheticTx tx) { txs_.push_back(std::move(tx)); }
+
+  // Convenience: a unique DATA frame heard by `radios` at true time `at`.
+  void Data(TrueMicros at, std::uint16_t from_client, std::uint16_t seq,
+            std::vector<RadioId> heard_by, bool retry = false) {
+    SyntheticTx tx;
+    tx.at = at;
+    tx.frame = MakeData(MacAddress::Ap(0), MacAddress::Client(from_client),
+                        MacAddress::Ap(0), seq, Bytes{1, 2, 3, 4},
+                        PhyRate::kB2, false, true);
+    tx.frame.retry = retry;
+    tx.heard_by = std::move(heard_by);
+    Transmit(std::move(tx));
+  }
+
+  TraceSet Build() const {
+    TraceSet set;
+    for (const auto& radio : radios_) {
+      TraceHeader header;
+      header.radio = radio.id;
+      header.pod = radio.monitor / 2;
+      header.monitor = radio.monitor;
+      header.channel = radio.channel;
+      header.ntp_utc_of_local_zero_us =
+          -static_cast<std::int64_t>(radio.offset_us) + radio.ntp_error_us;
+      std::vector<CaptureRecord> records;
+      for (const auto& tx : txs_) {
+        const bool heard = Contains(tx.heard_by, radio.id);
+        const bool corrupted = Contains(tx.corrupted_at, radio.id);
+        if (!heard && !corrupted) continue;
+        CaptureRecord rec;
+        rec.timestamp = LocalTime(radio, tx.at);
+        rec.outcome = corrupted ? RxOutcome::kFcsError : RxOutcome::kOk;
+        rec.rate = tx.frame.rate;
+        rec.bytes = tx.frame.Serialize();
+        rec.orig_len = static_cast<std::uint32_t>(rec.bytes.size());
+        if (corrupted) rec.bytes[8] ^= 0xFF;
+        rec.rssi_dbm = -60.0F;
+        records.push_back(std::move(rec));
+      }
+      std::stable_sort(records.begin(), records.end(),
+                       [](const CaptureRecord& a, const CaptureRecord& b) {
+                         return a.timestamp < b.timestamp;
+                       });
+      set.Add(std::make_unique<MemoryTrace>(header, std::move(records)));
+    }
+    return set;
+  }
+
+  static LocalMicros LocalTime(const SyntheticRadio& radio, TrueMicros at) {
+    return static_cast<LocalMicros>(
+        static_cast<double>(at) * (1.0 + radio.skew_ppm * 1e-6) +
+        radio.offset_us);
+  }
+
+ private:
+  static bool Contains(const std::vector<RadioId>& v, RadioId id) {
+    return std::find(v.begin(), v.end(), id) != v.end();
+  }
+
+  std::vector<SyntheticRadio> radios_;
+  std::vector<SyntheticTx> txs_;
+};
+
+}  // namespace jig::testing

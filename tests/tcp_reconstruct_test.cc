@@ -1,0 +1,239 @@
+#include "jigsaw/tcp_reconstruct.h"
+
+#include <gtest/gtest.h>
+
+namespace jig {
+namespace {
+
+constexpr Ipv4Addr kClient = MakeIpv4(10, 2, 0, 1);
+constexpr Ipv4Addr kServer = MakeIpv4(10, 1, 0, 10);
+constexpr std::uint16_t kClientPort = 10'000;
+constexpr std::uint16_t kServerPort = 80;
+constexpr std::uint32_t kClientIss = 1000;
+constexpr std::uint32_t kServerIss = 9000;
+
+// Builds jframes + matching exchanges directly, scripting TCP conversations
+// with controllable link-layer outcomes per segment.
+class TcpScript {
+ public:
+  UniversalMicros now = 1'000'000;
+
+  void Segment(bool downstream, std::uint32_t seq, std::uint32_t ack,
+               std::uint8_t flags, std::uint16_t payload,
+               ExchangeOutcome outcome = ExchangeOutcome::kDelivered) {
+    TcpSegment seg;
+    seg.src_port = downstream ? kServerPort : kClientPort;
+    seg.dst_port = downstream ? kClientPort : kServerPort;
+    seg.seq = seq;
+    seg.ack = ack;
+    seg.flags = flags;
+    seg.payload_len = payload;
+    const Ipv4Addr src = downstream ? kServer : kClient;
+    const Ipv4Addr dst = downstream ? kClient : kServer;
+    Frame f = MakeData(
+        downstream ? MacAddress::Client(1) : MacAddress::Ap(0),
+        downstream ? MacAddress::Ap(0) : MacAddress::Client(1),
+        MacAddress::Ap(0), seq_counter_++, BuildTcpFrameBody(src, dst, seg),
+        PhyRate::kB11, downstream, !downstream);
+
+    JFrame jf;
+    jf.timestamp = now;
+    jf.rate = f.rate;
+    const Bytes wire = f.Serialize();
+    jf.wire_len = static_cast<std::uint32_t>(wire.size());
+    jf.frame = std::move(f);
+    FrameInstance inst;
+    inst.outcome = RxOutcome::kOk;
+    jf.instances.push_back(inst);
+
+    FrameExchange ex;
+    ex.transmitter = jf.frame.addr2;
+    ex.receiver = jf.frame.addr1;
+    ex.sequence = jf.frame.sequence;
+    ex.start = now;
+    ex.end = now + 500;
+    ex.outcome = outcome;
+    ex.data_jframe = static_cast<std::int64_t>(jframes.size());
+
+    jframes.push_back(std::move(jf));
+    link.exchanges.push_back(std::move(ex));
+    now += 2'000;
+  }
+
+  void Handshake() {
+    Segment(false, kClientIss, 0, kTcpSyn, 0);
+    Segment(true, kServerIss, kClientIss + 1, kTcpSyn | kTcpAck, 0);
+    Segment(false, kClientIss + 1, kServerIss + 1, kTcpAck, 0);
+  }
+
+  TransportReconstruction Run() {
+    return ReconstructTransport(jframes, link);
+  }
+
+  std::vector<JFrame> jframes;
+  LinkReconstruction link;
+  std::uint16_t seq_counter_ = 1;
+};
+
+TEST(TcpReconstruct, HandshakeDetected) {
+  TcpScript s;
+  s.Handshake();
+  const auto out = s.Run();
+  ASSERT_EQ(out.flows.size(), 1u);
+  EXPECT_TRUE(out.flows[0].handshake_complete);
+  EXPECT_EQ(out.flows[0].key.client_ip, kClient);
+  EXPECT_EQ(out.flows[0].key.server_ip, kServer);
+  EXPECT_GE(out.flows[0].wired_rtt_ms, 0.0);
+  EXPECT_GE(out.flows[0].wireless_rtt_ms, 0.0);
+}
+
+TEST(TcpReconstruct, NoHandshakeFlaggedAsScanLike) {
+  TcpScript s;
+  s.Segment(false, kClientIss, 0, kTcpSyn, 0);  // SYN only
+  const auto out = s.Run();
+  ASSERT_EQ(out.flows.size(), 1u);
+  EXPECT_FALSE(out.flows[0].handshake_complete);
+}
+
+TEST(TcpReconstruct, BytesAndSegmentsCounted) {
+  TcpScript s;
+  s.Handshake();
+  const std::uint32_t base = kServerIss + 1;
+  s.Segment(true, base, kClientIss + 1, kTcpAck, 1000);
+  s.Segment(true, base + 1000, kClientIss + 1, kTcpAck, 1000);
+  s.Segment(false, kClientIss + 1, base + 2000, kTcpAck, 0);
+  const auto out = s.Run();
+  ASSERT_EQ(out.flows.size(), 1u);
+  EXPECT_EQ(out.flows[0].segments_down, 2u);
+  EXPECT_EQ(out.flows[0].bytes_down, 2000u);
+  EXPECT_EQ(out.flows[0].segments_up, 0u);  // pure ACKs carry no payload
+}
+
+TEST(TcpReconstruct, RetransmissionOfFailedExchangeIsWirelessLoss) {
+  TcpScript s;
+  s.Handshake();
+  const std::uint32_t base = kServerIss + 1;
+  s.Segment(true, base, kClientIss + 1, kTcpAck, 1000,
+            ExchangeOutcome::kNotDelivered);
+  s.Segment(true, base, kClientIss + 1, kTcpAck, 1000);  // retransmission
+  const auto out = s.Run();
+  ASSERT_EQ(out.flows.size(), 1u);
+  ASSERT_EQ(out.flows[0].losses.size(), 1u);
+  EXPECT_EQ(out.flows[0].losses[0].cause, LossCause::kWireless);
+  EXPECT_EQ(out.stats.wireless_losses, 1u);
+}
+
+TEST(TcpReconstruct, RetransmissionAfterCoveringAckIsWiredLoss) {
+  TcpScript s;
+  s.Handshake();
+  const std::uint32_t base = kServerIss + 1;
+  s.Segment(true, base, kClientIss + 1, kTcpAck, 1000);
+  // The client's covering ACK proves end-to-end wireless delivery.
+  s.Segment(false, kClientIss + 1, base + 1000, kTcpAck, 0);
+  // Spurious/wired-lossy retransmission.
+  s.Segment(true, base, kClientIss + 1, kTcpAck, 1000);
+  const auto out = s.Run();
+  ASSERT_EQ(out.flows[0].losses.size(), 1u);
+  EXPECT_EQ(out.flows[0].losses[0].cause, LossCause::kWired);
+}
+
+TEST(TcpReconstruct, AmbiguousNoCoverIsWirelessLoss) {
+  TcpScript s;
+  s.Handshake();
+  const std::uint32_t base = kServerIss + 1;
+  s.Segment(true, base, kClientIss + 1, kTcpAck, 1000,
+            ExchangeOutcome::kAmbiguous);
+  s.Segment(true, base, kClientIss + 1, kTcpAck, 1000);
+  const auto out = s.Run();
+  ASSERT_EQ(out.flows[0].losses.size(), 1u);
+  EXPECT_EQ(out.flows[0].losses[0].cause, LossCause::kWireless);
+}
+
+TEST(TcpReconstruct, CoveringAckResolvesAmbiguousExchange) {
+  TcpScript s;
+  s.Handshake();
+  const std::uint32_t base = kServerIss + 1;
+  s.Segment(true, base, kClientIss + 1, kTcpAck, 1000,
+            ExchangeOutcome::kAmbiguous);
+  const std::size_t ambiguous_idx = s.link.exchanges.size() - 1;
+  s.Segment(false, kClientIss + 1, base + 1000, kTcpAck, 0);
+  const auto out = s.Run();
+  ASSERT_TRUE(out.exchange_delivered[ambiguous_idx].has_value());
+  EXPECT_TRUE(*out.exchange_delivered[ambiguous_idx]);
+  EXPECT_EQ(out.stats.covering_ack_resolutions, 1u);
+}
+
+TEST(TcpReconstruct, HoleInferenceCountsMissingSegments) {
+  TcpScript s;
+  s.Handshake();
+  const std::uint32_t base = kServerIss + 1;
+  s.Segment(true, base, kClientIss + 1, kTcpAck, 1000);
+  // Monitors miss [base+1000, base+2000); the next observed segment and the
+  // client's ACK covering everything imply the gap was delivered unseen.
+  s.Segment(true, base + 2000, kClientIss + 1, kTcpAck, 1000);
+  s.Segment(false, kClientIss + 1, base + 3000, kTcpAck, 0);
+  const auto out = s.Run();
+  EXPECT_EQ(out.flows[0].inferred_missing_segments, 1u);
+  EXPECT_EQ(out.stats.inferred_missing_segments, 1u);
+}
+
+TEST(TcpReconstruct, UpstreamFlowDirectionHandled) {
+  TcpScript s;
+  s.Handshake();
+  const std::uint32_t base = kClientIss + 1;
+  s.Segment(false, base, kServerIss + 1, kTcpAck, 500);
+  s.Segment(false, base + 500, kServerIss + 1, kTcpAck, 500);
+  s.Segment(true, kServerIss + 1, base + 1000, kTcpAck, 0);
+  const auto out = s.Run();
+  ASSERT_EQ(out.flows.size(), 1u);
+  EXPECT_EQ(out.flows[0].segments_up, 2u);
+  EXPECT_EQ(out.flows[0].bytes_up, 1000u);
+}
+
+TEST(TcpReconstruct, MultipleFlowsSeparated) {
+  TcpScript s;
+  s.Handshake();
+  // A second flow: same hosts, different client port.
+  TcpSegment syn;
+  syn.src_port = kClientPort + 1;
+  syn.dst_port = kServerPort;
+  syn.seq = 50;
+  syn.flags = kTcpSyn;
+  Frame f = MakeData(MacAddress::Ap(0), MacAddress::Client(1),
+                     MacAddress::Ap(0), 99,
+                     BuildTcpFrameBody(kClient, kServer, syn), PhyRate::kB11,
+                     false, true);
+  JFrame jf;
+  jf.timestamp = s.now;
+  jf.rate = f.rate;
+  jf.wire_len = 100;
+  jf.frame = std::move(f);
+  jf.instances.push_back(FrameInstance{});
+  FrameExchange ex;
+  ex.transmitter = jf.frame.addr2;
+  ex.receiver = jf.frame.addr1;
+  ex.data_jframe = static_cast<std::int64_t>(s.jframes.size());
+  ex.start = s.now;
+  s.jframes.push_back(std::move(jf));
+  s.link.exchanges.push_back(std::move(ex));
+
+  const auto out = s.Run();
+  EXPECT_EQ(out.flows.size(), 2u);
+  EXPECT_EQ(out.stats.flows_with_handshake, 1u);
+}
+
+TEST(TcpReconstruct, LossRateArithmetic) {
+  TcpFlowRecord flow;
+  flow.segments_down = 8;
+  flow.segments_up = 2;
+  flow.losses.push_back({0, true, 0, LossCause::kWireless});
+  flow.losses.push_back({0, true, 0, LossCause::kWired});
+  EXPECT_EQ(flow.DataSegments(), 10u);
+  EXPECT_DOUBLE_EQ(flow.LossRate(), 0.2);
+  EXPECT_EQ(flow.LossesBy(LossCause::kWireless), 1u);
+  EXPECT_EQ(flow.LossesBy(LossCause::kWired), 1u);
+  EXPECT_EQ(flow.LossesBy(LossCause::kUnknown), 0u);
+}
+
+}  // namespace
+}  // namespace jig

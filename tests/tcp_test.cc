@@ -1,0 +1,203 @@
+#include "sim/tcp.h"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "sim/event_queue.h"
+
+namespace jig {
+namespace {
+
+// Connects two TcpPeers over a configurable lossy, delayed pipe.
+class TcpHarness {
+ public:
+  explicit TcpHarness(Micros one_way_delay = Milliseconds(10))
+      : delay_(one_way_delay) {
+    TcpConfig cfg;
+    client_ = std::make_unique<TcpPeer>(
+        events_, Rng(1), 10000, 80, /*initiator=*/true, cfg,
+        [this](const TcpSegment& seg) { Pipe(seg, /*to_server=*/true); });
+    server_ = std::make_unique<TcpPeer>(
+        events_, Rng(2), 80, 10000, /*initiator=*/false, cfg,
+        [this](const TcpSegment& seg) { Pipe(seg, /*to_server=*/false); });
+  }
+
+  void Pipe(const TcpSegment& seg, bool to_server) {
+    auto& drops = to_server ? drop_to_server_ : drop_to_client_;
+    if (!drops.empty() && drops.front() == counter_[to_server]) {
+      drops.pop_front();
+      ++counter_[to_server];
+      return;  // dropped
+    }
+    ++counter_[to_server];
+    events_.ScheduleIn(delay_, [this, seg, to_server] {
+      (to_server ? server_ : client_)->OnSegmentReceived(seg);
+    });
+  }
+
+  // Drops the nth segment (0-based) flowing in the given direction.
+  void DropNth(bool to_server, int n) {
+    (to_server ? drop_to_server_ : drop_to_client_).push_back(n);
+  }
+
+  EventQueue events_;
+  Micros delay_;
+  std::unique_ptr<TcpPeer> client_;
+  std::unique_ptr<TcpPeer> server_;
+  std::deque<int> drop_to_server_;
+  std::deque<int> drop_to_client_;
+  int counter_[2] = {0, 0};
+};
+
+TEST(Tcp, HandshakeCompletes) {
+  TcpHarness h;
+  bool client_up = false, server_up = false;
+  h.client_->set_on_connected([&] { client_up = true; });
+  h.server_->set_on_connected([&] { server_up = true; });
+  h.client_->StartConnect();
+  h.events_.RunUntil(Seconds(1));
+  EXPECT_TRUE(client_up);
+  EXPECT_TRUE(server_up);
+  EXPECT_TRUE(h.client_->connected());
+  EXPECT_TRUE(h.server_->connected());
+}
+
+TEST(Tcp, TransferDeliversAllBytes) {
+  TcpHarness h;
+  std::uint64_t received = 0;
+  bool done = false;
+  h.client_->set_data_sink([&](std::uint32_t n) { received += n; });
+  h.server_->set_on_connected([&] { h.server_->SendData(100'000); });
+  h.server_->set_on_transfer_done([&] { done = true; });
+  h.client_->StartConnect();
+  h.events_.RunUntil(Seconds(30));
+  EXPECT_TRUE(done);
+  EXPECT_EQ(received, 100'000u);
+  EXPECT_EQ(h.server_->stats().retransmissions, 0u);
+}
+
+TEST(Tcp, LostSynRetransmitted) {
+  TcpHarness h;
+  h.DropNth(/*to_server=*/true, 0);  // the SYN
+  bool up = false;
+  h.client_->set_on_connected([&] { up = true; });
+  h.client_->StartConnect();
+  h.events_.RunUntil(Seconds(10));
+  EXPECT_TRUE(up);
+  EXPECT_GE(h.client_->stats().rto_fires, 1u);
+}
+
+TEST(Tcp, LostDataSegmentRecovered) {
+  TcpHarness h;
+  // Drop one mid-stream data segment (after SYN-ACK/ACK exchange the 4th
+  // to-client segment is data).
+  h.DropNth(/*to_server=*/false, 4);
+  std::uint64_t received = 0;
+  bool done = false;
+  h.client_->set_data_sink([&](std::uint32_t n) { received += n; });
+  h.server_->set_on_connected([&] { h.server_->SendData(60'000); });
+  h.server_->set_on_transfer_done([&] { done = true; });
+  h.client_->StartConnect();
+  h.events_.RunUntil(Seconds(30));
+  EXPECT_TRUE(done);
+  EXPECT_EQ(received, 60'000u);
+  EXPECT_GE(h.server_->stats().retransmissions, 1u);
+}
+
+TEST(Tcp, FastRetransmitOnTripleDupack) {
+  TcpHarness h;
+  h.DropNth(false, 4);
+  bool done = false;
+  h.server_->set_on_connected([&] { h.server_->SendData(120'000); });
+  h.server_->set_on_transfer_done([&] { done = true; });
+  h.client_->StartConnect();
+  h.events_.RunUntil(Seconds(60));
+  EXPECT_TRUE(done);
+  // With a large window in flight, dupacks trigger recovery without RTO.
+  EXPECT_GE(h.server_->stats().fast_retransmits, 1u);
+}
+
+TEST(Tcp, BidirectionalChat) {
+  TcpHarness h;
+  std::uint64_t client_got = 0, server_got = 0;
+  h.client_->set_data_sink([&](std::uint32_t n) { client_got += n; });
+  h.server_->set_data_sink([&](std::uint32_t n) { server_got += n; });
+  h.client_->set_on_connected([&] {
+    h.client_->SendData(500);
+    h.server_->SendData(3000);
+  });
+  h.client_->StartConnect();
+  h.events_.RunUntil(Seconds(10));
+  EXPECT_EQ(server_got, 500u);
+  EXPECT_EQ(client_got, 3000u);
+}
+
+TEST(Tcp, RttEstimateTracksPipeDelay) {
+  TcpHarness h(Milliseconds(25));  // RTT = 50 ms
+  h.server_->set_on_connected([&] { h.server_->SendData(50'000); });
+  h.client_->StartConnect();
+  h.events_.RunUntil(Seconds(30));
+  EXPECT_NEAR(h.server_->srtt_ms(), 50.0, 15.0);
+}
+
+TEST(Tcp, CloseReachesClosedState) {
+  TcpHarness h;
+  bool done = false;
+  h.server_->set_on_connected([&] { h.server_->SendData(5'000); });
+  h.server_->set_on_transfer_done([&] {
+    done = true;
+    h.server_->Close();
+  });
+  h.client_->StartConnect();
+  h.events_.RunUntil(Seconds(30));
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(h.server_->closed());
+}
+
+TEST(Tcp, CwndGrowsFromSlowStart) {
+  TcpHarness h;  // RTT = 20 ms
+  h.server_->set_on_connected([&] { h.server_->SendData(5'000'000); });
+  h.client_->StartConnect();
+  // Sample in-flight data one RTT into the transfer vs several RTTs in.
+  std::uint64_t early_inflight = 0;
+  h.events_.ScheduleIn(Milliseconds(45), [&] {
+    early_inflight = h.server_->bytes_unacked();
+  });
+  std::uint64_t late_inflight = 0;
+  h.events_.ScheduleIn(Milliseconds(150), [&] {
+    late_inflight = h.server_->bytes_unacked();
+  });
+  h.events_.RunUntil(Milliseconds(200));
+  EXPECT_GT(early_inflight, 0u);
+  EXPECT_GT(late_inflight, early_inflight);
+}
+
+TEST(Tcp, StatsCountSegments) {
+  TcpHarness h;
+  h.server_->set_on_connected([&] { h.server_->SendData(14'600); });
+  h.client_->StartConnect();
+  h.events_.RunUntil(Seconds(10));
+  // 10 MSS segments + SYN-ACK + ACKs of client data (none) etc.
+  EXPECT_GE(h.server_->stats().segments_sent, 11u);
+  EXPECT_EQ(h.server_->stats().bytes_sent, 14'600u);
+}
+
+class TcpLossPatternTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TcpLossPatternTest, RecoversFromAnySingleLoss) {
+  TcpHarness h;
+  h.DropNth(false, GetParam());
+  std::uint64_t received = 0;
+  h.client_->set_data_sink([&](std::uint32_t n) { received += n; });
+  h.server_->set_on_connected([&] { h.server_->SendData(30'000); });
+  h.client_->StartConnect();
+  h.events_.RunUntil(Seconds(60));
+  EXPECT_EQ(received, 30'000u) << "dropped segment #" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(DropPositions, TcpLossPatternTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 20));
+
+}  // namespace
+}  // namespace jig

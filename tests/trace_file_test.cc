@@ -1,0 +1,210 @@
+#include "trace/trace_file.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "trace/trace_set.h"
+#include "util/rng.h"
+
+namespace jig {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TraceFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("jigt_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  static TraceHeader Header(RadioId radio = 3) {
+    TraceHeader h;
+    h.radio = radio;
+    h.pod = 1;
+    h.monitor = 2;
+    h.channel = Channel::kCh6;
+    h.ntp_utc_of_local_zero_us = 123456789;
+    return h;
+  }
+
+  static std::vector<CaptureRecord> MakeRecords(std::size_t n,
+                                                std::uint64_t seed = 5) {
+    Rng rng(seed);
+    std::vector<CaptureRecord> records;
+    LocalMicros ts = 1000;
+    for (std::size_t i = 0; i < n; ++i) {
+      CaptureRecord rec;
+      ts += rng.NextInt(1, 2000);
+      rec.timestamp = ts;
+      rec.outcome = i % 7 == 0 ? RxOutcome::kFcsError
+                    : i % 11 == 0 ? RxOutcome::kPhyError
+                                  : RxOutcome::kOk;
+      rec.rssi_dbm = static_cast<float>(-40 - rng.NextInt(0, 50));
+      rec.rate = static_cast<PhyRate>(rng.NextBelow(12));
+      if (rec.outcome != RxOutcome::kPhyError) {
+        rec.bytes.resize(14 + rng.NextBelow(200));
+        for (auto& b : rec.bytes) {
+          b = static_cast<std::uint8_t>(rng.NextBelow(256));
+        }
+        rec.orig_len = static_cast<std::uint32_t>(rec.bytes.size());
+      }
+      records.push_back(std::move(rec));
+    }
+    return records;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(TraceFileTest, RoundtripPreservesRecords) {
+  const auto path = dir_ / "r3.jigt";
+  const auto records = MakeRecords(1500);
+  {
+    TraceFileWriter writer(path, Header(), /*records_per_block=*/128);
+    for (const auto& rec : records) writer.Append(rec);
+    writer.Finish();
+    EXPECT_EQ(writer.records_written(), records.size());
+  }
+  TraceFileReader reader(path);
+  EXPECT_EQ(reader.header().radio, 3);
+  EXPECT_EQ(reader.header().channel, Channel::kCh6);
+  EXPECT_EQ(reader.header().ntp_utc_of_local_zero_us, 123456789);
+  EXPECT_EQ(reader.TotalRecords(), records.size());
+  for (const auto& expected : records) {
+    const auto got = reader.Next();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->timestamp, expected.timestamp);
+    EXPECT_EQ(got->outcome, expected.outcome);
+    EXPECT_EQ(got->rate, expected.rate);
+    EXPECT_EQ(got->orig_len, expected.orig_len);
+    EXPECT_EQ(got->bytes, expected.bytes);
+    EXPECT_NEAR(got->rssi_dbm, expected.rssi_dbm, 0.25F);
+  }
+  EXPECT_FALSE(reader.Next().has_value());
+}
+
+TEST_F(TraceFileTest, EmptyTrace) {
+  const auto path = dir_ / "empty.jigt";
+  {
+    TraceFileWriter writer(path, Header());
+    writer.Finish();
+  }
+  TraceFileReader reader(path);
+  EXPECT_EQ(reader.TotalRecords(), 0u);
+  EXPECT_FALSE(reader.Next().has_value());
+}
+
+TEST_F(TraceFileTest, IndexCoversAllBlocks) {
+  const auto path = dir_ / "r.jigt";
+  const auto records = MakeRecords(1000);
+  {
+    TraceFileWriter writer(path, Header(), 100);
+    for (const auto& rec : records) writer.Append(rec);
+    writer.Finish();
+  }
+  TraceFileReader reader(path);
+  EXPECT_EQ(reader.index().size(), 10u);
+  std::uint64_t total = 0;
+  for (const auto& e : reader.index()) {
+    EXPECT_LE(e.first_timestamp, e.last_timestamp);
+    total += e.record_count;
+  }
+  EXPECT_EQ(total, 1000u);
+}
+
+TEST_F(TraceFileTest, SeekToTimestamp) {
+  const auto path = dir_ / "r.jigt";
+  const auto records = MakeRecords(800);
+  {
+    TraceFileWriter writer(path, Header(), 64);
+    for (const auto& rec : records) writer.Append(rec);
+    writer.Finish();
+  }
+  TraceFileReader reader(path);
+  const LocalMicros target = records[400].timestamp;
+  reader.SeekToTimestamp(target);
+  const auto got = reader.Next();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->timestamp, target);
+  // Seek past the end yields nothing.
+  reader.SeekToTimestamp(records.back().timestamp + 1);
+  EXPECT_FALSE(reader.Next().has_value());
+  // Rewind restarts from the first record.
+  reader.Rewind();
+  EXPECT_EQ(reader.Next()->timestamp, records.front().timestamp);
+}
+
+TEST_F(TraceFileTest, CompressionShrinksCaptures) {
+  // Realistic captures (repeated headers) must compress.
+  const auto path = dir_ / "r.jigt";
+  std::vector<CaptureRecord> records;
+  for (int i = 0; i < 2000; ++i) {
+    CaptureRecord rec;
+    rec.timestamp = 1000 + i * 400;
+    rec.outcome = RxOutcome::kOk;
+    rec.rate = PhyRate::kB2;
+    rec.bytes.assign(80, 0xAA);
+    rec.bytes[30] = static_cast<std::uint8_t>(i);
+    rec.orig_len = 80;
+    records.push_back(rec);
+  }
+  {
+    TraceFileWriter writer(path, Header(), 256);
+    for (const auto& rec : records) writer.Append(rec);
+    writer.Finish();
+  }
+  const auto file_size = fs::file_size(path);
+  const std::size_t raw_size = 2000 * (80 + 16);
+  EXPECT_LT(file_size, raw_size / 4);
+}
+
+TEST_F(TraceFileTest, UnfinishedFileRejected) {
+  const auto path = dir_ / "bad.jigt";
+  {
+    std::FILE* f = std::fopen(path.string().c_str(), "wb");
+    std::fwrite("JIGT\x01\x00\x00\x00", 1, 8, f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(TraceFileReader reader(path), std::runtime_error);
+}
+
+TEST_F(TraceFileTest, MissingFileRejected) {
+  EXPECT_THROW(TraceFileReader reader(dir_ / "nope.jigt"),
+               std::runtime_error);
+}
+
+TEST_F(TraceFileTest, TraceSetDirectoryRoundtrip) {
+  TraceSet set;
+  for (RadioId r = 0; r < 5; ++r) {
+    auto header = Header(r);
+    set.Add(std::make_unique<MemoryTrace>(header, MakeRecords(100, r)));
+  }
+  const auto paths = set.WriteDirectory(dir_ / "traces");
+  EXPECT_EQ(paths.size(), 5u);
+
+  TraceSet loaded = TraceSet::OpenDirectory(dir_ / "traces");
+  ASSERT_EQ(loaded.size(), 5u);
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_EQ(loaded.at(i).header().radio, static_cast<RadioId>(i));
+    // Contents must match the in-memory source.
+    set.at(i).Rewind();
+    std::size_t count = 0;
+    while (auto expected = set.at(i).Next()) {
+      const auto got = loaded.at(i).Next();
+      ASSERT_TRUE(got.has_value());
+      EXPECT_EQ(got->timestamp, expected->timestamp);
+      EXPECT_EQ(got->bytes, expected->bytes);
+      ++count;
+    }
+    EXPECT_FALSE(loaded.at(i).Next().has_value());
+    EXPECT_EQ(count, 100u);
+  }
+}
+
+}  // namespace
+}  // namespace jig

@@ -1,0 +1,269 @@
+#include "jigsaw/unifier.h"
+
+#include <gtest/gtest.h>
+
+#include "jigsaw/pipeline.h"
+#include "synthetic.h"
+#include "util/rng.h"
+
+namespace jig {
+namespace {
+
+using testing::SyntheticNetwork;
+using testing::SyntheticRadio;
+using testing::SyntheticTx;
+
+std::vector<JFrame> Merge(TraceSet& traces, MergeConfig cfg = {}) {
+  return MergeTraces(traces, cfg).jframes;
+}
+
+TEST(Unifier, DuplicatesUnifyIntoOneJframe) {
+  std::vector<SyntheticRadio> radios = {
+      {.id = 0, .monitor = 0, .offset_us = 100.0},
+      {.id = 1, .monitor = 1, .offset_us = -220.0},
+      {.id = 2, .monitor = 2, .offset_us = 4000.0},
+  };
+  SyntheticNetwork net(radios);
+  net.Data(10'000, 1, 1, {0, 1, 2});
+  net.Data(60'000, 1, 2, {0, 1, 2});
+  auto traces = net.Build();
+  const auto jframes = Merge(traces);
+  ASSERT_EQ(jframes.size(), 2u);
+  EXPECT_EQ(jframes[0].InstanceCount(), 3u);
+  EXPECT_EQ(jframes[1].InstanceCount(), 3u);
+  EXPECT_EQ(jframes[0].frame.sequence, 1);
+  EXPECT_EQ(jframes[1].frame.sequence, 2);
+}
+
+TEST(Unifier, SimultaneousDistinctFramesStaySeparate) {
+  // Two different transmitters at the same instant (e.g. on different
+  // channels or a collision): contents differ, so they must not unify.
+  std::vector<SyntheticRadio> radios = {
+      {.id = 0, .monitor = 0},
+      {.id = 1, .monitor = 1},
+  };
+  SyntheticNetwork net(radios);
+  net.Data(10'000, 1, 5, {0});
+  net.Data(10'000, 2, 5, {1});  // same instant, different client
+  net.Data(20'000, 1, 6, {0, 1});  // gives bootstrap a shared reference
+  auto traces = net.Build();
+  const auto jframes = Merge(traces);
+  ASSERT_EQ(jframes.size(), 3u);
+  EXPECT_EQ(jframes[0].InstanceCount(), 1u);
+  EXPECT_EQ(jframes[1].InstanceCount(), 1u);
+  EXPECT_NE(jframes[0].frame.addr2, jframes[1].frame.addr2);
+}
+
+TEST(Unifier, IdenticalAcksWithinWindowStaySeparate) {
+  // Two byte-identical ACKs 1 ms apart are distinct transmissions; the
+  // duplicate window must prevent cross-merging even though they fall
+  // within the 10 ms search window.
+  std::vector<SyntheticRadio> radios = {
+      {.id = 0, .monitor = 0},
+      {.id = 1, .monitor = 1},
+  };
+  SyntheticNetwork net(radios);
+  net.Data(5'000, 1, 1, {0, 1});  // reference for bootstrap
+  Frame ack = MakeAck(MacAddress::Client(1), PhyRate::kB2);
+  net.Transmit(SyntheticTx{.at = 20'000, .frame = ack, .heard_by = {0, 1}});
+  net.Transmit(SyntheticTx{.at = 21'000, .frame = ack, .heard_by = {0, 1}});
+  auto traces = net.Build();
+  const auto jframes = Merge(traces);
+  ASSERT_EQ(jframes.size(), 3u);
+  EXPECT_EQ(jframes[1].InstanceCount(), 2u);
+  EXPECT_EQ(jframes[2].InstanceCount(), 2u);
+  EXPECT_NEAR(static_cast<double>(jframes[2].timestamp - jframes[1].timestamp),
+              1000.0, 50.0);
+}
+
+TEST(Unifier, MedianTimestampUsed) {
+  std::vector<SyntheticRadio> radios = {
+      {.id = 0, .monitor = 0, .offset_us = 0.0},
+      {.id = 1, .monitor = 1, .offset_us = 0.0},
+      {.id = 2, .monitor = 2, .offset_us = 0.0},
+  };
+  SyntheticNetwork net(radios);
+  net.Data(10'000, 1, 1, {0, 1, 2});
+  auto traces = net.Build();
+  const auto jframes = Merge(traces);
+  ASSERT_EQ(jframes.size(), 1u);
+  // All clocks agree (offset 0, ntp exact): timestamp ~ true time.
+  EXPECT_NEAR(static_cast<double>(jframes[0].timestamp), 10'000.0, 2.0);
+  EXPECT_LE(jframes[0].dispersion, 2);
+}
+
+TEST(Unifier, CorruptedInstanceAttachesToValidJframe) {
+  std::vector<SyntheticRadio> radios = {
+      {.id = 0, .monitor = 0},
+      {.id = 1, .monitor = 1},
+      {.id = 2, .monitor = 2},
+  };
+  SyntheticNetwork net(radios);
+  net.Data(5'000, 1, 1, {0, 1, 2});  // bootstrap reference
+  SyntheticTx tx;
+  tx.at = 20'000;
+  tx.frame = MakeData(MacAddress::Ap(0), MacAddress::Client(1),
+                      MacAddress::Ap(0), 2, Bytes{9, 9, 9}, PhyRate::kB2,
+                      false, true);
+  tx.heard_by = {0, 1};
+  tx.corrupted_at = {2};
+  net.Transmit(std::move(tx));
+  auto traces = net.Build();
+
+  MergeResult result = MergeTraces(traces);
+  ASSERT_EQ(result.jframes.size(), 2u);
+  const JFrame& jf = result.jframes[1];
+  EXPECT_EQ(jf.InstanceCount(), 3u);
+  EXPECT_EQ(jf.ValidInstanceCount(), 2u);
+  EXPECT_EQ(result.stats.error_instances_attached, 1u);
+}
+
+TEST(Unifier, OrphanCorruptedEventDropped) {
+  std::vector<SyntheticRadio> radios = {
+      {.id = 0, .monitor = 0},
+      {.id = 1, .monitor = 1},
+  };
+  SyntheticNetwork net(radios);
+  net.Data(5'000, 1, 1, {0, 1});
+  SyntheticTx tx;
+  tx.at = 20'000;
+  tx.frame = MakeData(MacAddress::Ap(0), MacAddress::Client(1),
+                      MacAddress::Ap(0), 2, Bytes{1}, PhyRate::kB2, false,
+                      true);
+  tx.corrupted_at = {0};  // corrupted everywhere it was heard
+  net.Transmit(std::move(tx));
+  auto traces = net.Build();
+  MergeResult result = MergeTraces(traces);
+  EXPECT_EQ(result.jframes.size(), 1u);
+  EXPECT_EQ(result.stats.error_events_dropped, 1u);
+}
+
+TEST(Unifier, SkewCompensationKeepsDispersionTight) {
+  // Two radios with +/-40 PPM skew over 60 seconds: without compensation
+  // their clocks drift ~5 ms apart; continual resync + the skew EWMA must
+  // keep late-trace dispersion in single-digit us.
+  std::vector<SyntheticRadio> radios = {
+      {.id = 0, .monitor = 0, .offset_us = 0.0, .skew_ppm = 40.0},
+      {.id = 1, .monitor = 1, .offset_us = 0.0, .skew_ppm = -40.0},
+  };
+  SyntheticNetwork net(radios);
+  std::uint16_t seq = 1;
+  for (TrueMicros t = 1000; t < Seconds(60); t += 50'000) {
+    net.Data(t, 1, seq++ & 0x0FFF, {0, 1});
+  }
+  auto traces = net.Build();
+  MergeResult result = MergeTraces(traces);
+  // All unified (no lost pairings despite skew).
+  std::size_t singletons = 0;
+  Micros worst_late_dispersion = 0;
+  for (std::size_t i = 0; i < result.jframes.size(); ++i) {
+    if (result.jframes[i].InstanceCount() < 2) ++singletons;
+    if (i > result.jframes.size() / 2) {
+      worst_late_dispersion =
+          std::max(worst_late_dispersion, result.jframes[i].dispersion);
+    }
+  }
+  EXPECT_EQ(singletons, 0u);
+  EXPECT_LE(worst_late_dispersion, 10);
+  EXPECT_GT(result.stats.resyncs, 0u);
+}
+
+TEST(Unifier, AblationSkewCompensationOffDegrades) {
+  std::vector<SyntheticRadio> radios = {
+      {.id = 0, .monitor = 0, .skew_ppm = 60.0},
+      {.id = 1, .monitor = 1, .skew_ppm = -60.0},
+  };
+  SyntheticNetwork net(radios);
+  std::uint16_t seq = 1;
+  // Sparse traffic: 1 frame per second, so corrections are rare and skew
+  // accumulates ~120 us between them.
+  for (TrueMicros t = 1000; t < Seconds(30); t += Seconds(1)) {
+    net.Data(t, 1, seq++ & 0x0FFF, {0, 1});
+  }
+  auto on_traces = net.Build();
+  auto off_traces = net.Build();
+
+  MergeConfig on_cfg, off_cfg;
+  off_cfg.unifier.compensate_skew = false;
+  const auto on = MergeTraces(on_traces, on_cfg);
+  const auto off = MergeTraces(off_traces, off_cfg);
+
+  const auto tail_dispersion = [](const MergeResult& r) {
+    Micros worst = 0;
+    for (std::size_t i = r.jframes.size() / 2; i < r.jframes.size(); ++i) {
+      worst = std::max(worst, r.jframes[i].dispersion);
+    }
+    return worst;
+  };
+  EXPECT_LT(tail_dispersion(on), tail_dispersion(off));
+}
+
+TEST(Unifier, StatsAddUp) {
+  std::vector<SyntheticRadio> radios = {
+      {.id = 0, .monitor = 0},
+      {.id = 1, .monitor = 1},
+  };
+  SyntheticNetwork net(radios);
+  for (std::uint16_t s = 1; s <= 20; ++s) {
+    net.Data(s * 30'000, 1, s, s % 2 ? std::vector<RadioId>{0, 1}
+                                     : std::vector<RadioId>{0});
+  }
+  auto traces = net.Build();
+  MergeResult result = MergeTraces(traces);
+  const auto& st = result.stats;
+  EXPECT_EQ(st.events_in, st.valid_in + st.fcs_error_in + st.phy_error_in);
+  EXPECT_EQ(st.events_in, 30u);  // 10 pairs + 10 singles
+  EXPECT_EQ(st.jframes, 20u);
+  EXPECT_EQ(st.events_unified, 30u);
+  EXPECT_EQ(st.EventsPerJframe(), 1.5);
+}
+
+TEST(Pipeline, OutputStrictlyTimeOrdered) {
+  Rng rng(3);
+  std::vector<SyntheticRadio> radios;
+  for (RadioId i = 0; i < 8; ++i) {
+    radios.push_back(SyntheticRadio{
+        .id = i, .monitor = i,
+        .offset_us = static_cast<double>(rng.NextInt(-10'000, 10'000))});
+  }
+  SyntheticNetwork net(radios);
+  std::uint16_t seq = 1;
+  for (int k = 0; k < 200; ++k) {
+    std::vector<RadioId> heard;
+    const RadioId first = static_cast<RadioId>(rng.NextBelow(6));
+    for (RadioId i = first; i < first + 3; ++i) heard.push_back(i);
+    net.Data(1000 + k * 900, static_cast<std::uint16_t>(1 + k % 3),
+             seq++ & 0x0FFF, heard);
+  }
+  auto traces = net.Build();
+  const auto jframes = Merge(traces);
+  for (std::size_t i = 1; i < jframes.size(); ++i) {
+    EXPECT_LE(jframes[i - 1].timestamp, jframes[i].timestamp);
+  }
+}
+
+TEST(Pipeline, StreamingMatchesBatch) {
+  std::vector<SyntheticRadio> radios = {
+      {.id = 0, .monitor = 0, .offset_us = 42.0},
+      {.id = 1, .monitor = 1, .offset_us = -17.0},
+  };
+  SyntheticNetwork net(radios);
+  for (std::uint16_t s = 1; s <= 30; ++s) {
+    net.Data(s * 10'000, 1, s, {0, 1});
+  }
+  auto t1 = net.Build();
+  auto t2 = net.Build();
+  const auto batch = MergeTraces(t1);
+  std::vector<JFrame> streamed;
+  MergeTracesStreaming(t2, {}, [&](JFrame&& jf) {
+    streamed.push_back(std::move(jf));
+  });
+  ASSERT_EQ(streamed.size(), batch.jframes.size());
+  for (std::size_t i = 0; i < streamed.size(); ++i) {
+    EXPECT_EQ(streamed[i].timestamp, batch.jframes[i].timestamp);
+    EXPECT_EQ(streamed[i].digest, batch.jframes[i].digest);
+  }
+}
+
+}  // namespace
+}  // namespace jig
