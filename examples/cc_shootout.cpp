@@ -1,0 +1,89 @@
+// CC shootout: a mixed Reno + CUBIC + BBR cell driven end-to-end — the
+// "one-line scenario change" the cc/ subsystem exists for.
+//
+//   1. Scenario with workload.cc_cycle = {reno, cubic, bbr}: every third
+//      client runs a different congestion-control algorithm over the same
+//      monitored air, with a microwave-oven interferer stirring the loss
+//      process.
+//   2. Merge the monitor traces and reconstruct link + transport layers
+//      (no ground-truth shortcuts).
+//   3. Join reconstructed flows against the simulator's flow registry to
+//      label each with its sender's algorithm, then compare the per-CC
+//      wireless/wired loss decomposition and retransmission behaviour.
+//
+// Build & run:  ./build/cc_shootout
+#include <cstdio>
+
+#include "jigsaw/analysis/tcp_loss.h"
+#include "jigsaw/link.h"
+#include "jigsaw/pipeline.h"
+#include "jigsaw/tcp_reconstruct.h"
+#include "sim/scenario.h"
+
+int main() {
+  using namespace jig;
+
+  // 1. A CC-diverse interference scenario.
+  ScenarioConfig config;
+  config.seed = 2006;
+  config.duration = Seconds(60);
+  config.clients = 30;
+  config.noise_bursts_per_min = 12.0;  // a busy kitchen
+  config.workload.cc_cycle = {CcAlgorithm::kReno, CcAlgorithm::kCubic,
+                              CcAlgorithm::kBbr};
+  config.workload.web_per_min = 3.0;
+  config.workload.scp_per_min = 0.5;
+  Scenario scenario(config);
+  std::printf("deployment: %zu pods, %zu APs, %zu clients "
+              "(cc mix: reno/cubic/bbr round-robin)\n",
+              scenario.pod_info().size(), scenario.ap_count(),
+              scenario.client_count());
+  scenario.Run();
+  std::printf("workload: %llu flows started, %llu completed\n",
+              static_cast<unsigned long long>(
+                  scenario.traffic_stats().flows_started),
+              static_cast<unsigned long long>(
+                  scenario.traffic_stats().flows_completed));
+
+  // 2. Monitors -> jframes -> flows.
+  TraceSet traces = scenario.TakeTraces();
+  const MergeResult merged = MergeTraces(traces);
+  const LinkReconstruction link = ReconstructLink(merged.jframes);
+  const TransportReconstruction transport =
+      ReconstructTransport(merged.jframes, link);
+  std::printf("reconstruction: %llu jframes -> %zu TCP flows (%llu with "
+              "handshake)\n\n",
+              static_cast<unsigned long long>(merged.stats.jframes),
+              transport.flows.size(),
+              static_cast<unsigned long long>(
+                  transport.stats.flows_with_handshake));
+
+  // 3. Per-algorithm Figure-11 decomposition.
+  const auto cc_index = scenario.truth().FlowCcIndex();
+  const auto groups = ComputeTcpLossByGroup(
+      transport,
+      [&cc_index](const TcpFlowKey& key) {
+        const auto it = cc_index.find(
+            FlowTruth::Key(key.client_ip, key.server_ip, key.client_port,
+                           key.server_port));
+        return it == cc_index.end()
+                   ? std::string()
+                   : std::string(CcAlgorithmName(it->second));
+      },
+      TcpLossConfig{.min_segments = 5});
+
+  std::printf("%-8s %7s %12s %12s %12s\n", "algo", "flows", "loss rate",
+              "wireless", "wired");
+  for (const TcpLossGroup& g : groups) {
+    std::printf("%-8s %7llu %12.4f %12.4f %12.4f\n", g.label.c_str(),
+                static_cast<unsigned long long>(g.report.flows_considered),
+                g.report.aggregate_loss_rate,
+                g.report.aggregate_wireless_rate,
+                g.report.aggregate_wired_rate);
+  }
+  std::printf("\nLoss-based senders (reno, cubic) halve their windows on "
+              "every wireless loss;\nBBR's path model absorbs them — "
+              "compare the per-algorithm loss rates above\nagainst the "
+              "shared air they all crossed.\n");
+  return 0;
+}

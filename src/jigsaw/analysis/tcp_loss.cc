@@ -1,14 +1,14 @@
 #include "jigsaw/analysis/tcp_loss.h"
 
 namespace jig {
+namespace {
 
-TcpLossReport ComputeTcpLoss(const TransportReconstruction& transport,
-                             const TcpLossConfig& config) {
+// Segment-weighted accumulator shared by the aggregate and grouped paths.
+struct LossAccumulator {
   TcpLossReport report;
   std::uint64_t segments = 0, losses = 0, wireless = 0, wired = 0;
-  for (const TcpFlowRecord& flow : transport.flows) {
-    if (!flow.handshake_complete) continue;
-    if (flow.DataSegments() < config.min_segments) continue;
+
+  void Add(const TcpFlowRecord& flow) {
     ++report.flows_considered;
     const double segs = flow.DataSegments();
     report.total_loss_rate.Add(flow.losses.size() / segs);
@@ -19,13 +19,58 @@ TcpLossReport ComputeTcpLoss(const TransportReconstruction& transport,
     wireless += flow.LossesBy(LossCause::kWireless);
     wired += flow.LossesBy(LossCause::kWired);
   }
-  if (segments > 0) {
-    report.aggregate_loss_rate = static_cast<double>(losses) / segments;
-    report.aggregate_wireless_rate =
-        static_cast<double>(wireless) / segments;
-    report.aggregate_wired_rate = static_cast<double>(wired) / segments;
+
+  TcpLossReport Finish() {
+    if (segments > 0) {
+      report.aggregate_loss_rate = static_cast<double>(losses) / segments;
+      report.aggregate_wireless_rate =
+          static_cast<double>(wireless) / segments;
+      report.aggregate_wired_rate = static_cast<double>(wired) / segments;
+    }
+    return report;
   }
-  return report;
+};
+
+bool Eligible(const TcpFlowRecord& flow, const TcpLossConfig& config) {
+  return flow.handshake_complete && flow.DataSegments() >= config.min_segments;
+}
+
+}  // namespace
+
+TcpLossReport ComputeTcpLoss(const TransportReconstruction& transport,
+                             const TcpLossConfig& config) {
+  LossAccumulator acc;
+  for (const TcpFlowRecord& flow : transport.flows) {
+    if (Eligible(flow, config)) acc.Add(flow);
+  }
+  return acc.Finish();
+}
+
+std::vector<TcpLossGroup> ComputeTcpLossByGroup(
+    const TransportReconstruction& transport, const TcpFlowLabeler& labeler,
+    const TcpLossConfig& config) {
+  std::vector<std::string> order;
+  std::vector<LossAccumulator> accs;
+  for (const TcpFlowRecord& flow : transport.flows) {
+    if (!Eligible(flow, config)) continue;
+    const std::string label = labeler(flow.key);
+    if (label.empty()) continue;
+    std::size_t g = 0;
+    for (; g < order.size(); ++g) {
+      if (order[g] == label) break;
+    }
+    if (g == order.size()) {
+      order.push_back(label);
+      accs.emplace_back();
+    }
+    accs[g].Add(flow);
+  }
+  std::vector<TcpLossGroup> groups;
+  groups.reserve(order.size());
+  for (std::size_t g = 0; g < order.size(); ++g) {
+    groups.push_back(TcpLossGroup{order[g], accs[g].Finish()});
+  }
+  return groups;
 }
 
 }  // namespace jig

@@ -8,6 +8,10 @@
 // wireless component dominates.
 #pragma once
 
+#include <functional>
+#include <string>
+#include <vector>
+
 #include "jigsaw/tcp_reconstruct.h"
 #include "util/stats.h"
 
@@ -32,5 +36,24 @@ struct TcpLossConfig {
 
 TcpLossReport ComputeTcpLoss(const TransportReconstruction& transport,
                              const TcpLossConfig& config = {});
+
+// Grouped Figure-11 decomposition: the labeler assigns each reconstructed
+// flow to a group (e.g. the sender's congestion-control algorithm, a
+// floor, an AP) and one TcpLossReport is computed per group.  The labeler
+// is a plain function so the analysis layer stays ignorant of where the
+// labels come from — benches typically join against the simulator's
+// ground-truth flow registry, a real deployment would join against server
+// logs.  Returning an empty label skips the flow.  Groups are ordered by
+// first appearance.
+struct TcpLossGroup {
+  std::string label;
+  TcpLossReport report;
+};
+
+using TcpFlowLabeler = std::function<std::string(const TcpFlowKey&)>;
+
+std::vector<TcpLossGroup> ComputeTcpLossByGroup(
+    const TransportReconstruction& transport, const TcpFlowLabeler& labeler,
+    const TcpLossConfig& config = {});
 
 }  // namespace jig

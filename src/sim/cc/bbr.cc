@@ -1,0 +1,169 @@
+#include "sim/cc/bbr.h"
+
+#include <algorithm>
+
+namespace jig {
+
+constexpr double BbrCc::kCycleGains[8];
+
+double BbrCc::bottleneck_bw_Bps() const {
+  // The filter deque is monotonic decreasing: the front is the max.
+  return bw_filter_.empty() ? 0.0 : bw_filter_.front().second;
+}
+
+double BbrCc::Bdp() const {
+  const double bw = bottleneck_bw_Bps();
+  if (bw <= 0.0 || min_rtt_us_ <= 0) return 0.0;
+  return bw * (static_cast<double>(min_rtt_us_) / 1e6);
+}
+
+double BbrCc::PacingGain() const {
+  switch (state_) {
+    case State::kStartup:
+      return kHighGain;
+    case State::kDrain:
+      return kDrainGain;
+    case State::kProbeBw:
+      return kCycleGains[cycle_index_];
+    case State::kProbeRtt:
+      return 1.0;
+  }
+  return 1.0;
+}
+
+double BbrCc::CwndGain() const {
+  switch (state_) {
+    case State::kStartup:
+    case State::kDrain:
+      return kHighGain;
+    default:
+      return 2.0;
+  }
+}
+
+double BbrCc::CwndBytes() const {
+  const double mss = config_.mss;
+  if (rto_collapsed_) return mss;
+  if (state_ == State::kProbeRtt) return 4.0 * mss;
+  const double bdp = Bdp();
+  double cwnd = bdp > 0.0 ? CwndGain() * bdp
+                          : CwndGain() * config_.initial_cwnd_segments * mss;
+  cwnd = std::max(cwnd, 4.0 * mss);
+  return std::min(cwnd, config_.max_cwnd_segments * mss);
+}
+
+double BbrCc::PacingRateBps() const {
+  const double bw = bottleneck_bw_Bps();
+  if (bw <= 0.0) return 0.0;  // unpaced until the model has an estimate
+  return PacingGain() * bw * 8.0;
+}
+
+void BbrCc::OnRttSample(Micros rtt, TrueMicros now) {
+  // A stale filter is NOT refreshed here with whatever (queue-inflated)
+  // sample happens by — UpdateState must first drain inflight in
+  // PROBE_RTT so the sample can reach the propagation floor.  Accept the
+  // expiry refresh only in the second half of the probe window, after the
+  // 4-segment cwnd cap has had >= 100 ms to empty the bottleneck queue.
+  const bool drained_in_probe =
+      state_ == State::kProbeRtt &&
+      now >= probe_rtt_done_at_ - kProbeRttDuration / 2;
+  if (min_rtt_us_ == 0 || rtt <= min_rtt_us_ || drained_in_probe) {
+    min_rtt_us_ = rtt;
+    min_rtt_stamp_ = now;
+  }
+}
+
+void BbrCc::AdvanceRound(const CcAck& ack) {
+  round_advanced_ = false;
+  if (delivered_ >= next_round_delivered_) {
+    // Everything in flight at the previous round edge has been delivered;
+    // what is in flight now defines the next edge.
+    next_round_delivered_ = delivered_ + ack.inflight_bytes;
+    ++round_count_;
+    round_advanced_ = true;
+  }
+}
+
+void BbrCc::SampleBandwidth(const CcAck& ack) {
+  rate_samples_.emplace_back(ack.now, delivered_);
+  const Micros window = std::max<Micros>(min_rtt_us_, Milliseconds(5));
+  while (rate_samples_.size() >= 2 &&
+         rate_samples_[1].first <= ack.now - window) {
+    rate_samples_.pop_front();
+  }
+  const auto& oldest = rate_samples_.front();
+  if (ack.now <= oldest.first) return;
+  const double bw = static_cast<double>(delivered_ - oldest.second) /
+                    (static_cast<double>(ack.now - oldest.first) / 1e6);
+  // Windowed max over the last kBwWindowRounds rounds, monotonic deque.
+  while (!bw_filter_.empty() && bw_filter_.back().second <= bw) {
+    bw_filter_.pop_back();
+  }
+  bw_filter_.emplace_back(round_count_, bw);
+  while (!bw_filter_.empty() &&
+         bw_filter_.front().first + kBwWindowRounds < round_count_) {
+    bw_filter_.pop_front();
+  }
+}
+
+void BbrCc::UpdateState(const CcAck& ack) {
+  // STARTUP exit: the bandwidth filter stopped growing >= 25% per round
+  // for three consecutive rounds — the pipe is full.
+  if (state_ == State::kStartup && round_advanced_) {
+    const double bw = bottleneck_bw_Bps();
+    if (bw >= full_bw_ * kFullBwGrowthThresh) {
+      full_bw_ = bw;
+      full_bw_rounds_ = 0;
+    } else if (++full_bw_rounds_ >= kFullBwPlateauRounds) {
+      full_bw_reached_ = true;
+      state_ = State::kDrain;
+    }
+  }
+  if (state_ == State::kDrain && ack.inflight_bytes <= Bdp()) {
+    state_ = State::kProbeBw;
+    cycle_index_ = 0;
+    cycle_stamp_ = ack.now;
+  }
+  if (state_ == State::kProbeBw && min_rtt_us_ > 0 &&
+      ack.now - cycle_stamp_ >= min_rtt_us_) {
+    cycle_index_ = (cycle_index_ + 1) % 8;
+    cycle_stamp_ = ack.now;
+  }
+  // PROBE_RTT: the min-RTT estimate is stale; briefly drain to a tiny
+  // window so queueing delay cannot mask the propagation floor.
+  if (state_ != State::kProbeRtt && min_rtt_us_ > 0 &&
+      ack.now - min_rtt_stamp_ > kMinRttWindow) {
+    state_ = State::kProbeRtt;
+    probe_rtt_done_at_ = ack.now + kProbeRttDuration;
+  } else if (state_ == State::kProbeRtt && ack.now >= probe_rtt_done_at_) {
+    min_rtt_stamp_ = ack.now;
+    if (full_bw_reached_) {
+      state_ = State::kProbeBw;
+      cycle_index_ = 0;
+      cycle_stamp_ = ack.now;
+    } else {
+      state_ = State::kStartup;
+    }
+  }
+}
+
+void BbrCc::OnAck(const CcAck& ack) {
+  rto_collapsed_ = false;
+  delivered_ += ack.acked_bytes;
+  AdvanceRound(ack);
+  SampleBandwidth(ack);
+  UpdateState(ack);
+}
+
+void BbrCc::OnDupAck(int /*dupack_count*/, std::uint64_t /*inflight_bytes*/,
+                     bool /*in_recovery*/) {
+  // BBR v1 does not react to isolated losses; the model absorbs them.
+}
+
+void BbrCc::OnRtoTimeout(std::uint64_t /*inflight_bytes*/) {
+  // Conservation on timeout: one segment until delivery resumes, then the
+  // model-based window is restored (BBR v1 keeps its path model).
+  rto_collapsed_ = true;
+}
+
+}  // namespace jig

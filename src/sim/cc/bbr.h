@@ -1,0 +1,102 @@
+// BBR congestion control (model-based, v1-style).
+//
+// Instead of reacting to loss, BBR builds an explicit model of the path —
+// a windowed-max filter over delivery-rate samples estimates the
+// bottleneck bandwidth, a windowed-min filter over RTT samples estimates
+// the propagation delay — and paces transmission at a gain times the
+// estimated bandwidth while capping inflight at a gain times the BDP.
+// State machine: STARTUP (2.885x gain, exponential search) until the
+// bandwidth filter plateaus for three rounds, DRAIN back down to the BDP,
+// then PROBE_BW cycling gains [1.25, 0.75, 1, 1, 1, 1, 1, 1] one
+// min-RTT per phase, with a periodic PROBE_RTT floor-probe.
+//
+// Because loss barely factors into the model, a BBR sender over a lossy
+// wireless hop keeps its rate where loss-based senders collapse — exactly
+// the cross-CC contrast the analysis layer studies (see PAPERS.md: BBR
+// evaluation and coexistence literature).
+#pragma once
+
+#include <deque>
+
+#include "sim/cc/congestion_control.h"
+
+namespace jig {
+
+class BbrCc : public CongestionControl {
+ public:
+  enum class State : std::uint8_t { kStartup, kDrain, kProbeBw, kProbeRtt };
+
+  explicit BbrCc(const CcConfig& config) : CongestionControl(config) {}
+
+  void OnAck(const CcAck& ack) override;
+  void OnDupAck(int dupack_count, std::uint64_t inflight_bytes,
+                bool in_recovery) override;
+  void OnRtoTimeout(std::uint64_t inflight_bytes) override;
+  void OnRttSample(Micros rtt, TrueMicros now) override;
+
+  double CwndBytes() const override;
+  double PacingRateBps() const override;
+  const char* Name() const override { return "bbr"; }
+
+  // Model introspection for tests and analysis tooling.
+  State state() const { return state_; }
+  double bottleneck_bw_Bps() const;  // bytes/sec, 0 until samples arrive
+  Micros min_rtt() const { return min_rtt_us_; }
+  int probe_bw_cycle_index() const { return cycle_index_; }
+  std::uint64_t round_count() const { return round_count_; }
+
+  static constexpr double kHighGain = 2.885;  // 2/ln(2)
+  static constexpr double kDrainGain = 1.0 / kHighGain;
+  static constexpr double kCycleGains[8] = {1.25, 0.75, 1.0, 1.0,
+                                            1.0,  1.0,  1.0, 1.0};
+
+ private:
+  void AdvanceRound(const CcAck& ack);
+  void SampleBandwidth(const CcAck& ack);
+  void UpdateState(const CcAck& ack);
+  double Bdp() const;  // bytes; 0 until the model has both estimates
+  double PacingGain() const;
+  double CwndGain() const;
+
+  static constexpr int kBwWindowRounds = 10;
+  static constexpr Micros kMinRttWindow = Seconds(10);
+  static constexpr Micros kProbeRttDuration = Milliseconds(200);
+  static constexpr double kFullBwGrowthThresh = 1.25;
+  static constexpr int kFullBwPlateauRounds = 3;
+
+  State state_ = State::kStartup;
+
+  // Delivery accounting and round counting (a "round" is one delivery of
+  // everything that was in flight when the previous round ended).
+  std::uint64_t delivered_ = 0;
+  std::uint64_t next_round_delivered_ = 0;
+  std::uint64_t round_count_ = 0;
+  bool round_advanced_ = false;  // true for the OnAck that closed a round
+
+  // Delivery-rate samples: (time, delivered) pairs spanning roughly one
+  // min-RTT, from which each ACK derives a bandwidth sample.
+  std::deque<std::pair<TrueMicros, std::uint64_t>> rate_samples_;
+
+  // Windowed max-filter over bandwidth samples (bytes/sec), keyed by round.
+  std::deque<std::pair<std::uint64_t, double>> bw_filter_;
+
+  // Windowed min-filter over RTT.
+  Micros min_rtt_us_ = 0;  // 0 = no sample yet
+  TrueMicros min_rtt_stamp_ = 0;
+
+  // STARTUP plateau detection.
+  double full_bw_ = 0.0;
+  int full_bw_rounds_ = 0;
+  bool full_bw_reached_ = false;
+
+  // PROBE_BW gain cycling.
+  int cycle_index_ = 0;
+  TrueMicros cycle_stamp_ = 0;
+
+  // PROBE_RTT bookkeeping.
+  TrueMicros probe_rtt_done_at_ = 0;
+
+  bool rto_collapsed_ = false;
+};
+
+}  // namespace jig

@@ -1,0 +1,34 @@
+#include "sim/cc/congestion_control.h"
+
+#include "sim/cc/bbr.h"
+#include "sim/cc/cubic.h"
+#include "sim/cc/reno.h"
+
+namespace jig {
+
+const char* CcAlgorithmName(CcAlgorithm algo) {
+  switch (algo) {
+    case CcAlgorithm::kReno:
+      return "reno";
+    case CcAlgorithm::kCubic:
+      return "cubic";
+    case CcAlgorithm::kBbr:
+      return "bbr";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<CongestionControl> MakeCongestionControl(
+    CcAlgorithm algo, const CcConfig& config) {
+  switch (algo) {
+    case CcAlgorithm::kCubic:
+      return std::make_unique<CubicCc>(config);
+    case CcAlgorithm::kBbr:
+      return std::make_unique<BbrCc>(config);
+    case CcAlgorithm::kReno:
+      break;
+  }
+  return std::make_unique<RenoCc>(config);
+}
+
+}  // namespace jig

@@ -1,0 +1,86 @@
+// Pluggable congestion control for the TCP-lite workload endpoints.
+//
+// Jigsaw's transport reconstruction (paper Sections 5.2, 7.4) infers
+// link-layer behavior from TCP side effects, so the loss/retransmission
+// signature of the simulated workload is an experimental variable, not an
+// implementation detail: loss-based senders (Reno, CUBIC) and model-based
+// senders (BBR) react to the same wireless loss process in very different
+// ways, and mixed-algorithm cells expose coexistence effects the analysis
+// layer should be able to study.  TcpPeer owns reliability (sequencing,
+// retransmission, RTO timers) and delegates every cwnd/ssthresh/pacing
+// decision to this interface.
+//
+// Contract with TcpPeer:
+//  * OnRttSample fires before OnAck for an ACK that produced a valid
+//    (Karn-filtered) RTT measurement.
+//  * OnAck fires once per cumulative ACK that advances snd_una, after the
+//    fast-recovery episode state has been updated.
+//  * OnDupAck fires once per duplicate ACK with the running duplicate
+//    count; count == 3 outside recovery is the loss event (TcpPeer enters
+//    fast retransmit immediately after the call returns).
+//  * OnRtoTimeout fires on a data-retransmission timeout.
+//  * CwndBytes gates transmission (inflight < CwndBytes); PacingRateBps
+//    additionally spaces segment departures when it returns > 0.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "util/time.h"
+
+namespace jig {
+
+enum class CcAlgorithm : std::uint8_t { kReno, kCubic, kBbr };
+
+const char* CcAlgorithmName(CcAlgorithm algo);
+
+// Derived from TcpConfig by TcpPeer; windows are in segments to match the
+// rest of the simulator's TCP knobs.
+struct CcConfig {
+  std::uint32_t mss = 1460;
+  double initial_cwnd_segments = 2.0;
+  double max_cwnd_segments = 64.0;
+  double initial_ssthresh_segments = 32.0;
+};
+
+// RFC 5681 §3.1: ssthresh never collapses below 2 segments, so a sender
+// that loses repeatedly can still clock itself out of trouble.
+constexpr double kMinSsthreshSegments = 2.0;
+
+struct CcAck {
+  std::uint64_t acked_bytes = 0;     // newly acknowledged by this ACK
+  std::uint64_t inflight_bytes = 0;  // outstanding after the ACK
+  bool in_recovery = false;          // fast-recovery episode still open
+  TrueMicros now = 0;
+};
+
+class CongestionControl {
+ public:
+  explicit CongestionControl(const CcConfig& config) : config_(config) {}
+  virtual ~CongestionControl() = default;
+
+  virtual void OnAck(const CcAck& ack) = 0;
+  virtual void OnDupAck(int dupack_count, std::uint64_t inflight_bytes,
+                        bool in_recovery) = 0;
+  virtual void OnRtoTimeout(std::uint64_t inflight_bytes) = 0;
+  virtual void OnRttSample(Micros rtt, TrueMicros now) = 0;
+
+  virtual double CwndBytes() const = 0;
+  // Segment departure rate; 0 disables pacing (pure window limiting).
+  virtual double PacingRateBps() const { return 0.0; }
+  virtual const char* Name() const = 0;
+
+  // Introspection for tests and analysis tooling.
+  double CwndSegments() const { return CwndBytes() / config_.mss; }
+  virtual double SsthreshSegments() const { return 0.0; }
+
+  const CcConfig& config() const { return config_; }
+
+ protected:
+  CcConfig config_;
+};
+
+std::unique_ptr<CongestionControl> MakeCongestionControl(
+    CcAlgorithm algo, const CcConfig& config);
+
+}  // namespace jig

@@ -1,0 +1,92 @@
+#include "sim/cc/cubic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace jig {
+
+void CubicCc::OnRttSample(Micros rtt, TrueMicros /*now*/) {
+  const double sample_s = static_cast<double>(rtt) / 1e6;
+  srtt_s_ = srtt_s_ == 0.0 ? sample_s : 0.875 * srtt_s_ + 0.125 * sample_s;
+}
+
+void CubicCc::OnAck(const CcAck& ack) {
+  if (ack.in_recovery) return;
+  // Application-idle gaps must not advance the cubic clock: with the
+  // epoch left open, t keeps growing while nothing is sent and the first
+  // ACK after a 30 s ssh think-time would vault cwnd to the cap in one
+  // step.  Restart the epoch from the current window instead (W_max is
+  // kept, so growth resumes on the concave approach).
+  if (last_ack_at_ > 0 &&
+      ack.now - last_ack_at_ >
+          std::max<Micros>(Seconds(1),
+                           static_cast<Micros>(2e6 * srtt_s_))) {
+    epoch_start_ = -1;
+  }
+  last_ack_at_ = ack.now;
+  if (cwnd_ < ssthresh_) {
+    cwnd_ = std::min(cwnd_ + 1.0, config_.max_cwnd_segments);
+    return;
+  }
+
+  // Congestion avoidance on the cubic curve (RFC 8312 §4.1–4.3).
+  if (epoch_start_ < 0) {
+    epoch_start_ = ack.now;
+    if (w_max_ < cwnd_) {
+      // No anchor above us (e.g. slow-start overshoot): restart the curve
+      // from here, in the convex (probing) region immediately.
+      w_max_ = cwnd_;
+      k_ = 0.0;
+    } else {
+      k_ = std::cbrt((w_max_ - cwnd_) / kC);
+    }
+    w_est_ = cwnd_;
+  }
+  const double t = static_cast<double>(ack.now - epoch_start_) / 1e6;
+  const double rtt_s = srtt_s_;
+  const double target =
+      kC * std::pow(t + rtt_s - k_, 3.0) + w_max_;  // W_cubic(t + RTT)
+
+  // TCP-friendly region: emulate an AIMD flow with the same loss history
+  // (RFC 8312 §4.2): per ACK, W_est += 3(1-β)/(1+β) * acked/cwnd (the
+  // /cwnd converts the per-RTT slope to per-ACK).
+  const double acked_segs =
+      std::max(1.0, static_cast<double>(ack.acked_bytes) / config_.mss);
+  w_est_ += 3.0 * (1.0 - kBeta) / (1.0 + kBeta) * acked_segs / cwnd_;
+
+  if (target > cwnd_) {
+    cwnd_ += (target - cwnd_) / cwnd_;
+  } else {
+    cwnd_ += 0.01 / cwnd_;  // minimal growth in the plateau region
+  }
+  cwnd_ = std::max(cwnd_, w_est_);
+  cwnd_ = std::min(cwnd_, config_.max_cwnd_segments);
+}
+
+void CubicCc::ReduceOnLoss() {
+  epoch_start_ = -1;
+  w_max_ = cwnd_;
+  if (fast_convergence_ && w_max_ < w_last_max_) {
+    // The path shrank: remember the smaller peak and release capacity
+    // sooner than a full cubic epoch would (RFC 8312 §4.6).
+    w_last_max_ = w_max_;
+    w_max_ = w_max_ * (1.0 + kBeta) / 2.0;
+  } else {
+    w_last_max_ = w_max_;
+  }
+  ssthresh_ = std::max(cwnd_ * kBeta, kMinSsthreshSegments);
+}
+
+void CubicCc::OnDupAck(int dupack_count, std::uint64_t /*inflight_bytes*/,
+                       bool in_recovery) {
+  if (dupack_count != 3 || in_recovery) return;
+  ReduceOnLoss();
+  cwnd_ = ssthresh_;
+}
+
+void CubicCc::OnRtoTimeout(std::uint64_t /*inflight_bytes*/) {
+  ReduceOnLoss();
+  cwnd_ = 1.0;
+}
+
+}  // namespace jig

@@ -1,0 +1,61 @@
+// CUBIC congestion control (RFC 8312).
+//
+// Window growth in congestion avoidance follows the cubic curve
+// W_cubic(t) = C*(t - K)^3 + W_max anchored at the window before the last
+// reduction: concave recovery toward W_max, a plateau around it, then
+// convex probing beyond — which is what makes CUBIC's loss signature over
+// a wireless hop visibly different from Reno's sawtooth.  Includes the
+// TCP-friendly region (never slower than an equivalent AIMD flow) and
+// fast convergence (release bandwidth faster when the path shrinks).
+//
+// Units: the curve operates in segments and seconds, C = 0.4, beta = 0.7.
+#pragma once
+
+#include "sim/cc/congestion_control.h"
+
+namespace jig {
+
+class CubicCc : public CongestionControl {
+ public:
+  explicit CubicCc(const CcConfig& config, bool fast_convergence = true)
+      : CongestionControl(config),
+        fast_convergence_(fast_convergence),
+        cwnd_(config.initial_cwnd_segments),
+        ssthresh_(config.initial_ssthresh_segments) {}
+
+  void OnAck(const CcAck& ack) override;
+  void OnDupAck(int dupack_count, std::uint64_t inflight_bytes,
+                bool in_recovery) override;
+  void OnRtoTimeout(std::uint64_t inflight_bytes) override;
+  void OnRttSample(Micros rtt, TrueMicros now) override;
+
+  double CwndBytes() const override { return cwnd_ * config_.mss; }
+  const char* Name() const override { return "cubic"; }
+  double SsthreshSegments() const override { return ssthresh_; }
+
+  // Test/analysis introspection.
+  double w_max_segments() const { return w_max_; }
+  double k_seconds() const { return k_; }
+  bool in_epoch() const { return epoch_start_ >= 0; }
+
+ private:
+  void ReduceOnLoss();
+
+  static constexpr double kBeta = 0.7;  // RFC 8312 multiplicative decrease
+  static constexpr double kC = 0.4;     // cubic scaling (segments/s^3)
+
+  bool fast_convergence_;
+  double cwnd_;      // segments
+  double ssthresh_;  // segments
+
+  // Cubic epoch state, reset on every loss event.
+  TrueMicros epoch_start_ = -1;  // -1: no epoch open
+  double w_max_ = 0.0;           // window at last reduction (segments)
+  double w_last_max_ = 0.0;      // previous W_max (fast convergence)
+  double k_ = 0.0;               // time to reach W_max again (seconds)
+  double w_est_ = 0.0;           // TCP-friendly AIMD estimate (segments)
+  double srtt_s_ = 0.0;          // latest smoothed RTT (seconds)
+  TrueMicros last_ack_at_ = 0;   // idle detection (epoch restart)
+};
+
+}  // namespace jig

@@ -1,0 +1,37 @@
+#include "sim/cc/reno.h"
+
+#include <algorithm>
+
+namespace jig {
+
+void RenoCc::OnAck(const CcAck& ack) {
+  // Growth is frozen while a fast-recovery episode is open, exactly as the
+  // pre-refactor TcpPeer did.
+  if (ack.in_recovery) return;
+  if (cwnd_ < ssthresh_) {
+    cwnd_ += 1.0;
+  } else {
+    cwnd_ += 1.0 / cwnd_;
+  }
+  cwnd_ = std::min(cwnd_, config_.max_cwnd_segments);
+}
+
+void RenoCc::OnDupAck(int dupack_count, std::uint64_t inflight_bytes,
+                      bool in_recovery) {
+  if (dupack_count != 3 || in_recovery) return;
+  const double inflight_segs =
+      static_cast<double>(inflight_bytes) / config_.mss;
+  ssthresh_ = std::max(inflight_segs / 2.0, kMinSsthreshSegments);
+  cwnd_ = ssthresh_;
+}
+
+void RenoCc::OnRtoTimeout(std::uint64_t inflight_bytes) {
+  const double inflight_segs =
+      static_cast<double>(inflight_bytes) / config_.mss;
+  ssthresh_ = std::max(inflight_segs / 2.0, kMinSsthreshSegments);
+  cwnd_ = 1.0;
+}
+
+void RenoCc::OnRttSample(Micros /*rtt*/, TrueMicros /*now*/) {}
+
+}  // namespace jig

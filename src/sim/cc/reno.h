@@ -1,0 +1,38 @@
+// Reno congestion control (RFC 5681) — the loss response that was inlined
+// in TcpPeer before the cc/ subsystem existed, extracted verbatim so the
+// default workload's cwnd trajectory is bit-identical to the pre-refactor
+// simulator (tests/cc_test.cc proves parity against a reference model).
+//
+// Slow start below ssthresh (+1 segment per ACK), AIMD above it
+// (+1/cwnd per ACK), halving to max(inflight/2, 2) on triple duplicate
+// ACKs, and collapse to 1 segment on RTO.  Window growth freezes during a
+// fast-recovery episode, matching the original TcpPeer behaviour.
+#pragma once
+
+#include "sim/cc/congestion_control.h"
+
+namespace jig {
+
+class RenoCc : public CongestionControl {
+ public:
+  explicit RenoCc(const CcConfig& config)
+      : CongestionControl(config),
+        cwnd_(config.initial_cwnd_segments),
+        ssthresh_(config.initial_ssthresh_segments) {}
+
+  void OnAck(const CcAck& ack) override;
+  void OnDupAck(int dupack_count, std::uint64_t inflight_bytes,
+                bool in_recovery) override;
+  void OnRtoTimeout(std::uint64_t inflight_bytes) override;
+  void OnRttSample(Micros rtt, TrueMicros now) override;
+
+  double CwndBytes() const override { return cwnd_ * config_.mss; }
+  const char* Name() const override { return "reno"; }
+  double SsthreshSegments() const override { return ssthresh_; }
+
+ private:
+  double cwnd_;      // segments
+  double ssthresh_;  // segments
+};
+
+}  // namespace jig

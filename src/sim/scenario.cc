@@ -40,7 +40,7 @@ Scenario::Scenario(ScenarioConfig config)
   traffic_ = std::make_unique<TrafficManager>(events_, *wired_,
                                               std::move(raw_clients),
                                               rng_.Fork(0x7F0), config_.workload,
-                                              config_.duration);
+                                              config_.duration, &truth_);
 }
 
 Scenario::~Scenario() = default;

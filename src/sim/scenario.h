@@ -92,6 +92,7 @@ class Scenario {
     return wired_->sniffer();
   }
   const TrafficStats& traffic_stats() const { return traffic_->stats(); }
+  const TrafficManager& traffic() const { return *traffic_; }
 
   const ScenarioConfig& config() const { return config_; }
   const std::vector<ClientInfo>& client_info() const { return client_info_; }

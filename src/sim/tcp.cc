@@ -14,8 +14,10 @@ TcpPeer::TcpPeer(EventQueue& events, Rng rng, std::uint16_t local_port,
       initiator_(initiator),
       config_(config),
       send_(std::move(send)) {
-  cwnd_ = config_.initial_cwnd_segments;
-  ssthresh_ = config_.initial_ssthresh_segments;
+  cc_ = MakeCongestionControl(
+      config_.cc_algorithm,
+      CcConfig{config_.mss, config_.initial_cwnd_segments,
+               config_.max_cwnd_segments, config_.initial_ssthresh_segments});
   // Distinct deterministic ISNs per side keep wire sequences readable.
   iss_ = initiator_ ? 1'000'000 : 5'000'000;
 }
@@ -82,9 +84,20 @@ void TcpPeer::Close() {
 
 void TcpPeer::TrySendData() {
   if (state_ != State::kEstablished && state_ != State::kFinSent) return;
-  const double cwnd_bytes = cwnd_ * config_.mss;
   while (snd_nxt_ < send_buffer_limit_ &&
-         static_cast<double>(snd_nxt_ - snd_una_) < cwnd_bytes) {
+         static_cast<double>(snd_nxt_ - snd_una_) < cc_->CwndBytes()) {
+    // Pacing (model-based CCs): space departures at the CC's rate rather
+    // than bursting the whole window.
+    const double pace_bps = cc_->PacingRateBps();
+    if (pace_bps > 0.0 && events_.now() < pace_next_) {
+      if (pace_event_ == kInvalidEvent) {
+        pace_event_ = events_.Schedule(pace_next_, [this] {
+          pace_event_ = kInvalidEvent;
+          TrySendData();
+        });
+      }
+      break;
+    }
     const std::uint16_t len = static_cast<std::uint16_t>(std::min<std::uint64_t>(
         config_.mss, send_buffer_limit_ - snd_nxt_));
     const std::uint32_t wire_seq =
@@ -92,6 +105,11 @@ void TcpPeer::TrySendData() {
     if (!rtt_probe_) rtt_probe_ = {snd_nxt_, events_.now()};
     SendSegment(kTcpAck, wire_seq, len, false);
     snd_nxt_ += len;
+    if (pace_bps > 0.0) {
+      const Micros gap =
+          static_cast<Micros>(len * 8.0 * 1e6 / pace_bps);
+      pace_next_ = std::max(pace_next_, events_.now()) + gap;
+    }
   }
   if (fin_pending_ && !fin_sent_ && snd_nxt_ == send_buffer_limit_ &&
       snd_una_ == snd_nxt_) {
@@ -111,6 +129,7 @@ void TcpPeer::SampleRtt(std::uint32_t /*acked_seq*/) {
   const double sample =
       static_cast<double>(events_.now() - rtt_probe_->second);
   rtt_probe_.reset();
+  cc_->OnRttSample(static_cast<Micros>(sample), events_.now());
   if (!have_rtt_) {
     srtt_us_ = sample;
     rttvar_us_ = sample / 2.0;
@@ -130,20 +149,14 @@ void TcpPeer::OnAckAdvance(std::uint32_t ack) {
   const std::uint64_t new_una = std::min<std::uint64_t>(
       fin_acked ? send_buffer_limit_ : ack_off, snd_nxt_);
   if (new_una > snd_una_) {
+    const std::uint64_t acked_bytes = new_una - snd_una_;
     snd_una_ = new_una;
     dupacks_ = 0;
     rto_backoff_ = 0;
     SampleRtt(ack);
     if (in_recovery_ && snd_una_ >= recovery_point_) in_recovery_ = false;
-    // Congestion growth (per-ACK): slow start below ssthresh, else AIMD.
-    if (!in_recovery_) {
-      if (cwnd_ < ssthresh_) {
-        cwnd_ += 1.0;
-      } else {
-        cwnd_ += 1.0 / cwnd_;
-      }
-      cwnd_ = std::min(cwnd_, config_.max_cwnd_segments);
-    }
+    cc_->OnAck(CcAck{acked_bytes, snd_nxt_ - snd_una_, in_recovery_,
+                     events_.now()});
     if (snd_una_ == snd_nxt_) {
       DisarmRto();
       if (snd_nxt_ == send_buffer_limit_ && on_transfer_done_ &&
@@ -155,7 +168,9 @@ void TcpPeer::OnAckAdvance(std::uint32_t ack) {
     }
     TrySendData();
   } else if (snd_nxt_ > snd_una_ && ack_off == snd_una_) {
-    if (++dupacks_ == 3 && !in_recovery_) EnterFastRetransmit();
+    ++dupacks_;
+    cc_->OnDupAck(dupacks_, snd_nxt_ - snd_una_, in_recovery_);
+    if (dupacks_ == 3 && !in_recovery_) EnterFastRetransmit();
   }
   if (fin_acked && state_ == State::kFinSent) {
     state_ = State::kClosed;
@@ -164,13 +179,10 @@ void TcpPeer::OnAckAdvance(std::uint32_t ack) {
 }
 
 void TcpPeer::EnterFastRetransmit() {
+  // The CC already reduced its window in OnDupAck(3, ...).
   ++stats_.fast_retransmits;
   in_recovery_ = true;
   recovery_point_ = snd_nxt_;
-  const double inflight_segs =
-      static_cast<double>(snd_nxt_ - snd_una_) / config_.mss;
-  ssthresh_ = std::max(inflight_segs / 2.0, 2.0);
-  cwnd_ = ssthresh_;
   rtt_probe_.reset();  // Karn: no sampling across retransmission
   const std::uint16_t len = static_cast<std::uint16_t>(std::min<std::uint64_t>(
       config_.mss, send_buffer_limit_ - snd_una_));
@@ -200,10 +212,7 @@ void TcpPeer::OnRto() {
   }
   if (snd_nxt_ <= snd_una_) return;
   // Timeout congestion response + go-back retransmission of one segment.
-  const double inflight_segs =
-      static_cast<double>(snd_nxt_ - snd_una_) / config_.mss;
-  ssthresh_ = std::max(inflight_segs / 2.0, 2.0);
-  cwnd_ = 1.0;
+  cc_->OnRtoTimeout(snd_nxt_ - snd_una_);
   in_recovery_ = false;
   dupacks_ = 0;
   rtt_probe_.reset();

@@ -4,9 +4,12 @@
 // delivery from TCP side effects — covering ACKs, retransmissions, RTO
 // dynamics — so the simulated traffic must carry real TCP mechanics, not
 // just sized packets.  TcpPeer implements a compact but honest TCP: 3-way
-// handshake, cumulative ACKs with out-of-order buffering, slow start +
-// congestion avoidance, RTT estimation (Karn-sampled SRTT/RTTVAR), RTO with
-// exponential backoff, and fast retransmit on triple duplicate ACKs.
+// handshake, cumulative ACKs with out-of-order buffering, RTT estimation
+// (Karn-sampled SRTT/RTTVAR), RTO with exponential backoff, and fast
+// retransmit on triple duplicate ACKs.  All cwnd/ssthresh/pacing decisions
+// are delegated to a pluggable CongestionControl (sim/cc/) selected by
+// TcpConfig::cc_algorithm — Reno by default, CUBIC and BBR for
+// CC-diverse workloads.
 //
 // A peer is transport-only: it emits TcpSegment descriptors through a
 // caller-supplied send function (the client side frames them onto the air,
@@ -17,8 +20,10 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 
+#include "sim/cc/congestion_control.h"
 #include "sim/event_queue.h"
 #include "util/rng.h"
 #include "wifi/packet.h"
@@ -34,6 +39,7 @@ struct TcpConfig {
   Micros max_rto = Seconds(60);
   Micros initial_rto = Seconds(2);
   int max_syn_retries = 5;
+  CcAlgorithm cc_algorithm = CcAlgorithm::kReno;
 };
 
 struct TcpPeerStats {
@@ -83,6 +89,8 @@ class TcpPeer {
   std::uint64_t bytes_pending() const { return send_buffer_limit_ - snd_nxt_; }
   const TcpPeerStats& stats() const { return stats_; }
   double srtt_ms() const { return srtt_us_ / 1000.0; }
+  const CongestionControl& cc() const { return *cc_; }
+  double cwnd_segments() const { return cc_->CwndSegments(); }
 
  private:
   enum class State : std::uint8_t {
@@ -123,8 +131,11 @@ class TcpPeer {
   std::uint64_t snd_una_ = 0;  // absolute stream offsets (not wrapped)
   std::uint64_t snd_nxt_ = 0;
   std::uint64_t send_buffer_limit_ = 0;  // total bytes app asked to send
-  double cwnd_ = 2.0;                    // in segments
-  double ssthresh_ = 32.0;
+  std::unique_ptr<CongestionControl> cc_;
+  // Pacing: earliest departure time for the next paced segment (only
+  // consulted when the CC reports a nonzero pacing rate).
+  TrueMicros pace_next_ = 0;
+  EventId pace_event_ = kInvalidEvent;
   int dupacks_ = 0;
   bool in_recovery_ = false;
   std::uint64_t recovery_point_ = 0;

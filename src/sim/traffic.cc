@@ -12,13 +12,30 @@ const double kDiurnalProfile[24] = {
 
 TrafficManager::TrafficManager(EventQueue& events, WiredNetwork& wired,
                                std::vector<Client*> clients, Rng rng,
-                               WorkloadConfig config, Micros duration)
+                               WorkloadConfig config, Micros duration,
+                               TruthLog* truth)
     : events_(events),
       wired_(wired),
       clients_(std::move(clients)),
       rng_(rng),
       config_(config),
-      duration_(duration) {}
+      duration_(duration),
+      truth_(truth) {}
+
+TcpConfig TrafficManager::TcpConfigFor(std::size_t client_idx) const {
+  TcpConfig tcp = config_.tcp;
+  tcp.cc_algorithm = ClientCc(client_idx);
+  return tcp;
+}
+
+void TrafficManager::RecordFlowTruth(const Client& c,
+                                     std::uint16_t client_port,
+                                     Ipv4Addr server_ip,
+                                     std::uint16_t server_port,
+                                     CcAlgorithm cc) {
+  if (!truth_) return;
+  truth_->AddFlow(FlowTruth{c.ip(), server_ip, client_port, server_port, cc});
+}
 
 void TrafficManager::Start() {
   SetupServers();
@@ -34,8 +51,8 @@ void TrafficManager::SetupServers() {
     wired_.RegisterServer(
         server->ip, [this, raw](const PacketInfo& info, Bytes) {
           if (!info.IsTcp()) return;
-          const auto key =
-              FlowKey(info.src_ip, info.tcp->src_port, info.tcp->dst_port);
+          const auto key = FlowKey(info.src_ip, info.dst_ip,
+                                   info.tcp->src_port, info.tcp->dst_port);
           auto it = raw->flows.find(key);
           if (it != raw->flows.end()) {
             it->second.peer->OnSegmentReceived(*info.tcp);
@@ -47,19 +64,20 @@ void TrafficManager::SetupServers() {
 
 TcpPeer* TrafficManager::MakeServerPeer(Server& server, Ipv4Addr client_ip,
                                         std::uint16_t client_port,
-                                        std::uint16_t server_port) {
+                                        std::uint16_t server_port,
+                                        const TcpConfig& tcp) {
   ServerFlow flow;
   flow.client_ip = client_ip;
   const Ipv4Addr server_ip = server.ip;
   flow.peer = std::make_unique<TcpPeer>(
       events_, rng_.Fork(server_port ^ client_port ^ client_ip), server_port,
-      client_port, /*initiator=*/false, config_.tcp,
+      client_port, /*initiator=*/false, tcp,
       [this, server_ip, client_ip](const TcpSegment& seg) {
         wired_.SendToWireless(server_ip, client_ip,
                               BuildTcpFrameBody(server_ip, client_ip, seg));
       });
   TcpPeer* raw = flow.peer.get();
-  server.flows[FlowKey(client_ip, client_port, server_port)] =
+  server.flows[FlowKey(client_ip, server_ip, client_port, server_port)] =
       std::move(flow);
   return raw;
 }
@@ -137,14 +155,15 @@ void TrafficManager::LaunchFlow(std::size_t client_idx, Micros session_end) {
   if (!c.associated()) return;
   const double total = config_.web_per_min + config_.scp_per_min +
                        config_.ssh_per_min + config_.office_broadcast_per_min;
+  const TcpConfig tcp = TcpConfigFor(client_idx);
   const double pick = rng_.NextDouble(0.0, total);
   if (pick < config_.web_per_min) {
-    LaunchWebFlow(c);
+    LaunchWebFlow(c, tcp);
   } else if (pick < config_.web_per_min + config_.scp_per_min) {
-    LaunchScpFlow(c);
+    LaunchScpFlow(c, tcp);
   } else if (pick <
              config_.web_per_min + config_.scp_per_min + config_.ssh_per_min) {
-    LaunchSshSession(c, session_end);
+    LaunchSshSession(c, tcp, session_end);
   } else {
     // MS-Office-style license broadcast to UDP port 2222 (footnote 6).
     c.SendUdpBroadcast(2222, 2222, 180);
@@ -152,14 +171,15 @@ void TrafficManager::LaunchFlow(std::size_t client_idx, Micros session_end) {
   }
 }
 
-void TrafficManager::LaunchWebFlow(Client& c) {
+void TrafficManager::LaunchWebFlow(Client& c, const TcpConfig& tcp) {
   Server& server = *servers_[rng_.NextBelow(servers_.size())];
   const std::uint16_t client_port = next_ephemeral_port_++;
   const std::uint16_t server_port = 80;
   TcpPeer* srv =
-      MakeServerPeer(server, c.ip(), client_port, server_port);
-  TcpPeer* cli = c.OpenFlow(server.ip, server_port, client_port, config_.tcp,
+      MakeServerPeer(server, c.ip(), client_port, server_port, tcp);
+  TcpPeer* cli = c.OpenFlow(server.ip, server_port, client_port, tcp,
                             rng_.Fork(client_port));
+  RecordFlowTruth(c, client_port, server.ip, server_port, tcp.cc_algorithm);
   const auto bytes = static_cast<std::uint64_t>(rng_.NextHeavyTail(
       config_.web_min_bytes, config_.web_cap_bytes, config_.web_alpha));
   // Request upstream, response downstream.
@@ -174,13 +194,14 @@ void TrafficManager::LaunchWebFlow(Client& c) {
   ++stats_.web_flows;
 }
 
-void TrafficManager::LaunchScpFlow(Client& c) {
+void TrafficManager::LaunchScpFlow(Client& c, const TcpConfig& tcp) {
   Server& server = *servers_[rng_.NextBelow(servers_.size())];
   const std::uint16_t client_port = next_ephemeral_port_++;
   const std::uint16_t server_port = 22;
-  TcpPeer* srv = MakeServerPeer(server, c.ip(), client_port, server_port);
-  TcpPeer* cli = c.OpenFlow(server.ip, server_port, client_port, config_.tcp,
+  TcpPeer* srv = MakeServerPeer(server, c.ip(), client_port, server_port, tcp);
+  TcpPeer* cli = c.OpenFlow(server.ip, server_port, client_port, tcp,
                             rng_.Fork(client_port));
+  RecordFlowTruth(c, client_port, server.ip, server_port, tcp.cc_algorithm);
   const auto bytes = static_cast<std::uint64_t>(rng_.NextHeavyTail(
       config_.scp_min_bytes, config_.scp_cap_bytes, config_.scp_alpha));
   const bool upload = rng_.NextBool(0.5);
@@ -202,13 +223,15 @@ void TrafficManager::LaunchScpFlow(Client& c) {
   ++stats_.scp_flows;
 }
 
-void TrafficManager::LaunchSshSession(Client& c, Micros session_end) {
+void TrafficManager::LaunchSshSession(Client& c, const TcpConfig& tcp,
+                                      Micros session_end) {
   Server& server = *servers_[rng_.NextBelow(servers_.size())];
   const std::uint16_t client_port = next_ephemeral_port_++;
   const std::uint16_t server_port = 22;
-  TcpPeer* srv = MakeServerPeer(server, c.ip(), client_port, server_port);
-  TcpPeer* cli = c.OpenFlow(server.ip, server_port, client_port, config_.tcp,
+  TcpPeer* srv = MakeServerPeer(server, c.ip(), client_port, server_port, tcp);
+  TcpPeer* cli = c.OpenFlow(server.ip, server_port, client_port, tcp,
                             rng_.Fork(client_port));
+  RecordFlowTruth(c, client_port, server.ip, server_port, tcp.cc_algorithm);
   const Micros chat_len = static_cast<Micros>(
       rng_.NextExponential(config_.ssh_session_mean_s) * kMicrosPerSecond);
   const TrueMicros until =

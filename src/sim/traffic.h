@@ -15,6 +15,7 @@
 #include "sim/client.h"
 #include "sim/event_queue.h"
 #include "sim/tcp.h"
+#include "sim/truth.h"
 #include "sim/wired.h"
 
 namespace jig {
@@ -38,6 +39,14 @@ struct WorkloadConfig {
   Micros arp_interval = Seconds(10);
   int server_count = 6;
   TcpConfig tcp;
+
+  // Congestion-control mix: clients are assigned algorithms round-robin
+  // from this list (client i gets cc_cycle[i % size]), and every flow a
+  // client opens runs that algorithm on both endpoints — so a mixed cell
+  // (e.g. {kReno, kCubic, kBbr} over 60 clients = 20 of each) is a
+  // one-line scenario change.  Empty (the default) keeps a uniform cell
+  // running tcp.cc_algorithm.
+  std::vector<CcAlgorithm> cc_cycle;
 
   // Diurnal activity: when enabled, `duration` maps onto a 24-hour day and
   // client sessions are drawn from the hourly profile; otherwise clients
@@ -65,9 +74,18 @@ struct TrafficStats {
 // Owns the server side of every TCP flow and drives client activity.
 class TrafficManager {
  public:
+  // `truth` (optional) receives a FlowTruth record for every TCP flow the
+  // workload launches, tagging the flow's congestion-control algorithm.
   TrafficManager(EventQueue& events, WiredNetwork& wired,
                  std::vector<Client*> clients, Rng rng, WorkloadConfig config,
-                 Micros duration);
+                 Micros duration, TruthLog* truth = nullptr);
+
+  // The algorithm assigned to a client by the cc_cycle rotation.
+  CcAlgorithm ClientCc(std::size_t client_idx) const {
+    return config_.cc_cycle.empty()
+               ? config_.tcp.cc_algorithm
+               : config_.cc_cycle[client_idx % config_.cc_cycle.size()];
+  }
 
   TrafficManager(const TrafficManager&) = delete;
   TrafficManager& operator=(const TrafficManager&) = delete;
@@ -97,19 +115,24 @@ class TrafficManager {
   void StartClientSession(std::size_t client_idx, Micros session_end);
   void ScheduleNextFlow(std::size_t client_idx, Micros session_end);
   void LaunchFlow(std::size_t client_idx, Micros session_end);
-  void LaunchWebFlow(Client& c);
-  void LaunchScpFlow(Client& c);
-  void LaunchSshSession(Client& c, Micros session_end);
+  void LaunchWebFlow(Client& c, const TcpConfig& tcp);
+  void LaunchScpFlow(Client& c, const TcpConfig& tcp);
+  void LaunchSshSession(Client& c, const TcpConfig& tcp, Micros session_end);
   void SshChatStep(TcpPeer* client_peer, TcpPeer* server_peer,
                    TrueMicros until);
   void ArpTick();
+  // The per-client TcpConfig (workload TCP knobs + the client's CC).
+  TcpConfig TcpConfigFor(std::size_t client_idx) const;
+  void RecordFlowTruth(const Client& c, std::uint16_t client_port,
+                       Ipv4Addr server_ip, std::uint16_t server_port,
+                       CcAlgorithm cc);
   TcpPeer* MakeServerPeer(Server& server, Ipv4Addr client_ip,
                           std::uint16_t client_port,
-                          std::uint16_t server_port);
-  static std::uint64_t FlowKey(Ipv4Addr client_ip, std::uint16_t client_port,
+                          std::uint16_t server_port, const TcpConfig& tcp);
+  static std::uint64_t FlowKey(Ipv4Addr client_ip, Ipv4Addr server_ip,
+                               std::uint16_t client_port,
                                std::uint16_t server_port) {
-    return (static_cast<std::uint64_t>(client_ip) << 32) ^
-           (static_cast<std::uint64_t>(client_port) << 16) ^ server_port;
+    return FlowTruth::Key(client_ip, server_ip, client_port, server_port);
   }
 
   EventQueue& events_;
@@ -118,6 +141,7 @@ class TrafficManager {
   Rng rng_;
   WorkloadConfig config_;
   Micros duration_;
+  TruthLog* truth_ = nullptr;
 
   std::vector<std::unique_ptr<Server>> servers_;
   std::uint16_t next_ephemeral_port_ = 10'000;

@@ -12,9 +12,11 @@
 #include <unordered_map>
 #include <vector>
 
+#include "sim/cc/congestion_control.h"
 #include "util/time.h"
 #include "wifi/channel.h"
 #include "wifi/frame.h"
+#include "wifi/packet.h"
 
 namespace jig {
 
@@ -43,11 +45,50 @@ struct TruthEntry {
   int monitors_any = 0;
 };
 
+// Ground truth for one TCP flow the workload launched: the 4-tuple plus
+// the congestion-control algorithm its endpoints ran.  Benches join this
+// against reconstructed flows (by 4-tuple) to label the reconstruction
+// with the sender's algorithm — the labels come from the simulator's
+// privileged viewpoint, the loss decomposition itself from the jframes.
+struct FlowTruth {
+  Ipv4Addr client_ip = 0;
+  Ipv4Addr server_ip = 0;
+  std::uint16_t client_port = 0;
+  std::uint16_t server_port = 0;
+  CcAlgorithm cc = CcAlgorithm::kReno;
+
+  static std::uint64_t Key(Ipv4Addr client_ip, Ipv4Addr server_ip,
+                           std::uint16_t client_port,
+                           std::uint16_t server_port) {
+    std::uint64_t k =
+        (static_cast<std::uint64_t>(client_ip) << 32) | server_ip;
+    k ^= (static_cast<std::uint64_t>(client_port) << 48) ^
+         (static_cast<std::uint64_t>(server_port) << 16);
+    return k;
+  }
+  std::uint64_t Key() const {
+    return Key(client_ip, server_ip, client_port, server_port);
+  }
+};
+
 class TruthLog {
  public:
   void Add(TruthEntry entry) { entries_.push_back(entry); }
   const std::vector<TruthEntry>& entries() const { return entries_; }
   std::size_t size() const { return entries_.size(); }
+
+  void AddFlow(FlowTruth flow) { flows_.push_back(flow); }
+  const std::vector<FlowTruth>& flows() const { return flows_; }
+
+  // Index from the flow 4-tuple to the flow's CC algorithm, for labeling
+  // reconstructed flows.  Last write wins on 4-tuple reuse (ephemeral
+  // ports wrap after ~55k flows), matching how a passive observer would
+  // attribute the reused tuple to its most recent flow.
+  std::unordered_map<std::uint64_t, CcAlgorithm> FlowCcIndex() const {
+    std::unordered_map<std::uint64_t, CcAlgorithm> idx;
+    for (const FlowTruth& f : flows_) idx[f.Key()] = f.cc;
+    return idx;
+  }
 
   // Index from content digest to entry positions (several transmissions can
   // share bytes only if identical retries; retries share digest except the
@@ -63,6 +104,7 @@ class TruthLog {
 
  private:
   std::vector<TruthEntry> entries_;
+  std::vector<FlowTruth> flows_;
 };
 
 }  // namespace jig

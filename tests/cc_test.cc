@@ -1,0 +1,403 @@
+// Unit tests for the pluggable congestion-control subsystem (sim/cc/):
+// Reno parity against the pre-refactor inlined logic, CUBIC's window curve
+// and fast convergence, BBR's startup exit and probe-bw gain cycle, and
+// end-to-end transfers through TcpPeer under each algorithm.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+
+#include "sim/cc/bbr.h"
+#include "sim/cc/congestion_control.h"
+#include "sim/cc/cubic.h"
+#include "sim/cc/reno.h"
+#include "sim/event_queue.h"
+#include "sim/tcp.h"
+
+namespace jig {
+namespace {
+
+constexpr std::uint32_t kMss = 1460;
+
+CcConfig DefaultCcConfig() {
+  return CcConfig{kMss, 2.0, 64.0, 32.0};
+}
+
+// ---------------------------------------------------------------- Reno ---
+
+// The congestion response that was inlined in TcpPeer before the cc/
+// subsystem existed, copied verbatim (see the pre-refactor sim/tcp.cc):
+// the parity test drives this model and RenoCc through an identical event
+// script and requires bit-identical cwnd at every step.
+struct PreRefactorReno {
+  double cwnd = 2.0;
+  double ssthresh = 32.0;
+  double max_cwnd = 64.0;
+
+  void OnAckAdvance(bool in_recovery) {
+    if (!in_recovery) {
+      if (cwnd < ssthresh) {
+        cwnd += 1.0;
+      } else {
+        cwnd += 1.0 / cwnd;
+      }
+      cwnd = std::min(cwnd, max_cwnd);
+    }
+  }
+  void EnterFastRetransmit(std::uint64_t inflight_bytes) {
+    const double inflight_segs = static_cast<double>(inflight_bytes) / kMss;
+    ssthresh = std::max(inflight_segs / 2.0, 2.0);
+    cwnd = ssthresh;
+  }
+  void OnRto(std::uint64_t inflight_bytes) {
+    const double inflight_segs = static_cast<double>(inflight_bytes) / kMss;
+    ssthresh = std::max(inflight_segs / 2.0, 2.0);
+    cwnd = 1.0;
+  }
+};
+
+TEST(RenoParity, MatchesPreRefactorTrajectoryOnScriptedLosses) {
+  RenoCc cc(DefaultCcConfig());
+  PreRefactorReno ref;
+
+  // Scripted loss pattern: slow start, a triple-dupack loss mid-stream,
+  // frozen growth during recovery, recovery exit, congestion avoidance,
+  // an RTO, then recovery from cwnd = 1.  Inflight tracks cwnd.
+  TrueMicros now = 0;
+  const auto ack = [&](bool in_recovery) {
+    now += 10'000;
+    const auto inflight = static_cast<std::uint64_t>(ref.cwnd * kMss);
+    cc.OnAck(CcAck{kMss, inflight, in_recovery, now});
+    ref.OnAckAdvance(in_recovery);
+    ASSERT_DOUBLE_EQ(cc.CwndSegments(), ref.cwnd);
+    ASSERT_DOUBLE_EQ(cc.SsthreshSegments(), ref.ssthresh);
+  };
+  const auto loss = [&] {
+    const auto inflight = static_cast<std::uint64_t>(ref.cwnd * kMss);
+    for (int d = 1; d <= 3; ++d) cc.OnDupAck(d, inflight, false);
+    ref.EnterFastRetransmit(inflight);
+    ASSERT_DOUBLE_EQ(cc.CwndSegments(), ref.cwnd);
+    ASSERT_DOUBLE_EQ(cc.SsthreshSegments(), ref.ssthresh);
+  };
+
+  for (int i = 0; i < 40; ++i) ack(false);  // slow start into avoidance
+  loss();
+  for (int i = 0; i < 5; ++i) ack(true);    // recovery: growth frozen
+  for (int i = 0; i < 30; ++i) ack(false);  // avoidance resumes
+  loss();
+  for (int i = 0; i < 10; ++i) ack(false);
+  // RTO with everything in flight.
+  const auto inflight = static_cast<std::uint64_t>(ref.cwnd * kMss);
+  cc.OnRtoTimeout(inflight);
+  ref.OnRto(inflight);
+  ASSERT_DOUBLE_EQ(cc.CwndSegments(), ref.cwnd);
+  ASSERT_DOUBLE_EQ(cc.SsthreshSegments(), ref.ssthresh);
+  for (int i = 0; i < 50; ++i) ack(false);  // climb back out
+}
+
+TEST(RenoParity, DupAcksBelowThreeDoNotReduce) {
+  RenoCc cc(DefaultCcConfig());
+  const double before = cc.CwndSegments();
+  cc.OnDupAck(1, 10 * kMss, false);
+  cc.OnDupAck(2, 10 * kMss, false);
+  EXPECT_DOUBLE_EQ(cc.CwndSegments(), before);
+  cc.OnDupAck(3, 10 * kMss, true);  // inside recovery: no second reduction
+  EXPECT_DOUBLE_EQ(cc.CwndSegments(), before);
+}
+
+TEST(RenoParity, SsthreshFlooredAtTwoSegmentsAfterRepeatedLosses) {
+  // RFC 5681 §3.1: repeated timeouts with almost nothing in flight must
+  // not collapse ssthresh below 2 segments.
+  RenoCc cc(DefaultCcConfig());
+  for (int i = 0; i < 10; ++i) cc.OnRtoTimeout(kMss / 2);
+  EXPECT_GE(cc.SsthreshSegments(), 2.0);
+  for (int d = 1; d <= 3; ++d) cc.OnDupAck(d, kMss / 2, false);
+  EXPECT_GE(cc.SsthreshSegments(), 2.0);
+  EXPECT_GE(cc.CwndSegments(), 2.0);
+}
+
+// --------------------------------------------------------------- CUBIC ---
+
+// Drives a CubicCc to steady congestion avoidance, then through a loss.
+struct CubicDriver {
+  CubicCc cc{DefaultCcConfig()};
+  TrueMicros now = 0;
+  Micros rtt = Milliseconds(50);
+
+  void Ack() {
+    now += rtt / 10;  // ten ACKs per RTT
+    cc.OnRttSample(rtt, now);
+    cc.OnAck(CcAck{kMss, static_cast<std::uint64_t>(cc.CwndBytes()), false,
+                   now});
+  }
+  void Loss() {
+    for (int d = 1; d <= 3; ++d) {
+      cc.OnDupAck(d, static_cast<std::uint64_t>(cc.CwndBytes()), false);
+    }
+  }
+};
+
+TEST(Cubic, ReductionUsesBeta) {
+  CubicDriver d;
+  while (d.cc.CwndSegments() < 30.0) d.Ack();
+  const double before = d.cc.CwndSegments();
+  d.Loss();
+  EXPECT_NEAR(d.cc.CwndSegments(), 0.7 * before, 1e-9);
+  EXPECT_NEAR(d.cc.w_max_segments(), before, 1e-9);
+}
+
+TEST(Cubic, WindowFollowsCubicCurveAfterLoss) {
+  CubicDriver d;
+  while (d.cc.CwndSegments() < 40.0) d.Ack();
+  d.Loss();
+  const double w_max = d.cc.w_max_segments();
+
+  // Concave phase: growth approaches W_max from below and decelerates.
+  double prev = d.cc.CwndSegments();
+  double first_step = -1.0;
+  while (d.cc.CwndSegments() < w_max - 1.0) {
+    d.Ack();
+    if (first_step < 0) first_step = d.cc.CwndSegments() - prev;
+    prev = d.cc.CwndSegments();
+  }
+  // K = cbrt(W_max*(1-beta)/C): with beta 0.7 and C 0.4 the plateau sits
+  // ~3s out for w_max ~40; the curve must pass W_max and turn convex.
+  const double k_s = d.cc.k_seconds();
+  EXPECT_GT(k_s, 1.0);
+  const TrueMicros plateau_end =
+      d.now + static_cast<TrueMicros>(2.0 * k_s * 1e6);
+  while (d.now < plateau_end &&
+         d.cc.CwndSegments() < DefaultCcConfig().max_cwnd_segments) {
+    d.Ack();
+  }
+  EXPECT_GT(d.cc.CwndSegments(), w_max);  // convex region reached
+}
+
+TEST(Cubic, FastConvergenceReleasesCapacityOnShrinkingPath) {
+  CubicDriver d;
+  while (d.cc.CwndSegments() < 40.0) d.Ack();
+  d.Loss();  // first loss: W_max = cwnd at loss
+  const double w_max_1 = d.cc.w_max_segments();
+
+  // Second loss before regaining the old peak: fast convergence remembers
+  // the smaller peak and anchors the curve below it.
+  for (int i = 0; i < 20; ++i) d.Ack();
+  const double at_second_loss = d.cc.CwndSegments();
+  ASSERT_LT(at_second_loss, w_max_1);
+  d.Loss();
+  EXPECT_NEAR(d.cc.w_max_segments(), at_second_loss * (1.0 + 0.7) / 2.0,
+              1e-9);
+  EXPECT_LT(d.cc.w_max_segments(), at_second_loss);
+}
+
+TEST(Cubic, SsthreshFlooredAtTwoSegments) {
+  CubicCc cc(DefaultCcConfig());
+  for (int i = 0; i < 10; ++i) cc.OnRtoTimeout(kMss / 2);
+  EXPECT_GE(cc.SsthreshSegments(), 2.0);
+}
+
+// ----------------------------------------------------------------- BBR ---
+
+// Feeds a BbrCc acknowledgements consistent with a fixed-bandwidth,
+// fixed-RTT pipe: `bw_Bps` bytes/sec delivered in ACK clumps every
+// rtt/10, inflight pinned at one BDP.
+struct BbrDriver {
+  BbrCc cc{DefaultCcConfig()};
+  TrueMicros now = 0;
+  Micros rtt = Milliseconds(20);
+  double bw_Bps = 2e6;
+
+  void Ack() {
+    now += rtt / 10;
+    const auto acked =
+        static_cast<std::uint64_t>(bw_Bps * (rtt / 10) / 1e6);
+    const auto inflight =
+        static_cast<std::uint64_t>(bw_Bps * rtt / 1e6);  // one BDP
+    cc.OnRttSample(rtt, now);
+    cc.OnAck(CcAck{acked, inflight, false, now});
+  }
+  void RunRounds(int rounds) {
+    for (int i = 0; i < rounds * 10; ++i) Ack();
+  }
+};
+
+TEST(Bbr, StartupExitsWhenBandwidthPlateaus) {
+  BbrDriver d;
+  ASSERT_EQ(d.cc.state(), BbrCc::State::kStartup);
+  // A constant-rate pipe: the bandwidth filter stops growing immediately,
+  // so startup must end after the three-round plateau (plus filter warmup).
+  d.RunRounds(10);
+  EXPECT_NE(d.cc.state(), BbrCc::State::kStartup);
+  EXPECT_NEAR(d.cc.bottleneck_bw_Bps(), d.bw_Bps, 0.3 * d.bw_Bps);
+  EXPECT_EQ(d.cc.min_rtt(), d.rtt);
+}
+
+TEST(Bbr, ReachesProbeBwAndCyclesGains) {
+  BbrDriver d;
+  d.RunRounds(12);
+  ASSERT_EQ(d.cc.state(), BbrCc::State::kProbeBw);
+
+  // The gain cycle advances one phase per min-RTT and wraps modulo 8;
+  // phase 0 paces at 1.25x, phase 1 drains at 0.75x.
+  double probe_rate = 0.0, drain_rate = 0.0, cruise_rate = 0.0;
+  int advances = 0;
+  int last_index = d.cc.probe_bw_cycle_index();
+  for (int i = 0; i < 200 && advances < 10; ++i) {
+    d.Ack();
+    if (d.cc.state() != BbrCc::State::kProbeBw) break;
+    if (d.cc.probe_bw_cycle_index() != last_index) {
+      ++advances;
+      last_index = d.cc.probe_bw_cycle_index();
+    }
+    if (d.cc.probe_bw_cycle_index() == 0) probe_rate = d.cc.PacingRateBps();
+    if (d.cc.probe_bw_cycle_index() == 1) drain_rate = d.cc.PacingRateBps();
+    if (d.cc.probe_bw_cycle_index() == 2) cruise_rate = d.cc.PacingRateBps();
+  }
+  EXPECT_GE(advances, 8);  // full trip around the cycle
+  ASSERT_GT(drain_rate, 0.0);
+  EXPECT_NEAR(probe_rate / drain_rate, 1.25 / 0.75, 0.01);
+  EXPECT_NEAR(probe_rate / cruise_rate, 1.25, 0.01);
+}
+
+TEST(Bbr, CwndTracksBdpWithGain) {
+  BbrDriver d;
+  d.RunRounds(12);
+  ASSERT_EQ(d.cc.state(), BbrCc::State::kProbeBw);
+  const double bdp = d.cc.bottleneck_bw_Bps() * (d.rtt / 1e6);
+  EXPECT_NEAR(d.cc.CwndBytes(), 2.0 * bdp, 0.25 * bdp);
+}
+
+TEST(Bbr, RtoCollapsesToOneSegmentThenModelRestores) {
+  BbrDriver d;
+  d.RunRounds(12);
+  const double before = d.cc.CwndBytes();
+  d.cc.OnRtoTimeout(0);
+  EXPECT_DOUBLE_EQ(d.cc.CwndBytes(), kMss);
+  d.Ack();
+  EXPECT_GT(d.cc.CwndBytes(), kMss);
+  EXPECT_NEAR(d.cc.CwndBytes(), before, 0.5 * before);
+}
+
+TEST(Bbr, ProbeRttFiresWhenRttStaysAboveTheFloor) {
+  BbrDriver d;
+  d.RunRounds(12);
+  ASSERT_EQ(d.cc.state(), BbrCc::State::kProbeBw);
+  const Micros floor_rtt = d.rtt;
+
+  // A standing queue inflates every sample above the recorded floor, so
+  // the min-RTT filter goes stale; after the 10 s window BBR must drain
+  // to the 4-segment PROBE_RTT window, re-measure, and resume PROBE_BW
+  // with the refreshed (inflated) floor.
+  d.rtt = Milliseconds(30);
+  bool saw_probe_rtt = false;
+  bool saw_small_cwnd = false;
+  for (int i = 0; i < 12'000 && d.cc.state() != BbrCc::State::kProbeRtt;
+       ++i) {
+    d.Ack();
+  }
+  if (d.cc.state() == BbrCc::State::kProbeRtt) {
+    saw_probe_rtt = true;
+    saw_small_cwnd = d.cc.CwndBytes() == 4.0 * kMss;
+    for (int i = 0; i < 200 && d.cc.state() == BbrCc::State::kProbeRtt; ++i) {
+      d.Ack();
+    }
+  }
+  EXPECT_TRUE(saw_probe_rtt);
+  EXPECT_TRUE(saw_small_cwnd);
+  EXPECT_EQ(d.cc.state(), BbrCc::State::kProbeBw);
+  EXPECT_EQ(d.cc.min_rtt(), d.rtt);  // refreshed during the probe
+  EXPECT_GT(d.cc.min_rtt(), floor_rtt);
+}
+
+TEST(Bbr, LossesDoNotShrinkTheModel) {
+  BbrDriver d;
+  d.RunRounds(12);
+  const double before = d.cc.CwndBytes();
+  for (int dup = 1; dup <= 5; ++dup) {
+    d.cc.OnDupAck(dup, static_cast<std::uint64_t>(before), dup > 3);
+  }
+  EXPECT_DOUBLE_EQ(d.cc.CwndBytes(), before);
+}
+
+// ----------------------------------------------- TcpPeer integration ---
+
+// Two TcpPeers over a lossy, delayed pipe (mirrors tests/tcp_test.cc's
+// harness but with a configurable congestion-control algorithm).
+class CcHarness {
+ public:
+  explicit CcHarness(CcAlgorithm algo, Micros one_way_delay = Milliseconds(10))
+      : delay_(one_way_delay) {
+    TcpConfig cfg;
+    cfg.cc_algorithm = algo;
+    client_ = std::make_unique<TcpPeer>(
+        events_, Rng(1), 10000, 80, /*initiator=*/true, cfg,
+        [this](const TcpSegment& seg) { Pipe(seg, /*to_server=*/true); });
+    server_ = std::make_unique<TcpPeer>(
+        events_, Rng(2), 80, 10000, /*initiator=*/false, cfg,
+        [this](const TcpSegment& seg) { Pipe(seg, /*to_server=*/false); });
+  }
+
+  void Pipe(const TcpSegment& seg, bool to_server) {
+    auto& drops = to_server ? drop_to_server_ : drop_to_client_;
+    if (!drops.empty() && drops.front() == counter_[to_server]) {
+      drops.pop_front();
+      ++counter_[to_server];
+      return;
+    }
+    ++counter_[to_server];
+    events_.ScheduleIn(delay_, [this, seg, to_server] {
+      (to_server ? server_ : client_)->OnSegmentReceived(seg);
+    });
+  }
+  void DropNth(bool to_server, int n) {
+    (to_server ? drop_to_server_ : drop_to_client_).push_back(n);
+  }
+
+  EventQueue events_;
+  Micros delay_;
+  std::unique_ptr<TcpPeer> client_;
+  std::unique_ptr<TcpPeer> server_;
+  std::deque<int> drop_to_server_;
+  std::deque<int> drop_to_client_;
+  int counter_[2] = {0, 0};
+};
+
+class CcTransferTest : public ::testing::TestWithParam<CcAlgorithm> {};
+
+TEST_P(CcTransferTest, LossyTransferDeliversAllBytes) {
+  CcHarness h(GetParam());
+  h.DropNth(/*to_server=*/false, 4);
+  h.DropNth(/*to_server=*/false, 9);
+  std::uint64_t received = 0;
+  bool done = false;
+  h.client_->set_data_sink([&](std::uint32_t n) { received += n; });
+  h.server_->set_on_connected([&] { h.server_->SendData(200'000); });
+  h.server_->set_on_transfer_done([&] { done = true; });
+  h.client_->StartConnect();
+  h.events_.RunUntil(Seconds(120));
+  EXPECT_TRUE(done) << "cc=" << CcAlgorithmName(GetParam());
+  EXPECT_EQ(received, 200'000u);
+  EXPECT_GE(h.server_->stats().retransmissions, 1u);
+  EXPECT_STREQ(h.server_->cc().Name(), CcAlgorithmName(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, CcTransferTest,
+                         ::testing::Values(CcAlgorithm::kReno,
+                                           CcAlgorithm::kCubic,
+                                           CcAlgorithm::kBbr),
+                         [](const auto& info) {
+                           return std::string(CcAlgorithmName(info.param));
+                         });
+
+TEST(Factory, ProducesRequestedAlgorithm) {
+  const CcConfig cfg = DefaultCcConfig();
+  EXPECT_STREQ(MakeCongestionControl(CcAlgorithm::kReno, cfg)->Name(), "reno");
+  EXPECT_STREQ(MakeCongestionControl(CcAlgorithm::kCubic, cfg)->Name(),
+               "cubic");
+  EXPECT_STREQ(MakeCongestionControl(CcAlgorithm::kBbr, cfg)->Name(), "bbr");
+  EXPECT_STREQ(CcAlgorithmName(CcAlgorithm::kCubic), "cubic");
+}
+
+}  // namespace
+}  // namespace jig
