@@ -4,9 +4,13 @@
 // faster than real time in a single pass, and scale with the number of
 // radios — the priority-queue design makes jframe construction linear in a
 // frame's transmission range, not in the radio population.  These
-// benchmarks measure events/second through bootstrap + unification and the
-// scaling across deployment sizes.
+// benchmarks measure events/second through bootstrap + unification, the
+// scaling across deployment sizes, and the channel-sharded parallel
+// merge's speedup across thread counts (1/2/4/auto).
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <map>
 
 #include "jigsaw/pipeline.h"
 #include "sim/scenario.h"
@@ -60,6 +64,33 @@ void BM_MergePipeline(benchmark::State& state) {
 BENCHMARK(BM_MergePipeline)->Arg(10)->Arg(20)->Arg(30)->Arg(39)
     ->Unit(benchmark::kMillisecond);
 
+// Thread-count sweep over the sharded parallel merge on the full
+// multi-pod workload.  Arg 0 = auto (one worker per channel shard); arg 1
+// is the exact legacy single-threaded path.  The streaming sink counts
+// jframes so the measurement excludes result materialization.
+void BM_MergeParallel(benchmark::State& state) {
+  Workload& w = WorkloadForPods(39);
+  MergeConfig cfg;
+  cfg.threads = static_cast<unsigned>(state.range(0));
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    std::uint64_t jframes = 0;
+    const MergeStreamStats stats = MergeTracesStreaming(
+        *w.traces, cfg, [&jframes](JFrame&&) { ++jframes; });
+    events = stats.stats.events_in;
+    benchmark::DoNotOptimize(jframes);
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events * state.iterations()),
+      benchmark::Counter::kIsRate);
+  state.counters["x_realtime"] = benchmark::Counter(
+      ToSeconds(w.sim_duration) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MergeParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(0)
+    ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()
+    ->UseRealTime();
+
 void BM_BootstrapOnly(benchmark::State& state) {
   Workload& w = WorkloadForPods(39);
   for (auto _ : state) {
@@ -75,6 +106,10 @@ void BM_SearchWindowCost(benchmark::State& state) {
   Workload& w = WorkloadForPods(39);
   MergeConfig cfg;
   cfg.unifier.search_window = state.range(0);
+  // Keep the horizon ahead of the widest window under test (the config is
+  // validated at entry).
+  cfg.reorder_horizon = std::max(cfg.reorder_horizon,
+                                 cfg.unifier.search_window * 2);
   for (auto _ : state) {
     const MergeResult result = MergeTraces(*w.traces, cfg);
     benchmark::DoNotOptimize(result.stats.jframes);

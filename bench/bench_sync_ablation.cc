@@ -5,6 +5,8 @@
 //     lost quickly"), too large risks mis-grouping and costs time;
 //   * proactive skew compensation + drift EWMA on/off;
 //   * resynchronization dispersion threshold (accuracy/overhead tradeoff).
+#include <algorithm>
+
 #include "harness.h"
 #include "jigsaw/analysis/dispersion.h"
 
@@ -49,6 +51,8 @@ int main(int argc, char** argv) {
                         Milliseconds(100)}) {
     MergeConfig mc;
     mc.unifier.search_window = window;
+    // Keep the horizon ahead of the widest window (validated at entry).
+    mc.reorder_horizon = std::max(mc.reorder_horizon, window * 2);
     char label[64];
     std::snprintf(label, sizeof(label), "window = %lld us",
                   static_cast<long long>(window));

@@ -14,9 +14,8 @@
 #include <cstring>
 #include <string>
 
-#include "jigsaw/link.h"
+#include "jigsaw/analysis/bus.h"
 #include "jigsaw/pipeline.h"
-#include "jigsaw/tcp_reconstruct.h"
 #include "sim/scenario.h"
 
 namespace jig::bench {
@@ -59,15 +58,28 @@ struct MergedRun {
   std::size_t radio_count = 0;
 };
 
-// Runs the scenario and the full reconstruction pipeline.
+// Runs the scenario and the full reconstruction pipeline.  The merge
+// streams through the analysis bus: the collector keeps the jframes the
+// figure harnesses re-render, and link/transport reconstruction shares that
+// one buffer — a single pass with a single copy of the stream in memory.
 inline MergedRun RunAndReconstruct(Scenario& scenario) {
   scenario.Run();
   auto traces = scenario.TakeTraces();
   MergedRun run;
   run.radio_count = traces.size();
-  run.merge = MergeTraces(traces);
-  run.link = ReconstructLink(run.merge.jframes);
-  run.transport = ReconstructTransport(run.merge.jframes, run.link);
+
+  AnalysisBus bus;
+  auto& collector = bus.Emplace<CollectorConsumer>();
+  auto& reconstruction = bus.Emplace<ReconstructionConsumer>(collector);
+  bus.SetTerminal(collector);  // jframes are moved into the buffer
+  auto stream = MergeTracesStreaming(traces, {}, bus.Sink());
+  bus.Finish();
+
+  run.link = reconstruction.TakeLink();
+  run.transport = reconstruction.TakeTransport();
+  run.merge.jframes = collector.Take();
+  run.merge.bootstrap = std::move(stream.bootstrap);
+  run.merge.stats = stream.stats;
   return run;
 }
 

@@ -12,8 +12,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "jigsaw/analysis/interference.h"
-#include "jigsaw/link.h"
+#include "jigsaw/analysis/bus.h"
 #include "jigsaw/pipeline.h"
 #include "sim/scenario.h"
 
@@ -31,12 +30,19 @@ int main(int argc, char** argv) {
   scenario.Run();
   auto traces = scenario.TakeTraces();
 
-  const MergeResult merged = MergeTraces(traces);
-  const LinkReconstruction link = ReconstructLink(merged.jframes);
+  // Single pass: parallel channel-sharded merge feeding the analysis bus.
   InterferenceConfig icfg;
   icfg.min_packets = 25;
-  const InterferenceReport report =
-      ComputeInterference(merged.jframes, link, icfg);
+  AnalysisBus bus;
+  auto& buffer = bus.Emplace<CollectorConsumer>();
+  auto& reconstruction = bus.Emplace<ReconstructionConsumer>(buffer);
+  auto& interference = bus.Emplace<InterferenceConsumer>(reconstruction, icfg);
+  bus.SetTerminal(buffer);
+  MergeConfig mcfg;
+  mcfg.threads = 0;  // auto: one worker per channel shard
+  MergeTracesStreaming(traces, mcfg, bus.Sink());
+  bus.Finish();
+  const InterferenceReport& report = interference.report();
 
   std::printf("analyzed %zu (s,r) pairs with >=%u transmissions\n",
               report.pairs.size(), icfg.min_packets);

@@ -6,16 +6,20 @@
 //
 //   jigtool demo <dir>              simulate a session and store traces
 //   jigtool info <dir>              per-radio record counts and clock info
-//   jigtool merge <dir>             run the merge, print summary statistics
+//   jigtool merge <dir> [threads]   run the merge, print summary statistics
+//                                   (threads: 0 = auto, 1 = single-threaded)
 //   jigtool timeline <dir> [us]     Figure-2 style view of a window
+//
+// The merge and timeline commands run the streaming pipeline into the
+// analysis bus — one pass over the traces feeds every analysis at once.
 //
 // Usage: ./build/examples/jigtool <command> <trace_dir> [args]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
+#include "jigsaw/analysis/bus.h"
 #include "jigsaw/analysis/visualize.h"
-#include "jigsaw/link.h"
 #include "jigsaw/pipeline.h"
 #include "sim/scenario.h"
 
@@ -56,18 +60,29 @@ int CmdInfo(const char* dir) {
   return 0;
 }
 
-int CmdMerge(const char* dir) {
+int CmdMerge(const char* dir, unsigned threads) {
   TraceSet traces = TraceSet::OpenDirectory(dir);
   if (traces.empty()) {
     std::fprintf(stderr, "no .jigt files in %s\n", dir);
     return 1;
   }
-  const MergeResult merged = MergeTraces(traces);
-  const auto& st = merged.stats;
+  // One streaming pass: the (optionally channel-sharded parallel) merge
+  // feeds link reconstruction and the dispersion CDF through the bus.
+  AnalysisBus bus;
+  auto& buffer = bus.Emplace<CollectorConsumer>();
+  auto& reconstruction = bus.Emplace<ReconstructionConsumer>(buffer);
+  auto& dispersion = bus.Emplace<DispersionConsumer>();
+  bus.SetTerminal(buffer);
+  MergeConfig cfg;
+  cfg.threads = threads;
+  const auto stream = MergeTracesStreaming(traces, cfg, bus.Sink());
+  bus.Finish();
+
+  const auto& st = stream.stats;
   std::printf("radios synced:     %zu/%zu (BFS depth %d, |G|=%zu)\n",
-              merged.bootstrap.SyncedCount(), merged.bootstrap.synced.size(),
-              merged.bootstrap.max_bfs_depth,
-              merged.bootstrap.sync_set_size);
+              stream.bootstrap.SyncedCount(), stream.bootstrap.synced.size(),
+              stream.bootstrap.max_bfs_depth,
+              stream.bootstrap.sync_set_size);
   std::printf("events:            %llu (%llu valid, %llu FCS-err, %llu "
               "PHY-err)\n",
               static_cast<unsigned long long>(st.events_in),
@@ -78,9 +93,15 @@ int CmdMerge(const char* dir) {
               static_cast<unsigned long long>(st.jframes),
               st.EventsPerJframe(),
               static_cast<unsigned long long>(st.resyncs));
-  const auto link = ReconstructLink(merged.jframes);
+  if (!dispersion.distribution().empty()) {
+    std::printf("sync dispersion:   p50 %.0f us, p90 %.0f us, p99 %.0f us\n",
+                dispersion.distribution().Quantile(0.50),
+                dispersion.distribution().Quantile(0.90),
+                dispersion.distribution().Quantile(0.99));
+  }
   std::printf("link layer:        %zu attempts -> %zu exchanges\n",
-              link.attempts.size(), link.exchanges.size());
+              reconstruction.link().attempts.size(),
+              reconstruction.link().exchanges.size());
   return 0;
 }
 
@@ -90,17 +111,21 @@ int CmdTimeline(const char* dir, Micros span) {
     std::fprintf(stderr, "no .jigt files in %s\n", dir);
     return 1;
   }
-  const MergeResult merged = MergeTraces(traces);
+  AnalysisBus bus;
+  auto& collector = bus.Emplace<CollectorConsumer>();
+  bus.SetTerminal(collector);
+  MergeTracesStreaming(traces, {}, bus.Sink());
+  bus.Finish();
   TimelineOptions options;
   options.span = span;
   // Start at the first busy multi-instance DATA frame.
-  for (const JFrame& jf : merged.jframes) {
+  for (const JFrame& jf : collector.jframes()) {
     if (jf.frame.type == FrameType::kData && jf.InstanceCount() >= 3) {
       options.start = jf.timestamp - 100;
       break;
     }
   }
-  std::printf("%s", RenderTimeline(merged.jframes, options).c_str());
+  std::printf("%s", RenderTimeline(collector.jframes(), options).c_str());
   return 0;
 }
 
@@ -110,14 +135,17 @@ int main(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr,
                  "usage: jigtool demo|info|merge|timeline <trace_dir> "
-                 "[span_us]\n");
+                 "[threads|span_us]\n");
     return 2;
   }
   const char* cmd = argv[1];
   const char* dir = argv[2];
   if (std::strcmp(cmd, "demo") == 0) return CmdDemo(dir);
   if (std::strcmp(cmd, "info") == 0) return CmdInfo(dir);
-  if (std::strcmp(cmd, "merge") == 0) return CmdMerge(dir);
+  if (std::strcmp(cmd, "merge") == 0) {
+    return CmdMerge(dir,
+                    static_cast<unsigned>(argc > 3 ? std::atol(argv[3]) : 0));
+  }
   if (std::strcmp(cmd, "timeline") == 0) {
     return CmdTimeline(dir, argc > 3 ? std::atol(argv[3]) : 5000);
   }

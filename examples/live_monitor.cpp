@@ -2,21 +2,26 @@
 //
 // Demonstrates the online path the paper's architecture was built for:
 // MergeTracesStreaming delivers time-ordered jframes as the single-pass
-// merge produces them (no trace-sized buffering), and OnlineMonitor rolls
-// them into windowed health stats — activity, traffic mix, utilization and
-// synchronization quality — exactly what a NOC dashboard would poll.
+// merge produces them (no trace-sized buffering) — here with the
+// channel-sharded parallel merge, so the pipeline keeps up with deployments
+// far larger than one core could serve — and the AnalysisBus fans the
+// stream out to the OnlineMonitor (windowed health stats — activity,
+// traffic mix, utilization, synchronization quality — exactly what a NOC
+// dashboard would poll) and a dispersion CDF, all in the same pass.
 //
-// Usage: ./build/examples/live_monitor [seconds]
+// Usage: ./build/examples/live_monitor [seconds] [threads]
 #include <cstdio>
 #include <cstdlib>
 
-#include "jigsaw/online.h"
+#include "jigsaw/analysis/bus.h"
 #include "jigsaw/pipeline.h"
 #include "sim/scenario.h"
 
 int main(int argc, char** argv) {
   using namespace jig;
   const Micros duration = Seconds(argc > 1 ? std::atol(argv[1]) : 15);
+  const auto threads =
+      static_cast<unsigned>(argc > 2 ? std::atol(argv[2]) : 0);
 
   ScenarioConfig config;
   config.seed = 6;
@@ -32,31 +37,42 @@ int main(int argc, char** argv) {
               "bcast", "sync-disp");
 
   UniversalMicros origin = 0;
-  OnlineMonitor monitor(Seconds(1), [&](const OnlineWindowStats& w) {
-    if (origin == 0) origin = w.window_start;
-    std::printf("  %6llds %8llu %7llu %7llu %7llu %8d %8d %6.1f%% %6.1f%% "
-                "%7lldus\n",
-                static_cast<long long>((w.window_start - origin) /
-                                       kMicrosPerSecond),
-                static_cast<unsigned long long>(w.jframes),
-                static_cast<unsigned long long>(w.data_frames),
-                static_cast<unsigned long long>(w.mgmt_frames),
-                static_cast<unsigned long long>(w.ctrl_frames),
-                w.active_clients, w.active_aps,
-                100.0 * w.airtime_fraction,
-                100.0 * w.broadcast_airtime_fraction,
-                static_cast<long long>(w.worst_dispersion));
-  });
+  AnalysisBus bus;
+  auto& online = bus.Emplace<OnlineMonitorConsumer>(
+      Seconds(1), [&](const OnlineWindowStats& w) {
+        if (origin == 0) origin = w.window_start;
+        std::printf("  %6llds %8llu %7llu %7llu %7llu %8d %8d %6.1f%% "
+                    "%6.1f%% %7lldus\n",
+                    static_cast<long long>((w.window_start - origin) /
+                                           kMicrosPerSecond),
+                    static_cast<unsigned long long>(w.jframes),
+                    static_cast<unsigned long long>(w.data_frames),
+                    static_cast<unsigned long long>(w.mgmt_frames),
+                    static_cast<unsigned long long>(w.ctrl_frames),
+                    w.active_clients, w.active_aps,
+                    100.0 * w.airtime_fraction,
+                    100.0 * w.broadcast_airtime_fraction,
+                    static_cast<long long>(w.worst_dispersion));
+      });
+  auto& dispersion = bus.Emplace<DispersionConsumer>();
 
   // The streaming path: no jframe vector is ever materialized.
-  const auto stats = MergeTracesStreaming(
-      traces, {}, [&](JFrame&& jf) { monitor.OnJFrame(jf); });
-  monitor.Flush();
+  MergeConfig mcfg;
+  mcfg.threads = threads;
+  const auto stats = MergeTracesStreaming(traces, mcfg, bus.Sink());
+  bus.Finish();
 
   std::printf("\n%llu windows; merged %llu events one-pass "
-              "(%zu/%zu radios synced)\n",
-              static_cast<unsigned long long>(monitor.windows_emitted()),
+              "(%zu/%zu radios synced); sync p90 %.0f us over %llu "
+              "multi-instance jframes\n",
+              static_cast<unsigned long long>(
+                  online.monitor().windows_emitted()),
               static_cast<unsigned long long>(stats.stats.events_in),
-              stats.bootstrap.SyncedCount(), stats.bootstrap.synced.size());
+              stats.bootstrap.SyncedCount(), stats.bootstrap.synced.size(),
+              dispersion.distribution().empty()
+                  ? 0.0
+                  : dispersion.distribution().Quantile(0.90),
+              static_cast<unsigned long long>(
+                  dispersion.distribution().size()));
   return 0;
 }

@@ -1,87 +1,96 @@
 #include "jigsaw/analysis/activity.h"
 
 #include <algorithm>
-#include <unordered_set>
 
 #include "wifi/packet.h"
 
 namespace jig {
 
+void ActivityAccumulator::Add(const JFrame& jf) {
+  if (bin_width_ <= 0) return;
+  if (!any_) {
+    series_.bin_width = bin_width_;
+    series_.origin = jf.timestamp;
+    any_ = true;
+  }
+  if (jf.timestamp < series_.origin) return;  // stream contract: ordered
+  const auto bin =
+      static_cast<std::size_t>((jf.timestamp - series_.origin) / bin_width_);
+  if (bin >= series_.data_bytes.size()) {
+    const std::size_t bins = bin + 1;
+    series_.active_clients.resize(bins, 0);
+    series_.active_aps.resize(bins, 0);
+    series_.data_bytes.resize(bins, 0.0);
+    series_.mgmt_bytes.resize(bins, 0.0);
+    series_.beacon_bytes.resize(bins, 0.0);
+    series_.arp_bytes.resize(bins, 0.0);
+    series_.broadcast_airtime_fraction.resize(bins, 0.0);
+    bin_clients_.resize(bins);
+    bin_aps_.resize(bins);
+  }
+  const Frame& f = jf.frame;
+  const double bytes = static_cast<double>(jf.wire_len);
+
+  // Category accounting (ARP rides DATA frames; check the body).
+  bool is_arp = false;
+  if (f.type == FrameType::kData) {
+    const auto info = ParseFrameBody(f.body);
+    is_arp = info && info->IsArp();
+  }
+  if (f.type == FrameType::kBeacon) {
+    series_.beacon_bytes[bin] += bytes;
+  } else if (is_arp) {
+    series_.arp_bytes[bin] += bytes;
+  } else if (f.type == FrameType::kData) {
+    series_.data_bytes[bin] += bytes;
+  } else {
+    series_.mgmt_bytes[bin] += bytes;  // management + control
+  }
+
+  if (!f.addr1.IsUnicast()) {
+    // Air time accrues per channel; the reported fraction is the mean
+    // over the three monitored channels ("as seen by any given monitor").
+    series_.broadcast_airtime_fraction[bin] +=
+        static_cast<double>(TxDurationMicros(jf.rate, jf.wire_len)) /
+        static_cast<double>(kAllChannels.size());
+  }
+
+  // Activity: data exchange or association traffic marks both ends.
+  const bool assoc_mgmt = f.type == FrameType::kAssocRequest ||
+                          f.type == FrameType::kAssocResponse ||
+                          f.type == FrameType::kAuthentication;
+  if (f.type == FrameType::kData || assoc_mgmt) {
+    if (f.HasTransmitter()) {
+      if (f.addr2.IsClientTag()) bin_clients_[bin].insert(f.addr2);
+      if (f.addr2.IsApTag() && f.addr1.IsUnicast()) {
+        bin_aps_[bin].insert(f.addr2);
+      }
+    }
+    if (f.addr1.IsClientTag()) bin_clients_[bin].insert(f.addr1);
+    if (f.addr1.IsApTag()) bin_aps_[bin].insert(f.addr1);
+  }
+}
+
+ActivitySeries ActivityAccumulator::Take() {
+  for (std::size_t i = 0; i < series_.data_bytes.size(); ++i) {
+    series_.active_clients[i] = static_cast<int>(bin_clients_[i].size());
+    series_.active_aps[i] = static_cast<int>(bin_aps_[i].size());
+    series_.broadcast_airtime_fraction[i] /= static_cast<double>(bin_width_);
+  }
+  series_.bin_width = bin_width_;
+  ActivitySeries out = std::move(series_);
+  series_ = ActivitySeries{};
+  bin_clients_.clear();
+  bin_aps_.clear();
+  any_ = false;
+  return out;
+}
+
 ActivitySeries ComputeActivity(const std::vector<JFrame>& jframes,
                                Micros bin_width) {
-  ActivitySeries out;
-  out.bin_width = bin_width;
-  if (jframes.empty() || bin_width <= 0) return out;
-  out.origin = jframes.front().timestamp;
-  const UniversalMicros span =
-      jframes.back().timestamp - out.origin + 1;
-  const std::size_t bins =
-      static_cast<std::size_t>((span + bin_width - 1) / bin_width);
-
-  out.active_clients.assign(bins, 0);
-  out.active_aps.assign(bins, 0);
-  out.data_bytes.assign(bins, 0.0);
-  out.mgmt_bytes.assign(bins, 0.0);
-  out.beacon_bytes.assign(bins, 0.0);
-  out.arp_bytes.assign(bins, 0.0);
-  out.broadcast_airtime_fraction.assign(bins, 0.0);
-
-  std::vector<std::unordered_set<MacAddress>> bin_clients(bins);
-  std::vector<std::unordered_set<MacAddress>> bin_aps(bins);
-
-  for (const JFrame& jf : jframes) {
-    const auto bin = static_cast<std::size_t>(
-        (jf.timestamp - out.origin) / bin_width);
-    if (bin >= bins) continue;
-    const Frame& f = jf.frame;
-    const double bytes = static_cast<double>(jf.wire_len);
-
-    // Category accounting (ARP rides DATA frames; check the body).
-    bool is_arp = false;
-    if (f.type == FrameType::kData) {
-      const auto info = ParseFrameBody(f.body);
-      is_arp = info && info->IsArp();
-    }
-    if (f.type == FrameType::kBeacon) {
-      out.beacon_bytes[bin] += bytes;
-    } else if (is_arp) {
-      out.arp_bytes[bin] += bytes;
-    } else if (f.type == FrameType::kData) {
-      out.data_bytes[bin] += bytes;
-    } else {
-      out.mgmt_bytes[bin] += bytes;  // management + control
-    }
-
-    if (!f.addr1.IsUnicast()) {
-      // Air time accrues per channel; the reported fraction is the mean
-      // over the three monitored channels ("as seen by any given monitor").
-      out.broadcast_airtime_fraction[bin] +=
-          static_cast<double>(TxDurationMicros(jf.rate, jf.wire_len)) /
-          static_cast<double>(kAllChannels.size());
-    }
-
-    // Activity: data exchange or association traffic marks both ends.
-    const bool assoc_mgmt = f.type == FrameType::kAssocRequest ||
-                            f.type == FrameType::kAssocResponse ||
-                            f.type == FrameType::kAuthentication;
-    if (f.type == FrameType::kData || assoc_mgmt) {
-      if (f.HasTransmitter()) {
-        if (f.addr2.IsClientTag()) bin_clients[bin].insert(f.addr2);
-        if (f.addr2.IsApTag() && f.addr1.IsUnicast()) {
-          bin_aps[bin].insert(f.addr2);
-        }
-      }
-      if (f.addr1.IsClientTag()) bin_clients[bin].insert(f.addr1);
-      if (f.addr1.IsApTag()) bin_aps[bin].insert(f.addr1);
-    }
-  }
-
-  for (std::size_t i = 0; i < bins; ++i) {
-    out.active_clients[i] = static_cast<int>(bin_clients[i].size());
-    out.active_aps[i] = static_cast<int>(bin_aps[i].size());
-    out.broadcast_airtime_fraction[i] /= static_cast<double>(bin_width);
-  }
-  return out;
+  ActivityAccumulator acc(bin_width);
+  for (const JFrame& jf : jframes) acc.Add(jf);
+  return acc.Take();
 }
 
 }  // namespace jig

@@ -9,6 +9,7 @@
 // consumed by broadcast frames (the paper's ~10% observation).
 #pragma once
 
+#include <unordered_set>
 #include <vector>
 
 #include "jigsaw/jframe.h"
@@ -29,6 +30,27 @@ struct ActivitySeries {
   std::vector<double> broadcast_airtime_fraction;
 
   std::size_t Bins() const { return active_clients.size(); }
+};
+
+// Streaming form: feed jframes in timestamp order (the merge's output
+// order), then Take() the finished series.  ComputeActivity is a batch
+// wrapper over this; the AnalysisBus's ActivityConsumer feeds it directly
+// from the live stream so no jframe vector is ever materialized.
+class ActivityAccumulator {
+ public:
+  explicit ActivityAccumulator(Micros bin_width) : bin_width_(bin_width) {}
+
+  void Add(const JFrame& jf);
+  // Finalizes per-bin counts and returns the series; the accumulator is
+  // left empty, ready for a new stream.
+  ActivitySeries Take();
+
+ private:
+  Micros bin_width_;
+  ActivitySeries series_;
+  std::vector<std::unordered_set<MacAddress>> bin_clients_;
+  std::vector<std::unordered_set<MacAddress>> bin_aps_;
+  bool any_ = false;
 };
 
 ActivitySeries ComputeActivity(const std::vector<JFrame>& jframes,

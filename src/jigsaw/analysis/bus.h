@@ -1,0 +1,293 @@
+// Single-pass analysis bus: one jframe stream, N consumers.
+//
+// The paper's efficiency requirement is a single streaming pass over the
+// traces; the bus extends that discipline to the analysis layer.  Instead
+// of collecting every jframe and re-iterating the vector once per Figure
+// (the collect-then-rescan pattern the examples and benches grew), the bus
+// fans each jframe of the live merge out to every registered consumer, so
+// activity, coverage, dispersion, interference, TCP-loss, and the online
+// monitor all ride the same pass:
+//
+//   AnalysisBus bus;
+//   auto& activity = bus.Emplace<ActivityConsumer>(Seconds(1));
+//   auto& disp = bus.Emplace<DispersionConsumer>();
+//   MergeTracesStreaming(traces, config, bus.Sink());
+//   bus.Finish();
+//
+// Consumers whose analysis inherently needs full link/transport
+// reconstruction (interference, TCP loss) share one ReconstructionConsumer
+// buffer instead of each keeping a private copy; register the dependency
+// before its dependents — Finish() runs in registration order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "jigsaw/analysis/activity.h"
+#include "jigsaw/analysis/coverage.h"
+#include "jigsaw/analysis/dispersion.h"
+#include "jigsaw/analysis/interference.h"
+#include "jigsaw/analysis/tcp_loss.h"
+#include "jigsaw/jframe.h"
+#include "jigsaw/link.h"
+#include "jigsaw/online.h"
+#include "jigsaw/tcp_reconstruct.h"
+
+namespace jig {
+
+// One subscriber on the jframe stream.  OnJFrame is called once per jframe
+// in timestamp order; Finish once after the stream ends.
+class JFrameConsumer {
+ public:
+  virtual ~JFrameConsumer() = default;
+  virtual const char* name() const = 0;
+  virtual void OnJFrame(const JFrame& jf) = 0;
+  virtual void Finish() {}
+};
+
+class CollectorConsumer;
+
+class AnalysisBus {
+ public:
+  JFrameConsumer& Add(std::unique_ptr<JFrameConsumer> consumer) {
+    consumers_.push_back(std::move(consumer));
+    return *consumers_.back();
+  }
+
+  // Constructs a consumer in place and returns a typed reference for
+  // reading its results after Finish().
+  template <typename C, typename... Args>
+  C& Emplace(Args&&... args) {
+    auto consumer = std::make_unique<C>(std::forward<Args>(args)...);
+    C& ref = *consumer;
+    consumers_.push_back(std::move(consumer));
+    return ref;
+  }
+
+  // Designates a registered collector as the stream terminal: after the
+  // const& fan-out to every other consumer, the jframe itself is moved
+  // into it — the buffering path stays zero-copy end to end.
+  void SetTerminal(CollectorConsumer& collector);
+
+  void OnJFrame(JFrame&& jf);
+
+  void OnJFrame(const JFrame& jf) {
+    ++jframes_seen_;
+    for (auto& c : consumers_) c->OnJFrame(jf);
+  }
+
+  // Finishes every consumer in registration order (dependencies first).
+  void Finish() {
+    for (auto& c : consumers_) c->Finish();
+  }
+
+  // Adapter for MergeTracesStreaming's sink signature.
+  std::function<void(JFrame&&)> Sink() {
+    return [this](JFrame&& jf) { OnJFrame(std::move(jf)); };
+  }
+
+  std::size_t consumer_count() const { return consumers_.size(); }
+  std::uint64_t jframes_seen() const { return jframes_seen_; }
+
+ private:
+  std::vector<std::unique_ptr<JFrameConsumer>> consumers_;
+  CollectorConsumer* terminal_ = nullptr;
+  std::uint64_t jframes_seen_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Stock consumers.
+
+// Collects the stream into a vector — for consumers of batch-only APIs
+// (e.g. timeline rendering) riding the same pass.  When registered as the
+// bus terminal (AnalysisBus::SetTerminal) the jframes are moved in, not
+// copied.
+class CollectorConsumer final : public JFrameConsumer {
+ public:
+  const char* name() const override { return "collector"; }
+  void OnJFrame(const JFrame& jf) override { jframes_.push_back(jf); }
+  void Collect(JFrame&& jf) { jframes_.push_back(std::move(jf)); }
+
+  const std::vector<JFrame>& jframes() const { return jframes_; }
+  std::vector<JFrame> Take() { return std::move(jframes_); }
+
+ private:
+  std::vector<JFrame> jframes_;
+};
+
+inline void AnalysisBus::SetTerminal(CollectorConsumer& collector) {
+  terminal_ = &collector;
+}
+
+inline void AnalysisBus::OnJFrame(JFrame&& jf) {
+  ++jframes_seen_;
+  for (auto& c : consumers_) {
+    if (c.get() == static_cast<JFrameConsumer*>(terminal_)) continue;
+    c->OnJFrame(jf);
+  }
+  if (terminal_ != nullptr) terminal_->Collect(std::move(jf));
+}
+
+// Figure 4: group-dispersion distribution.
+class DispersionConsumer final : public JFrameConsumer {
+ public:
+  explicit DispersionConsumer(bool multi_instance_only = true)
+      : multi_instance_only_(multi_instance_only) {}
+
+  const char* name() const override { return "dispersion"; }
+  void OnJFrame(const JFrame& jf) override {
+    if (multi_instance_only_ && jf.instances.size() < 2) return;
+    distribution_.Add(static_cast<double>(jf.dispersion));
+  }
+
+  const Distribution& distribution() const { return distribution_; }
+
+ private:
+  bool multi_instance_only_;
+  Distribution distribution_;
+};
+
+// Figure 8: activity / traffic-mix time series.
+class ActivityConsumer final : public JFrameConsumer {
+ public:
+  explicit ActivityConsumer(Micros bin_width) : accumulator_(bin_width) {}
+
+  const char* name() const override { return "activity"; }
+  void OnJFrame(const JFrame& jf) override { accumulator_.Add(jf); }
+  void Finish() override { series_ = accumulator_.Take(); }
+
+  const ActivitySeries& series() const { return series_; }
+
+ private:
+  ActivityAccumulator accumulator_;
+  ActivitySeries series_;
+};
+
+// Figure 6: wired-oracle coverage.  `wired` must outlive the consumer.
+class WiredCoverageConsumer final : public JFrameConsumer {
+ public:
+  explicit WiredCoverageConsumer(const std::vector<WiredRecord>& wired)
+      : wired_(&wired) {}
+
+  const char* name() const override { return "coverage"; }
+  void OnJFrame(const JFrame& jf) override { matcher_.AddJFrame(jf); }
+  void Finish() override { report_ = matcher_.Match(*wired_); }
+
+  const CoverageReport& report() const { return report_; }
+
+ private:
+  const std::vector<WiredRecord>* wired_;
+  WiredCoverageMatcher matcher_;
+  CoverageReport report_;
+};
+
+// Link + transport reconstruction over the full stream.  The
+// reconstruction algorithms are inherently whole-trace (retransmission
+// chains and covering-ACK oracles look arbitrarily far forward), so this
+// consumer buffers the stream — but exactly once, shared by every
+// dependent analysis, instead of per-bench copies.  Construct with a
+// CollectorConsumer to reuse its buffer and avoid even that copy.
+class ReconstructionConsumer final : public JFrameConsumer {
+ public:
+  ReconstructionConsumer() = default;
+  explicit ReconstructionConsumer(const CollectorConsumer& shared)
+      : shared_(&shared) {}
+
+  const char* name() const override { return "reconstruction"; }
+  void OnJFrame(const JFrame& jf) override {
+    if (shared_ == nullptr) own_.push_back(jf);
+  }
+  void Finish() override {
+    link_ = ReconstructLink(jframes());
+    transport_ = ReconstructTransport(jframes(), link_);
+  }
+
+  const std::vector<JFrame>& jframes() const {
+    return shared_ ? shared_->jframes() : own_;
+  }
+  const LinkReconstruction& link() const { return link_; }
+  const TransportReconstruction& transport() const { return transport_; }
+  LinkReconstruction TakeLink() { return std::move(link_); }
+  TransportReconstruction TakeTransport() { return std::move(transport_); }
+
+ private:
+  const CollectorConsumer* shared_ = nullptr;
+  std::vector<JFrame> own_;
+  LinkReconstruction link_;
+  TransportReconstruction transport_;
+};
+
+// Figure 9: co-channel interference.  Register after `reconstruction`.
+class InterferenceConsumer final : public JFrameConsumer {
+ public:
+  explicit InterferenceConsumer(const ReconstructionConsumer& reconstruction,
+                                InterferenceConfig config = {})
+      : reconstruction_(&reconstruction), config_(config) {}
+
+  const char* name() const override { return "interference"; }
+  void OnJFrame(const JFrame&) override {}
+  void Finish() override {
+    report_ = ComputeInterference(reconstruction_->jframes(),
+                                  reconstruction_->link(), config_);
+  }
+
+  const InterferenceReport& report() const { return report_; }
+
+ private:
+  const ReconstructionConsumer* reconstruction_;
+  InterferenceConfig config_;
+  InterferenceReport report_;
+};
+
+// Figure 11: TCP loss decomposition.  Register after `reconstruction`.
+// With a labeler, the grouped decomposition is computed as well.
+class TcpLossConsumer final : public JFrameConsumer {
+ public:
+  explicit TcpLossConsumer(const ReconstructionConsumer& reconstruction,
+                           TcpLossConfig config = {},
+                           TcpFlowLabeler labeler = nullptr)
+      : reconstruction_(&reconstruction),
+        config_(config),
+        labeler_(std::move(labeler)) {}
+
+  const char* name() const override { return "tcp-loss"; }
+  void OnJFrame(const JFrame&) override {}
+  void Finish() override {
+    report_ = ComputeTcpLoss(reconstruction_->transport(), config_);
+    if (labeler_) {
+      groups_ = ComputeTcpLossByGroup(reconstruction_->transport(), labeler_,
+                                      config_);
+    }
+  }
+
+  const TcpLossReport& report() const { return report_; }
+  const std::vector<TcpLossGroup>& groups() const { return groups_; }
+
+ private:
+  const ReconstructionConsumer* reconstruction_;
+  TcpLossConfig config_;
+  TcpFlowLabeler labeler_;
+  TcpLossReport report_;
+  std::vector<TcpLossGroup> groups_;
+};
+
+// Windowed NOC statistics (the live dashboard path).
+class OnlineMonitorConsumer final : public JFrameConsumer {
+ public:
+  OnlineMonitorConsumer(Micros window_width, OnlineMonitor::WindowSink sink)
+      : monitor_(window_width, std::move(sink)) {}
+
+  const char* name() const override { return "online-monitor"; }
+  void OnJFrame(const JFrame& jf) override { monitor_.OnJFrame(jf); }
+  void Finish() override { monitor_.Flush(); }
+
+  const OnlineMonitor& monitor() const { return monitor_; }
+
+ private:
+  OnlineMonitor monitor_;
+};
+
+}  // namespace jig

@@ -47,18 +47,18 @@ double CoverageReport::GroupCoverage(bool aps) const {
   return packets ? static_cast<double>(matched) / packets : 0.0;
 }
 
-CoverageReport ComputeWiredCoverage(const std::vector<WiredRecord>& wired,
-                                    const std::vector<JFrame>& jframes) {
+void WiredCoverageMatcher::AddJFrame(const JFrame& jf) {
   // Index every unicast TCP DATA frame seen on the air.
-  std::unordered_set<std::uint64_t> air_keys;
-  for (const JFrame& jf : jframes) {
-    const Frame& f = jf.frame;
-    if (f.type != FrameType::kData || !f.addr1.IsUnicast()) continue;
-    const auto info = ParseFrameBody(f.body);
-    if (!info || !info->IsTcp()) continue;
-    air_keys.insert(TcpPacketKey(info->src_ip, info->dst_ip, *info->tcp));
-  }
+  const Frame& f = jf.frame;
+  if (f.type != FrameType::kData || !f.addr1.IsUnicast()) return;
+  const auto info = ParseFrameBody(f.body);
+  if (!info || !info->IsTcp()) return;
+  air_keys_.insert(TcpPacketKey(info->src_ip, info->dst_ip, *info->tcp));
+}
 
+CoverageReport WiredCoverageMatcher::Match(
+    const std::vector<WiredRecord>& wired) const {
+  const auto& air_keys = air_keys_;
   CoverageReport report;
   std::unordered_map<MacAddress, StationCoverage> stations;
   for (const WiredRecord& rec : wired) {
@@ -83,6 +83,13 @@ CoverageReport ComputeWiredCoverage(const std::vector<WiredRecord>& wired,
   report.stations.reserve(stations.size());
   for (auto& [mac, sc] : stations) report.stations.push_back(sc);
   return report;
+}
+
+CoverageReport ComputeWiredCoverage(const std::vector<WiredRecord>& wired,
+                                    const std::vector<JFrame>& jframes) {
+  WiredCoverageMatcher matcher;
+  for (const JFrame& jf : jframes) matcher.AddJFrame(jf);
+  return matcher.Match(wired);
 }
 
 OracleCoverage ComputeTruthCoverage(const TruthLog& truth,

@@ -11,7 +11,9 @@
 //    truth log.
 #pragma once
 
+#include <cstdint>
 #include <optional>
+#include <unordered_set>
 #include <vector>
 
 #include "jigsaw/jframe.h"
@@ -48,6 +50,20 @@ struct CoverageReport {
 // Figure 6: match the wired trace against the unified wireless trace.
 CoverageReport ComputeWiredCoverage(const std::vector<WiredRecord>& wired,
                                     const std::vector<JFrame>& jframes);
+
+// Streaming form of the wired-coverage match: index the on-air side one
+// jframe at a time (no jframe vector needed), then match the wired trace
+// once the stream ends.  ComputeWiredCoverage is a batch wrapper; the
+// AnalysisBus's WiredCoverageConsumer feeds it from the live merge.
+class WiredCoverageMatcher {
+ public:
+  void AddJFrame(const JFrame& jf);
+  CoverageReport Match(const std::vector<WiredRecord>& wired) const;
+  std::size_t indexed_packets() const { return air_keys_.size(); }
+
+ private:
+  std::unordered_set<std::uint64_t> air_keys_;
+};
 
 // Laptop-oracle coverage (Section 6's controlled experiment): fraction of a
 // station's link-level transmissions that at least one monitor decoded.

@@ -33,20 +33,21 @@ BootstrapResult BootstrapSynchronize(TraceSet& traces,
   // own first `window` of data; shared frames land in both participants'
   // windows because the monitors' true start times are close.
   std::vector<std::int64_t> ntp0(n);
-  std::vector<std::optional<CaptureRecord>> first(n);
   for (std::size_t i = 0; i < n; ++i) {
     ntp0[i] = traces.at(i).header().ntp_utc_of_local_zero_us;
-    first[i] = traces.at(i).Next();
   }
 
-  // Collect sightings of unique frames inside each trace's window.
+  // Collect sightings of unique frames inside each trace's window.  The
+  // scan uses the zero-copy NextRef path: it touches every record of every
+  // window and keeps none of them.
   std::unordered_map<ContentKey, std::vector<Sighting>> sets;
   BootstrapResult result;
   result.offset_us.assign(n, 0.0);
   result.synced.assign(n, false);
 
   for (std::size_t i = 0; i < n; ++i) {
-    std::optional<CaptureRecord> rec = std::move(first[i]);
+    RecordStream& stream = traces.at(i);
+    const CaptureRecord* rec = stream.NextRef();
     const std::int64_t window_end =
         rec ? ntp0[i] + rec->timestamp + config.window
             : std::numeric_limits<std::int64_t>::min();
@@ -65,7 +66,7 @@ BootstrapResult BootstrapSynchronize(TraceSet& traces,
             [i](const Sighting& s) { return s.trace == i; });
         if (!seen) sightings.push_back(Sighting{i, rec->timestamp});
       }
-      rec = traces.at(i).Next();
+      rec = stream.NextRef();
     }
   }
 

@@ -8,6 +8,7 @@
 // bridged through monitors whose two radios share one capture clock.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -42,6 +43,37 @@ struct BootstrapResult {
     return n;
   }
   bool AllSynced() const { return SyncedCount() == synced.size(); }
+
+  // Restriction to a subset of traces (e.g. one channel shard of a
+  // partitioned TraceSet): entry i of the slice is this result's entry
+  // indices[i].  Diagnostics are carried along unchanged — they describe
+  // the global bootstrap pass the slice came from.
+  BootstrapResult Slice(const std::vector<std::size_t>& indices) const {
+    BootstrapResult out;
+    out.offset_us.reserve(indices.size());
+    out.synced.reserve(indices.size());
+    for (std::size_t i : indices) {
+      out.offset_us.push_back(offset_us[i]);
+      out.synced.push_back(synced[i]);
+    }
+    out.reference_frames_considered = reference_frames_considered;
+    out.sync_set_size = sync_set_size;
+    out.max_bfs_depth = max_bfs_depth;
+    return out;
+  }
+
+  // Shard concatenation (inverse of Slice over a partition): appends the
+  // other result's traces and combines diagnostics, so independently
+  // bootstrapped shards can still be reported as one deployment.
+  BootstrapResult& operator+=(const BootstrapResult& other) {
+    offset_us.insert(offset_us.end(), other.offset_us.begin(),
+                     other.offset_us.end());
+    synced.insert(synced.end(), other.synced.begin(), other.synced.end());
+    reference_frames_considered += other.reference_frames_considered;
+    sync_set_size += other.sync_set_size;
+    max_bfs_depth = std::max(max_bfs_depth, other.max_bfs_depth);
+    return *this;
+  }
 };
 
 // Scans the bootstrap window of every trace and computes offsets.  Traces

@@ -1,10 +1,31 @@
 #include "jigsaw/pipeline.h"
 
 #include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <limits>
 #include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
 
 namespace jig {
 namespace {
+
+// The total order both merge paths emit: timestamp, then channel.  Distinct
+// transmissions on one channel never tie below this key in practice, and
+// when they do (identical integer microsecond), unifier emission order is
+// preserved — identically in the single-threaded buffer (stable multimap)
+// and in the sharded k-way merge (per-shard FIFO).
+using OrderKey = std::pair<UniversalMicros, std::uint8_t>;
+
+OrderKey KeyOf(const JFrame& jf) {
+  return {jf.timestamp, static_cast<std::uint8_t>(jf.channel)};
+}
 
 // Min-buffer that releases jframes once the emit frontier passes them.
 class ReorderBuffer {
@@ -14,7 +35,7 @@ class ReorderBuffer {
 
   void Push(JFrame&& jf) {
     frontier_ = std::max(frontier_, jf.timestamp);
-    buffer_.emplace(jf.timestamp, std::move(jf));
+    buffer_.emplace(KeyOf(jf), std::move(jf));
     Drain(frontier_ - horizon_);
   }
 
@@ -22,7 +43,7 @@ class ReorderBuffer {
 
  private:
   void Drain(UniversalMicros up_to) {
-    while (!buffer_.empty() && buffer_.begin()->first <= up_to) {
+    while (!buffer_.empty() && buffer_.begin()->first.first <= up_to) {
       sink_(std::move(buffer_.begin()->second));
       buffer_.erase(buffer_.begin());
     }
@@ -30,25 +51,315 @@ class ReorderBuffer {
 
   Micros horizon_;
   std::function<void(JFrame&&)> sink_;
-  std::multimap<UniversalMicros, JFrame> buffer_;
+  std::multimap<OrderKey, JFrame> buffer_;
   UniversalMicros frontier_ = std::numeric_limits<UniversalMicros>::min();
 };
 
+Micros EffectiveHorizon(const MergeConfig& config) {
+  return std::max(config.reorder_horizon, config.unifier.search_window * 2);
+}
+
+// Bootstrap is assumed done; runs unify + reorder on the calling thread.
+UnifyStats RunUnifySingleThread(TraceSet& traces,
+                                const BootstrapResult& bootstrap,
+                                const MergeConfig& config,
+                                std::function<void(JFrame&&)>& sink) {
+  ReorderBuffer reorder(EffectiveHorizon(config), std::ref(sink));
+  Unifier unifier(traces, bootstrap, config.unifier,
+                  [&reorder](JFrame&& jf) { reorder.Push(std::move(jf)); });
+  unifier.Run();
+  reorder.Flush();
+  return unifier.stats();
+}
+
+// ---------------------------------------------------------------------------
+// Sharded parallel merge.
+//
+// One unifier per channel shard runs on a small worker pool; each pushes
+// its exactly-ordered output into a per-shard bounded queue, and the
+// calling thread recombines the queues with a k-way merge on OrderKey.
+// Backpressure is cooperative: a worker skips shards whose queue is at the
+// watermark and sleeps only when every shard it owns is throttled, which
+// keeps buffering bounded without ever stalling the shard whose head the
+// consumer is waiting for (a throttled queue is by definition non-empty).
+
+constexpr std::size_t kQueueWatermark = 4096;  // jframes buffered per shard
+constexpr std::size_t kUnifyStep = 1024;       // groups per scheduling slice
+
+struct ShardChannel {
+  std::deque<JFrame> queue;
+  bool closed = false;
+};
+
+struct Coordinator {
+  std::mutex mu;
+  std::condition_variable data_cv;  // consumer: a queue grew or closed
+  std::condition_variable room_cv;  // workers: a queue drained or abort
+  std::vector<ShardChannel> channels;
+  std::vector<UnifyStats> shard_stats;
+  bool aborted = false;
+  std::exception_ptr error;
+
+  explicit Coordinator(std::size_t shards)
+      : channels(shards), shard_stats(shards) {}
+
+  void Abort(std::exception_ptr e) {
+    std::lock_guard lk(mu);
+    if (!error) error = std::move(e);
+    aborted = true;
+    for (auto& ch : channels) ch.closed = true;
+    data_cv.notify_all();
+    room_cv.notify_all();
+  }
+};
+
+// Unifies the shards assigned to one worker, interleaving them in
+// kUnifyStep slices under the queue watermark.
+void ShardWorker(Coordinator& coord, std::vector<ChannelShard>& shards,
+                 const std::vector<std::size_t>& assigned,
+                 const BootstrapResult& bootstrap, const MergeConfig& config) {
+  try {
+    struct Task {
+      std::size_t index;
+      // Jframes drained from the reorder buffer during one Step, published
+      // to the shard queue in a single lock acquisition afterwards.
+      std::vector<JFrame> pending;
+      std::unique_ptr<ReorderBuffer> reorder;
+      std::unique_ptr<Unifier> unifier;
+      bool done = false;
+    };
+    // Tasks live behind stable pointers: the reorder/unifier sinks capture
+    // addresses of task members.
+    std::vector<std::unique_ptr<Task>> tasks;
+    tasks.reserve(assigned.size());
+    for (std::size_t s : assigned) {
+      auto task = std::make_unique<Task>();
+      task->index = s;
+      std::vector<JFrame>* pending = &task->pending;
+      task->reorder = std::make_unique<ReorderBuffer>(
+          EffectiveHorizon(config),
+          [pending](JFrame&& jf) { pending->push_back(std::move(jf)); });
+      ReorderBuffer* reorder = task->reorder.get();
+      task->unifier = std::make_unique<Unifier>(
+          shards[s].traces, bootstrap.Slice(shards[s].source_index),
+          config.unifier,
+          [reorder](JFrame&& jf) { reorder->Push(std::move(jf)); });
+      tasks.push_back(std::move(task));
+    }
+
+    const auto publish = [&coord](Task& task) {
+      if (task.pending.empty()) return;
+      std::lock_guard lk(coord.mu);
+      auto& queue = coord.channels[task.index].queue;
+      for (JFrame& jf : task.pending) queue.push_back(std::move(jf));
+      task.pending.clear();
+      coord.data_cv.notify_one();
+    };
+
+    for (;;) {
+      bool all_done = true;
+      bool progressed = false;
+      for (auto& task_ptr : tasks) {
+        Task& task = *task_ptr;
+        if (task.done) continue;
+        all_done = false;
+        {
+          std::lock_guard lk(coord.mu);
+          if (coord.aborted) return;
+          if (coord.channels[task.index].queue.size() >= kQueueWatermark) {
+            continue;  // throttled; its head is already available
+          }
+        }
+        const bool more = task.unifier->Step(kUnifyStep);
+        if (!more) task.reorder->Flush();
+        publish(task);
+        if (!more) {
+          std::lock_guard lk(coord.mu);
+          coord.shard_stats[task.index] = task.unifier->stats();
+          coord.channels[task.index].closed = true;
+          coord.data_cv.notify_one();
+          task.done = true;
+        }
+        progressed = true;
+      }
+      if (all_done) return;
+      if (!progressed) {
+        std::unique_lock lk(coord.mu);
+        coord.room_cv.wait(lk, [&] {
+          if (coord.aborted) return true;
+          for (const auto& task_ptr : tasks) {
+            if (!task_ptr->done &&
+                coord.channels[task_ptr->index].queue.size() <
+                    kQueueWatermark) {
+              return true;
+            }
+          }
+          return false;
+        });
+        if (coord.aborted) return;
+      }
+    }
+  } catch (...) {
+    coord.Abort(std::current_exception());
+  }
+}
+
+// K-way merge of the shard queues on the calling thread.  Emits the
+// globally least OrderKey among the shard heads; correctness needs a head
+// (or end-of-stream) from every shard before each emission.  Each lock
+// acquisition splices entire shard queues into consumer-local buffers, so
+// lock traffic is per batch, not per jframe.
+void ConsumeShardStreams(Coordinator& coord,
+                         const std::function<void(JFrame&&)>& sink) {
+  const std::size_t n = coord.channels.size();
+  struct Local {
+    std::deque<JFrame> buffered;  // in shard order, head at front
+    bool finished = false;        // shard closed and fully drained
+  };
+  std::vector<Local> locals(n);
+  const auto need_refill = [&] {
+    for (const Local& l : locals) {
+      if (l.buffered.empty() && !l.finished) return true;
+    }
+    return false;
+  };
+  for (;;) {
+    if (need_refill()) {
+      std::unique_lock lk(coord.mu);
+      coord.data_cv.wait(lk, [&] {
+        if (coord.aborted) return true;
+        for (std::size_t i = 0; i < n; ++i) {
+          if (!locals[i].buffered.empty() || locals[i].finished) continue;
+          if (coord.channels[i].queue.empty() && !coord.channels[i].closed) {
+            return false;
+          }
+        }
+        return true;
+      });
+      if (coord.aborted) return;
+      // Splice only into empty local buffers: a shard the merge is not
+      // consuming keeps its backpressure (shared queue at the watermark)
+      // instead of accumulating unboundedly on the consumer side.
+      bool drained = false;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!locals[i].buffered.empty()) continue;
+        auto& ch = coord.channels[i];
+        if (!ch.queue.empty()) {
+          locals[i].buffered = std::move(ch.queue);
+          ch.queue.clear();  // moved-from deque: restore known state
+          drained = true;
+        } else if (ch.closed) {
+          locals[i].finished = true;
+        }
+      }
+      if (drained) coord.room_cv.notify_all();
+    }
+
+    std::size_t best = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (locals[i].buffered.empty()) continue;
+      if (best == n ||
+          KeyOf(locals[i].buffered.front()) <
+              KeyOf(locals[best].buffered.front())) {
+        best = i;
+      }
+    }
+    if (best == n) return;  // every shard finished
+    JFrame next = std::move(locals[best].buffered.front());
+    locals[best].buffered.pop_front();
+    sink(std::move(next));  // user code runs outside the lock
+  }
+}
+
+UnifyStats RunUnifySharded(std::vector<ChannelShard>& shards,
+                           const BootstrapResult& bootstrap,
+                           const MergeConfig& config, unsigned workers,
+                           const std::function<void(JFrame&&)>& sink) {
+  Coordinator coord(shards.size());
+  // Static round-robin shard assignment.
+  std::vector<std::vector<std::size_t>> assigned(workers);
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    assigned[s % workers].push_back(s);
+  }
+  {
+    std::vector<std::jthread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+      pool.emplace_back(ShardWorker, std::ref(coord), std::ref(shards),
+                        std::cref(assigned[w]), std::cref(bootstrap),
+                        std::cref(config));
+    }
+    try {
+      ConsumeShardStreams(coord, sink);
+    } catch (...) {
+      coord.Abort(std::current_exception());
+    }
+  }  // joins the pool
+  if (coord.error) std::rethrow_exception(coord.error);
+  UnifyStats stats;
+  for (const UnifyStats& s : coord.shard_stats) stats += s;
+  return stats;
+}
+
+unsigned ResolveWorkers(unsigned threads, std::size_t shard_count) {
+  unsigned n = threads;
+  if (n == 0) {
+    n = std::thread::hardware_concurrency();
+    if (n == 0) n = 1;
+  }
+  return static_cast<unsigned>(
+      std::min<std::size_t>(n, std::max<std::size_t>(shard_count, 1)));
+}
+
 }  // namespace
+
+void ValidateMergeConfig(const MergeConfig& config) {
+  if (config.unifier.search_window <= 0) {
+    throw std::invalid_argument("MergeConfig: search_window must be > 0");
+  }
+  if (config.reorder_horizon <= config.unifier.search_window) {
+    throw std::invalid_argument(
+        "MergeConfig: reorder_horizon (" +
+        std::to_string(config.reorder_horizon) +
+        " us) must exceed unifier.search_window (" +
+        std::to_string(config.unifier.search_window) +
+        " us); a shorter horizon releases jframes before the group that "
+        "precedes them can still form, producing an out-of-order stream");
+  }
+}
 
 MergeStreamStats MergeTracesStreaming(TraceSet& traces,
                                       const MergeConfig& config,
                                       std::function<void(JFrame&&)> sink) {
+  ValidateMergeConfig(config);
   MergeStreamStats out;
+  // Bootstrap is always global: reference sets bridge channels through the
+  // monitors' shared capture clocks, which a per-shard pass cannot see.
   out.bootstrap = BootstrapSynchronize(traces, config.bootstrap);
-  ReorderBuffer reorder(std::max(config.reorder_horizon,
-                                 config.unifier.search_window * 2),
-                        std::move(sink));
-  Unifier unifier(traces, out.bootstrap, config.unifier,
-                  [&reorder](JFrame&& jf) { reorder.Push(std::move(jf)); });
-  unifier.Run();
-  reorder.Flush();
-  out.stats = unifier.stats();
+
+  if (config.threads == 1 || traces.size() <= 1) {
+    out.stats = RunUnifySingleThread(traces, out.bootstrap, config, sink);
+    return out;
+  }
+
+  auto shards = traces.PartitionByChannel();
+  // Whatever happens below, hand the streams back to the caller's set.
+  struct Reassemble {
+    TraceSet& set;
+    std::vector<ChannelShard>& shards;
+    ~Reassemble() { set.AdoptShards(std::move(shards)); }
+  } reassemble{traces, shards};
+
+  if (shards.size() == 1) {
+    // One channel: the shard is the whole set (in original order); no
+    // recombination needed.
+    const BootstrapResult sliced =
+        out.bootstrap.Slice(shards[0].source_index);
+    out.stats = RunUnifySingleThread(shards[0].traces, sliced, config, sink);
+    return out;
+  }
+  const unsigned workers = ResolveWorkers(config.threads, shards.size());
+  out.stats = RunUnifySharded(shards, out.bootstrap, config, workers, sink);
   return out;
 }
 

@@ -6,6 +6,14 @@
 // microseconds ahead of a slightly earlier group still forming).  The merge
 // is a single pass over each trace — the paper's efficiency requirement for
 // online operation.
+//
+// Parallel operation (threads != 1): bootstrap still runs globally (channel
+// bridging needs every monitor's shared clock), then the trace set is
+// partitioned by channel and one unifier runs per channel shard on a small
+// thread pool.  Shard outputs are recombined by a bounded k-way merge keyed
+// on (timestamp, channel) — the same total order the single-threaded reorder
+// buffer emits — so the parallel stream is byte-identical to the legacy
+// single-threaded stream.
 #pragma once
 
 #include <functional>
@@ -20,9 +28,24 @@ struct MergeConfig {
   BootstrapConfig bootstrap;
   UnifierConfig unifier;
   // Reorder horizon: jframes are released once the stream has advanced this
-  // far past them.  Must exceed the search window.
+  // far past them.  Must exceed the search window (validated at entry — a
+  // shorter horizon would release jframes before an earlier group can still
+  // form).  The pipeline always keeps at least a 2x search-window margin:
+  // the effective horizon is max(reorder_horizon, 2 * search_window), since
+  // a group's median timestamp can trail its seed by a full window.
   Micros reorder_horizon = Milliseconds(50);
+  // Worker threads unifying channel shards.  1 = the exact legacy
+  // single-threaded path; 0 = auto (one worker per channel shard, capped by
+  // the hardware); N caps the pool at N workers, which then interleave the
+  // shards cooperatively.  Every setting produces a byte-identical jframe
+  // stream.
+  unsigned threads = 1;
 };
+
+// Throws std::invalid_argument on inconsistent configuration (today:
+// reorder_horizon <= unifier.search_window, or a non-positive window).
+// Called by MergeTraces / MergeTracesStreaming at entry.
+void ValidateMergeConfig(const MergeConfig& config);
 
 struct MergeResult {
   std::vector<JFrame> jframes;  // strictly time-ordered
@@ -34,6 +57,7 @@ struct MergeResult {
 MergeResult MergeTraces(TraceSet& traces, const MergeConfig& config = {});
 
 // Streaming variant: jframes are delivered to `sink` in timestamp order.
+// The sink runs on the calling thread in every threading mode.
 struct MergeStreamStats {
   BootstrapResult bootstrap;
   UnifyStats stats;

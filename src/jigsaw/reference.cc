@@ -6,14 +6,21 @@ bool IsUniqueReference(const CaptureRecord& rec) {
   // FCS validity comes from the capture hardware's verdict (rec.outcome):
   // snap-length truncation means the FCS bytes themselves may not be in the
   // capture, exactly as with real radiotap captures.
+  //
+  // This runs once per captured event in both bootstrap and unification, so
+  // it classifies from the frame-control field alone — no full parse.
   if (rec.outcome != RxOutcome::kOk) return false;
-  if (rec.bytes.size() < 24) return false;  // needs a full DATA/MGMT header
-  const auto parsed = ParseFrame(rec.bytes, rec.rate);
-  if (!parsed) return false;
-  const Frame& f = parsed->frame;
-  if (!f.HasSequence()) return false;          // ACK/CTS/RTS: identical bytes
-  if (f.retry) return false;                   // retransmissions repeat bytes
-  if (f.type == FrameType::kProbeRequest) return false;  // zero-seq stations
+  // Full DATA/MGMT header (24) + sequence-bearing frame's minimum FCS tail:
+  // anything shorter cannot parse as a sequenced frame.
+  if (rec.bytes.size() < 28) return false;
+  const std::uint8_t fc0 = rec.bytes[0];
+  const std::uint8_t fc1 = rec.bytes[1];
+  if ((fc0 & 0x03) != 0) return false;  // protocol version != 0
+  const auto type = FromBits((fc0 >> 2) & 0x03, (fc0 >> 4) & 0x0F);
+  if (!type) return false;
+  if (IsControl(*type)) return false;   // ACK/CTS/RTS: identical bytes
+  if ((fc1 & 0x08) != 0) return false;  // retry: retransmissions repeat bytes
+  if (*type == FrameType::kProbeRequest) return false;  // zero-seq stations
   return true;
 }
 

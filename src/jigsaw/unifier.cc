@@ -46,6 +46,7 @@ void Unifier::Refill(std::size_t trace) {
     Head head;
     head.valid_frame = rec->outcome == RxOutcome::kOk;
     head.unique_reference = head.valid_frame && IsUniqueReference(*rec);
+    head.channel = traces_.at(trace).header().channel;
     head.key = MakeContentKey(rec->bytes);
     head.universal = clocks_[trace].ToUniversal(rec->timestamp);
     head.record = std::move(*rec);
@@ -89,7 +90,8 @@ void Unifier::ProcessOneGroup() {
   if (!seed.valid_frame) {
     for (std::size_t t : candidates) {
       const Head& h = *heads_[t];
-      if (h.valid_frame && h.record.orig_len == seed.record.orig_len &&
+      if (h.valid_frame && h.channel == seed.channel &&
+          h.record.orig_len == seed.record.orig_len &&
           h.record.rate == seed.record.rate) {
         rep_trace = t;
         break;
@@ -112,6 +114,11 @@ void Unifier::ProcessOneGroup() {
     const double spread = std::abs(h.universal - rep.universal);
     if (&h == &rep) {
       matches = true;
+    } else if (h.channel != rep.channel) {
+      // One transmission is only ever captured on one channel (1/6/11 are
+      // orthogonal); cross-channel instances are distinct transmissions.
+      // This is also what makes channel shards independently unifiable.
+      matches = false;
     } else if (spread > match_limit) {
       matches = false;
     } else if (h.valid_frame) {

@@ -60,6 +60,22 @@ struct UnifyStats {
                         : static_cast<double>(events_unified) /
                               static_cast<double>(jframes);
   }
+
+  // Shard accumulation: every counter is a plain sum, so stats from
+  // independently-unified channel shards combine into exactly the stats a
+  // single global pass would have produced.
+  UnifyStats& operator+=(const UnifyStats& other) {
+    events_in += other.events_in;
+    valid_in += other.valid_in;
+    fcs_error_in += other.fcs_error_in;
+    phy_error_in += other.phy_error_in;
+    events_unified += other.events_unified;
+    jframes += other.jframes;
+    error_instances_attached += other.error_instances_attached;
+    error_events_dropped += other.error_events_dropped;
+    resyncs += other.resyncs;
+    return *this;
+  }
 };
 
 class Unifier {
@@ -97,6 +113,7 @@ class Unifier {
     double universal = 0.0;
     bool valid_frame = false;          // outcome == kOk
     bool unique_reference = false;
+    Channel channel = Channel::kCh1;   // capturing radio's channel
     ContentKey key;
   };
 

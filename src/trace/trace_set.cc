@@ -1,8 +1,44 @@
 #include "trace/trace_set.h"
 
 #include <algorithm>
+#include <map>
+#include <stdexcept>
 
 namespace jig {
+
+std::vector<ChannelShard> TraceSet::PartitionByChannel() {
+  std::map<Channel, ChannelShard> by_channel;  // ordered by channel number
+  for (std::size_t i = 0; i < streams_.size(); ++i) {
+    const Channel ch = streams_[i]->header().channel;
+    auto [it, inserted] = by_channel.try_emplace(ch);
+    if (inserted) it->second.channel = ch;
+    it->second.traces.Add(std::move(streams_[i]));
+    it->second.source_index.push_back(i);
+  }
+  streams_.clear();
+  std::vector<ChannelShard> shards;
+  shards.reserve(by_channel.size());
+  for (auto& [ch, shard] : by_channel) shards.push_back(std::move(shard));
+  return shards;
+}
+
+void TraceSet::AdoptShards(std::vector<ChannelShard> shards) {
+  if (!streams_.empty()) {
+    throw std::logic_error("AdoptShards: target TraceSet is not empty");
+  }
+  std::size_t total = 0;
+  for (const auto& shard : shards) total += shard.traces.size();
+  streams_.resize(total);
+  for (auto& shard : shards) {
+    for (std::size_t i = 0; i < shard.traces.size(); ++i) {
+      const std::size_t at = shard.source_index[i];
+      if (at >= total || streams_[at]) {
+        throw std::logic_error("AdoptShards: inconsistent source indices");
+      }
+      streams_[at] = std::move(shard.traces.streams_[i]);
+    }
+  }
+}
 
 TraceSet TraceSet::OpenDirectory(const std::filesystem::path& dir) {
   std::vector<std::filesystem::path> paths;

@@ -22,6 +22,11 @@ class RecordStream {
   virtual ~RecordStream() = default;
   virtual const TraceHeader& header() const = 0;
   virtual std::optional<CaptureRecord> Next() = 0;
+  // Zero-copy scan: advances like Next() but hands back a pointer instead
+  // of materializing a record (bootstrap reads every record of its window
+  // this way).  nullptr at end of stream; the pointer is invalidated by the
+  // next Next/NextRef/Rewind call.
+  virtual const CaptureRecord* NextRef() = 0;
   virtual void Rewind() = 0;
 };
 
@@ -35,6 +40,10 @@ class MemoryTrace final : public RecordStream {
   std::optional<CaptureRecord> Next() override {
     if (pos_ >= records_.size()) return std::nullopt;
     return records_[pos_++];
+  }
+  const CaptureRecord* NextRef() override {
+    if (pos_ >= records_.size()) return nullptr;
+    return &records_[pos_++];
   }
   void Rewind() override { pos_ = 0; }
 
@@ -54,13 +63,20 @@ class FileTrace final : public RecordStream {
 
   const TraceHeader& header() const override { return reader_.header(); }
   std::optional<CaptureRecord> Next() override { return reader_.Next(); }
+  const CaptureRecord* NextRef() override {
+    scan_buffer_ = reader_.Next();
+    return scan_buffer_ ? &*scan_buffer_ : nullptr;
+  }
   void Rewind() override { reader_.Rewind(); }
 
   TraceFileReader& reader() { return reader_; }
 
  private:
   TraceFileReader reader_;
+  std::optional<CaptureRecord> scan_buffer_;  // NextRef's backing storage
 };
+
+struct ChannelShard;
 
 // Owning collection of streams, one per radio.
 class TraceSet {
@@ -89,8 +105,28 @@ class TraceSet {
   std::vector<std::filesystem::path> WriteDirectory(
       const std::filesystem::path& dir);
 
+  // Moves every stream into per-channel shards — the parallel unit of the
+  // sharded merge: 802.11 instances of one transmission only ever appear on
+  // monitors tuned to the same channel, so each shard can be unified
+  // independently.  This set becomes empty; shards are ordered by channel
+  // number and preserve this set's relative stream order within a channel.
+  std::vector<ChannelShard> PartitionByChannel();
+
+  // Inverse of PartitionByChannel: moves every shard stream back into this
+  // (empty) set at its recorded source index, restoring the original order.
+  void AdoptShards(std::vector<ChannelShard> shards);
+
  private:
   std::vector<std::unique_ptr<RecordStream>> streams_;
+};
+
+// One channel's slice of a TraceSet.  `source_index[i]` is the position
+// stream i held in the originating set (needed to slice per-trace state such
+// as bootstrap offsets, and to reassemble the set afterwards).
+struct ChannelShard {
+  Channel channel = Channel::kCh1;
+  TraceSet traces;
+  std::vector<std::size_t> source_index;
 };
 
 }  // namespace jig

@@ -5,13 +5,6 @@
 #include "util/crc32.h"
 
 namespace jig {
-namespace {
-
-// Frame-control type/subtype encoding per IEEE 802.11-1999 Table 1.
-struct TypeBits {
-  std::uint8_t type;     // 0 mgmt, 1 ctrl, 2 data
-  std::uint8_t subtype;  // 4 bits
-};
 
 TypeBits ToBits(FrameType t) {
   switch (t) {
@@ -57,6 +50,8 @@ std::optional<FrameType> FromBits(std::uint8_t type, std::uint8_t subtype) {
       return std::nullopt;
   }
 }
+
+namespace {
 
 void WriteMac(ByteWriter& w, const MacAddress& mac) {
   w.Raw(std::span<const std::uint8_t>(mac.octets().data(), 6));

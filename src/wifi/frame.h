@@ -55,6 +55,16 @@ constexpr bool IsData(FrameType t) { return t == FrameType::kData; }
 
 std::string FrameTypeName(FrameType t);
 
+// Frame-control type/subtype encoding per IEEE 802.11-1999 Table 1.
+// Exposed so hot paths can classify a capture from its first two bytes
+// without a full parse (e.g. bootstrap reference screening).
+struct TypeBits {
+  std::uint8_t type = 0;     // 0 mgmt, 1 ctrl, 2 data
+  std::uint8_t subtype = 0;  // 4 bits
+};
+TypeBits ToBits(FrameType t);
+std::optional<FrameType> FromBits(std::uint8_t type, std::uint8_t subtype);
+
 struct Frame {
   FrameType type = FrameType::kData;
   bool retry = false;

@@ -1,0 +1,131 @@
+// AnalysisBus: one streaming pass must reproduce exactly what the batch
+// collect-then-rescan analyses computed.
+#include "jigsaw/analysis/bus.h"
+
+#include <gtest/gtest.h>
+
+#include "jigsaw/pipeline.h"
+#include "sim/scenario.h"
+
+namespace jig {
+namespace {
+
+class BusEquivalence : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ScenarioConfig cfg;
+    cfg.seed = 21;
+    cfg.duration = Seconds(3);
+    cfg.clients = 12;
+    cfg.pods_enabled = 8;
+    scenario_ = new Scenario(cfg);
+    scenario_->Run();
+    traces_ = new TraceSet(scenario_->TakeTraces());
+    batch_ = new MergeResult(MergeTraces(*traces_));
+  }
+  static void TearDownTestSuite() {
+    delete batch_;
+    delete traces_;
+    delete scenario_;
+    batch_ = nullptr;
+    traces_ = nullptr;
+    scenario_ = nullptr;
+  }
+
+  static Scenario* scenario_;
+  static TraceSet* traces_;
+  static MergeResult* batch_;
+};
+
+Scenario* BusEquivalence::scenario_ = nullptr;
+TraceSet* BusEquivalence::traces_ = nullptr;
+MergeResult* BusEquivalence::batch_ = nullptr;
+
+TEST_F(BusEquivalence, SinglePassMatchesBatchAnalyses) {
+  AnalysisBus bus;
+  auto& collector = bus.Emplace<CollectorConsumer>();
+  auto& reconstruction = bus.Emplace<ReconstructionConsumer>(collector);
+  auto& dispersion = bus.Emplace<DispersionConsumer>();
+  auto& activity = bus.Emplace<ActivityConsumer>(Seconds(1));
+  auto& coverage =
+      bus.Emplace<WiredCoverageConsumer>(scenario_->wired_records());
+  auto& tcp_loss = bus.Emplace<TcpLossConsumer>(reconstruction);
+  bus.SetTerminal(collector);  // collector receives the stream by move
+  ASSERT_EQ(bus.consumer_count(), 6u);
+
+  MergeConfig cfg;
+  cfg.threads = 0;  // the parallel merge feeds the bus
+  MergeTracesStreaming(*traces_, cfg, bus.Sink());
+  bus.Finish();
+
+  // The stream the bus saw is the batch stream.
+  ASSERT_EQ(bus.jframes_seen(), batch_->jframes.size());
+  ASSERT_EQ(collector.jframes().size(), batch_->jframes.size());
+
+  // Dispersion: identical distribution.
+  const auto batch_disp = DispersionDistribution(batch_->jframes);
+  ASSERT_EQ(dispersion.distribution().size(), batch_disp.size());
+  if (!batch_disp.empty()) {
+    EXPECT_DOUBLE_EQ(dispersion.distribution().Quantile(0.9),
+                     batch_disp.Quantile(0.9));
+    EXPECT_DOUBLE_EQ(dispersion.distribution().Mean(), batch_disp.Mean());
+  }
+
+  // Activity: identical series, bin by bin.
+  const auto batch_act = ComputeActivity(batch_->jframes, Seconds(1));
+  const auto& streamed_act = activity.series();
+  ASSERT_EQ(streamed_act.Bins(), batch_act.Bins());
+  EXPECT_EQ(streamed_act.origin, batch_act.origin);
+  for (std::size_t i = 0; i < batch_act.Bins(); ++i) {
+    EXPECT_EQ(streamed_act.active_clients[i], batch_act.active_clients[i]);
+    EXPECT_EQ(streamed_act.active_aps[i], batch_act.active_aps[i]);
+    EXPECT_DOUBLE_EQ(streamed_act.data_bytes[i], batch_act.data_bytes[i]);
+    EXPECT_DOUBLE_EQ(streamed_act.mgmt_bytes[i], batch_act.mgmt_bytes[i]);
+    EXPECT_DOUBLE_EQ(streamed_act.beacon_bytes[i], batch_act.beacon_bytes[i]);
+    EXPECT_DOUBLE_EQ(streamed_act.arp_bytes[i], batch_act.arp_bytes[i]);
+    EXPECT_DOUBLE_EQ(streamed_act.broadcast_airtime_fraction[i],
+                     batch_act.broadcast_airtime_fraction[i]);
+  }
+
+  // Coverage: identical aggregate match.
+  const auto batch_cov =
+      ComputeWiredCoverage(scenario_->wired_records(), batch_->jframes);
+  EXPECT_EQ(coverage.report().wired_packets, batch_cov.wired_packets);
+  EXPECT_EQ(coverage.report().matched_packets, batch_cov.matched_packets);
+  EXPECT_EQ(coverage.report().stations.size(), batch_cov.stations.size());
+
+  // Reconstruction (shared collector buffer) and TCP loss.
+  const auto batch_link = ReconstructLink(batch_->jframes);
+  EXPECT_EQ(reconstruction.link().attempts.size(),
+            batch_link.attempts.size());
+  EXPECT_EQ(reconstruction.link().exchanges.size(),
+            batch_link.exchanges.size());
+  const auto batch_transport = ReconstructTransport(batch_->jframes,
+                                                    batch_link);
+  const auto batch_loss = ComputeTcpLoss(batch_transport);
+  EXPECT_EQ(tcp_loss.report().flows_considered,
+            batch_loss.flows_considered);
+  EXPECT_DOUBLE_EQ(tcp_loss.report().aggregate_loss_rate,
+                   batch_loss.aggregate_loss_rate);
+  EXPECT_DOUBLE_EQ(tcp_loss.report().aggregate_wireless_rate,
+                   batch_loss.aggregate_wireless_rate);
+}
+
+TEST_F(BusEquivalence, OnlineMonitorRidesTheBus) {
+  AnalysisBus bus;
+  std::uint64_t windows = 0;
+  std::uint64_t jframes_in_windows = 0;
+  auto& online = bus.Emplace<OnlineMonitorConsumer>(
+      Seconds(1), [&](const OnlineWindowStats& w) {
+        ++windows;
+        jframes_in_windows += w.jframes;
+      });
+  MergeTracesStreaming(*traces_, {}, bus.Sink());
+  bus.Finish();
+  EXPECT_EQ(windows, online.monitor().windows_emitted());
+  EXPECT_GT(windows, 1u);
+  EXPECT_EQ(jframes_in_windows, bus.jframes_seen());
+}
+
+}  // namespace
+}  // namespace jig

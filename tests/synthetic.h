@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "trace/trace_set.h"
+#include "util/rng.h"
 #include "wifi/frame.h"
 
 namespace jig::testing {
@@ -98,5 +99,78 @@ class SyntheticNetwork {
   std::vector<SyntheticRadio> radios_;
   std::vector<SyntheticTx> txs_;
 };
+
+// Seeded multi-channel deployment for the sharded-merge tests: six radios
+// on three monitors, each monitor's two radios sharing one clock but tuned
+// to different channels, so bootstrap must bridge 1 → 6 → 11 transitively.
+// Traffic is randomized per channel — unified pairs, single-receiver
+// frames, corrupted copies, and byte-identical back-to-back ACKs (the
+// duplicate-window case) — which exercises every unifier grouping path on
+// every shard.
+inline SyntheticNetwork MultiChannelNetwork(std::uint64_t seed,
+                                            TrueMicros duration = Seconds(5)) {
+  Rng rng(seed);
+  const double mon_offset[3] = {rng.NextDouble(-5000.0, 5000.0),
+                                rng.NextDouble(-5000.0, 5000.0),
+                                rng.NextDouble(-5000.0, 5000.0)};
+  const double mon_skew[3] = {rng.NextDouble(-30.0, 30.0),
+                              rng.NextDouble(-30.0, 30.0),
+                              rng.NextDouble(-30.0, 30.0)};
+  const auto radio = [&](RadioId id, std::uint16_t mon, Channel ch) {
+    return SyntheticRadio{.id = id,
+                          .monitor = mon,
+                          .channel = ch,
+                          .offset_us = mon_offset[mon],
+                          .skew_ppm = mon_skew[mon]};
+  };
+  SyntheticNetwork net({
+      radio(0, 0, Channel::kCh1), radio(1, 0, Channel::kCh6),
+      radio(2, 1, Channel::kCh6), radio(3, 1, Channel::kCh11),
+      radio(4, 2, Channel::kCh11), radio(5, 2, Channel::kCh1),
+  });
+  // Which radios listen on each channel (index: 0=ch1, 1=ch6, 2=ch11).
+  const std::vector<RadioId> listeners[3] = {{0, 5}, {1, 2}, {3, 4}};
+
+  // Anchors inside the bootstrap window so every channel contributes a
+  // reference set heard by two radios.
+  std::uint16_t seq[3] = {1, 1, 1};
+  for (int c = 0; c < 3; ++c) {
+    net.Data(5'000 + c * 2'000, static_cast<std::uint16_t>(1 + c * 4),
+             seq[c]++, listeners[c]);
+  }
+
+  for (TrueMicros t = 30'000; t < duration;
+       t += 1'500 + static_cast<TrueMicros>(rng.NextBelow(6'000))) {
+    const int c = static_cast<int>(rng.NextBelow(3));
+    const auto client = static_cast<std::uint16_t>(1 + c * 4 + rng.NextBelow(3));
+    const auto heard = listeners[c];
+    const double kind = rng.NextDouble();
+    if (kind < 0.55) {
+      net.Data(t, client, seq[c]++ & 0x0FFF, heard);
+    } else if (kind < 0.70) {
+      // Heard by only one of the channel's radios.
+      net.Data(t, client, seq[c]++ & 0x0FFF, {heard[rng.NextBelow(2)]});
+    } else if (kind < 0.85) {
+      // One valid copy, one corrupted copy.
+      SyntheticTx tx;
+      tx.at = t;
+      tx.frame = MakeData(MacAddress::Ap(static_cast<std::uint16_t>(c)),
+                          MacAddress::Client(client),
+                          MacAddress::Ap(static_cast<std::uint16_t>(c)),
+                          seq[c]++ & 0x0FFF, Bytes{7, 7, 7, 7}, PhyRate::kB2,
+                          false, true);
+      tx.heard_by = {heard[0]};
+      tx.corrupted_at = {heard[1]};
+      net.Transmit(std::move(tx));
+    } else {
+      // Byte-identical ACKs 1 ms apart: must stay separate jframes.
+      const Frame ack = MakeAck(MacAddress::Client(client), PhyRate::kB2);
+      net.Transmit(SyntheticTx{.at = t, .frame = ack, .heard_by = heard});
+      net.Transmit(
+          SyntheticTx{.at = t + 1'000, .frame = ack, .heard_by = heard});
+    }
+  }
+  return net;
+}
 
 }  // namespace jig::testing
