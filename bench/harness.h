@@ -59,9 +59,11 @@ struct MergedRun {
 };
 
 // Runs the scenario and the full reconstruction pipeline.  The merge
-// streams through the analysis bus: the collector keeps the jframes the
-// figure harnesses re-render, and link/transport reconstruction shares that
-// one buffer — a single pass with a single copy of the stream in memory.
+// streams through the analysis bus: link + transport reconstruction ride
+// the windowed incremental LinkReconstructor (O(exchange-timeout) jframe
+// retention inside the consumer), while the collector keeps the one jframe
+// copy the figure harnesses re-render — a single pass with a single copy
+// of the stream in memory.
 inline MergedRun RunAndReconstruct(Scenario& scenario) {
   scenario.Run();
   auto traces = scenario.TakeTraces();
@@ -70,7 +72,8 @@ inline MergedRun RunAndReconstruct(Scenario& scenario) {
 
   AnalysisBus bus;
   auto& collector = bus.Emplace<CollectorConsumer>();
-  auto& reconstruction = bus.Emplace<ReconstructionConsumer>(collector);
+  auto& link = bus.Emplace<LinkConsumer>();
+  ReconstructionObserver reconstruction(link);
   bus.SetTerminal(collector);  // jframes are moved into the buffer
   auto stream = MergeTracesStreaming(traces, {}, bus.Sink());
   bus.Finish();

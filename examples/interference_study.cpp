@@ -31,21 +31,25 @@ int main(int argc, char** argv) {
   auto traces = scenario.TakeTraces();
 
   // Single pass: parallel channel-sharded merge feeding the analysis bus.
+  // The estimator rides the windowed link reconstructor — overlap flags and
+  // pair counters update incrementally, so no jframe vector is ever
+  // buffered (peak memory is bounded by the 500 ms exchange timeout).
   InterferenceConfig icfg;
   icfg.min_packets = 25;
   AnalysisBus bus;
-  auto& buffer = bus.Emplace<CollectorConsumer>();
-  auto& reconstruction = bus.Emplace<ReconstructionConsumer>(buffer);
-  auto& interference = bus.Emplace<InterferenceConsumer>(reconstruction, icfg);
-  bus.SetTerminal(buffer);
+  auto& link = bus.Emplace<LinkConsumer>();
+  auto& interference = bus.Emplace<InterferenceConsumer>(link, icfg);
   MergeConfig mcfg;
   mcfg.threads = 0;  // auto: one worker per channel shard
   MergeTracesStreaming(traces, mcfg, bus.Sink());
   bus.Finish();
   const InterferenceReport& report = interference.report();
 
-  std::printf("analyzed %zu (s,r) pairs with >=%u transmissions\n",
-              report.pairs.size(), icfg.min_packets);
+  std::printf("analyzed %zu (s,r) pairs with >=%u transmissions "
+              "(peak window: %zu of %llu jframes)\n",
+              report.pairs.size(), icfg.min_packets,
+              link.peak_window_jframes(),
+              static_cast<unsigned long long>(bus.jframes_seen()));
   std::printf("background loss rate (no contention): %.3f\n",
               report.mean_background_loss);
   std::printf("pairs with measurable interference:  %.1f%%\n\n",

@@ -12,6 +12,10 @@
 //
 // The merge and timeline commands run the streaming pipeline into the
 // analysis bus — one pass over the traces feeds every analysis at once.
+// merge is fully windowed (link, interference and TCP loss ride the
+// incremental reconstructor; memory stays O(exchange-timeout window));
+// timeline opts into the collector buffer because rendering needs the
+// whole jframe vector.
 //
 // Usage: ./build/examples/jigtool <command> <trace_dir> [args]
 #include <cstdio>
@@ -67,12 +71,15 @@ int CmdMerge(const char* dir, unsigned threads) {
     return 1;
   }
   // One streaming pass: the (optionally channel-sharded parallel) merge
-  // feeds link reconstruction and the dispersion CDF through the bus.
+  // feeds the windowed link reconstruction, the interference and TCP-loss
+  // figures and the dispersion CDF through the bus — no jframe vector is
+  // ever materialized; peak buffering is bounded by the 500 ms exchange
+  // timeout.
   AnalysisBus bus;
-  auto& buffer = bus.Emplace<CollectorConsumer>();
-  auto& reconstruction = bus.Emplace<ReconstructionConsumer>(buffer);
+  auto& link = bus.Emplace<LinkConsumer>();
+  auto& interference = bus.Emplace<InterferenceConsumer>(link);
+  auto& tcp_loss = bus.Emplace<TcpLossConsumer>(link);
   auto& dispersion = bus.Emplace<DispersionConsumer>();
-  bus.SetTerminal(buffer);
   MergeConfig cfg;
   cfg.threads = threads;
   const auto stream = MergeTracesStreaming(traces, cfg, bus.Sink());
@@ -99,9 +106,32 @@ int CmdMerge(const char* dir, unsigned threads) {
                 dispersion.distribution().Quantile(0.90),
                 dispersion.distribution().Quantile(0.99));
   }
-  std::printf("link layer:        %zu attempts -> %zu exchanges\n",
-              reconstruction.link().attempts.size(),
-              reconstruction.link().exchanges.size());
+  std::printf("link layer:        %llu attempts -> %llu exchanges "
+              "(%.2f%% / %.2f%% inferred)\n",
+              static_cast<unsigned long long>(link.stats().attempts),
+              static_cast<unsigned long long>(link.stats().exchanges),
+              100.0 * link.stats().AttemptInferenceRate(),
+              100.0 * link.stats().ExchangeInferenceRate());
+  std::printf("interference:      %zu (s,r) pairs, %.1f%% interfered, "
+              "background loss %.3f\n",
+              interference.report().pairs.size(),
+              100.0 * interference.report().fraction_pairs_interfered,
+              interference.report().mean_background_loss);
+  std::printf("tcp loss:          %llu flows, %.4f aggregate "
+              "(%.4f wireless / %.4f wired)\n",
+              static_cast<unsigned long long>(
+                  tcp_loss.report().flows_considered),
+              tcp_loss.report().aggregate_loss_rate,
+              tcp_loss.report().aggregate_wireless_rate,
+              tcp_loss.report().aggregate_wired_rate);
+  std::printf("stream window:     peak %zu jframes buffered "
+              "(%.2f%% of %llu)\n",
+              link.peak_window_jframes(),
+              bus.jframes_seen()
+                  ? 100.0 * static_cast<double>(link.peak_window_jframes()) /
+                        static_cast<double>(bus.jframes_seen())
+                  : 0.0,
+              static_cast<unsigned long long>(bus.jframes_seen()));
   return 0;
 }
 

@@ -55,6 +55,12 @@ int main(int argc, char** argv) {
                     static_cast<long long>(w.worst_dispersion));
       });
   auto& dispersion = bus.Emplace<DispersionConsumer>();
+  // Link + TCP-loss health ride the windowed reconstructor in the same
+  // pass: exactly what a NOC would alarm on, still with no trace-sized
+  // buffer (peak jframe retention is bounded by the 500 ms exchange
+  // timeout).
+  auto& link = bus.Emplace<LinkConsumer>();
+  auto& tcp_loss = bus.Emplace<TcpLossConsumer>(link);
 
   // The streaming path: no jframe vector is ever materialized.
   MergeConfig mcfg;
@@ -74,5 +80,15 @@ int main(int argc, char** argv) {
                   : dispersion.distribution().Quantile(0.90),
               static_cast<unsigned long long>(
                   dispersion.distribution().size()));
+  std::printf("link health: %llu exchanges (%.2f%% inferred); TCP loss "
+              "%.4f over %llu flows (%.4f wireless); peak window %zu "
+              "jframes\n",
+              static_cast<unsigned long long>(link.stats().exchanges),
+              100.0 * link.stats().ExchangeInferenceRate(),
+              tcp_loss.report().aggregate_loss_rate,
+              static_cast<unsigned long long>(
+                  tcp_loss.report().flows_considered),
+              tcp_loss.report().aggregate_wireless_rate,
+              link.peak_window_jframes());
   return 0;
 }

@@ -14,13 +14,23 @@
 //   MergeTracesStreaming(traces, config, bus.Sink());
 //   bus.Finish();
 //
-// Consumers whose analysis inherently needs full link/transport
-// reconstruction (interference, TCP loss) share one ReconstructionConsumer
-// buffer instead of each keeping a private copy; register the dependency
-// before its dependents — Finish() runs in registration order.
+// Link-dependent analyses (interference, TCP loss) ride the windowed
+// LinkConsumer: the incremental LinkReconstructor emits attempts and
+// exchanges as the watermark passes the 500 ms exchange-timeout bound, so
+// their memory is O(timeout window).  Register the LinkConsumer before its
+// dependents — Finish() runs in registration order:
+//
+//   auto& link = bus.Emplace<LinkConsumer>();
+//   auto& interference = bus.Emplace<InterferenceConsumer>(link);
+//   auto& tcp_loss = bus.Emplace<TcpLossConsumer>(link);
+//
+// The full-trace ReconstructionConsumer buffer remains available as the
+// opt-in path for consumers of the batch-only APIs (e.g. timeline
+// rendering over the collected jframe vector).
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <utility>
@@ -131,6 +141,128 @@ inline void AnalysisBus::OnJFrame(JFrame&& jf) {
   if (terminal_ != nullptr) terminal_->Collect(std::move(jf));
 }
 
+// Subscriber on the streaming link reconstruction.  OnStreamJFrame is
+// dispatched for every jframe *before* the reconstructor's FSM sees it, so
+// per-jframe side state (e.g. interference overlap flags) is already in
+// place when OnAttempt/OnExchange fire; OnLinkFinish runs after the final
+// Flush().
+class LinkObserver {
+ public:
+  virtual ~LinkObserver() = default;
+  virtual void OnStreamJFrame(const JFrame& /*jf*/, std::uint64_t /*index*/) {}
+  virtual void OnAttempt(const TransmissionAttempt& /*attempt*/) {}
+  // `data` points at the exchange's DATA jframe inside the consumer's
+  // window (nullptr when only control frames were observed) and is valid
+  // only for the duration of the call.
+  virtual void OnExchange(const FrameExchange& /*exchange*/,
+                          const JFrame* /*data*/) {}
+  virtual void OnLinkFinish() {}
+};
+
+// Windowed, incremental link reconstruction on the bus.  Keeps only the
+// jframes still referenced by un-emitted attempts/exchanges (bounded by the
+// 500 ms exchange timeout), fanning emissions out to registered observers —
+// the streaming replacement for the ReconstructionConsumer's full-trace
+// buffer.  Register observers before the stream starts.
+class LinkConsumer final : public JFrameConsumer {
+ public:
+  explicit LinkConsumer(LinkConfig config = {})
+      : reconstructor_(
+            config,
+            [this](const TransmissionAttempt& a) {
+              for (auto* o : observers_) o->OnAttempt(a);
+            },
+            [this](const FrameExchange& ex) { Dispatch(ex); }) {}
+
+  void AddObserver(LinkObserver& observer) {
+    observers_.push_back(&observer);
+  }
+
+  const char* name() const override { return "link"; }
+
+  void OnJFrame(const JFrame& jf) override {
+    const std::uint64_t index = reconstructor_.jframes_seen();
+    window_.push_back(jf);
+    peak_window_ = std::max(peak_window_, window_.size());
+    for (auto* o : observers_) o->OnStreamJFrame(jf, index);
+    reconstructor_.OnJFrame(jf);
+    Prune();
+  }
+
+  void Finish() override {
+    reconstructor_.Flush();
+    Prune();
+    for (auto* o : observers_) o->OnLinkFinish();
+  }
+
+  const LinkStats& stats() const { return reconstructor_.stats(); }
+  const LinkReconstructor& reconstructor() const { return reconstructor_; }
+  std::uint64_t min_live_jframe() const {
+    return reconstructor_.min_live_jframe();
+  }
+  // Peak number of jframes buffered at once — the O(window) memory bound.
+  std::size_t peak_window_jframes() const { return peak_window_; }
+  std::size_t window_jframes() const { return window_.size(); }
+
+ private:
+  void Dispatch(const FrameExchange& ex) {
+    const JFrame* data = nullptr;
+    if (ex.data_jframe >= 0) {
+      data = &window_[static_cast<std::size_t>(ex.data_jframe) - base_];
+    }
+    for (auto* o : observers_) o->OnExchange(ex, data);
+  }
+
+  void Prune() {
+    const std::uint64_t live = reconstructor_.min_live_jframe();
+    while (base_ < live && !window_.empty()) {
+      window_.pop_front();
+      ++base_;
+    }
+  }
+
+  std::vector<LinkObserver*> observers_;
+  std::deque<JFrame> window_;
+  std::uint64_t base_ = 0;
+  std::size_t peak_window_ = 0;
+  // Declared last: its sinks capture `this` and read the members above.
+  LinkReconstructor reconstructor_;
+};
+
+// Collects the streamed attempts/exchanges (and incrementally-reconstructed
+// transport state) back into the batch structs, without ever buffering the
+// jframe stream — for callers that want the whole LinkReconstruction /
+// TransportReconstruction but not the jframe vector.
+class ReconstructionObserver final : public LinkObserver {
+ public:
+  explicit ReconstructionObserver(LinkConsumer& link) : link_(&link) {
+    link.AddObserver(*this);
+  }
+
+  void OnAttempt(const TransmissionAttempt& a) override {
+    link_rec_.attempts.push_back(a);
+  }
+  void OnExchange(const FrameExchange& ex, const JFrame* data) override {
+    link_rec_.exchanges.push_back(ex);
+    tracker_.OnExchange(ex, data != nullptr ? &data->frame : nullptr);
+  }
+  void OnLinkFinish() override {
+    link_rec_.stats = link_->stats();
+    transport_ = tracker_.Finish();
+  }
+
+  const LinkReconstruction& link() const { return link_rec_; }
+  const TransportReconstruction& transport() const { return transport_; }
+  LinkReconstruction TakeLink() { return std::move(link_rec_); }
+  TransportReconstruction TakeTransport() { return std::move(transport_); }
+
+ private:
+  const LinkConsumer* link_;
+  LinkReconstruction link_rec_;
+  TransportTracker tracker_;
+  TransportReconstruction transport_;
+};
+
 // Figure 4: group-dispersion distribution.
 class DispersionConsumer final : public JFrameConsumer {
  public:
@@ -184,12 +316,11 @@ class WiredCoverageConsumer final : public JFrameConsumer {
   CoverageReport report_;
 };
 
-// Link + transport reconstruction over the full stream.  The
-// reconstruction algorithms are inherently whole-trace (retransmission
-// chains and covering-ACK oracles look arbitrarily far forward), so this
-// consumer buffers the stream — but exactly once, shared by every
-// dependent analysis, instead of per-bench copies.  Construct with a
-// CollectorConsumer to reuse its buffer and avoid even that copy.
+// Link + transport reconstruction over a full-trace buffer — the opt-in
+// batch path.  Most dependents should ride the windowed LinkConsumer
+// instead; keep this one for analyses that genuinely need the whole jframe
+// vector alongside the reconstruction (e.g. timeline rendering).  Construct
+// with a CollectorConsumer to reuse its buffer and avoid even that copy.
 class ReconstructionConsumer final : public JFrameConsumer {
  public:
   ReconstructionConsumer() = default;
@@ -220,32 +351,68 @@ class ReconstructionConsumer final : public JFrameConsumer {
   TransportReconstruction transport_;
 };
 
-// Figure 9: co-channel interference.  Register after `reconstruction`.
-class InterferenceConsumer final : public JFrameConsumer {
+// Figure 9: co-channel interference.
+//
+// Streaming form: construct with a LinkConsumer (registered on the bus
+// before this consumer) and the per-channel windowed sweep plus pair
+// counters update incrementally — no jframe buffering.  Batch form:
+// construct with a ReconstructionConsumer; the report is computed over its
+// full-trace buffer at Finish().
+class InterferenceConsumer final : public JFrameConsumer,
+                                   public LinkObserver {
  public:
+  explicit InterferenceConsumer(LinkConsumer& link,
+                                InterferenceConfig config = {})
+      : link_(&link), tracker_(config) {
+    link.AddObserver(*this);
+  }
   explicit InterferenceConsumer(const ReconstructionConsumer& reconstruction,
                                 InterferenceConfig config = {})
       : reconstruction_(&reconstruction), config_(config) {}
 
   const char* name() const override { return "interference"; }
-  void OnJFrame(const JFrame&) override {}
+  void OnJFrame(const JFrame&) override {}  // fed via the LinkConsumer
+
+  void OnStreamJFrame(const JFrame& jf, std::uint64_t) override {
+    tracker_.OnJFrame(jf);
+    tracker_.Retire(link_->min_live_jframe());
+  }
+  void OnAttempt(const TransmissionAttempt& a) override {
+    tracker_.OnAttempt(a);
+  }
+
   void Finish() override {
-    report_ = ComputeInterference(reconstruction_->jframes(),
-                                  reconstruction_->link(), config_);
+    report_ = reconstruction_ != nullptr
+                  ? ComputeInterference(reconstruction_->jframes(),
+                                        reconstruction_->link(), config_)
+                  : tracker_.Finish();
   }
 
   const InterferenceReport& report() const { return report_; }
+  const InterferenceTracker& tracker() const { return tracker_; }
 
  private:
-  const ReconstructionConsumer* reconstruction_;
+  const LinkConsumer* link_ = nullptr;
+  const ReconstructionConsumer* reconstruction_ = nullptr;
   InterferenceConfig config_;
+  InterferenceTracker tracker_;
   InterferenceReport report_;
 };
 
-// Figure 11: TCP loss decomposition.  Register after `reconstruction`.
-// With a labeler, the grouped decomposition is computed as well.
-class TcpLossConsumer final : public JFrameConsumer {
+// Figure 11: TCP loss decomposition.  With a labeler, the grouped
+// decomposition is computed as well.
+//
+// Streaming form: construct with a LinkConsumer (registered on the bus
+// before this consumer); flows update incrementally as exchanges are
+// emitted, so no jframe buffering is needed.  Batch form: construct with a
+// ReconstructionConsumer to compute over its full-trace buffer.
+class TcpLossConsumer final : public JFrameConsumer, public LinkObserver {
  public:
+  explicit TcpLossConsumer(LinkConsumer& link, TcpLossConfig config = {},
+                           TcpFlowLabeler labeler = nullptr)
+      : config_(config), labeler_(std::move(labeler)) {
+    link.AddObserver(*this);
+  }
   explicit TcpLossConsumer(const ReconstructionConsumer& reconstruction,
                            TcpLossConfig config = {},
                            TcpFlowLabeler labeler = nullptr)
@@ -254,22 +421,34 @@ class TcpLossConsumer final : public JFrameConsumer {
         labeler_(std::move(labeler)) {}
 
   const char* name() const override { return "tcp-loss"; }
-  void OnJFrame(const JFrame&) override {}
+  void OnJFrame(const JFrame&) override {}  // fed via the LinkConsumer
+
+  void OnExchange(const FrameExchange& ex, const JFrame* data) override {
+    tracker_.OnExchange(ex, data != nullptr ? &data->frame : nullptr);
+  }
+
   void Finish() override {
-    report_ = ComputeTcpLoss(reconstruction_->transport(), config_);
+    if (reconstruction_ == nullptr) transport_ = tracker_.Finish();
+    const TransportReconstruction& transport =
+        reconstruction_ != nullptr ? reconstruction_->transport()
+                                   : transport_;
+    report_ = ComputeTcpLoss(transport, config_);
     if (labeler_) {
-      groups_ = ComputeTcpLossByGroup(reconstruction_->transport(), labeler_,
-                                      config_);
+      groups_ = ComputeTcpLossByGroup(transport, labeler_, config_);
     }
   }
 
   const TcpLossReport& report() const { return report_; }
   const std::vector<TcpLossGroup>& groups() const { return groups_; }
+  // Streaming form only: the incrementally reconstructed transport layer.
+  const TransportReconstruction& transport() const { return transport_; }
 
  private:
-  const ReconstructionConsumer* reconstruction_;
+  const ReconstructionConsumer* reconstruction_ = nullptr;
   TcpLossConfig config_;
   TcpFlowLabeler labeler_;
+  TransportTracker tracker_;
+  TransportReconstruction transport_;
   TcpLossReport report_;
   std::vector<TcpLossGroup> groups_;
 };

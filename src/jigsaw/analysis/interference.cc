@@ -1,7 +1,10 @@
 #include "jigsaw/analysis/interference.h"
 
 #include <algorithm>
+#include <deque>
+#include <map>
 #include <unordered_map>
+#include <vector>
 
 namespace jig {
 namespace {
@@ -17,72 +20,115 @@ struct PairKeyHash {
   }
 };
 
-// Marks, for every jframe, whether a different transmitter's frame
-// overlapped it in time on the same channel.  Sweep over the time-ordered
-// vector keeping the still-active window.
-std::vector<bool> ComputeOverlaps(const std::vector<JFrame>& jframes) {
-  std::vector<bool> overlapped(jframes.size(), false);
-  std::vector<std::size_t> active;  // indices with end >= current start
-  for (std::size_t i = 0; i < jframes.size(); ++i) {
-    const JFrame& jf = jframes[i];
-    // Retire expired frames.
-    std::erase_if(active, [&](std::size_t j) {
-      return jframes[j].EndTime() <= jf.timestamp;
-    });
-    for (std::size_t j : active) {
-      const JFrame& other = jframes[j];
-      if (other.channel != jf.channel) continue;
-      const auto t1 = jf.frame.Transmitter();
-      const auto t2 = other.frame.Transmitter();
-      if (t1 && t2 && *t1 == *t2) continue;  // same sender (CTS+DATA pair)
-      overlapped[i] = true;
-      overlapped[j] = true;
-    }
-    active.push_back(i);
-  }
-  return overlapped;
-}
+// A transmission still on the air as far as its channel's sweep knows.
+struct ActiveFrame {
+  std::uint64_t index = 0;
+  UniversalMicros end = 0;
+  MacAddress transmitter;
+  bool has_transmitter = false;
+};
 
 }  // namespace
 
-InterferenceReport ComputeInterference(const std::vector<JFrame>& jframes,
-                                       const LinkReconstruction& link,
-                                       const InterferenceConfig& config) {
-  const std::vector<bool> overlapped = ComputeOverlaps(jframes);
-
+struct InterferenceTracker::Impl {
+  InterferenceConfig config;
+  std::uint64_t next_index = 0;
+  // Overlap flags for stream indices [base, next_index), pruned by Retire.
+  std::uint64_t base = 0;
+  std::deque<bool> overlapped;
+  std::size_t peak_window = 0;
+  // Per-channel still-active windows (channels are few; ordered map keeps
+  // iteration deterministic).
+  std::map<Channel, std::vector<ActiveFrame>> active;
   std::unordered_map<PairKey, PairInterference, PairKeyHash> pairs;
-  for (const TransmissionAttempt& a : link.attempts) {
-    if (a.type != FrameType::kData || a.broadcast || a.data_jframe < 0) {
-      continue;
-    }
-    const PairKey key{a.transmitter, a.receiver};
-    auto [it, inserted] = pairs.try_emplace(key);
-    PairInterference& pi = it->second;
-    if (inserted) {
-      pi.sender = a.transmitter;
-      pi.receiver = a.receiver;
-    }
-    const bool simultaneous =
-        overlapped[static_cast<std::size_t>(a.data_jframe)];
-    // Passive loss signal: no ACK observed for this transmission (the
-    // paper's methodology; Section 7.2).
-    const bool lost = !a.acked;
-    ++pi.n;
-    if (simultaneous) {
-      ++pi.nx;
-      if (lost) ++pi.nlx;
-    } else {
-      ++pi.n0;
-      if (lost) ++pi.nl0;
-    }
-  }
 
+  void Mark(std::uint64_t index) {
+    if (index >= base) overlapped[index - base] = true;
+  }
+};
+
+InterferenceTracker::InterferenceTracker(InterferenceConfig config)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->config = config;
+}
+InterferenceTracker::~InterferenceTracker() = default;
+InterferenceTracker::InterferenceTracker(InterferenceTracker&&) noexcept =
+    default;
+InterferenceTracker& InterferenceTracker::operator=(
+    InterferenceTracker&&) noexcept = default;
+
+void InterferenceTracker::OnJFrame(const JFrame& jf) {
+  Impl& im = *impl_;
+  const std::uint64_t index = im.next_index++;
+  im.overlapped.push_back(false);
+  im.peak_window = std::max(im.peak_window, im.overlapped.size());
+
+  auto& window = im.active[jf.channel];
+  // Retire transmissions that ended before this one began.
+  std::erase_if(window, [&](const ActiveFrame& af) {
+    return af.end <= jf.timestamp;
+  });
+  const auto transmitter = jf.frame.Transmitter();
+  for (const ActiveFrame& af : window) {
+    if (transmitter && af.has_transmitter &&
+        af.transmitter == *transmitter) {
+      continue;  // same sender (CTS+DATA pair)
+    }
+    im.Mark(index);
+    im.Mark(af.index);
+  }
+  ActiveFrame af;
+  af.index = index;
+  af.end = jf.EndTime();
+  if (transmitter) {
+    af.transmitter = *transmitter;
+    af.has_transmitter = true;
+  }
+  window.push_back(af);
+}
+
+void InterferenceTracker::OnAttempt(const TransmissionAttempt& a) {
+  Impl& im = *impl_;
+  if (a.type != FrameType::kData || a.broadcast || a.data_jframe < 0) return;
+  const PairKey key{a.transmitter, a.receiver};
+  auto [it, inserted] = im.pairs.try_emplace(key);
+  PairInterference& pi = it->second;
+  if (inserted) {
+    pi.sender = a.transmitter;
+    pi.receiver = a.receiver;
+  }
+  const auto index = static_cast<std::uint64_t>(a.data_jframe);
+  const bool simultaneous =
+      index >= im.base && im.overlapped[index - im.base];
+  // Passive loss signal: no ACK observed for this transmission (the
+  // paper's methodology; Section 7.2).
+  const bool lost = !a.acked;
+  ++pi.n;
+  if (simultaneous) {
+    ++pi.nx;
+    if (lost) ++pi.nlx;
+  } else {
+    ++pi.n0;
+    if (lost) ++pi.nl0;
+  }
+}
+
+void InterferenceTracker::Retire(std::uint64_t min_live_jframe) {
+  Impl& im = *impl_;
+  while (im.base < min_live_jframe && !im.overlapped.empty()) {
+    im.overlapped.pop_front();
+    ++im.base;
+  }
+}
+
+InterferenceReport InterferenceTracker::Finish() {
+  Impl& im = *impl_;
   InterferenceReport report;
-  report.total_pairs_seen = pairs.size();
+  report.total_pairs_seen = im.pairs.size();
   double bg_sum = 0.0;
   std::size_t interfered = 0, truncated = 0, ap_senders = 0;
-  for (auto& [key, pi] : pairs) {
-    if (pi.n < config.min_packets) continue;
+  for (auto& [key, pi] : im.pairs) {
+    if (pi.n < im.config.min_packets) continue;
     bg_sum += pi.BackgroundLossRate();
     if (pi.Pi() > 0.0) {
       ++interfered;
@@ -104,6 +150,22 @@ InterferenceReport ComputeInterference(const std::vector<JFrame>& jframes,
               return a.X() < b.X();
             });
   return report;
+}
+
+std::size_t InterferenceTracker::window_size() const {
+  return impl_->overlapped.size();
+}
+std::size_t InterferenceTracker::peak_window_size() const {
+  return impl_->peak_window;
+}
+
+InterferenceReport ComputeInterference(const std::vector<JFrame>& jframes,
+                                       const LinkReconstruction& link,
+                                       const InterferenceConfig& config) {
+  InterferenceTracker tracker(config);
+  for (const JFrame& jf : jframes) tracker.OnJFrame(jf);
+  for (const TransmissionAttempt& a : link.attempts) tracker.OnAttempt(a);
+  return tracker.Finish();
 }
 
 }  // namespace jig

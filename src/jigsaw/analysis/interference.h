@@ -13,6 +13,7 @@
 // that any given transmission from s to r dies to interference.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "jigsaw/link.h"
@@ -62,6 +63,38 @@ struct InterferenceConfig {
   std::uint32_t min_packets = 100;  // per (s, r) pair, as in the paper
 };
 
+// Streaming Figure-9 estimator.  A per-channel windowed sweep marks
+// same-channel overlaps as jframes arrive, and the (s, r) pair counters
+// update as the link layer emits attempts — no jframe vector required.
+//
+// Contract: feed every jframe (in stream order, with OnJFrame assigning
+// consecutive stream indices) before any attempt referencing it arrives;
+// the windowed LinkReconstructor guarantees this, because an attempt is
+// only emitted once the watermark has passed its last frame — at which
+// point no later transmission can overlap it, so its flag is final.
+// Retire() drops overlap state below the link reconstructor's
+// min_live_jframe() watermark, keeping memory O(timeout window).
+class InterferenceTracker {
+ public:
+  explicit InterferenceTracker(InterferenceConfig config = {});
+  ~InterferenceTracker();
+  InterferenceTracker(InterferenceTracker&&) noexcept;
+  InterferenceTracker& operator=(InterferenceTracker&&) noexcept;
+
+  void OnJFrame(const JFrame& jf);
+  void OnAttempt(const TransmissionAttempt& attempt);
+  void Retire(std::uint64_t min_live_jframe);
+  InterferenceReport Finish();
+
+  std::size_t window_size() const;       // overlap flags currently retained
+  std::size_t peak_window_size() const;  // high-water mark
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+// Batch wrapper over InterferenceTracker.
 InterferenceReport ComputeInterference(const std::vector<JFrame>& jframes,
                                        const LinkReconstruction& link,
                                        const InterferenceConfig& config = {});

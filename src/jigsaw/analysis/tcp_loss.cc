@@ -32,7 +32,11 @@ struct LossAccumulator {
 };
 
 bool Eligible(const TcpFlowRecord& flow, const TcpLossConfig& config) {
-  return flow.handshake_complete && flow.DataSegments() >= config.min_segments;
+  // A zero-data flow (handshake-only) has no loss rate: with
+  // min_segments == 0 it would otherwise divide by zero and poison the
+  // Distribution means with NaN.
+  return flow.handshake_complete && flow.DataSegments() > 0 &&
+         flow.DataSegments() >= config.min_segments;
 }
 
 }  // namespace

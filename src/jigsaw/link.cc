@@ -1,11 +1,23 @@
 #include "jigsaw/link.h"
 
 #include <algorithm>
+#include <limits>
+#include <queue>
+#include <set>
+#include <tuple>
+#include <utility>
 
 namespace jig {
 namespace {
 
-constexpr int kRetryLimitGuess = kShortRetryLimit + 1;  // attempts per MSDU
+// The 802.11 short retry limit counts transmissions of one MSDU, so an
+// exchange that visibly shows kShortRetryLimit attempts has exhausted the
+// sender's budget.
+constexpr std::size_t kRetryLimitGuess = kShortRetryLimit;
+
+constexpr std::uint64_t kNoIndex = std::numeric_limits<std::uint64_t>::max();
+constexpr UniversalMicros kEndOfTime =
+    std::numeric_limits<UniversalMicros>::max();
 
 struct PendingAttempt {
   TransmissionAttempt attempt;
@@ -14,40 +26,156 @@ struct PendingAttempt {
   bool waiting_ack = false;
   bool waiting_data = false;
   bool open = false;
+  std::uint64_t first_jframe = kNoIndex;  // opening jframe of the transaction
+  std::uint64_t generation = 0;           // invalidates stale timer entries
 };
 
-class AttemptAssembler {
- public:
-  AttemptAssembler(const std::vector<JFrame>& jframes,
-                   const LinkConfig& config, LinkStats& stats)
-      : jframes_(jframes), config_(config), stats_(stats) {}
+// Deadline timer entry for the two watermark sweeps (attempt deadlines,
+// exchange timeouts).  `order` makes pop order fully deterministic.
+struct Expiry {
+  UniversalMicros when = 0;
+  std::uint64_t order = 0;
+  MacAddress who;
+  std::uint64_t generation = 0;
+};
+struct ExpiryAfter {
+  bool operator()(const Expiry& a, const Expiry& b) const {
+    return std::tie(a.when, a.order) > std::tie(b.when, b.order);
+  }
+};
+using ExpiryQueue = std::priority_queue<Expiry, std::vector<Expiry>,
+                                        ExpiryAfter>;
 
-  std::vector<TransmissionAttempt> Run() {
-    for (std::size_t i = 0; i < jframes_.size(); ++i) {
-      Process(i);
-    }
-    for (auto& [mac, pending] : pending_) {
-      if (pending.open) Finalize(pending);
-    }
-    std::stable_sort(out_.begin(), out_.end(),
-                     [](const TransmissionAttempt& a,
-                        const TransmissionAttempt& b) {
-                       return a.start < b.start;
-                     });
-    return std::move(out_);
+// Frozen attempts/exchanges parked until the watermark proves nothing with
+// an earlier start can still appear — this is what makes the streaming
+// emission order equal the batch vectors' sorted order.
+struct BufferedAttempt {
+  TransmissionAttempt attempt;
+  std::uint64_t order = 0;  // finalize sequence (sort tie-break)
+  std::uint64_t first_jframe = 0;
+};
+struct AttemptBefore {
+  bool operator()(const BufferedAttempt& a, const BufferedAttempt& b) const {
+    return std::tie(a.attempt.start, a.order) <
+           std::tie(b.attempt.start, b.order);
+  }
+};
+
+struct BufferedExchange {
+  FrameExchange exchange;
+  std::uint64_t order = 0;  // emit sequence (sort tie-break)
+  std::uint64_t first_jframe = 0;
+};
+struct ExchangeBefore {
+  bool operator()(const BufferedExchange& a, const BufferedExchange& b) const {
+    return std::tie(a.exchange.start, a.order) <
+           std::tie(b.exchange.start, b.order);
+  }
+};
+
+struct TxState {
+  std::optional<std::uint16_t> last_seq;
+  bool open = false;
+  FrameExchange exchange;
+  bool any_acked = false;
+  std::uint64_t first_jframe = kNoIndex;  // of the open exchange
+  std::uint64_t generation = 0;           // invalidates stale timer entries
+};
+
+}  // namespace
+
+struct LinkReconstructor::Impl {
+  LinkConfig config;
+  AttemptSink on_attempt;
+  ExchangeSink on_exchange;
+  LinkStats stats;
+
+  std::uint64_t jframes_seen = 0;
+  UniversalMicros watermark = 0;
+  std::uint64_t timer_order = 0;
+  bool flushed = false;
+
+  // Stage 1: transmission-attempt FSM (per transmitter).
+  std::unordered_map<MacAddress, PendingAttempt> pending;
+  ExpiryQueue attempt_expiry;
+  std::multiset<UniversalMicros> open_attempt_starts;
+  std::multiset<std::uint64_t> open_attempt_jframes;
+  std::multiset<BufferedAttempt, AttemptBefore> attempt_buffer;
+  std::multiset<std::uint64_t> attempt_buffer_jframes;
+  std::uint64_t finalize_order = 0;
+
+  // Stage 2: frame-exchange FSM (per transmitter), fed released attempts.
+  std::unordered_map<MacAddress, TxState> tx;
+  ExpiryQueue exchange_expiry;
+  std::multiset<UniversalMicros> open_exchange_starts;
+  std::multiset<std::uint64_t> open_exchange_jframes;
+  std::multiset<BufferedExchange, ExchangeBefore> exchange_buffer;
+  std::multiset<std::uint64_t> exchange_buffer_jframes;
+  std::uint64_t emit_order = 0;
+  std::uint64_t attempts_released = 0;
+  std::uint64_t exchanges_released = 0;
+  // Every attempt whose start lies below this has reached the stage-2 FSM;
+  // no later one can start earlier.
+  UniversalMicros consumed_bound = 0;
+
+  // ---- Stage 1 ------------------------------------------------------------
+
+  void ArmAttempt(MacAddress who, PendingAttempt& p, UniversalMicros when) {
+    ++p.generation;
+    attempt_expiry.push(Expiry{when, timer_order++, who, p.generation});
   }
 
- private:
-  void Finalize(PendingAttempt& pending) {
-    if (!pending.open) return;
-    ++stats_.attempts;
-    if (pending.attempt.inferred) ++stats_.attempts_inferred;
-    out_.push_back(pending.attempt);
-    pending = PendingAttempt{};
+  void OpenAttempt(PendingAttempt& p, const JFrame& jf, std::uint64_t idx,
+                   MacAddress transmitter) {
+    p.open = true;
+    p.attempt.start = jf.timestamp;
+    p.attempt.end = jf.EndTime();
+    p.attempt.transmitter = transmitter;
+    p.first_jframe = idx;
+    open_attempt_starts.insert(p.attempt.start);
+    open_attempt_jframes.insert(idx);
   }
 
-  void Process(std::size_t idx) {
-    const JFrame& jf = jframes_[idx];
+  void BufferAttempt(TransmissionAttempt&& a, std::uint64_t first_jframe) {
+    attempt_buffer_jframes.insert(first_jframe);
+    attempt_buffer.insert(
+        BufferedAttempt{std::move(a), finalize_order++, first_jframe});
+  }
+
+  void FinalizeAttempt(PendingAttempt& p) {
+    if (!p.open) return;
+    if (p.waiting_data && p.attempt.cts_jframe >= 0 &&
+        p.attempt.data_jframe < 0) {
+      // The protected transaction's DATA missed its deadline (or never
+      // appeared): the attempt is assembled from control frames alone.
+      p.attempt.inferred = true;
+    }
+    ++stats.attempts;
+    if (p.attempt.inferred) ++stats.attempts_inferred;
+    open_attempt_starts.erase(open_attempt_starts.find(p.attempt.start));
+    open_attempt_jframes.erase(open_attempt_jframes.find(p.first_jframe));
+    BufferAttempt(std::move(p.attempt), p.first_jframe);
+    const std::uint64_t generation = p.generation;
+    p = PendingAttempt{};
+    p.generation = generation + 1;
+  }
+
+  // Finalizes every pending attempt whose deadline the watermark has
+  // passed: no jframe at or after the watermark can still mutate it, so
+  // its content is what the batch FSM would eventually produce.
+  void ExpireAttempts() {
+    while (!attempt_expiry.empty() && attempt_expiry.top().when < watermark) {
+      const Expiry e = attempt_expiry.top();
+      attempt_expiry.pop();
+      auto it = pending.find(e.who);
+      if (it == pending.end()) continue;
+      PendingAttempt& p = it->second;
+      if (!p.open || p.generation != e.generation) continue;
+      FinalizeAttempt(p);
+    }
+  }
+
+  void Process(const JFrame& jf, std::uint64_t idx) {
     const Frame& f = jf.frame;
     if (jf.ValidInstanceCount() == 0) return;  // undecoded jframes unusable
 
@@ -55,60 +183,58 @@ class AttemptAssembler {
       case FrameType::kRts: {
         // RTS opens a reserved transaction for its transmitter; the CTS
         // response and DATA must follow within the reservation.
-        PendingAttempt& p = pending_[f.addr2];
-        if (p.open) Finalize(p);
-        p.open = true;
-        p.attempt.start = jf.timestamp;
-        p.attempt.end = jf.EndTime();
-        p.attempt.transmitter = f.addr2;
+        PendingAttempt& p = pending[f.addr2];
+        if (p.open) FinalizeAttempt(p);
+        OpenAttempt(p, jf, idx, f.addr2);
         p.attempt.receiver = f.addr1;
         p.attempt.rts_jframe = static_cast<std::int64_t>(idx);
         p.waiting_data = true;
-        // CTS (SIFS + cts air) then SIFS then DATA.
-        p.data_deadline = jf.EndTime() + 2 * kSifs +
-                          TxDurationMicros(f.rate, kCtsBytes) +
-                          config_.ack_slack;
+        // CTS (SIFS + cts air, at the control-response rate the responder
+        // actually answers with) then SIFS then DATA.
+        p.data_deadline =
+            jf.EndTime() + 2 * kSifs +
+            TxDurationMicros(ControlResponseRate(f.rate), kCtsBytes) +
+            config.ack_slack;
+        ArmAttempt(f.addr2, p, p.data_deadline);
         return;
       }
       case FrameType::kCts: {
         // Either the CTS response inside an RTS transaction (addr1 names
         // the RTS sender, who has a pending attempt) or a CTS-to-self
         // opening a protected transaction for addr1's owner.
-        PendingAttempt& p = pending_[f.addr1];
+        PendingAttempt& p = pending[f.addr1];
         if (p.open && p.waiting_data && p.attempt.rts_jframe >= 0 &&
             jf.timestamp <= p.data_deadline) {
           p.attempt.cts_jframe = static_cast<std::int64_t>(idx);
           p.attempt.end = jf.EndTime();
           return;
         }
-        if (p.open) Finalize(p);
-        p.open = true;
-        p.attempt.start = jf.timestamp;
-        p.attempt.end = jf.EndTime();
-        p.attempt.transmitter = f.addr1;
+        if (p.open) FinalizeAttempt(p);
+        OpenAttempt(p, jf, idx, f.addr1);
         p.attempt.cts_jframe = static_cast<std::int64_t>(idx);
         p.waiting_data = true;
         // The DATA must begin one SIFS after the CTS; the duration field
         // bounds the whole transaction.
-        p.data_deadline = jf.EndTime() + kSifs + config_.ack_slack;
+        p.data_deadline = jf.EndTime() + kSifs + config.ack_slack;
+        ArmAttempt(f.addr1, p, p.data_deadline);
         return;
       }
       case FrameType::kAck: {
         // The ACK's addr1 names the station being acknowledged.
-        auto it = pending_.find(f.addr1);
-        if (it != pending_.end() && it->second.open &&
+        auto it = pending.find(f.addr1);
+        if (it != pending.end() && it->second.open &&
             it->second.waiting_ack &&
             jf.timestamp <= it->second.ack_deadline) {
           PendingAttempt& p = it->second;
           p.attempt.ack_jframe = static_cast<std::int64_t>(idx);
           p.attempt.acked = true;
           p.attempt.end = jf.EndTime();
-          Finalize(p);
+          FinalizeAttempt(p);
           return;
         }
         // Orphan ACK: its DATA was not captured.  Record an inferred
         // attempt; the exchange FSM queues it for resolution.
-        ++stats_.orphan_acks;
+        ++stats.orphan_acks;
         TransmissionAttempt a;
         a.start = jf.timestamp;
         a.end = jf.EndTime();
@@ -118,9 +244,9 @@ class AttemptAssembler {
         a.acked = true;
         a.inferred = true;
         a.ack_jframe = static_cast<std::int64_t>(idx);
-        ++stats_.attempts;
-        ++stats_.attempts_inferred;
-        out_.push_back(a);
+        ++stats.attempts;
+        ++stats.attempts_inferred;
+        BufferAttempt(std::move(a), idx);
         return;
       }
       default:
@@ -128,15 +254,11 @@ class AttemptAssembler {
     }
 
     // DATA or MANAGEMENT frame from f.addr2.
-    PendingAttempt& p = pending_[f.addr2];
+    PendingAttempt& p = pending[f.addr2];
     const bool continues_cts =
         p.open && p.waiting_data && jf.timestamp <= p.data_deadline;
-    if (p.open && !continues_cts) Finalize(p);
-    if (!continues_cts) {
-      p.open = true;
-      p.attempt.start = jf.timestamp;
-      p.attempt.transmitter = f.addr2;
-    }
+    if (p.open && !continues_cts) FinalizeAttempt(p);
+    if (!continues_cts) OpenAttempt(p, jf, idx, f.addr2);
     p.waiting_data = false;
     p.attempt.end = jf.EndTime();
     p.attempt.receiver = f.addr1;
@@ -147,10 +269,9 @@ class AttemptAssembler {
     p.attempt.broadcast = !f.addr1.IsUnicast();
     p.attempt.rate = f.rate;
     p.attempt.data_jframe = static_cast<std::int64_t>(idx);
-    if (p.attempt.cts_jframe >= 0 && !continues_cts) p.attempt.inferred = true;
 
     if (p.attempt.broadcast) {
-      Finalize(p);
+      FinalizeAttempt(p);
       return;
     }
     // The duration field advertises exactly when the ACK transaction ends
@@ -160,45 +281,76 @@ class AttemptAssembler {
             ? static_cast<Micros>(f.duration_us)
             : kSifs + TxDurationMicros(ControlResponseRate(f.rate), kAckBytes);
     p.waiting_ack = true;
-    p.ack_deadline = jf.EndTime() + reserve + config_.ack_slack;
+    p.ack_deadline = jf.EndTime() + reserve + config.ack_slack;
+    ArmAttempt(f.addr2, p, p.ack_deadline);
   }
 
-  const std::vector<JFrame>& jframes_;
-  const LinkConfig& config_;
-  LinkStats& stats_;
-  std::unordered_map<MacAddress, PendingAttempt> pending_;
-  std::vector<TransmissionAttempt> out_;
-};
-
-class ExchangeAssembler {
- public:
-  ExchangeAssembler(const std::vector<TransmissionAttempt>& attempts,
-                    const LinkConfig& config, LinkStats& stats)
-      : attempts_(attempts), config_(config), stats_(stats) {}
-
-  std::vector<FrameExchange> Run() {
-    for (std::size_t i = 0; i < attempts_.size(); ++i) {
-      Process(i);
+  // Feeds the stage-2 FSM every frozen attempt that can be placed in final
+  // order: its start lies before every still-open pending attempt and the
+  // watermark, and the watermark has passed its own end (so per-jframe
+  // side-channels like the interference overlap flags are final too).
+  void ReleaseAttempts(bool flushing) {
+    UniversalMicros bound = watermark;
+    if (!open_attempt_starts.empty()) {
+      bound = std::min(bound, *open_attempt_starts.begin());
     }
-    for (auto& [mac, st] : tx_) {
-      if (st.open) Emit(st);
+    while (!attempt_buffer.empty()) {
+      const BufferedAttempt& front = *attempt_buffer.begin();
+      if (!flushing &&
+          (front.attempt.start >= bound || front.attempt.end > watermark)) {
+        break;
+      }
+      auto node = attempt_buffer.extract(attempt_buffer.begin());
+      attempt_buffer_jframes.erase(
+          attempt_buffer_jframes.find(node.value().first_jframe));
+      ConsumeAttempt(std::move(node.value()));
     }
-    std::stable_sort(out_.begin(), out_.end(),
-                     [](const FrameExchange& a, const FrameExchange& b) {
-                       return a.start < b.start;
-                     });
-    return std::move(out_);
+    consumed_bound =
+        flushing ? kEndOfTime
+                 : (attempt_buffer.empty()
+                        ? bound
+                        : std::min(bound,
+                                   attempt_buffer.begin()->attempt.start));
   }
 
- private:
-  struct TxState {
-    std::optional<std::uint16_t> last_seq;
-    bool open = false;
-    FrameExchange exchange;
-    bool any_acked = false;
-  };
+  // ---- Stage 2 ------------------------------------------------------------
 
-  void Emit(TxState& st) {
+  void ArmExchange(MacAddress who, TxState& st) {
+    ++st.generation;
+    exchange_expiry.push(Expiry{st.exchange.end + config.exchange_timeout,
+                                timer_order++, who, st.generation});
+  }
+
+  void OpenExchange(TxState& st, const TransmissionAttempt& a,
+                    std::uint64_t attempt_index, std::uint64_t first_jframe) {
+    st.open = true;
+    FrameExchange& ex = st.exchange;
+    ex.transmitter = a.transmitter;
+    ex.receiver = a.receiver;
+    ex.sequence = a.sequence;
+    ex.broadcast = a.broadcast;
+    ex.start = a.start;
+    ex.end = a.end;
+    ex.attempts.push_back(attempt_index);
+    ex.data_jframe = a.data_jframe;
+    ex.needed_inference = a.inferred;
+    st.any_acked = a.acked;
+    st.first_jframe = first_jframe;
+    open_exchange_starts.insert(ex.start);
+    open_exchange_jframes.insert(first_jframe);
+  }
+
+  void AppendExchange(TxState& st, const TransmissionAttempt& a,
+                      std::uint64_t attempt_index) {
+    FrameExchange& ex = st.exchange;
+    ex.end = a.end;
+    ex.attempts.push_back(attempt_index);
+    if (ex.data_jframe < 0) ex.data_jframe = a.data_jframe;
+    ex.needed_inference = ex.needed_inference || a.inferred;
+    st.any_acked = st.any_acked || a.acked;
+  }
+
+  void EmitExchange(TxState& st) {
     if (!st.open) return;
     FrameExchange& ex = st.exchange;
     if (ex.broadcast) {
@@ -212,53 +364,36 @@ class ExchangeAssembler {
     } else {
       ex.outcome = ExchangeOutcome::kAmbiguous;
     }
-    ++stats_.exchanges;
-    if (ex.needed_inference) ++stats_.exchanges_inferred;
-    out_.push_back(std::move(ex));
+    ++stats.exchanges;
+    if (ex.needed_inference) ++stats.exchanges_inferred;
+    open_exchange_starts.erase(open_exchange_starts.find(ex.start));
+    open_exchange_jframes.erase(open_exchange_jframes.find(st.first_jframe));
+    exchange_buffer_jframes.insert(st.first_jframe);
+    exchange_buffer.insert(
+        BufferedExchange{std::move(ex), emit_order++, st.first_jframe});
     st.open = false;
     st.exchange = FrameExchange{};
     st.any_acked = false;
+    st.first_jframe = kNoIndex;
+    ++st.generation;  // disarm the timeout timer
   }
 
-  void Open(TxState& st, const TransmissionAttempt& a, std::size_t idx) {
-    st.open = true;
-    FrameExchange& ex = st.exchange;
-    ex.transmitter = a.transmitter;
-    ex.receiver = a.receiver;
-    ex.sequence = a.sequence;
-    ex.broadcast = a.broadcast;
-    ex.start = a.start;
-    ex.end = a.end;
-    ex.attempts.push_back(idx);
-    ex.data_jframe = a.data_jframe;
-    ex.needed_inference = a.inferred;
-    st.any_acked = a.acked;
-  }
-
-  void Append(TxState& st, const TransmissionAttempt& a, std::size_t idx) {
-    FrameExchange& ex = st.exchange;
-    ex.end = a.end;
-    ex.attempts.push_back(idx);
-    if (ex.data_jframe < 0) ex.data_jframe = a.data_jframe;
-    ex.needed_inference = ex.needed_inference || a.inferred;
-    st.any_acked = st.any_acked || a.acked;
-  }
-
-  void Process(std::size_t idx) {
-    const TransmissionAttempt& a = attempts_[idx];
-    TxState& st = tx_[a.transmitter];
+  void ConsumeAttempt(BufferedAttempt&& buffered) {
+    const std::uint64_t attempt_index = attempts_released++;
+    const TransmissionAttempt& a = buffered.attempt;
+    if (on_attempt) on_attempt(a);
+    TxState& st = tx[a.transmitter];
 
     // Stale open exchange: close on timeout (almost all exchanges complete
     // within 500 ms).
-    if (st.open && a.start - st.exchange.end > config_.exchange_timeout) {
-      Emit(st);
+    if (st.open && a.start - st.exchange.end > config.exchange_timeout) {
+      EmitExchange(st);
     }
 
     if (a.broadcast) {  // R1: attempt == exchange, no ARQ
-      if (st.open) Emit(st);
-      Open(st, a, idx);
-      st.exchange.outcome = ExchangeOutcome::kDelivered;
-      Emit(st);
+      if (st.open) EmitExchange(st);
+      OpenExchange(st, a, attempt_index, buffered.first_jframe);
+      EmitExchange(st);
       // Broadcasts advance the sender's sequence counter too.
       st.last_seq = a.sequence;
       return;
@@ -269,17 +404,19 @@ class ExchangeAssembler {
       // DATA): if the sender has an un-ACKed open exchange, this ACK
       // acknowledges a retransmission whose DATA we missed.
       if (st.open && !st.any_acked) {
-        Append(st, a, idx);
+        AppendExchange(st, a, attempt_index);
         st.exchange.needed_inference = true;
         st.any_acked = true;
+        ArmExchange(a.transmitter, st);
       }
       // Otherwise it cannot be placed; leave it unassigned.
       return;
     }
 
     if (!st.last_seq) {
-      if (st.open) Emit(st);
-      Open(st, a, idx);
+      if (st.open) EmitExchange(st);
+      OpenExchange(st, a, attempt_index, buffered.first_jframe);
+      ArmExchange(a.transmitter, st);
       st.last_seq = a.sequence;
       return;
     }
@@ -288,43 +425,148 @@ class ExchangeAssembler {
         static_cast<std::uint16_t>((a.sequence - *st.last_seq) & 0x0FFF);
     if (delta == 0 && st.open) {
       // R2: retransmission of the open exchange.
-      Append(st, a, idx);
+      AppendExchange(st, a, attempt_index);
+      ArmExchange(a.transmitter, st);
     } else if (delta == 0 && !st.open) {
       // Late retransmission after we closed (e.g. timeout) — reopen.
-      Open(st, a, idx);
+      OpenExchange(st, a, attempt_index, buffered.first_jframe);
       st.exchange.needed_inference = true;
+      ArmExchange(a.transmitter, st);
     } else if (delta == 1) {
       // R3: new exchange.
-      if (st.open) Emit(st);
-      Open(st, a, idx);
+      if (st.open) EmitExchange(st);
+      OpenExchange(st, a, attempt_index, buffered.first_jframe);
       // If this first attempt carries the retry bit, earlier attempts of
       // this exchange were missed entirely.
       if (a.retry) st.exchange.needed_inference = true;
+      ArmExchange(a.transmitter, st);
     } else {
       // R4: sequence gap — no inference; flush and restart.
-      ++stats_.sequence_gaps_flushed;
-      if (st.open) Emit(st);
-      Open(st, a, idx);
+      ++stats.sequence_gaps_flushed;
+      if (st.open) EmitExchange(st);
+      OpenExchange(st, a, attempt_index, buffered.first_jframe);
+      ArmExchange(a.transmitter, st);
     }
     st.last_seq = a.sequence;
   }
 
-  const std::vector<TransmissionAttempt>& attempts_;
-  const LinkConfig& config_;
-  LinkStats& stats_;
-  std::unordered_map<MacAddress, TxState> tx_;
-  std::vector<FrameExchange> out_;
+  // Emits every open exchange the attempt watermark has timed out: any
+  // later attempt from its sender would trigger the stale-exchange check
+  // before mutating it, so its content is final.
+  void FreezeExchanges() {
+    while (!exchange_expiry.empty() &&
+           exchange_expiry.top().when < consumed_bound) {
+      const Expiry e = exchange_expiry.top();
+      exchange_expiry.pop();
+      auto it = tx.find(e.who);
+      if (it == tx.end()) continue;
+      TxState& st = it->second;
+      if (!st.open || st.generation != e.generation) continue;
+      EmitExchange(st);
+    }
+  }
+
+  void ReleaseExchanges(bool flushing) {
+    UniversalMicros bound = consumed_bound;
+    if (!open_exchange_starts.empty()) {
+      bound = std::min(bound, *open_exchange_starts.begin());
+    }
+    while (!exchange_buffer.empty()) {
+      const BufferedExchange& front = *exchange_buffer.begin();
+      if (!flushing && front.exchange.start >= bound) break;
+      auto node = exchange_buffer.extract(exchange_buffer.begin());
+      exchange_buffer_jframes.erase(
+          exchange_buffer_jframes.find(node.value().first_jframe));
+      ++exchanges_released;
+      if (on_exchange) on_exchange(node.value().exchange);
+    }
+  }
+
+  std::uint64_t MinLiveJFrame() const {
+    std::uint64_t min_live = jframes_seen;
+    for (const auto* indices :
+         {&open_attempt_jframes, &attempt_buffer_jframes,
+          &open_exchange_jframes, &exchange_buffer_jframes}) {
+      if (!indices->empty()) min_live = std::min(min_live, *indices->begin());
+    }
+    return min_live;
+  }
 };
 
-}  // namespace
+LinkReconstructor::LinkReconstructor(LinkConfig config, AttemptSink on_attempt,
+                                     ExchangeSink on_exchange)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->config = config;
+  impl_->on_attempt = std::move(on_attempt);
+  impl_->on_exchange = std::move(on_exchange);
+}
+
+LinkReconstructor::~LinkReconstructor() = default;
+LinkReconstructor::LinkReconstructor(LinkReconstructor&&) noexcept = default;
+LinkReconstructor& LinkReconstructor::operator=(LinkReconstructor&&) noexcept =
+    default;
+
+void LinkReconstructor::OnJFrame(const JFrame& jf) {
+  Impl& im = *impl_;
+  const std::uint64_t idx = im.jframes_seen++;
+  im.watermark = std::max(im.watermark, jf.timestamp);
+  im.ExpireAttempts();
+  im.Process(jf, idx);
+  im.ReleaseAttempts(/*flushing=*/false);
+  im.FreezeExchanges();
+  im.ReleaseExchanges(/*flushing=*/false);
+}
+
+void LinkReconstructor::Flush() {
+  Impl& im = *impl_;
+  if (im.flushed) return;
+  im.flushed = true;
+  // Finalize the still-open attempts in deterministic (start, opening
+  // jframe) order; the release buffer re-sorts with finalize order as the
+  // tie-break, exactly like mid-stream emission.
+  std::vector<MacAddress> still_open;
+  for (const auto& [mac, p] : im.pending) {
+    if (p.open) still_open.push_back(mac);
+  }
+  std::sort(still_open.begin(), still_open.end(),
+            [&](const MacAddress& x, const MacAddress& y) {
+              const PendingAttempt& px = im.pending.find(x)->second;
+              const PendingAttempt& py = im.pending.find(y)->second;
+              return std::tie(px.attempt.start, px.first_jframe) <
+                     std::tie(py.attempt.start, py.first_jframe);
+            });
+  for (const MacAddress& mac : still_open) {
+    im.FinalizeAttempt(im.pending.find(mac)->second);
+  }
+  im.ReleaseAttempts(/*flushing=*/true);  // sets consumed_bound = end of time
+  im.FreezeExchanges();
+  im.ReleaseExchanges(/*flushing=*/true);
+}
+
+const LinkStats& LinkReconstructor::stats() const { return impl_->stats; }
+std::uint64_t LinkReconstructor::jframes_seen() const {
+  return impl_->jframes_seen;
+}
+std::uint64_t LinkReconstructor::attempts_emitted() const {
+  return impl_->attempts_released;
+}
+std::uint64_t LinkReconstructor::exchanges_emitted() const {
+  return impl_->exchanges_released;
+}
+std::uint64_t LinkReconstructor::min_live_jframe() const {
+  return impl_->MinLiveJFrame();
+}
 
 LinkReconstruction ReconstructLink(const std::vector<JFrame>& jframes,
                                    const LinkConfig& config) {
   LinkReconstruction result;
-  AttemptAssembler attempts(jframes, config, result.stats);
-  result.attempts = attempts.Run();
-  ExchangeAssembler exchanges(result.attempts, config, result.stats);
-  result.exchanges = exchanges.Run();
+  LinkReconstructor reconstructor(
+      config,
+      [&](const TransmissionAttempt& a) { result.attempts.push_back(a); },
+      [&](const FrameExchange& ex) { result.exchanges.push_back(ex); });
+  for (const JFrame& jf : jframes) reconstructor.OnJFrame(jf);
+  reconstructor.Flush();
+  result.stats = reconstructor.stats();
   return result;
 }
 

@@ -21,6 +21,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -104,7 +106,62 @@ struct LinkConfig {
   Micros exchange_timeout = Milliseconds(500);
 };
 
-// Reconstructs attempts and exchanges from time-ordered jframes.
+// Incremental, windowed link reconstruction.
+//
+// Runs the same two FSM stages as the batch path, but over a stream: feed
+// time-ordered jframes with OnJFrame() and attempts/exchanges are pushed
+// through the sinks as soon as the stream watermark proves they can no
+// longer change.  The paper's observation that almost all frame exchanges
+// complete within 500 ms (LinkConfig::exchange_timeout) bounds how long any
+// state must be retained, so peak memory is O(timeout window), not
+// O(trace).  Flush() drains everything at end of stream; the reconstructor
+// is one-shot after that.
+//
+// Emission order is exactly the batch vector order: attempts sorted by
+// (start, finalize order), exchanges by (start, emit order), and jframe
+// indices inside the emitted structs refer to the stream position of each
+// jframe — ReconstructLink() is a thin wrapper over this class, so the two
+// paths are byte-identical by construction (pinned by tests/link_test.cc
+// and tests/bus_test.cc).
+//
+// Callers that buffer the stream (e.g. to resolve data_jframe indices when
+// an exchange is emitted) may drop every jframe below min_live_jframe():
+// no un-emitted attempt or exchange references anything before it.
+class LinkReconstructor {
+ public:
+  using AttemptSink = std::function<void(const TransmissionAttempt&)>;
+  using ExchangeSink = std::function<void(const FrameExchange&)>;
+
+  // Null sinks are allowed: the stats still accumulate, the structs are
+  // simply dropped at release time.
+  explicit LinkReconstructor(LinkConfig config = {},
+                             AttemptSink on_attempt = nullptr,
+                             ExchangeSink on_exchange = nullptr);
+  ~LinkReconstructor();
+  LinkReconstructor(LinkReconstructor&&) noexcept;
+  LinkReconstructor& operator=(LinkReconstructor&&) noexcept;
+
+  // Feed the next jframe; timestamps must be nondecreasing (the merge
+  // pipeline's output contract).  May synchronously invoke the sinks.
+  void OnJFrame(const JFrame& jf);
+  // End of stream: finalizes all pending state and drains both sinks.
+  void Flush();
+
+  const LinkStats& stats() const;
+  std::uint64_t jframes_seen() const;
+  std::uint64_t attempts_emitted() const;
+  std::uint64_t exchanges_emitted() const;
+  // Smallest jframe stream index still referenced by un-emitted state;
+  // equals jframes_seen() when nothing is pending.  Monotone nondecreasing.
+  std::uint64_t min_live_jframe() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+// Reconstructs attempts and exchanges from time-ordered jframes.  Batch
+// wrapper over LinkReconstructor: feeds the vector, flushes, collects.
 LinkReconstruction ReconstructLink(const std::vector<JFrame>& jframes,
                                    const LinkConfig& config = {});
 

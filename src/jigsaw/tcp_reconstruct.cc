@@ -27,7 +27,10 @@ struct FlowKeyHash {
 
 struct Observation {
   UniversalMicros time = 0;
-  std::size_t exchange = 0;
+  // The link layer's verdict on the exchange that carried this segment,
+  // captured at observation time — exchanges are final when emitted, so the
+  // tracker never needs to look one up again.
+  ExchangeOutcome outcome = ExchangeOutcome::kAmbiguous;
   bool downstream = false;
   TcpSegment seg;
 };
@@ -39,7 +42,7 @@ struct DirState {
   // First observation of each distinct data segment start.
   std::unordered_map<std::uint32_t, Observation> first_tx;
   // Ambiguous data-bearing exchanges awaiting a covering ACK:
-  // end-seq -> (exchange idx, observation time).
+  // end-seq -> exchange ordinal.
   std::multimap<std::uint32_t, std::size_t> awaiting_cover;
   std::uint32_t highest_ack_from_peer = 0;
   bool any_ack_from_peer = false;
@@ -86,196 +89,215 @@ std::uint64_t InsertSpan(std::map<std::uint32_t, std::uint32_t>& spans,
 
 }  // namespace
 
-TransportReconstruction ReconstructTransport(
-    const std::vector<JFrame>& jframes, const LinkReconstruction& link) {
+struct TransportTracker::Impl {
   TransportReconstruction out;
-  out.exchange_delivered.assign(link.exchanges.size(), std::nullopt);
-
   std::unordered_map<TcpFlowKey, FlowState, FlowKeyHash> flows;
   std::vector<const TcpFlowKey*> flow_order;
+  std::size_t exchanges_seen = 0;
+};
 
-  for (std::size_t ei = 0; ei < link.exchanges.size(); ++ei) {
-    const FrameExchange& ex = link.exchanges[ei];
-    // Seed the verdict with the link layer's view.
-    if (!ex.broadcast) {
-      if (ex.outcome == ExchangeOutcome::kDelivered) {
-        out.exchange_delivered[ei] = true;
-      } else if (ex.outcome == ExchangeOutcome::kNotDelivered) {
-        out.exchange_delivered[ei] = false;
-      }
+TransportTracker::TransportTracker() : impl_(std::make_unique<Impl>()) {}
+TransportTracker::~TransportTracker() = default;
+TransportTracker::TransportTracker(TransportTracker&&) noexcept = default;
+TransportTracker& TransportTracker::operator=(TransportTracker&&) noexcept =
+    default;
+
+void TransportTracker::OnExchange(const FrameExchange& ex, const Frame* data) {
+  Impl& im = *impl_;
+  const std::size_t ei = im.exchanges_seen++;
+  // Seed the verdict with the link layer's view.
+  im.out.exchange_delivered.push_back(std::nullopt);
+  if (!ex.broadcast) {
+    if (ex.outcome == ExchangeOutcome::kDelivered) {
+      im.out.exchange_delivered[ei] = true;
+    } else if (ex.outcome == ExchangeOutcome::kNotDelivered) {
+      im.out.exchange_delivered[ei] = false;
     }
-    if (ex.data_jframe < 0 || ex.broadcast) continue;
-    const JFrame& jf = jframes[static_cast<std::size_t>(ex.data_jframe)];
-    if (jf.frame.type != FrameType::kData) continue;
-    const auto info = ParseFrameBody(jf.frame.body);
-    if (!info || !info->IsTcp()) continue;
-    ++out.stats.tcp_segments;
+  }
+  if (data == nullptr || ex.broadcast) return;
+  if (data->type != FrameType::kData) return;
+  const auto info = ParseFrameBody(data->body);
+  if (!info || !info->IsTcp()) return;
+  ++im.out.stats.tcp_segments;
 
-    const bool downstream = jf.frame.from_ds;
-    TcpFlowKey key;
+  const bool downstream = data->from_ds;
+  TcpFlowKey key;
+  if (downstream) {
+    key.client_ip = info->dst_ip;
+    key.server_ip = info->src_ip;
+    key.client_port = info->tcp->dst_port;
+    key.server_port = info->tcp->src_port;
+  } else {
+    key.client_ip = info->src_ip;
+    key.server_ip = info->dst_ip;
+    key.client_port = info->tcp->src_port;
+    key.server_port = info->tcp->dst_port;
+  }
+
+  auto [it, inserted] = im.flows.try_emplace(key);
+  FlowState& fs = it->second;
+  if (inserted) {
+    fs.record.key = key;
+    fs.record.start = ex.start;
+    im.flow_order.push_back(&it->first);
+  }
+  fs.record.end = std::max(fs.record.end, ex.end);
+
+  const TcpSegment& seg = *info->tcp;
+  Observation obs{ex.start, ex.outcome, downstream, seg};
+
+  // --- Handshake tracking -------------------------------------------
+  if (seg.Syn() && !seg.HasAck() && !downstream) {
+    fs.saw_syn = true;
+    fs.syn_time = ex.start;
+  } else if (seg.Syn() && seg.HasAck() && downstream) {
+    if (fs.saw_syn && !fs.saw_synack) {
+      fs.saw_synack = true;
+      fs.synack_time = ex.start;
+      fs.record.wired_rtt_ms =
+          static_cast<double>(ex.start - fs.syn_time) / 1000.0;
+    }
+  } else if (!downstream && seg.HasAck() && fs.saw_synack &&
+             !fs.record.handshake_complete) {
+    fs.record.handshake_complete = true;
+    fs.record.wireless_rtt_ms =
+        static_cast<double>(ex.start - fs.synack_time) / 1000.0;
+  }
+
+  DirState& dir = downstream ? fs.down : fs.up;
+  DirState& peer = downstream ? fs.up : fs.down;
+
+  // --- Data segment accounting ---------------------------------------
+  if (seg.payload_len > 0) {
     if (downstream) {
-      key.client_ip = info->dst_ip;
-      key.server_ip = info->src_ip;
-      key.client_port = info->tcp->dst_port;
-      key.server_port = info->tcp->src_port;
+      ++fs.record.segments_down;
     } else {
-      key.client_ip = info->src_ip;
-      key.server_ip = info->dst_ip;
-      key.client_port = info->tcp->src_port;
-      key.server_port = info->tcp->dst_port;
+      ++fs.record.segments_up;
     }
+    const std::uint32_t end_seq = seg.seq + seg.payload_len;
 
-    auto [it, inserted] = flows.try_emplace(key);
-    FlowState& fs = it->second;
-    if (inserted) {
-      fs.record.key = key;
-      fs.record.start = ex.start;
-      flow_order.push_back(&it->first);
-    }
-    fs.record.end = std::max(fs.record.end, ex.end);
-
-    const TcpSegment& seg = *info->tcp;
-    Observation obs{ex.start, ei, downstream, seg};
-
-    // --- Handshake tracking -------------------------------------------
-    if (seg.Syn() && !seg.HasAck() && !downstream) {
-      fs.saw_syn = true;
-      fs.syn_time = ex.start;
-    } else if (seg.Syn() && seg.HasAck() && downstream) {
-      if (fs.saw_syn && !fs.saw_synack) {
-        fs.saw_synack = true;
-        fs.synack_time = ex.start;
-        fs.record.wired_rtt_ms =
-            static_cast<double>(ex.start - fs.syn_time) / 1000.0;
-      }
-    } else if (!downstream && seg.HasAck() && fs.saw_synack &&
-               !fs.record.handshake_complete) {
-      fs.record.handshake_complete = true;
-      fs.record.wireless_rtt_ms =
-          static_cast<double>(ex.start - fs.synack_time) / 1000.0;
-    }
-
-    DirState& dir = downstream ? fs.down : fs.up;
-    DirState& peer = downstream ? fs.up : fs.down;
-
-    // --- Data segment accounting ---------------------------------------
-    if (seg.payload_len > 0) {
+    auto prior = dir.first_tx.find(seg.seq);
+    if (prior == dir.first_tx.end()) {
+      dir.first_tx.emplace(seg.seq, obs);
+      const std::uint64_t fresh = InsertSpan(dir.seen, seg.seq, end_seq);
       if (downstream) {
-        ++fs.record.segments_down;
+        fs.record.bytes_down += fresh;
       } else {
-        ++fs.record.segments_up;
+        fs.record.bytes_up += fresh;
       }
-      const std::uint32_t end_seq = seg.seq + seg.payload_len;
-
-      auto prior = dir.first_tx.find(seg.seq);
-      if (prior == dir.first_tx.end()) {
-        dir.first_tx.emplace(seg.seq, obs);
-        const std::uint64_t fresh = InsertSpan(dir.seen, seg.seq, end_seq);
-        if (downstream) {
-          fs.record.bytes_down += fresh;
-        } else {
-          fs.record.bytes_up += fresh;
-        }
-        // If the link layer could not tell whether this frame was
-        // delivered, register for the covering-ACK oracle.
-        if (ex.outcome == ExchangeOutcome::kAmbiguous) {
-          dir.awaiting_cover.emplace(end_seq, ei);
-        }
+      // If the link layer could not tell whether this frame was
+      // delivered, register for the covering-ACK oracle.
+      if (ex.outcome == ExchangeOutcome::kAmbiguous) {
+        dir.awaiting_cover.emplace(end_seq, ei);
+      }
+    } else {
+      // TCP-level retransmission: a loss event for the original.
+      TcpLossEvent loss;
+      loss.time = ex.start;
+      loss.downstream = downstream;
+      loss.seq = seg.seq;
+      const Observation& orig = prior->second;
+      const bool covered_before_rtx =
+          dir.any_ack_from_peer &&
+          SeqLt(end_seq, dir.highest_ack_from_peer + 1);
+      if (orig.outcome == ExchangeOutcome::kNotDelivered) {
+        loss.cause = LossCause::kWireless;
+      } else if (covered_before_rtx) {
+        // The receiver's TCP ACK covering this segment crossed the air:
+        // the data made it end-to-end over the wireless hop, so the loss
+        // (or spurious timeout) happened in the wired path.
+        loss.cause = LossCause::kWired;
+      } else if (orig.outcome == ExchangeOutcome::kDelivered) {
+        // The frame crossed the air but no covering TCP ACK appeared:
+        // the ACK itself was lost, and its first hop is the air when the
+        // receiver is the wireless client (downstream data).
+        loss.cause = downstream ? LossCause::kWireless : LossCause::kWired;
       } else {
-        // TCP-level retransmission: a loss event for the original.
-        TcpLossEvent loss;
-        loss.time = ex.start;
-        loss.downstream = downstream;
-        loss.seq = seg.seq;
-        const Observation& orig = prior->second;
-        const FrameExchange& orig_ex = link.exchanges[orig.exchange];
-        const bool covered_before_rtx =
-            dir.any_ack_from_peer &&
-            SeqLt(end_seq, dir.highest_ack_from_peer + 1);
-        if (orig_ex.outcome == ExchangeOutcome::kNotDelivered) {
-          loss.cause = LossCause::kWireless;
-        } else if (covered_before_rtx) {
-          // The receiver's TCP ACK covering this segment crossed the air:
-          // the data made it end-to-end over the wireless hop, so the loss
-          // (or spurious timeout) happened in the wired path.
-          loss.cause = LossCause::kWired;
-        } else if (orig_ex.outcome == ExchangeOutcome::kDelivered) {
-          // The frame crossed the air but no covering TCP ACK appeared:
-          // the ACK itself was lost, and its first hop is the air when the
-          // receiver is the wireless client (downstream data).
-          loss.cause =
-              downstream ? LossCause::kWireless : LossCause::kWired;
-        } else {
-          // Ambiguous link outcome and no covering ACK: the weight of
-          // evidence says the air ate it.
-          loss.cause = LossCause::kWireless;
-        }
-        fs.record.losses.push_back(loss);
-        // Track the retransmission for subsequent oracle decisions.
-        prior->second = obs;
-        if (ex.outcome == ExchangeOutcome::kAmbiguous) {
-          dir.awaiting_cover.emplace(end_seq, ei);
-        }
+        // Ambiguous link outcome and no covering ACK: the weight of
+        // evidence says the air ate it.
+        loss.cause = LossCause::kWireless;
       }
-    }
-
-    // --- ACK processing: oracle + hole inference -----------------------
-    if (seg.HasAck()) {
-      // This segment acknowledges payload flowing in the opposite
-      // direction (stored in `peer`).
-      if (!peer.any_ack_from_peer ||
-          SeqLt(peer.highest_ack_from_peer, seg.ack)) {
-        peer.highest_ack_from_peer = seg.ack;
-        peer.any_ack_from_peer = true;
-
-        // Covering-ACK oracle: every ambiguous exchange whose payload ends
-        // at or before the ACK point was in fact delivered.
-        auto wit = peer.awaiting_cover.begin();
-        while (wit != peer.awaiting_cover.end() &&
-               SeqLeq(wit->first, seg.ack)) {
-          out.exchange_delivered[wit->second] = true;
-          ++fs.record.covering_ack_resolutions;
-          wit = peer.awaiting_cover.erase(wit);
-        }
-
-        // Hole inference: acknowledged bytes never seen on the air imply
-        // complete frame exchanges that every monitor missed.
-        if (!peer.seen.empty()) {
-          const std::uint32_t base = peer.seen.begin()->first;
-          std::uint32_t cursor = base;
-          std::uint32_t holes = 0;
-          for (const auto& [s, e] : peer.seen) {
-            if (SeqLt(cursor, s) && SeqLeq(s, seg.ack)) {
-              holes += s - cursor;
-            }
-            cursor = std::max(cursor, e);
-          }
-          if (holes > 0) {
-            const std::uint32_t segs = (holes + 1459) / 1460;
-            fs.record.inferred_missing_segments += segs;
-            // Mark the gaps as accounted so they are not re-inferred.
-            InsertSpan(peer.seen, base, std::min(seg.ack, cursor));
-          }
-        }
+      fs.record.losses.push_back(loss);
+      // Track the retransmission for subsequent oracle decisions.
+      prior->second = obs;
+      if (ex.outcome == ExchangeOutcome::kAmbiguous) {
+        dir.awaiting_cover.emplace(end_seq, ei);
       }
     }
   }
 
-  // Finalize.
-  out.flows.reserve(flows.size());
-  for (const TcpFlowKey* key : flow_order) {
-    FlowState& fs = flows.at(*key);
-    ++out.stats.flows_total;
-    if (fs.record.handshake_complete) ++out.stats.flows_with_handshake;
-    out.stats.loss_events += fs.record.losses.size();
-    out.stats.wireless_losses += fs.record.LossesBy(LossCause::kWireless);
-    out.stats.wired_losses += fs.record.LossesBy(LossCause::kWired);
-    out.stats.covering_ack_resolutions += fs.record.covering_ack_resolutions;
-    out.stats.inferred_missing_segments +=
+  // --- ACK processing: oracle + hole inference -----------------------
+  if (seg.HasAck()) {
+    // This segment acknowledges payload flowing in the opposite
+    // direction (stored in `peer`).
+    if (!peer.any_ack_from_peer ||
+        SeqLt(peer.highest_ack_from_peer, seg.ack)) {
+      peer.highest_ack_from_peer = seg.ack;
+      peer.any_ack_from_peer = true;
+
+      // Covering-ACK oracle: every ambiguous exchange whose payload ends
+      // at or before the ACK point was in fact delivered.
+      auto wit = peer.awaiting_cover.begin();
+      while (wit != peer.awaiting_cover.end() &&
+             SeqLeq(wit->first, seg.ack)) {
+        im.out.exchange_delivered[wit->second] = true;
+        ++fs.record.covering_ack_resolutions;
+        wit = peer.awaiting_cover.erase(wit);
+      }
+
+      // Hole inference: acknowledged bytes never seen on the air imply
+      // complete frame exchanges that every monitor missed.
+      if (!peer.seen.empty()) {
+        const std::uint32_t base = peer.seen.begin()->first;
+        std::uint32_t cursor = base;
+        std::uint32_t holes = 0;
+        for (const auto& [s, e] : peer.seen) {
+          if (SeqLt(cursor, s) && SeqLeq(s, seg.ack)) {
+            holes += s - cursor;
+          }
+          cursor = std::max(cursor, e);
+        }
+        if (holes > 0) {
+          const std::uint32_t segs = (holes + 1459) / 1460;
+          fs.record.inferred_missing_segments += segs;
+          // Mark the gaps as accounted so they are not re-inferred.
+          InsertSpan(peer.seen, base, std::min(seg.ack, cursor));
+        }
+      }
+    }
+  }
+}
+
+TransportReconstruction TransportTracker::Finish() {
+  Impl& im = *impl_;
+  im.out.flows.reserve(im.flows.size());
+  for (const TcpFlowKey* key : im.flow_order) {
+    FlowState& fs = im.flows.at(*key);
+    ++im.out.stats.flows_total;
+    if (fs.record.handshake_complete) ++im.out.stats.flows_with_handshake;
+    im.out.stats.loss_events += fs.record.losses.size();
+    im.out.stats.wireless_losses += fs.record.LossesBy(LossCause::kWireless);
+    im.out.stats.wired_losses += fs.record.LossesBy(LossCause::kWired);
+    im.out.stats.covering_ack_resolutions +=
+        fs.record.covering_ack_resolutions;
+    im.out.stats.inferred_missing_segments +=
         fs.record.inferred_missing_segments;
-    out.flows.push_back(std::move(fs.record));
+    im.out.flows.push_back(std::move(fs.record));
   }
-  return out;
+  return std::move(im.out);
+}
+
+TransportReconstruction ReconstructTransport(
+    const std::vector<JFrame>& jframes, const LinkReconstruction& link) {
+  TransportTracker tracker;
+  for (const FrameExchange& ex : link.exchanges) {
+    const Frame* data =
+        ex.data_jframe >= 0
+            ? &jframes[static_cast<std::size_t>(ex.data_jframe)].frame
+            : nullptr;
+    tracker.OnExchange(ex, data);
+  }
+  return tracker.Finish();
 }
 
 }  // namespace jig

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -96,7 +97,32 @@ struct TransportReconstruction {
   std::vector<std::optional<bool>> exchange_delivered;
 };
 
-// Reconstructs flows from time-ordered jframes + link exchanges.
+// Incremental transport reconstruction over streamed frame exchanges.
+//
+// Feed each emitted exchange (in emission order — the batch exchange-vector
+// order) together with the DATA frame it carried; `data` may be null when
+// the exchange held only control frames.  The covering-ACK oracle and the
+// hole inference both look strictly backward in the exchange stream, so no
+// jframe buffering is needed — this is what lets the TCP-loss consumer ride
+// the windowed link reconstructor instead of a full-trace buffer.
+// Finish() assembles the TransportReconstruction; one-shot.
+class TransportTracker {
+ public:
+  TransportTracker();
+  ~TransportTracker();
+  TransportTracker(TransportTracker&&) noexcept;
+  TransportTracker& operator=(TransportTracker&&) noexcept;
+
+  void OnExchange(const FrameExchange& exchange, const Frame* data);
+  TransportReconstruction Finish();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+// Reconstructs flows from time-ordered jframes + link exchanges.  Batch
+// wrapper over TransportTracker.
 TransportReconstruction ReconstructTransport(
     const std::vector<JFrame>& jframes, const LinkReconstruction& link);
 

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "jigsaw/analysis/activity.h"
 #include "jigsaw/analysis/coverage.h"
 #include "jigsaw/analysis/dispersion.h"
@@ -250,6 +252,29 @@ TEST(TcpLossAnalysis, AggregatesAndFilters) {
   EXPECT_DOUBLE_EQ(report.aggregate_wireless_rate, 0.02);
   EXPECT_DOUBLE_EQ(report.aggregate_wired_rate, 0.01);
   EXPECT_DOUBLE_EQ(report.total_loss_rate.Max(), 0.03);
+}
+
+TEST(TcpLossAnalysis, ZeroDataSegmentFlowDoesNotPoisonDistributions) {
+  // A handshake-only flow has no data segments.  With min_segments == 0 it
+  // used to pass the eligibility filter and divide 0/0, filling every
+  // Distribution mean with NaN.
+  TransportReconstruction tr;
+  TcpFlowRecord handshake_only;
+  handshake_only.handshake_complete = true;  // zero data segments
+  tr.flows.push_back(handshake_only);
+  TcpFlowRecord good;
+  good.handshake_complete = true;
+  good.segments_down = 10;
+  good.losses.push_back({0, true, 0, LossCause::kWireless});
+  tr.flows.push_back(good);
+
+  const auto report = ComputeTcpLoss(tr, {.min_segments = 0});
+  EXPECT_EQ(report.flows_considered, 1u);
+  EXPECT_FALSE(std::isnan(report.total_loss_rate.Mean()));
+  EXPECT_FALSE(std::isnan(report.wireless_loss_rate.Mean()));
+  EXPECT_DOUBLE_EQ(report.total_loss_rate.Mean(), 0.1);
+  EXPECT_DOUBLE_EQ(report.aggregate_loss_rate, 0.1);
+  EXPECT_DOUBLE_EQ(report.aggregate_wireless_rate, 0.1);
 }
 
 }  // namespace

@@ -5,10 +5,14 @@
 #include <gtest/gtest.h>
 
 #include "jigsaw/pipeline.h"
+#include "link_equality.h"
 #include "sim/scenario.h"
+#include "synthetic.h"
 
 namespace jig {
 namespace {
+
+using jig::testing::ExpectLinkIdentical;
 
 class BusEquivalence : public ::testing::Test {
  protected:
@@ -109,6 +113,109 @@ TEST_F(BusEquivalence, SinglePassMatchesBatchAnalyses) {
                    batch_loss.aggregate_loss_rate);
   EXPECT_DOUBLE_EQ(tcp_loss.report().aggregate_wireless_rate,
                    batch_loss.aggregate_wireless_rate);
+}
+
+TEST_F(BusEquivalence, WindowedLinkPathMatchesBatchWithoutCollector) {
+  // The collector-free bus: windowed link reconstruction feeding the
+  // streaming interference and TCP-loss consumers.  Everything must be
+  // byte-identical to the batch path over the full jframe vector.
+  AnalysisBus bus;
+  auto& link = bus.Emplace<LinkConsumer>();
+  auto& interference = bus.Emplace<InterferenceConsumer>(link);
+  auto& tcp_loss = bus.Emplace<TcpLossConsumer>(link);
+  ReconstructionObserver reconstruction(link);
+  MergeConfig cfg;
+  cfg.threads = 0;
+  MergeTracesStreaming(*traces_, cfg, bus.Sink());
+  bus.Finish();
+
+  // The windowed path must actually window: peak retention below the
+  // full-trace buffer it replaces.
+  EXPECT_GT(link.peak_window_jframes(), 0u);
+  EXPECT_LT(link.peak_window_jframes(), batch_->jframes.size());
+
+  const auto batch_link = ReconstructLink(batch_->jframes);
+  ExpectLinkIdentical(reconstruction.link(), batch_link);
+
+  const auto batch_transport =
+      ReconstructTransport(batch_->jframes, batch_link);
+  const auto& streamed_transport = reconstruction.transport();
+  ASSERT_EQ(streamed_transport.flows.size(), batch_transport.flows.size());
+  EXPECT_EQ(streamed_transport.stats.tcp_segments,
+            batch_transport.stats.tcp_segments);
+  EXPECT_EQ(streamed_transport.stats.loss_events,
+            batch_transport.stats.loss_events);
+  EXPECT_EQ(streamed_transport.stats.wireless_losses,
+            batch_transport.stats.wireless_losses);
+  EXPECT_EQ(streamed_transport.stats.wired_losses,
+            batch_transport.stats.wired_losses);
+  EXPECT_EQ(streamed_transport.stats.covering_ack_resolutions,
+            batch_transport.stats.covering_ack_resolutions);
+  EXPECT_EQ(streamed_transport.stats.inferred_missing_segments,
+            batch_transport.stats.inferred_missing_segments);
+  ASSERT_EQ(streamed_transport.exchange_delivered.size(),
+            batch_transport.exchange_delivered.size());
+  EXPECT_EQ(streamed_transport.exchange_delivered,
+            batch_transport.exchange_delivered);
+
+  // Interference: the streaming per-channel sweep + incremental pair
+  // counters equal the batch overlap scan.
+  const auto batch_if = ComputeInterference(batch_->jframes, batch_link);
+  const auto& streamed_if = interference.report();
+  EXPECT_EQ(streamed_if.total_pairs_seen, batch_if.total_pairs_seen);
+  ASSERT_EQ(streamed_if.pairs.size(), batch_if.pairs.size());
+  for (std::size_t i = 0; i < batch_if.pairs.size(); ++i) {
+    const auto& s = streamed_if.pairs[i];
+    const auto& b = batch_if.pairs[i];
+    EXPECT_EQ(s.sender, b.sender);
+    EXPECT_EQ(s.receiver, b.receiver);
+    EXPECT_EQ(s.n, b.n);
+    EXPECT_EQ(s.n0, b.n0);
+    EXPECT_EQ(s.nl0, b.nl0);
+    EXPECT_EQ(s.nx, b.nx);
+    EXPECT_EQ(s.nlx, b.nlx);
+  }
+  EXPECT_DOUBLE_EQ(streamed_if.mean_background_loss,
+                   batch_if.mean_background_loss);
+  EXPECT_DOUBLE_EQ(streamed_if.fraction_pairs_interfered,
+                   batch_if.fraction_pairs_interfered);
+
+  // TCP loss riding the incremental flow updates.
+  const auto batch_loss = ComputeTcpLoss(batch_transport);
+  EXPECT_EQ(tcp_loss.report().flows_considered, batch_loss.flows_considered);
+  EXPECT_DOUBLE_EQ(tcp_loss.report().aggregate_loss_rate,
+                   batch_loss.aggregate_loss_rate);
+  EXPECT_DOUBLE_EQ(tcp_loss.report().aggregate_wireless_rate,
+                   batch_loss.aggregate_wireless_rate);
+  EXPECT_DOUBLE_EQ(tcp_loss.report().aggregate_wired_rate,
+                   batch_loss.aggregate_wired_rate);
+}
+
+TEST(LinkConsumerStreaming, MatchesBatchAcrossSeededMultiChannelScenarios) {
+  // The seeded multi-channel synthetic deployments (three channels, six
+  // radios, randomized unified/corrupted/duplicate traffic) through the
+  // full sharded merge: the windowed LinkConsumer must emit attempt and
+  // exchange vectors byte-identical to batch ReconstructLink, including
+  // exchanges straddling window boundaries.
+  for (const std::uint64_t seed : {11ull, 21ull, 31ull}) {
+    SCOPED_TRACE(::testing::Message() << "seed " << seed);
+    auto net = jig::testing::MultiChannelNetwork(seed, Seconds(4));
+    TraceSet streaming_traces = net.Build();
+    TraceSet batch_traces = net.Build();
+
+    AnalysisBus bus;
+    auto& link = bus.Emplace<LinkConsumer>();
+    ReconstructionObserver reconstruction(link);
+    MergeConfig cfg;
+    cfg.threads = 0;
+    MergeTracesStreaming(streaming_traces, cfg, bus.Sink());
+    bus.Finish();
+
+    const auto batch_merge = MergeTraces(batch_traces);
+    const auto batch_link = ReconstructLink(batch_merge.jframes);
+    ExpectLinkIdentical(reconstruction.link(), batch_link);
+    EXPECT_EQ(link.min_live_jframe(), batch_merge.jframes.size());
+  }
 }
 
 TEST_F(BusEquivalence, OnlineMonitorRidesTheBus) {

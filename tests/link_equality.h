@@ -1,0 +1,56 @@
+// Field-by-field equality for link-reconstruction structs, shared by the
+// streaming-vs-batch byte-identity tests in link_test.cc and bus_test.cc.
+// Keep these comparators in sync with TransmissionAttempt / FrameExchange:
+// a field missing here silently drops out of every byte-equality pin.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "jigsaw/link.h"
+
+namespace jig::testing {
+
+inline bool SameAttempt(const TransmissionAttempt& a,
+                        const TransmissionAttempt& b) {
+  return a.start == b.start && a.end == b.end &&
+         a.transmitter == b.transmitter && a.receiver == b.receiver &&
+         a.type == b.type && a.sequence == b.sequence &&
+         a.has_sequence == b.has_sequence && a.retry == b.retry &&
+         a.broadcast == b.broadcast && a.rate == b.rate &&
+         a.rts_jframe == b.rts_jframe && a.cts_jframe == b.cts_jframe &&
+         a.data_jframe == b.data_jframe && a.ack_jframe == b.ack_jframe &&
+         a.acked == b.acked && a.inferred == b.inferred;
+}
+
+inline bool SameExchange(const FrameExchange& a, const FrameExchange& b) {
+  return a.transmitter == b.transmitter && a.receiver == b.receiver &&
+         a.sequence == b.sequence && a.broadcast == b.broadcast &&
+         a.start == b.start && a.end == b.end && a.attempts == b.attempts &&
+         a.outcome == b.outcome &&
+         a.needed_inference == b.needed_inference &&
+         a.data_jframe == b.data_jframe;
+}
+
+inline void ExpectLinkIdentical(const LinkReconstruction& streamed,
+                                const LinkReconstruction& batch) {
+  ASSERT_EQ(streamed.attempts.size(), batch.attempts.size());
+  for (std::size_t i = 0; i < batch.attempts.size(); ++i) {
+    ASSERT_TRUE(SameAttempt(streamed.attempts[i], batch.attempts[i]))
+        << "attempt " << i;
+  }
+  ASSERT_EQ(streamed.exchanges.size(), batch.exchanges.size());
+  for (std::size_t i = 0; i < batch.exchanges.size(); ++i) {
+    ASSERT_TRUE(SameExchange(streamed.exchanges[i], batch.exchanges[i]))
+        << "exchange " << i;
+  }
+  EXPECT_EQ(streamed.stats.attempts, batch.stats.attempts);
+  EXPECT_EQ(streamed.stats.attempts_inferred, batch.stats.attempts_inferred);
+  EXPECT_EQ(streamed.stats.exchanges, batch.stats.exchanges);
+  EXPECT_EQ(streamed.stats.exchanges_inferred,
+            batch.stats.exchanges_inferred);
+  EXPECT_EQ(streamed.stats.orphan_acks, batch.stats.orphan_acks);
+  EXPECT_EQ(streamed.stats.sequence_gaps_flushed,
+            batch.stats.sequence_gaps_flushed);
+}
+
+}  // namespace jig::testing

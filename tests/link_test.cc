@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include "link_equality.h"
+
 namespace jig {
 namespace {
+
+using jig::testing::ExpectLinkIdentical;
 
 // Builds decoded jframes directly (bypassing the unifier) so attempt and
 // exchange assembly can be tested against exact scripts.
@@ -270,6 +274,195 @@ TEST(LinkExchanges, InterleavedSendersIndependent) {
   const auto link = ReconstructLink(script.jframes);
   EXPECT_EQ(link.exchanges.size(), 4u);
   EXPECT_EQ(link.stats.sequence_gaps_flushed, 0u);
+}
+
+// --- FSM timing/inference regressions --------------------------------------
+
+TEST(LinkAttempts, RtsDeadlineUsesControlResponseRate) {
+  // The CTS answering an RTS is sent at the control-response rate, not the
+  // RTS's own rate.  At kB11 the difference (248 us vs 203 us of CTS air
+  // time) exceeds the ack slack, so a deadline computed from the RTS rate
+  // splits a perfectly valid RTS/CTS/DATA/ACK transaction in two.
+  JFrameScript script;
+  const PhyRate rts_rate = PhyRate::kB11;
+  Frame rts = MakeRts(MacAddress::Client(1), MacAddress::Ap(0), 2000,
+                      rts_rate);
+  const Micros rts_air = rts.AirTimeMicros();
+  script.Push(std::move(rts), script.now);
+  Frame cts;
+  cts.type = FrameType::kCts;
+  cts.addr1 = MacAddress::Ap(0);  // answers the RTS sender
+  cts.duration_us = 1500;
+  cts.rate = ControlResponseRate(rts_rate);
+  const Micros cts_air = cts.AirTimeMicros();
+  script.Push(std::move(cts), script.now + rts_air + kSifs);
+  Frame data = MakeData(MacAddress::Client(1), MacAddress::Ap(0),
+                        MacAddress::Ap(0), 42, Bytes(800), rts_rate, true,
+                        false);
+  const Micros data_air = data.AirTimeMicros();
+  const UniversalMicros data_at =
+      script.now + rts_air + kSifs + cts_air + kSifs;
+  script.Push(std::move(data), data_at);
+  Frame ack = MakeAck(MacAddress::Ap(0), ControlResponseRate(rts_rate));
+  script.Push(std::move(ack), data_at + data_air + kSifs);
+
+  const auto link = ReconstructLink(script.jframes);
+  ASSERT_EQ(link.attempts.size(), 1u);
+  const auto& a = link.attempts[0];
+  EXPECT_GE(a.rts_jframe, 0);
+  EXPECT_GE(a.cts_jframe, 0);
+  EXPECT_GE(a.data_jframe, 0);
+  EXPECT_GE(a.ack_jframe, 0);
+  EXPECT_TRUE(a.acked);
+  EXPECT_FALSE(a.inferred);
+  ASSERT_EQ(link.exchanges.size(), 1u);
+  EXPECT_EQ(link.exchanges[0].outcome, ExchangeOutcome::kDelivered);
+}
+
+TEST(LinkAttempts, AbandonedCtsToSelfMarkedInferred) {
+  // A CTS-to-self whose DATA misses the deadline leaves an attempt
+  // assembled from a control frame alone — that grouping is inference and
+  // must be flagged as such (the pre-fix check sat behind a reset that made
+  // it unreachable).
+  JFrameScript script;
+  Frame cts = MakeCtsToSelf(MacAddress::Ap(2), 500, PhyRate::kB2);
+  script.Push(std::move(cts), script.now);
+  // Same sender transmits again long after the protected window lapsed.
+  Frame data = MakeData(MacAddress::Client(1), MacAddress::Ap(2),
+                        MacAddress::Ap(2), 20, Bytes(300), PhyRate::kG24,
+                        true, false);
+  script.Push(std::move(data), script.now + 10'000);
+  const auto link = ReconstructLink(script.jframes);
+  ASSERT_EQ(link.attempts.size(), 2u);
+  const auto& abandoned = link.attempts[0];
+  EXPECT_GE(abandoned.cts_jframe, 0);
+  EXPECT_LT(abandoned.data_jframe, 0);
+  EXPECT_TRUE(abandoned.inferred);
+  EXPECT_FALSE(link.attempts[1].inferred);
+  EXPECT_EQ(link.stats.attempts_inferred, 1u);
+}
+
+TEST(LinkExchanges, RetryLimitBoundaryExactlyExhausted) {
+  // The short retry limit counts transmissions of one MSDU: a sender that
+  // shows exactly kShortRetryLimit attempts exhausted its budget, so the
+  // exchange is kNotDelivered — not kAmbiguous (the pre-fix off-by-one
+  // demanded one attempt more than a compliant sender will ever make).
+  JFrameScript script;
+  script.DataAck(1, 5, /*retry=*/false, /*with_ack=*/false);
+  for (int i = 0; i < kShortRetryLimit - 1; ++i) {
+    script.DataAck(1, 5, /*retry=*/true, /*with_ack=*/false);
+  }
+  const auto link = ReconstructLink(script.jframes);
+  ASSERT_EQ(link.exchanges.size(), 1u);
+  EXPECT_EQ(link.exchanges[0].attempts.size(),
+            static_cast<std::size_t>(kShortRetryLimit));
+  EXPECT_EQ(link.exchanges[0].outcome, ExchangeOutcome::kNotDelivered);
+}
+
+TEST(LinkExchanges, RetryLimitBoundaryOneBelowIsAmbiguous) {
+  JFrameScript script;
+  script.DataAck(1, 5, /*retry=*/false, /*with_ack=*/false);
+  for (int i = 0; i < kShortRetryLimit - 2; ++i) {
+    script.DataAck(1, 5, /*retry=*/true, /*with_ack=*/false);
+  }
+  const auto link = ReconstructLink(script.jframes);
+  ASSERT_EQ(link.exchanges.size(), 1u);
+  EXPECT_EQ(link.exchanges[0].attempts.size(),
+            static_cast<std::size_t>(kShortRetryLimit) - 1);
+  EXPECT_EQ(link.exchanges[0].outcome, ExchangeOutcome::kAmbiguous);
+}
+
+// --- Streaming (windowed) reconstruction ------------------------------------
+
+// A busy script exercising every FSM path, including exchanges straddling
+// the 500 ms emission window (timeout-closed exchange reopened by a late
+// retransmission).
+JFrameScript CompositeScript() {
+  JFrameScript script;
+  script.DataAck(1, 10);
+  script.DataAck(2, 100);
+  script.DataAck(1, 11, /*retry=*/false, /*with_ack=*/false);
+  script.DataAck(1, 11, /*retry=*/true);  // retransmission coalesces
+  Frame bcast = MakeData(MacAddress::Broadcast(), MacAddress::Ap(0),
+                         MacAddress::Ap(0), 3, Bytes(60), PhyRate::kB1, true,
+                         false);
+  script.Push(std::move(bcast), script.now);
+  script.now += 500;
+  script.DataAck(2, 101, /*retry=*/false, /*with_ack=*/false);
+  Frame orphan = MakeAck(MacAddress::Client(2), PhyRate::kB2);
+  script.Push(std::move(orphan), script.now + 2'000);  // inferred retry ACK
+  script.now += 4'000;
+  script.DataAck(3, 7, /*retry=*/false, /*with_ack=*/false);
+  // Straddle the window: the open exchange times out, then a late delta-0
+  // retransmission reopens it as a new inferred exchange.
+  script.now += 600'000;
+  script.DataAck(3, 7, /*retry=*/true);
+  script.DataAck(3, 12);  // sequence gap flush (R4)
+  Frame cts = MakeCtsToSelf(MacAddress::Ap(2), 400, PhyRate::kB2);
+  script.Push(std::move(cts), script.now);
+  script.now += 8'000;  // DATA misses the protected window: inferred attempt
+  script.DataAck(1, 12);
+  for (int i = 0; i < kShortRetryLimit; ++i) {
+    script.DataAck(4, 30, /*retry=*/i > 0, /*with_ack=*/false);
+  }
+  script.now += 700'000;  // trailing idle so timers can fire mid-stream
+  script.DataAck(1, 13);
+  return script;
+}
+
+TEST(LinkStreaming, IncrementalMatchesBatchByteForByte) {
+  JFrameScript script = CompositeScript();
+  const auto batch = ReconstructLink(script.jframes);
+
+  LinkReconstruction streamed;
+  std::size_t exchanges_before_flush = 0;
+  LinkReconstructor reconstructor(
+      {},
+      [&](const TransmissionAttempt& a) { streamed.attempts.push_back(a); },
+      [&](const FrameExchange& ex) { streamed.exchanges.push_back(ex); });
+  for (const JFrame& jf : script.jframes) reconstructor.OnJFrame(jf);
+  exchanges_before_flush = streamed.exchanges.size();
+  reconstructor.Flush();
+  streamed.stats = reconstructor.stats();
+
+  // The window must actually stream: the 600+ ms gaps push the watermark
+  // past earlier exchanges long before end of stream.
+  EXPECT_GT(exchanges_before_flush, 0u);
+  EXPECT_LT(exchanges_before_flush, streamed.exchanges.size());
+  ExpectLinkIdentical(streamed, batch);
+  // Emission order is the batch vector order: sorted by start.
+  for (std::size_t i = 1; i < streamed.attempts.size(); ++i) {
+    EXPECT_LE(streamed.attempts[i - 1].start, streamed.attempts[i].start);
+  }
+  for (std::size_t i = 1; i < streamed.exchanges.size(); ++i) {
+    EXPECT_LE(streamed.exchanges[i - 1].start, streamed.exchanges[i].start);
+  }
+}
+
+TEST(LinkStreaming, WindowedEmissionBoundsLiveState) {
+  // Exchanges a second apart must be emitted as the stream advances, and
+  // the low watermark must chase the stream head — O(window) retention.
+  JFrameScript script;
+  for (std::uint16_t s = 1; s <= 20; ++s) {
+    script.DataAck(1, s);
+    script.now += Seconds(1);
+  }
+  LinkReconstructor reconstructor({}, nullptr, nullptr);
+  std::uint64_t max_live_span = 0;
+  for (const JFrame& jf : script.jframes) {
+    reconstructor.OnJFrame(jf);
+    max_live_span = std::max(
+        max_live_span,
+        reconstructor.jframes_seen() - reconstructor.min_live_jframe());
+  }
+  EXPECT_GE(reconstructor.exchanges_emitted(), 18u);
+  // Each 1 s step retires everything but the newest exchange: the live
+  // span never approaches the 40-jframe stream.
+  EXPECT_LE(max_live_span, 6u);
+  reconstructor.Flush();
+  EXPECT_EQ(reconstructor.exchanges_emitted(), 20u);
+  EXPECT_EQ(reconstructor.min_live_jframe(), reconstructor.jframes_seen());
+  EXPECT_EQ(reconstructor.stats().exchanges, 20u);
 }
 
 }  // namespace
