@@ -5,22 +5,32 @@
 // questions.  Subcommands:
 //
 //   jigtool demo <dir>              simulate a session and store traces
+//   jigtool demo-live <dir> [s] [ms]  simulate, then *write the traces
+//                                   incrementally* (Sync every chunk,
+//                                   finalize at the end) — a stand-in live
+//                                   writer for --follow consumers
 //   jigtool info <dir>              per-radio record counts and clock info
 //   jigtool merge <dir> [threads]   run the merge, print summary statistics
 //                                   (threads: 0 = auto, 1 = single-threaded)
+//   jigtool follow <dir> [radios] [threads]
+//                                   tail a directory that is still being
+//                                   written: resumable MergeSession +
+//                                   analysis bus, merge summary at the end
 //   jigtool timeline <dir> [us]     Figure-2 style view of a window
 //
-// The merge and timeline commands run the streaming pipeline into the
-// analysis bus — one pass over the traces feeds every analysis at once.
-// merge is fully windowed (link, interference and TCP loss ride the
+// The merge, follow and timeline commands run the streaming pipeline into
+// the analysis bus — one pass over the traces feeds every analysis at once.
+// merge/follow are fully windowed (link, interference and TCP loss ride the
 // incremental reconstructor; memory stays O(exchange-timeout window));
 // timeline opts into the collector buffer because rendering needs the
 // whole jframe vector.
 //
 // Usage: ./build/examples/jigtool <command> <trace_dir> [args]
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 
 #include "jigsaw/analysis/bus.h"
 #include "jigsaw/analysis/visualize.h"
@@ -41,6 +51,62 @@ int CmdDemo(const char* dir) {
   TraceSet traces = scenario.TakeTraces();
   const auto paths = traces.WriteDirectory(dir);
   std::printf("wrote %zu traces to %s\n", paths.size(), dir);
+  return 0;
+}
+
+// Replays a simulated capture as a live writer: the traces are appended in
+// capture-time chunks with a Sync (block cut + flush) after each, so a
+// concurrent `jigtool follow` / `live_monitor --follow` sees the files
+// grow; every trace is finalized at the end.
+int CmdDemoLive(const char* dir, long seconds, long chunk_wall_ms) {
+  ScenarioConfig config;
+  config.seed = 10;
+  config.duration = Seconds(seconds);
+  config.clients = 20;
+  Scenario scenario(config);
+  scenario.Run();
+  TraceSet traces = scenario.TakeTraces();
+
+  TraceSetWriter writer(dir);
+  std::vector<const std::vector<CaptureRecord>*> records;
+  std::vector<std::size_t> cursor(traces.size(), 0);
+  std::vector<LocalMicros> first_ts(traces.size(), 0);
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    auto& mem = dynamic_cast<MemoryTrace&>(traces.at(i));
+    writer.AddRadio(mem.header());
+    records.push_back(&mem.records());
+    if (!mem.records().empty()) first_ts[i] = mem.records().front().timestamp;
+  }
+  // Chunk in capture time relative to each radio's own first record (local
+  // clock bases differ per monitor), so every radio's file grows in
+  // lockstep — the way real captures do.
+  constexpr int kChunks = 20;
+  const Micros chunk_span = config.duration / kChunks;
+  std::printf("live-writing %zu traces to %s in %d chunks (%ld ms apart)\n",
+              traces.size(), dir, kChunks, chunk_wall_ms);
+  for (int chunk = 1;; ++chunk) {
+    bool any_left = false;
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      const auto& recs = *records[i];
+      const auto end =
+          static_cast<LocalMicros>(first_ts[i] + chunk * chunk_span);
+      while (cursor[i] < recs.size() && recs[cursor[i]].timestamp < end) {
+        writer.Append(i, recs[cursor[i]++]);
+      }
+      any_left = any_left || cursor[i] < recs.size();
+    }
+    writer.Sync();
+    // A radio with nothing more to say finalizes immediately — like a
+    // capture daemon shutting down — so a quiet radio never stalls the
+    // followers' bootstrap or merge watermark for the whole session.
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      if (cursor[i] >= records[i]->size()) writer.Finalize(i);
+    }
+    if (!any_left) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(chunk_wall_ms));
+  }
+  writer.FinalizeAll();
+  std::printf("finalized %zu traces\n", writer.size());
   return 0;
 }
 
@@ -135,6 +201,82 @@ int CmdMerge(const char* dir, unsigned threads) {
   return 0;
 }
 
+// Tails a directory of growing traces with a resumable MergeSession and
+// prints periodic Figure 9/11 snapshots; once every writer finalizes, the
+// summary is identical to `jigtool merge` over the finished files (the
+// live stream is byte-identical to the batch stream by construction).
+int CmdFollow(const char* dir, std::size_t radios, unsigned threads) {
+  std::printf("following %s ...\n", dir);
+  TraceSet traces = TraceSet::FollowDirectory(dir, radios);
+  std::printf("tailing %zu traces\n", traces.size());
+
+  AnalysisBus bus;
+  auto& link = bus.Emplace<LinkConsumer>();
+  auto& interference = bus.Emplace<InterferenceConsumer>(link);
+  auto& tcp_loss = bus.Emplace<TcpLossConsumer>(link);
+  auto& dispersion = bus.Emplace<DispersionConsumer>();
+  MergeConfig cfg;
+  cfg.threads = threads;
+  MergeSession session(traces, cfg, bus.Sink());
+
+  auto last_snapshot = std::chrono::steady_clock::now();
+  for (;;) {
+    const auto status = session.Poll();
+    if (status == MergeSession::Status::kDone) break;
+    const auto now = std::chrono::steady_clock::now();
+    if (session.bootstrapped() &&
+        now - last_snapshot >= std::chrono::seconds(1)) {
+      const auto fig9 = interference.SnapshotReport();
+      const auto fig11 = tcp_loss.SnapshotReport();
+      std::printf("  [live] %llu jframes | fig9 %zu pairs (%.1f%% "
+                  "interfered) | fig11 %llu flows loss %.4f | "
+                  "%zu retained\n",
+                  static_cast<unsigned long long>(session.jframes_emitted()),
+                  fig9.pairs.size(),
+                  100.0 * fig9.fraction_pairs_interfered,
+                  static_cast<unsigned long long>(fig11.flows_considered),
+                  fig11.aggregate_loss_rate, session.retained_jframes());
+      last_snapshot = now;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  bus.Finish();
+
+  const auto st = session.stats();
+  std::printf("radios synced:     %zu/%zu\n",
+              session.bootstrap().SyncedCount(),
+              session.bootstrap().synced.size());
+  std::printf("events:            %llu (%llu valid, %llu FCS-err, %llu "
+              "PHY-err)\n",
+              static_cast<unsigned long long>(st.events_in),
+              static_cast<unsigned long long>(st.valid_in),
+              static_cast<unsigned long long>(st.fcs_error_in),
+              static_cast<unsigned long long>(st.phy_error_in));
+  std::printf("jframes:           %llu (%.2f events each, %llu resyncs)\n",
+              static_cast<unsigned long long>(st.jframes),
+              st.EventsPerJframe(),
+              static_cast<unsigned long long>(st.resyncs));
+  if (!dispersion.distribution().empty()) {
+    std::printf("sync dispersion:   p50 %.0f us, p90 %.0f us, p99 %.0f us\n",
+                dispersion.distribution().Quantile(0.50),
+                dispersion.distribution().Quantile(0.90),
+                dispersion.distribution().Quantile(0.99));
+  }
+  std::printf("interference:      %zu (s,r) pairs, %.1f%% interfered\n",
+              interference.report().pairs.size(),
+              100.0 * interference.report().fraction_pairs_interfered);
+  std::printf("tcp loss:          %llu flows, %.4f aggregate "
+              "(%.4f wireless / %.4f wired)\n",
+              static_cast<unsigned long long>(
+                  tcp_loss.report().flows_considered),
+              tcp_loss.report().aggregate_loss_rate,
+              tcp_loss.report().aggregate_wireless_rate,
+              tcp_loss.report().aggregate_wired_rate);
+  std::printf("live retention:    peak %zu jframes buffered\n",
+              session.peak_retained_jframes());
+  return 0;
+}
+
 int CmdTimeline(const char* dir, Micros span) {
   TraceSet traces = TraceSet::OpenDirectory(dir);
   if (traces.empty()) {
@@ -164,17 +306,26 @@ int CmdTimeline(const char* dir, Micros span) {
 int main(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr,
-                 "usage: jigtool demo|info|merge|timeline <trace_dir> "
-                 "[threads|span_us]\n");
+                 "usage: jigtool demo|demo-live|info|merge|follow|timeline "
+                 "<trace_dir> [args]\n");
     return 2;
   }
   const char* cmd = argv[1];
   const char* dir = argv[2];
   if (std::strcmp(cmd, "demo") == 0) return CmdDemo(dir);
+  if (std::strcmp(cmd, "demo-live") == 0) {
+    return CmdDemoLive(dir, argc > 3 ? std::atol(argv[3]) : 10,
+                       argc > 4 ? std::atol(argv[4]) : 250);
+  }
   if (std::strcmp(cmd, "info") == 0) return CmdInfo(dir);
   if (std::strcmp(cmd, "merge") == 0) {
     return CmdMerge(dir,
                     static_cast<unsigned>(argc > 3 ? std::atol(argv[3]) : 0));
+  }
+  if (std::strcmp(cmd, "follow") == 0) {
+    return CmdFollow(
+        dir, argc > 3 ? static_cast<std::size_t>(std::atol(argv[3])) : 0,
+        static_cast<unsigned>(argc > 4 ? std::atol(argv[4]) : 0));
   }
   if (std::strcmp(cmd, "timeline") == 0) {
     return CmdTimeline(dir, argc > 3 ? std::atol(argv[3]) : 5000);

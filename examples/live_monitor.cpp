@@ -9,16 +9,122 @@
 // traffic mix, utilization, synchronization quality — exactly what a NOC
 // dashboard would poll) and a dispersion CDF, all in the same pass.
 //
+// With --follow the monitor runs against radios that are *still capturing*:
+// it tails the .jigt files in a directory (e.g. one being filled by
+// `jigtool demo-live`), drives a resumable MergeSession as the files grow,
+// and prints periodic Figure 9 (interference) / Figure 11 (TCP loss)
+// snapshots until every writer finalizes.
+//
 // Usage: ./build/examples/live_monitor [seconds] [threads]
+//        ./build/examples/live_monitor --follow <dir> [radios] [threads]
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <thread>
 
 #include "jigsaw/analysis/bus.h"
 #include "jigsaw/pipeline.h"
 #include "sim/scenario.h"
 
+namespace {
+
+using namespace jig;
+
+void PrintHeader() {
+  std::printf("  %8s %8s %7s %7s %7s %8s %8s %7s %7s %9s\n", "window",
+              "jframes", "data", "mgmt", "ctrl", "clients", "APs", "util",
+              "bcast", "sync-disp");
+}
+
+int RunFollow(const char* dir, std::size_t radios, unsigned threads) {
+  std::printf("following %s ...\n", dir);
+  TraceSet traces = TraceSet::FollowDirectory(dir, radios);
+  std::printf("tailing %zu traces\n", traces.size());
+  PrintHeader();
+
+  UniversalMicros origin = 0;
+  AnalysisBus bus;
+  bus.Emplace<OnlineMonitorConsumer>(
+      Seconds(1), [&](const OnlineWindowStats& w) {
+        if (origin == 0) origin = w.window_start;
+        std::printf("  %6llds %8llu %7llu %7llu %7llu %8d %8d %6.1f%% "
+                    "%6.1f%% %7lldus\n",
+                    static_cast<long long>((w.window_start - origin) /
+                                           kMicrosPerSecond),
+                    static_cast<unsigned long long>(w.jframes),
+                    static_cast<unsigned long long>(w.data_frames),
+                    static_cast<unsigned long long>(w.mgmt_frames),
+                    static_cast<unsigned long long>(w.ctrl_frames),
+                    w.active_clients, w.active_aps,
+                    100.0 * w.airtime_fraction,
+                    100.0 * w.broadcast_airtime_fraction,
+                    static_cast<long long>(w.worst_dispersion));
+      });
+  auto& link = bus.Emplace<LinkConsumer>();
+  auto& interference = bus.Emplace<InterferenceConsumer>(link);
+  auto& tcp_loss = bus.Emplace<TcpLossConsumer>(link);
+
+  MergeConfig mcfg;
+  mcfg.threads = threads;
+  MergeSession session(traces, mcfg, bus.Sink());
+
+  const auto snapshot = [&](const char* tag) {
+    const auto fig9 = interference.SnapshotReport();
+    const auto fig11 = tcp_loss.SnapshotReport();
+    std::printf("  [%s] fig9: %zu (s,r) pairs (%.1f%% interfered) | "
+                "fig11: %llu flows, loss %.4f (%.4f wireless) | "
+                "%llu jframes, %zu retained\n",
+                tag, fig9.pairs.size(),
+                100.0 * fig9.fraction_pairs_interfered,
+                static_cast<unsigned long long>(fig11.flows_considered),
+                fig11.aggregate_loss_rate, fig11.aggregate_wireless_rate,
+                static_cast<unsigned long long>(session.jframes_emitted()),
+                session.retained_jframes());
+  };
+
+  auto last_snapshot = std::chrono::steady_clock::now();
+  for (;;) {
+    const auto status = session.Poll();
+    if (status == MergeSession::Status::kDone) break;
+    const auto now = std::chrono::steady_clock::now();
+    if (session.bootstrapped() &&
+        now - last_snapshot >= std::chrono::seconds(1)) {
+      snapshot("live");
+      last_snapshot = now;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  bus.Finish();
+  snapshot("final");
+  const auto stats = session.stats();
+  std::printf("done: merged %llu events into %llu jframes "
+              "(%zu/%zu radios synced, peak retention %zu jframes)\n",
+              static_cast<unsigned long long>(stats.events_in),
+              static_cast<unsigned long long>(stats.jframes),
+              session.bootstrap().SyncedCount(),
+              session.bootstrap().synced.size(),
+              session.peak_retained_jframes());
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace jig;
+  if (argc > 1 && std::strcmp(argv[1], "--follow") == 0) {
+    if (argc < 3) {
+      std::fprintf(stderr,
+                   "usage: live_monitor --follow <trace_dir> [radios] "
+                   "[threads]\n");
+      return 2;
+    }
+    return RunFollow(argv[2],
+                     argc > 3 ? static_cast<std::size_t>(std::atol(argv[3]))
+                              : 0,
+                     static_cast<unsigned>(argc > 4 ? std::atol(argv[4])
+                                                    : 0));
+  }
   const Micros duration = Seconds(argc > 1 ? std::atol(argv[1]) : 15);
   const auto threads =
       static_cast<unsigned>(argc > 2 ? std::atol(argv[2]) : 0);
@@ -32,9 +138,7 @@ int main(int argc, char** argv) {
   scenario.Run();
   TraceSet traces = scenario.TakeTraces();
 
-  std::printf("  %8s %8s %7s %7s %7s %8s %8s %7s %7s %9s\n", "window",
-              "jframes", "data", "mgmt", "ctrl", "clients", "APs", "util",
-              "bcast", "sync-disp");
+  PrintHeader();
 
   UniversalMicros origin = 0;
   AnalysisBus bus;

@@ -388,6 +388,10 @@ class InterferenceConsumer final : public JFrameConsumer,
                   : tracker_.Finish();
   }
 
+  // Streaming form only: mid-stream Figure-9 report over everything seen
+  // so far (the live --follow snapshot path).
+  InterferenceReport SnapshotReport() const { return tracker_.Snapshot(); }
+
   const InterferenceReport& report() const { return report_; }
   const InterferenceTracker& tracker() const { return tracker_; }
 
@@ -442,6 +446,11 @@ class TcpLossConsumer final : public JFrameConsumer, public LinkObserver {
   const std::vector<TcpLossGroup>& groups() const { return groups_; }
   // Streaming form only: the incrementally reconstructed transport layer.
   const TransportReconstruction& transport() const { return transport_; }
+  // Streaming form only: mid-stream Figure-11 report over every flow seen
+  // so far (the live --follow snapshot path).
+  TcpLossReport SnapshotReport() const {
+    return ComputeTcpLoss(tracker_.Snapshot(), config_);
+  }
 
  private:
   const ReconstructionConsumer* reconstruction_ = nullptr;

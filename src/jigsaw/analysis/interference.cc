@@ -121,13 +121,13 @@ void InterferenceTracker::Retire(std::uint64_t min_live_jframe) {
   }
 }
 
-InterferenceReport InterferenceTracker::Finish() {
-  Impl& im = *impl_;
+InterferenceReport InterferenceTracker::Snapshot() const {
+  const Impl& im = *impl_;
   InterferenceReport report;
   report.total_pairs_seen = im.pairs.size();
   double bg_sum = 0.0;
   std::size_t interfered = 0, truncated = 0, ap_senders = 0;
-  for (auto& [key, pi] : im.pairs) {
+  for (const auto& [key, pi] : im.pairs) {
     if (pi.n < im.config.min_packets) continue;
     bg_sum += pi.BackgroundLossRate();
     if (pi.Pi() > 0.0) {
@@ -151,6 +151,8 @@ InterferenceReport InterferenceTracker::Finish() {
             });
   return report;
 }
+
+InterferenceReport InterferenceTracker::Finish() { return Snapshot(); }
 
 std::size_t InterferenceTracker::window_size() const {
   return impl_->overlapped.size();

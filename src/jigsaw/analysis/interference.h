@@ -84,6 +84,9 @@ class InterferenceTracker {
   void OnJFrame(const JFrame& jf);
   void OnAttempt(const TransmissionAttempt& attempt);
   void Retire(std::uint64_t min_live_jframe);
+  // Non-destructive report over everything seen so far — the live-monitor
+  // snapshot path.  The tracker keeps accumulating afterwards.
+  InterferenceReport Snapshot() const;
   InterferenceReport Finish();
 
   std::size_t window_size() const;       // overlap flags currently retained

@@ -1,6 +1,7 @@
 #include "jigsaw/pipeline.h"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <exception>
@@ -8,6 +9,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -41,6 +43,8 @@ class ReorderBuffer {
 
   void Flush() { Drain(std::numeric_limits<UniversalMicros>::max()); }
 
+  std::size_t size() const { return buffer_.size(); }
+
  private:
   void Drain(UniversalMicros up_to) {
     while (!buffer_.empty() && buffer_.begin()->first.first <= up_to) {
@@ -59,247 +63,7 @@ Micros EffectiveHorizon(const MergeConfig& config) {
   return std::max(config.reorder_horizon, config.unifier.search_window * 2);
 }
 
-// Bootstrap is assumed done; runs unify + reorder on the calling thread.
-UnifyStats RunUnifySingleThread(TraceSet& traces,
-                                const BootstrapResult& bootstrap,
-                                const MergeConfig& config,
-                                std::function<void(JFrame&&)>& sink) {
-  ReorderBuffer reorder(EffectiveHorizon(config), std::ref(sink));
-  Unifier unifier(traces, bootstrap, config.unifier,
-                  [&reorder](JFrame&& jf) { reorder.Push(std::move(jf)); });
-  unifier.Run();
-  reorder.Flush();
-  return unifier.stats();
-}
-
-// ---------------------------------------------------------------------------
-// Sharded parallel merge.
-//
-// One unifier per channel shard runs on a small worker pool; each pushes
-// its exactly-ordered output into a per-shard bounded queue, and the
-// calling thread recombines the queues with a k-way merge on OrderKey.
-// Backpressure is cooperative: a worker skips shards whose queue is at the
-// watermark and sleeps only when every shard it owns is throttled, which
-// keeps buffering bounded without ever stalling the shard whose head the
-// consumer is waiting for (a throttled queue is by definition non-empty).
-
-constexpr std::size_t kQueueWatermark = 4096;  // jframes buffered per shard
-constexpr std::size_t kUnifyStep = 1024;       // groups per scheduling slice
-
-struct ShardChannel {
-  std::deque<JFrame> queue;
-  bool closed = false;
-};
-
-struct Coordinator {
-  std::mutex mu;
-  std::condition_variable data_cv;  // consumer: a queue grew or closed
-  std::condition_variable room_cv;  // workers: a queue drained or abort
-  std::vector<ShardChannel> channels;
-  std::vector<UnifyStats> shard_stats;
-  bool aborted = false;
-  std::exception_ptr error;
-
-  explicit Coordinator(std::size_t shards)
-      : channels(shards), shard_stats(shards) {}
-
-  void Abort(std::exception_ptr e) {
-    std::lock_guard lk(mu);
-    if (!error) error = std::move(e);
-    aborted = true;
-    for (auto& ch : channels) ch.closed = true;
-    data_cv.notify_all();
-    room_cv.notify_all();
-  }
-};
-
-// Unifies the shards assigned to one worker, interleaving them in
-// kUnifyStep slices under the queue watermark.
-void ShardWorker(Coordinator& coord, std::vector<ChannelShard>& shards,
-                 const std::vector<std::size_t>& assigned,
-                 const BootstrapResult& bootstrap, const MergeConfig& config) {
-  try {
-    struct Task {
-      std::size_t index;
-      // Jframes drained from the reorder buffer during one Step, published
-      // to the shard queue in a single lock acquisition afterwards.
-      std::vector<JFrame> pending;
-      std::unique_ptr<ReorderBuffer> reorder;
-      std::unique_ptr<Unifier> unifier;
-      bool done = false;
-    };
-    // Tasks live behind stable pointers: the reorder/unifier sinks capture
-    // addresses of task members.
-    std::vector<std::unique_ptr<Task>> tasks;
-    tasks.reserve(assigned.size());
-    for (std::size_t s : assigned) {
-      auto task = std::make_unique<Task>();
-      task->index = s;
-      std::vector<JFrame>* pending = &task->pending;
-      task->reorder = std::make_unique<ReorderBuffer>(
-          EffectiveHorizon(config),
-          [pending](JFrame&& jf) { pending->push_back(std::move(jf)); });
-      ReorderBuffer* reorder = task->reorder.get();
-      task->unifier = std::make_unique<Unifier>(
-          shards[s].traces, bootstrap.Slice(shards[s].source_index),
-          config.unifier,
-          [reorder](JFrame&& jf) { reorder->Push(std::move(jf)); });
-      tasks.push_back(std::move(task));
-    }
-
-    const auto publish = [&coord](Task& task) {
-      if (task.pending.empty()) return;
-      std::lock_guard lk(coord.mu);
-      auto& queue = coord.channels[task.index].queue;
-      for (JFrame& jf : task.pending) queue.push_back(std::move(jf));
-      task.pending.clear();
-      coord.data_cv.notify_one();
-    };
-
-    for (;;) {
-      bool all_done = true;
-      bool progressed = false;
-      for (auto& task_ptr : tasks) {
-        Task& task = *task_ptr;
-        if (task.done) continue;
-        all_done = false;
-        {
-          std::lock_guard lk(coord.mu);
-          if (coord.aborted) return;
-          if (coord.channels[task.index].queue.size() >= kQueueWatermark) {
-            continue;  // throttled; its head is already available
-          }
-        }
-        const bool more = task.unifier->Step(kUnifyStep);
-        if (!more) task.reorder->Flush();
-        publish(task);
-        if (!more) {
-          std::lock_guard lk(coord.mu);
-          coord.shard_stats[task.index] = task.unifier->stats();
-          coord.channels[task.index].closed = true;
-          coord.data_cv.notify_one();
-          task.done = true;
-        }
-        progressed = true;
-      }
-      if (all_done) return;
-      if (!progressed) {
-        std::unique_lock lk(coord.mu);
-        coord.room_cv.wait(lk, [&] {
-          if (coord.aborted) return true;
-          for (const auto& task_ptr : tasks) {
-            if (!task_ptr->done &&
-                coord.channels[task_ptr->index].queue.size() <
-                    kQueueWatermark) {
-              return true;
-            }
-          }
-          return false;
-        });
-        if (coord.aborted) return;
-      }
-    }
-  } catch (...) {
-    coord.Abort(std::current_exception());
-  }
-}
-
-// K-way merge of the shard queues on the calling thread.  Emits the
-// globally least OrderKey among the shard heads; correctness needs a head
-// (or end-of-stream) from every shard before each emission.  Each lock
-// acquisition splices entire shard queues into consumer-local buffers, so
-// lock traffic is per batch, not per jframe.
-void ConsumeShardStreams(Coordinator& coord,
-                         const std::function<void(JFrame&&)>& sink) {
-  const std::size_t n = coord.channels.size();
-  struct Local {
-    std::deque<JFrame> buffered;  // in shard order, head at front
-    bool finished = false;        // shard closed and fully drained
-  };
-  std::vector<Local> locals(n);
-  const auto need_refill = [&] {
-    for (const Local& l : locals) {
-      if (l.buffered.empty() && !l.finished) return true;
-    }
-    return false;
-  };
-  for (;;) {
-    if (need_refill()) {
-      std::unique_lock lk(coord.mu);
-      coord.data_cv.wait(lk, [&] {
-        if (coord.aborted) return true;
-        for (std::size_t i = 0; i < n; ++i) {
-          if (!locals[i].buffered.empty() || locals[i].finished) continue;
-          if (coord.channels[i].queue.empty() && !coord.channels[i].closed) {
-            return false;
-          }
-        }
-        return true;
-      });
-      if (coord.aborted) return;
-      // Splice only into empty local buffers: a shard the merge is not
-      // consuming keeps its backpressure (shared queue at the watermark)
-      // instead of accumulating unboundedly on the consumer side.
-      bool drained = false;
-      for (std::size_t i = 0; i < n; ++i) {
-        if (!locals[i].buffered.empty()) continue;
-        auto& ch = coord.channels[i];
-        if (!ch.queue.empty()) {
-          locals[i].buffered = std::move(ch.queue);
-          ch.queue.clear();  // moved-from deque: restore known state
-          drained = true;
-        } else if (ch.closed) {
-          locals[i].finished = true;
-        }
-      }
-      if (drained) coord.room_cv.notify_all();
-    }
-
-    std::size_t best = n;
-    for (std::size_t i = 0; i < n; ++i) {
-      if (locals[i].buffered.empty()) continue;
-      if (best == n ||
-          KeyOf(locals[i].buffered.front()) <
-              KeyOf(locals[best].buffered.front())) {
-        best = i;
-      }
-    }
-    if (best == n) return;  // every shard finished
-    JFrame next = std::move(locals[best].buffered.front());
-    locals[best].buffered.pop_front();
-    sink(std::move(next));  // user code runs outside the lock
-  }
-}
-
-UnifyStats RunUnifySharded(std::vector<ChannelShard>& shards,
-                           const BootstrapResult& bootstrap,
-                           const MergeConfig& config, unsigned workers,
-                           const std::function<void(JFrame&&)>& sink) {
-  Coordinator coord(shards.size());
-  // Static round-robin shard assignment.
-  std::vector<std::vector<std::size_t>> assigned(workers);
-  for (std::size_t s = 0; s < shards.size(); ++s) {
-    assigned[s % workers].push_back(s);
-  }
-  {
-    std::vector<std::jthread> pool;
-    pool.reserve(workers);
-    for (unsigned w = 0; w < workers; ++w) {
-      pool.emplace_back(ShardWorker, std::ref(coord), std::ref(shards),
-                        std::cref(assigned[w]), std::cref(bootstrap),
-                        std::cref(config));
-    }
-    try {
-      ConsumeShardStreams(coord, sink);
-    } catch (...) {
-      coord.Abort(std::current_exception());
-    }
-  }  // joins the pool
-  if (coord.error) std::rethrow_exception(coord.error);
-  UnifyStats stats;
-  for (const UnifyStats& s : coord.shard_stats) stats += s;
-  return stats;
-}
+constexpr std::size_t kUnifyStep = 1024;  // groups per scheduling slice
 
 unsigned ResolveWorkers(unsigned threads, std::size_t shard_count) {
   unsigned n = threads;
@@ -328,39 +92,418 @@ void ValidateMergeConfig(const MergeConfig& config) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// MergeSession.
+//
+// Sharded mode runs in rounds: the worker pool steps every shard's unifier
+// (each bounded by the queue watermark), a barrier joins the round, then
+// the Poll() thread k-way merges the shard queues as far as every shard has
+// either a head or a final end-of-stream — the same gating rule as the
+// batch k-way merge, so the emitted order is byte-identical.  Between
+// rounds the workers are idle, which is what makes the session resumable:
+// Poll() simply stops scheduling rounds once no shard can advance.
+
+struct MergeSession::Impl {
+  struct LiveShard {
+    std::deque<JFrame> queue;  // ordered output awaiting the k-way merge
+    std::unique_ptr<ReorderBuffer> reorder;
+    std::unique_ptr<Unifier> unifier;
+    bool exhausted = false;  // unifier done and reorder flushed
+  };
+
+  TraceSet& traces;
+  MergeConfig config;
+  std::function<void(JFrame&&)> sink;
+
+  bool bootstrapped = false;
+  bool done = false;
+  bool failed = false;
+  std::vector<bool> window_filled;  // per-trace bootstrap readiness cache
+  // Per-trace bootstrap window end (NTP frame), latched off the first
+  // record; the readiness scan keeps each stream's cursor across polls so
+  // a poll only reads records that arrived since the last one.
+  std::vector<std::optional<std::int64_t>> window_end;
+  BootstrapResult bootstrap;
+  UnifyStats final_stats;  // sharded stats, latched before teardown
+
+  // Single-threaded (legacy-exact) path.
+  bool single_mode = false;
+  std::unique_ptr<ReorderBuffer> single_reorder;
+  std::unique_ptr<Unifier> single_unifier;
+
+  // Sharded path.
+  std::vector<ChannelShard> shards;
+  bool partitioned = false;
+  std::vector<std::unique_ptr<LiveShard>> live;
+  unsigned workers = 1;
+
+  // Round-barrier worker pool (only when workers > 1).
+  std::vector<std::thread> pool;
+  std::mutex pool_mu;
+  std::condition_variable start_cv;
+  std::condition_variable done_cv;
+  std::uint64_t generation = 0;
+  std::size_t remaining = 0;
+  bool shutdown = false;
+  bool round_progress = false;
+  std::vector<std::exception_ptr> round_errors;
+
+  std::uint64_t emitted = 0;
+  std::size_t peak_retained = 0;
+
+  Impl(TraceSet& t, const MergeConfig& c, std::function<void(JFrame&&)> s)
+      : traces(t), config(c), sink(std::move(s)) {}
+
+  ~Impl() {
+    StopPool();
+    // Destroy the unifiers/reorder buffers before handing the shard streams
+    // back (they hold references into the shard trace sets).
+    live.clear();
+    single_unifier.reset();
+    single_reorder.reset();
+    Reassemble();
+  }
+
+  void Reassemble() {
+    if (!partitioned) return;
+    partitioned = false;
+    traces.AdoptShards(std::move(shards));
+    shards.clear();
+  }
+
+  // ---- bootstrap phase ----------------------------------------------------
+
+  // Has trace i's bootstrap window filled?  Mirrors the window scan of
+  // BootstrapSynchronize: the window is anchored at the trace's own first
+  // record, so it has filled once a record at/after window-end exists — or
+  // once the trace finalized with less than a window of data.  The stream
+  // cursor persists across polls (data only ever grows), so each poll
+  // reads only what arrived since the last; BootstrapSynchronize and the
+  // unifiers rewind everything afterwards anyway.
+  bool ScanBootstrapReady(std::size_t i) {
+    RecordStream& stream = traces.at(i);
+    const std::int64_t ntp0 = stream.header().ntp_utc_of_local_zero_us;
+    if (!window_end[i]) {
+      stream.Rewind();
+      const CaptureRecord* first = stream.NextRef();
+      if (first == nullptr) return stream.Finalized();
+      window_end[i] = ntp0 + first->timestamp + config.bootstrap.window;
+      if (ntp0 + first->timestamp >= *window_end[i]) return true;
+    }
+    while (const CaptureRecord* rec = stream.NextRef()) {
+      if (ntp0 + rec->timestamp >= *window_end[i]) return true;
+    }
+    return stream.Finalized();
+  }
+
+  bool TryBootstrap() {
+    if (window_filled.empty()) {
+      window_filled.assign(traces.size(), false);
+      window_end.assign(traces.size(), std::nullopt);
+    }
+    bool all = true;  // an empty set falls through: bootstrap throws
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      if (!window_filled[i]) window_filled[i] = ScanBootstrapReady(i);
+      all = all && window_filled[i];
+    }
+    if (!all) return false;
+    // Bootstrap is always global: reference sets bridge channels through
+    // the monitors' shared capture clocks, which a per-shard pass cannot
+    // see.  Traces are re-read from offset zero — the "late bootstrap"
+    // path: nothing was buffered while waiting, the files are the buffer.
+    bootstrap = BootstrapSynchronize(traces, config.bootstrap);
+    SetupMerge();
+    bootstrapped = true;
+    return true;
+  }
+
+  void SetupMerge() {
+    const auto counting_sink = [this](JFrame&& jf) {
+      ++emitted;
+      sink(std::move(jf));
+    };
+    if (config.threads == 1 || traces.size() <= 1) {
+      single_mode = true;
+      single_reorder =
+          std::make_unique<ReorderBuffer>(EffectiveHorizon(config),
+                                          counting_sink);
+      ReorderBuffer* reorder = single_reorder.get();
+      single_unifier = std::make_unique<Unifier>(
+          traces, bootstrap, config.unifier,
+          [reorder](JFrame&& jf) { reorder->Push(std::move(jf)); });
+      return;
+    }
+    shards = traces.PartitionByChannel();
+    partitioned = true;
+    live.reserve(shards.size());
+    for (std::size_t s = 0; s < shards.size(); ++s) {
+      auto ls = std::make_unique<LiveShard>();
+      std::deque<JFrame>* queue = &ls->queue;
+      ls->reorder = std::make_unique<ReorderBuffer>(
+          EffectiveHorizon(config),
+          [queue](JFrame&& jf) { queue->push_back(std::move(jf)); });
+      ReorderBuffer* reorder = ls->reorder.get();
+      ls->unifier = std::make_unique<Unifier>(
+          shards[s].traces, bootstrap.Slice(shards[s].source_index),
+          config.unifier,
+          [reorder](JFrame&& jf) { reorder->Push(std::move(jf)); });
+      live.push_back(std::move(ls));
+    }
+    workers = ResolveWorkers(config.threads, shards.size());
+    if (workers > 1) StartPool();
+  }
+
+  // ---- worker rounds ------------------------------------------------------
+
+  // Steps one shard until it starves, exhausts, or its queue reaches the
+  // watermark.  Returns true if anything was consumed or produced.
+  static bool StepShard(LiveShard& ls) {
+    if (ls.exhausted) return false;
+    bool progress = false;
+    while (ls.queue.size() < kMergeQueueWatermark) {
+      const std::uint64_t before = ls.unifier->stats().events_in;
+      const std::size_t queued = ls.queue.size();
+      const UnifyStep step = ls.unifier->Step(kUnifyStep);
+      progress = progress || ls.unifier->stats().events_in != before ||
+                 ls.queue.size() != queued;
+      if (step == UnifyStep::kStarved) break;
+      if (step == UnifyStep::kExhausted) {
+        ls.reorder->Flush();
+        ls.exhausted = true;
+        progress = true;
+        break;
+      }
+    }
+    return progress;
+  }
+
+  bool WorkerRound(unsigned w) {
+    bool progress = false;
+    for (std::size_t s = w; s < live.size(); s += workers) {
+      progress = StepShard(*live[s]) || progress;
+    }
+    return progress;
+  }
+
+  void StartPool() {
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+      pool.emplace_back([this, w] {
+        std::uint64_t seen = 0;
+        for (;;) {
+          std::unique_lock lk(pool_mu);
+          start_cv.wait(lk,
+                        [&] { return shutdown || generation != seen; });
+          if (shutdown) return;
+          seen = generation;
+          lk.unlock();
+          bool progress = false;
+          std::exception_ptr error;
+          try {
+            progress = WorkerRound(w);
+          } catch (...) {
+            error = std::current_exception();
+          }
+          lk.lock();
+          round_progress = round_progress || progress;
+          if (error) round_errors.push_back(error);
+          if (--remaining == 0) {
+            lk.unlock();
+            done_cv.notify_all();
+          }
+        }
+      });
+    }
+  }
+
+  void StopPool() {
+    if (pool.empty()) return;
+    {
+      std::lock_guard lk(pool_mu);
+      shutdown = true;
+    }
+    start_cv.notify_all();
+    for (auto& t : pool) t.join();
+    pool.clear();
+  }
+
+  // Runs one round over every shard; returns whether any shard progressed.
+  bool RunRound() {
+    if (pool.empty()) {
+      bool progress = false;
+      for (auto& ls : live) progress = StepShard(*ls) || progress;
+      return progress;
+    }
+    std::unique_lock lk(pool_mu);
+    round_progress = false;
+    remaining = pool.size();
+    ++generation;
+    start_cv.notify_all();
+    done_cv.wait(lk, [&] { return remaining == 0; });
+    if (!round_errors.empty()) {
+      const auto error = round_errors.front();
+      round_errors.clear();
+      std::rethrow_exception(error);
+    }
+    return round_progress;
+  }
+
+  // ---- consumer merge -----------------------------------------------------
+
+  // Emits the globally least OrderKey among the shard heads, exactly like
+  // the batch k-way merge: correctness needs a head (or final
+  // end-of-stream) from every shard before each emission, so a starved
+  // shard with an empty queue gates the stream — the watermark stall.
+  std::size_t MergeQueues() {
+    std::size_t merged = 0;
+    const std::size_t n = live.size();
+    for (;;) {
+      std::size_t best = n;
+      bool gated = false;
+      for (std::size_t i = 0; i < n; ++i) {
+        LiveShard& ls = *live[i];
+        if (ls.queue.empty()) {
+          if (!ls.exhausted) {
+            gated = true;
+            break;
+          }
+          continue;
+        }
+        if (best == n ||
+            KeyOf(ls.queue.front()) < KeyOf(live[best]->queue.front())) {
+          best = i;
+        }
+      }
+      if (gated || best == n) return merged;
+      JFrame jf = std::move(live[best]->queue.front());
+      live[best]->queue.pop_front();
+      ++emitted;
+      ++merged;
+      sink(std::move(jf));  // user code runs on the Poll() thread
+    }
+  }
+
+  std::size_t Retained() const {
+    if (single_mode) {
+      return single_reorder != nullptr ? single_reorder->size() : 0;
+    }
+    std::size_t total = 0;
+    for (const auto& ls : live) {
+      total += ls->queue.size() + ls->reorder->size();
+    }
+    return total;
+  }
+
+  void ObserveRetention() {
+    peak_retained = std::max(peak_retained, Retained());
+  }
+
+  // ---- polling ------------------------------------------------------------
+
+  Status PollSingle() {
+    for (;;) {
+      const UnifyStep step = single_unifier->Step(kUnifyStep);
+      ObserveRetention();
+      if (step == UnifyStep::kStarved) return Status::kStarved;
+      if (step == UnifyStep::kExhausted) {
+        single_reorder->Flush();
+        done = true;
+        return Status::kDone;
+      }
+    }
+  }
+
+  Status PollInner() {
+    if (done) return Status::kDone;
+    if (!bootstrapped && !TryBootstrap()) return Status::kBootstrapping;
+    if (single_mode) return PollSingle();
+    for (;;) {
+      const bool stepped = RunRound();
+      ObserveRetention();
+      const bool merged = MergeQueues() > 0;
+      if (!stepped && !merged) break;
+    }
+    for (const auto& ls : live) {
+      if (!ls->exhausted || !ls->queue.empty()) return Status::kStarved;
+    }
+    done = true;
+    // Tear the shard machinery down now, not at destruction: the contract
+    // hands the streams back to the caller's TraceSet as soon as the
+    // session completes, so the set is reusable while the session (and
+    // its stats) live on.
+    StopPool();
+    final_stats = Stats();
+    live.clear();  // unifiers reference the shard trace sets — drop first
+    Reassemble();
+    return Status::kDone;
+  }
+
+  UnifyStats Stats() const {
+    if (single_unifier != nullptr) return single_unifier->stats();
+    UnifyStats total = final_stats;
+    for (const auto& ls : live) total += ls->unifier->stats();
+    return total;
+  }
+};
+
+MergeSession::MergeSession(TraceSet& traces, const MergeConfig& config,
+                           std::function<void(JFrame&&)> sink)
+    : impl_(std::make_unique<Impl>(traces, config, std::move(sink))) {
+  ValidateMergeConfig(config);
+}
+
+MergeSession::~MergeSession() = default;
+
+MergeSession::Status MergeSession::Poll() {
+  if (impl_->failed) {
+    throw std::logic_error("MergeSession: poll after a failed poll");
+  }
+  try {
+    return impl_->PollInner();
+  } catch (...) {
+    impl_->failed = true;
+    throw;
+  }
+}
+
+MergeStreamStats MergeSession::Drain() {
+  for (;;) {
+    const Status status = Poll();
+    if (status == Status::kDone) break;
+    // Only live sources ever starve; give their writers a moment.  Batch
+    // inputs complete in a single Poll with no sleeps.
+    std::this_thread::sleep_for(std::chrono::microseconds(
+        status == Status::kBootstrapping ? 1000 : 200));
+  }
+  MergeStreamStats out;
+  out.bootstrap = impl_->bootstrap;
+  out.stats = impl_->Stats();
+  return out;
+}
+
+bool MergeSession::bootstrapped() const { return impl_->bootstrapped; }
+
+const BootstrapResult& MergeSession::bootstrap() const {
+  return impl_->bootstrap;
+}
+
+UnifyStats MergeSession::stats() const { return impl_->Stats(); }
+
+std::uint64_t MergeSession::jframes_emitted() const { return impl_->emitted; }
+
+std::size_t MergeSession::retained_jframes() const {
+  return impl_->Retained();
+}
+
+std::size_t MergeSession::peak_retained_jframes() const {
+  return impl_->peak_retained;
+}
+
 MergeStreamStats MergeTracesStreaming(TraceSet& traces,
                                       const MergeConfig& config,
                                       std::function<void(JFrame&&)> sink) {
-  ValidateMergeConfig(config);
-  MergeStreamStats out;
-  // Bootstrap is always global: reference sets bridge channels through the
-  // monitors' shared capture clocks, which a per-shard pass cannot see.
-  out.bootstrap = BootstrapSynchronize(traces, config.bootstrap);
-
-  if (config.threads == 1 || traces.size() <= 1) {
-    out.stats = RunUnifySingleThread(traces, out.bootstrap, config, sink);
-    return out;
-  }
-
-  auto shards = traces.PartitionByChannel();
-  // Whatever happens below, hand the streams back to the caller's set.
-  struct Reassemble {
-    TraceSet& set;
-    std::vector<ChannelShard>& shards;
-    ~Reassemble() { set.AdoptShards(std::move(shards)); }
-  } reassemble{traces, shards};
-
-  if (shards.size() == 1) {
-    // One channel: the shard is the whole set (in original order); no
-    // recombination needed.
-    const BootstrapResult sliced =
-        out.bootstrap.Slice(shards[0].source_index);
-    out.stats = RunUnifySingleThread(shards[0].traces, sliced, config, sink);
-    return out;
-  }
-  const unsigned workers = ResolveWorkers(config.threads, shards.size());
-  out.stats = RunUnifySharded(shards, out.bootstrap, config, workers, sink);
-  return out;
+  MergeSession session(traces, config, std::move(sink));
+  return session.Drain();
 }
 
 MergeResult MergeTraces(TraceSet& traces, const MergeConfig& config) {

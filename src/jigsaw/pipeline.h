@@ -14,9 +14,20 @@
 // on (timestamp, channel) — the same total order the single-threaded reorder
 // buffer emits — so the parallel stream is byte-identical to the legacy
 // single-threaded stream.
+//
+// Live operation: MergeSession is the resumable form of the same pipeline.
+// It runs against tail-follow trace sources (TailFileTrace) that are still
+// being written: each Poll() advances exactly as far as the per-radio low
+// watermark allows and returns when every further group would need data a
+// radio has not produced yet.  Once every writer finalizes, the cumulative
+// jframe stream is byte-identical to a batch merge of the finished files —
+// MergeTracesStreaming is literally a drain-to-completion wrapper over a
+// MergeSession, so there is one code path, not two.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "jigsaw/bootstrap.h"
@@ -65,5 +76,68 @@ struct MergeStreamStats {
 MergeStreamStats MergeTracesStreaming(TraceSet& traces,
                                       const MergeConfig& config,
                                       std::function<void(JFrame&&)> sink);
+
+// Per-shard buffering bound of the parallel paths: a shard whose output
+// queue holds this many jframes stops unifying until the consumer drains
+// it, so retention stays bounded even when one radio lags far behind the
+// rest (the lagging shard gates emission; the others throttle here).
+inline constexpr std::size_t kMergeQueueWatermark = 4096;
+
+// Resumable merge over (possibly live) trace sources.
+//
+// Lifecycle: construct over a TraceSet (which must outlive the session;
+// the streams are handed back — reassembled from any channel partition —
+// when the session completes or is destroyed), then call Poll() whenever
+// the underlying sources may have grown:
+//
+//   * kBootstrapping — some radio's bootstrap sync window has not filled
+//     yet.  Nothing is emitted; the session buffers nothing (the data sits
+//     in the trace files) and will re-read every trace from offset zero
+//     once the window fills — late bootstrap costs nothing but the wait.
+//   * kStarved — bootstrap is done and the merge advanced as far as the
+//     per-radio low watermark allows; at least one live trace must grow
+//     (or finalize) before any further group can be formed.
+//   * kDone — every source finalized, every jframe emitted.  The
+//     cumulative stream is byte-identical to MergeTraces over the same
+//     (finished) inputs for every `threads` setting.
+//
+// The sink runs on the Poll()-calling thread in every threading mode.
+class MergeSession {
+ public:
+  enum class Status { kBootstrapping, kStarved, kDone };
+
+  // Validates the config (throws std::invalid_argument like the batch
+  // entry points).  No trace is read until the first Poll().
+  MergeSession(TraceSet& traces, const MergeConfig& config,
+               std::function<void(JFrame&&)> sink);
+  ~MergeSession();
+
+  MergeSession(const MergeSession&) = delete;
+  MergeSession& operator=(const MergeSession&) = delete;
+
+  // Advances until quiescent: returns only when nothing further can happen
+  // without new data.  Never blocks waiting for a writer.
+  Status Poll();
+
+  // Polls to completion, sleeping briefly whenever the sources are starved
+  // — the batch semantics.  Requires every writer to eventually finalize.
+  MergeStreamStats Drain();
+
+  bool bootstrapped() const;
+  // Valid once bootstrapped() is true.
+  const BootstrapResult& bootstrap() const;
+  // Running totals; complete once Poll() returned kDone.
+  UnifyStats stats() const;
+  std::uint64_t jframes_emitted() const;
+  // Jframes currently buffered between the unifiers and the sink (reorder
+  // buffers + shard queues) and the session-lifetime high-water mark — the
+  // bounded-retention guarantee under starved/uneven sources.
+  std::size_t retained_jframes() const;
+  std::size_t peak_retained_jframes() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 }  // namespace jig

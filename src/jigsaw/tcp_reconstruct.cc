@@ -268,7 +268,31 @@ void TransportTracker::OnExchange(const FrameExchange& ex, const Frame* data) {
   }
 }
 
+TransportReconstruction TransportTracker::Snapshot() const {
+  const Impl& im = *impl_;
+  // Copy the streaming-accumulated state (per-exchange verdicts, segment
+  // counters), then fold in the per-flow summaries without disturbing the
+  // flows — the tracker keeps updating them after a snapshot.
+  TransportReconstruction out = im.out;
+  out.flows.reserve(im.flows.size());
+  for (const TcpFlowKey* key : im.flow_order) {
+    const FlowState& fs = im.flows.at(*key);
+    ++out.stats.flows_total;
+    if (fs.record.handshake_complete) ++out.stats.flows_with_handshake;
+    out.stats.loss_events += fs.record.losses.size();
+    out.stats.wireless_losses += fs.record.LossesBy(LossCause::kWireless);
+    out.stats.wired_losses += fs.record.LossesBy(LossCause::kWired);
+    out.stats.covering_ack_resolutions += fs.record.covering_ack_resolutions;
+    out.stats.inferred_missing_segments += fs.record.inferred_missing_segments;
+    out.flows.push_back(fs.record);
+  }
+  return out;
+}
+
 TransportReconstruction TransportTracker::Finish() {
+  // Terminal form of Snapshot(): the tracker is done, so the accumulated
+  // state and every flow record are moved out rather than deep-copied —
+  // no end-of-trace memory spike on the batch path.
   Impl& im = *impl_;
   im.out.flows.reserve(im.flows.size());
   for (const TcpFlowKey* key : im.flow_order) {

@@ -114,6 +114,9 @@ class TransportTracker {
   TransportTracker& operator=(TransportTracker&&) noexcept;
 
   void OnExchange(const FrameExchange& exchange, const Frame* data);
+  // Non-destructive reconstruction over everything seen so far — the
+  // live-monitor snapshot path.  The tracker keeps accumulating afterwards.
+  TransportReconstruction Snapshot() const;
   TransportReconstruction Finish();
 
  private:

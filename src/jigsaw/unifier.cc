@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 namespace jig {
 
@@ -20,13 +21,19 @@ Unifier::Unifier(TraceSet& traces, const BootstrapResult& bootstrap,
   }
   traces_.RewindAll();
   for (std::size_t i = 0; i < n; ++i) {
-    if (active_[i]) Refill(i);
+    if (active_[i] && !Refill(i)) starved_.push_back(i);
   }
 }
 
-void Unifier::Refill(std::size_t trace) {
+bool Unifier::Refill(std::size_t trace) {
   heads_[trace].reset();
-  while (auto rec = traces_.at(trace).Next()) {
+  for (;;) {
+    auto rec = traces_.at(trace).Next();
+    if (!rec) {
+      if (!traces_.at(trace).Finalized()) return false;  // live: no data yet
+      active_[trace] = false;  // exhausted for good
+      return true;
+    }
     ++stats_.events_in;
     switch (rec->outcome) {
       case RxOutcome::kOk:
@@ -52,21 +59,43 @@ void Unifier::Refill(std::size_t trace) {
     head.record = std::move(*rec);
     heads_[trace] = std::move(head);
     queue_.insert(QueueEntry{heads_[trace]->universal, trace});
-    return;
+    return true;
   }
-  active_[trace] = false;  // exhausted
 }
 
-bool Unifier::Step(std::size_t max_jframes) {
+bool Unifier::RefillStarved() {
+  if (starved_.empty()) return true;
+  std::vector<std::size_t> still_starved;
+  for (std::size_t t : starved_) {
+    if (!Refill(t)) still_starved.push_back(t);
+  }
+  starved_ = std::move(still_starved);
+  return starved_.empty();
+}
+
+UnifyStep Unifier::Step(std::size_t max_jframes) {
   for (std::size_t i = 0; i < max_jframes; ++i) {
-    if (queue_.empty()) return false;
+    // The group-formation invariant: every active trace has a head queued.
+    if (!RefillStarved()) return UnifyStep::kStarved;
+    if (queue_.empty()) return UnifyStep::kExhausted;
     ProcessOneGroup();
   }
-  return !queue_.empty();
+  if (!queue_.empty() || !starved_.empty()) return UnifyStep::kMore;
+  return UnifyStep::kExhausted;
 }
 
 void Unifier::Run() {
-  while (!queue_.empty()) ProcessOneGroup();
+  for (;;) {
+    switch (Step(1024)) {
+      case UnifyStep::kMore:
+        break;
+      case UnifyStep::kExhausted:
+        return;
+      case UnifyStep::kStarved:
+        throw std::logic_error(
+            "Unifier::Run over a live trace source; drive it with Step");
+    }
+  }
 }
 
 void Unifier::ProcessOneGroup() {
@@ -146,7 +175,7 @@ void Unifier::ProcessOneGroup() {
     // instances — drop them all.)
     for (std::size_t t : group) {
       ++stats_.error_events_dropped;
-      Refill(t);
+      if (!Refill(t)) starved_.push_back(t);
     }
     return;
   }
@@ -196,7 +225,9 @@ void Unifier::ProcessOneGroup() {
     ++stats_.events_unified;
   }
   ++stats_.jframes;
-  for (std::size_t t : group) Refill(t);
+  for (std::size_t t : group) {
+    if (!Refill(t)) starved_.push_back(t);
+  }
   sink_(std::move(jf));
 }
 

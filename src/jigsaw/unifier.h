@@ -78,6 +78,14 @@ struct UnifyStats {
   }
 };
 
+// Result of an incremental unification slice.
+enum class UnifyStep {
+  kMore,       // made progress; more groups may remain — call Step again
+  kStarved,    // a live trace has no complete record on disk yet: no group
+               // can be formed safely until its writer appends or finalizes
+  kExhausted,  // every trace is at final EOF and the queue is drained
+};
+
 class Unifier {
  public:
   // Sink receives jframes approximately ordered by timestamp; exact
@@ -87,11 +95,19 @@ class Unifier {
   Unifier(TraceSet& traces, const BootstrapResult& bootstrap,
           UnifierConfig config, JFrameSink sink);
 
-  // Runs the merge to completion (single pass over all traces).
+  // Runs the merge to completion (single pass over all traces).  Only for
+  // finalized inputs: throws std::logic_error if a live trace starves —
+  // incremental callers must use Step.
   void Run();
-  // Incremental: processes at most `max_jframes` groups; returns false when
-  // input is exhausted.
-  bool Step(std::size_t max_jframes);
+  // Incremental: processes at most `max_jframes` groups.
+  //
+  // Live-source contract: a group is only ever formed while every active
+  // trace has a head instance queued — the per-radio low watermark.  When a
+  // tail-follow trace reports "no data yet", Step returns kStarved without
+  // forming further groups (a group formed without the starved radio's next
+  // record could differ from the batch merge), which is what makes the live
+  // stream byte-identical to the batch stream by construction.
+  UnifyStep Step(std::size_t max_jframes);
 
   const UnifyStats& stats() const { return stats_; }
   const TraceClockState& clock_state(std::size_t i) const {
@@ -118,7 +134,11 @@ class Unifier {
   };
 
   // Loads the next usable record of trace i into heads_[i] and queues it.
-  void Refill(std::size_t trace);
+  // Returns false when the trace is a live source with no complete record
+  // available yet (the trace stays active and is parked in starved_).
+  bool Refill(std::size_t trace);
+  // Re-attempts every starved trace; true when none remain starved.
+  bool RefillStarved();
   void ProcessOneGroup();
 
   TraceSet& traces_;
@@ -128,6 +148,7 @@ class Unifier {
   std::vector<bool> active_;            // synced and not exhausted
   std::vector<std::optional<Head>> heads_;
   std::set<QueueEntry> queue_;
+  std::vector<std::size_t> starved_;    // active traces awaiting data
   UnifyStats stats_;
 };
 

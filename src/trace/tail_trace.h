@@ -1,0 +1,79 @@
+// Tail-follow record stream over a growing .jigt file.
+//
+// The paper's pipeline is online: the merge must consume traces the radios
+// are still writing.  TailFileTrace reads the same block format as
+// TraceFileReader but never touches the index trailer — it walks the data
+// region sequentially and, at the write frontier, distinguishes three
+// situations a batch reader conflates:
+//
+//   * no data yet     — the next block's length word or body is not fully
+//                       on disk.  Next() returns nullopt, Finalized() stays
+//                       false, and the partially written region is re-read
+//                       from the block boundary on the next call (a
+//                       half-written trailing block is never mistaken for
+//                       corruption or EOF).
+//   * finalized       — the writer's Finish() wrote the [u32 0] terminator:
+//                       an explicit end-of-capture marker.  Next() returns
+//                       nullopt and Finalized() reports true.
+//   * corruption      — bad magic/version, a garbage block length, or a
+//                       fully written block whose contents do not parse.
+//                       TraceCorruptError is thrown; waiting cannot help,
+//                       so a tailer must not spin on it.
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "trace/trace_set.h"
+
+namespace jig {
+
+class TailFileTrace final : public RecordStream {
+ public:
+  // Opens `path` if its header is fully written; returns nullptr when the
+  // file is still too short (the writer has not published the header yet —
+  // retry later).  Throws TraceCorruptError on bad magic/version and
+  // std::runtime_error if the file cannot be opened at all.
+  static std::unique_ptr<TailFileTrace> TryOpen(
+      const std::filesystem::path& path);
+
+  ~TailFileTrace() override;
+  TailFileTrace(const TailFileTrace&) = delete;
+  TailFileTrace& operator=(const TailFileTrace&) = delete;
+
+  const TraceHeader& header() const override { return header_; }
+  // nullopt means "no complete record available": consult Finalized() to
+  // tell end-of-capture from a frontier that may still grow.
+  std::optional<CaptureRecord> Next() override;
+  const CaptureRecord* NextRef() override;
+  void Rewind() override;
+  bool Finalized() const override {
+    return finalized_ && block_pos_ >= block_records_.size();
+  }
+
+  const std::filesystem::path& path() const { return path_; }
+
+ private:
+  TailFileTrace(std::FILE* file, TraceHeader header, std::uint64_t data_start,
+                std::filesystem::path path);
+
+  // Attempts to load the block at next_block_offset_.  Returns false with
+  // no state change when the block is not fully written yet, false with
+  // finalized_ set when the terminator is found, true on success.
+  bool TryLoadNextBlock();
+
+  std::FILE* file_ = nullptr;
+  TraceHeader header_;
+  std::filesystem::path path_;
+  std::uint64_t data_start_ = 0;        // offset of the first block
+  std::uint64_t next_block_offset_ = 0; // read frontier (block-aligned)
+  std::vector<CaptureRecord> block_records_;
+  std::size_t block_pos_ = 0;
+  bool finalized_ = false;
+  std::optional<CaptureRecord> scan_buffer_;  // NextRef's backing storage
+};
+
+}  // namespace jig

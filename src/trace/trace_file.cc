@@ -8,10 +8,6 @@
 namespace jig {
 namespace {
 
-constexpr char kDataMagic[4] = {'J', 'I', 'G', 'T'};
-constexpr char kIndexMagic[4] = {'J', 'I', 'G', 'X'};
-constexpr std::uint32_t kVersion = 1;
-
 void WriteAll(std::FILE* f, const void* data, std::size_t n) {
   if (std::fwrite(data, 1, n, f) != n) {
     throw std::runtime_error("trace file: short write");
@@ -31,9 +27,16 @@ void WriteU64(std::FILE* f, std::uint64_t v) {
   WriteU32(f, static_cast<std::uint32_t>(v >> 32));
 }
 
+// A short read at end-of-file means the structure being read was cut off —
+// an unfinished write or a lost tail — which is a different failure from
+// both clean EOF (the caller never asks past the index) and corruption.
 void ReadAll(std::FILE* f, void* data, std::size_t n) {
   if (std::fread(data, 1, n, f) != n) {
-    throw std::runtime_error("trace file: short read");
+    if (std::feof(f)) {
+      throw TraceTruncatedError(
+          "trace file: truncated (file ends mid-structure)");
+    }
+    throw TraceError("trace file: read error");
   }
 }
 
@@ -63,12 +66,15 @@ TraceFileWriter::TraceFileWriter(const std::filesystem::path& path,
     throw std::runtime_error("cannot open trace for writing: " +
                              path.string());
   }
-  WriteAll(file_, kDataMagic, 4);
-  WriteU32(file_, kVersion);
+  WriteAll(file_, kTraceDataMagic, 4);
+  WriteU32(file_, kTraceVersion);
   Bytes hdr;
   SerializeHeader(header, hdr);
   WriteU32(file_, static_cast<std::uint32_t>(hdr.size()));
   WriteAll(file_, hdr.data(), hdr.size());
+  // Publish the header immediately: a tail reader can identify the radio
+  // before the first block lands.
+  std::fflush(file_);
 }
 
 TraceFileWriter::~TraceFileWriter() {
@@ -109,10 +115,16 @@ void TraceFileWriter::FlushBlock() {
   pending_count_ = 0;
 }
 
+void TraceFileWriter::Sync() {
+  if (finished_) throw std::logic_error("Sync after Finish");
+  FlushBlock();
+  if (std::fflush(file_) != 0) throw std::runtime_error("trace file: flush");
+}
+
 void TraceFileWriter::Finish() {
   if (finished_) return;
   FlushBlock();
-  WriteU32(file_, 0);  // terminator
+  WriteU32(file_, 0);  // terminator — the finalize marker tail readers see
   const auto index_offset = static_cast<std::uint64_t>(std::ftell(file_));
   WriteU32(file_, static_cast<std::uint32_t>(index_.size()));
   for (const auto& e : index_) {
@@ -122,7 +134,7 @@ void TraceFileWriter::Finish() {
     WriteU32(file_, e.record_count);
   }
   WriteU64(file_, index_offset);
-  WriteAll(file_, kIndexMagic, 4);
+  WriteAll(file_, kTraceIndexMagic, 4);
   if (std::fflush(file_) != 0) throw std::runtime_error("trace file: flush");
   finished_ = true;
 }
@@ -135,32 +147,41 @@ TraceFileReader::TraceFileReader(const std::filesystem::path& path) {
   }
   char magic[4];
   ReadAll(file_, magic, 4);
-  if (std::memcmp(magic, kDataMagic, 4) != 0) {
-    throw std::runtime_error("bad trace magic: " + path.string());
+  if (std::memcmp(magic, kTraceDataMagic, 4) != 0) {
+    throw TraceCorruptError("bad trace magic: " + path.string());
   }
-  if (ReadU32(file_) != kVersion) {
-    throw std::runtime_error("bad trace version: " + path.string());
+  if (ReadU32(file_) != kTraceVersion) {
+    throw TraceCorruptError("bad trace version: " + path.string());
   }
   const std::uint32_t hdr_len = ReadU32(file_);
+  if (hdr_len > kMaxPackedBlockLen) {
+    throw TraceCorruptError("garbage header length: " + path.string());
+  }
   Bytes hdr(hdr_len);
   ReadAll(file_, hdr.data(), hdr_len);
   ByteReader hr(hdr);
   header_ = DeserializeHeader(hr);
 
-  // Load the index from the trailer.
+  // Load the index from the trailer.  A valid data magic but no trailer is
+  // a trace whose writer has not finalized (or died): truncated, not
+  // corrupt — a tail-follow reader could still consume it.
   if (std::fseek(file_, -12, SEEK_END) != 0) {
-    throw std::runtime_error("trace file: seek to trailer");
+    throw TraceTruncatedError("no index trailer (unfinished trace): " +
+                              path.string());
   }
   const std::uint64_t index_offset = ReadU64(file_);
   ReadAll(file_, magic, 4);
-  if (std::memcmp(magic, kIndexMagic, 4) != 0) {
-    throw std::runtime_error("bad index magic (unfinished trace?): " +
-                             path.string());
+  if (std::memcmp(magic, kTraceIndexMagic, 4) != 0) {
+    throw TraceTruncatedError("no index trailer (unfinished trace): " +
+                              path.string());
   }
   if (std::fseek(file_, static_cast<long>(index_offset), SEEK_SET) != 0) {
-    throw std::runtime_error("trace file: seek to index");
+    throw TraceCorruptError("trace file: bad index offset");
   }
   const std::uint32_t n_blocks = ReadU32(file_);
+  if (n_blocks > kMaxPackedBlockLen) {
+    throw TraceCorruptError("garbage index block count");
+  }
   index_.reserve(n_blocks);
   for (std::uint32_t i = 0; i < n_blocks; ++i) {
     BlockIndexEntry e;
@@ -192,15 +213,27 @@ void TraceFileReader::LoadBlock(std::size_t block_idx) {
     throw std::runtime_error("trace file: seek to block");
   }
   const std::uint32_t packed_len = ReadU32(file_);
+  if (packed_len == 0 || packed_len > kMaxPackedBlockLen) {
+    throw TraceCorruptError("garbage block length in indexed block");
+  }
   Bytes packed(packed_len);
+  // Distinctly reports a truncated trailing record: the index promises a
+  // block the data region no longer (or does not yet) fully contains.
   ReadAll(file_, packed.data(), packed_len);
-  const Bytes raw = LzDecompress(packed);
-  ByteReader r(raw);
-  LocalMicros prev = 0;
-  block_records_.reserve(entry.record_count);
-  for (std::uint32_t i = 0; i < entry.record_count; ++i) {
-    block_records_.push_back(DeserializeRecord(r, prev));
-    prev = block_records_.back().timestamp;
+  try {
+    const Bytes raw = LzDecompress(packed);
+    ByteReader r(raw);
+    LocalMicros prev = 0;
+    block_records_.reserve(entry.record_count);
+    for (std::uint32_t i = 0; i < entry.record_count; ++i) {
+      block_records_.push_back(DeserializeRecord(r, prev));
+      prev = block_records_.back().timestamp;
+    }
+  } catch (const TraceError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw TraceCorruptError(std::string("malformed block contents: ") +
+                            e.what());
   }
 }
 

@@ -20,12 +20,41 @@
 #include <filesystem>
 #include <memory>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "trace/record.h"
 
 namespace jig {
+
+// On-disk structure constants, shared with the tail-follow reader.
+inline constexpr char kTraceDataMagic[4] = {'J', 'I', 'G', 'T'};
+inline constexpr char kTraceIndexMagic[4] = {'J', 'I', 'G', 'X'};
+inline constexpr std::uint32_t kTraceVersion = 1;
+// Sanity bound on a compressed block: blocks are ~512 records of a few
+// hundred bytes each, so anything past this is a garbage length field, not
+// a block that has not finished writing.
+inline constexpr std::uint32_t kMaxPackedBlockLen = 1u << 26;
+
+// Error taxonomy for trace parsing.  The distinction matters to live
+// ingest: a truncated structure may simply not be written yet, while
+// corruption can never be fixed by waiting.
+class TraceError : public std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+// The file ends in the middle of a structure (header, block, index
+// trailer): either a write still in progress or a lost tail.  Tail-follow
+// readers treat this as "no data yet"; batch readers surface it so the
+// caller knows the trace is unfinished rather than garbage.
+class TraceTruncatedError : public TraceError {
+  using TraceError::TraceError;
+};
+// The bytes present cannot be a trace (bad magic, impossible lengths,
+// malformed compression): retrying cannot help.
+class TraceCorruptError : public TraceError {
+  using TraceError::TraceError;
+};
 
 struct BlockIndexEntry {
   std::uint64_t file_offset = 0;
@@ -44,8 +73,15 @@ class TraceFileWriter {
   TraceFileWriter& operator=(const TraceFileWriter&) = delete;
 
   void Append(const CaptureRecord& rec);
-  // Flushes any partial block and writes the index trailer.  Called by the
-  // destructor if not called explicitly; explicit callers get exceptions.
+  // Live-writer publication point: cuts the pending records into a block
+  // (blocks may therefore be shorter than records_per_block) and flushes
+  // the stdio buffer, so a concurrent TailFileTrace sees everything
+  // appended so far.  No-op when nothing is pending.
+  void Sync();
+  // Flushes any partial block and writes the index trailer — the explicit
+  // finalize marker ([u32 0] terminator) tail readers watch for.  Called by
+  // the destructor if not called explicitly; explicit callers get
+  // exceptions.
   void Finish();
 
   std::uint64_t records_written() const { return records_written_; }

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <map>
 #include <stdexcept>
+#include <thread>
+
+#include "trace/tail_trace.h"
 
 namespace jig {
 
@@ -57,6 +60,56 @@ TraceSet TraceSet::OpenDirectory(const std::filesystem::path& dir) {
   TraceSet set;
   for (auto& s : opened) set.Add(std::move(s));
   return set;
+}
+
+TraceSet TraceSet::FollowDirectory(const std::filesystem::path& dir,
+                                   std::size_t expected_traces,
+                                   std::chrono::milliseconds poll_interval,
+                                   std::chrono::milliseconds timeout) {
+  // Without an expected count, require the file count to hold still for a
+  // whole settle period, not just one poll: capture daemons create their
+  // files staggered, and locking onto a partial set would silently merge
+  // without the late radios (the set cannot grow after this returns).
+  constexpr int kSettlePolls = 10;
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  std::size_t last_count = 0;
+  int stable_polls = 0;
+  for (;;) {
+    // Re-attempt the whole directory each poll: a file whose header is
+    // mid-write simply does not count yet.
+    std::vector<std::unique_ptr<RecordStream>> opened;
+    if (std::filesystem::exists(dir)) {
+      for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+        if (!entry.is_regular_file() ||
+            entry.path().extension() != ".jigt") {
+          continue;
+        }
+        if (auto tail = TailFileTrace::TryOpen(entry.path())) {
+          opened.push_back(std::move(tail));
+        }
+      }
+    }
+    stable_polls = opened.size() == last_count ? stable_polls + 1 : 0;
+    const bool ready =
+        expected_traces != 0
+            ? opened.size() >= expected_traces
+            : !opened.empty() && stable_polls >= kSettlePolls;
+    if (ready) {
+      std::sort(opened.begin(), opened.end(),
+                [](const auto& a, const auto& b) {
+                  return a->header().radio < b->header().radio;
+                });
+      TraceSet set;
+      for (auto& s : opened) set.Add(std::move(s));
+      return set;
+    }
+    last_count = opened.size();
+    if (std::chrono::steady_clock::now() >= deadline) {
+      throw std::runtime_error(
+          "FollowDirectory: timed out waiting for traces in " + dir.string());
+    }
+    std::this_thread::sleep_for(poll_interval);
+  }
 }
 
 std::vector<std::filesystem::path> TraceSet::WriteDirectory(

@@ -6,6 +6,7 @@
 // produced directly by the simulator, or an on-disk jigdump-style file.
 #pragma once
 
+#include <chrono>
 #include <filesystem>
 #include <memory>
 #include <optional>
@@ -28,6 +29,11 @@ class RecordStream {
   // next Next/NextRef/Rewind call.
   virtual const CaptureRecord* NextRef() = 0;
   virtual void Rewind() = 0;
+  // Live-source distinction: when Next()/NextRef() yields nothing, true
+  // means end-of-capture, false means "no data yet — the writer may still
+  // append" (tail-follow sources).  Batch streams are always finalized, so
+  // their nullopt remains authoritative EOF.
+  virtual bool Finalized() const { return true; }
 };
 
 // In-memory trace, filled by the simulator's monitors.
@@ -100,6 +106,18 @@ class TraceSet {
   // radio id so analyses are deterministic regardless of directory order.
   static TraceSet OpenDirectory(const std::filesystem::path& dir);
 
+  // Live counterpart of OpenDirectory: polls `dir` until `expected_traces`
+  // *.jigt files have readable headers (with expected_traces == 0, until
+  // the file count is non-zero and has held still for a settle period of
+  // ~10 poll intervals — pass the expected count when you know it; the
+  // trace set cannot grow once this returns), then opens them all as
+  // tail-follow streams ordered by radio id.  Throws std::runtime_error
+  // if the deadline passes first.
+  static TraceSet FollowDirectory(
+      const std::filesystem::path& dir, std::size_t expected_traces = 0,
+      std::chrono::milliseconds poll_interval = std::chrono::milliseconds(20),
+      std::chrono::milliseconds timeout = std::chrono::seconds(30));
+
   // Writes every stream out as jigdump-style files into `dir` (one file per
   // radio, named r<id>.jigt) and returns the paths.  Streams are rewound.
   std::vector<std::filesystem::path> WriteDirectory(
@@ -127,6 +145,65 @@ struct ChannelShard {
   Channel channel = Channel::kCh1;
   TraceSet traces;
   std::vector<std::size_t> source_index;
+};
+
+// Incremental writer for a directory of per-radio traces — the live
+// counterpart of TraceSet::WriteDirectory, letting the simulator (or a
+// capture daemon) act as a live writer that tail-follow readers consume
+// concurrently.  Append() buffers per radio; Sync() cuts every radio's
+// pending records into a published block; Finalize() writes a radio's
+// index trailer + finalize marker (after which Append to it throws).
+class TraceSetWriter {
+ public:
+  explicit TraceSetWriter(const std::filesystem::path& dir) : dir_(dir) {
+    std::filesystem::create_directories(dir_);
+  }
+
+  // Registers a radio and creates its r<id>.jigt file (header published
+  // immediately).  Returns the slot index used by Append/Finalize.
+  std::size_t AddRadio(const TraceHeader& header,
+                       std::size_t records_per_block = 512) {
+    std::string name = "r";
+    name += std::to_string(header.radio);
+    name += ".jigt";
+    const auto path = dir_ / name;
+    writers_.push_back(
+        std::make_unique<TraceFileWriter>(path, header, records_per_block));
+    finalized_.push_back(false);
+    paths_.push_back(path);
+    return writers_.size() - 1;
+  }
+
+  void Append(std::size_t slot, const CaptureRecord& rec) {
+    writers_.at(slot)->Append(rec);
+  }
+
+  // Publishes everything appended so far to concurrent tail readers.
+  void Sync() {
+    for (std::size_t i = 0; i < writers_.size(); ++i) {
+      if (!finalized_[i]) writers_[i]->Sync();
+    }
+  }
+
+  void Finalize(std::size_t slot) {
+    if (!finalized_.at(slot)) {
+      writers_[slot]->Finish();
+      finalized_[slot] = true;
+    }
+  }
+
+  void FinalizeAll() {
+    for (std::size_t i = 0; i < writers_.size(); ++i) Finalize(i);
+  }
+
+  std::size_t size() const { return writers_.size(); }
+  const std::vector<std::filesystem::path>& paths() const { return paths_; }
+
+ private:
+  std::filesystem::path dir_;
+  std::vector<std::unique_ptr<TraceFileWriter>> writers_;
+  std::vector<bool> finalized_;
+  std::vector<std::filesystem::path> paths_;
 };
 
 }  // namespace jig

@@ -173,6 +173,121 @@ TEST_F(TraceFileTest, UnfinishedFileRejected) {
   EXPECT_THROW(TraceFileReader reader(path), std::runtime_error);
 }
 
+// The error-taxonomy regression pins (fail on the pre-fix reader, which
+// threw one undifferentiated runtime_error for all of these):
+
+// A partial write — the file ends mid-structure — must be reported as
+// truncation, distinctly from corruption: the caller's remedy is to wait
+// for the writer (or tail-follow), not to discard the trace.
+TEST_F(TraceFileTest, TruncatedFileReportsTruncationNotCorruption) {
+  const auto path = dir_ / "cut.jigt";
+  const auto records = MakeRecords(400);
+  {
+    TraceFileWriter writer(path, Header(), 64);
+    for (const auto& rec : records) writer.Append(rec);
+    writer.Finish();
+  }
+  // Cut into the index trailer: an in-progress (or torn) finalize.
+  fs::resize_file(path, fs::file_size(path) - 5);
+  EXPECT_THROW(TraceFileReader reader(path), TraceTruncatedError);
+
+  // Magic-only stub (a writer that died right after open): also truncated.
+  const auto stub = dir_ / "stub.jigt";
+  std::FILE* f = std::fopen(stub.string().c_str(), "wb");
+  std::fwrite("JIGT\x01\x00\x00\x00", 1, 8, f);
+  std::fclose(f);
+  EXPECT_THROW(TraceFileReader reader(stub), TraceTruncatedError);
+
+  // Garbage magic is corruption — expressly NOT the truncated class.
+  const auto junk = dir_ / "junk.jigt";
+  f = std::fopen(junk.string().c_str(), "wb");
+  std::fwrite("PCAPPCAPPCAPPCAP", 1, 16, f);
+  std::fclose(f);
+  try {
+    TraceFileReader reader(junk);
+    FAIL() << "corrupt magic accepted";
+  } catch (const TraceTruncatedError&) {
+    FAIL() << "corrupt magic misreported as truncation";
+  } catch (const TraceCorruptError&) {
+    // correct
+  }
+}
+
+// A truncated *trailing record*: the index promises a block the data
+// region does not fully contain.  Every earlier record must still read
+// cleanly (distinct from EOF), and the failure must be the truncated
+// class (distinct from corruption).
+TEST_F(TraceFileTest, TruncatedTrailingRecordDistinctFromEofAndCorruption) {
+  const auto path = dir_ / "torn.jigt";
+  const auto records = MakeRecords(640);
+  {
+    TraceFileWriter writer(path, Header(), 64);
+    for (const auto& rec : records) writer.Append(rec);
+    writer.Finish();
+  }
+  std::uint64_t last_block_offset = 0;
+  std::uint32_t last_block_records = 0;
+  {
+    TraceFileReader reader(path);
+    ASSERT_EQ(reader.index().size(), 10u);
+    last_block_offset = reader.index().back().file_offset;
+    last_block_records = reader.index().back().record_count;
+  }
+  // Overstate the last block's length: plausible (under the sanity bound)
+  // but beyond what the file holds — exactly what a torn tail write looks
+  // like to a reader with an intact index.
+  {
+    std::FILE* f = std::fopen(path.string().c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, static_cast<long>(last_block_offset), SEEK_SET),
+              0);
+    const std::uint8_t big_len[4] = {0x00, 0x00, 0x10, 0x00};  // 1 MiB
+    std::fwrite(big_len, 1, 4, f);
+    std::fclose(f);
+  }
+  TraceFileReader reader(path);
+  const std::size_t intact = records.size() - last_block_records;
+  for (std::size_t i = 0; i < intact; ++i) {
+    const auto got = reader.Next();  // everything before the tear is fine
+    ASSERT_TRUE(got.has_value()) << "record " << i;
+    EXPECT_EQ(got->timestamp, records[i].timestamp);
+  }
+  try {
+    reader.Next();
+    FAIL() << "torn trailing block read as data or EOF";
+  } catch (const TraceCorruptError&) {
+    FAIL() << "torn trailing block misreported as corruption";
+  } catch (const TraceTruncatedError&) {
+    // correct: distinctly truncated — not EOF, not corruption
+  }
+}
+
+// Garbage inside an indexed block (absurd length word, malformed
+// compression) is the corrupt class: re-reading cannot help.
+TEST_F(TraceFileTest, GarbageBlockContentsReportCorruption) {
+  const auto path = dir_ / "garbage.jigt";
+  const auto records = MakeRecords(128);
+  {
+    TraceFileWriter writer(path, Header(), 64);
+    for (const auto& rec : records) writer.Append(rec);
+    writer.Finish();
+  }
+  std::uint64_t block0_offset = 0;
+  {
+    TraceFileReader reader(path);
+    block0_offset = reader.index().front().file_offset;
+  }
+  {
+    std::FILE* f = std::fopen(path.string().c_str(), "r+b");
+    ASSERT_EQ(std::fseek(f, static_cast<long>(block0_offset), SEEK_SET), 0);
+    const std::uint8_t garbage_len[4] = {0xFF, 0xFF, 0xFF, 0x7F};
+    std::fwrite(garbage_len, 1, 4, f);
+    std::fclose(f);
+  }
+  TraceFileReader reader(path);
+  EXPECT_THROW(reader.Next(), TraceCorruptError);
+}
+
 TEST_F(TraceFileTest, MissingFileRejected) {
   EXPECT_THROW(TraceFileReader reader(dir_ / "nope.jigt"),
                std::runtime_error);
