@@ -10,12 +10,18 @@
 //                                   finalize at the end) — a stand-in live
 //                                   writer for --follow consumers
 //   jigtool info <dir>              per-radio record counts and clock info
-//   jigtool merge <dir> [threads]   run the merge, print summary statistics
-//                                   (threads: 0 = auto, 1 = single-threaded)
-//   jigtool follow <dir> [radios] [threads]
+//   jigtool merge <dir> [threads] [--spill-dir <sdir>]
+//                                   run the merge, print summary statistics
+//                                   (threads: 0 = auto, 1 = single-threaded;
+//                                   --spill-dir stages shard backlog on disk
+//                                   instead of throttling at the watermark)
+//   jigtool follow <dir> [radios] [threads] [--spill-dir <sdir>]
 //                                   tail a directory that is still being
 //                                   written: resumable MergeSession +
 //                                   analysis bus, merge summary at the end
+//   jigtool inspect-spill <dir>     decode the spill segments in a directory
+//                                   per docs/FORMATS.md (a living check that
+//                                   the spec matches the code)
 //   jigtool timeline <dir> [us]     Figure-2 style view of a window
 //
 // The merge, follow and timeline commands run the streaming pipeline into
@@ -26,15 +32,19 @@
 // whole jframe vector.
 //
 // Usage: ./build/examples/jigtool <command> <trace_dir> [args]
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <thread>
+#include <tuple>
 
 #include "jigsaw/analysis/bus.h"
 #include "jigsaw/analysis/visualize.h"
 #include "jigsaw/pipeline.h"
+#include "jigsaw/spill.h"
 #include "sim/scenario.h"
 
 namespace {
@@ -130,7 +140,7 @@ int CmdInfo(const char* dir) {
   return 0;
 }
 
-int CmdMerge(const char* dir, unsigned threads) {
+int CmdMerge(const char* dir, unsigned threads, const char* spill_dir) {
   TraceSet traces = TraceSet::OpenDirectory(dir);
   if (traces.empty()) {
     std::fprintf(stderr, "no .jigt files in %s\n", dir);
@@ -148,6 +158,7 @@ int CmdMerge(const char* dir, unsigned threads) {
   auto& dispersion = bus.Emplace<DispersionConsumer>();
   MergeConfig cfg;
   cfg.threads = threads;
+  if (spill_dir != nullptr) cfg.spill_dir = spill_dir;
   const auto stream = MergeTracesStreaming(traces, cfg, bus.Sink());
   bus.Finish();
 
@@ -205,7 +216,8 @@ int CmdMerge(const char* dir, unsigned threads) {
 // prints periodic Figure 9/11 snapshots; once every writer finalizes, the
 // summary is identical to `jigtool merge` over the finished files (the
 // live stream is byte-identical to the batch stream by construction).
-int CmdFollow(const char* dir, std::size_t radios, unsigned threads) {
+int CmdFollow(const char* dir, std::size_t radios, unsigned threads,
+              const char* spill_dir) {
   std::printf("following %s ...\n", dir);
   TraceSet traces = TraceSet::FollowDirectory(dir, radios);
   std::printf("tailing %zu traces\n", traces.size());
@@ -217,6 +229,7 @@ int CmdFollow(const char* dir, std::size_t radios, unsigned threads) {
   auto& dispersion = bus.Emplace<DispersionConsumer>();
   MergeConfig cfg;
   cfg.threads = threads;
+  if (spill_dir != nullptr) cfg.spill_dir = spill_dir;
   MergeSession session(traces, cfg, bus.Sink());
 
   auto last_snapshot = std::chrono::steady_clock::now();
@@ -230,12 +243,14 @@ int CmdFollow(const char* dir, std::size_t radios, unsigned threads) {
       const auto fig11 = tcp_loss.SnapshotReport();
       std::printf("  [live] %llu jframes | fig9 %zu pairs (%.1f%% "
                   "interfered) | fig11 %llu flows loss %.4f | "
-                  "%zu retained\n",
+                  "%zu retained, %llu spilled\n",
                   static_cast<unsigned long long>(session.jframes_emitted()),
                   fig9.pairs.size(),
                   100.0 * fig9.fraction_pairs_interfered,
                   static_cast<unsigned long long>(fig11.flows_considered),
-                  fig11.aggregate_loss_rate, session.retained_jframes());
+                  fig11.aggregate_loss_rate, session.retained_jframes(),
+                  static_cast<unsigned long long>(
+                      session.spilled_jframes()));
       last_snapshot = now;
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
@@ -272,9 +287,88 @@ int CmdFollow(const char* dir, std::size_t radios, unsigned threads) {
               tcp_loss.report().aggregate_loss_rate,
               tcp_loss.report().aggregate_wireless_rate,
               tcp_loss.report().aggregate_wired_rate);
-  std::printf("live retention:    peak %zu jframes buffered\n",
-              session.peak_retained_jframes());
+  std::printf("live retention:    peak %zu jframes buffered, %llu spilled "
+              "to disk\n",
+              session.peak_retained_jframes(),
+              static_cast<unsigned long long>(session.spilled_jframes()));
   return 0;
+}
+
+// Decodes every spill segment in a directory using the strict reader —
+// exactly the docs/FORMATS.md rules, so this doubles as a living check
+// that the spec matches the code.  A directory left by a crashed session
+// reports truncation/corruption per segment instead of dying on the first.
+int CmdInspectSpill(const char* dir) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> segments;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".jigs") segments.push_back(entry.path());
+  }
+  if (ec) {
+    std::fprintf(stderr, "cannot read %s: %s\n", dir, ec.message().c_str());
+    return 1;
+  }
+  if (segments.empty()) {
+    std::fprintf(stderr, "no .jigs segments in %s\n", dir);
+    return 1;
+  }
+  // FIFO order is (channel, sequence); lexicographic filename order would
+  // misplace seq >= 10 (ch6-10 before ch6-2), misrepresenting the spill
+  // stream this tool exists to diagnose.
+  const auto segment_key = [](const fs::path& p) {
+    unsigned chan = 0;
+    unsigned long long seq = 0;
+    if (std::sscanf(p.filename().string().c_str(), "ch%u-%llu.jigs", &chan,
+                    &seq) != 2) {
+      chan = ~0u;  // foreign names sort last, still deterministically
+    }
+    return std::tuple(chan, seq, p.filename().string());
+  };
+  std::sort(segments.begin(), segments.end(),
+            [&segment_key](const fs::path& a, const fs::path& b) {
+              return segment_key(a) < segment_key(b);
+            });
+  std::printf("%zu spill segments in %s\n", segments.size(), dir);
+  std::printf("  %-22s %-5s %-4s %8s %8s %10s  %s\n", "segment", "chan",
+              "seq", "blocks", "jframes", "bytes", "status");
+  int rc = 0;
+  for (const auto& path : segments) {
+    const auto name = path.filename().string();
+    try {
+      SpillSegmentReader reader(path, /*strict=*/true);
+      UniversalMicros first_ts = 0;
+      UniversalMicros last_ts = 0;
+      while (const auto jf = reader.Next()) {
+        if (reader.records_read() == 1) first_ts = jf->timestamp;
+        last_ts = jf->timestamp;
+      }
+      std::printf("  %-22s %-5u %-4llu %8llu %8llu %10ju  finalized "
+                  "[%lld..%lld us]\n",
+                  name.c_str(), reader.header().channel,
+                  static_cast<unsigned long long>(reader.header().sequence),
+                  static_cast<unsigned long long>(reader.blocks_read()),
+                  static_cast<unsigned long long>(reader.records_read()),
+                  static_cast<std::uintmax_t>(fs::file_size(path)),
+                  static_cast<long long>(first_ts),
+                  static_cast<long long>(last_ts));
+    } catch (const TraceTruncatedError& e) {
+      std::printf("  %-22s %-5s %-4s %8s %8s %10s  TRUNCATED: %s\n",
+                  name.c_str(), "-", "-", "-", "-", "-", e.what());
+      rc = 1;
+    } catch (const TraceCorruptError& e) {
+      std::printf("  %-22s %-5s %-4s %8s %8s %10s  CORRUPT: %s\n",
+                  name.c_str(), "-", "-", "-", "-", "-", e.what());
+      rc = 1;
+    } catch (const std::exception& e) {
+      // Unreadable file, stat failure, plain read error: still report it
+      // per segment rather than dying before the rest are inspected.
+      std::printf("  %-22s %-5s %-4s %8s %8s %10s  ERROR: %s\n",
+                  name.c_str(), "-", "-", "-", "-", "-", e.what());
+      rc = 1;
+    }
+  }
+  return rc;
 }
 
 int CmdTimeline(const char* dir, Micros span) {
@@ -306,29 +400,52 @@ int CmdTimeline(const char* dir, Micros span) {
 int main(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr,
-                 "usage: jigtool demo|demo-live|info|merge|follow|timeline "
-                 "<trace_dir> [args]\n");
+                 "usage: jigtool demo|demo-live|info|merge|follow|"
+                 "inspect-spill|timeline <dir> [args] [--spill-dir <sdir>]\n");
     return 2;
   }
   const char* cmd = argv[1];
   const char* dir = argv[2];
+  // Extract the one flag any subcommand may carry; what remains are the
+  // positional arguments.
+  const char* spill_dir = nullptr;
+  std::vector<const char*> pos;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--spill-dir") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--spill-dir needs a directory argument\n");
+        return 2;
+      }
+      spill_dir = argv[++i];
+      continue;
+    }
+    pos.push_back(argv[i]);
+  }
+  const auto pos_long = [&pos](std::size_t i, long fallback) {
+    return pos.size() > i ? std::atol(pos[i]) : fallback;
+  };
+  if (spill_dir != nullptr && std::strcmp(cmd, "merge") != 0 &&
+      std::strcmp(cmd, "follow") != 0) {
+    std::fprintf(stderr,
+                 "warning: --spill-dir only applies to merge/follow; "
+                 "ignored for '%s'\n",
+                 cmd);
+  }
   if (std::strcmp(cmd, "demo") == 0) return CmdDemo(dir);
   if (std::strcmp(cmd, "demo-live") == 0) {
-    return CmdDemoLive(dir, argc > 3 ? std::atol(argv[3]) : 10,
-                       argc > 4 ? std::atol(argv[4]) : 250);
+    return CmdDemoLive(dir, pos_long(0, 10), pos_long(1, 250));
   }
   if (std::strcmp(cmd, "info") == 0) return CmdInfo(dir);
   if (std::strcmp(cmd, "merge") == 0) {
-    return CmdMerge(dir,
-                    static_cast<unsigned>(argc > 3 ? std::atol(argv[3]) : 0));
+    return CmdMerge(dir, static_cast<unsigned>(pos_long(0, 0)), spill_dir);
   }
   if (std::strcmp(cmd, "follow") == 0) {
-    return CmdFollow(
-        dir, argc > 3 ? static_cast<std::size_t>(std::atol(argv[3])) : 0,
-        static_cast<unsigned>(argc > 4 ? std::atol(argv[4]) : 0));
+    return CmdFollow(dir, static_cast<std::size_t>(pos_long(0, 0)),
+                     static_cast<unsigned>(pos_long(1, 0)), spill_dir);
   }
+  if (std::strcmp(cmd, "inspect-spill") == 0) return CmdInspectSpill(dir);
   if (std::strcmp(cmd, "timeline") == 0) {
-    return CmdTimeline(dir, argc > 3 ? std::atol(argv[3]) : 5000);
+    return CmdTimeline(dir, pos_long(0, 5000));
   }
   std::fprintf(stderr, "unknown command: %s\n", cmd);
   return 2;

@@ -37,7 +37,8 @@ void PrintHeader() {
               "bcast", "sync-disp");
 }
 
-int RunFollow(const char* dir, std::size_t radios, unsigned threads) {
+int RunFollow(const char* dir, std::size_t radios, unsigned threads,
+              const char* spill_dir) {
   std::printf("following %s ...\n", dir);
   TraceSet traces = TraceSet::FollowDirectory(dir, radios);
   std::printf("tailing %zu traces\n", traces.size());
@@ -67,6 +68,10 @@ int RunFollow(const char* dir, std::size_t radios, unsigned threads) {
 
   MergeConfig mcfg;
   mcfg.threads = threads;
+  // A paused dashboard (this process stopped in a debugger, a terminal
+  // holding output...) must not stall the capture side: shard backlog
+  // spills to disk instead of throttling at the queue watermark.
+  if (spill_dir != nullptr) mcfg.spill_dir = spill_dir;
   MergeSession session(traces, mcfg, bus.Sink());
 
   const auto snapshot = [&](const char* tag) {
@@ -99,12 +104,14 @@ int RunFollow(const char* dir, std::size_t radios, unsigned threads) {
   snapshot("final");
   const auto stats = session.stats();
   std::printf("done: merged %llu events into %llu jframes "
-              "(%zu/%zu radios synced, peak retention %zu jframes)\n",
+              "(%zu/%zu radios synced, peak retention %zu jframes, "
+              "%llu spilled)\n",
               static_cast<unsigned long long>(stats.events_in),
               static_cast<unsigned long long>(stats.jframes),
               session.bootstrap().SyncedCount(),
               session.bootstrap().synced.size(),
-              session.peak_retained_jframes());
+              session.peak_retained_jframes(),
+              static_cast<unsigned long long>(session.spilled_jframes()));
   return 0;
 }
 
@@ -113,17 +120,32 @@ int RunFollow(const char* dir, std::size_t radios, unsigned threads) {
 int main(int argc, char** argv) {
   using namespace jig;
   if (argc > 1 && std::strcmp(argv[1], "--follow") == 0) {
-    if (argc < 3) {
+    const char* spill_dir = nullptr;
+    std::vector<const char*> pos;
+    for (int i = 2; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--spill-dir") == 0) {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "--spill-dir needs a directory argument\n");
+          return 2;
+        }
+        spill_dir = argv[++i];
+        continue;
+      }
+      pos.push_back(argv[i]);
+    }
+    if (pos.empty()) {
       std::fprintf(stderr,
                    "usage: live_monitor --follow <trace_dir> [radios] "
-                   "[threads]\n");
+                   "[threads] [--spill-dir <sdir>]\n");
       return 2;
     }
-    return RunFollow(argv[2],
-                     argc > 3 ? static_cast<std::size_t>(std::atol(argv[3]))
-                              : 0,
-                     static_cast<unsigned>(argc > 4 ? std::atol(argv[4])
-                                                    : 0));
+    return RunFollow(pos[0],
+                     pos.size() > 1
+                         ? static_cast<std::size_t>(std::atol(pos[1]))
+                         : 0,
+                     static_cast<unsigned>(
+                         pos.size() > 2 ? std::atol(pos[2]) : 0),
+                     spill_dir);
   }
   const Micros duration = Seconds(argc > 1 ? std::atol(argv[1]) : 15);
   const auto threads =

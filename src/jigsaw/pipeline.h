@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstdint>
+#include <filesystem>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -51,11 +52,39 @@ struct MergeConfig {
   // shards cooperatively.  Every setting produces a byte-identical jframe
   // stream.
   unsigned threads = 1;
+  // ---- on-disk spill tier (sharded paths; see src/jigsaw/spill.h and
+  // docs/ARCHITECTURE.md, "The spill tier") -------------------------------
+  // Directory for spill segments; empty (the default) disables spilling.
+  // When a shard's output queue still holds spill_threshold jframes at
+  // worker-round entry — i.e. the consumer's last drain pass could not
+  // take them, which is actual lag rather than the transient fill of a
+  // round in progress — the worker drains the queue into .jigs segments
+  // under this directory and the k-way merge replays them in order before
+  // resuming in-memory hand-off.  A consumer can therefore lag far behind
+  // without the queue watermark stalling the capture-side unifiers, while
+  // a merge whose consumer keeps up touches disk only for round residue.
+  // Segments are removed as they are replayed and when the session ends;
+  // the directory should be private to one session.
+  // Spilling leaves the emitted stream byte-identical: on, off, or
+  // engaging/disengaging mid-stream, for every `threads` setting (pinned in
+  // tests/spill_test.cc).  The single-threaded path (threads == 1) has no
+  // shard queues and therefore never spills.
+  std::filesystem::path spill_dir;
+  // Queue depth that engages the spill tier.  Validated at entry when
+  // spill_dir is set: must be positive and no larger than
+  // kMergeQueueWatermark (a higher threshold could never trigger).
+  std::size_t spill_threshold = 2048;
+  // Cap on the total on-disk footprint of live spill segments across all
+  // shards; 0 = uncapped.  At the cap (enforced at block granularity) the
+  // pipeline degrades to the plain watermark backpressure it has without a
+  // spill tier.
+  std::uint64_t max_spill_bytes = 0;
 };
 
 // Throws std::invalid_argument on inconsistent configuration (today:
-// reorder_horizon <= unifier.search_window, or a non-positive window).
-// Called by MergeTraces / MergeTracesStreaming at entry.
+// reorder_horizon <= unifier.search_window, a non-positive window, or a
+// spill_threshold of zero / above kMergeQueueWatermark when spill_dir is
+// set).  Called by MergeTraces / MergeTracesStreaming at entry.
 void ValidateMergeConfig(const MergeConfig& config);
 
 struct MergeResult {
@@ -134,6 +163,11 @@ class MergeSession {
   // bounded-retention guarantee under starved/uneven sources.
   std::size_t retained_jframes() const;
   std::size_t peak_retained_jframes() const;
+  // Spill-tier counters (always 0 with spilling disabled or threads == 1):
+  // lifetime jframes staged through disk, and the current on-disk footprint
+  // of not-yet-reclaimed segments.
+  std::uint64_t spilled_jframes() const;
+  std::uint64_t spill_bytes_on_disk() const;
 
  private:
   struct Impl;

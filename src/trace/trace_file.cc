@@ -3,57 +3,32 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "trace/framed_io.h"
 #include "util/compression.h"
 
 namespace jig {
 namespace {
 
+// The shared framed-IO primitives (src/trace/framed_io.h) carry the
+// short-read-at-EOF → TraceTruncatedError discipline: an unfinished write
+// or a lost tail is a different failure from both clean EOF (the caller
+// never asks past the index) and corruption.
+constexpr const char* kWhat = "trace file";
+
 void WriteAll(std::FILE* f, const void* data, std::size_t n) {
-  if (std::fwrite(data, 1, n, f) != n) {
-    throw std::runtime_error("trace file: short write");
-  }
+  framed_io::WriteAll(f, data, n, kWhat);
 }
-
 void WriteU32(std::FILE* f, std::uint32_t v) {
-  std::uint8_t buf[4] = {static_cast<std::uint8_t>(v),
-                         static_cast<std::uint8_t>(v >> 8),
-                         static_cast<std::uint8_t>(v >> 16),
-                         static_cast<std::uint8_t>(v >> 24)};
-  WriteAll(f, buf, 4);
+  framed_io::WriteU32(f, v, kWhat);
 }
-
 void WriteU64(std::FILE* f, std::uint64_t v) {
-  WriteU32(f, static_cast<std::uint32_t>(v));
-  WriteU32(f, static_cast<std::uint32_t>(v >> 32));
+  framed_io::WriteU64(f, v, kWhat);
 }
-
-// A short read at end-of-file means the structure being read was cut off —
-// an unfinished write or a lost tail — which is a different failure from
-// both clean EOF (the caller never asks past the index) and corruption.
 void ReadAll(std::FILE* f, void* data, std::size_t n) {
-  if (std::fread(data, 1, n, f) != n) {
-    if (std::feof(f)) {
-      throw TraceTruncatedError(
-          "trace file: truncated (file ends mid-structure)");
-    }
-    throw TraceError("trace file: read error");
-  }
+  framed_io::ReadAll(f, data, n, kWhat);
 }
-
-std::uint32_t ReadU32(std::FILE* f) {
-  std::uint8_t buf[4];
-  ReadAll(f, buf, 4);
-  return static_cast<std::uint32_t>(buf[0]) |
-         (static_cast<std::uint32_t>(buf[1]) << 8) |
-         (static_cast<std::uint32_t>(buf[2]) << 16) |
-         (static_cast<std::uint32_t>(buf[3]) << 24);
-}
-
-std::uint64_t ReadU64(std::FILE* f) {
-  const std::uint64_t lo = ReadU32(f);
-  const std::uint64_t hi = ReadU32(f);
-  return lo | (hi << 32);
-}
+std::uint32_t ReadU32(std::FILE* f) { return framed_io::ReadU32(f, kWhat); }
+std::uint64_t ReadU64(std::FILE* f) { return framed_io::ReadU64(f, kWhat); }
 
 }  // namespace
 

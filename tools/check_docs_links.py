@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Link-checks markdown docs: relative paths must exist, anchors must match.
+
+Usage: check_docs_links.py FILE.md [FILE.md ...]
+
+Checks every inline markdown link `[text](target)` in the given files:
+
+* `http(s)://` / `mailto:` targets are skipped (no network in CI).
+* A relative path target must exist on disk (resolved against the
+  linking file's directory).
+* A `#fragment` (own-file or `path#fragment`) must match a heading in
+  the target file, using GitHub's anchor slug rules (lowercase, spaces
+  to hyphens, punctuation stripped, duplicate slugs suffixed -1, -2...).
+
+Exit status 0 when every link resolves, 1 otherwise (one line per
+broken link). Fenced code blocks are ignored so shell snippets such as
+`foo(bar)` arrays cannot register as links.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"\[[^\]^\[]*\]\(([^()\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+FENCE_RE = re.compile(r"^\s*(```|~~~)")
+
+
+def github_slug(heading: str) -> str:
+    # Strip inline markdown that does not contribute to the slug.
+    text = re.sub(r"[`*_]", "", heading.strip())
+    # Strip link syntax, keeping the text.
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)
+    text = text.lower()
+    # Keep word characters, spaces and hyphens; drop the rest.
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def strip_fences(lines):
+    in_fence = False
+    for line in lines:
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            yield line
+
+
+def anchors_of(path: Path, cache={}):
+    if path not in cache:
+        slugs = {}
+        anchors = set()
+        for line in strip_fences(path.read_text().splitlines()):
+            m = HEADING_RE.match(line)
+            if not m:
+                continue
+            slug = github_slug(m.group(1))
+            n = slugs.get(slug, 0)
+            slugs[slug] = n + 1
+            anchors.add(slug if n == 0 else f"{slug}-{n}")
+        cache[path] = anchors
+    return cache[path]
+
+
+def check_file(md: Path) -> list:
+    errors = []
+    text = "\n".join(strip_fences(md.read_text().splitlines()))
+    for target in LINK_RE.findall(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part, _, fragment = target.partition("#")
+        dest = md if not path_part else (md.parent / path_part).resolve()
+        if not dest.exists():
+            errors.append(f"{md}: broken link target: {target}")
+            continue
+        if fragment:
+            if dest.suffix != ".md":
+                errors.append(
+                    f"{md}: anchor on non-markdown target: {target}")
+            elif fragment not in anchors_of(dest):
+                errors.append(f"{md}: broken anchor: {target}")
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip().splitlines()[2])
+        return 2
+    errors = []
+    for name in argv[1:]:
+        md = Path(name).resolve()
+        if not md.exists():
+            errors.append(f"no such file: {name}")
+            continue
+        errors.extend(check_file(md))
+    for e in errors:
+        print(e)
+    if not errors:
+        print(f"OK: {len(argv) - 1} files, all links resolve")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
