@@ -11,18 +11,31 @@
 //                                   writer for --follow consumers
 //   jigtool info <dir>              per-radio record counts and clock info
 //   jigtool merge <dir> [threads] [--spill-dir <sdir>]
+//                 [--spill-threshold <n>] [--stats-json <file>]
 //                                   run the merge, print summary statistics
 //                                   (threads: 0 = auto, 1 = single-threaded;
 //                                   --spill-dir stages shard backlog on disk
-//                                   instead of throttling at the watermark)
+//                                   instead of throttling at the watermark;
+//                                   --spill-threshold overrides the queue
+//                                   depth that engages the tier;
+//                                   --stats-json writes the pipeline metric
+//                                   registry as JSON after the run)
 //   jigtool follow <dir> [radios] [threads] [--spill-dir <sdir>]
 //                                   tail a directory that is still being
 //                                   written: resumable MergeSession +
 //                                   analysis bus, merge summary at the end
+//   jigtool stats <dir> [interval_s] [--stats-json <file>]
+//                                   run (or tail) the merge and expose the
+//                                   metric registry in Prometheus text
+//                                   format — every interval_s while live,
+//                                   once more when done
 //   jigtool inspect-spill <dir>     decode the spill segments in a directory
 //                                   per docs/FORMATS.md (a living check that
 //                                   the spec matches the code)
 //   jigtool timeline <dir> [us]     Figure-2 style view of a window
+//
+// Exit codes: 0 success, 1 unreadable/missing input, 2 usage error,
+// 3 corrupt or truncated input (inspect-spill, stats).
 //
 // The merge, follow and timeline commands run the streaming pipeline into
 // the analysis bus — one pass over the traces feeds every analysis at once.
@@ -45,6 +58,7 @@
 #include "jigsaw/analysis/visualize.h"
 #include "jigsaw/pipeline.h"
 #include "jigsaw/spill.h"
+#include "obs/export.h"
 #include "sim/scenario.h"
 
 namespace {
@@ -140,7 +154,8 @@ int CmdInfo(const char* dir) {
   return 0;
 }
 
-int CmdMerge(const char* dir, unsigned threads, const char* spill_dir) {
+int CmdMerge(const char* dir, unsigned threads, const char* spill_dir,
+             long spill_threshold, const char* stats_json) {
   TraceSet traces = TraceSet::OpenDirectory(dir);
   if (traces.empty()) {
     std::fprintf(stderr, "no .jigt files in %s\n", dir);
@@ -159,6 +174,9 @@ int CmdMerge(const char* dir, unsigned threads, const char* spill_dir) {
   MergeConfig cfg;
   cfg.threads = threads;
   if (spill_dir != nullptr) cfg.spill_dir = spill_dir;
+  if (spill_threshold > 0) {
+    cfg.spill_threshold = static_cast<std::size_t>(spill_threshold);
+  }
   const auto stream = MergeTracesStreaming(traces, cfg, bus.Sink());
   bus.Finish();
 
@@ -209,6 +227,11 @@ int CmdMerge(const char* dir, unsigned threads, const char* spill_dir) {
                         static_cast<double>(bus.jframes_seen())
                   : 0.0,
               static_cast<unsigned long long>(bus.jframes_seen()));
+  if (stats_json != nullptr) {
+    obs::WriteFileAtomic(stats_json,
+                         obs::ToJson(obs::MetricRegistry::Global().Collect()));
+    std::printf("metrics json:      %s\n", stats_json);
+  }
   return 0;
 }
 
@@ -217,7 +240,7 @@ int CmdMerge(const char* dir, unsigned threads, const char* spill_dir) {
 // summary is identical to `jigtool merge` over the finished files (the
 // live stream is byte-identical to the batch stream by construction).
 int CmdFollow(const char* dir, std::size_t radios, unsigned threads,
-              const char* spill_dir) {
+              const char* spill_dir, long spill_threshold) {
   std::printf("following %s ...\n", dir);
   TraceSet traces = TraceSet::FollowDirectory(dir, radios);
   std::printf("tailing %zu traces\n", traces.size());
@@ -230,6 +253,9 @@ int CmdFollow(const char* dir, std::size_t radios, unsigned threads,
   MergeConfig cfg;
   cfg.threads = threads;
   if (spill_dir != nullptr) cfg.spill_dir = spill_dir;
+  if (spill_threshold > 0) {
+    cfg.spill_threshold = static_cast<std::size_t>(spill_threshold);
+  }
   MergeSession session(traces, cfg, bus.Sink());
 
   auto last_snapshot = std::chrono::steady_clock::now();
@@ -294,6 +320,72 @@ int CmdFollow(const char* dir, std::size_t radios, unsigned threads,
   return 0;
 }
 
+// Runs (or tails) the merge over a directory and exposes the pipeline
+// metric registry in Prometheus text format: one dump every `interval_s`
+// while the run is live, and a final dump once it completes.  With
+// --stats-json the final snapshot is also written as JSON.  Works on
+// finalized and still-growing directories alike (FollowDirectory tails
+// both).
+int CmdStats(const char* dir, long interval_s, const char* stats_json) {
+  namespace fs = std::filesystem;
+  // Pre-check the directory so missing input fails fast instead of
+  // spending FollowDirectory's settle timeout.
+  std::error_code ec;
+  bool any_trace = false;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".jigt") {
+      any_trace = true;
+      break;
+    }
+  }
+  if (ec || !any_trace) {
+    std::fprintf(stderr, "no .jigt files in %s\n", dir);
+    return 1;
+  }
+  if (interval_s <= 0) interval_s = 1;
+  try {
+    TraceSet traces = TraceSet::FollowDirectory(dir);
+    // Register the stock analysis chain so the bus/consumer metrics tick:
+    // a stats run should expose the same stages a real merge exercises.
+    AnalysisBus bus;
+    auto& link = bus.Emplace<LinkConsumer>();
+    bus.Emplace<InterferenceConsumer>(link);
+    bus.Emplace<TcpLossConsumer>(link);
+    MergeConfig cfg;
+    MergeSession session(traces, cfg, bus.Sink());
+    auto last_dump = std::chrono::steady_clock::now();
+    for (;;) {
+      const auto status = session.Poll();
+      if (status == MergeSession::Status::kDone) break;
+      const auto now = std::chrono::steady_clock::now();
+      if (now - last_dump >= std::chrono::seconds(interval_s)) {
+        std::printf("# live merge lag: %lld us\n%s\n",
+                    static_cast<long long>(session.live_lag_us()),
+                    obs::ToPrometheusText(session.MetricsSnapshot()).c_str());
+        last_dump = now;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    bus.Finish();
+    const auto snapshot = session.MetricsSnapshot();
+    std::printf("%s", obs::ToPrometheusText(snapshot).c_str());
+    if (stats_json != nullptr) {
+      obs::WriteFileAtomic(stats_json, obs::ToJson(snapshot));
+      std::fprintf(stderr, "wrote metrics JSON to %s\n", stats_json);
+    }
+    return 0;
+  } catch (const TraceTruncatedError& e) {
+    std::fprintf(stderr, "truncated input: %s\n", e.what());
+    return 3;
+  } catch (const TraceCorruptError& e) {
+    std::fprintf(stderr, "corrupt input: %s\n", e.what());
+    return 3;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
+
 // Decodes every spill segment in a directory using the strict reader —
 // exactly the docs/FORMATS.md rules, so this doubles as a living check
 // that the spec matches the code.  A directory left by a crashed session
@@ -355,17 +447,17 @@ int CmdInspectSpill(const char* dir) {
     } catch (const TraceTruncatedError& e) {
       std::printf("  %-22s %-5s %-4s %8s %8s %10s  TRUNCATED: %s\n",
                   name.c_str(), "-", "-", "-", "-", "-", e.what());
-      rc = 1;
+      rc = 3;
     } catch (const TraceCorruptError& e) {
       std::printf("  %-22s %-5s %-4s %8s %8s %10s  CORRUPT: %s\n",
                   name.c_str(), "-", "-", "-", "-", "-", e.what());
-      rc = 1;
+      rc = 3;
     } catch (const std::exception& e) {
       // Unreadable file, stat failure, plain read error: still report it
       // per segment rather than dying before the rest are inspected.
       std::printf("  %-22s %-5s %-4s %8s %8s %10s  ERROR: %s\n",
                   name.c_str(), "-", "-", "-", "-", "-", e.what());
-      rc = 1;
+      rc = std::max(rc, 1);
     }
   }
   return rc;
@@ -400,15 +492,18 @@ int CmdTimeline(const char* dir, Micros span) {
 int main(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr,
-                 "usage: jigtool demo|demo-live|info|merge|follow|"
-                 "inspect-spill|timeline <dir> [args] [--spill-dir <sdir>]\n");
+                 "usage: jigtool demo|demo-live|info|merge|follow|stats|"
+                 "inspect-spill|timeline <dir> [args] [--spill-dir <sdir>] "
+                 "[--stats-json <file>]\n");
     return 2;
   }
   const char* cmd = argv[1];
   const char* dir = argv[2];
-  // Extract the one flag any subcommand may carry; what remains are the
+  // Extract the flags any subcommand may carry; what remains are the
   // positional arguments.
   const char* spill_dir = nullptr;
+  const char* stats_json = nullptr;
+  long spill_threshold = 0;
   std::vector<const char*> pos;
   for (int i = 3; i < argc; ++i) {
     if (std::strcmp(argv[i], "--spill-dir") == 0) {
@@ -417,6 +512,22 @@ int main(int argc, char** argv) {
         return 2;
       }
       spill_dir = argv[++i];
+      continue;
+    }
+    if (std::strcmp(argv[i], "--stats-json") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--stats-json needs a file argument\n");
+        return 2;
+      }
+      stats_json = argv[++i];
+      continue;
+    }
+    if (std::strcmp(argv[i], "--spill-threshold") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--spill-threshold needs a jframe count\n");
+        return 2;
+      }
+      spill_threshold = std::atol(argv[++i]);
       continue;
     }
     pos.push_back(argv[i]);
@@ -431,17 +542,29 @@ int main(int argc, char** argv) {
                  "ignored for '%s'\n",
                  cmd);
   }
+  if (stats_json != nullptr && std::strcmp(cmd, "merge") != 0 &&
+      std::strcmp(cmd, "stats") != 0) {
+    std::fprintf(stderr,
+                 "warning: --stats-json only applies to merge/stats; "
+                 "ignored for '%s'\n",
+                 cmd);
+  }
   if (std::strcmp(cmd, "demo") == 0) return CmdDemo(dir);
   if (std::strcmp(cmd, "demo-live") == 0) {
     return CmdDemoLive(dir, pos_long(0, 10), pos_long(1, 250));
   }
   if (std::strcmp(cmd, "info") == 0) return CmdInfo(dir);
   if (std::strcmp(cmd, "merge") == 0) {
-    return CmdMerge(dir, static_cast<unsigned>(pos_long(0, 0)), spill_dir);
+    return CmdMerge(dir, static_cast<unsigned>(pos_long(0, 0)), spill_dir,
+                    spill_threshold, stats_json);
   }
   if (std::strcmp(cmd, "follow") == 0) {
     return CmdFollow(dir, static_cast<std::size_t>(pos_long(0, 0)),
-                     static_cast<unsigned>(pos_long(1, 0)), spill_dir);
+                     static_cast<unsigned>(pos_long(1, 0)), spill_dir,
+                     spill_threshold);
+  }
+  if (std::strcmp(cmd, "stats") == 0) {
+    return CmdStats(dir, pos_long(0, 1), stats_json);
   }
   if (std::strcmp(cmd, "inspect-spill") == 0) return CmdInspectSpill(dir);
   if (std::strcmp(cmd, "timeline") == 0) {

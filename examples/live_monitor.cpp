@@ -15,16 +15,22 @@
 // and prints periodic Figure 9 (interference) / Figure 11 (TCP loss)
 // snapshots until every writer finalizes.
 //
+// --metrics-interval <s> dumps the pipeline metric registry (Prometheus
+// text format, see docs/OBSERVABILITY.md) every s seconds while following.
+//
 // Usage: ./build/examples/live_monitor [seconds] [threads]
 //        ./build/examples/live_monitor --follow <dir> [radios] [threads]
+//            [--spill-dir <sdir>] [--metrics-interval <s>]
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <thread>
 
 #include "jigsaw/analysis/bus.h"
 #include "jigsaw/pipeline.h"
+#include "obs/export.h"
 #include "sim/scenario.h"
 
 namespace {
@@ -37,8 +43,19 @@ void PrintHeader() {
               "bcast", "sync-disp");
 }
 
+// Wall-clock HH:MM:SS for snapshot headers — a live dashboard line is only
+// interpretable if you can tell *when* it was true.
+std::string WallClockNow() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm_buf{};
+  localtime_r(&now, &tm_buf);
+  char buf[16];
+  std::strftime(buf, sizeof buf, "%H:%M:%S", &tm_buf);
+  return buf;
+}
+
 int RunFollow(const char* dir, std::size_t radios, unsigned threads,
-              const char* spill_dir) {
+              const char* spill_dir, long metrics_interval_s) {
   std::printf("following %s ...\n", dir);
   TraceSet traces = TraceSet::FollowDirectory(dir, radios);
   std::printf("tailing %zu traces\n", traces.size());
@@ -77,18 +94,24 @@ int RunFollow(const char* dir, std::size_t radios, unsigned threads,
   const auto snapshot = [&](const char* tag) {
     const auto fig9 = interference.SnapshotReport();
     const auto fig11 = tcp_loss.SnapshotReport();
-    std::printf("  [%s] fig9: %zu (s,r) pairs (%.1f%% interfered) | "
-                "fig11: %llu flows, loss %.4f (%.4f wireless) | "
-                "%llu jframes, %zu retained\n",
-                tag, fig9.pairs.size(),
-                100.0 * fig9.fraction_pairs_interfered,
+    std::printf("  [%s %s lag %lldus] fig9: %zu (s,r) pairs (%.1f%% "
+                "interfered) | fig11: %llu flows, loss %.4f (%.4f wireless) "
+                "| %llu jframes, %zu retained\n",
+                tag, WallClockNow().c_str(),
+                static_cast<long long>(session.live_lag_us()),
+                fig9.pairs.size(), 100.0 * fig9.fraction_pairs_interfered,
                 static_cast<unsigned long long>(fig11.flows_considered),
                 fig11.aggregate_loss_rate, fig11.aggregate_wireless_rate,
                 static_cast<unsigned long long>(session.jframes_emitted()),
                 session.retained_jframes());
   };
+  const auto dump_metrics = [&] {
+    std::printf("%s\n",
+                obs::ToPrometheusText(session.MetricsSnapshot()).c_str());
+  };
 
   auto last_snapshot = std::chrono::steady_clock::now();
+  auto last_metrics = last_snapshot;
   for (;;) {
     const auto status = session.Poll();
     if (status == MergeSession::Status::kDone) break;
@@ -98,10 +121,16 @@ int RunFollow(const char* dir, std::size_t radios, unsigned threads,
       snapshot("live");
       last_snapshot = now;
     }
+    if (metrics_interval_s > 0 &&
+        now - last_metrics >= std::chrono::seconds(metrics_interval_s)) {
+      dump_metrics();
+      last_metrics = now;
+    }
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
   }
   bus.Finish();
   snapshot("final");
+  if (metrics_interval_s > 0) dump_metrics();
   const auto stats = session.stats();
   std::printf("done: merged %llu events into %llu jframes "
               "(%zu/%zu radios synced, peak retention %zu jframes, "
@@ -121,6 +150,7 @@ int main(int argc, char** argv) {
   using namespace jig;
   if (argc > 1 && std::strcmp(argv[1], "--follow") == 0) {
     const char* spill_dir = nullptr;
+    long metrics_interval_s = 0;
     std::vector<const char*> pos;
     for (int i = 2; i < argc; ++i) {
       if (std::strcmp(argv[i], "--spill-dir") == 0) {
@@ -131,12 +161,22 @@ int main(int argc, char** argv) {
         spill_dir = argv[++i];
         continue;
       }
+      if (std::strcmp(argv[i], "--metrics-interval") == 0) {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr,
+                       "--metrics-interval needs a seconds argument\n");
+          return 2;
+        }
+        metrics_interval_s = std::atol(argv[++i]);
+        continue;
+      }
       pos.push_back(argv[i]);
     }
     if (pos.empty()) {
       std::fprintf(stderr,
                    "usage: live_monitor --follow <trace_dir> [radios] "
-                   "[threads] [--spill-dir <sdir>]\n");
+                   "[threads] [--spill-dir <sdir>] "
+                   "[--metrics-interval <s>]\n");
       return 2;
     }
     return RunFollow(pos[0],
@@ -145,7 +185,7 @@ int main(int argc, char** argv) {
                          : 0,
                      static_cast<unsigned>(
                          pos.size() > 2 ? std::atol(pos[2]) : 0),
-                     spill_dir);
+                     spill_dir, metrics_interval_s);
   }
   const Micros duration = Seconds(argc > 1 ? std::atol(argv[1]) : 15);
   const auto threads =

@@ -29,10 +29,12 @@
 // rendering over the collected jframe vector).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -45,8 +47,22 @@
 #include "jigsaw/link.h"
 #include "jigsaw/online.h"
 #include "jigsaw/tcp_reconstruct.h"
+#include "obs/metrics.h"
 
 namespace jig {
+
+namespace bus_internal {
+
+// Retained-window gauge for one named consumer — how much state the
+// consumer is holding right now (jframes, tracked flows, ...).
+inline obs::Gauge& RetainedWindowGauge(const char* consumer) {
+  return obs::MetricRegistry::Global().GetGauge(
+      "jig_bus_retained_window",
+      "Current retained-window size per analysis consumer",
+      std::string("consumer=\"") + consumer + "\"");
+}
+
+}  // namespace bus_internal
 
 // One subscriber on the jframe stream.  OnJFrame is called once per jframe
 // in timestamp order; Finish once after the stream ends.
@@ -63,6 +79,10 @@ class CollectorConsumer;
 class AnalysisBus {
  public:
   JFrameConsumer& Add(std::unique_ptr<JFrameConsumer> consumer) {
+    busy_ns_.push_back(&obs::MetricRegistry::Global().GetCounter(
+        "jig_bus_consumer_busy_ns_total",
+        "Cumulative wall time each consumer spent handling jframes",
+        std::string("consumer=\"") + consumer->name() + "\""));
     consumers_.push_back(std::move(consumer));
     return *consumers_.back();
   }
@@ -73,7 +93,7 @@ class AnalysisBus {
   C& Emplace(Args&&... args) {
     auto consumer = std::make_unique<C>(std::forward<Args>(args)...);
     C& ref = *consumer;
-    consumers_.push_back(std::move(consumer));
+    Add(std::move(consumer));
     return ref;
   }
 
@@ -86,7 +106,8 @@ class AnalysisBus {
 
   void OnJFrame(const JFrame& jf) {
     ++jframes_seen_;
-    for (auto& c : consumers_) c->OnJFrame(jf);
+    JFramesCounter().Add(1);
+    for (std::size_t i = 0; i < consumers_.size(); ++i) Dispatch(i, jf);
   }
 
   // Finishes every consumer in registration order (dependencies first).
@@ -103,7 +124,29 @@ class AnalysisBus {
   std::uint64_t jframes_seen() const { return jframes_seen_; }
 
  private:
+  static obs::Counter& JFramesCounter() {
+    static obs::Counter* c = &obs::MetricRegistry::Global().GetCounter(
+        "jig_bus_jframes_total", "JFrames dispatched on the analysis bus");
+    return *c;
+  }
+
+  // One consumer call, timed into its busy-ns counter when metrics are on
+  // (two clock reads per consumer per jframe; nothing when disabled).
+  void Dispatch(std::size_t i, const JFrame& jf) {
+    if (!obs::Enabled()) {
+      consumers_[i]->OnJFrame(jf);
+      return;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    consumers_[i]->OnJFrame(jf);
+    const auto elapsed = std::chrono::steady_clock::now() - t0;
+    busy_ns_[i]->Add(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+            .count()));
+  }
+
   std::vector<std::unique_ptr<JFrameConsumer>> consumers_;
+  std::vector<obs::Counter*> busy_ns_;  // parallel to consumers_
   CollectorConsumer* terminal_ = nullptr;
   std::uint64_t jframes_seen_ = 0;
 };
@@ -134,9 +177,12 @@ inline void AnalysisBus::SetTerminal(CollectorConsumer& collector) {
 
 inline void AnalysisBus::OnJFrame(JFrame&& jf) {
   ++jframes_seen_;
-  for (auto& c : consumers_) {
-    if (c.get() == static_cast<JFrameConsumer*>(terminal_)) continue;
-    c->OnJFrame(jf);
+  JFramesCounter().Add(1);
+  for (std::size_t i = 0; i < consumers_.size(); ++i) {
+    if (consumers_[i].get() == static_cast<JFrameConsumer*>(terminal_)) {
+      continue;
+    }
+    Dispatch(i, jf);
   }
   if (terminal_ != nullptr) terminal_->Collect(std::move(jf));
 }
@@ -187,6 +233,7 @@ class LinkConsumer final : public JFrameConsumer {
     for (auto* o : observers_) o->OnStreamJFrame(jf, index);
     reconstructor_.OnJFrame(jf);
     Prune();
+    window_gauge_.Set(static_cast<std::int64_t>(window_.size()));
   }
 
   void Finish() override {
@@ -225,6 +272,7 @@ class LinkConsumer final : public JFrameConsumer {
   std::deque<JFrame> window_;
   std::uint64_t base_ = 0;
   std::size_t peak_window_ = 0;
+  obs::Gauge& window_gauge_ = bus_internal::RetainedWindowGauge("link");
   // Declared last: its sinks capture `this` and read the members above.
   LinkReconstructor reconstructor_;
 };
@@ -376,6 +424,7 @@ class InterferenceConsumer final : public JFrameConsumer,
   void OnStreamJFrame(const JFrame& jf, std::uint64_t) override {
     tracker_.OnJFrame(jf);
     tracker_.Retire(link_->min_live_jframe());
+    window_gauge_.Set(static_cast<std::int64_t>(tracker_.window_size()));
   }
   void OnAttempt(const TransmissionAttempt& a) override {
     tracker_.OnAttempt(a);
@@ -401,6 +450,8 @@ class InterferenceConsumer final : public JFrameConsumer,
   InterferenceConfig config_;
   InterferenceTracker tracker_;
   InterferenceReport report_;
+  obs::Gauge& window_gauge_ =
+      bus_internal::RetainedWindowGauge("interference");
 };
 
 // Figure 11: TCP loss decomposition.  With a labeler, the grouped
@@ -429,6 +480,7 @@ class TcpLossConsumer final : public JFrameConsumer, public LinkObserver {
 
   void OnExchange(const FrameExchange& ex, const JFrame* data) override {
     tracker_.OnExchange(ex, data != nullptr ? &data->frame : nullptr);
+    window_gauge_.Set(static_cast<std::int64_t>(tracker_.flows_tracked()));
   }
 
   void Finish() override {
@@ -460,6 +512,7 @@ class TcpLossConsumer final : public JFrameConsumer, public LinkObserver {
   TransportReconstruction transport_;
   TcpLossReport report_;
   std::vector<TcpLossGroup> groups_;
+  obs::Gauge& window_gauge_ = bus_internal::RetainedWindowGauge("tcp-loss");
 };
 
 // Windowed NOC statistics (the live dashboard path).

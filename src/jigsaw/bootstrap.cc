@@ -9,6 +9,8 @@
 #include <unordered_map>
 
 #include "jigsaw/reference.h"
+#include "obs/metrics.h"
+#include "obs/stage_timer.h"
 
 namespace jig {
 namespace {
@@ -18,10 +20,29 @@ struct Sighting {
   LocalMicros local_ts = 0;
 };
 
+struct BootstrapMetrics {
+  obs::Histogram& fit_us = obs::MetricRegistry::Global().GetHistogram(
+      "jig_bootstrap_fit_us", obs::LatencyBucketsUs(),
+      "Wall time of one sync-window fit");
+  obs::Counter& runs = obs::MetricRegistry::Global().GetCounter(
+      "jig_bootstrap_runs_total", "Bootstrap synchronization passes");
+  obs::Counter& reference_frames = obs::MetricRegistry::Global().GetCounter(
+      "jig_bootstrap_reference_frames_total",
+      "Unique reference frames considered across bootstrap windows");
+};
+
+BootstrapMetrics& Metrics() {
+  static BootstrapMetrics* m = new BootstrapMetrics();
+  return *m;
+}
+
 }  // namespace
 
 BootstrapResult BootstrapSynchronize(TraceSet& traces,
                                      const BootstrapConfig& config) {
+  BootstrapMetrics& metrics = Metrics();
+  obs::StageTimer fit_timer(metrics.fit_us);
+  metrics.runs.Add(1);
   const std::size_t n = traces.size();
   if (n == 0) throw std::runtime_error("bootstrap: empty trace set");
 
@@ -204,6 +225,7 @@ BootstrapResult BootstrapSynchronize(TraceSet& traces,
   }
 
   traces.RewindAll();
+  metrics.reference_frames.Add(result.reference_frames_considered);
   return result;
 }
 

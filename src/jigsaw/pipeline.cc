@@ -1,8 +1,10 @@
 #include "jigsaw/pipeline.h"
 
 #include "jigsaw/spill.h"
+#include "obs/stage_timer.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
@@ -75,6 +77,37 @@ unsigned ResolveWorkers(unsigned threads, std::size_t shard_count) {
   }
   return static_cast<unsigned>(
       std::min<std::size_t>(n, std::max<std::size_t>(shard_count, 1)));
+}
+
+struct PipelineMetrics {
+  obs::Counter& shard_events = obs::MetricRegistry::Global().GetCounter(
+      "jig_shard_events_total",
+      "Capture events consumed by unifiers (all shards and single mode)");
+  obs::Counter& shard_jframes = obs::MetricRegistry::Global().GetCounter(
+      "jig_shard_jframes_total",
+      "JFrames produced by unifiers (all shards and single mode)");
+  obs::Counter& rounds = obs::MetricRegistry::Global().GetCounter(
+      "jig_shard_rounds_total", "Sharded merge rounds executed");
+  obs::Gauge& queue_peak = obs::MetricRegistry::Global().GetGauge(
+      "jig_shard_queue_peak",
+      "High-watermark of any single shard queue depth");
+  obs::Histogram& round_wait_us = obs::MetricRegistry::Global().GetHistogram(
+      "jig_shard_round_wait_us", obs::LatencyBucketsUs(),
+      "Poll-thread wait at the round barrier (pool mode only)");
+  obs::Counter& emitted = obs::MetricRegistry::Global().GetCounter(
+      "jig_merge_jframes_emitted_total",
+      "JFrames emitted by the k-way merge (or single-mode reorder)");
+  obs::Histogram& emit_lag_us = obs::MetricRegistry::Global().GetHistogram(
+      "jig_merge_emit_lag_us", obs::LatencyBucketsUs(),
+      "Capture-time distance between the newest unified jframe and each "
+      "emission — the live-lag metric");
+  obs::Counter& polls = obs::MetricRegistry::Global().GetCounter(
+      "jig_merge_polls_total", "MergeSession::Poll calls");
+};
+
+PipelineMetrics& Metrics() {
+  static PipelineMetrics* m = new PipelineMetrics();
+  return *m;
 }
 
 }  // namespace
@@ -180,6 +213,48 @@ struct MergeSession::Impl {
   std::uint64_t emitted = 0;
   std::size_t peak_retained = 0;
 
+  // Live-lag frontiers, universal-time domain.  capture_frontier is the
+  // max timestamp any unifier has pushed into a reorder buffer (atomic
+  // max — shard workers race); emit_frontier is the last emitted jframe's
+  // timestamp (Poll thread only; atomic so live_lag_us() can read it from
+  // another thread).  Their difference is how far the merge's output
+  // trails the freshest unified capture data.
+  static constexpr std::int64_t kNoFrontier =
+      std::numeric_limits<std::int64_t>::min();
+  std::atomic<std::int64_t> capture_frontier{kNoFrontier};
+  std::atomic<std::int64_t> emit_frontier{kNoFrontier};
+
+  void NoteCaptured(UniversalMicros ts) {
+    std::int64_t seen = capture_frontier.load(std::memory_order_relaxed);
+    while (ts > seen && !capture_frontier.compare_exchange_weak(
+                            seen, ts, std::memory_order_relaxed)) {
+    }
+  }
+
+  // Every emission — single mode and k-way merge — funnels through here so
+  // the emitted counter, the emit frontier and the lag histogram cannot
+  // drift apart.
+  void Emit(JFrame&& jf) {
+    ++emitted;
+    emit_frontier.store(jf.timestamp, std::memory_order_relaxed);
+    if (obs::Enabled()) {
+      PipelineMetrics& m = Metrics();
+      m.emitted.Add(1);
+      const std::int64_t cap =
+          capture_frontier.load(std::memory_order_relaxed);
+      if (cap != kNoFrontier) m.emit_lag_us.Observe(cap - jf.timestamp);
+    }
+    sink(std::move(jf));
+  }
+
+  std::int64_t LiveLagUs() const {
+    const std::int64_t cap =
+        capture_frontier.load(std::memory_order_relaxed);
+    const std::int64_t emit = emit_frontier.load(std::memory_order_relaxed);
+    if (cap == kNoFrontier || emit == kNoFrontier) return 0;
+    return cap - emit;
+  }
+
   Impl(TraceSet& t, const MergeConfig& c, std::function<void(JFrame&&)> s)
       : traces(t), config(c), sink(std::move(s)) {}
 
@@ -247,10 +322,7 @@ struct MergeSession::Impl {
   }
 
   void SetupMerge() {
-    const auto counting_sink = [this](JFrame&& jf) {
-      ++emitted;
-      sink(std::move(jf));
-    };
+    const auto counting_sink = [this](JFrame&& jf) { Emit(std::move(jf)); };
     if (config.threads == 1 || traces.size() <= 1) {
       single_mode = true;
       single_reorder =
@@ -258,8 +330,10 @@ struct MergeSession::Impl {
                                           counting_sink);
       ReorderBuffer* reorder = single_reorder.get();
       single_unifier = std::make_unique<Unifier>(
-          traces, bootstrap, config.unifier,
-          [reorder](JFrame&& jf) { reorder->Push(std::move(jf)); });
+          traces, bootstrap, config.unifier, [this, reorder](JFrame&& jf) {
+            NoteCaptured(jf.timestamp);
+            reorder->Push(std::move(jf));
+          });
       return;
     }
     shards = traces.PartitionByChannel();
@@ -275,8 +349,10 @@ struct MergeSession::Impl {
       ReorderBuffer* reorder = ls->reorder.get();
       ls->unifier = std::make_unique<Unifier>(
           shards[s].traces, bootstrap.Slice(shards[s].source_index),
-          config.unifier,
-          [reorder](JFrame&& jf) { reorder->Push(std::move(jf)); });
+          config.unifier, [this, reorder](JFrame&& jf) {
+            NoteCaptured(jf.timestamp);
+            reorder->Push(std::move(jf));
+          });
       if (!config.spill_dir.empty()) {
         ls->spill = std::make_unique<SpillQueue>(
             config.spill_dir,
@@ -325,6 +401,10 @@ struct MergeSession::Impl {
   // spill_dir would stage its entire stream through disk in round one.
   bool StepShard(LiveShard& ls) {
     if (ls.exhausted) return false;
+    // Metrics ride the stats deltas of the whole call — one pair of
+    // counter adds per StepShard, nothing per event.
+    const std::uint64_t events_at_entry = ls.unifier->stats().events_in;
+    const std::uint64_t jframes_at_entry = ls.unifier->stats().jframes;
     bool progress = MaybeSpill(ls);
     for (;;) {
       if (ls.spilling) progress = MaybeSpill(ls) || progress;
@@ -343,6 +423,13 @@ struct MergeSession::Impl {
       }
     }
     if (ls.spilling) progress = MaybeSpill(ls) || progress;
+    if (obs::Enabled()) {
+      PipelineMetrics& m = Metrics();
+      const UnifyStats& after = ls.unifier->stats();
+      m.shard_events.Add(after.events_in - events_at_entry);
+      m.shard_jframes.Add(after.jframes - jframes_at_entry);
+      m.queue_peak.UpdateMax(static_cast<std::int64_t>(ls.queue.size()));
+    }
     return progress;
   }
 
@@ -398,6 +485,7 @@ struct MergeSession::Impl {
 
   // Runs one round over every shard; returns whether any shard progressed.
   bool RunRound() {
+    Metrics().rounds.Add(1);
     if (pool.empty()) {
       bool progress = false;
       for (auto& ls : live) progress = StepShard(*ls) || progress;
@@ -408,7 +496,10 @@ struct MergeSession::Impl {
     remaining = pool.size();
     ++generation;
     start_cv.notify_all();
-    done_cv.wait(lk, [&] { return remaining == 0; });
+    {
+      obs::StageTimer wait_timer(Metrics().round_wait_us);
+      done_cv.wait(lk, [&] { return remaining == 0; });
+    }
     if (!round_errors.empty()) {
       const auto error = round_errors.front();
       round_errors.clear();
@@ -481,9 +572,8 @@ struct MergeSession::Impl {
       }
       if (gated || best == n) return merged;
       JFrame jf = TakeShardHead(*live[best]);
-      ++emitted;
       ++merged;
-      sink(std::move(jf));  // user code runs on the Poll() thread
+      Emit(std::move(jf));  // user code runs on the Poll() thread
     }
   }
 
@@ -538,6 +628,7 @@ struct MergeSession::Impl {
   }
 
   Status PollInner() {
+    Metrics().polls.Add(1);
     if (done) return Status::kDone;
     if (!bootstrapped && !TryBootstrap()) return Status::kBootstrapping;
     if (single_mode) return PollSingle();
@@ -635,6 +726,12 @@ std::uint64_t MergeSession::spilled_jframes() const {
 
 std::uint64_t MergeSession::spill_bytes_on_disk() const {
   return impl_->SpillBytesOnDisk();
+}
+
+std::int64_t MergeSession::live_lag_us() const { return impl_->LiveLagUs(); }
+
+obs::MetricsSnapshot MergeSession::MetricsSnapshot() const {
+  return obs::MetricRegistry::Global().Collect();
 }
 
 MergeStreamStats MergeTracesStreaming(TraceSet& traces,

@@ -33,6 +33,7 @@
 
 #include "jigsaw/bootstrap.h"
 #include "jigsaw/unifier.h"
+#include "obs/metrics.h"
 
 namespace jig {
 
@@ -168,6 +169,16 @@ class MergeSession {
   // of not-yet-reclaimed segments.
   std::uint64_t spilled_jframes() const;
   std::uint64_t spill_bytes_on_disk() const;
+  // How far (capture-time us) the emitted stream trails the newest jframe
+  // any unifier has produced.  0 until both frontiers exist.  For a live
+  // follow this is the merge lag a dashboard wants; for a batch merge it is
+  // just the reorder-horizon depth at the moment of the call.
+  std::int64_t live_lag_us() const;
+  // Aggregated view of the process-global metric registry (every stage —
+  // trace IO, bootstrap, shards, spill, merge, analysis bus — reports into
+  // one registry, so this is a whole-pipeline snapshot, not a per-session
+  // one).  Feed it to obs::ToPrometheusText / obs::ToJson.
+  obs::MetricsSnapshot MetricsSnapshot() const;
 
  private:
   struct Impl;

@@ -6,6 +6,7 @@
 #include <string>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "trace/framed_io.h"
 #include "util/compression.h"
 
@@ -300,6 +301,33 @@ std::optional<JFrame> SpillSegmentReader::Next() {
 // ---------------------------------------------------------------------------
 // SpillQueue.
 
+namespace {
+
+struct SpillMetrics {
+  obs::Counter& segments_written = obs::MetricRegistry::Global().GetCounter(
+      "jig_spill_segments_written_total", "Spill segments opened on disk");
+  obs::Counter& segments_replayed = obs::MetricRegistry::Global().GetCounter(
+      "jig_spill_segments_replayed_total",
+      "Spill segments fully replayed and reclaimed");
+  obs::Counter& jframes_spilled = obs::MetricRegistry::Global().GetCounter(
+      "jig_spill_jframes_spilled_total", "JFrames pushed to the spill tier");
+  obs::Counter& jframes_replayed = obs::MetricRegistry::Global().GetCounter(
+      "jig_spill_jframes_replayed_total",
+      "JFrames replayed from the spill tier");
+  obs::Gauge& bytes_on_disk = obs::MetricRegistry::Global().GetGauge(
+      "jig_spill_bytes_on_disk", "Live spill bytes across all shards");
+  obs::Counter& backpressure = obs::MetricRegistry::Global().GetCounter(
+      "jig_spill_backpressure_total",
+      "Pushes refused because the spill byte budget was exhausted");
+};
+
+SpillMetrics& Metrics() {
+  static SpillMetrics* m = new SpillMetrics();
+  return *m;
+}
+
+}  // namespace
+
 SpillQueue::SpillQueue(fs::path dir, std::uint8_t channel,
                        SpillBudget* budget, std::uint64_t segment_bytes)
     : dir_(std::move(dir)),
@@ -317,6 +345,7 @@ SpillQueue::~SpillQueue() {
     fs::remove(seg.path, ec);
     if (budget_ != nullptr) budget_->Release(seg.charged);
   }
+  Metrics().bytes_on_disk.Add(-static_cast<std::int64_t>(bytes_on_disk_));
 }
 
 void SpillQueue::OpenSegmentForPush() {
@@ -339,6 +368,7 @@ void SpillQueue::OpenSegmentForPush() {
                        std::to_string(header.sequence) + ".jigs");
     writer_ = std::make_unique<SpillSegmentWriter>(seg.path, header);
     segments_.push_back(std::move(seg));
+    Metrics().segments_written.Add(1);
     ChargeDelta();
   }
 }
@@ -353,12 +383,16 @@ void SpillQueue::ChargeDelta() {
     const std::uint64_t delta = written - seg.charged;
     seg.charged = written;
     bytes_on_disk_ += delta;
+    Metrics().bytes_on_disk.Add(static_cast<std::int64_t>(delta));
     if (budget_ != nullptr) budget_->Charge(delta);
   }
 }
 
 bool SpillQueue::Push(JFrame&& jf) {
-  if (budget_ != nullptr && budget_->Full()) return false;
+  if (budget_ != nullptr && budget_->Full()) {
+    Metrics().backpressure.Add(1);
+    return false;
+  }
   OpenSegmentForPush();
   writer_->Append(jf);
   // Charge after every append, not just at Sync: Append flushes a block
@@ -367,6 +401,7 @@ bool SpillQueue::Push(JFrame&& jf) {
   // compressed block per shard rather than a whole drain.
   ChargeDelta();
   ++spilled_;
+  Metrics().jframes_spilled.Add(1);
   return true;
 }
 
@@ -385,6 +420,7 @@ void SpillQueue::ReclaimDrained() {
     fs::remove(seg.path, ec);
     if (budget_ != nullptr) budget_->Release(seg.charged);
   }
+  Metrics().bytes_on_disk.Add(-static_cast<std::int64_t>(bytes_on_disk_));
   segments_.clear();
   bytes_on_disk_ = 0;
 }
@@ -400,6 +436,7 @@ std::optional<JFrame> SpillQueue::Pop() {
     }
     if (auto jf = reader_->Next()) {
       ++replayed_;
+      Metrics().jframes_replayed.Add(1);
       return jf;
     }
     Segment& front = segments_.front();
@@ -412,6 +449,9 @@ std::optional<JFrame> SpillQueue::Pop() {
     std::error_code ec;
     fs::remove(front.path, ec);
     bytes_on_disk_ -= front.charged;
+    SpillMetrics& m = Metrics();
+    m.segments_replayed.Add(1);
+    m.bytes_on_disk.Add(-static_cast<std::int64_t>(front.charged));
     if (budget_ != nullptr) budget_->Release(front.charged);
     segments_.pop_front();
   }

@@ -96,6 +96,10 @@ struct TransportTracker::Impl {
   std::size_t exchanges_seen = 0;
 };
 
+std::size_t TransportTracker::flows_tracked() const {
+  return impl_->flows.size();
+}
+
 TransportTracker::TransportTracker() : impl_(std::make_unique<Impl>()) {}
 TransportTracker::~TransportTracker() = default;
 TransportTracker::TransportTracker(TransportTracker&&) noexcept = default;

@@ -118,6 +118,9 @@ class TransportTracker {
   // live-monitor snapshot path.  The tracker keeps accumulating afterwards.
   TransportReconstruction Snapshot() const;
   TransportReconstruction Finish();
+  // Distinct TCP flows currently held in tracker state — the transport
+  // layer's retained-window size.
+  std::size_t flows_tracked() const;
 
  private:
   struct Impl;

@@ -1,0 +1,196 @@
+#include "obs/export.h"
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+namespace jig::obs {
+namespace {
+
+void Append(std::string& out, std::string_view s) { out.append(s); }
+
+void Append(std::string& out, std::int64_t v) {
+  out.append(std::to_string(v));
+}
+
+void Append(std::string& out, std::uint64_t v) {
+  out.append(std::to_string(v));
+}
+
+std::string SeriesName(const MetricSample& s, std::string_view suffix = "",
+                       std::string_view extra_label = "") {
+  std::string name = s.name;
+  name.append(suffix);
+  std::string labels = s.labels;
+  if (!extra_label.empty()) {
+    if (!labels.empty()) labels.append(",");
+    labels.append(extra_label);
+  }
+  if (!labels.empty()) {
+    name.append("{").append(labels).append("}");
+  }
+  return name;
+}
+
+// JSON string escaping for names/help (metric names are tame, but help
+// strings may quote).
+std::string JsonString(std::string_view s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+const char* KindName(MetricSample::Kind kind) {
+  switch (kind) {
+    case MetricSample::Kind::kCounter:
+      return "counter";
+    case MetricSample::Kind::kGauge:
+      return "gauge";
+    case MetricSample::Kind::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+std::string ToPrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  std::string_view last_name;
+  for (const MetricSample& s : snapshot.samples) {
+    // HELP/TYPE once per metric name; labeled series of one name are
+    // adjacent because the snapshot is sorted by (name, labels).
+    if (s.name != last_name) {
+      if (!s.help.empty()) {
+        Append(out, "# HELP ");
+        Append(out, s.name);
+        Append(out, " ");
+        Append(out, s.help);
+        Append(out, "\n");
+      }
+      Append(out, "# TYPE ");
+      Append(out, s.name);
+      Append(out, " ");
+      Append(out, KindName(s.kind));
+      Append(out, "\n");
+      last_name = s.name;
+    }
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter:
+      case MetricSample::Kind::kGauge:
+        Append(out, SeriesName(s));
+        Append(out, " ");
+        Append(out, s.value);
+        Append(out, "\n");
+        break;
+      case MetricSample::Kind::kHistogram: {
+        std::uint64_t cumulative = 0;
+        for (std::size_t b = 0; b < s.bounds.size(); ++b) {
+          cumulative += s.bucket_counts[b];
+          Append(out, SeriesName(s, "_bucket",
+                                 "le=\"" + std::to_string(s.bounds[b]) +
+                                     "\""));
+          Append(out, " ");
+          Append(out, cumulative);
+          Append(out, "\n");
+        }
+        Append(out, SeriesName(s, "_bucket", "le=\"+Inf\""));
+        Append(out, " ");
+        Append(out, s.count);
+        Append(out, "\n");
+        Append(out, SeriesName(s, "_sum"));
+        Append(out, " ");
+        Append(out, s.sum);
+        Append(out, "\n");
+        Append(out, SeriesName(s, "_count"));
+        Append(out, " ");
+        Append(out, s.count);
+        Append(out, "\n");
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string ToJson(const MetricsSnapshot& snapshot) {
+  std::string counters, gauges, histograms;
+  for (const MetricSample& s : snapshot.samples) {
+    std::string key = s.name;
+    if (!s.labels.empty()) key.append("{").append(s.labels).append("}");
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter:
+      case MetricSample::Kind::kGauge: {
+        std::string& dst =
+            s.kind == MetricSample::Kind::kCounter ? counters : gauges;
+        if (!dst.empty()) dst.append(",\n    ");
+        dst.append(JsonString(key)).append(": ");
+        Append(dst, s.value);
+        break;
+      }
+      case MetricSample::Kind::kHistogram: {
+        if (!histograms.empty()) histograms.append(",\n    ");
+        histograms.append(JsonString(key)).append(": {\"bounds\": [");
+        for (std::size_t b = 0; b < s.bounds.size(); ++b) {
+          if (b != 0) histograms.append(", ");
+          Append(histograms, s.bounds[b]);
+        }
+        histograms.append("], \"counts\": [");
+        for (std::size_t b = 0; b < s.bucket_counts.size(); ++b) {
+          if (b != 0) histograms.append(", ");
+          Append(histograms, s.bucket_counts[b]);
+        }
+        histograms.append("], \"count\": ");
+        Append(histograms, s.count);
+        histograms.append(", \"sum\": ");
+        Append(histograms, s.sum);
+        histograms.append("}");
+        break;
+      }
+    }
+  }
+  std::string out = "{\n  \"counters\": {\n    ";
+  out.append(counters);
+  out.append("\n  },\n  \"gauges\": {\n    ");
+  out.append(gauges);
+  out.append("\n  },\n  \"histograms\": {\n    ");
+  out.append(histograms);
+  out.append("\n  }\n}\n");
+  return out;
+}
+
+void WriteFileAtomic(const std::filesystem::path& path,
+                     std::string_view content) {
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  std::FILE* f = std::fopen(tmp.string().c_str(), "wb");
+  if (f == nullptr) {
+    throw std::runtime_error("cannot open for writing: " + tmp.string());
+  }
+  const bool wrote =
+      std::fwrite(content.data(), 1, content.size(), f) == content.size();
+  const bool flushed = std::fflush(f) == 0;
+  std::fclose(f);
+  if (!wrote || !flushed) {
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    throw std::runtime_error("short write: " + tmp.string());
+  }
+  std::filesystem::rename(tmp, path);
+}
+
+}  // namespace jig::obs

@@ -1,0 +1,243 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+namespace jig::obs {
+namespace {
+
+std::atomic<bool> g_enabled{true};
+
+}  // namespace
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void SetEnabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+namespace internal {
+
+std::size_t ThisThreadCell() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t cell =
+      next.fetch_add(1, std::memory_order_relaxed) % kCells;
+  return cell;
+}
+
+}  // namespace internal
+
+// ---------------------------------------------------------------------------
+// Histogram.
+
+Histogram::Histogram(std::vector<std::int64_t> bounds)
+    : bounds_(std::move(bounds)) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end()) {
+    throw std::logic_error(
+        "Histogram: bucket bounds must be strictly ascending");
+  }
+  for (auto& shard : shards_) {
+    shard.buckets =
+        std::make_unique<internal::Cell[]>(bounds_.size() + 1);
+  }
+}
+
+void Histogram::Observe(std::int64_t v) {
+  if (!Enabled()) return;
+  // First bound >= v; past-the-end is the +Inf overflow bucket.
+  const std::size_t bucket = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  Shard& shard = shards_[internal::ThisThreadCell()];
+  shard.buckets[bucket].value.fetch_add(1, std::memory_order_relaxed);
+  shard.sum.value.fetch_add(v, std::memory_order_relaxed);
+  shard.count.value.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::Count() const {
+  std::int64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard.count.value.load(std::memory_order_relaxed);
+  }
+  return static_cast<std::uint64_t>(total);
+}
+
+std::int64_t Histogram::Sum() const {
+  std::int64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard.sum.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::vector<std::uint64_t> Histogram::BucketCounts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1, 0);
+  for (const auto& shard : shards_) {
+    for (std::size_t b = 0; b < out.size(); ++b) {
+      out[b] += static_cast<std::uint64_t>(
+          shard.buckets[b].value.load(std::memory_order_relaxed));
+    }
+  }
+  return out;
+}
+
+void Histogram::Reset() {
+  for (auto& shard : shards_) {
+    for (std::size_t b = 0; b <= bounds_.size(); ++b) {
+      shard.buckets[b].value.store(0, std::memory_order_relaxed);
+    }
+    shard.sum.value.store(0, std::memory_order_relaxed);
+    shard.count.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MetricRegistry.
+
+struct MetricRegistry::Impl {
+  struct Entry {
+    MetricSample::Kind kind;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mu;
+  // Keyed (name, labels); map iteration yields the sorted snapshot order.
+  std::map<std::pair<std::string, std::string>, Entry> metrics;
+
+  Entry& FindOrCreate(std::string_view name, std::string_view labels,
+                      std::string_view help, MetricSample::Kind kind) {
+    auto [it, inserted] = metrics.try_emplace(
+        {std::string(name), std::string(labels)});
+    Entry& entry = it->second;
+    if (inserted) {
+      entry.kind = kind;
+      entry.help = help;
+      return entry;
+    }
+    if (entry.kind != kind) {
+      throw std::logic_error("metric '" + std::string(name) +
+                             "' re-registered with a different kind");
+    }
+    if (entry.help.empty() && !help.empty()) entry.help = help;
+    return entry;
+  }
+};
+
+MetricRegistry::Impl& MetricRegistry::impl() const {
+  // Leaked on purpose: instrumentation sites hold references into the
+  // registry from static storage, so it must outlive every other static.
+  static Impl* impl = new Impl();
+  return *impl;
+}
+
+MetricRegistry& MetricRegistry::Global() {
+  static MetricRegistry* registry = new MetricRegistry();
+  return *registry;
+}
+
+Counter& MetricRegistry::GetCounter(std::string_view name,
+                                    std::string_view help,
+                                    std::string_view labels) {
+  Impl& i = impl();
+  std::lock_guard lk(i.mu);
+  Impl::Entry& entry =
+      i.FindOrCreate(name, labels, help, MetricSample::Kind::kCounter);
+  if (entry.counter == nullptr) entry.counter = std::make_unique<Counter>();
+  return *entry.counter;
+}
+
+Gauge& MetricRegistry::GetGauge(std::string_view name, std::string_view help,
+                                std::string_view labels) {
+  Impl& i = impl();
+  std::lock_guard lk(i.mu);
+  Impl::Entry& entry =
+      i.FindOrCreate(name, labels, help, MetricSample::Kind::kGauge);
+  if (entry.gauge == nullptr) entry.gauge = std::make_unique<Gauge>();
+  return *entry.gauge;
+}
+
+Histogram& MetricRegistry::GetHistogram(std::string_view name,
+                                        std::vector<std::int64_t> bounds,
+                                        std::string_view help,
+                                        std::string_view labels) {
+  Impl& i = impl();
+  std::lock_guard lk(i.mu);
+  Impl::Entry& entry =
+      i.FindOrCreate(name, labels, help, MetricSample::Kind::kHistogram);
+  if (entry.histogram == nullptr) {
+    entry.histogram = std::make_unique<Histogram>(std::move(bounds));
+  } else if (entry.histogram->bounds() != bounds) {
+    throw std::logic_error("histogram '" + std::string(name) +
+                           "' re-registered with different bucket bounds");
+  }
+  return *entry.histogram;
+}
+
+MetricsSnapshot MetricRegistry::Collect() const {
+  Impl& i = impl();
+  std::lock_guard lk(i.mu);
+  MetricsSnapshot snapshot;
+  snapshot.samples.reserve(i.metrics.size());
+  for (const auto& [key, entry] : i.metrics) {
+    MetricSample sample;
+    sample.name = key.first;
+    sample.labels = key.second;
+    sample.help = entry.help;
+    sample.kind = entry.kind;
+    switch (entry.kind) {
+      case MetricSample::Kind::kCounter:
+        sample.value = static_cast<std::int64_t>(entry.counter->Value());
+        break;
+      case MetricSample::Kind::kGauge:
+        sample.value = entry.gauge->Value();
+        break;
+      case MetricSample::Kind::kHistogram:
+        sample.bounds = entry.histogram->bounds();
+        sample.bucket_counts = entry.histogram->BucketCounts();
+        sample.count = entry.histogram->Count();
+        sample.sum = entry.histogram->Sum();
+        break;
+    }
+    snapshot.samples.push_back(std::move(sample));
+  }
+  return snapshot;
+}
+
+void MetricRegistry::ResetAll() {
+  Impl& i = impl();
+  std::lock_guard lk(i.mu);
+  for (auto& [key, entry] : i.metrics) {
+    if (entry.counter) entry.counter->Reset();
+    if (entry.gauge) entry.gauge->Reset();
+    if (entry.histogram) entry.histogram->Reset();
+  }
+}
+
+const MetricSample* MetricsSnapshot::Find(std::string_view name,
+                                          std::string_view labels) const {
+  for (const MetricSample& s : samples) {
+    if (s.name == name && s.labels == labels) return &s;
+  }
+  return nullptr;
+}
+
+std::int64_t MetricsSnapshot::Value(std::string_view name,
+                                    std::string_view labels) const {
+  const MetricSample* s = Find(name, labels);
+  if (s == nullptr) return 0;
+  return s->kind == MetricSample::Kind::kHistogram
+             ? static_cast<std::int64_t>(s->count)
+             : s->value;
+}
+
+std::vector<std::int64_t> LatencyBucketsUs() {
+  return {50,      100,     250,     500,       1'000,     2'500,
+          5'000,   10'000,  25'000,  50'000,    100'000,   250'000,
+          500'000, 1'000'000, 2'500'000, 5'000'000, 10'000'000};
+}
+
+}  // namespace jig::obs

@@ -1,0 +1,215 @@
+// Pipeline-wide metrics: counters, gauges and fixed-bucket histograms in a
+// process-global registry, cheap enough for the hot merge path.
+//
+// Design constraints, in order:
+//
+//   1. The byte-identical determinism contract is untouched.  Metrics are
+//      strictly write-only from the pipeline's point of view: no stage ever
+//      reads a metric to make a decision, so a merge with metrics enabled,
+//      disabled (SetEnabled), or absent emits the same stream —
+//      tests/pipeline_test.cc pins it byte-for-byte.
+//   2. The hot path pays ~one relaxed atomic add per event.  Every metric
+//      is sharded into cache-line-sized cells; a thread picks its cell once
+//      (thread-local) and increments it with memory_order_relaxed, so shard
+//      workers on different cores never contend on a line.  Aggregation
+//      happens only on read (Collect / Value), which is rare.
+//   3. Reads are safe concurrent with writes.  A snapshot taken mid-merge
+//      is a consistent-enough monitoring view (each cell is read
+//      atomically; the sum may straddle in-flight increments), which is
+//      exactly the Prometheus scrape model.
+//
+// Handles returned by the registry are stable for the life of the process;
+// instrumentation sites fetch them once into a static struct and then only
+// touch atomics.  Metric names follow the Prometheus convention
+// (jig_<stage>_<what>[_total|_us]); the catalog lives in
+// docs/OBSERVABILITY.md.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace jig::obs {
+
+// Global kill switch (default on).  When disabled, Add/Set/Observe are
+// no-ops after one relaxed load — the hook for proving metrics-on ==
+// metrics-off byte-identity, and for callers that want a sterile run.
+bool Enabled();
+void SetEnabled(bool on);
+
+namespace internal {
+
+// Shard count per metric.  More cells than cores wastes cache; fewer
+// serializes unrelated threads onto one line.  16 covers the worker pools
+// this pipeline runs (one worker per channel shard, hardware-capped).
+inline constexpr std::size_t kCells = 16;
+
+// Stable per-thread cell index in [0, kCells).
+std::size_t ThisThreadCell();
+
+struct alignas(64) Cell {
+  std::atomic<std::int64_t> value{0};
+};
+
+}  // namespace internal
+
+// Monotonic event count.  Add is one relaxed atomic on the caller's cell.
+class Counter {
+ public:
+  void Add(std::uint64_t n = 1) {
+    if (!Enabled()) return;
+    cells_[internal::ThisThreadCell()].value.fetch_add(
+        static_cast<std::int64_t>(n), std::memory_order_relaxed);
+  }
+
+  std::uint64_t Value() const {
+    std::int64_t total = 0;
+    for (const auto& c : cells_) {
+      total += c.value.load(std::memory_order_relaxed);
+    }
+    return static_cast<std::uint64_t>(total);
+  }
+
+  void Reset() {
+    for (auto& c : cells_) c.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<internal::Cell, internal::kCells> cells_;
+};
+
+// Point-in-time signed value (queue depth, bytes on disk, ...).  Unsharded:
+// gauges are set at stage granularity, not per event.
+class Gauge {
+ public:
+  void Set(std::int64_t v) {
+    if (!Enabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+
+  void Add(std::int64_t delta) {
+    if (!Enabled()) return;
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  // Monotonic high-watermark update — safe from concurrent shard workers.
+  void UpdateMax(std::int64_t v) {
+    if (!Enabled()) return;
+    std::int64_t seen = value_.load(std::memory_order_relaxed);
+    while (v > seen &&
+           !value_.compare_exchange_weak(seen, v,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  std::int64_t Value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+// Fixed-bucket histogram over int64 samples (latencies in us, sizes in
+// bytes).  Bucket edges are inclusive upper bounds, ascending, fixed at
+// registration — the Prometheus `le` convention — plus an implicit +Inf
+// overflow bucket.  Observe costs three relaxed atomics on the caller's
+// cell (bucket, sum, count); used at emission granularity, not per event.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<std::int64_t> bounds);
+
+  void Observe(std::int64_t v);
+
+  const std::vector<std::int64_t>& bounds() const { return bounds_; }
+  std::uint64_t Count() const;
+  std::int64_t Sum() const;
+  // Per-bucket (non-cumulative) counts, size bounds().size() + 1; the last
+  // entry is the +Inf overflow bucket.
+  std::vector<std::uint64_t> BucketCounts() const;
+
+  void Reset();
+
+ private:
+  struct Shard {
+    std::unique_ptr<internal::Cell[]> buckets;  // bounds_.size() + 1
+    internal::Cell sum;
+    internal::Cell count;
+  };
+
+  std::vector<std::int64_t> bounds_;
+  std::array<Shard, internal::kCells> shards_;
+};
+
+// Aggregated read of one metric, for exposition (src/obs/export.h).
+struct MetricSample {
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  std::string name;
+  std::string labels;  // Prometheus label body, e.g. consumer="link"
+  std::string help;
+  Kind kind = Kind::kCounter;
+  std::int64_t value = 0;  // counter / gauge
+  // Histogram only.
+  std::vector<std::int64_t> bounds;
+  std::vector<std::uint64_t> bucket_counts;  // non-cumulative, bounds + 1
+  std::uint64_t count = 0;
+  std::int64_t sum = 0;
+};
+
+struct MetricsSnapshot {
+  std::vector<MetricSample> samples;  // sorted by (name, labels)
+
+  // nullptr when the metric has not been registered.
+  const MetricSample* Find(std::string_view name,
+                           std::string_view labels = "") const;
+  // Convenience for tests/CLIs: 0 when absent.
+  std::int64_t Value(std::string_view name,
+                     std::string_view labels = "") const;
+};
+
+// Process-global metric registry.  Get* registers on first use (mutex-
+// protected) and returns a stable reference; re-registration with the same
+// (name, labels) returns the same metric, and a kind or bucket-bound
+// mismatch throws std::logic_error — one name, one meaning.
+class MetricRegistry {
+ public:
+  static MetricRegistry& Global();
+
+  Counter& GetCounter(std::string_view name, std::string_view help = "",
+                      std::string_view labels = "");
+  Gauge& GetGauge(std::string_view name, std::string_view help = "",
+                  std::string_view labels = "");
+  Histogram& GetHistogram(std::string_view name,
+                          std::vector<std::int64_t> bounds,
+                          std::string_view help = "",
+                          std::string_view labels = "");
+
+  MetricsSnapshot Collect() const;
+
+  // Zeroes every registered metric (registrations and handles survive).
+  // For tests and fresh CLI runs; not meant for concurrent use with
+  // writers mid-merge.
+  void ResetAll();
+
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+ private:
+  MetricRegistry() = default;
+
+  struct Impl;
+  Impl& impl() const;
+};
+
+// Shared latency bucket edges (us): 50us .. 10s, decade-ish spacing.  One
+// scheme across every *_us histogram so expositions line up in dashboards.
+std::vector<std::int64_t> LatencyBucketsUs();
+
+}  // namespace jig::obs

@@ -1,0 +1,53 @@
+// RAII wall-clock stage timing into a metrics histogram.
+//
+//   static obs::Histogram& fit_us = obs::MetricRegistry::Global()
+//       .GetHistogram("jig_bootstrap_fit_us", obs::LatencyBucketsUs(), ...);
+//   {
+//     obs::StageTimer timer(fit_us);
+//     ExpensiveStage();
+//   }  // fit_us.Observe(elapsed us)
+//
+// The clock is only read when metrics are enabled, so a disabled registry
+// costs one relaxed load per timed scope.  Wall time (steady_clock) is the
+// right clock here: stage timings exist to explain live lag, which is a
+// wall-clock phenomenon — simulation time never appears in a StageTimer.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "obs/metrics.h"
+
+namespace jig::obs {
+
+class StageTimer {
+ public:
+  explicit StageTimer(Histogram& histogram)
+      : histogram_(Enabled() ? &histogram : nullptr) {
+    if (histogram_ != nullptr) {
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+
+  ~StageTimer() { Record(); }
+
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+  // Observes the elapsed time once (idempotent); returns the elapsed us
+  // recorded, 0 when metrics were disabled at construction.
+  std::int64_t Record() {
+    if (histogram_ == nullptr) return 0;
+    const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::now() - start_);
+    histogram_->Observe(elapsed.count());
+    histogram_ = nullptr;
+    return elapsed.count();
+  }
+
+ private:
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace jig::obs

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "obs/metrics.h"
 #include "util/compression.h"
 
 namespace jig {
@@ -24,6 +25,26 @@ std::uint32_t DecodeU32(const std::uint8_t* b) {
          (static_cast<std::uint32_t>(b[1]) << 8) |
          (static_cast<std::uint32_t>(b[2]) << 16) |
          (static_cast<std::uint32_t>(b[3]) << 24);
+}
+
+struct TailMetrics {
+  obs::Counter& bytes = obs::MetricRegistry::Global().GetCounter(
+      "jig_trace_bytes_read_total", "Compressed trace bytes read from disk");
+  obs::Counter& blocks = obs::MetricRegistry::Global().GetCounter(
+      "jig_trace_blocks_decoded_total", "Trace blocks decompressed");
+  obs::Counter& records = obs::MetricRegistry::Global().GetCounter(
+      "jig_trace_records_decoded_total", "Capture records decoded");
+  obs::Counter& repolls = obs::MetricRegistry::Global().GetCounter(
+      "jig_trace_repolls_total",
+      "Tail polls that found no new complete block");
+  obs::Counter& truncation_retries = obs::MetricRegistry::Global().GetCounter(
+      "jig_trace_truncation_retries_total",
+      "Tail polls that saw a half-written block body and backed off");
+};
+
+TailMetrics& Metrics() {
+  static TailMetrics* m = new TailMetrics();
+  return *m;
 }
 
 }  // namespace
@@ -85,7 +106,10 @@ TailFileTrace::~TailFileTrace() {
 bool TailFileTrace::TryLoadNextBlock() {
   if (finalized_) return false;
   std::uint8_t len_buf[4];
-  if (!ReadAt(file_, next_block_offset_, len_buf, 4)) return false;
+  if (!ReadAt(file_, next_block_offset_, len_buf, 4)) {
+    Metrics().repolls.Add(1);
+    return false;
+  }
   const std::uint32_t packed_len = DecodeU32(len_buf);
   if (packed_len == 0) {
     // The writer's finalize marker: no block will ever follow.
@@ -100,6 +124,7 @@ bool TailFileTrace::TryLoadNextBlock() {
   Bytes packed(packed_len);
   if (!ReadAt(file_, next_block_offset_ + 4, packed.data(), packed_len)) {
     // The block body is still being written; re-poll from the boundary.
+    Metrics().truncation_retries.Add(1);
     return false;
   }
   try {
@@ -119,6 +144,10 @@ bool TailFileTrace::TryLoadNextBlock() {
                             std::to_string(next_block_offset_) + " (" +
                             e.what() + "): " + path_.string());
   }
+  TailMetrics& m = Metrics();
+  m.bytes.Add(4 + packed_len);
+  m.blocks.Add(1);
+  m.records.Add(block_records_.size());
   next_block_offset_ += 4 + packed_len;
   return true;
 }

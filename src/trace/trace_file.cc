@@ -3,11 +3,26 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/metrics.h"
 #include "trace/framed_io.h"
 #include "util/compression.h"
 
 namespace jig {
 namespace {
+
+struct TraceMetrics {
+  obs::Counter& bytes = obs::MetricRegistry::Global().GetCounter(
+      "jig_trace_bytes_read_total", "Compressed trace bytes read from disk");
+  obs::Counter& blocks = obs::MetricRegistry::Global().GetCounter(
+      "jig_trace_blocks_decoded_total", "Trace blocks decompressed");
+  obs::Counter& records = obs::MetricRegistry::Global().GetCounter(
+      "jig_trace_records_decoded_total", "Capture records decoded");
+};
+
+TraceMetrics& Metrics() {
+  static TraceMetrics* m = new TraceMetrics();
+  return *m;
+}
 
 // The shared framed-IO primitives (src/trace/framed_io.h) carry the
 // short-read-at-EOF → TraceTruncatedError discipline: an unfinished write
@@ -210,6 +225,10 @@ void TraceFileReader::LoadBlock(std::size_t block_idx) {
     throw TraceCorruptError(std::string("malformed block contents: ") +
                             e.what());
   }
+  TraceMetrics& m = Metrics();
+  m.bytes.Add(4 + packed_len);
+  m.blocks.Add(1);
+  m.records.Add(block_records_.size());
 }
 
 std::optional<CaptureRecord> TraceFileReader::Next() {

@@ -1,0 +1,87 @@
+// Exit-code contract of the jigtool CLI (documented in examples/jigtool.cpp
+// and docs/OBSERVABILITY.md): 0 success, 1 unreadable/missing input,
+// 2 usage error, 3 corrupt or truncated input.  Monitoring wrappers and the
+// CI bench gate branch on these, so they are pinned here.
+//
+// The jigtool binary is located via the JIGTOOL environment variable, or
+// ./jigtool relative to the test's working directory (ctest runs from the
+// build root, where every target lands).  Skips if neither resolves.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string JigtoolPath() {
+  if (const char* env = std::getenv("JIGTOOL")) return env;
+  if (fs::exists("./jigtool")) return "./jigtool";
+  return "";
+}
+
+// Runs jigtool with `args`, returns its exit code (-1 on system() failure).
+int RunJigtool(const std::string& args) {
+  const std::string cmd = JigtoolPath() + " " + args + " >/dev/null 2>&1";
+  const int status = std::system(cmd.c_str());
+  if (status == -1) return -1;
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (JigtoolPath().empty()) {
+      GTEST_SKIP() << "jigtool binary not found (set JIGTOOL)";
+    }
+    dir_ = fs::temp_directory_path() /
+           ("jig_cli_test_" + std::to_string(::getpid()));
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  void WriteGarbage(const fs::path& path) {
+    std::ofstream out(path, std::ios::binary);
+    // Arbitrary non-magic bytes: enough to open, wrong from byte 0.
+    for (int i = 0; i < 64; ++i) out.put(static_cast<char>(i * 7 + 1));
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(CliTest, UsageErrorsExitTwo) {
+  EXPECT_EQ(RunJigtool(""), 2);
+  EXPECT_EQ(RunJigtool("frobnicate " + dir_.string()), 2);
+  EXPECT_EQ(RunJigtool("merge " + dir_.string() + " --spill-dir"), 2);
+  EXPECT_EQ(RunJigtool("stats " + dir_.string() + " --stats-json"), 2);
+}
+
+TEST_F(CliTest, StatsOnMissingOrEmptyInputExitsOne) {
+  EXPECT_EQ(RunJigtool("stats " + (dir_ / "nonexistent").string()), 1);
+  EXPECT_EQ(RunJigtool("stats " + dir_.string()), 1);  // no .jigt files
+}
+
+TEST_F(CliTest, StatsOnCorruptTraceExitsThree) {
+  WriteGarbage(dir_ / "bad.jigt");
+  EXPECT_EQ(RunJigtool("stats " + dir_.string()), 3);
+}
+
+TEST_F(CliTest, InspectSpillOnMissingOrEmptyInputExitsOne) {
+  EXPECT_EQ(RunJigtool("inspect-spill " + (dir_ / "nonexistent").string()),
+            1);
+  EXPECT_EQ(RunJigtool("inspect-spill " + dir_.string()), 1);  // no .jigs
+}
+
+TEST_F(CliTest, InspectSpillOnCorruptSegmentExitsThree) {
+  WriteGarbage(dir_ / "ch1-0.jigs");
+  EXPECT_EQ(RunJigtool("inspect-spill " + dir_.string()), 3);
+}
+
+}  // namespace

@@ -161,6 +161,30 @@ TEST_P(ParallelDeterminism, ByteIdenticalAcrossThreadCounts) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ParallelDeterminism,
                          ::testing::Values(1u, 2u, 3u, 17u));
 
+// The observability contract: metrics are write-only from the pipeline's
+// point of view, so toggling the registry on/off must not change a single
+// emitted byte — in the legacy single-threaded path or the sharded one.
+TEST(MetricsDeterminism, StreamIsByteIdenticalWithMetricsToggled) {
+  for (unsigned threads : {1u, 3u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    MergeConfig cfg;
+    cfg.threads = threads;
+
+    obs::SetEnabled(true);
+    auto on_traces = MultiChannelNetwork(7).Build();
+    const auto with_metrics = MergeTraces(on_traces, cfg);
+    ASSERT_GT(with_metrics.jframes.size(), 100u);
+
+    obs::SetEnabled(false);
+    auto off_traces = MultiChannelNetwork(7).Build();
+    const auto without_metrics = MergeTraces(off_traces, cfg);
+    obs::SetEnabled(true);
+
+    ExpectIdenticalStreams(with_metrics.jframes, without_metrics.jframes);
+    ExpectEqualStats(with_metrics.stats, without_metrics.stats);
+  }
+}
+
 TEST(ParallelMerge, ScenarioStreamMatchesLegacy) {
   // End-to-end on the full simulator (39-pod channel plan 1/6/1/11): the
   // sharded merge must reproduce the legacy stream exactly.

@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Gates merge-throughput regressions against a committed baseline.
+
+Usage:
+  check_bench_regression.py --baseline BENCH_merge.json \
+      --current current.json [--threshold 0.15]
+  check_bench_regression.py --baseline BENCH_merge.json \
+      --current current.json --update
+
+`current.json` is raw Google Benchmark JSON output, e.g.:
+
+  ./build/bench_merge_throughput --benchmark_filter=BM_MergeParallel \
+      --benchmark_format=json > current.json
+
+The committed baseline (BENCH_merge.json at the repo root) is the
+normalized form: one `events/s` number per BM_MergeParallel thread
+variant.  The gate fails (exit 1) when any variant's current events/s
+drops more than `--threshold` (default 15%) below its baseline, or when
+a baseline variant is missing from the current run.  Variants only in
+the current run are reported but do not fail the gate, so adding a
+sweep point does not require touching the tool.
+
+Faster-than-baseline runs pass but are reported too: a suspiciously
+large speedup is worth a look (and a baseline refresh with --update,
+which rewrites the baseline from the current run instead of checking).
+
+CI-variance note: the 15% default is deliberately loose — shared
+runners jitter by a few percent run-to-run; the gate exists to catch
+algorithmic regressions (2x slowdowns), not micro-noise.
+
+Exit status: 0 gate passes (or baseline updated), 1 regression or
+missing variant, 2 usage/input error.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+METRIC = "events/s"
+FAMILY = "BM_MergeParallel"
+
+
+def variant_of(name: str) -> str:
+    """BM_MergeParallel/4/process_time/real_time -> BM_MergeParallel/4."""
+    parts = name.split("/")
+    return "/".join(parts[:2])
+
+
+def normalize(raw: dict) -> dict:
+    """Raw Google Benchmark JSON -> {variant: events/s} for the family."""
+    variants = {}
+    for b in raw.get("benchmarks", []):
+        name = b.get("name", "")
+        if not name.startswith(FAMILY + "/"):
+            continue
+        if b.get("run_type") == "aggregate":
+            continue
+        if METRIC not in b:
+            continue
+        variants[variant_of(name)] = round(float(b[METRIC]), 1)
+    return variants
+
+
+def load_json(path: Path) -> dict:
+    try:
+        return json.loads(path.read_text())
+    except (OSError, ValueError) as e:
+        print(f"cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(
+        description=__doc__.strip().splitlines()[0])
+    ap.add_argument("--baseline", required=True, type=Path,
+                    help="normalized baseline JSON (committed)")
+    ap.add_argument("--current", required=True, type=Path,
+                    help="raw Google Benchmark JSON from the current run")
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="max fractional events/s drop (default 0.15)")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baseline from the current run")
+    args = ap.parse_args(argv[1:])
+
+    current = normalize(load_json(args.current))
+    if not current:
+        print(f"no {FAMILY} {METRIC} samples in {args.current}",
+              file=sys.stderr)
+        return 2
+
+    if args.update:
+        baseline = {
+            "benchmark": "bench_merge_throughput",
+            "family": FAMILY,
+            "metric": METRIC,
+            "threshold": args.threshold,
+            "variants": dict(sorted(current.items())),
+        }
+        args.baseline.write_text(json.dumps(baseline, indent=2) + "\n")
+        print(f"baseline updated: {args.baseline}")
+        for name, value in sorted(current.items()):
+            print(f"  {name:<24} {value:>14,.1f} {METRIC}")
+        return 0
+
+    baseline = load_json(args.baseline)
+    base_variants = baseline.get("variants", {})
+    if not base_variants:
+        print(f"baseline {args.baseline} has no variants", file=sys.stderr)
+        return 2
+
+    failed = False
+    print(f"{'variant':<24} {'baseline':>14} {'current':>14} {'delta':>8}")
+    for name, base in sorted(base_variants.items()):
+        cur = current.get(name)
+        if cur is None:
+            print(f"{name:<24} {base:>14,.1f} {'MISSING':>14} {'':>8}")
+            failed = True
+            continue
+        delta = (cur - base) / base
+        flag = ""
+        if delta < -args.threshold:
+            flag = "  << REGRESSION"
+            failed = True
+        print(f"{name:<24} {base:>14,.1f} {cur:>14,.1f} "
+              f"{delta:>+7.1%}{flag}")
+    for name in sorted(set(current) - set(base_variants)):
+        print(f"{name:<24} {'(new)':>14} {current[name]:>14,.1f}")
+
+    if failed:
+        print(f"FAIL: events/s regressed more than "
+              f"{args.threshold:.0%} vs {args.baseline}")
+        return 1
+    print(f"OK: all {len(base_variants)} variants within "
+          f"{args.threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
