@@ -165,14 +165,28 @@ void BM_MergeSpill(benchmark::State& state) {
 BENCHMARK(BM_MergeSpill)->Arg(0)->Arg(1)
     ->Unit(benchmark::kMillisecond)->Iterations(3);
 
-void BM_BootstrapOnly(benchmark::State& state) {
-  Workload& w = WorkloadForPods(39);
+// Bootstrap-only cost on the full deployment (arg = pods), with an
+// events/s counter so the regression gate can track it alongside the merge
+// families (BENCH_merge.json).  The event count is taken with one untimed
+// scan per trace — bootstrap itself reads every record once per iteration.
+void BM_Bootstrap(benchmark::State& state) {
+  Workload& w = WorkloadForPods(static_cast<int>(state.range(0)));
+  std::uint64_t events = 0;
+  for (std::size_t i = 0; i < w.traces->size(); ++i) {
+    RecordStream& s = w.traces->at(i);
+    s.Rewind();
+    while (s.NextRef() != nullptr) ++events;
+    s.Rewind();
+  }
   for (auto _ : state) {
     const auto result = BootstrapSynchronize(*w.traces);
     benchmark::DoNotOptimize(result.offset_us.data());
   }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events * state.iterations()),
+      benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_BootstrapOnly)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Bootstrap)->Arg(39)->Unit(benchmark::kMillisecond);
 
 void BM_SearchWindowCost(benchmark::State& state) {
   // Unification cost vs. search window size (wider windows sweep more

@@ -12,6 +12,7 @@
 //   jigtool info <dir>              per-radio record counts and clock info
 //   jigtool merge <dir> [threads] [--spill-dir <sdir>]
 //                 [--spill-threshold <n>] [--stats-json <file>]
+//                 [--mmap] [--pin-threads]
 //                                   run the merge, print summary statistics
 //                                   (threads: 0 = auto, 1 = single-threaded;
 //                                   --spill-dir stages shard backlog on disk
@@ -19,11 +20,19 @@
 //                                   --spill-threshold overrides the queue
 //                                   depth that engages the tier;
 //                                   --stats-json writes the pipeline metric
-//                                   registry as JSON after the run)
+//                                   registry as JSON after the run;
+//                                   --mmap memory-maps the trace files, with
+//                                   silent fallback to buffered reads;
+//                                   --pin-threads pins shard workers to CPUs
+//                                   round-robin — Linux only, no-op
+//                                   elsewhere.  Neither changes the output)
 //   jigtool follow <dir> [radios] [threads] [--spill-dir <sdir>]
+//                 [--pin-threads]
 //                                   tail a directory that is still being
 //                                   written: resumable MergeSession +
 //                                   analysis bus, merge summary at the end
+//                                   (tail readers always use buffered reads;
+//                                   --mmap does not apply)
 //   jigtool stats <dir> [interval_s] [--stats-json <file>]
 //                                   run (or tail) the merge and expose the
 //                                   metric registry in Prometheus text
@@ -155,8 +164,11 @@ int CmdInfo(const char* dir) {
 }
 
 int CmdMerge(const char* dir, unsigned threads, const char* spill_dir,
-             long spill_threshold, const char* stats_json) {
-  TraceSet traces = TraceSet::OpenDirectory(dir);
+             long spill_threshold, const char* stats_json, bool use_mmap,
+             bool pin_threads) {
+  TraceReadOptions read_options;
+  read_options.use_mmap = use_mmap;
+  TraceSet traces = TraceSet::OpenDirectory(dir, read_options);
   if (traces.empty()) {
     std::fprintf(stderr, "no .jigt files in %s\n", dir);
     return 1;
@@ -173,6 +185,7 @@ int CmdMerge(const char* dir, unsigned threads, const char* spill_dir,
   auto& dispersion = bus.Emplace<DispersionConsumer>();
   MergeConfig cfg;
   cfg.threads = threads;
+  cfg.pin_threads = pin_threads;
   if (spill_dir != nullptr) cfg.spill_dir = spill_dir;
   if (spill_threshold > 0) {
     cfg.spill_threshold = static_cast<std::size_t>(spill_threshold);
@@ -240,7 +253,8 @@ int CmdMerge(const char* dir, unsigned threads, const char* spill_dir,
 // summary is identical to `jigtool merge` over the finished files (the
 // live stream is byte-identical to the batch stream by construction).
 int CmdFollow(const char* dir, std::size_t radios, unsigned threads,
-              const char* spill_dir, long spill_threshold) {
+              const char* spill_dir, long spill_threshold,
+              bool pin_threads) {
   std::printf("following %s ...\n", dir);
   TraceSet traces = TraceSet::FollowDirectory(dir, radios);
   std::printf("tailing %zu traces\n", traces.size());
@@ -252,6 +266,7 @@ int CmdFollow(const char* dir, std::size_t radios, unsigned threads,
   auto& dispersion = bus.Emplace<DispersionConsumer>();
   MergeConfig cfg;
   cfg.threads = threads;
+  cfg.pin_threads = pin_threads;
   if (spill_dir != nullptr) cfg.spill_dir = spill_dir;
   if (spill_threshold > 0) {
     cfg.spill_threshold = static_cast<std::size_t>(spill_threshold);
@@ -494,7 +509,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: jigtool demo|demo-live|info|merge|follow|stats|"
                  "inspect-spill|timeline <dir> [args] [--spill-dir <sdir>] "
-                 "[--stats-json <file>]\n");
+                 "[--stats-json <file>] [--mmap] [--pin-threads]\n");
     return 2;
   }
   const char* cmd = argv[1];
@@ -504,8 +519,18 @@ int main(int argc, char** argv) {
   const char* spill_dir = nullptr;
   const char* stats_json = nullptr;
   long spill_threshold = 0;
+  bool use_mmap = false;
+  bool pin_threads = false;
   std::vector<const char*> pos;
   for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--mmap") == 0) {
+      use_mmap = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--pin-threads") == 0) {
+      pin_threads = true;
+      continue;
+    }
     if (std::strcmp(argv[i], "--spill-dir") == 0) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "--spill-dir needs a directory argument\n");
@@ -549,6 +574,19 @@ int main(int argc, char** argv) {
                  "ignored for '%s'\n",
                  cmd);
   }
+  if (use_mmap && std::strcmp(cmd, "merge") != 0) {
+    std::fprintf(stderr,
+                 "warning: --mmap only applies to merge (tail readers "
+                 "re-poll a growing file); ignored for '%s'\n",
+                 cmd);
+  }
+  if (pin_threads && std::strcmp(cmd, "merge") != 0 &&
+      std::strcmp(cmd, "follow") != 0) {
+    std::fprintf(stderr,
+                 "warning: --pin-threads only applies to merge/follow; "
+                 "ignored for '%s'\n",
+                 cmd);
+  }
   if (std::strcmp(cmd, "demo") == 0) return CmdDemo(dir);
   if (std::strcmp(cmd, "demo-live") == 0) {
     return CmdDemoLive(dir, pos_long(0, 10), pos_long(1, 250));
@@ -556,12 +594,12 @@ int main(int argc, char** argv) {
   if (std::strcmp(cmd, "info") == 0) return CmdInfo(dir);
   if (std::strcmp(cmd, "merge") == 0) {
     return CmdMerge(dir, static_cast<unsigned>(pos_long(0, 0)), spill_dir,
-                    spill_threshold, stats_json);
+                    spill_threshold, stats_json, use_mmap, pin_threads);
   }
   if (std::strcmp(cmd, "follow") == 0) {
     return CmdFollow(dir, static_cast<std::size_t>(pos_long(0, 0)),
                      static_cast<unsigned>(pos_long(1, 0)), spill_dir,
-                     spill_threshold);
+                     spill_threshold, pin_threads);
   }
   if (std::strcmp(cmd, "stats") == 0) {
     return CmdStats(dir, pos_long(0, 1), stats_json);

@@ -54,6 +54,57 @@ struct JFrame {
   UniversalMicros EndTime() const {
     return timestamp + TxDurationMicros(rate, wire_len);
   }
+
+  // Returns all fields to default-constructed values while keeping the
+  // instances and frame-body heap allocations, so a pooled jframe can be
+  // rebuilt without reallocating.
+  void Reset() {
+    timestamp = 0;
+    dispersion = 0;
+    frame.Reset();
+    channel = Channel::kCh1;
+    rate = PhyRate::kB1;
+    wire_len = 0;
+    digest = 0;
+    instances.clear();
+  }
+};
+
+// Bounded freelist of jframes for the merge hot path: the unifier acquires,
+// the emit funnel (or spill drain) recycles the carcass once the consumer
+// has taken what it wants, and steady-state emission stops allocating.
+//
+// Deliberately unsynchronized.  Within a MergeSession each shard owns one
+// pool, and the existing round barrier already serializes worker-phase
+// accesses (unifier Acquire, spill-drain Recycle) against merge-phase
+// accesses (emit Recycle) — the same happens-before discipline that
+// protects the shard queues themselves.
+class JFramePool {
+ public:
+  explicit JFramePool(std::size_t max_pooled = 4096)
+      : max_pooled_(max_pooled) {}
+
+  JFrame Acquire() {
+    if (pool_.empty()) return JFrame{};
+    JFrame jf = std::move(pool_.back());
+    pool_.pop_back();
+    jf.Reset();
+    return jf;
+  }
+
+  void Recycle(JFrame&& jf) {
+    if (pool_.size() >= max_pooled_) return;  // cap steady-state footprint
+    pool_.push_back(std::move(jf));
+    ++recycled_total_;
+  }
+
+  std::size_t pooled() const { return pool_.size(); }
+  std::uint64_t recycled_total() const { return recycled_total_; }
+
+ private:
+  std::size_t max_pooled_;
+  std::vector<JFrame> pool_;
+  std::uint64_t recycled_total_ = 0;
 };
 
 }  // namespace jig

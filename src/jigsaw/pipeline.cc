@@ -10,14 +10,20 @@
 #include <deque>
 #include <exception>
 #include <limits>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <utility>
+#include <vector>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
 
 namespace jig {
 namespace {
@@ -34,6 +40,12 @@ OrderKey KeyOf(const JFrame& jf) {
 }
 
 // Min-buffer that releases jframes once the emit frontier passes them.
+//
+// A binary heap over a flat vector, not the stable multimap it used to be:
+// the map spent the hot path on node allocation.  An insertion sequence
+// number breaks ties so equal keys still drain in FIFO order — exactly the
+// multimap's upper-bound insertion behavior, which the byte-identity
+// contract depends on.
 class ReorderBuffer {
  public:
   ReorderBuffer(Micros horizon, std::function<void(JFrame&&)> sink)
@@ -41,7 +53,8 @@ class ReorderBuffer {
 
   void Push(JFrame&& jf) {
     frontier_ = std::max(frontier_, jf.timestamp);
-    buffer_.emplace(KeyOf(jf), std::move(jf));
+    buffer_.push_back(Entry{KeyOf(jf), next_seq_++, std::move(jf)});
+    std::push_heap(buffer_.begin(), buffer_.end(), Later);
     Drain(frontier_ - horizon_);
   }
 
@@ -50,16 +63,29 @@ class ReorderBuffer {
   std::size_t size() const { return buffer_.size(); }
 
  private:
+  struct Entry {
+    OrderKey key;
+    std::uint64_t seq;  // insertion order: FIFO among equal keys
+    JFrame jf;
+  };
+
+  // Heap comparator ("comes later"): the root is the least (key, seq).
+  static bool Later(const Entry& a, const Entry& b) {
+    return std::tie(b.key, b.seq) < std::tie(a.key, a.seq);
+  }
+
   void Drain(UniversalMicros up_to) {
-    while (!buffer_.empty() && buffer_.begin()->first.first <= up_to) {
-      sink_(std::move(buffer_.begin()->second));
-      buffer_.erase(buffer_.begin());
+    while (!buffer_.empty() && buffer_.front().key.first <= up_to) {
+      std::pop_heap(buffer_.begin(), buffer_.end(), Later);
+      sink_(std::move(buffer_.back().jf));
+      buffer_.pop_back();
     }
   }
 
   Micros horizon_;
   std::function<void(JFrame&&)> sink_;
-  std::multimap<OrderKey, JFrame> buffer_;
+  std::vector<Entry> buffer_;  // min-heap under Later
+  std::uint64_t next_seq_ = 0;
   UniversalMicros frontier_ = std::numeric_limits<UniversalMicros>::min();
 };
 
@@ -103,6 +129,12 @@ struct PipelineMetrics {
       "emission — the live-lag metric");
   obs::Counter& polls = obs::MetricRegistry::Global().GetCounter(
       "jig_merge_polls_total", "MergeSession::Poll calls");
+  obs::Gauge& arena_pooled = obs::MetricRegistry::Global().GetGauge(
+      "jig_arena_jframes_pooled",
+      "JFrame carcasses currently parked in merge arena pools");
+  obs::Counter& arena_recycled = obs::MetricRegistry::Global().GetCounter(
+      "jig_arena_jframes_recycled_total",
+      "JFrame carcasses recycled through merge arena pools");
 };
 
 PipelineMetrics& Metrics() {
@@ -169,6 +201,10 @@ struct MergeSession::Impl {
     // Consumer-side staging for the k-way merge's peek (Pop() is
     // destructive); counts as retained.
     std::optional<JFrame> spill_head;
+    // Arena (MergeConfig::use_arena): the unifier acquires, the emit path
+    // and spill drain recycle.  Worker-phase and merge-phase accesses are
+    // serialized by the round barrier — see JFramePool.
+    JFramePool pool;
   };
 
   TraceSet& traces;
@@ -190,6 +226,8 @@ struct MergeSession::Impl {
   bool single_mode = false;
   std::unique_ptr<ReorderBuffer> single_reorder;
   std::unique_ptr<Unifier> single_unifier;
+  JFramePool single_pool;
+  std::uint64_t arena_recycled_published = 0;  // counter delta tracking
 
   // Sharded path.
   std::vector<ChannelShard> shards;
@@ -322,18 +360,23 @@ struct MergeSession::Impl {
   }
 
   void SetupMerge() {
-    const auto counting_sink = [this](JFrame&& jf) { Emit(std::move(jf)); };
     if (config.threads == 1 || traces.size() <= 1) {
       single_mode = true;
-      single_reorder =
-          std::make_unique<ReorderBuffer>(EffectiveHorizon(config),
-                                          counting_sink);
+      // After the user sink returns, whatever buffers it did not steal ride
+      // the carcass back into the pool.
+      single_reorder = std::make_unique<ReorderBuffer>(
+          EffectiveHorizon(config), [this](JFrame&& jf) {
+            Emit(std::move(jf));
+            if (config.use_arena) single_pool.Recycle(std::move(jf));
+          });
       ReorderBuffer* reorder = single_reorder.get();
       single_unifier = std::make_unique<Unifier>(
-          traces, bootstrap, config.unifier, [this, reorder](JFrame&& jf) {
+          traces, bootstrap, config.unifier,
+          [this, reorder](JFrame&& jf) {
             NoteCaptured(jf.timestamp);
             reorder->Push(std::move(jf));
-          });
+          },
+          config.use_arena ? &single_pool : nullptr);
       return;
     }
     shards = traces.PartitionByChannel();
@@ -349,10 +392,12 @@ struct MergeSession::Impl {
       ReorderBuffer* reorder = ls->reorder.get();
       ls->unifier = std::make_unique<Unifier>(
           shards[s].traces, bootstrap.Slice(shards[s].source_index),
-          config.unifier, [this, reorder](JFrame&& jf) {
+          config.unifier,
+          [this, reorder](JFrame&& jf) {
             NoteCaptured(jf.timestamp);
             reorder->Push(std::move(jf));
-          });
+          },
+          config.use_arena ? &ls->pool : nullptr);
       if (!config.spill_dir.empty()) {
         ls->spill = std::make_unique<SpillQueue>(
             config.spill_dir,
@@ -380,7 +425,10 @@ struct MergeSession::Impl {
     }
     ls.spilling = true;
     bool moved = false;
-    while (!ls.queue.empty() && ls.spill->Push(std::move(ls.queue.front()))) {
+    while (!ls.queue.empty() && ls.spill->Push(ls.queue.front())) {
+      // Push serialized without consuming; recycle the carcass (worker
+      // thread, this shard's pool — the barrier orders it vs. emit).
+      if (config.use_arena) ls.pool.Recycle(std::move(ls.queue.front()));
       ls.queue.pop_front();
       moved = true;
     }
@@ -441,6 +489,25 @@ struct MergeSession::Impl {
     return progress;
   }
 
+  // Best-effort round-robin CPU pinning for shard workers (Linux only;
+  // failure — a restricted affinity mask, fewer CPUs than advertised —
+  // falls back to normal scheduling).  Scheduling only: the round barrier
+  // fixes the merge order wherever the workers run.
+  void MaybePin(std::thread& t, unsigned index) {
+#if defined(__linux__)
+    if (!config.pin_threads) return;
+    unsigned ncpu = std::thread::hardware_concurrency();
+    if (ncpu == 0) ncpu = 1;
+    cpu_set_t cpus;
+    CPU_ZERO(&cpus);
+    CPU_SET(index % ncpu, &cpus);
+    pthread_setaffinity_np(t.native_handle(), sizeof(cpus), &cpus);
+#else
+    (void)t;
+    (void)index;
+#endif
+  }
+
   void StartPool() {
     pool.reserve(workers);
     for (unsigned w = 0; w < workers; ++w) {
@@ -469,6 +536,7 @@ struct MergeSession::Impl {
           }
         }
       });
+      MaybePin(pool.back(), w);
     }
   }
 
@@ -574,6 +642,9 @@ struct MergeSession::Impl {
       JFrame jf = TakeShardHead(*live[best]);
       ++merged;
       Emit(std::move(jf));  // user code runs on the Poll() thread
+      // Recycle what the sink left behind into the source shard's pool
+      // (merge phase: the barrier orders this vs. that shard's worker).
+      if (config.use_arena) live[best]->pool.Recycle(std::move(jf));
     }
   }
 
@@ -610,6 +681,31 @@ struct MergeSession::Impl {
 
   void ObserveRetention() {
     peak_retained = std::max(peak_retained, Retained());
+    PublishArenaMetrics();
+  }
+
+  // Folds the pools' own counters into the registry (gauge for parked
+  // carcasses, delta-tracked counter for lifetime recycles).  Runs on the
+  // Poll() thread between rounds, so reading the shard pools is safe.
+  void PublishArenaMetrics() {
+    if (!obs::Enabled() || !config.use_arena) return;
+    std::uint64_t pooled = 0;
+    std::uint64_t recycled = 0;
+    if (single_mode) {
+      pooled = single_pool.pooled();
+      recycled = single_pool.recycled_total();
+    } else {
+      for (const auto& ls : live) {
+        pooled += ls->pool.pooled();
+        recycled += ls->pool.recycled_total();
+      }
+    }
+    PipelineMetrics& m = Metrics();
+    m.arena_pooled.Set(static_cast<std::int64_t>(pooled));
+    if (recycled > arena_recycled_published) {
+      m.arena_recycled.Add(recycled - arena_recycled_published);
+      arena_recycled_published = recycled;
+    }
   }
 
   // ---- polling ------------------------------------------------------------
@@ -652,6 +748,7 @@ struct MergeSession::Impl {
     // spill segments (all replayed by now — SpillQueue's destructor only
     // cleans up files).
     StopPool();
+    PublishArenaMetrics();  // the pools die with `live` below
     final_stats = Stats();
     final_spilled = Spilled();
     live.clear();  // unifiers reference the shard trace sets — drop first

@@ -80,6 +80,17 @@ struct MergeConfig {
   // pipeline degrades to the plain watermark backpressure it has without a
   // spill tier.
   std::uint64_t max_spill_bytes = 0;
+  // Recycle emitted jframe carcasses through per-unifier JFramePools so the
+  // steady-state merge allocates nothing per jframe (body/instance buffers
+  // circulate).  Purely an allocation-strategy knob: the emitted stream is
+  // byte-identical on or off, for every `threads` setting (pinned in
+  // tests/pipeline_test.cc).
+  bool use_arena = true;
+  // Pin shard worker threads round-robin across CPUs (Linux:
+  // pthread_setaffinity_np; elsewhere, and on failure, silently a no-op).
+  // Scheduling only — the round barrier fixes the merge order regardless of
+  // where workers run, so the stream stays byte-identical.
+  bool pin_threads = false;
 };
 
 // Throws std::invalid_argument on inconsistent configuration (today:

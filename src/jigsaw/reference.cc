@@ -29,6 +29,16 @@ std::optional<ParsedFrame> ParseCapture(const CaptureRecord& rec) {
   return ParseFrame(rec.bytes, rec.rate);
 }
 
+bool ParseCaptureInto(const CaptureRecord& rec, ParsedFrame& out) {
+  if (rec.bytes.empty()) {
+    out.frame.Reset();
+    out.fcs_ok = false;
+    out.fcs = 0;
+    return false;
+  }
+  return ParseFrameInto(rec.bytes, rec.rate, out);
+}
+
 ContentKey MakeContentKey(std::span<const std::uint8_t> bytes) {
   return ContentKey{static_cast<std::uint32_t>(bytes.size()),
                     ContentDigest(bytes)};

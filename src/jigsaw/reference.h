@@ -24,6 +24,10 @@ bool IsUniqueReference(const CaptureRecord& rec);
 // Full parse used by unification; nullopt when bytes are unparseable.
 std::optional<ParsedFrame> ParseCapture(const CaptureRecord& rec);
 
+// Allocation-reusing variant for the merge hot path; false when bytes are
+// unparseable (out is left reset).
+bool ParseCaptureInto(const CaptureRecord& rec, ParsedFrame& out);
+
 // Content identity key for grouping instances across radios: length plus a
 // 64-bit digest of the captured bytes.  Equality of keys is always
 // confirmed by byte comparison before unification.

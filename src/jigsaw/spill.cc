@@ -172,7 +172,10 @@ void SpillSegmentWriter::Append(const JFrame& jf) {
 
 void SpillSegmentWriter::FlushBlock() {
   if (pending_count_ == 0) return;
-  const auto packed = LzCompress(pending_);
+  // Fast level: spill blocks are written on the shard worker's round (the
+  // merge hot path) and live only until replay, so compression latency
+  // matters more than ratio here.
+  const auto packed = LzCompress(pending_, LzLevel::kFast);
   WriteU32(file_, static_cast<std::uint32_t>(packed.size()));
   WriteAll(file_, packed.data(), packed.size());
   bytes_written_ += 4 + packed.size();
@@ -278,6 +281,17 @@ bool SpillSegmentReader::LoadNextBlock() {
     while (!r.AtEnd()) block_.push_back(DeserializeJFrame(r));
   } catch (const TraceError&) {
     throw;
+  } catch (const LzTruncatedError& e) {
+    if (strict_) {
+      // The block's framing is on disk but its payload stops short: a crash
+      // mid-spill, same diagnosis as a torn trailing structure.
+      throw TraceTruncatedError(std::string("spill block payload truncated: ") +
+                                e.what());
+    }
+    // Tail mode: the length word said the block is complete, so a short
+    // payload can never heal by waiting — corruption, not frontier.
+    throw TraceCorruptError(std::string("spill block payload truncated: ") +
+                            e.what());
   } catch (const std::exception& e) {
     throw TraceCorruptError(std::string("malformed spill block contents: ") +
                             e.what());
@@ -388,7 +402,7 @@ void SpillQueue::ChargeDelta() {
   }
 }
 
-bool SpillQueue::Push(JFrame&& jf) {
+bool SpillQueue::Push(const JFrame& jf) {
   if (budget_ != nullptr && budget_->Full()) {
     Metrics().backpressure.Add(1);
     return false;

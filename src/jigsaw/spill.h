@@ -169,9 +169,10 @@ class SpillQueue {
   SpillQueue(const SpillQueue&) = delete;
   SpillQueue& operator=(const SpillQueue&) = delete;
 
-  // False when the budget is exhausted (jf is left untouched — the caller
-  // keeps it queued, degrading to plain watermark backpressure).
-  bool Push(JFrame&& jf);
+  // False when the budget is exhausted — the caller keeps jf queued,
+  // degrading to plain watermark backpressure.  On success the caller still
+  // owns jf (it was serialized, not consumed) and may recycle it.
+  bool Push(const JFrame& jf);
   // Publishes everything pushed so far for Pop().
   void Sync();
   // Next jframe in FIFO order; nullopt when everything published has been

@@ -7,12 +7,13 @@
 namespace jig {
 
 Unifier::Unifier(TraceSet& traces, const BootstrapResult& bootstrap,
-                 UnifierConfig config, JFrameSink sink)
-    : traces_(traces), config_(config), sink_(std::move(sink)) {
+                 UnifierConfig config, JFrameSink sink, JFramePool* pool)
+    : traces_(traces), config_(config), sink_(std::move(sink)), pool_(pool) {
   const std::size_t n = traces_.size();
   clocks_.reserve(n);
   heads_.resize(n);
   active_.assign(n, false);
+  queue_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     clocks_.emplace_back(bootstrap.synced[i] ? bootstrap.offset_us[i] : 0.0,
                          config_.skew_ewma_alpha, config_.min_skew_elapsed,
@@ -25,10 +26,24 @@ Unifier::Unifier(TraceSet& traces, const BootstrapResult& bootstrap,
   }
 }
 
+void Unifier::QueuePush(QueueEntry entry) {
+  queue_.push_back(entry);
+  std::push_heap(queue_.begin(), queue_.end(),
+                 [](const QueueEntry& a, const QueueEntry& b) { return b < a; });
+}
+
+Unifier::QueueEntry Unifier::QueuePopMin() {
+  std::pop_heap(queue_.begin(), queue_.end(),
+                [](const QueueEntry& a, const QueueEntry& b) { return b < a; });
+  const QueueEntry entry = queue_.back();
+  queue_.pop_back();
+  return entry;
+}
+
 bool Unifier::Refill(std::size_t trace) {
   heads_[trace].reset();
   for (;;) {
-    auto rec = traces_.at(trace).Next();
+    const CaptureRecord* rec = traces_.at(trace).NextRef();
     if (!rec) {
       if (!traces_.at(trace).Finalized()) return false;  // live: no data yet
       active_[trace] = false;  // exhausted for good
@@ -51,14 +66,14 @@ bool Unifier::Refill(std::size_t trace) {
         continue;
     }
     Head head;
+    head.record = rec;
     head.valid_frame = rec->outcome == RxOutcome::kOk;
     head.unique_reference = head.valid_frame && IsUniqueReference(*rec);
     head.channel = traces_.at(trace).header().channel;
     head.key = MakeContentKey(rec->bytes);
     head.universal = clocks_[trace].ToUniversal(rec->timestamp);
-    head.record = std::move(*rec);
-    heads_[trace] = std::move(head);
-    queue_.insert(QueueEntry{heads_[trace]->universal, trace});
+    heads_[trace] = head;
+    QueuePush(QueueEntry{head.universal, trace});
     return true;
   }
 }
@@ -100,15 +115,13 @@ void Unifier::Run() {
 
 void Unifier::ProcessOneGroup() {
   // Pop the earliest instance and everything within the search window.
-  const QueueEntry seed_entry = *queue_.begin();
-  queue_.erase(queue_.begin());
-  std::vector<std::size_t> candidates;  // trace indices, heads_ populated
-  candidates.push_back(seed_entry.trace);
+  const QueueEntry seed_entry = QueuePopMin();
+  candidates_.clear();
+  candidates_.push_back(seed_entry.trace);
   const double window_end =
       seed_entry.universal + static_cast<double>(config_.search_window);
-  while (!queue_.empty() && queue_.begin()->universal <= window_end) {
-    candidates.push_back(queue_.begin()->trace);
-    queue_.erase(queue_.begin());
+  while (!queue_.empty() && queue_.front().universal <= window_end) {
+    candidates_.push_back(QueuePopMin().trace);
   }
 
   // Choose the representative: the first FCS-valid candidate matching the
@@ -117,11 +130,11 @@ void Unifier::ProcessOneGroup() {
   const Head& seed = *heads_[seed_entry.trace];
   std::size_t rep_trace = seed_entry.trace;
   if (!seed.valid_frame) {
-    for (std::size_t t : candidates) {
+    for (std::size_t t : candidates_) {
       const Head& h = *heads_[t];
       if (h.valid_frame && h.channel == seed.channel &&
-          h.record.orig_len == seed.record.orig_len &&
-          h.record.rate == seed.record.rate) {
+          h.record->orig_len == seed.record->orig_len &&
+          h.record->rate == seed.record->rate) {
         rep_trace = t;
         break;
       }
@@ -130,14 +143,14 @@ void Unifier::ProcessOneGroup() {
   const Head& rep = *heads_[rep_trace];
 
   // Partition candidates into the jframe group vs. reinserted leftovers.
-  std::vector<std::size_t> group;
-  std::vector<std::size_t> leftovers;
+  group_.clear();
+  leftovers_.clear();
   // Identical bytes can recur quickly for non-unique frames; bound the
   // acceptable spread accordingly.
   const double match_limit =
       rep.unique_reference ? static_cast<double>(config_.search_window)
                            : static_cast<double>(config_.duplicate_window);
-  for (std::size_t t : candidates) {
+  for (std::size_t t : candidates_) {
     const Head& h = *heads_[t];
     bool matches = false;
     const double spread = std::abs(h.universal - rep.universal);
@@ -154,26 +167,26 @@ void Unifier::ProcessOneGroup() {
       // Short-circuit on length/rate/digest; confirm with byte comparison
       // (simultaneous distinct transmissions must not unify).
       matches = rep.valid_frame && h.key == rep.key &&
-                h.record.rate == rep.record.rate &&
-                h.record.bytes == rep.record.bytes;
+                h.record->rate == rep.record->rate &&
+                h.record->bytes == rep.record->bytes;
     } else {
       // Corrupted instance: attach by physical identity (length + rate);
       // contents are unusable (paper: matched on the transmitter field,
       // never used for higher layers).
-      matches = h.record.orig_len == rep.record.orig_len &&
-                h.record.rate == rep.record.rate;
+      matches = h.record->orig_len == rep.record->orig_len &&
+                h.record->rate == rep.record->rate;
     }
-    (matches ? group : leftovers).push_back(t);
+    (matches ? group_ : leftovers_).push_back(t);
   }
-  for (std::size_t t : leftovers) {
-    queue_.insert(QueueEntry{heads_[t]->universal, t});
+  for (std::size_t t : leftovers_) {
+    QueuePush(QueueEntry{heads_[t]->universal, t});
   }
 
   if (!rep.valid_frame) {
     // No decodable instance anywhere in the window: the event cannot join a
     // jframe.  (Group is the corrupted seed, possibly plus other corrupted
     // instances — drop them all.)
-    for (std::size_t t : group) {
+    for (std::size_t t : group_) {
       ++stats_.error_events_dropped;
       if (!Refill(t)) starved_.push_back(t);
     }
@@ -181,51 +194,54 @@ void Unifier::ProcessOneGroup() {
   }
 
   // Median timestamp over valid instances.
-  std::vector<double> valid_times;
-  for (std::size_t t : group) {
-    if (heads_[t]->valid_frame) valid_times.push_back(heads_[t]->universal);
+  valid_times_.clear();
+  for (std::size_t t : group_) {
+    if (heads_[t]->valid_frame) valid_times_.push_back(heads_[t]->universal);
   }
-  std::sort(valid_times.begin(), valid_times.end());
-  const double median = valid_times[(valid_times.size() - 1) / 2];
-  const double dispersion = valid_times.back() - valid_times.front();
+  std::sort(valid_times_.begin(), valid_times_.end());
+  const double median = valid_times_[(valid_times_.size() - 1) / 2];
+  const double dispersion = valid_times_.back() - valid_times_.front();
 
   // Resynchronize from unique frames when dispersion warrants it.
   if (rep.unique_reference &&
       dispersion >= static_cast<double>(config_.resync_dispersion_threshold)) {
-    for (std::size_t t : group) {
+    for (std::size_t t : group_) {
       const Head& h = *heads_[t];
       if (!h.valid_frame) continue;
-      clocks_[t].ApplyCorrection(h.record.timestamp, median - h.universal);
+      clocks_[t].ApplyCorrection(h.record->timestamp, median - h.universal);
     }
     ++stats_.resyncs;
   }
 
   // Build and emit the jframe.
-  JFrame jf;
+  JFrame jf = pool_ ? pool_->Acquire() : JFrame{};
   jf.timestamp = static_cast<UniversalMicros>(median);
   jf.dispersion = static_cast<Micros>(dispersion + 0.5);
   jf.channel = traces_.at(rep_trace).header().channel;
-  jf.rate = rep.record.rate;
-  jf.wire_len = rep.record.orig_len;
+  jf.rate = rep.record->rate;
+  jf.wire_len = rep.record->orig_len;
   jf.digest = rep.key.digest;
-  if (auto parsed = ParseCapture(rep.record)) {
-    jf.frame = std::move(parsed->frame);
+  if (ParseCaptureInto(*rep.record, parse_scratch_)) {
+    // Swap rather than move so the pooled body's capacity keeps circulating.
+    std::swap(jf.frame, parse_scratch_.frame);
   }
-  jf.instances.reserve(group.size());
-  for (std::size_t t : group) {
+  jf.instances.reserve(group_.size());
+  for (std::size_t t : group_) {
     const Head& h = *heads_[t];
     FrameInstance inst;
     inst.radio = traces_.at(t).header().radio;
-    inst.local_timestamp = h.record.timestamp;
+    inst.local_timestamp = h.record->timestamp;
     inst.universal_timestamp = static_cast<UniversalMicros>(h.universal);
-    inst.rssi_dbm = h.record.rssi_dbm;
-    inst.outcome = h.record.outcome;
+    inst.rssi_dbm = h.record->rssi_dbm;
+    inst.outcome = h.record->outcome;
     jf.instances.push_back(inst);
     if (!h.valid_frame) ++stats_.error_instances_attached;
     ++stats_.events_unified;
   }
   ++stats_.jframes;
-  for (std::size_t t : group) {
+  // Refill after the jframe is built: advancing a trace invalidates the
+  // borrowed record pointers the build above just read.
+  for (std::size_t t : group_) {
     if (!Refill(t)) starved_.push_back(t);
   }
   sink_(std::move(jf));

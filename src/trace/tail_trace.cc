@@ -153,15 +153,16 @@ bool TailFileTrace::TryLoadNextBlock() {
 }
 
 std::optional<CaptureRecord> TailFileTrace::Next() {
-  while (block_pos_ >= block_records_.size()) {
-    if (!TryLoadNextBlock()) return std::nullopt;
-  }
-  return block_records_[block_pos_++];
+  const CaptureRecord* rec = NextRef();
+  if (!rec) return std::nullopt;
+  return *rec;
 }
 
 const CaptureRecord* TailFileTrace::NextRef() {
-  scan_buffer_ = Next();
-  return scan_buffer_ ? &*scan_buffer_ : nullptr;
+  while (block_pos_ >= block_records_.size()) {
+    if (!TryLoadNextBlock()) return nullptr;
+  }
+  return &block_records_[block_pos_++];
 }
 
 void TailFileTrace::Rewind() {

@@ -73,7 +73,6 @@ class TailFileTrace final : public RecordStream {
   std::vector<CaptureRecord> block_records_;
   std::size_t block_pos_ = 0;
   bool finalized_ = false;
-  std::optional<CaptureRecord> scan_buffer_;  // NextRef's backing storage
 };
 
 }  // namespace jig

@@ -65,21 +65,21 @@ class MemoryTrace final : public RecordStream {
 // File-backed trace.
 class FileTrace final : public RecordStream {
  public:
-  explicit FileTrace(const std::filesystem::path& path) : reader_(path) {}
+  explicit FileTrace(const std::filesystem::path& path,
+                     TraceReadOptions options = {})
+      : reader_(path, options) {}
 
   const TraceHeader& header() const override { return reader_.header(); }
   std::optional<CaptureRecord> Next() override { return reader_.Next(); }
-  const CaptureRecord* NextRef() override {
-    scan_buffer_ = reader_.Next();
-    return scan_buffer_ ? &*scan_buffer_ : nullptr;
-  }
+  // Points into the reader's decoded-block buffer: valid until the next
+  // advance, per the RecordStream contract — no per-record copy.
+  const CaptureRecord* NextRef() override { return reader_.NextRef(); }
   void Rewind() override { reader_.Rewind(); }
 
   TraceFileReader& reader() { return reader_; }
 
  private:
   TraceFileReader reader_;
-  std::optional<CaptureRecord> scan_buffer_;  // NextRef's backing storage
 };
 
 struct ChannelShard;
@@ -104,7 +104,9 @@ class TraceSet {
 
   // Opens every *.jigt file in a directory as one trace set, ordered by
   // radio id so analyses are deterministic regardless of directory order.
-  static TraceSet OpenDirectory(const std::filesystem::path& dir);
+  // `options` (e.g. use_mmap) applies to every opened trace.
+  static TraceSet OpenDirectory(const std::filesystem::path& dir,
+                                TraceReadOptions options = {});
 
   // Live counterpart of OpenDirectory: polls `dir` until `expected_traces`
   // *.jigt files have readable headers (with expected_traces == 0, until

@@ -1,14 +1,20 @@
 #include "util/compression.h"
 
-#include <array>
+#include <algorithm>
+#include <bit>
 #include <cstring>
-#include <stdexcept>
 
 namespace jig {
 namespace {
 
 constexpr std::size_t kHashBits = 15;
 constexpr std::size_t kHashSize = 1u << kHashBits;
+// Hash-chain walk bound for LzLevel::kDefault.  Deep enough to find the
+// long header repeats capture data is full of, small enough that worst-case
+// input degrades to O(n * 32) rather than O(n * window).
+constexpr int kDefaultChainDepth = 32;
+// Sentinel for "no previous position with this hash".
+constexpr std::uint32_t kNilPos = 0xFFFFFFFFu;
 
 std::uint32_t Hash4(const std::uint8_t* p) {
   std::uint32_t v;
@@ -37,44 +43,82 @@ void FlushLiterals(std::vector<std::uint8_t>& out, const std::uint8_t* base,
   }
 }
 
+std::size_t MatchLength(const std::uint8_t* a, const std::uint8_t* b,
+                        std::size_t limit) {
+  std::size_t len = 0;
+  while (len + 8 <= limit) {
+    std::uint64_t va;
+    std::uint64_t vb;
+    std::memcpy(&va, a + len, 8);
+    std::memcpy(&vb, b + len, 8);
+    if (va != vb) {
+      return len + static_cast<std::size_t>(std::countr_zero(va ^ vb) >> 3);
+    }
+    len += 8;
+  }
+  while (len < limit && a[len] == b[len]) ++len;
+  return len;
+}
+
 }  // namespace
 
-std::vector<std::uint8_t> LzCompress(std::span<const std::uint8_t> raw) {
+std::vector<std::uint8_t> LzCompress(std::span<const std::uint8_t> raw,
+                                     LzLevel level) {
   std::vector<std::uint8_t> out;
   out.reserve(raw.size() / 2 + 16);
   PutU32(out, static_cast<std::uint32_t>(raw.size()));
 
   const std::uint8_t* data = raw.data();
   const std::size_t n = raw.size();
-  std::array<std::int64_t, kHashSize> table;
-  table.fill(-1);
+  const int max_chain = level == LzLevel::kFast ? 1 : kDefaultChainDepth;
+
+  // head[h] is the most recent position hashing to h; prev[pos] links each
+  // inserted position to the previous one with the same hash, forming the
+  // chain the finder walks newest-first (so equal-length ties resolve to
+  // the nearest, i.e. smallest, distance).
+  std::vector<std::uint32_t> head(kHashSize, kNilPos);
+  std::vector<std::uint32_t> prev(n >= kLzMinMatch ? n : 0);
+
+  const auto insert = [&](std::size_t i) {
+    const std::uint32_t h = Hash4(data + i);
+    prev[i] = head[h];
+    head[h] = static_cast<std::uint32_t>(i);
+  };
 
   std::size_t pos = 0;
   std::size_t literal_start = 0;
   while (pos + kLzMinMatch <= n) {
-    const std::uint32_t h = Hash4(data + pos);
-    const std::int64_t cand = table[h];
-    table[h] = static_cast<std::int64_t>(pos);
+    std::uint32_t cand = head[Hash4(data + pos)];
+    insert(pos);
 
-    std::size_t match_len = 0;
-    if (cand >= 0 && pos - static_cast<std::size_t>(cand) <= kLzWindow) {
-      const std::uint8_t* a = data + cand;
-      const std::uint8_t* b = data + pos;
-      const std::size_t limit = std::min(n - pos, kLzMaxMatch);
-      while (match_len < limit && a[match_len] == b[match_len]) ++match_len;
+    std::size_t best_len = 0;
+    std::size_t best_dist = 0;
+    const std::size_t limit = std::min(n - pos, kLzMaxMatch);
+    for (int depth = 0; depth < max_chain && cand != kNilPos; ++depth) {
+      const std::size_t dist = pos - cand;
+      if (dist > kLzWindow) break;  // chain positions only get older
+      // Cheap reject: a longer match must agree at the first byte the
+      // current best got wrong.
+      if (best_len == 0 || data[cand + best_len] == data[pos + best_len]) {
+        const std::size_t len = MatchLength(data + cand, data + pos, limit);
+        if (len > best_len) {
+          best_len = len;
+          best_dist = dist;
+          if (len == limit) break;
+        }
+      }
+      cand = prev[cand];
     }
 
-    if (match_len >= kLzMinMatch) {
+    if (best_len >= kLzMinMatch) {
       FlushLiterals(out, data, literal_start, pos);
       out.push_back(static_cast<std::uint8_t>(
-          0x80u | static_cast<std::uint8_t>(match_len - kLzMinMatch)));
-      PutU16(out, static_cast<std::uint16_t>(pos - cand));
+          0x80u | static_cast<std::uint8_t>(best_len - kLzMinMatch)));
+      PutU16(out, static_cast<std::uint16_t>(best_dist));
       // Insert hashes inside the match so later data can reference it.
-      const std::size_t stop = std::min(pos + match_len, n - kLzMinMatch + 1);
-      for (std::size_t i = pos + 1; i < stop; ++i) {
-        table[Hash4(data + i)] = static_cast<std::int64_t>(i);
-      }
-      pos += match_len;
+      const std::size_t stop = std::min(pos + best_len, n - kLzMinMatch + 1);
+      for (std::size_t i = pos + 1; i < stop; ++i) insert(i);
+      pos += best_len;
       literal_start = pos;
     } else {
       ++pos;
@@ -85,14 +129,13 @@ std::vector<std::uint8_t> LzCompress(std::span<const std::uint8_t> raw) {
 }
 
 std::vector<std::uint8_t> LzDecompress(std::span<const std::uint8_t> packed) {
-  if (packed.size() < 4) throw std::runtime_error("LzDecompress: short header");
-  std::uint32_t raw_size;
-  std::memcpy(&raw_size, packed.data(), 4);
-  // Stored little-endian by PutU32 on all supported targets; re-read portably.
-  raw_size = static_cast<std::uint32_t>(packed[0]) |
-             (static_cast<std::uint32_t>(packed[1]) << 8) |
-             (static_cast<std::uint32_t>(packed[2]) << 16) |
-             (static_cast<std::uint32_t>(packed[3]) << 24);
+  if (packed.size() < 4) {
+    throw LzTruncatedError("LzDecompress: short header");
+  }
+  const std::uint32_t raw_size = static_cast<std::uint32_t>(packed[0]) |
+                                 (static_cast<std::uint32_t>(packed[1]) << 8) |
+                                 (static_cast<std::uint32_t>(packed[2]) << 16) |
+                                 (static_cast<std::uint32_t>(packed[3]) << 24);
 
   std::vector<std::uint8_t> out;
   out.reserve(raw_size);
@@ -102,17 +145,27 @@ std::vector<std::uint8_t> LzDecompress(std::span<const std::uint8_t> packed) {
     const std::uint8_t control = packed[pos++];
     if (control < 0x80) {
       const std::size_t run = static_cast<std::size_t>(control) + 1;
-      if (pos + run > n) throw std::runtime_error("LzDecompress: bad literal");
+      if (pos + run > n) {
+        throw LzTruncatedError("LzDecompress: literal run truncated");
+      }
+      if (out.size() + run > raw_size) {
+        throw LzCorruptError("LzDecompress: output exceeds declared raw size");
+      }
       out.insert(out.end(), packed.begin() + pos, packed.begin() + pos + run);
       pos += run;
     } else {
       const std::size_t len = (control & 0x7Fu) + kLzMinMatch;
-      if (pos + 2 > n) throw std::runtime_error("LzDecompress: bad match");
+      if (pos + 2 > n) {
+        throw LzTruncatedError("LzDecompress: match token truncated");
+      }
       const std::size_t dist = static_cast<std::size_t>(packed[pos]) |
                                (static_cast<std::size_t>(packed[pos + 1]) << 8);
       pos += 2;
       if (dist == 0 || dist > out.size()) {
-        throw std::runtime_error("LzDecompress: bad distance");
+        throw LzCorruptError("LzDecompress: bad match distance");
+      }
+      if (out.size() + len > raw_size) {
+        throw LzCorruptError("LzDecompress: output exceeds declared raw size");
       }
       // Byte-by-byte copy: overlapping matches (dist < len) are legal and
       // encode runs, so memcpy would be wrong here.
@@ -121,7 +174,8 @@ std::vector<std::uint8_t> LzDecompress(std::span<const std::uint8_t> packed) {
     }
   }
   if (out.size() != raw_size) {
-    throw std::runtime_error("LzDecompress: size mismatch");
+    throw LzTruncatedError(
+        "LzDecompress: stream ends before declared raw size");
   }
   return out;
 }

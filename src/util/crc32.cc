@@ -1,40 +1,269 @@
 #include "util/crc32.h"
 
-#include <array>
+#include <bit>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
+#define JIG_CRC32_X86 1
+#include <immintrin.h>
+#endif
+
+#if defined(__aarch64__) && defined(__ARM_FEATURE_CRC32)
+#define JIG_CRC32_ARM 1
+#include <arm_acle.h>
+#endif
 
 namespace jig {
 namespace {
 
 constexpr std::uint32_t kPoly = 0xEDB88320u;  // reflected 0x04C11DB7
 
-constexpr std::array<std::uint32_t, 256> MakeTable() {
-  std::array<std::uint32_t, 256> table{};
+// tables.t[0] is the classic byte-at-a-time table; tables.t[k] satisfies
+// t[k][b] = crc of byte b followed by k zero bytes, which is what lets the
+// slice-by-8 loop fold eight input bytes per iteration.
+struct SliceTables {
+  std::uint32_t t[8][256];
+};
+
+constexpr SliceTables MakeTables() {
+  SliceTables s{};
   for (std::uint32_t i = 0; i < 256; ++i) {
     std::uint32_t c = i;
     for (int bit = 0; bit < 8; ++bit) {
       c = (c & 1u) ? (kPoly ^ (c >> 1)) : (c >> 1);
     }
-    table[i] = c;
+    s.t[0][i] = c;
   }
-  return table;
+  for (int k = 1; k < 8; ++k) {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      s.t[k][i] = (s.t[k - 1][i] >> 8) ^ s.t[0][s.t[k - 1][i] & 0xFFu];
+    }
+  }
+  return s;
 }
 
-constexpr auto kTable = MakeTable();
+constexpr SliceTables kTables = MakeTables();
+
+std::uint32_t UpdateSliceBy8(std::uint32_t state, const std::uint8_t* p,
+                             std::size_t n) {
+  std::uint32_t c = state;
+  // The wide loop loads two u32 lanes per step and assumes little-endian
+  // lane layout; big-endian targets stay on the byte loop below.
+  if constexpr (std::endian::native == std::endian::little) {
+    while (n != 0 && (reinterpret_cast<std::uintptr_t>(p) & 7u) != 0) {
+      c = kTables.t[0][(c ^ *p++) & 0xFFu] ^ (c >> 8);
+      --n;
+    }
+    while (n >= 8) {
+      std::uint32_t lo;
+      std::uint32_t hi;
+      std::memcpy(&lo, p, 4);
+      std::memcpy(&hi, p + 4, 4);
+      lo ^= c;
+      c = kTables.t[7][lo & 0xFFu] ^ kTables.t[6][(lo >> 8) & 0xFFu] ^
+          kTables.t[5][(lo >> 16) & 0xFFu] ^ kTables.t[4][lo >> 24] ^
+          kTables.t[3][hi & 0xFFu] ^ kTables.t[2][(hi >> 8) & 0xFFu] ^
+          kTables.t[1][(hi >> 16) & 0xFFu] ^ kTables.t[0][hi >> 24];
+      p += 8;
+      n -= 8;
+    }
+  }
+  while (n != 0) {
+    c = kTables.t[0][(c ^ *p++) & 0xFFu] ^ (c >> 8);
+    --n;
+  }
+  return c;
+}
+
+#if defined(JIG_CRC32_X86)
+
+// PCLMULQDQ fold-by-4 for the reflected IEEE polynomial — the scheme from
+// Gopal et al., "Fast CRC Computation Using PCLMULQDQ Instruction", with
+// the constants for P(x) = 0x104C11DB7.  Needs at least 64 bytes of
+// runway; the dispatcher hands shorter buffers and the tail to the table
+// loop.  NOTE: _mm_crc32_* is deliberately NOT used — that instruction
+// implements CRC-32C (Castagnoli, 0x1EDC6F41), a different polynomial.
+__attribute__((target("pclmul,sse4.1"))) std::uint32_t UpdateClmul(
+    std::uint32_t state, const std::uint8_t* p, std::size_t n) {
+  const __m128i k1k2 = _mm_set_epi64x(0x00000001c6e41596, 0x0000000154442bd4);
+  const __m128i k3k4 = _mm_set_epi64x(0x00000000ccaa009e, 0x00000001751997d0);
+  const __m128i k5 = _mm_set_epi64x(0x0000000000000000, 0x0000000163cd6124);
+  const __m128i poly = _mm_set_epi64x(0x00000001f7011641, 0x00000001db710641);
+  const __m128i mask32 = _mm_setr_epi32(~0, 0, ~0, 0);
+
+  __m128i x1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+  __m128i x2 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 16));
+  __m128i x3 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 32));
+  __m128i x4 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 48));
+  x1 = _mm_xor_si128(x1, _mm_cvtsi32_si128(static_cast<int>(state)));
+  p += 64;
+  n -= 64;
+
+  while (n >= 64) {
+    __m128i t1 = _mm_clmulepi64_si128(x1, k1k2, 0x00);
+    __m128i t2 = _mm_clmulepi64_si128(x2, k1k2, 0x00);
+    __m128i t3 = _mm_clmulepi64_si128(x3, k1k2, 0x00);
+    __m128i t4 = _mm_clmulepi64_si128(x4, k1k2, 0x00);
+    x1 = _mm_clmulepi64_si128(x1, k1k2, 0x11);
+    x2 = _mm_clmulepi64_si128(x2, k1k2, 0x11);
+    x3 = _mm_clmulepi64_si128(x3, k1k2, 0x11);
+    x4 = _mm_clmulepi64_si128(x4, k1k2, 0x11);
+    x1 = _mm_xor_si128(_mm_xor_si128(x1, t1),
+                       _mm_loadu_si128(reinterpret_cast<const __m128i*>(p)));
+    x2 = _mm_xor_si128(
+        _mm_xor_si128(x2, t2),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 16)));
+    x3 = _mm_xor_si128(
+        _mm_xor_si128(x3, t3),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 32)));
+    x4 = _mm_xor_si128(
+        _mm_xor_si128(x4, t4),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 48)));
+    p += 64;
+    n -= 64;
+  }
+
+  // Fold the four 128-bit accumulators into one.
+  __m128i t = _mm_clmulepi64_si128(x1, k3k4, 0x00);
+  x1 = _mm_clmulepi64_si128(x1, k3k4, 0x11);
+  x2 = _mm_xor_si128(x2, _mm_xor_si128(x1, t));
+  t = _mm_clmulepi64_si128(x2, k3k4, 0x00);
+  x2 = _mm_clmulepi64_si128(x2, k3k4, 0x11);
+  x3 = _mm_xor_si128(x3, _mm_xor_si128(x2, t));
+  t = _mm_clmulepi64_si128(x3, k3k4, 0x00);
+  x3 = _mm_clmulepi64_si128(x3, k3k4, 0x11);
+  x4 = _mm_xor_si128(x4, _mm_xor_si128(x3, t));
+  x1 = x4;
+
+  // Fold any remaining whole 16-byte blocks.
+  while (n >= 16) {
+    t = _mm_clmulepi64_si128(x1, k3k4, 0x00);
+    x1 = _mm_clmulepi64_si128(x1, k3k4, 0x11);
+    x1 = _mm_xor_si128(_mm_xor_si128(x1, t),
+                       _mm_loadu_si128(reinterpret_cast<const __m128i*>(p)));
+    p += 16;
+    n -= 16;
+  }
+
+  // 128 -> 64 -> 32 bit reduction (Barrett).
+  t = _mm_clmulepi64_si128(x1, k3k4, 0x10);
+  x1 = _mm_srli_si128(x1, 8);
+  x1 = _mm_xor_si128(x1, t);
+
+  t = _mm_srli_si128(x1, 4);
+  x1 = _mm_and_si128(x1, mask32);
+  x1 = _mm_clmulepi64_si128(x1, k5, 0x00);
+  x1 = _mm_xor_si128(x1, t);
+
+  t = _mm_and_si128(x1, mask32);
+  t = _mm_clmulepi64_si128(t, poly, 0x10);
+  t = _mm_and_si128(t, mask32);
+  t = _mm_clmulepi64_si128(t, poly, 0x00);
+  x1 = _mm_xor_si128(x1, t);
+  std::uint32_t crc = static_cast<std::uint32_t>(_mm_extract_epi32(x1, 1));
+
+  if (n != 0) {
+    crc = UpdateSliceBy8(crc, p, n);
+  }
+  return crc;
+}
+
+std::uint32_t UpdateDispatchClmul(std::uint32_t state, const std::uint8_t* p,
+                                  std::size_t n) {
+  if (n >= 64) {
+    return UpdateClmul(state, p, n);
+  }
+  return UpdateSliceBy8(state, p, n);
+}
+
+bool HaveClmul() {
+  return __builtin_cpu_supports("pclmul") && __builtin_cpu_supports("sse4.1");
+}
+
+#endif  // JIG_CRC32_X86
+
+#if defined(JIG_CRC32_ARM)
+
+// ARMv8's CRC32B/CRC32X implement exactly this (IEEE) polynomial, unlike
+// the x86 CRC32 instruction.
+std::uint32_t UpdateArm(std::uint32_t state, const std::uint8_t* p,
+                        std::size_t n) {
+  std::uint32_t c = state;
+  while (n != 0 && (reinterpret_cast<std::uintptr_t>(p) & 7u) != 0) {
+    c = __crc32b(c, *p++);
+    --n;
+  }
+  while (n >= 8) {
+    std::uint64_t v;
+    std::memcpy(&v, p, 8);
+    c = __crc32d(c, v);
+    p += 8;
+    n -= 8;
+  }
+  while (n != 0) {
+    c = __crc32b(c, *p++);
+    --n;
+  }
+  return c;
+}
+
+#endif  // JIG_CRC32_ARM
+
+using UpdateFn = std::uint32_t (*)(std::uint32_t, const std::uint8_t*,
+                                   std::size_t);
+
+struct Dispatch {
+  UpdateFn fn;
+  Crc32Impl impl;
+};
+
+Dispatch SelectDispatch() {
+#if defined(JIG_CRC32_ARM)
+  return {UpdateArm, Crc32Impl::kArmCrc};
+#elif defined(JIG_CRC32_X86)
+  if (HaveClmul()) {
+    return {UpdateDispatchClmul, Crc32Impl::kClmul};
+  }
+  return {UpdateSliceBy8, Crc32Impl::kSliceBy8};
+#else
+  return {UpdateSliceBy8, Crc32Impl::kSliceBy8};
+#endif
+}
+
+const Dispatch& ActiveDispatch() {
+  static const Dispatch dispatch = SelectDispatch();
+  return dispatch;
+}
 
 }  // namespace
 
 void Crc32Accumulator::Update(std::span<const std::uint8_t> data) {
-  std::uint32_t c = state_;
-  for (std::uint8_t byte : data) {
-    c = kTable[(c ^ byte) & 0xFFu] ^ (c >> 8);
-  }
-  state_ = c;
+  state_ = ActiveDispatch().fn(state_, data.data(), data.size());
 }
 
 std::uint32_t Crc32(std::span<const std::uint8_t> data) {
-  Crc32Accumulator acc;
-  acc.Update(data);
-  return acc.Value();
+  return ActiveDispatch().fn(0xFFFFFFFFu, data.data(), data.size()) ^
+         0xFFFFFFFFu;
 }
+
+Crc32Impl ActiveCrc32Impl() { return ActiveDispatch().impl; }
+
+namespace internal {
+
+std::uint32_t Crc32Reference(std::uint32_t state,
+                             std::span<const std::uint8_t> data) {
+  std::uint32_t c = state;
+  for (std::uint8_t byte : data) {
+    c = kTables.t[0][(c ^ byte) & 0xFFu] ^ (c >> 8);
+  }
+  return c;
+}
+
+std::uint32_t Crc32SliceBy8(std::uint32_t state,
+                            std::span<const std::uint8_t> data) {
+  return UpdateSliceBy8(state, data.data(), data.size());
+}
+
+}  // namespace internal
 
 }  // namespace jig

@@ -5,6 +5,15 @@
 // corrupted captures and as a cheap first-stage comparison key during frame
 // unification (paper Section 4.2), so the implementation lives in util where
 // both the simulator and the core library can reach it.
+//
+// The update loop is runtime-dispatched, fastest available first:
+//   * carry-less-multiply folding (x86 PCLMULQDQ, the zlib/Intel fold-by-4
+//     scheme) for buffers of 64+ bytes,
+//   * ARMv8 CRC32 instructions where the compiler targets them,
+//   * slice-by-8 tables (8 bytes per iteration) everywhere else.
+// Every path computes the identical reflected-0x04C11DB7 CRC; the dispatch
+// is selected once per process and is observable via ActiveCrc32Impl() so
+// tests can assert which engine their differential vectors exercised.
 #pragma once
 
 #include <cstdint>
@@ -27,5 +36,26 @@ class Crc32Accumulator {
  private:
   std::uint32_t state_ = 0xFFFFFFFFu;
 };
+
+// Which engine Crc32/Crc32Accumulator dispatch to in this process.
+enum class Crc32Impl {
+  kSliceBy8,  // portable 8-tables/8-bytes-per-iteration loop
+  kClmul,     // x86 PCLMULQDQ folding (64+ byte buffers; slice-by-8 tail)
+  kArmCrc,    // ARMv8 CRC32B/CRC32X instructions
+};
+Crc32Impl ActiveCrc32Impl();
+
+namespace internal {
+// The original byte-at-a-time table loop, kept as the differential-testing
+// oracle (tests/crc32_test.cc pins every dispatch target against it).
+// `state` is the raw (pre-inverted) register: pass 0xFFFFFFFF and xor the
+// result with 0xFFFFFFFF to get the standard CRC.
+std::uint32_t Crc32Reference(std::uint32_t state,
+                             std::span<const std::uint8_t> data);
+// The portable slice-by-8 loop, directly callable so tests can exercise it
+// even when the process dispatches to a hardware path.
+std::uint32_t Crc32SliceBy8(std::uint32_t state,
+                            std::span<const std::uint8_t> data);
+}  // namespace internal
 
 }  // namespace jig

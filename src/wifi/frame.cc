@@ -1,5 +1,6 @@
 #include "wifi/frame.h"
 
+#include <cstring>
 #include <stdexcept>
 
 #include "util/crc32.h"
@@ -119,18 +120,20 @@ Bytes Frame::Serialize() const {
   return out;
 }
 
-std::optional<ParsedFrame> ParseFrame(std::span<const std::uint8_t> wire,
-                                      PhyRate rate) {
-  if (wire.size() < 14) return std::nullopt;  // smallest frame: ACK/CTS
+bool ParseFrameInto(std::span<const std::uint8_t> wire, PhyRate rate,
+                    ParsedFrame& out) {
+  out.frame.Reset();
+  out.fcs_ok = false;
+  out.fcs = 0;
+  if (wire.size() < 14) return false;  // smallest frame: ACK/CTS
   try {
     ByteReader r(wire);
     const std::uint8_t fc0 = r.U8();
     const std::uint8_t fc1 = r.U8();
-    if ((fc0 & 0x03) != 0) return std::nullopt;  // protocol version != 0
+    if ((fc0 & 0x03) != 0) return false;  // protocol version != 0
     const auto type = FromBits((fc0 >> 2) & 0x03, (fc0 >> 4) & 0x0F);
-    if (!type) return std::nullopt;
+    if (!type) return false;
 
-    ParsedFrame out;
     Frame& f = out.frame;
     f.type = *type;
     f.to_ds = (fc1 & 0x01) != 0;
@@ -151,24 +154,52 @@ std::optional<ParsedFrame> ParseFrame(std::span<const std::uint8_t> wire,
     }
     if (r.remaining() != 4) {
       // Control frames with trailing slack or short frames: reject.
-      if (r.remaining() < 4) return std::nullopt;
+      if (r.remaining() < 4) return false;
       // Longer-than-expected control frame; treat extra as unparsable.
-      return std::nullopt;
+      return false;
     }
     out.fcs = r.U32();
     out.fcs_ok = Crc32(wire.first(wire.size() - 4)) == out.fcs;
-    return out;
+    return true;
   } catch (const std::runtime_error&) {
-    return std::nullopt;  // truncated capture
+    return false;  // truncated capture
   }
 }
 
+std::optional<ParsedFrame> ParseFrame(std::span<const std::uint8_t> wire,
+                                      PhyRate rate) {
+  ParsedFrame out;
+  if (!ParseFrameInto(wire, rate, out)) return std::nullopt;
+  return out;
+}
+
 std::uint64_t ContentDigest(std::span<const std::uint8_t> wire) {
-  std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a offset basis
-  for (std::uint8_t b : wire) {
-    h ^= b;
-    h *= 0x100000001b3ull;
+  // 8-byte-lane multiply-mix with a splitmix64-style final avalanche.
+  // Replaced byte-at-a-time FNV-1a, which was ~18% of merge runtime; the
+  // unifier always confirms digest hits by byte comparison, so only
+  // within-run determinism and collision rate matter.
+  constexpr std::uint64_t kMult = 0x9E3779B97F4A7C15ull;
+  const std::uint8_t* p = wire.data();
+  std::size_t n = wire.size();
+  std::uint64_t h = 0xcbf29ce484222325ull ^ (wire.size() * kMult);
+  while (n >= 8) {
+    std::uint64_t v;
+    std::memcpy(&v, p, 8);
+    h = (h ^ v) * kMult;
+    h ^= h >> 32;
+    p += 8;
+    n -= 8;
   }
+  if (n != 0) {
+    std::uint64_t v = 0;
+    std::memcpy(&v, p, n);
+    h = (h ^ v) * kMult;
+  }
+  h ^= h >> 30;
+  h *= 0xBF58476D1CE4E5B9ull;
+  h ^= h >> 27;
+  h *= 0x94D049BB133111EBull;
+  h ^= h >> 31;
   return h;
 }
 

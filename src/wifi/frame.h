@@ -108,6 +108,19 @@ struct Frame {
   // Air time at this frame's rate, including PLCP overhead.
   Micros AirTimeMicros() const { return TxDurationMicros(rate, WireSize()); }
 
+  // Returns all fields to their default-constructed values while keeping
+  // body's heap allocation, so pooled frames (JFramePool) re-parse without
+  // reallocating.
+  void Reset() {
+    type = FrameType::kData;
+    retry = from_ds = to_ds = false;
+    duration_us = 0;
+    addr1 = addr2 = addr3 = MacAddress();
+    sequence = 0;
+    rate = PhyRate::kB1;
+    body.clear();
+  }
+
   std::string Summary() const;  // one-line human-readable description
 };
 
@@ -125,8 +138,18 @@ struct ParsedFrame {
 std::optional<ParsedFrame> ParseFrame(std::span<const std::uint8_t> wire,
                                       PhyRate rate);
 
-// 64-bit content digest of serialized frame bytes (FNV-1a).  Used as the
-// unification pre-key; equality is always confirmed by byte comparison.
+// Allocation-reusing variant for the merge hot path: parses into `out`,
+// reusing out.frame.body's capacity instead of building a fresh ParsedFrame
+// per capture.  Returns false (leaving `out` reset) on the same inputs for
+// which ParseFrame returns nullopt.
+bool ParseFrameInto(std::span<const std::uint8_t> wire, PhyRate rate,
+                    ParsedFrame& out);
+
+// 64-bit content digest of serialized frame bytes.  Used as the unification
+// pre-key; equality is always confirmed by byte comparison, so the only
+// requirements are determinism within a run and a low collision rate — the
+// implementation is an 8-byte-lane multiply-mix chosen for speed, not a
+// standard hash.
 std::uint64_t ContentDigest(std::span<const std::uint8_t> wire);
 
 // Management-frame body conventions (stand-in for 802.11 capability and ERP

@@ -96,5 +96,107 @@ INSTANTIATE_TEST_SUITE_P(
                                          65535, 65536, 200000),
                        ::testing::Values(2, 16, 256)));
 
+// ---- compression levels ---------------------------------------------------
+
+TEST(CompressionLevels, FastLevelRoundtripsEveryShape) {
+  for (std::size_t size : {1u, 5u, 100u, 65536u, 200000u}) {
+    for (int alphabet : {2, 16, 256}) {
+      const auto data = RandomBytes(size, size * 733 + alphabet, alphabet);
+      EXPECT_EQ(LzDecompress(LzCompress(data, LzLevel::kFast)), data)
+          << "size " << size << " alphabet " << alphabet;
+    }
+  }
+}
+
+TEST(CompressionLevels, LevelsShareOneTokenFormat) {
+  // Both levels feed the same decoder and reproduce the same bytes; the
+  // deeper finder only ever finds better matches, never a new format.
+  Bytes data;
+  Rng rng(17);
+  for (int frame = 0; frame < 300; ++frame) {
+    for (int i = 0; i < 36; ++i) data.push_back(static_cast<std::uint8_t>(i));
+    for (int i = 0; i < 24; ++i) {
+      data.push_back(static_cast<std::uint8_t>(rng.NextBelow(64)));
+    }
+  }
+  const auto fast = LzCompress(data, LzLevel::kFast);
+  const auto deep = LzCompress(data, LzLevel::kDefault);
+  EXPECT_EQ(LzDecompress(fast), data);
+  EXPECT_EQ(LzDecompress(deep), data);
+  EXPECT_LE(deep.size(), fast.size());
+}
+
+TEST(CompressionLevels, CompressionIsDeterministicPerLevel) {
+  const auto data = RandomBytes(50000, 4242, 32);
+  EXPECT_EQ(LzCompress(data, LzLevel::kFast),
+            LzCompress(data, LzLevel::kFast));
+  EXPECT_EQ(LzCompress(data, LzLevel::kDefault),
+            LzCompress(data, LzLevel::kDefault));
+}
+
+TEST(CompressionLevels, DecodesLegacyGreedyFixture) {
+  // Hand-assembled stream in the frozen on-disk token format (the bytes
+  // the original greedy matcher emitted for "abcdabcd"): a 4-literal run
+  // then a length-4 match at distance 4.  Blocks written before the
+  // hash-chain finder must keep decoding forever.
+  const Bytes fixture = {8,    0,   0,   0,    // raw_size = 8
+                         0x03, 'a', 'b', 'c', 'd',
+                         0x80, 4,   0};        // match len 4, dist 4
+  const Bytes expected = {'a', 'b', 'c', 'd', 'a', 'b', 'c', 'd'};
+  EXPECT_EQ(LzDecompress(fixture), expected);
+}
+
+// ---- error taxonomy -------------------------------------------------------
+//
+// Truncation (more bytes could repair it) and corruption (no bytes ever
+// could) surface as distinct types so the trace layer can map them onto
+// TraceTruncatedError / TraceCorruptError.
+
+TEST(CompressionErrors, ShortHeaderIsTruncated) {
+  EXPECT_THROW(LzDecompress(Bytes{}), LzTruncatedError);
+  EXPECT_THROW(LzDecompress(Bytes{1, 2}), LzTruncatedError);
+}
+
+TEST(CompressionErrors, CutLiteralRunIsTruncated) {
+  const Bytes cut = {4, 0, 0, 0, 0x03, 'a'};  // run promises 4, holds 1
+  EXPECT_THROW(LzDecompress(cut), LzTruncatedError);
+}
+
+TEST(CompressionErrors, CutMatchTokenIsTruncated) {
+  const Bytes cut = {8, 0, 0, 0, 0x03, 'a', 'b', 'c', 'd',
+                     0x80, 4};  // one distance byte missing
+  EXPECT_THROW(LzDecompress(cut), LzTruncatedError);
+}
+
+TEST(CompressionErrors, ShortOutputIsTruncated) {
+  const Bytes cut = {8, 0, 0, 0, 0x03, 'a', 'b', 'c', 'd'};  // 4 of 8
+  EXPECT_THROW(LzDecompress(cut), LzTruncatedError);
+}
+
+TEST(CompressionErrors, BadDistanceIsCorrupt) {
+  EXPECT_THROW(LzDecompress(Bytes{4, 0, 0, 0, 0x80, 9, 0}), LzCorruptError);
+  const Bytes zero_dist = {8, 0, 0, 0, 0x03, 'a', 'b', 'c', 'd',
+                           0x80, 0, 0};
+  EXPECT_THROW(LzDecompress(zero_dist), LzCorruptError);
+}
+
+TEST(CompressionErrors, OverlongOutputIsCorrupt) {
+  // Declared raw size 4 but the stream produces 8: garbage, not a torn
+  // write — waiting for more bytes cannot fix it.
+  const Bytes overlong = {4, 0, 0, 0, 0x03, 'a', 'b', 'c', 'd',
+                          0x80, 1, 0};
+  EXPECT_THROW(LzDecompress(overlong), LzCorruptError);
+}
+
+TEST(CompressionErrors, BothKindsAreLzErrorsAndRuntimeErrors) {
+  // Pre-taxonomy call sites caught std::runtime_error; that must keep
+  // working.
+  EXPECT_THROW(LzDecompress(Bytes{1, 2}), LzError);
+  EXPECT_THROW(LzDecompress(Bytes{1, 2}), std::runtime_error);
+  EXPECT_THROW(LzDecompress(Bytes{4, 0, 0, 0, 0x80, 9, 0}), LzError);
+  EXPECT_THROW(LzDecompress(Bytes{4, 0, 0, 0, 0x80, 9, 0}),
+               std::runtime_error);
+}
+
 }  // namespace
 }  // namespace jig

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <iterator>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -77,6 +81,83 @@ TEST_P(Crc32LengthTest, DeterministicPerLength) {
 INSTANTIATE_TEST_SUITE_P(Lengths, Crc32LengthTest,
                          ::testing::Values(0, 1, 2, 3, 4, 7, 8, 63, 64, 255,
                                            1024, 1500));
+
+// ---- differential coverage of the dispatched engines ----------------------
+//
+// Crc32() routes through slice-by-8 and (on capable hardware) PCLMUL/ARM
+// CRC fast paths.  Every one of them must agree with the byte-at-a-time
+// reference loop on arbitrary buffers — lengths straddling the 64-byte
+// hardware cutover, unaligned starts, and chunked accumulation.
+
+std::vector<std::uint8_t> PseudoRandom(std::size_t n, std::uint64_t seed) {
+  std::vector<std::uint8_t> out(n);
+  std::uint64_t x = seed * 0x9E3779B97F4A7C15ull + 1;
+  for (auto& b : out) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    b = static_cast<std::uint8_t>(x);
+  }
+  return out;
+}
+
+std::uint32_t ReferenceCrc(std::span<const std::uint8_t> data) {
+  return internal::Crc32Reference(0xFFFFFFFFu, data) ^ 0xFFFFFFFFu;
+}
+
+TEST(Crc32Differential, ActiveImplIsOneOfTheKnownEngines) {
+  const Crc32Impl impl = ActiveCrc32Impl();
+  EXPECT_TRUE(impl == Crc32Impl::kSliceBy8 || impl == Crc32Impl::kClmul ||
+              impl == Crc32Impl::kArmCrc);
+}
+
+TEST(Crc32Differential, DispatchedMatchesReferenceAcrossLengths) {
+  // Every length 0..300, then strides through block-sized buffers: covers
+  // the <64-byte slice-by-8-only range, the hardware cutover, alignment
+  // head/tail handling, and multi-fold runs.
+  for (std::size_t len = 0; len <= 300; ++len) {
+    const auto data = PseudoRandom(len, len + 1);
+    EXPECT_EQ(Crc32(data), ReferenceCrc(data)) << "len " << len;
+  }
+  for (std::size_t len : {512u, 1000u, 1500u, 4096u, 65537u}) {
+    const auto data = PseudoRandom(len, len);
+    EXPECT_EQ(Crc32(data), ReferenceCrc(data)) << "len " << len;
+  }
+}
+
+TEST(Crc32Differential, SliceBy8MatchesReferenceEvenWhenNotDispatched) {
+  for (std::size_t len : {0u, 1u, 7u, 8u, 9u, 63u, 64u, 65u, 333u, 4096u}) {
+    const auto data = PseudoRandom(len, len * 7 + 3);
+    EXPECT_EQ(internal::Crc32SliceBy8(0xFFFFFFFFu, data) ^ 0xFFFFFFFFu,
+              ReferenceCrc(data))
+        << "len " << len;
+  }
+}
+
+TEST(Crc32Differential, UnalignedStartsMatchReference) {
+  const auto data = PseudoRandom(4096 + 16, 42);
+  for (std::size_t off = 0; off < 16; ++off) {
+    const std::span<const std::uint8_t> view(data.data() + off, 4096);
+    EXPECT_EQ(Crc32(view), ReferenceCrc(view)) << "offset " << off;
+  }
+}
+
+TEST(Crc32Differential, ChunkedAccumulatorMatchesReference) {
+  // Feed one buffer in awkward chunk sizes (1, 3, 17, 64, 255...) so the
+  // accumulator repeatedly enters and leaves the hardware path mid-stream.
+  const auto data = PseudoRandom(10000, 7);
+  const std::size_t chunks[] = {1, 3, 17, 64, 255, 1000};
+  std::size_t pos = 0;
+  std::size_t which = 0;
+  Crc32Accumulator acc;
+  while (pos < data.size()) {
+    const std::size_t take =
+        std::min(chunks[which++ % std::size(chunks)], data.size() - pos);
+    acc.Update(std::span(data.data() + pos, take));
+    pos += take;
+  }
+  EXPECT_EQ(acc.Value(), ReferenceCrc(data));
+}
 
 }  // namespace
 }  // namespace jig

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <string>
 #include <thread>
 
 #include "jframe_equality.h"
@@ -208,6 +210,60 @@ TEST(ParallelMerge, ScenarioStreamMatchesLegacy) {
   // is reversed internally): a third merge sees the same stream.
   const auto again = MergeTraces(traces, pcfg);
   ExpectIdenticalStreams(legacy.jframes, again.jframes);
+}
+
+// The performance-knob matrix: mmap'd trace reads, arena recycling and
+// thread count are pure speed knobs — every combination must emit the
+// stream the defaults emit, byte for byte.  The traces go through a .jigt
+// round trip so the mmap'd read path is actually exercised.
+TEST(PerfKnobMatrix, ByteIdenticalAcrossMmapArenaThreads) {
+  namespace fs = std::filesystem;
+  auto mem_traces = MultiChannelNetwork(21).Build();
+  const auto base = MergeTraces(mem_traces);  // threads=1, defaults
+  ASSERT_GT(base.jframes.size(), 100u);
+  const fs::path dir =
+      fs::temp_directory_path() / "jig_pipeline_knob_matrix";
+  fs::remove_all(dir);
+  mem_traces.WriteDirectory(dir);
+
+  for (bool use_mmap : {false, true}) {
+    for (bool use_arena : {false, true}) {
+      for (unsigned threads : {1u, 2u, 0u}) {
+        SCOPED_TRACE("mmap=" + std::to_string(use_mmap) +
+                     " arena=" + std::to_string(use_arena) +
+                     " threads=" + std::to_string(threads));
+        TraceReadOptions opts;
+        opts.use_mmap = use_mmap;
+        TraceSet traces = TraceSet::OpenDirectory(dir, opts);
+        ASSERT_EQ(traces.size(), mem_traces.size());
+        MergeConfig cfg;
+        cfg.threads = threads;
+        cfg.use_arena = use_arena;
+        const auto result = MergeTraces(traces, cfg);
+        ExpectIdenticalStreams(base.jframes, result.jframes);
+        ExpectEqualStats(base.stats, result.stats);
+      }
+    }
+  }
+  fs::remove_all(dir);
+}
+
+// pin_threads only nails workers to CPUs; the round barrier fixes the
+// merge order wherever they run, so the stream must not move by a byte.
+TEST(PerfKnobMatrix, PinnedWorkersMatchUnpinnedStream) {
+  auto base_traces = MultiChannelNetwork(23).Build();
+  const auto base = MergeTraces(base_traces);
+  ASSERT_GT(base.jframes.size(), 100u);
+  for (unsigned threads : {2u, 0u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    auto traces = MultiChannelNetwork(23).Build();
+    MergeConfig cfg;
+    cfg.threads = threads;
+    cfg.pin_threads = true;
+    const auto pinned = MergeTraces(traces, cfg);
+    ExpectIdenticalStreams(base.jframes, pinned.jframes);
+    ExpectEqualStats(base.stats, pinned.stats);
+  }
 }
 
 TEST(ParallelMerge, SinkRunsOnCallingThread) {
