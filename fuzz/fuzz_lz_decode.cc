@@ -1,0 +1,29 @@
+// Fuzz harness for the LZ block decoder (src/util/compression.h).
+//
+// Invariant under test: for ANY input bytes, LzDecompress either returns a
+// decoded buffer or throws exactly the documented taxonomy (LzError:
+// LzTruncatedError / LzCorruptError).  Anything else — a crash, a hang, an
+// OOM from a hostile declared size, or a different exception type — is a
+// bug.  On success, a compress→decompress round trip of the decoded bytes
+// must reproduce them exactly.
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "util/compression.h"
+
+#include "standalone_driver.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  try {
+    const auto raw = jig::LzDecompress(std::span<const std::uint8_t>(data, size));
+    // Decoded OK: the codec must round-trip its own output.
+    const auto repacked = jig::LzCompress(raw);
+    const auto again = jig::LzDecompress(repacked);
+    if (again != raw) __builtin_trap();
+  } catch (const jig::LzError&) {
+    // Documented taxonomy — expected for malformed input.
+  }
+  return 0;
+}

@@ -1,0 +1,173 @@
+// Standalone entry point for the fuzz harnesses when libFuzzer is absent.
+//
+// Every harness defines the libFuzzer hook
+//
+//   extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+//
+// With clang, fuzz/CMakeLists.txt links -fsanitize=fuzzer (defining
+// JIG_FUZZ_LIBFUZZER) and libFuzzer supplies main().  gcc ships no
+// libFuzzer, so this header supplies a main() that keeps the harnesses
+// useful in a gcc+ASan/UBSan build:
+//
+//   fuzz_x [-mutations=N] [-seed=S] <corpus file or dir>...
+//
+// Pass 1 replays every corpus input verbatim (regression mode: exactly what
+// CI's fuzz-smoke job does with the committed corpus).  With -mutations=N,
+// pass 2 runs N additional executions, each a corpus input put through a
+// small stack of deterministic mutations (bit flips, byte sets, truncation,
+// chunk duplication, cross-splices) from a fixed-seed xorshift PRNG — the
+// same inputs on every run, so a failure reproduces with the same command.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+#if !defined(JIG_FUZZ_LIBFUZZER)
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace jig_fuzz {
+
+using Input = std::vector<std::uint8_t>;
+
+// xorshift64*: deterministic across platforms, no <random> (the linter-level
+// ban on std::random_device extends in spirit to the fuzz driver — runs must
+// reproduce from the command line alone).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed ? seed : 0x9E3779B97F4A7C15ull) {}
+  std::uint64_t Next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545F4914F6CDD1Dull;
+  }
+  std::size_t Below(std::size_t n) { return n ? Next() % n : 0; }
+
+ private:
+  std::uint64_t state_;
+};
+
+inline void Mutate(Input& in, Rng& rng, const std::vector<Input>& corpus) {
+  const int n_ops = 1 + static_cast<int>(rng.Below(8));
+  for (int op = 0; op < n_ops; ++op) {
+    switch (rng.Below(6)) {
+      case 0:  // bit flip
+        if (!in.empty()) in[rng.Below(in.size())] ^= 1u << rng.Below(8);
+        break;
+      case 1:  // byte set (favors framing-relevant values)
+        if (!in.empty()) {
+          static constexpr std::uint8_t kMagic[] = {0x00, 0x01, 0x7F, 0x80,
+                                                    0xFF, 0xFE, 0x20, 0x40};
+          in[rng.Below(in.size())] = kMagic[rng.Below(sizeof kMagic)];
+        }
+        break;
+      case 2:  // truncate
+        if (!in.empty()) in.resize(rng.Below(in.size()));
+        break;
+      case 3: {  // duplicate a chunk in place
+        if (in.empty()) break;
+        const std::size_t at = rng.Below(in.size());
+        const std::size_t len = 1 + rng.Below(in.size() - at);
+        Input chunk(in.begin() + static_cast<std::ptrdiff_t>(at),
+                    in.begin() + static_cast<std::ptrdiff_t>(at + len));
+        in.insert(in.begin() + static_cast<std::ptrdiff_t>(at), chunk.begin(),
+                  chunk.end());
+        break;
+      }
+      case 4: {  // splice a window from another corpus input
+        if (corpus.empty()) break;
+        const Input& other = corpus[rng.Below(corpus.size())];
+        if (other.empty() || in.empty()) break;
+        const std::size_t src = rng.Below(other.size());
+        const std::size_t len =
+            1 + rng.Below(std::min<std::size_t>(other.size() - src, 64));
+        const std::size_t dst = rng.Below(in.size());
+        for (std::size_t i = 0; i < len && dst + i < in.size(); ++i) {
+          in[dst + i] = other[src + i];
+        }
+        break;
+      }
+      default:  // insert random bytes
+        in.insert(in.begin() + static_cast<std::ptrdiff_t>(rng.Below(in.size() + 1)),
+                  static_cast<std::uint8_t>(rng.Next()));
+        break;
+    }
+  }
+  // Bound growth so repeated duplication cannot balloon an input.
+  if (in.size() > (1u << 16)) in.resize(1u << 16);
+}
+
+inline int Main(int argc, char** argv) {
+  namespace fs = std::filesystem;
+  std::uint64_t mutations = 0;
+  std::uint64_t seed = 1;
+  std::vector<fs::path> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("-mutations=", 0) == 0) {
+      mutations = std::stoull(arg.substr(11));
+    } else if (arg.rfind("-seed=", 0) == 0) {
+      seed = std::stoull(arg.substr(6));
+    } else {
+      roots.emplace_back(arg);
+    }
+  }
+
+  std::vector<Input> corpus;
+  for (const fs::path& root : roots) {
+    std::vector<fs::path> files;
+    if (fs::is_directory(root)) {
+      for (const auto& ent : fs::recursive_directory_iterator(root)) {
+        if (ent.is_regular_file()) files.push_back(ent.path());
+      }
+    } else {
+      files.push_back(root);
+    }
+    // Directory iteration order is unspecified; sort for reproducibility.
+    std::sort(files.begin(), files.end());
+    for (const fs::path& p : files) {
+      std::ifstream f(p, std::ios::binary);
+      if (!f) {
+        std::fprintf(stderr, "cannot read corpus file: %s\n",
+                     p.string().c_str());
+        return 2;
+      }
+      corpus.emplace_back(std::istreambuf_iterator<char>(f),
+                          std::istreambuf_iterator<char>());
+    }
+  }
+
+  // Pass 1: replay the corpus verbatim.
+  for (const Input& in : corpus) {
+    LLVMFuzzerTestOneInput(in.data(), in.size());
+  }
+
+  // Pass 2: deterministic mutation loop.
+  Rng rng(seed);
+  for (std::uint64_t i = 0; i < mutations; ++i) {
+    Input in = corpus.empty() ? Input{} : corpus[i % corpus.size()];
+    Mutate(in, rng, corpus);
+    LLVMFuzzerTestOneInput(in.data(), in.size());
+  }
+
+  std::printf("standalone fuzz driver: %zu corpus inputs, %llu mutations, "
+              "no crashes\n",
+              corpus.size(), static_cast<unsigned long long>(mutations));
+  return 0;
+}
+
+}  // namespace jig_fuzz
+
+int main(int argc, char** argv) { return jig_fuzz::Main(argc, argv); }
+
+#endif  // !JIG_FUZZ_LIBFUZZER

@@ -1,5 +1,6 @@
 #include "jigsaw/analysis/coverage.h"
 
+#include <algorithm>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -60,7 +61,7 @@ CoverageReport WiredCoverageMatcher::Match(
     const std::vector<WiredRecord>& wired) const {
   const auto& air_keys = air_keys_;
   CoverageReport report;
-  std::unordered_map<MacAddress, StationCoverage> stations;
+  std::unordered_map<MacAddress, StationCoverage> by_station;
   for (const WiredRecord& rec : wired) {
     if (rec.ip_proto != kIpProtoTcp) continue;
     // Which station transmits (or will transmit) the corresponding DATA
@@ -68,7 +69,7 @@ CoverageReport WiredCoverageMatcher::Match(
     const MacAddress station = rec.to_wireless
                                    ? MacAddress::Ap(rec.ap_index)
                                    : rec.wireless_station;
-    auto [it, inserted] = stations.try_emplace(station);
+    auto [it, inserted] = by_station.try_emplace(station);
     if (inserted) {
       it->second.station = station;
       it->second.is_ap = rec.to_wireless;
@@ -80,8 +81,15 @@ CoverageReport WiredCoverageMatcher::Match(
       ++report.matched_packets;
     }
   }
-  report.stations.reserve(stations.size());
-  for (auto& [mac, sc] : stations) report.stations.push_back(sc);
+  report.stations.reserve(by_station.size());
+  // lint-determinism: allow(collection only; sorted by station MAC below)
+  for (auto& [mac, sc] : by_station) report.stations.push_back(sc);
+  // Hash-map order must not leak into the report: downstream figures and
+  // summaries render stations in vector order.
+  std::sort(report.stations.begin(), report.stations.end(),
+            [](const StationCoverage& a, const StationCoverage& b) {
+              return a.station < b.station;
+            });
   return report;
 }
 

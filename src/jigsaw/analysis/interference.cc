@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 #include <map>
+#include <tuple>
 #include <unordered_map>
 #include <vector>
 
@@ -125,17 +126,31 @@ InterferenceReport InterferenceTracker::Snapshot() const {
   const Impl& im = *impl_;
   InterferenceReport report;
   report.total_pairs_seen = im.pairs.size();
-  double bg_sum = 0.0;
-  std::size_t interfered = 0, truncated = 0, ap_senders = 0;
+  // Collect first, then sort on a total deterministic key, and only then
+  // accumulate: float addition is rounding-order sensitive, so folding
+  // bg_sum in hash-iteration order would make mean_background_loss (and the
+  // tie order of equal-X pairs) depend on the hash table's layout — exactly
+  // what the byte-identity contract forbids.
+  // lint-determinism: allow(collection only; sorted below before any fold)
   for (const auto& [key, pi] : im.pairs) {
     if (pi.n < im.config.min_packets) continue;
+    report.pairs.push_back(pi);
+  }
+  std::sort(report.pairs.begin(), report.pairs.end(),
+            [](const PairInterference& a, const PairInterference& b) {
+              return std::tuple(a.X(), a.sender, a.receiver) <
+                     std::tuple(b.X(), b.sender, b.receiver);
+            });
+  double bg_sum = 0.0;
+  std::size_t interfered = 0, truncated = 0, ap_senders = 0;
+  // lint-determinism: allow(report.pairs is the sorted vector, not the map)
+  for (const PairInterference& pi : report.pairs) {
     bg_sum += pi.BackgroundLossRate();
     if (pi.Pi() > 0.0) {
       ++interfered;
       if (pi.sender.IsApTag()) ++ap_senders;
     }
     if (pi.XTruncated()) ++truncated;
-    report.pairs.push_back(pi);
   }
   const std::size_t kept = report.pairs.size();
   report.mean_background_loss = kept ? bg_sum / kept : 0.0;
@@ -145,10 +160,6 @@ InterferenceReport InterferenceTracker::Snapshot() const {
       kept ? static_cast<double>(truncated) / kept : 0.0;
   report.ap_sender_fraction =
       interfered ? static_cast<double>(ap_senders) / interfered : 0.0;
-  std::sort(report.pairs.begin(), report.pairs.end(),
-            [](const PairInterference& a, const PairInterference& b) {
-              return a.X() < b.X();
-            });
   return report;
 }
 

@@ -94,6 +94,7 @@ ProtectionSeries ComputeProtection(const std::vector<JFrame>& jframes,
 
     // Evaluate AP protection state at the end of the bin.
     std::unordered_set<MacAddress> overprotective;
+    // lint-determinism: allow(builds a set consumed only via contains/size)
     for (const auto& [ap, t_cts] : last_cts) {
       if (bin_end - t_cts > config.protection_active_window) continue;
       auto bit = last_b_seen.find(ap);

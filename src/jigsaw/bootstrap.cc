@@ -101,12 +101,17 @@ BootstrapResult BootstrapSynchronize(TraceSet& traces,
     std::unordered_map<ContentKey, bool> in_g;
     std::vector<std::pair<ContentKey, const std::vector<Sighting>*>> best(
         n, {ContentKey{}, nullptr});
+    // Winner per trace is the (size, key)-maximal set — a total order, so
+    // the hash-map visit order cannot influence which set is chosen even
+    // when several candidates tie on size.
+    // lint-determinism: allow(selection is by (size, key) total order)
     for (const auto& [key, sightings] : sets) {
       if (sightings.size() < config.min_set_size) continue;
       for (const Sighting& s : sightings) {
-        if (!best[s.trace].second ||
-            sightings.size() > best[s.trace].second->size()) {
-          best[s.trace] = {key, &sightings};
+        auto& cur = best[s.trace];
+        if (!cur.second || sightings.size() > cur.second->size() ||
+            (sightings.size() == cur.second->size() && key < cur.first)) {
+          cur = {key, &sightings};
         }
       }
     }
@@ -146,17 +151,23 @@ BootstrapResult BootstrapSynchronize(TraceSet& traces,
         if (!inserted) unite(it->second, i);
       }
     }
-    // Larger sets first: fewer additions bridge more.
-    std::vector<const std::vector<Sighting>*> spare;
+    // Larger sets first: fewer additions bridge more.  Ties on size are
+    // broken by content key so the admission order (and therefore which
+    // sets end up bridging) is independent of hash-map layout.
+    std::vector<std::pair<ContentKey, const std::vector<Sighting>*>> spare;
+    // lint-determinism: allow(collection only; sorted by (size, key) below)
     for (const auto& [key, sightings] : sets) {
       if (sightings.size() < config.min_set_size) continue;
       if (in_g[key]) continue;
-      spare.push_back(&sightings);
+      spare.emplace_back(key, &sightings);
     }
-    std::sort(spare.begin(), spare.end(), [](const auto* a, const auto* b) {
-      return a->size() > b->size();
+    std::sort(spare.begin(), spare.end(), [](const auto& a, const auto& b) {
+      if (a.second->size() != b.second->size()) {
+        return a.second->size() > b.second->size();
+      }
+      return a.first < b.first;
     });
-    for (const auto* sightings : spare) {
+    for (const auto& [key, sightings] : spare) {
       bool bridges = false;
       const std::size_t root = find((*sightings)[0].trace);
       for (std::size_t k = 1; k < sightings->size(); ++k) {

@@ -525,6 +525,7 @@ void LinkReconstructor::Flush() {
   // jframe) order; the release buffer re-sorts with finalize order as the
   // tie-break, exactly like mid-stream emission.
   std::vector<MacAddress> still_open;
+  // lint-determinism: allow(keys collected then sorted below before emission)
   for (const auto& [mac, p] : im.pending) {
     if (p.open) still_open.push_back(mac);
   }

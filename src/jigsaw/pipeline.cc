@@ -135,6 +135,10 @@ struct PipelineMetrics {
   obs::Counter& arena_recycled = obs::MetricRegistry::Global().GetCounter(
       "jig_arena_jframes_recycled_total",
       "JFrame carcasses recycled through merge arena pools");
+  obs::Counter& pin_failures = obs::MetricRegistry::Global().GetCounter(
+      "jig_pipeline_pin_failures_total",
+      "Worker CPU-pinning attempts the kernel rejected (fell back to "
+      "normal scheduling)");
 };
 
 PipelineMetrics& Metrics() {
@@ -501,7 +505,12 @@ struct MergeSession::Impl {
     cpu_set_t cpus;
     CPU_ZERO(&cpus);
     CPU_SET(index % ncpu, &cpus);
-    pthread_setaffinity_np(t.native_handle(), sizeof(cpus), &cpus);
+    // "Silently a no-op" (pipeline.h) means the pipeline keeps working, not
+    // that the failure is invisible: count rejections so a deployment that
+    // thinks it pinned (cgroup cpuset, restricted mask) can see it did not.
+    if (pthread_setaffinity_np(t.native_handle(), sizeof(cpus), &cpus) != 0) {
+      if (obs::Enabled()) Metrics().pin_failures.Add(1);
+    }
 #else
     (void)t;
     (void)index;

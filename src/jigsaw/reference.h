@@ -34,7 +34,11 @@ bool ParseCaptureInto(const CaptureRecord& rec, ParsedFrame& out);
 struct ContentKey {
   std::uint32_t length = 0;
   std::uint64_t digest = 0;
-  bool operator==(const ContentKey&) const = default;
+  // Total order so selection among keys can tie-break deterministically
+  // (bootstrap's reference-set choice) instead of falling back to hash
+  // iteration order.  Digest values are in-run-stable (FORMATS.md), which is
+  // all the byte-identity contract needs.
+  friend auto operator<=>(const ContentKey&, const ContentKey&) = default;
 };
 
 ContentKey MakeContentKey(std::span<const std::uint8_t> bytes);

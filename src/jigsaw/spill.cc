@@ -118,6 +118,13 @@ JFrame DeserializeJFrame(ByteReader& r) {
   const auto body = r.Raw(body_len);
   f.body.assign(body.begin(), body.end());
   const auto n_instances = static_cast<std::size_t>(r.Varint());
+  // Each instance occupies 23 wire bytes (u16+i64+i64+u32+u8); a declared
+  // count the remaining input cannot hold is corrupt, and reserving for it
+  // unchecked would let a hostile varint demand gigabytes up front.
+  constexpr std::size_t kInstanceWireBytes = 2 + 8 + 8 + 4 + 1;
+  if (n_instances > r.remaining() / kInstanceWireBytes) {
+    throw std::runtime_error("JFrame instance count exceeds available input");
+  }
   jf.instances.reserve(n_instances);
   for (std::size_t i = 0; i < n_instances; ++i) {
     FrameInstance inst;
@@ -212,29 +219,35 @@ SpillSegmentReader::SpillSegmentReader(const fs::path& path, bool strict)
     throw std::runtime_error("cannot open spill segment for reading: " +
                              path.string());
   }
-  char magic[4];
-  ReadAll(file_, magic, 4);
-  if (std::memcmp(magic, kSpillMagic, 4) != 0) {
-    std::fclose(file_);
-    file_ = nullptr;
-    throw TraceCorruptError("bad spill segment magic: " + path.string());
-  }
-  std::uint32_t version = 0;
-  std::uint32_t hdr_len = 0;
+  // Everything after the fopen sits inside one try so the FILE* is closed
+  // on ANY parse failure — including the magic read, which previously sat
+  // outside and leaked the descriptor on a truncated-magic segment.
   try {
-    version = ReadU32(file_);
+    char magic[4];
+    ReadAll(file_, magic, 4);
+    if (std::memcmp(magic, kSpillMagic, 4) != 0) {
+      throw TraceCorruptError("bad spill segment magic: " + path.string());
+    }
+    const std::uint32_t version = ReadU32(file_);
     if (version != kSpillVersion) {
       throw TraceCorruptError("unsupported spill segment version " +
                               std::to_string(version) + ": " + path.string());
     }
-    hdr_len = ReadU32(file_);
+    const std::uint32_t hdr_len = ReadU32(file_);
     if (hdr_len > kMaxSpillBlockLen) {
       throw TraceCorruptError("garbage spill header length: " + path.string());
     }
     Bytes hdr(hdr_len);
     ReadAll(file_, hdr.data(), hdr_len);
     ByteReader hr(hdr);
-    header_ = DeserializeSegmentHeader(hr);
+    try {
+      header_ = DeserializeSegmentHeader(hr);
+    } catch (const std::exception& e) {
+      // ByteReader underflow is a plain runtime_error; map it into the
+      // taxonomy so callers only ever see TraceError for bad segment data.
+      throw TraceCorruptError(std::string("malformed spill segment header: ") +
+                              e.what());
+    }
   } catch (...) {
     std::fclose(file_);
     file_ = nullptr;

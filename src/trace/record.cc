@@ -44,7 +44,12 @@ void SerializeRecord(const CaptureRecord& rec, LocalMicros prev_timestamp,
 
 CaptureRecord DeserializeRecord(ByteReader& r, LocalMicros prev_timestamp) {
   CaptureRecord rec;
-  rec.timestamp = prev_timestamp + r.SVarint();
+  // Unsigned addition: a hostile delta would make the signed sum overflow,
+  // which is UB — wraparound gives the same value for every valid trace and
+  // a defined (if meaningless) one for corrupt input.
+  rec.timestamp = static_cast<LocalMicros>(
+      static_cast<std::uint64_t>(prev_timestamp) +
+      static_cast<std::uint64_t>(r.SVarint()));
   rec.outcome = static_cast<RxOutcome>(r.U8());
   rec.rssi_dbm = static_cast<float>(static_cast<std::int16_t>(r.U16())) / 4.0F;
   rec.rate = static_cast<PhyRate>(r.U8());

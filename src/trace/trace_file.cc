@@ -146,51 +146,81 @@ TraceFileReader::TraceFileReader(const std::filesystem::path& path,
     throw std::runtime_error("cannot open trace for reading: " +
                              path.string());
   }
-  char magic[4];
-  ReadAll(file_, magic, 4);
-  if (std::memcmp(magic, kTraceDataMagic, 4) != 0) {
-    throw TraceCorruptError("bad trace magic: " + path.string());
-  }
-  if (ReadU32(file_) != kTraceVersion) {
-    throw TraceCorruptError("bad trace version: " + path.string());
-  }
-  const std::uint32_t hdr_len = ReadU32(file_);
-  if (hdr_len > kMaxPackedBlockLen) {
-    throw TraceCorruptError("garbage header length: " + path.string());
-  }
-  Bytes hdr(hdr_len);
-  ReadAll(file_, hdr.data(), hdr_len);
-  ByteReader hr(hdr);
-  header_ = DeserializeHeader(hr);
+  // Everything after the fopen sits inside one try so the FILE* is closed
+  // on ANY parse failure — constructor throws skip the destructor, and a
+  // fuzz loop over hostile inputs would otherwise exhaust descriptors.
+  try {
+    char magic[4];
+    ReadAll(file_, magic, 4);
+    if (std::memcmp(magic, kTraceDataMagic, 4) != 0) {
+      throw TraceCorruptError("bad trace magic: " + path.string());
+    }
+    if (ReadU32(file_) != kTraceVersion) {
+      throw TraceCorruptError("bad trace version: " + path.string());
+    }
+    const std::uint32_t hdr_len = ReadU32(file_);
+    if (hdr_len > kMaxPackedBlockLen) {
+      throw TraceCorruptError("garbage header length: " + path.string());
+    }
+    Bytes hdr(hdr_len);
+    ReadAll(file_, hdr.data(), hdr_len);
+    ByteReader hr(hdr);
+    try {
+      header_ = DeserializeHeader(hr);
+    } catch (const std::exception& e) {
+      // ByteReader underflow is a plain runtime_error; map it into the
+      // taxonomy so callers only ever see TraceError for bad trace data.
+      throw TraceCorruptError(std::string("malformed trace header: ") +
+                              e.what());
+    }
 
-  // Load the index from the trailer.  A valid data magic but no trailer is
-  // a trace whose writer has not finalized (or died): truncated, not
-  // corrupt — a tail-follow reader could still consume it.
-  if (std::fseek(file_, -12, SEEK_END) != 0) {
-    throw TraceTruncatedError("no index trailer (unfinished trace): " +
-                              path.string());
-  }
-  const std::uint64_t index_offset = ReadU64(file_);
-  ReadAll(file_, magic, 4);
-  if (std::memcmp(magic, kTraceIndexMagic, 4) != 0) {
-    throw TraceTruncatedError("no index trailer (unfinished trace): " +
-                              path.string());
-  }
-  if (std::fseek(file_, static_cast<long>(index_offset), SEEK_SET) != 0) {
-    throw TraceCorruptError("trace file: bad index offset");
-  }
-  const std::uint32_t n_blocks = ReadU32(file_);
-  if (n_blocks > kMaxPackedBlockLen) {
-    throw TraceCorruptError("garbage index block count");
-  }
-  index_.reserve(n_blocks);
-  for (std::uint32_t i = 0; i < n_blocks; ++i) {
-    BlockIndexEntry e;
-    e.file_offset = ReadU64(file_);
-    e.first_timestamp = static_cast<LocalMicros>(ReadU64(file_));
-    e.last_timestamp = static_cast<LocalMicros>(ReadU64(file_));
-    e.record_count = ReadU32(file_);
-    index_.push_back(e);
+    // Load the index from the trailer.  A valid data magic but no trailer is
+    // a trace whose writer has not finalized (or died): truncated, not
+    // corrupt — a tail-follow reader could still consume it.
+    if (std::fseek(file_, -12, SEEK_END) != 0) {
+      throw TraceTruncatedError("no index trailer (unfinished trace): " +
+                                path.string());
+    }
+    const long trailer_pos = std::ftell(file_);
+    if (trailer_pos < 0) throw std::runtime_error("trace file: tell");
+    const auto file_size = static_cast<std::uint64_t>(trailer_pos) + 12;
+    const std::uint64_t index_offset = ReadU64(file_);
+    ReadAll(file_, magic, 4);
+    if (std::memcmp(magic, kTraceIndexMagic, 4) != 0) {
+      throw TraceTruncatedError("no index trailer (unfinished trace): " +
+                                path.string());
+    }
+    if (index_offset >= file_size ||
+        std::fseek(file_, static_cast<long>(index_offset), SEEK_SET) != 0) {
+      throw TraceCorruptError("trace file: bad index offset");
+    }
+    const std::uint32_t n_blocks = ReadU32(file_);
+    // Each index entry occupies 28 bytes on disk (u64+u64+u64+u32); a count
+    // the region between index_offset and the trailer cannot hold is corrupt,
+    // and reserving for it unchecked would let a 4-byte field demand ~2 GB.
+    constexpr std::uint64_t kIndexEntryBytes = 8 + 8 + 8 + 4;
+    if (n_blocks > (file_size - index_offset) / kIndexEntryBytes) {
+      throw TraceCorruptError("garbage index block count");
+    }
+    index_.reserve(n_blocks);
+    for (std::uint32_t i = 0; i < n_blocks; ++i) {
+      BlockIndexEntry e;
+      e.file_offset = ReadU64(file_);
+      e.first_timestamp = static_cast<LocalMicros>(ReadU64(file_));
+      e.last_timestamp = static_cast<LocalMicros>(ReadU64(file_));
+      e.record_count = ReadU32(file_);
+      // Blocks live strictly before the index; an offset past it can only
+      // come from a corrupt trailer.  Rejecting it here keeps LoadBlock's
+      // u64→long seek cast and mmap offset arithmetic in range.
+      if (e.file_offset >= index_offset) {
+        throw TraceCorruptError("index entry offset past index region");
+      }
+      index_.push_back(e);
+    }
+  } catch (...) {
+    std::fclose(file_);
+    file_ = nullptr;
+    throw;
   }
   if (options.use_mmap) TryMap();
   Rewind();
@@ -272,6 +302,12 @@ void TraceFileReader::LoadBlock(std::size_t block_idx) {
     const Bytes raw = LzDecompress(packed_view);
     ByteReader r(raw);
     LocalMicros prev = 0;
+    // A record occupies at least one raw byte, so an index entry declaring
+    // more records than the block holds bytes is corrupt; reserving for it
+    // unchecked would let a hostile index demand gigabytes per block.
+    if (entry.record_count > raw.size()) {
+      throw TraceCorruptError("index record count exceeds block size");
+    }
     block_records_.reserve(entry.record_count);
     for (std::uint32_t i = 0; i < entry.record_count; ++i) {
       block_records_.push_back(DeserializeRecord(r, prev));

@@ -122,8 +122,12 @@ std::vector<std::filesystem::path> TraceSet::WriteDirectory(
   paths.reserve(streams_.size());
   for (auto& stream : streams_) {
     stream->Rewind();
-    const auto path =
-        dir / ("r" + std::to_string(stream->header().radio) + ".jigt");
+    // Built with += (not operator+ on a temporary) to sidestep the gcc 12
+    // -Wrestrict false positive on "literal" + std::to_string(...) chains.
+    std::string name = "r";
+    name += std::to_string(stream->header().radio);
+    name += ".jigt";
+    const auto path = dir / name;
     TraceFileWriter writer(path, stream->header());
     while (auto rec = stream->Next()) writer.Append(*rec);
     writer.Finish();

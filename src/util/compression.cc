@@ -137,8 +137,17 @@ std::vector<std::uint8_t> LzDecompress(std::span<const std::uint8_t> packed) {
                                  (static_cast<std::uint32_t>(packed[2]) << 16) |
                                  (static_cast<std::uint32_t>(packed[3]) << 24);
 
+  // A match token (3 bytes) emits at most kLzMaxMatch bytes, so no
+  // conforming stream expands beyond kLzMaxMatch per input byte; a declared
+  // raw size past that is self-inconsistent.  Rejecting it here (and capping
+  // the upfront reserve) keeps a hostile 4-byte header from demanding a
+  // 4 GiB allocation — std::bad_alloc is not part of the error taxonomy.
+  if (raw_size > (packed.size() - 4) * kLzMaxMatch) {
+    throw LzCorruptError("LzDecompress: declared raw size unreachable");
+  }
+  constexpr std::size_t kReserveCap = 1u << 20;
   std::vector<std::uint8_t> out;
-  out.reserve(raw_size);
+  out.reserve(std::min<std::size_t>(raw_size, kReserveCap));
   std::size_t pos = 4;
   const std::size_t n = packed.size();
   while (pos < n) {

@@ -264,6 +264,13 @@ TEST(PerfKnobMatrix, PinnedWorkersMatchUnpinnedStream) {
     ExpectIdenticalStreams(base.jframes, pinned.jframes);
     ExpectEqualStats(base.stats, pinned.stats);
   }
+  // The pinning path must report rejected affinity calls instead of
+  // swallowing the return value: the failure counter is registered (even if
+  // zero on an unrestricted machine), so a cpuset-restricted deployment can
+  // tell "pinned" from "silently fell back".
+  const auto snapshot = obs::MetricRegistry::Global().Collect();
+  ASSERT_NE(snapshot.Find("jig_pipeline_pin_failures_total"), nullptr);
+  EXPECT_GE(snapshot.Value("jig_pipeline_pin_failures_total"), 0);
 }
 
 TEST(ParallelMerge, SinkRunsOnCallingThread) {

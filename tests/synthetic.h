@@ -165,9 +165,12 @@ inline SyntheticNetwork MultiChannelNetwork(std::uint64_t seed,
     } else {
       // Byte-identical ACKs 1 ms apart: must stay separate jframes.
       const Frame ack = MakeAck(MacAddress::Client(client), PhyRate::kB2);
-      net.Transmit(SyntheticTx{.at = t, .frame = ack, .heard_by = heard});
-      net.Transmit(
-          SyntheticTx{.at = t + 1'000, .frame = ack, .heard_by = heard});
+      net.Transmit(SyntheticTx{
+          .at = t, .frame = ack, .heard_by = heard, .corrupted_at = {}});
+      net.Transmit(SyntheticTx{.at = t + 1'000,
+                               .frame = ack,
+                               .heard_by = heard,
+                               .corrupted_at = {}});
     }
   }
   return net;

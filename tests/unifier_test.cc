@@ -65,8 +65,10 @@ TEST(Unifier, IdenticalAcksWithinWindowStaySeparate) {
   SyntheticNetwork net(radios);
   net.Data(5'000, 1, 1, {0, 1});  // reference for bootstrap
   Frame ack = MakeAck(MacAddress::Client(1), PhyRate::kB2);
-  net.Transmit(SyntheticTx{.at = 20'000, .frame = ack, .heard_by = {0, 1}});
-  net.Transmit(SyntheticTx{.at = 21'000, .frame = ack, .heard_by = {0, 1}});
+  net.Transmit(SyntheticTx{
+      .at = 20'000, .frame = ack, .heard_by = {0, 1}, .corrupted_at = {}});
+  net.Transmit(SyntheticTx{
+      .at = 21'000, .frame = ack, .heard_by = {0, 1}, .corrupted_at = {}});
   auto traces = net.Build();
   const auto jframes = Merge(traces);
   ASSERT_EQ(jframes.size(), 3u);

@@ -1,0 +1,213 @@
+#!/usr/bin/env python3
+"""Unit tests for the tools/lint_determinism.py rule engine.
+
+Run directly (python3 tools/test_lint_determinism.py) or via ctest, where
+CMake registers it as lint_determinism_test with the `unit` label.  Each
+rule gets positive (flags), negative (stays quiet) and allow()-suppression
+cases, plus the D000 empty-reason error and a self-check that the real tree
+is clean.
+"""
+
+import os
+import subprocess
+import sys
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import lint_determinism  # noqa: E402
+
+
+def lint(text, path="src/jigsaw/fake.cc"):
+    return lint_determinism.lint_text(path, text)
+
+
+def rules(findings):
+    return [f.rule for f in findings]
+
+
+class UnorderedIterationD001(unittest.TestCase):
+    def test_range_for_over_unordered_map_flags(self):
+        src = """
+        std::unordered_map<MacAddress, TxState> tx;
+        void Emit() {
+          for (const auto& [mac, st] : tx) { Write(mac); }
+        }
+        """
+        self.assertEqual(rules(lint(src)), ["D001"])
+
+    def test_range_for_over_unordered_set_member_access_flags(self):
+        src = """
+        struct Impl { std::unordered_set<MacAddress> clients_; };
+        void Dump(Impl& im) {
+          for (const auto& c : im.clients_) { Write(c); }
+        }
+        """
+        self.assertEqual(rules(lint(src)), ["D001"])
+
+    def test_explicit_begin_flags(self):
+        src = """
+        std::unordered_map<int, int> flows;
+        auto it = flows.begin();
+        """
+        self.assertEqual(rules(lint(src)), ["D001"])
+
+    def test_vector_iteration_is_quiet(self):
+        src = """
+        std::vector<JFrame> frames;
+        void Emit() { for (const auto& f : frames) Write(f); }
+        """
+        self.assertEqual(lint(src), [])
+
+    def test_vector_of_unordered_sets_outer_loop_is_quiet(self):
+        # The *outer* container is ordered; only its elements are hashed.
+        src = """
+        std::vector<std::unordered_set<MacAddress>> bins_;
+        void Count() { for (const auto& b : bins_) n += b.size(); }
+        """
+        self.assertEqual(lint(src), [])
+
+    def test_other_objects_member_with_same_name_is_quiet(self):
+        src = """
+        std::unordered_map<PairKey, PairInterference> pairs;
+        void Emit(Report& report) {
+          std::sort(report.pairs.begin(), report.pairs.end());
+        }
+        """
+        self.assertEqual(lint(src), [])
+
+    def test_allow_same_line_suppresses(self):
+        src = """
+        std::unordered_map<MacAddress, TxState> tx;
+        for (const auto& [m, s] : tx) {}  // lint-determinism: allow(sorted later)
+        """
+        self.assertEqual(lint(src), [])
+
+    def test_allow_previous_line_suppresses(self):
+        src = """
+        std::unordered_map<MacAddress, TxState> tx;
+        // lint-determinism: allow(keys sorted before emission)
+        for (const auto& [m, s] : tx) { }
+        """
+        self.assertEqual(lint(src), [])
+
+    def test_empty_allow_reason_is_d000(self):
+        src = """
+        std::unordered_map<MacAddress, TxState> tx;
+        // lint-determinism: allow()
+        for (const auto& [m, s] : tx) { }
+        """
+        self.assertEqual(rules(lint(src)), ["D000"])
+
+    def test_mention_in_comment_is_quiet(self):
+        src = """
+        // A std::unordered_map<K, V> would break determinism here.
+        std::map<int, int> ordered;
+        for (const auto& [k, v] : ordered) { }
+        """
+        self.assertEqual(lint(src), [])
+
+
+class BannedSourceD002(unittest.TestCase):
+    def test_rand_flags(self):
+        self.assertEqual(rules(lint("int x = rand();\n")), ["D002"])
+
+    def test_time_flags(self):
+        self.assertEqual(rules(lint("auto t = time(nullptr);\n")), ["D002"])
+
+    def test_system_clock_flags(self):
+        src = "auto now = std::chrono::system_clock::now();\n"
+        self.assertEqual(rules(lint(src)), ["D002"])
+
+    def test_random_device_flags(self):
+        self.assertEqual(rules(lint("std::random_device rd;\n")), ["D002"])
+
+    def test_steady_clock_is_quiet(self):
+        src = "auto t0 = std::chrono::steady_clock::now();\n"
+        self.assertEqual(lint(src), [])
+
+    def test_identifier_suffix_is_quiet(self):
+        # air_time(...) / Rand(...) member helpers are not the libc calls.
+        src = "auto d = exchange.air_time(rate);\nrng.NextRand(7);\n"
+        self.assertEqual(lint(src), [])
+
+    def test_whitelisted_file_is_quiet(self):
+        src = "auto now = std::chrono::system_clock::now();\n"
+        self.assertEqual(lint(src, path="src/obs/export.cc"), [])
+
+    def test_allow_suppresses(self):
+        src = "time(nullptr);  // lint-determinism: allow(CLI banner stamp)\n"
+        self.assertEqual(lint(src), [])
+
+
+class FloatTextFormatD003(unittest.TestCase):
+    def test_printf_float_conversion_flags(self):
+        src = 'std::snprintf(buf, sizeof buf, "%.1f dBm", rssi);\n'
+        self.assertEqual(rules(lint(src)), ["D003"])
+
+    def test_printf_int_conversion_is_quiet(self):
+        src = 'std::snprintf(buf, sizeof buf, "r%-4u |", radio);\n'
+        self.assertEqual(lint(src), [])
+
+    def test_to_string_on_declared_float_flags(self):
+        src = """
+        double mean_loss = 0.0;
+        out += std::to_string(mean_loss);
+        """
+        self.assertEqual(rules(lint(src)), ["D003"])
+
+    def test_to_string_on_float_member_flags(self):
+        src = """
+        struct Inst { float rssi_dbm = 0.0f; };
+        s += std::to_string(inst.rssi_dbm);
+        """
+        self.assertEqual(rules(lint(src)), ["D003"])
+
+    def test_to_string_on_cast_to_double_flags(self):
+        src = "s += std::to_string(static_cast<double>(n) / total);\n"
+        self.assertEqual(rules(lint(src)), ["D003"])
+
+    def test_to_string_on_integer_is_quiet(self):
+        src = """
+        std::uint32_t version = 3;
+        throw Err("v" + std::to_string(version));
+        """
+        self.assertEqual(lint(src), [])
+
+    def test_bit_exact_pattern_is_quiet(self):
+        src = "w.U32(std::bit_cast<std::uint32_t>(inst.rssi_dbm));\n"
+        self.assertEqual(lint(src), [])
+
+    def test_allow_suppresses(self):
+        src = ('double v = 1.0;\n'
+               'log += std::to_string(v);'
+               '  // lint-determinism: allow(debug log, not an output path)\n')
+        self.assertEqual(lint(src), [])
+
+
+class EngineBehaviour(unittest.TestCase):
+    def test_finding_reports_path_and_line(self):
+        src = "int a;\nint x = rand();\n"
+        (f,) = lint(src, path="src/trace/foo.cc")
+        self.assertEqual((f.path, f.line, f.rule), ("src/trace/foo.cc", 2, "D002"))
+
+    def test_multiple_findings_on_one_file(self):
+        src = """
+        std::unordered_set<int> keys;
+        for (int k : keys) { }
+        int seed = rand();
+        """
+        self.assertEqual(sorted(rules(lint(src))), ["D001", "D002"])
+
+    def test_real_tree_is_clean(self):
+        # The committed contract scope must lint clean — the same invariant
+        # the determinism-lint CI gate enforces.
+        script = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                              "lint_determinism.py")
+        proc = subprocess.run([sys.executable, script], capture_output=True,
+                              text=True)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()
