@@ -10,9 +10,12 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <filesystem>
 #include <map>
+#include <thread>
 
+#include "jigsaw/distributed.h"
 #include "jigsaw/pipeline.h"
 #include "sim/scenario.h"
 
@@ -164,6 +167,69 @@ void BM_MergeSpill(benchmark::State& state) {
 }
 BENCHMARK(BM_MergeSpill)->Arg(0)->Arg(1)
     ->Unit(benchmark::kMillisecond)->Iterations(3);
+
+// End-to-end two-level distributed merge over loopback: two wings each
+// relay half the radios' record streams (socket-framed, paced by their
+// local merges) to an in-process root, which emits the global jframe
+// stream.  Measures root-side events/s with all the network framing,
+// relay pacing, and cross-wing boundary reconciliation included — the
+// distributed counterpart of BM_MergeParallel.  Arg = root merge threads
+// (0 = auto); the wings always merge with 2.
+void BM_MergeDistributed(benchmark::State& state) {
+  namespace fs = std::filesystem;
+  // Wing trace directories, written once: the .jigt files are the
+  // workload, re-read per iteration like a real wing restart.
+  static fs::path w1, w2;
+  static std::size_t n_radios = 0;
+  if (n_radios == 0) {
+    Workload& w = WorkloadForPods(20);
+    const fs::path base =
+        fs::temp_directory_path() / "bench_merge_distributed_traces";
+    fs::remove_all(base);
+    const auto paths = w.traces->WriteDirectory(base / "all");
+    w1 = base / "w1";
+    w2 = base / "w2";
+    fs::create_directories(w1);
+    fs::create_directories(w2);
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+      fs::copy_file(paths[i],
+                    (i < paths.size() / 2 ? w1 : w2) / paths[i].filename());
+    }
+    n_radios = paths.size();
+  }
+
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    RootConfig rc;
+    rc.n_streams = n_radios;
+    rc.merge.threads = static_cast<unsigned>(state.range(0));
+    RootSession root(rc);
+    const std::uint16_t port = root.port();
+    const auto run_wing = [port](const fs::path& dir, std::uint32_t id) {
+      TraceSet traces = TraceSet::OpenDirectory(dir);
+      WingConfig wc;
+      wc.wing_id = id;
+      wc.root_port = port;
+      wc.merge.threads = 2;
+      WingSession wing(traces, wc);
+      wing.Run();
+    };
+    std::thread t1(run_wing, w1, 1u);
+    std::thread t2(run_wing, w2, 2u);
+    std::uint64_t jframes = 0;
+    const MergeStreamStats stats =
+        root.Run([&jframes](JFrame&&) { ++jframes; });
+    t1.join();
+    t2.join();
+    events = stats.stats.events_in;
+    benchmark::DoNotOptimize(jframes);
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events * state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MergeDistributed)->Arg(1)->Arg(0)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 // Bootstrap-only cost on the full deployment (arg = pods), with an
 // events/s counter so the regression gate can track it alongside the merge

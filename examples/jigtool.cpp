@@ -43,8 +43,36 @@
 //                                   the spec matches the code)
 //   jigtool timeline <dir> [us]     Figure-2 style view of a window
 //
-// Exit codes: 0 success, 1 unreadable/missing input, 2 usage error,
-// 3 corrupt or truncated input (inspect-spill, stats).
+// Network doors (docs/FORMATS.md "Socket transport", docs/ARCHITECTURE.md
+// "Two-level distributed merge"):
+//
+//   jigtool serve-trace <file.jigt> <host> <port>
+//                                   push one trace file's framed bytes to a
+//                                   collector: hello + header + blocks +
+//                                   finalize marker (never the index).  A
+//                                   truncated file streams its complete
+//                                   blocks, then closes WITHOUT the marker
+//                                   so the receiver sees the cut too.
+//   jigtool collect <out_dir> <port> <n>
+//                                   accept n socket trace streams on
+//                                   127.0.0.1:<port> and persist each as an
+//                                   indexed .jigt in <out_dir>
+//   jigtool demo-live <dir> [s] [ms] --tcp <port>
+//                                   the demo-live radios stream to a
+//                                   collector on 127.0.0.1:<port> instead of
+//                                   writing files (<dir> is ignored)
+//   jigtool wing <dir> <root_host> <root_port> [wing_id] [threads]
+//                                   wing node: local merge over <dir>'s
+//                                   radios, relaying each record stream to
+//                                   the root
+//   jigtool root <port> <n> [threads] [--spill-dir <sdir>]
+//                                   root node: accept n radio streams from
+//                                   the wings on 127.0.0.1:<port> and run
+//                                   the global merge
+//
+// Exit codes: 0 success, 1 unreadable/missing input or unreachable peer,
+// 2 usage error, 3 corrupt or truncated input (inspect-spill, stats, and
+// every network door — a mid-stream disconnect is truncation).
 //
 // The merge, follow and timeline commands run the streaming pipeline into
 // the analysis bus — one pass over the traces feeds every analysis at once.
@@ -60,15 +88,21 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <memory>
 #include <thread>
 #include <tuple>
+#include <vector>
 
 #include "jigsaw/analysis/bus.h"
 #include "jigsaw/analysis/visualize.h"
+#include "jigsaw/distributed.h"
 #include "jigsaw/pipeline.h"
 #include "jigsaw/spill.h"
 #include "obs/export.h"
 #include "sim/scenario.h"
+#include "trace/net.h"
+#include "trace/socket_trace.h"
+#include "trace/trace_file.h"
 
 namespace {
 
@@ -141,6 +175,308 @@ int CmdDemoLive(const char* dir, long seconds, long chunk_wall_ms) {
   writer.FinalizeAll();
   std::printf("finalized %zu traces\n", writer.size());
   return 0;
+}
+
+// demo-live over TCP: the simulated radios each connect to a collector
+// and stream their capture in capture-time chunks — the network twin of
+// the file-based demo-live above.
+int CmdDemoLiveTcp(long seconds, long chunk_wall_ms, long tcp_port) {
+  ScenarioConfig config;
+  config.seed = 10;
+  config.duration = Seconds(seconds);
+  config.clients = 20;
+  Scenario scenario(config);
+  scenario.Run();
+  TraceSet traces = scenario.TakeTraces();
+
+  std::vector<std::unique_ptr<SocketTraceWriter>> uplinks;
+  std::vector<const std::vector<CaptureRecord>*> records;
+  std::vector<std::size_t> cursor(traces.size(), 0);
+  std::vector<LocalMicros> first_ts(traces.size(), 0);
+  try {
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      auto& mem = dynamic_cast<MemoryTrace&>(traces.at(i));
+      uplinks.push_back(std::make_unique<SocketTraceWriter>(
+          net::ConnectTo("127.0.0.1", static_cast<std::uint16_t>(tcp_port)),
+          mem.header()));
+      records.push_back(&mem.records());
+      if (!mem.records().empty()) {
+        first_ts[i] = mem.records().front().timestamp;
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cannot reach collector on port %ld: %s\n",
+                 tcp_port, e.what());
+    return 1;
+  }
+  constexpr int kChunks = 20;
+  const Micros chunk_span = config.duration / kChunks;
+  std::printf("live-streaming %zu traces to 127.0.0.1:%ld in %d chunks "
+              "(%ld ms apart)\n",
+              traces.size(), tcp_port, kChunks, chunk_wall_ms);
+  std::vector<bool> finished(traces.size(), false);
+  for (int chunk = 1;; ++chunk) {
+    bool any_left = false;
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      const auto& recs = *records[i];
+      const auto end =
+          static_cast<LocalMicros>(first_ts[i] + chunk * chunk_span);
+      while (cursor[i] < recs.size() && recs[cursor[i]].timestamp < end) {
+        uplinks[i]->Append(recs[cursor[i]++]);
+      }
+      any_left = any_left || cursor[i] < recs.size();
+    }
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      uplinks[i]->Sync();
+      // Same early-finalize behavior as the file writer: a radio with
+      // nothing more to say ends its stream immediately.
+      if (!finished[i] && cursor[i] >= records[i]->size()) {
+        uplinks[i]->Finish();
+        finished[i] = true;
+      }
+    }
+    if (!any_left) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(chunk_wall_ms));
+  }
+  std::printf("finalized %zu streams\n", traces.size());
+  return 0;
+}
+
+// Pushes one trace file's framed bytes to a collector.  Relays raw bytes
+// block-by-block — it never re-encodes, and it never sends the index
+// trailer (the socket stream ends at the finalize marker).  A truncated
+// file relays its complete blocks and then closes WITHOUT the marker, so
+// the receiver observes the same truncation (exit 3 on both ends).
+int CmdServeTrace(const char* file, const char* host, long port) {
+  std::FILE* f = std::fopen(file, "rb");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", file);
+    return 1;
+  }
+  struct Closer {
+    std::FILE* f;
+    ~Closer() { std::fclose(f); }
+  } closer{f};
+
+  const auto read_exact = [f](void* buf, std::size_t n) {
+    return std::fread(buf, 1, n, f) == n;
+  };
+  const auto decode_u32 = [](const std::uint8_t* b) {
+    return static_cast<std::uint32_t>(b[0]) |
+           (static_cast<std::uint32_t>(b[1]) << 8) |
+           (static_cast<std::uint32_t>(b[2]) << 16) |
+           (static_cast<std::uint32_t>(b[3]) << 24);
+  };
+
+  std::uint8_t prefix[12];  // magic + version + header_len
+  if (!read_exact(prefix, sizeof prefix)) {
+    std::fprintf(stderr, "truncated input: %s ends inside the file header\n",
+                 file);
+    return 3;
+  }
+  if (std::memcmp(prefix, kTraceDataMagic, 4) != 0 ||
+      decode_u32(prefix + 4) != kTraceVersion) {
+    std::fprintf(stderr, "corrupt input: bad magic/version in %s\n", file);
+    return 3;
+  }
+  const std::uint32_t hdr_len = decode_u32(prefix + 8);
+  if (hdr_len > kMaxPackedBlockLen) {
+    std::fprintf(stderr, "corrupt input: garbage header length in %s\n",
+                 file);
+    return 3;
+  }
+  std::vector<std::uint8_t> header(hdr_len);
+  if (!read_exact(header.data(), header.size())) {
+    std::fprintf(stderr, "truncated input: %s ends inside the header\n",
+                 file);
+    return 3;
+  }
+
+  net::Socket sock;
+  try {
+    sock = net::ConnectTo(host, static_cast<std::uint16_t>(port));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cannot reach collector: %s\n", e.what());
+    return 1;
+  }
+  try {
+    std::uint8_t hello[12];
+    std::memcpy(hello, kSocketHelloMagic, 4);
+    const std::uint32_t hello_rest[2] = {kSocketHelloVersion, 0};
+    std::memcpy(hello + 4, hello_rest, 8);
+    net::SendAll(sock, hello, sizeof hello);
+    net::SendAll(sock, prefix, sizeof prefix);
+    net::SendAll(sock, header.data(), header.size());
+
+    std::uint64_t blocks = 0;
+    for (;;) {
+      std::uint8_t len_buf[4];
+      if (!read_exact(len_buf, sizeof len_buf)) {
+        std::fprintf(stderr,
+                     "truncated input: %s has no finalize marker "
+                     "(streamed %llu complete blocks, closing without one)\n",
+                     file, static_cast<unsigned long long>(blocks));
+        return 3;
+      }
+      const std::uint32_t packed_len = decode_u32(len_buf);
+      if (packed_len == 0) {
+        net::SendAll(sock, len_buf, sizeof len_buf);  // the marker
+        std::printf("served %s: %llu blocks + finalize marker\n", file,
+                    static_cast<unsigned long long>(blocks));
+        return 0;
+      }
+      if (packed_len > kMaxPackedBlockLen) {
+        std::fprintf(stderr, "corrupt input: garbage block length in %s\n",
+                     file);
+        return 3;
+      }
+      std::vector<std::uint8_t> block(packed_len);
+      if (!read_exact(block.data(), block.size())) {
+        std::fprintf(stderr,
+                     "truncated input: %s ends inside a block "
+                     "(closing without the marker)\n",
+                     file);
+        return 3;
+      }
+      net::SendAll(sock, len_buf, sizeof len_buf);
+      net::SendAll(sock, block.data(), block.size());
+      ++blocks;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "collector went away mid-stream: %s\n", e.what());
+    return 3;
+  }
+}
+
+// Accepts n socket trace streams and persists each as an indexed .jigt —
+// the ingest half of a collector: network in, seekable files out.
+int CmdCollect(const char* out_dir, long port, long n) {
+  try {
+    net::Listener listener("127.0.0.1", static_cast<std::uint16_t>(port));
+    std::printf("collecting %ld streams on 127.0.0.1:%u ...\n", n,
+                listener.port());
+    TraceSet traces = AcceptTraces(listener, static_cast<std::size_t>(n));
+    std::filesystem::create_directories(out_dir);
+    std::vector<std::unique_ptr<TraceFileWriter>> writers;
+    std::vector<SocketTrace*> sockets;
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      auto& st = dynamic_cast<SocketTrace&>(traces.at(i));
+      sockets.push_back(&st);
+      writers.push_back(std::make_unique<TraceFileWriter>(
+          std::filesystem::path(out_dir) /
+              ("r" + std::to_string(st.header().radio) + ".jigt"),
+          st.header()));
+    }
+    std::vector<bool> done(traces.size(), false);
+    std::vector<std::uint64_t> written(traces.size(), 0);
+    for (;;) {
+      bool all_done = true;
+      bool progress = false;
+      for (std::size_t i = 0; i < traces.size(); ++i) {
+        if (done[i]) continue;
+        while (const CaptureRecord* rec = sockets[i]->NextRef()) {
+          writers[i]->Append(*rec);
+          ++written[i];
+          progress = true;
+        }
+        if (sockets[i]->Finalized()) {
+          writers[i]->Finish();
+          done[i] = true;
+          std::printf("  r%u finalized: %llu records\n",
+                      sockets[i]->header().radio,
+                      static_cast<unsigned long long>(written[i]));
+          progress = true;
+        } else {
+          all_done = false;
+        }
+      }
+      if (all_done) break;
+      if (!progress) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    }
+    std::printf("collected %zu traces into %s\n", traces.size(), out_dir);
+    return 0;
+  } catch (const TraceTruncatedError& e) {
+    std::fprintf(stderr, "truncated stream: %s\n", e.what());
+    return 3;
+  } catch (const TraceCorruptError& e) {
+    std::fprintf(stderr, "corrupt stream: %s\n", e.what());
+    return 3;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
+
+// Wing node: local merge over a trace directory, relaying every radio's
+// record stream to the root (docs/ARCHITECTURE.md, two-level topology).
+int CmdWing(const char* dir, const char* root_host, long root_port,
+            long wing_id, unsigned threads, const char* spill_dir) {
+  TraceSet traces = TraceSet::OpenDirectory(dir);
+  if (traces.empty()) {
+    std::fprintf(stderr, "no .jigt files in %s\n", dir);
+    return 1;
+  }
+  try {
+    WingConfig cfg;
+    cfg.wing_id = static_cast<std::uint32_t>(wing_id);
+    cfg.root_host = root_host;
+    cfg.root_port = static_cast<std::uint16_t>(root_port);
+    cfg.merge.threads = threads;
+    if (spill_dir != nullptr) cfg.merge.spill_dir = spill_dir;
+    WingSession wing(traces, cfg);
+    const auto stats = wing.Run();
+    std::printf("wing %ld: relayed %llu records from %zu radios "
+                "(%llu local jframes)\n",
+                wing_id,
+                static_cast<unsigned long long>(wing.records_relayed()),
+                traces.size(),
+                static_cast<unsigned long long>(stats.stats.jframes));
+    return 0;
+  } catch (const TraceTruncatedError& e) {
+    std::fprintf(stderr, "truncated input: %s\n", e.what());
+    return 3;
+  } catch (const TraceCorruptError& e) {
+    std::fprintf(stderr, "corrupt input: %s\n", e.what());
+    return 3;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
+
+// Root node: global merge over every wing's relayed radio streams.
+int CmdRoot(long port, long n, unsigned threads, const char* spill_dir) {
+  try {
+    RootConfig cfg;
+    cfg.port = static_cast<std::uint16_t>(port);
+    cfg.n_streams = static_cast<std::size_t>(n);
+    cfg.merge.threads = threads;
+    if (spill_dir != nullptr) cfg.merge.spill_dir = spill_dir;
+    RootSession root(cfg);
+    std::printf("root: accepting %ld streams on 127.0.0.1:%u ...\n", n,
+                root.port());
+    const auto stats = root.Run([](JFrame&&) {});
+    std::printf("radios synced:     %zu/%zu\n",
+                stats.bootstrap.SyncedCount(), stats.bootstrap.synced.size());
+    std::printf("jframes:           %llu (%llu across wing boundaries)\n",
+                static_cast<unsigned long long>(root.jframes()),
+                static_cast<unsigned long long>(root.boundary_jframes()));
+    std::printf("events:            %llu (%llu valid)\n",
+                static_cast<unsigned long long>(stats.stats.events_in),
+                static_cast<unsigned long long>(stats.stats.valid_in));
+    return 0;
+  } catch (const TraceTruncatedError& e) {
+    std::fprintf(stderr, "truncated stream: %s\n", e.what());
+    return 3;
+  } catch (const TraceCorruptError& e) {
+    std::fprintf(stderr, "corrupt stream: %s\n", e.what());
+    return 3;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 }
 
 int CmdInfo(const char* dir) {
@@ -508,8 +844,10 @@ int main(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr,
                  "usage: jigtool demo|demo-live|info|merge|follow|stats|"
-                 "inspect-spill|timeline <dir> [args] [--spill-dir <sdir>] "
-                 "[--stats-json <file>] [--mmap] [--pin-threads]\n");
+                 "inspect-spill|timeline|serve-trace|collect|wing|root "
+                 "<dir|file|port> [args] [--spill-dir <sdir>] "
+                 "[--stats-json <file>] [--mmap] [--pin-threads] "
+                 "[--tcp <port>]\n");
     return 2;
   }
   const char* cmd = argv[1];
@@ -519,6 +857,7 @@ int main(int argc, char** argv) {
   const char* spill_dir = nullptr;
   const char* stats_json = nullptr;
   long spill_threshold = 0;
+  long tcp_port = -1;
   bool use_mmap = false;
   bool pin_threads = false;
   std::vector<const char*> pos;
@@ -555,15 +894,30 @@ int main(int argc, char** argv) {
       spill_threshold = std::atol(argv[++i]);
       continue;
     }
+    if (std::strcmp(argv[i], "--tcp") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--tcp needs a port argument\n");
+        return 2;
+      }
+      tcp_port = std::atol(argv[++i]);
+      continue;
+    }
     pos.push_back(argv[i]);
   }
   const auto pos_long = [&pos](std::size_t i, long fallback) {
     return pos.size() > i ? std::atol(pos[i]) : fallback;
   };
   if (spill_dir != nullptr && std::strcmp(cmd, "merge") != 0 &&
-      std::strcmp(cmd, "follow") != 0) {
+      std::strcmp(cmd, "follow") != 0 && std::strcmp(cmd, "root") != 0 &&
+      std::strcmp(cmd, "wing") != 0) {
     std::fprintf(stderr,
-                 "warning: --spill-dir only applies to merge/follow; "
+                 "warning: --spill-dir only applies to merge/follow/wing/"
+                 "root; ignored for '%s'\n",
+                 cmd);
+  }
+  if (tcp_port >= 0 && std::strcmp(cmd, "demo-live") != 0) {
+    std::fprintf(stderr,
+                 "warning: --tcp only applies to demo-live; "
                  "ignored for '%s'\n",
                  cmd);
   }
@@ -589,7 +943,48 @@ int main(int argc, char** argv) {
   }
   if (std::strcmp(cmd, "demo") == 0) return CmdDemo(dir);
   if (std::strcmp(cmd, "demo-live") == 0) {
+    if (tcp_port >= 0) {
+      // <dir> is ignored in TCP mode: the radios stream to a collector
+      // instead of appending files.
+      return CmdDemoLiveTcp(pos_long(0, 10), pos_long(1, 250), tcp_port);
+    }
     return CmdDemoLive(dir, pos_long(0, 10), pos_long(1, 250));
+  }
+  if (std::strcmp(cmd, "serve-trace") == 0) {
+    if (pos.size() < 2) {
+      std::fprintf(stderr,
+                   "usage: jigtool serve-trace <file.jigt> <host> <port>\n");
+      return 2;
+    }
+    return CmdServeTrace(dir, pos[0], std::atol(pos[1]));
+  }
+  if (std::strcmp(cmd, "collect") == 0) {
+    if (pos.size() < 2) {
+      std::fprintf(stderr, "usage: jigtool collect <out_dir> <port> <n>\n");
+      return 2;
+    }
+    return CmdCollect(dir, std::atol(pos[0]), std::atol(pos[1]));
+  }
+  if (std::strcmp(cmd, "wing") == 0) {
+    if (pos.size() < 2) {
+      std::fprintf(stderr,
+                   "usage: jigtool wing <dir> <root_host> <root_port> "
+                   "[wing_id] [threads]\n");
+      return 2;
+    }
+    return CmdWing(dir, pos[0], std::atol(pos[1]), pos_long(2, 0),
+                   static_cast<unsigned>(pos_long(3, 0)), spill_dir);
+  }
+  if (std::strcmp(cmd, "root") == 0) {
+    // <dir> slot carries the port for this command.
+    if (pos.empty()) {
+      std::fprintf(stderr,
+                   "usage: jigtool root <port> <n> [threads] "
+                   "[--spill-dir <sdir>]\n");
+      return 2;
+    }
+    return CmdRoot(std::atol(dir), std::atol(pos[0]),
+                   static_cast<unsigned>(pos_long(1, 0)), spill_dir);
   }
   if (std::strcmp(cmd, "info") == 0) return CmdInfo(dir);
   if (std::strcmp(cmd, "merge") == 0) {

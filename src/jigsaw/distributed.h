@@ -1,0 +1,113 @@
+// Two-level (wing -> root) distributed merge topology.
+//
+// The paper's deployment pulled ~150 radio traces to one central server;
+// scaling past one machine calls for the classic collector tree: a *wing*
+// node sits near a group of radios, runs a normal MergeSession over them,
+// and relays their record streams to a *root* node, which k-way merges
+// every wing's sub-streams into the single global jframe stream.
+//
+// Determinism contract: the root's output is byte-identical to a
+// single-node merge over the same traces.  The wing therefore relays each
+// radio's records verbatim — one valid per-radio .jigt socket stream per
+// radio (docs/FORMATS.md socket transport), paced by the wing's own merge
+// consumption — rather than shipping its locally-unified jframes: a
+// wing-local unification bakes in per-wing bootstrap offsets that cannot
+// be reconciled back to the global solution byte-for-byte.  The wing's
+// MergeSession still runs (its jframe stream feeds wing-local analyses
+// and the per-wing lag metric), and the boundary-overlap reconciliation —
+// re-grouping frames heard by radios on *different* wings — falls out of
+// the root's global unifier, which sees every wing's copies side by side.
+// docs/ARCHITECTURE.md walks through the topology.
+//
+// Per-wing observability (labeled wing="<id>"):
+//   jig_wing_uplink_records_total   records relayed to the root
+//   jig_wing_uplink_bytes_total     framed bytes relayed
+//   jig_wing_lag_us                 the wing merge's live lag
+// Root side:
+//   jig_root_boundary_jframes_total jframes unifying copies from >1 wing
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "jigsaw/pipeline.h"
+#include "trace/net.h"
+#include "trace/socket_trace.h"
+#include "trace/trace_set.h"
+
+namespace jig {
+
+struct WingConfig {
+  std::uint32_t wing_id = 0;
+  std::string root_host = "127.0.0.1";
+  std::uint16_t root_port = 0;
+  // Local merge settings (threads, spill, ...).  The wing's merge output
+  // is discarded here; only its consumption paces the relay.
+  MergeConfig merge;
+  // Records per relayed block.  Small blocks publish sooner (lower root
+  // latency), large blocks compress better.
+  std::size_t records_per_block = 256;
+  // How long to keep retrying the root connection before giving up.
+  int connect_timeout_ms = 10000;
+};
+
+// Drives one wing: connects one uplink per local radio, then runs the
+// local MergeSession to completion, relaying every record exactly once in
+// stream order.  The local traces may be live (tail-follow) sources; the
+// relay finalizes each uplink as soon as its radio's capture is finalized
+// and fully relayed.
+class WingSession {
+ public:
+  // `traces` must outlive the session.  Throws std::runtime_error when
+  // the root cannot be reached within connect_timeout_ms.
+  WingSession(TraceSet& traces, const WingConfig& config);
+  ~WingSession();
+
+  // Polls the local merge until kDone, relaying as it goes.  Blocking;
+  // run one thread per wing.
+  MergeStreamStats Run();
+
+  std::uint64_t records_relayed() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+struct RootConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  // 0: ephemeral; RootSession::port() reports it
+  std::size_t n_streams = 0;  // total radios expected across all wings
+  MergeConfig merge;
+  int accept_timeout_ms = 30000;
+};
+
+// The root: accepts n_streams socket traces (from any number of wings),
+// then runs the normal global MergeSession over them.  Every jframe goes
+// to the caller's sink in timestamp order — byte-identical to the
+// single-node merge of the same traces.
+class RootSession {
+ public:
+  // Binds and listens immediately, so wings may start connecting before
+  // Run() is called.
+  explicit RootSession(const RootConfig& config);
+  ~RootSession();
+
+  std::uint16_t port() const;
+
+  // Accepts the streams and merges to completion.
+  MergeStreamStats Run(std::function<void(JFrame&&)> sink);
+
+  // Jframes whose instances span more than one wing — the boundary
+  // overlaps the root's unifier reconciled.
+  std::uint64_t boundary_jframes() const;
+  std::uint64_t jframes() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace jig

@@ -284,7 +284,9 @@ struct MergeSession::Impl {
       m.emitted.Add(1);
       const std::int64_t cap =
           capture_frontier.load(std::memory_order_relaxed);
-      if (cap != kNoFrontier) m.emit_lag_us.Observe(cap - jf.timestamp);
+      if (cap != kNoFrontier) {
+        m.emit_lag_us.Observe(ClampedLagUs(cap, jf.timestamp));
+      }
     }
     sink(std::move(jf));
   }
@@ -294,7 +296,7 @@ struct MergeSession::Impl {
         capture_frontier.load(std::memory_order_relaxed);
     const std::int64_t emit = emit_frontier.load(std::memory_order_relaxed);
     if (cap == kNoFrontier || emit == kNoFrontier) return 0;
-    return cap - emit;
+    return ClampedLagUs(cap, emit);
   }
 
   Impl(TraceSet& t, const MergeConfig& c, std::function<void(JFrame&&)> s)

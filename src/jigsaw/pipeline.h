@@ -124,6 +124,18 @@ MergeStreamStats MergeTracesStreaming(TraceSet& traces,
 // rest (the lagging shard gates emission; the others throttle here).
 inline constexpr std::size_t kMergeQueueWatermark = 4096;
 
+// Lag between a captured frontier and an emitted timestamp, clamped at
+// zero.  Lag means "how far output trails capture": an emission that
+// momentarily outruns a racing capture-frontier update is zero lag, not
+// negative lag — a raw difference here once fed negative samples into
+// jig_merge_emit_lag_us and let live_lag_us() report below zero.
+constexpr std::int64_t ClampedLagUs(std::int64_t capture_frontier_us,
+                                    std::int64_t emitted_ts_us) {
+  return capture_frontier_us > emitted_ts_us
+             ? capture_frontier_us - emitted_ts_us
+             : 0;
+}
+
 // Resumable merge over (possibly live) trace sources.
 //
 // Lifecycle: construct over a TraceSet (which must outlive the session;

@@ -367,12 +367,21 @@ SpillQueue::SpillQueue(fs::path dir, std::uint8_t channel,
 SpillQueue::~SpillQueue() {
   reader_.reset();
   writer_.reset();
-  std::error_code ec;  // best effort: never throw from a destructor
-  for (const Segment& seg : segments_) {
-    fs::remove(seg.path, ec);
-    if (budget_ != nullptr) budget_->Release(seg.charged);
-  }
-  Metrics().bytes_on_disk.Add(-static_cast<std::int64_t>(bytes_on_disk_));
+  // Best effort, and idempotent per segment: a reader destructing
+  // mid-replay while the writer had rotated must not release any
+  // segment's bytes twice (ReleaseSegment zeroes `charged`).
+  for (Segment& seg : segments_) ReleaseSegment(seg);
+  segments_.clear();
+}
+
+void SpillQueue::ReleaseSegment(Segment& seg) {
+  std::error_code ec;  // best effort: also runs from the destructor
+  fs::remove(seg.path, ec);
+  if (seg.charged == 0) return;  // already released: exactly-once
+  bytes_on_disk_ -= seg.charged;
+  Metrics().bytes_on_disk.Add(-static_cast<std::int64_t>(seg.charged));
+  if (budget_ != nullptr) budget_->Release(seg.charged);
+  seg.charged = 0;
 }
 
 void SpillQueue::OpenSegmentForPush() {
@@ -442,14 +451,8 @@ void SpillQueue::ReclaimDrained() {
   if (!Empty() || segments_.empty()) return;
   reader_.reset();
   writer_.reset();  // finalizes the open segment; it is deleted next
-  std::error_code ec;
-  for (const Segment& seg : segments_) {
-    fs::remove(seg.path, ec);
-    if (budget_ != nullptr) budget_->Release(seg.charged);
-  }
-  Metrics().bytes_on_disk.Add(-static_cast<std::int64_t>(bytes_on_disk_));
+  for (Segment& seg : segments_) ReleaseSegment(seg);
   segments_.clear();
-  bytes_on_disk_ = 0;
 }
 
 std::optional<JFrame> SpillQueue::Pop() {
@@ -473,13 +476,8 @@ std::optional<JFrame> SpillQueue::Pop() {
     }
     // Finished segment fully replayed: reclaim it.
     reader_.reset();
-    std::error_code ec;
-    fs::remove(front.path, ec);
-    bytes_on_disk_ -= front.charged;
-    SpillMetrics& m = Metrics();
-    m.segments_replayed.Add(1);
-    m.bytes_on_disk.Add(-static_cast<std::int64_t>(front.charged));
-    if (budget_ != nullptr) budget_->Release(front.charged);
+    Metrics().segments_replayed.Add(1);
+    ReleaseSegment(front);
     segments_.pop_front();
   }
   return std::nullopt;

@@ -144,8 +144,16 @@ struct SpillBudget {
   void Charge(std::uint64_t n) {
     used.fetch_add(n, std::memory_order_relaxed);
   }
+  // Saturating: releasing more than is charged clamps `used` at 0 instead
+  // of wrapping the unsigned counter.  A wrap would leave `used` enormous,
+  // latch Full() permanently true, and silently disable the spill tier for
+  // the rest of the session — far worse than the transient under-count it
+  // papers over.
   void Release(std::uint64_t n) {
-    used.fetch_sub(n, std::memory_order_relaxed);
+    std::uint64_t cur = used.load(std::memory_order_relaxed);
+    while (!used.compare_exchange_weak(cur, cur >= n ? cur - n : 0,
+                                       std::memory_order_relaxed)) {
+    }
   }
 };
 
@@ -204,6 +212,12 @@ class SpillQueue {
 
   void OpenSegmentForPush();
   void ChargeDelta();
+  // Deletes the segment's file and returns its charged bytes to the
+  // budget / footprint / gauge, exactly once: `charged` is zeroed so a
+  // second call (e.g. destructor after ReclaimDrained, or any future
+  // reclaim path racing a teardown) is a no-op instead of a double
+  // release.  Every reclaim site funnels through here.
+  void ReleaseSegment(Segment& seg);
 
   std::filesystem::path dir_;
   std::uint8_t channel_;

@@ -1,0 +1,138 @@
+#include "trace/net.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <stdexcept>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace jig::net {
+namespace {
+
+[[noreturn]] void Fail(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+sockaddr_in MakeAddr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("not an IPv4 address: " + host);
+  }
+  return addr;
+}
+
+}  // namespace
+
+Socket::~Socket() { Close(); }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::SetNonBlocking() {
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK) < 0) {
+    Fail("fcntl(O_NONBLOCK)");
+  }
+}
+
+Listener::Listener(const std::string& host, std::uint16_t port) {
+  sock_ = Socket(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock_.valid()) Fail("socket");
+  const int one = 1;
+  ::setsockopt(sock_.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr = MakeAddr(host, port);
+  if (::bind(sock_.fd(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0) {
+    Fail("bind " + host + ":" + std::to_string(port));
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(sock_.fd(), reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    Fail("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+  if (::listen(sock_.fd(), SOMAXCONN) != 0) Fail("listen");
+}
+
+Socket Listener::Accept(int timeout_ms) {
+  pollfd pfd{sock_.fd(), POLLIN, 0};
+  for (;;) {
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      Fail("poll(accept)");
+    }
+    if (rc == 0) {
+      throw std::runtime_error("accept timed out on port " +
+                               std::to_string(port_));
+    }
+    break;
+  }
+  const int fd = ::accept(sock_.fd(), nullptr, nullptr);
+  if (fd < 0) Fail("accept");
+  Socket peer(fd);
+  const int one = 1;
+  ::setsockopt(peer.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return peer;
+}
+
+Socket ConnectTo(const std::string& host, std::uint16_t port) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) Fail("socket");
+  const sockaddr_in addr = MakeAddr(host, port);
+  if (::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) != 0) {
+    Fail("connect " + host + ":" + std::to_string(port));
+  }
+  const int one = 1;
+  ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return sock;
+}
+
+void SendAll(Socket& sock, const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  while (n > 0) {
+    // MSG_NOSIGNAL: a vanished peer must surface as EPIPE, not SIGPIPE.
+    const ssize_t sent = ::send(sock.fd(), p, n, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      Fail("send");
+    }
+    p += sent;
+    n -= static_cast<std::size_t>(sent);
+  }
+}
+
+ReadResult ReadSome(Socket& sock, void* buf, std::size_t cap) {
+  for (;;) {
+    const ssize_t got = ::recv(sock.fd(), buf, cap, 0);
+    if (got > 0) return {static_cast<std::size_t>(got), false};
+    if (got == 0) return {0, true};
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return {0, false};
+    if (errno == ECONNRESET) return {0, true};
+    Fail("recv");
+  }
+}
+
+}  // namespace jig::net

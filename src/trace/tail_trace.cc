@@ -104,7 +104,12 @@ TailFileTrace::~TailFileTrace() {
 }
 
 bool TailFileTrace::TryLoadNextBlock() {
-  if (finalized_) return false;
+  // After a Rewind() past the latched marker, replay stops exactly where
+  // the marker was seen — re-reading it would be wasted IO, and the latch
+  // itself must never clear.
+  if (end_marker_seen_ && next_block_offset_ >= end_marker_offset_) {
+    return false;
+  }
   std::uint8_t len_buf[4];
   if (!ReadAt(file_, next_block_offset_, len_buf, 4)) {
     Metrics().repolls.Add(1);
@@ -113,7 +118,8 @@ bool TailFileTrace::TryLoadNextBlock() {
   const std::uint32_t packed_len = DecodeU32(len_buf);
   if (packed_len == 0) {
     // The writer's finalize marker: no block will ever follow.
-    finalized_ = true;
+    end_marker_seen_ = true;
+    end_marker_offset_ = next_block_offset_;
     return false;
   }
   if (packed_len > kMaxPackedBlockLen) {
@@ -169,7 +175,11 @@ void TailFileTrace::Rewind() {
   next_block_offset_ = data_start_;
   block_records_.clear();
   block_pos_ = 0;
-  finalized_ = false;
+  // Deliberately leaves end_marker_seen_ untouched: finalize is a latch.
+  // Clearing it here let a re-poll consumer observe Finalized() flapping
+  // true -> false after a bootstrap rewind, and a socket/wing consumer
+  // that tears down on the first true would then hang forever waiting for
+  // a marker it had already consumed.
 }
 
 }  // namespace jig

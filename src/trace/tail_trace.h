@@ -50,9 +50,12 @@ class TailFileTrace final : public RecordStream {
   std::optional<CaptureRecord> Next() override;
   const CaptureRecord* NextRef() override;
   void Rewind() override;
-  bool Finalized() const override {
-    return finalized_ && block_pos_ >= block_records_.size();
-  }
+  // Latched: once the finalize marker has been observed this stays true
+  // forever — Rewind() replays the records but cannot un-finalize the
+  // trace (the marker is the writer's irrevocable end-of-capture
+  // statement, and a consumer that saw Finalized() == true may already
+  // have torn down its re-poll loop).
+  bool Finalized() const override { return end_marker_seen_; }
 
   const std::filesystem::path& path() const { return path_; }
 
@@ -62,7 +65,8 @@ class TailFileTrace final : public RecordStream {
 
   // Attempts to load the block at next_block_offset_.  Returns false with
   // no state change when the block is not fully written yet, false with
-  // finalized_ set when the terminator is found, true on success.
+  // end_marker_seen_ latched when the terminator is found, true on
+  // success.
   bool TryLoadNextBlock();
 
   std::FILE* file_ = nullptr;
@@ -72,7 +76,11 @@ class TailFileTrace final : public RecordStream {
   std::uint64_t next_block_offset_ = 0; // read frontier (block-aligned)
   std::vector<CaptureRecord> block_records_;
   std::size_t block_pos_ = 0;
-  bool finalized_ = false;
+  // Both latch on the [u32 0] terminator and survive Rewind(): replay
+  // stops at the recorded marker offset instead of re-reading the marker,
+  // so Finalized() can never flap back to false.
+  bool end_marker_seen_ = false;
+  std::uint64_t end_marker_offset_ = 0;
 };
 
 }  // namespace jig

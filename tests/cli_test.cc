@@ -1,7 +1,10 @@
 // Exit-code contract of the jigtool CLI (documented in examples/jigtool.cpp
-// and docs/OBSERVABILITY.md): 0 success, 1 unreadable/missing input,
-// 2 usage error, 3 corrupt or truncated input.  Monitoring wrappers and the
-// CI bench gate branch on these, so they are pinned here.
+// and docs/OBSERVABILITY.md): 0 success, 1 unreadable/missing input or
+// unreachable peer, 2 usage error, 3 corrupt or truncated input.  The
+// contract covers the network doors too: serve-trace maps a refused
+// connection to 1 and a mid-stream disconnect (either direction) to 3.
+// Monitoring wrappers and the CI bench gate branch on these, so they are
+// pinned here.
 //
 // The jigtool binary is located via the JIGTOOL environment variable, or
 // ./jigtool relative to the test's working directory (ctest runs from the
@@ -9,10 +12,14 @@
 #include <gtest/gtest.h>
 #include <sys/wait.h>
 
+#include <cstdint>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <string>
+
+#include "trace/net.h"
+#include "trace/trace_file.h"
 
 namespace {
 
@@ -53,6 +60,30 @@ class CliTest : public ::testing::Test {
     for (int i = 0; i < 64; ++i) out.put(static_cast<char>(i * 7 + 1));
   }
 
+  // A small, valid, finalized single-radio trace for the network tests.
+  fs::path WriteValidTrace(const std::string& name, int records = 100) {
+    const fs::path path = dir_ / name;
+    jig::TraceHeader header;
+    header.radio = 1;
+    jig::TraceFileWriter writer(path, header, /*records_per_block=*/16);
+    jig::CaptureRecord rec;
+    rec.bytes = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14};
+    rec.orig_len = 14;
+    for (int i = 0; i < records; ++i) {
+      rec.timestamp = 1'000 * (i + 1);
+      writer.Append(rec);
+    }
+    writer.Finish();
+    return path;
+  }
+
+  // A port with nothing listening on it: bind an ephemeral listener, note
+  // the port, close it again.
+  static std::uint16_t UnusedPort() {
+    jig::net::Listener probe("127.0.0.1", 0);
+    return probe.port();
+  }
+
   fs::path dir_;
 };
 
@@ -82,6 +113,79 @@ TEST_F(CliTest, InspectSpillOnMissingOrEmptyInputExitsOne) {
 TEST_F(CliTest, InspectSpillOnCorruptSegmentExitsThree) {
   WriteGarbage(dir_ / "ch1-0.jigs");
   EXPECT_EQ(RunJigtool("inspect-spill " + dir_.string()), 3);
+}
+
+// ------------------------------------------------------------------------
+// Network doors.
+
+TEST_F(CliTest, ServeTraceUsageErrorsExitTwo) {
+  const fs::path trace = WriteValidTrace("r1.jigt");
+  EXPECT_EQ(RunJigtool("serve-trace " + trace.string()), 2);  // no host/port
+  EXPECT_EQ(RunJigtool("serve-trace " + trace.string() + " 127.0.0.1"), 2);
+  EXPECT_EQ(RunJigtool("collect " + dir_.string() + " 12345"), 2);  // no n
+  EXPECT_EQ(RunJigtool("demo-live " + dir_.string() + " 1 10 --tcp"), 2);
+}
+
+TEST_F(CliTest, ServeTraceMissingFileExitsOne) {
+  EXPECT_EQ(RunJigtool("serve-trace " + (dir_ / "nope.jigt").string() +
+                       " 127.0.0.1 1"),
+            1);
+}
+
+TEST_F(CliTest, ServeTraceConnectionRefusedExitsOne) {
+  const fs::path trace = WriteValidTrace("r1.jigt");
+  EXPECT_EQ(RunJigtool("serve-trace " + trace.string() + " 127.0.0.1 " +
+                       std::to_string(UnusedPort())),
+            1);
+}
+
+TEST_F(CliTest, ServeTraceCorruptSourceExitsThree) {
+  WriteGarbage(dir_ / "bad.jigt");
+  // Corruption is detected before the dial, so no collector is needed.
+  EXPECT_EQ(RunJigtool("serve-trace " + (dir_ / "bad.jigt").string() +
+                       " 127.0.0.1 1"),
+            3);
+}
+
+// Composite runner for one collect (background) + one serve-trace
+// (foreground) against the same port: returns serve_exit * 10 +
+// collect_exit, so a single assertion pins both ends of the wire.
+int RunServeCollectPair(const std::string& tool, const fs::path& trace,
+                        const fs::path& out_dir, std::uint16_t port) {
+  const std::string p = std::to_string(port);
+  const std::string cmd = tool + " collect " + out_dir.string() + " " + p +
+                          " 1 >/dev/null 2>&1 & cpid=$!; sleep 0.3; " +
+                          tool + " serve-trace " + trace.string() +
+                          " 127.0.0.1 " + p +
+                          " >/dev/null 2>&1; s=$?; wait $cpid; c=$?; "
+                          "exit $((s * 10 + c))";
+  const int status = std::system(cmd.c_str());
+  if (status == -1) return -1;
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+TEST_F(CliTest, ServeTraceToCollectRoundTripExitsZeroBothEnds) {
+  const fs::path trace = WriteValidTrace("r1.jigt");
+  const int combined = RunServeCollectPair(JigtoolPath(), trace,
+                                           dir_ / "out", UnusedPort());
+  EXPECT_EQ(combined, 0) << "serve exit " << combined / 10
+                         << ", collect exit " << combined % 10;
+  // The collector persisted the stream (byte-identical: same records,
+  // same block framing, same index).
+  EXPECT_TRUE(fs::exists(dir_ / "out" / "r1.jigt"));
+}
+
+TEST_F(CliTest, MidStreamDisconnectExitsThreeBothEnds) {
+  // Truncate a valid trace mid-block: serve-trace relays the complete
+  // blocks then closes WITHOUT the finalize marker (exit 3), and the
+  // collector observes a genuine mid-stream disconnect (exit 3).
+  const fs::path trace = WriteValidTrace("r1.jigt", 200);
+  const auto full = fs::file_size(trace);
+  fs::resize_file(trace, full / 2);
+  const int combined = RunServeCollectPair(JigtoolPath(), trace,
+                                           dir_ / "out", UnusedPort());
+  EXPECT_EQ(combined, 33) << "serve exit " << combined / 10
+                          << ", collect exit " << combined % 10;
 }
 
 }  // namespace

@@ -9,12 +9,16 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "jigsaw/pipeline.h"
 #include "obs/export.h"
 #include "obs/stage_timer.h"
+#include "synthetic.h"
 
 namespace jig::obs {
 namespace {
@@ -254,6 +258,60 @@ TEST(ExpositionTest, LabeledSeriesShareOneTypeHeader) {
   const auto first = text.find(type_line);
   ASSERT_NE(first, std::string::npos);
   EXPECT_EQ(text.find(type_line, first + 1), std::string::npos);
+}
+
+// The lag-accounting regression pins.  Pre-fix, Emit() observed the raw
+// `capture_frontier - jf.timestamp` into jig_merge_emit_lag_us and
+// live_lag_us() returned the raw frontier difference — both could go
+// negative when an emission outran the captured frontier.
+
+// The clamp itself (the pre-fix code had no such seam: both sites did a
+// raw subtraction, which this pins against).
+TEST(LagAccountingTest, ClampedLagNeverNegative) {
+  EXPECT_EQ(jig::ClampedLagUs(250, 100), 150);
+  EXPECT_EQ(jig::ClampedLagUs(100, 100), 0);
+  // An emission ahead of the captured frontier is zero lag, not negative.
+  EXPECT_EQ(jig::ClampedLagUs(100, 250), 0);
+  EXPECT_EQ(jig::ClampedLagUs(-500, -100), 0);
+  EXPECT_EQ(jig::ClampedLagUs(-100, -500), 400);
+}
+
+// End-to-end: across a full merge the emit frontier advances
+// monotonically, live_lag_us() never reports below zero, and at kDone the
+// output has caught up with capture exactly (lag == 0).  The lag
+// histogram must likewise hold only non-negative samples.
+TEST(LagAccountingTest, SessionLagIsNonNegativeAndZeroAtDone) {
+  Histogram& lag_hist = Reg().GetHistogram(
+      "jig_merge_emit_lag_us", LatencyBucketsUs(), "Emit lag (us)");
+  lag_hist.Reset();
+
+  auto net = jig::testing::MultiChannelNetwork(77);
+  auto traces = net.Build();
+  jig::MergeConfig config;
+  config.threads = 2;
+  std::int64_t prev_emit_ts = std::numeric_limits<std::int64_t>::min();
+  std::uint64_t emitted = 0;
+  jig::MergeSession session(traces, config, [&](jig::JFrame&& jf) {
+    EXPECT_GE(jf.timestamp, prev_emit_ts) << "emit frontier went backwards";
+    prev_emit_ts = jf.timestamp;
+    ++emitted;
+  });
+  jig::MergeSession::Status status;
+  do {
+    status = session.Poll();
+    EXPECT_GE(session.live_lag_us(), 0)
+        << "live lag reported negative mid-session";
+  } while (status != jig::MergeSession::Status::kDone);
+  ASSERT_GT(emitted, 0u);
+  EXPECT_EQ(session.live_lag_us(), 0)
+      << "output did not catch up with capture at kDone";
+
+  // Histogram samples were clamped: with the bounded sum identity,
+  // Sum() >= 0 and every recorded sample landed in a finite-or-overflow
+  // bucket (negative raw samples would drag Sum() below zero long before
+  // the bucket counts noticed).
+  EXPECT_EQ(lag_hist.Count(), emitted);
+  EXPECT_GE(lag_hist.Sum(), 0);
 }
 
 }  // namespace

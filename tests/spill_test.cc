@@ -412,5 +412,85 @@ TEST_F(SpillTest, BudgetExhaustionDegradesToWatermarkBackpressure) {
   ExpectIdenticalStreams(streamed, batch.jframes);
 }
 
+// ---------------------------------------------------------------------------
+// Budget-accounting regressions.
+
+// Pre-fix, SpillBudget::Release was a raw fetch_sub: one over-release (a
+// reclaim path double-counting a segment) wrapped `used` to ~2^64, which
+// latched Full() permanently true and silently disabled the spill tier
+// for the rest of the session.  Release must saturate at zero.
+TEST(SpillBudgetTest, ReleaseSaturatesInsteadOfWrapping) {
+  SpillBudget budget;
+  budget.limit = 100;
+  budget.Charge(50);
+  EXPECT_FALSE(budget.Full());
+  budget.Release(80);  // over-release: more than was ever charged
+  EXPECT_EQ(budget.used.load(), 0u);
+  EXPECT_FALSE(budget.Full()) << "wrapped budget latched Full() forever";
+  // The budget still works normally afterwards.
+  budget.Charge(100);
+  EXPECT_TRUE(budget.Full());
+  budget.Release(1);
+  EXPECT_FALSE(budget.Full());
+}
+
+// Churn: push enough through a tiny-segment queue that the writer rotates
+// several times, replay only part of it (reader mid-segment), then
+// destruct.  The budget must return to exactly zero — ReclaimDrained
+// followed by the destructor, or the destructor alone mid-replay, must
+// release each segment's bytes exactly once (no leak pinning the budget,
+// no double-release wrapping it).
+TEST_F(SpillTest, ChurnedQueueReturnsBudgetExactlyOnce) {
+  SpillBudget budget;
+  budget.limit = 0;  // uncapped: we only watch the accounting
+  {
+    SpillQueue queue(dir_, /*channel=*/6, &budget, /*segment_bytes=*/256);
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_TRUE(queue.Push(SampleJFrame(i)));
+    }
+    queue.Sync();
+    ASSERT_GT(budget.used.load(), 0u);
+    // Replay part of the backlog: enough to reclaim some finished
+    // segments in Pop() and leave the reader mid-segment on another.
+    for (int i = 0; i < 77; ++i) {
+      auto jf = queue.Pop();
+      ASSERT_TRUE(jf.has_value());
+    }
+    EXPECT_FALSE(queue.Empty());
+    // Destructor fires here, mid-replay, with rotated segments in every
+    // state: fully replayed (already released), partially replayed, and
+    // the writer's open segment.
+  }
+  EXPECT_EQ(budget.used.load(), 0u)
+      << "budget drifted across a mid-replay teardown";
+  EXPECT_TRUE(fs::is_empty(dir_)) << "spill segments outlived their queue";
+}
+
+// Full-drain path: ReclaimDrained releases everything, and the destructor
+// right after must not release it again (idempotence pin — pre-fix both
+// paths released every remaining segment's bytes).
+TEST_F(SpillTest, ReclaimThenDestructReleasesOnce) {
+  SpillBudget budget;
+  budget.limit = 0;
+  {
+    SpillQueue queue(dir_, /*channel=*/1, &budget, /*segment_bytes=*/256);
+    for (int i = 0; i < 120; ++i) {
+      ASSERT_TRUE(queue.Push(SampleJFrame(i)));
+    }
+    queue.Sync();
+    int popped = 0;
+    while (queue.Pop().has_value()) ++popped;
+    ASSERT_EQ(popped, 120);
+    ASSERT_TRUE(queue.Empty());
+    queue.ReclaimDrained();
+    EXPECT_EQ(budget.used.load(), 0u);
+    EXPECT_EQ(queue.bytes_on_disk(), 0u);
+    // Destructor runs now over the already-reclaimed state.
+  }
+  EXPECT_EQ(budget.used.load(), 0u)
+      << "destructor double-released after ReclaimDrained";
+  EXPECT_TRUE(fs::is_empty(dir_));
+}
+
 }  // namespace
 }  // namespace jig

@@ -4,6 +4,7 @@
 
 #include <filesystem>
 
+#include "trace/tail_trace.h"
 #include "trace/trace_set.h"
 #include "util/rng.h"
 
@@ -286,6 +287,44 @@ TEST_F(TraceFileTest, GarbageBlockContentsReportCorruption) {
   }
   TraceFileReader reader(path);
   EXPECT_THROW(reader.Next(), TraceCorruptError);
+}
+
+// Regression: the pre-fix tail reader reset finalized_ = false in
+// Rewind(), so a consumer that saw Finalized() == true, rewound for the
+// global late-bootstrap pass, and drained the replay would observe the
+// trace flap back to "still capturing" — and a socket/wing consumer that
+// tears down its re-poll loop on the first true would hang forever.
+// Finalize must latch across Rewind(), and the replay must still yield
+// every record.
+TEST_F(TraceFileTest, TailFinalizeLatchesAcrossRewind) {
+  const auto path = dir_ / "latch.jigt";
+  const auto records = MakeRecords(300);
+  {
+    TraceFileWriter writer(path, Header(), /*records_per_block=*/64);
+    for (const auto& rec : records) writer.Append(rec);
+    writer.Finish();
+  }
+  auto tail = TailFileTrace::TryOpen(path);
+  ASSERT_NE(tail, nullptr);
+  std::size_t n = 0;
+  while (tail->Next().has_value()) ++n;
+  ASSERT_EQ(n, records.size());
+  ASSERT_TRUE(tail->Finalized());
+
+  tail->Rewind();
+  // The latch: Finalized() must NOT flap back to false after Rewind.
+  EXPECT_TRUE(tail->Finalized());
+
+  // And the rewind must still replay the full capture, stopping cleanly
+  // at the (already consumed) finalize marker.
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto got = tail->Next();
+    ASSERT_TRUE(got.has_value()) << "record " << i << " lost after rewind";
+    EXPECT_EQ(got->timestamp, records[i].timestamp);
+    EXPECT_EQ(got->bytes, records[i].bytes);
+  }
+  EXPECT_FALSE(tail->Next().has_value());
+  EXPECT_TRUE(tail->Finalized());
 }
 
 TEST_F(TraceFileTest, MissingFileRejected) {

@@ -10,7 +10,7 @@ Usage:
 `current.json` is raw Google Benchmark JSON output, e.g.:
 
   ./build/bench_merge_throughput \
-      '--benchmark_filter=BM_MergeParallel|BM_MergeSpill|BM_Bootstrap' \
+      '--benchmark_filter=BM_MergeParallel|BM_MergeSpill|BM_Bootstrap|BM_MergeDistributed' \
       --benchmark_format=json > current.json
 
 The committed baseline (BENCH_merge.json at the repo root) is the
@@ -56,6 +56,7 @@ DEFAULT_FAMILIES = {
     "BM_MergeParallel": "events/s",
     "BM_MergeSpill": "events_while_gated",
     "BM_Bootstrap": "events/s",
+    "BM_MergeDistributed": "events/s",
 }
 
 
