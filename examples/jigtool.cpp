@@ -53,10 +53,14 @@
 //                                   truncated file streams its complete
 //                                   blocks, then closes WITHOUT the marker
 //                                   so the receiver sees the cut too.
-//   jigtool collect <out_dir> <port> <n>
+//   jigtool collect <out_dir> <port> <n> [--ready-file <file>]
 //                                   accept n socket trace streams on
 //                                   127.0.0.1:<port> and persist each as an
-//                                   indexed .jigt in <out_dir>
+//                                   indexed .jigt in <out_dir>.
+//                                   --ready-file atomically writes <file>
+//                                   (containing the bound port) once the
+//                                   listener is accepting — the readiness
+//                                   door scripts poll instead of sleeping
 //   jigtool demo-live <dir> [s] [ms] --tcp <port>
 //                                   the demo-live radios stream to a
 //                                   collector on 127.0.0.1:<port> instead of
@@ -70,9 +74,42 @@
 //                                   the wings on 127.0.0.1:<port> and run
 //                                   the global merge
 //
+// Always-on service (docs/ARCHITECTURE.md "The monitoring service"):
+//
+//   jigtool serve <state_root> <trace_dir> [<trace_dir>...]
+//                 [--expected <n>] [--window-us <us>] [--max-bytes <n>]
+//                 [--interval-ms <ms>] [--analysis] [--until-done]
+//                 [--spill-dir <sdir>]
+//                                   long-running monitoring daemon: one
+//                                   deployment per trace directory, all
+//                                   multiplexed through a single poll
+//                                   loop.  Per-deployment durable output
+//                                   logs, .jigc checkpoints, and rolling
+//                                   retention live under
+//                                   <state_root>/<deployment>/; the
+//                                   service snapshot (JSON) and metric
+//                                   registry (Prometheus text) are
+//                                   atomically replaced at
+//                                   <state_root>/snapshot.json and
+//                                   <state_root>/metrics.prom every
+//                                   --interval-ms (default 500).  Runs
+//                                   until SIGTERM/SIGINT (clean shutdown:
+//                                   pending output published, final
+//                                   checkpoint + snapshot written, exit
+//                                   0), or — with --until-done — until
+//                                   every deployment's traces finalize.
+//                                   A crashed-and-restarted serve over
+//                                   the same state_root recovers from the
+//                                   checkpoints and appends exactly the
+//                                   jframes the uninterrupted run would
+//                                   have.
+//
 // Exit codes: 0 success, 1 unreadable/missing input or unreachable peer,
 // 2 usage error, 3 corrupt or truncated input (inspect-spill, stats, and
-// every network door — a mid-stream disconnect is truncation).
+// every network door — a mid-stream disconnect is truncation).  serve
+// follows the same contract: an unloadable .jigc checkpoint or a
+// deployment that ends failed is 3; a missing trace directory is 1; a
+// SIGTERM'd daemon exits 0 after its final snapshot flush.
 //
 // The merge, follow and timeline commands run the streaming pipeline into
 // the analysis bus — one pass over the traces feeds every analysis at once.
@@ -84,11 +121,14 @@
 // Usage: ./build/examples/jigtool <command> <trace_dir> [args]
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <memory>
+#include <set>
+#include <string>
 #include <thread>
 #include <tuple>
 #include <vector>
@@ -97,6 +137,7 @@
 #include "jigsaw/analysis/visualize.h"
 #include "jigsaw/distributed.h"
 #include "jigsaw/pipeline.h"
+#include "jigsaw/service.h"
 #include "jigsaw/spill.h"
 #include "obs/export.h"
 #include "sim/scenario.h"
@@ -350,11 +391,17 @@ int CmdServeTrace(const char* file, const char* host, long port) {
 
 // Accepts n socket trace streams and persists each as an indexed .jigt —
 // the ingest half of a collector: network in, seekable files out.
-int CmdCollect(const char* out_dir, long port, long n) {
+int CmdCollect(const char* out_dir, long port, long n,
+               const char* ready_file) {
   try {
     net::Listener listener("127.0.0.1", static_cast<std::uint16_t>(port));
     std::printf("collecting %ld streams on 127.0.0.1:%u ...\n", n,
                 listener.port());
+    if (ready_file != nullptr) {
+      // The listener is bound: senders may dial from here on.  Atomic, so
+      // a poller never reads a half-written port number.
+      obs::WriteFileAtomic(ready_file, std::to_string(listener.port()));
+    }
     TraceSet traces = AcceptTraces(listener, static_cast<std::size_t>(n));
     std::filesystem::create_directories(out_dir);
     std::vector<std::unique_ptr<TraceFileWriter>> writers;
@@ -477,6 +524,122 @@ int CmdRoot(long port, long n, unsigned threads, const char* spill_dir) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
+}
+
+// SIGTERM/SIGINT door for `jigtool serve`: the handler only sets a flag;
+// the poll loop notices it between rounds and walks the clean-shutdown
+// path (publish pending output, final checkpoint, final snapshot).
+volatile std::sig_atomic_t g_serve_stop = 0;
+
+extern "C" void ServeStopHandler(int) { g_serve_stop = 1; }
+
+struct ServeOptions {
+  long expected = 0;        // traces to wait for, per deployment (0: first scan)
+  long window_us = 0;       // rolling retention window (0: unbounded)
+  long max_bytes = 0;       // per-deployment output-log cap (0: uncapped)
+  long interval_ms = 500;   // snapshot/metrics exposition cadence
+  bool analysis = false;    // run the stock analysis chain per deployment
+  bool until_done = false;  // exit once every deployment finishes
+  const char* spill_dir = nullptr;
+};
+
+// Always-on monitoring daemon over one or more trace directories.  Each
+// directory becomes a DeploymentMonitor named after its basename with
+// private state under <state_root>/<name>/; the MonitorService multiplexes
+// all of them through one poll loop and exposes snapshot.json +
+// metrics.prom in <state_root>.
+int CmdServe(const char* state_root, const std::vector<const char*>& dirs,
+             const ServeOptions& opt) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  for (const char* d : dirs) {
+    if (!fs::is_directory(d, ec)) {
+      std::fprintf(stderr, "not a directory: %s\n", d);
+      return 1;
+    }
+  }
+  fs::create_directories(state_root, ec);
+  if (ec) {
+    std::fprintf(stderr, "cannot create state root %s: %s\n", state_root,
+                 ec.message().c_str());
+    return 1;
+  }
+
+  ServiceConfig scfg;
+  scfg.snapshot_path = fs::path(state_root) / "snapshot.json";
+  scfg.metrics_path = fs::path(state_root) / "metrics.prom";
+  scfg.snapshot_interval = std::chrono::milliseconds(
+      opt.interval_ms > 0 ? opt.interval_ms : 500);
+  MonitorService service(scfg);
+
+  std::set<std::string> names;
+  for (const char* d : dirs) {
+    std::string name = fs::path(d).filename().string();
+    if (name.empty()) name = fs::path(d).parent_path().filename().string();
+    if (name.empty()) name = "deployment";
+    while (!names.insert(name).second) name += "x";  // collision: suffix
+    DeploymentConfig cfg;
+    cfg.name = name;
+    cfg.trace_dir = d;
+    cfg.state_dir = fs::path(state_root) / name;
+    cfg.expected_traces = static_cast<std::size_t>(opt.expected);
+    cfg.retention_window_us = opt.window_us;
+    cfg.max_output_bytes = static_cast<std::uint64_t>(opt.max_bytes);
+    cfg.analysis = opt.analysis;
+    if (opt.spill_dir != nullptr) {
+      cfg.merge.spill_dir = (fs::path(opt.spill_dir) / name).string();
+    }
+    try {
+      service.AddDeployment(std::move(cfg));
+    } catch (const TraceError& e) {
+      // Unrecoverable state (corrupt/truncated checkpoint or log).
+      std::fprintf(stderr, "cannot recover deployment %s: %s\n",
+                   name.c_str(), e.what());
+      return 3;
+    }
+  }
+  std::printf("serving %zu deployment(s); state in %s\n",
+              service.deployments(), state_root);
+
+  g_serve_stop = 0;
+  std::signal(SIGTERM, ServeStopHandler);
+  std::signal(SIGINT, ServeStopHandler);
+  // Write the first exposition immediately: a supervisor (or test) polls
+  // snapshot.json for readiness and must not race the first interval.
+  service.WriteSnapshot();
+  service.WriteMetrics();
+  service.Run([&service, &opt] {
+    if (g_serve_stop) return false;
+    if (!opt.until_done) return true;
+    for (std::size_t i = 0; i < service.deployments(); ++i) {
+      const auto s = service.monitor(i).state();
+      if (s == DeploymentMonitor::State::kDiscovering ||
+          s == DeploymentMonitor::State::kRunning) {
+        return true;
+      }
+    }
+    return false;  // --until-done and every deployment settled
+  });
+
+  bool failed = false;
+  for (std::size_t i = 0; i < service.deployments(); ++i) {
+    DeploymentMonitor& m = service.monitor(i);
+    const auto st = m.Status();
+    std::printf("  %s: %s, %llu jframes (%llu recovered), %llu bytes in "
+                "%llu segment(s)\n",
+                st.name.c_str(), st.state.c_str(),
+                static_cast<unsigned long long>(st.jframes),
+                static_cast<unsigned long long>(st.recovered),
+                static_cast<unsigned long long>(st.output_bytes),
+                static_cast<unsigned long long>(st.output_segments));
+    if (m.state() == DeploymentMonitor::State::kFailed) failed = true;
+  }
+  if (failed) {
+    std::fprintf(stderr, "one or more deployments failed (see log above)\n");
+    return 3;
+  }
+  std::printf("serve: clean shutdown\n");
+  return 0;
 }
 
 int CmdInfo(const char* dir) {
@@ -844,7 +1007,7 @@ int main(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr,
                  "usage: jigtool demo|demo-live|info|merge|follow|stats|"
-                 "inspect-spill|timeline|serve-trace|collect|wing|root "
+                 "inspect-spill|timeline|serve-trace|collect|wing|root|serve "
                  "<dir|file|port> [args] [--spill-dir <sdir>] "
                  "[--stats-json <file>] [--mmap] [--pin-threads] "
                  "[--tcp <port>]\n");
@@ -860,8 +1023,41 @@ int main(int argc, char** argv) {
   long tcp_port = -1;
   bool use_mmap = false;
   bool pin_threads = false;
+  ServeOptions serve_opt;
+  const char* ready_file = nullptr;
   std::vector<const char*> pos;
+  const auto long_flag = [&](int& i, const char* flag, long& out) {
+    if (std::strcmp(argv[i], flag) != 0) return false;
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "%s needs a numeric argument\n", flag);
+      std::exit(2);
+    }
+    out = std::atol(argv[++i]);
+    return true;
+  };
   for (int i = 3; i < argc; ++i) {
+    if (long_flag(i, "--expected", serve_opt.expected) ||
+        long_flag(i, "--window-us", serve_opt.window_us) ||
+        long_flag(i, "--max-bytes", serve_opt.max_bytes) ||
+        long_flag(i, "--interval-ms", serve_opt.interval_ms)) {
+      continue;
+    }
+    if (std::strcmp(argv[i], "--analysis") == 0) {
+      serve_opt.analysis = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--ready-file") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--ready-file needs a file argument\n");
+        return 2;
+      }
+      ready_file = argv[++i];
+      continue;
+    }
+    if (std::strcmp(argv[i], "--until-done") == 0) {
+      serve_opt.until_done = true;
+      continue;
+    }
     if (std::strcmp(argv[i], "--mmap") == 0) {
       use_mmap = true;
       continue;
@@ -909,10 +1105,10 @@ int main(int argc, char** argv) {
   };
   if (spill_dir != nullptr && std::strcmp(cmd, "merge") != 0 &&
       std::strcmp(cmd, "follow") != 0 && std::strcmp(cmd, "root") != 0 &&
-      std::strcmp(cmd, "wing") != 0) {
+      std::strcmp(cmd, "wing") != 0 && std::strcmp(cmd, "serve") != 0) {
     std::fprintf(stderr,
                  "warning: --spill-dir only applies to merge/follow/wing/"
-                 "root; ignored for '%s'\n",
+                 "root/serve; ignored for '%s'\n",
                  cmd);
   }
   if (tcp_port >= 0 && std::strcmp(cmd, "demo-live") != 0) {
@@ -960,10 +1156,12 @@ int main(int argc, char** argv) {
   }
   if (std::strcmp(cmd, "collect") == 0) {
     if (pos.size() < 2) {
-      std::fprintf(stderr, "usage: jigtool collect <out_dir> <port> <n>\n");
+      std::fprintf(stderr,
+                   "usage: jigtool collect <out_dir> <port> <n> "
+                   "[--ready-file <file>]\n");
       return 2;
     }
-    return CmdCollect(dir, std::atol(pos[0]), std::atol(pos[1]));
+    return CmdCollect(dir, std::atol(pos[0]), std::atol(pos[1]), ready_file);
   }
   if (std::strcmp(cmd, "wing") == 0) {
     if (pos.size() < 2) {
@@ -985,6 +1183,19 @@ int main(int argc, char** argv) {
     }
     return CmdRoot(std::atol(dir), std::atol(pos[0]),
                    static_cast<unsigned>(pos_long(1, 0)), spill_dir);
+  }
+  if (std::strcmp(cmd, "serve") == 0) {
+    // <dir> slot carries the state root; every positional is a deployment.
+    if (pos.empty()) {
+      std::fprintf(stderr,
+                   "usage: jigtool serve <state_root> <trace_dir> "
+                   "[<trace_dir>...] [--expected <n>] [--window-us <us>] "
+                   "[--max-bytes <n>] [--interval-ms <ms>] [--analysis] "
+                   "[--until-done] [--spill-dir <sdir>]\n");
+      return 2;
+    }
+    serve_opt.spill_dir = spill_dir;
+    return CmdServe(dir, pos, serve_opt);
   }
   if (std::strcmp(cmd, "info") == 0) return CmdInfo(dir);
   if (std::strcmp(cmd, "merge") == 0) {

@@ -1,6 +1,7 @@
 #include "jigsaw/distributed.h"
 
 #include <chrono>
+#include <cstdio>
 #include <set>
 #include <stdexcept>
 #include <thread>
@@ -254,7 +255,8 @@ std::uint64_t RootSession::jframes() const { return impl_->jframes; }
 MergeStreamStats RootSession::Run(std::function<void(JFrame&&)> sink) {
   Impl& impl = *impl_;
   TraceSet traces = AcceptTraces(impl.listener, impl.config.n_streams,
-                                 impl.config.accept_timeout_ms);
+                                 impl.config.accept_timeout_ms,
+                                 impl.config.resume_reconnects);
   // Which wing each radio's stream arrived from: the boundary-overlap
   // attribution for the reconciliation counter below.
   std::unordered_map<RadioId, std::uint32_t> wing_of;
@@ -287,6 +289,25 @@ MergeStreamStats RootSession::Run(std::function<void(JFrame&&)> sink) {
   MergeStreamStats result;
   MergeSession session(traces, impl.config.merge, counting_sink);
   for (;;) {
+    // Pick up re-dialing wings before pulling data: a dead uplink's
+    // stream is parked (resumable) and only a resumed connection can
+    // unpark it.  A connection with an unknown identity mid-run is not
+    // one of our n_streams — drop it rather than let a stray dial wedge
+    // or grow the merge.
+    if (impl.config.resume_reconnects) {
+      for (;;) {
+        net::Socket fresh = impl.listener.TryAccept();
+        if (!fresh.valid()) break;
+        auto stranger = SocketTrace::OpenOrResume(
+            std::move(fresh), sockets, impl.config.accept_timeout_ms);
+        if (stranger) {
+          std::fprintf(stderr,
+                       "root: dropping unexpected stream (source %u "
+                       "radio %u) — not a resume of any known uplink\n",
+                       stranger->source_id(), stranger->header().radio);
+        }
+      }
+    }
     // Drain every wing uplink first — see SocketTrace::Ingest for why
     // skipping currently-unneeded streams can deadlock the senders.
     for (SocketTrace* s : sockets) s->Ingest();

@@ -209,6 +209,16 @@ void SpillSegmentWriter::Finish() {
   finished_ = true;
 }
 
+void SpillSegmentWriter::Abandon() {
+  if (finished_) return;
+  // Drop the uncut block — a killed process never got to publish it —
+  // and leave the file marker-less, exactly as SIGKILL would.
+  pending_.clear();
+  pending_count_ = 0;
+  finished_ = true;
+  std::fflush(file_);
+}
+
 // ---------------------------------------------------------------------------
 // SpillSegmentReader.
 

@@ -72,6 +72,14 @@ class SpillSegmentWriter {
   void Append(const JFrame& jf);
   void Sync();
   void Finish();
+  // Closes the segment the way a crash would leave it: the pending uncut
+  // block is discarded and NO finalize marker is written, so a later
+  // strict read reports truncation and a tail read stops at the last
+  // published block.  The monitoring service's simulated-kill path uses
+  // this — the destructor's implicit Finish() would forge an end-of-
+  // stream marker the "crashed" process never wrote.  Idempotent; the
+  // writer is unusable afterwards (Append/Sync/Finish throw).
+  void Abandon();
 
   std::uint64_t records_written() const { return records_written_; }
   // Bytes landed in the file so far (published blocks + header/trailer);

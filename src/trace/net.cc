@@ -96,6 +96,30 @@ Socket Listener::Accept(int timeout_ms) {
   return peer;
 }
 
+Socket Listener::TryAccept() {
+  pollfd pfd{sock_.fd(), POLLIN, 0};
+  const int rc = ::poll(&pfd, 1, 0);
+  if (rc < 0) {
+    if (errno == EINTR) return Socket{};
+    Fail("poll(try-accept)");
+  }
+  if (rc == 0) return Socket{};
+  const int fd = ::accept(sock_.fd(), nullptr, nullptr);
+  if (fd < 0) {
+    // The queued peer can vanish between poll and accept; that is "no
+    // connection right now", not an error.
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNABORTED ||
+        errno == EINTR) {
+      return Socket{};
+    }
+    Fail("accept");
+  }
+  Socket peer(fd);
+  const int one = 1;
+  ::setsockopt(peer.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return peer;
+}
+
 Socket ConnectTo(const std::string& host, std::uint16_t port) {
   Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
   if (!sock.valid()) Fail("socket");

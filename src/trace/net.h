@@ -46,6 +46,10 @@ class Listener {
   // Waits up to timeout_ms for a peer (<= 0: block indefinitely).  Throws
   // std::runtime_error on timeout or accept failure.
   Socket Accept(int timeout_ms = -1);
+  // Non-blocking accept: the connection waiting right now, or an invalid
+  // Socket if none is queued.  A poll loop calls this every round to pick
+  // up re-dialing senders without ever stalling the merge.
+  Socket TryAccept();
 
  private:
   Socket sock_;

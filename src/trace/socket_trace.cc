@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstring>
 #include <poll.h>
+#include <stdexcept>
 #include <string>
 
 #include "obs/metrics.h"
@@ -36,6 +37,9 @@ struct SocketMetrics {
   obs::Counter& records = obs::MetricRegistry::Global().GetCounter(
       "jig_socket_trace_records_decoded_total",
       "Capture records decoded from sockets");
+  obs::Counter& resumes = obs::MetricRegistry::Global().GetCounter(
+      "jig_socket_trace_resumes_total",
+      "Re-dialed connections adopted into an existing stream");
 };
 
 SocketMetrics& Metrics() {
@@ -62,6 +66,14 @@ bool DrainSocket(net::Socket& sock, std::vector<std::uint8_t>& buf) {
 
 std::unique_ptr<SocketTrace> SocketTrace::Open(net::Socket sock,
                                                int header_timeout_ms) {
+  Handshake hs = ParseHandshake(std::move(sock), header_timeout_ms);
+  return std::unique_ptr<SocketTrace>(
+      new SocketTrace(std::move(hs.sock), hs.header, hs.source_id,
+                      std::move(hs.leftover)));
+}
+
+SocketTrace::Handshake SocketTrace::ParseHandshake(net::Socket sock,
+                                                   int header_timeout_ms) {
   sock.SetNonBlocking();
   std::vector<std::uint8_t> buf;
   const auto deadline = std::chrono::steady_clock::now() +
@@ -105,8 +117,8 @@ std::unique_ptr<SocketTrace> SocketTrace::Open(net::Socket sock,
         buf.erase(buf.begin(),
                   buf.begin() + static_cast<std::ptrdiff_t>(
                                     kHelloLen + kPrefixLen + hdr_len));
-        return std::unique_ptr<SocketTrace>(new SocketTrace(
-            std::move(sock), header, source_id, std::move(buf)));
+        return Handshake{std::move(sock), header, source_id,
+                         std::move(buf)};
       }
     }
     if (eof) {
@@ -160,8 +172,15 @@ bool SocketTrace::Pump() {
       ByteReader r(raw);
       LocalMicros prev = 0;
       while (!r.AtEnd()) {
-        records_.push_back(DeserializeRecord(r, prev));
-        prev = records_.back().timestamp;
+        CaptureRecord rec = DeserializeRecord(r, prev);
+        prev = rec.timestamp;
+        // A resumed sender replays from record zero; drop what the old
+        // connection already delivered so no record surfaces twice.
+        if (resume_skip_ > 0) {
+          --resume_skip_;
+          continue;
+        }
+        records_.push_back(std::move(rec));
       }
     } catch (const std::exception& e) {
       // The length word promised a complete block; a parse failure is
@@ -189,6 +208,9 @@ const CaptureRecord* SocketTrace::NextRef() {
   while (pos_ >= records_.size()) {
     if (!Pump()) {
       if (peer_eof_ && !finalized_) {
+        // A resumable stream parks at the disconnect and waits for
+        // Resume(); a one-shot stream's capture was cut off.
+        if (resumable_) return nullptr;
         // Everything received has been decoded and consumed, and no
         // marker will ever arrive: the capture was cut off.
         throw TraceTruncatedError(
@@ -201,6 +223,50 @@ const CaptureRecord* SocketTrace::NextRef() {
   }
   Metrics().records.Add(1);
   return &records_[pos_++];
+}
+
+void SocketTrace::Resume(net::Socket sock, int header_timeout_ms) {
+  if (finalized_) {
+    throw std::logic_error("SocketTrace::Resume: stream already finalized");
+  }
+  Handshake hs = ParseHandshake(std::move(sock), header_timeout_ms);
+  if (hs.source_id != source_id_ || hs.header.radio != header_.radio) {
+    throw TraceCorruptError(
+        "socket trace: resumed connection identity mismatch (expected "
+        "source " +
+        std::to_string(source_id_) + " radio " +
+        std::to_string(header_.radio) + ", got source " +
+        std::to_string(hs.source_id) + " radio " +
+        std::to_string(hs.header.radio) + ")");
+  }
+  AdoptHandshake(std::move(hs));
+}
+
+void SocketTrace::AdoptHandshake(Handshake hs) {
+  sock_ = std::move(hs.sock);
+  // Partial-block bytes from the dead connection can never complete; the
+  // from-zero replay re-covers them.
+  buf_ = std::move(hs.leftover);
+  peer_eof_ = false;
+  resume_skip_ = records_.size();
+  Metrics().resumes.Add(1);
+}
+
+std::unique_ptr<SocketTrace> SocketTrace::OpenOrResume(
+    net::Socket sock, const std::vector<SocketTrace*>& existing,
+    int header_timeout_ms) {
+  Handshake hs = ParseHandshake(std::move(sock), header_timeout_ms);
+  for (SocketTrace* s : existing) {
+    if (s == nullptr || s->Finalized()) continue;
+    if (s->source_id() == hs.source_id &&
+        s->header().radio == hs.header.radio) {
+      s->AdoptHandshake(std::move(hs));
+      return nullptr;
+    }
+  }
+  return std::unique_ptr<SocketTrace>(
+      new SocketTrace(std::move(hs.sock), hs.header, hs.source_id,
+                      std::move(hs.leftover)));
 }
 
 SocketTraceWriter::SocketTraceWriter(net::Socket sock,
@@ -275,12 +341,30 @@ void SocketTraceWriter::Finish() {
 }
 
 TraceSet AcceptTraces(net::Listener& listener, std::size_t n,
-                      int timeout_ms) {
+                      int timeout_ms, bool resumable) {
   std::vector<std::unique_ptr<SocketTrace>> streams;
   streams.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    streams.push_back(
-        SocketTrace::Open(listener.Accept(timeout_ms), timeout_ms));
+  while (streams.size() < n) {
+    if (!resumable) {
+      streams.push_back(
+          SocketTrace::Open(listener.Accept(timeout_ms), timeout_ms));
+      continue;
+    }
+    // Resumable accept: a sender may die and re-dial while its siblings
+    // are still attaching.  Count distinct (source, radio) identities
+    // toward n — a re-dial adopts into its existing stream instead of
+    // occupying a slot (pre-fix it became a duplicate stream of the same
+    // radio, and the dead original poisoned the merge with a phantom
+    // truncation).
+    std::vector<SocketTrace*> raw;
+    raw.reserve(streams.size());
+    for (const auto& s : streams) raw.push_back(s.get());
+    auto fresh = SocketTrace::OpenOrResume(listener.Accept(timeout_ms), raw,
+                                           timeout_ms);
+    if (fresh) {
+      fresh->set_resumable(true);
+      streams.push_back(std::move(fresh));
+    }
   }
   // The same deterministic radio-id order OpenDirectory guarantees, so a
   // socket-fed merge is stream-for-stream comparable to a file merge.

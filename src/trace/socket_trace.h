@@ -35,6 +35,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -68,6 +69,46 @@ class SocketTrace final : public RecordStream {
   // from.
   std::uint32_t source_id() const { return source_id_; }
 
+  // ---- disconnect / reconnect -------------------------------------------
+  //
+  // By default a peer that closes before the finalize marker is a
+  // truncated capture (NextRef throws once everything received has been
+  // consumed) — the right call for one-shot collectors, where a lost
+  // sender means lost data.  A long-running service instead expects the
+  // sender to re-dial: with set_resumable(true) the disconnect parks the
+  // stream (NextRef returns nullptr, Finalized() stays false,
+  // disconnected() reports true) until Resume() installs the replacement
+  // connection.
+  void set_resumable(bool on) { resumable_ = on; }
+  // Peer closed before the marker and everything received was decoded.
+  bool disconnected() const { return peer_eof_ && !finalized_; }
+
+  // Adopts a re-dialed connection for the SAME stream.  Parses the new
+  // connection's hello + header (blocking up to header_timeout_ms) and
+  // validates that the source id and radio match this stream — a
+  // different sender on the old port is corruption, not a resume.  The
+  // re-dialing sender replays its capture from record zero (a socket
+  // cannot seek, and the sender cannot know how much the old connection
+  // delivered before dying); records already retained here are consumed
+  // and dropped instead of being surfaced twice, so the merged stream
+  // sees each record exactly once.  Any partial block left over from the
+  // dead connection is discarded — the replay re-covers it.
+  // Throws TraceCorruptError on identity mismatch / bad handshake,
+  // TraceTruncatedError if the header never arrives, std::logic_error if
+  // the stream already finalized.
+  void Resume(net::Socket sock, int header_timeout_ms = 30000);
+
+  // Accept-side router: parses the fresh connection's handshake once,
+  // then either adopts it into the matching (same source id + radio,
+  // not yet finalized) stream in `existing` — returning nullptr — or
+  // returns it as a brand-new stream.  This is what a listening
+  // collector calls for EVERY accepted connection once re-dials are
+  // possible: only the handshake identity can distinguish a resuming
+  // wing from a new one.
+  static std::unique_ptr<SocketTrace> OpenOrResume(
+      net::Socket sock, const std::vector<SocketTrace*>& existing,
+      int header_timeout_ms = 30000);
+
   // Drains the socket into the retained record buffer without advancing
   // the consumer cursor.  A collector over many streams must call this
   // on EVERY stream each poll round: the merge pulls only on the radios
@@ -79,6 +120,19 @@ class SocketTrace final : public RecordStream {
   void Ingest() { Pump(); }
 
  private:
+  struct Handshake {
+    net::Socket sock;
+    TraceHeader header;
+    std::uint32_t source_id = 0;
+    std::vector<std::uint8_t> leftover;
+  };
+  // Blocks (up to the timeout) for the hello + trace header on a fresh
+  // connection; shared by Open and Resume.
+  static Handshake ParseHandshake(net::Socket sock, int header_timeout_ms);
+  // Installs a re-dialed connection: replaces the socket, discards the
+  // dead connection's partial block, arms the from-zero replay skip.
+  void AdoptHandshake(Handshake hs);
+
   SocketTrace(net::Socket sock, TraceHeader header, std::uint32_t source_id,
               std::vector<std::uint8_t> leftover);
 
@@ -91,10 +145,20 @@ class SocketTrace final : public RecordStream {
   TraceHeader header_;
   std::uint32_t source_id_ = 0;
   std::vector<std::uint8_t> buf_;  // received, not yet decoded
-  std::vector<CaptureRecord> records_;  // retained for Rewind
+  // Retained for Rewind.  A deque, NOT a vector: NextRef hands out
+  // pointers into this container and the merge keeps them across poll
+  // rounds (the unifier's heads wait for window-mates), while Ingest
+  // keeps appending — a vector's growth reallocation would invalidate
+  // every outstanding pointer mid-merge.  Deque end-insertion never
+  // moves existing elements.
+  std::deque<CaptureRecord> records_;
   std::size_t pos_ = 0;
   bool finalized_ = false;
   bool peer_eof_ = false;
+  bool resumable_ = false;
+  // Records of the resumed sender's from-zero replay still to drop
+  // (everything up to the old connection's last complete block).
+  std::uint64_t resume_skip_ = 0;
 };
 
 // Sender half: TraceFileWriter's framing over a socket — hello, then
@@ -136,8 +200,12 @@ class SocketTraceWriter {
 // Accepts `n` socket trace streams on `listener` and returns them as a
 // TraceSet ordered by radio id (the same deterministic order
 // OpenDirectory guarantees).  Each stream's header must arrive within
-// `timeout_ms` of its accept.
+// `timeout_ms` of its accept.  With `resumable`, n counts DISTINCT
+// (source, radio) identities: a sender that dies and re-dials during the
+// accept phase adopts into its existing stream (which is marked
+// resumable, so later disconnects park instead of throwing) rather than
+// being accepted as a duplicate.
 TraceSet AcceptTraces(net::Listener& listener, std::size_t n,
-                      int timeout_ms = 30000);
+                      int timeout_ms = 30000, bool resumable = false);
 
 }  // namespace jig

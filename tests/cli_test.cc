@@ -147,16 +147,27 @@ TEST_F(CliTest, ServeTraceCorruptSourceExitsThree) {
             3);
 }
 
+// Shell fragment that blocks until `file` exists (up to ~10 s) — the
+// readiness door: collect/serve write their ready/snapshot file once
+// actually listening, so no fixed sleep has to guess startup latency.
+std::string WaitForFile(const std::string& file) {
+  return "i=0; while [ ! -e " + file +
+         " ] && [ $i -lt 1000 ]; do sleep 0.01; i=$((i+1)); done; ";
+}
+
 // Composite runner for one collect (background) + one serve-trace
 // (foreground) against the same port: returns serve_exit * 10 +
-// collect_exit, so a single assertion pins both ends of the wire.
+// collect_exit, so a single assertion pins both ends of the wire.  The
+// sender dials only after the collector's --ready-file appears.
 int RunServeCollectPair(const std::string& tool, const fs::path& trace,
                         const fs::path& out_dir, std::uint16_t port) {
   const std::string p = std::to_string(port);
+  const std::string ready = out_dir.string() + ".ready";
   const std::string cmd = tool + " collect " + out_dir.string() + " " + p +
-                          " 1 >/dev/null 2>&1 & cpid=$!; sleep 0.3; " +
-                          tool + " serve-trace " + trace.string() +
-                          " 127.0.0.1 " + p +
+                          " 1 --ready-file " + ready +
+                          " >/dev/null 2>&1 & cpid=$!; " +
+                          WaitForFile(ready) + tool + " serve-trace " +
+                          trace.string() + " 127.0.0.1 " + p +
                           " >/dev/null 2>&1; s=$?; wait $cpid; c=$?; "
                           "exit $((s * 10 + c))";
   const int status = std::system(cmd.c_str());
@@ -186,6 +197,71 @@ TEST_F(CliTest, MidStreamDisconnectExitsThreeBothEnds) {
                                            dir_ / "out", UnusedPort());
   EXPECT_EQ(combined, 33) << "serve exit " << combined / 10
                           << ", collect exit " << combined % 10;
+}
+
+// ------------------------------------------------------------------------
+// The always-on service (`jigtool serve`).
+
+TEST_F(CliTest, ServeUsageErrorsExitTwo) {
+  EXPECT_EQ(RunJigtool("serve " + (dir_ / "state").string()), 2);
+  EXPECT_EQ(RunJigtool("serve " + (dir_ / "state").string() + " " +
+                       dir_.string() + " --expected"),
+            2);
+}
+
+TEST_F(CliTest, ServeMissingTraceDirExitsOne) {
+  EXPECT_EQ(RunJigtool("serve " + (dir_ / "state").string() + " " +
+                       (dir_ / "nonexistent").string() + " --until-done"),
+            1);
+}
+
+TEST_F(CliTest, ServeCorruptCheckpointExitsThree) {
+  // A deployment whose recorded state cannot be loaded must refuse to
+  // start (silently discarding a checkpoint would break the restart
+  // determinism contract).
+  const fs::path traces = dir_ / "traces";
+  fs::create_directories(traces);
+  WriteValidTrace("traces/r1.jigt");
+  const fs::path state = dir_ / "state" / "traces";
+  fs::create_directories(state);
+  WriteGarbage(state / "checkpoint.jigc");
+  EXPECT_EQ(RunJigtool("serve " + (dir_ / "state").string() + " " +
+                       traces.string() + " --until-done --expected 1"),
+            3);
+}
+
+TEST_F(CliTest, ServeUntilDoneExitsZeroAndWritesSnapshot) {
+  const fs::path traces = dir_ / "traces";
+  fs::create_directories(traces);
+  WriteValidTrace("traces/r1.jigt");
+  const fs::path state = dir_ / "state";
+  EXPECT_EQ(RunJigtool("serve " + state.string() + " " + traces.string() +
+                       " --until-done --expected 1"),
+            0);
+  EXPECT_TRUE(fs::exists(state / "snapshot.json"));
+  EXPECT_TRUE(fs::exists(state / "metrics.prom"));
+  EXPECT_TRUE(fs::exists(state / "traces" / "checkpoint.jigc"));
+}
+
+TEST_F(CliTest, ServeSigtermShutsDownCleanly) {
+  // The SIGTERM door: start the daemon, wait for the snapshot exposition
+  // (the readiness signal), signal it, and pin the clean-exit contract —
+  // exit 0 after a final snapshot flush.  No fixed startup sleep: the
+  // snapshot file IS the readiness door.
+  const fs::path traces = dir_ / "traces";
+  fs::create_directories(traces);
+  WriteValidTrace("traces/r1.jigt");
+  const fs::path state = dir_ / "state";
+  const std::string snapshot = (state / "snapshot.json").string();
+  const std::string cmd =
+      JigtoolPath() + " serve " + state.string() + " " + traces.string() +
+      " --expected 1 --interval-ms 50 >/dev/null 2>&1 & spid=$!; " +
+      WaitForFile(snapshot) + "kill -TERM $spid; wait $spid";
+  const int status = std::system(cmd.c_str());
+  ASSERT_NE(status, -1);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+  EXPECT_TRUE(fs::exists(state / "snapshot.json"));
 }
 
 }  // namespace

@@ -12,6 +12,7 @@
 // the global unifier says about them.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <stdexcept>
@@ -22,6 +23,7 @@
 #include "jframe_equality.h"
 #include "jigsaw/distributed.h"
 #include "jigsaw/pipeline.h"
+#include "obs/metrics.h"
 #include "synthetic.h"
 #include "trace/net.h"
 #include "trace/socket_trace.h"
@@ -56,10 +58,11 @@ void SendU32(net::Socket& sock, std::uint32_t v) {
 // Hand-sends the hello + .jigt prefix + header — the raw-byte sender the
 // malformed-stream tests build on (SocketTraceWriter cannot emit broken
 // streams, by design).
-void SendHelloAndHeader(net::Socket& sock, const TraceHeader& header) {
+void SendHelloAndHeader(net::Socket& sock, const TraceHeader& header,
+                        std::uint32_t source_id = 0) {
   net::SendAll(sock, kSocketHelloMagic, 4);
   SendU32(sock, kSocketHelloVersion);
-  SendU32(sock, /*source_id=*/0);
+  SendU32(sock, source_id);
   net::SendAll(sock, kTraceDataMagic, 4);
   SendU32(sock, kTraceVersion);
   Bytes hdr;
@@ -311,6 +314,173 @@ TEST_P(DistributedVsSingleNode, ByteIdenticalAcrossThreadsAndSpill) {
 INSTANTIATE_TEST_SUITE_P(
     ThreadsBySpill, DistributedVsSingleNode,
     ::testing::Combine(::testing::Values(1u, 2u, 0u), ::testing::Bool()));
+
+// ---------------------------------------------------------------------------
+// Disconnect-then-reconnect (regression).
+//
+// Pre-fix, a wing that dropped and re-dialed with the same source id was
+// accepted as a FRESH stream: the dead original eventually threw a
+// phantom TraceTruncatedError into the merge (this test then failed on
+// the root.Run throw), and the re-dial either consumed an accept slot as
+// a duplicate radio or was never accepted at all.  Post-fix the re-dial
+// adopts into the existing stream — the sender replays from record zero,
+// already-received records are deduplicated, and the merged stream is
+// byte-identical to the single-node run.
+
+TEST_F(DistributedTest, RedialWithSameSourceResumesInsteadOfDuplicating) {
+  TraceSet mem = MultiChannelNetwork(77, Seconds(2)).Build();
+  const fs::path all = dir_ / "all";
+  mem.WriteDirectory(all);
+
+  // Reference: single-node batch merge of the same (quantized) files.
+  TraceSet full = TraceSet::OpenDirectory(all);
+  const MergeResult batch = MergeTraces(full, MergeConfig{});
+  ASSERT_GT(batch.jframes.size(), 50u);
+
+  // Re-read each radio's records for the senders.
+  TraceSet files = TraceSet::OpenDirectory(all);
+  const std::size_t n = files.size();
+  std::vector<TraceHeader> headers;
+  std::vector<std::vector<CaptureRecord>> records(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    headers.push_back(files.at(i).header());
+    while (auto rec = files.at(i).Next()) records[i].push_back(*rec);
+    ASSERT_FALSE(records[i].empty());
+  }
+
+  const std::int64_t resumes_before = obs::MetricRegistry::Global()
+      .Collect().Value("jig_socket_trace_resumes_total");
+
+  RootConfig rc;
+  rc.n_streams = n;
+  RootSession root(rc);
+  const std::uint16_t port = root.port();
+
+  // Radio 0's sender: half the records on a connection that dies without
+  // the finalize marker, then a re-dial (same source id, same radio)
+  // that replays everything from record zero, as a restarted capture
+  // daemon would — a socket cannot seek and the sender cannot know how
+  // much of its first stream survived.
+  std::thread dropper([&] {
+    const std::size_t half = records[0].size() / 2;
+    {
+      net::Socket sock = net::ConnectTo("127.0.0.1", port);
+      SendHelloAndHeader(sock, headers[0], /*source_id=*/1);
+      Bytes body;
+      LocalMicros prev = 0;
+      for (std::size_t i = 0; i < half; ++i) {
+        SerializeRecord(records[0][i], prev, body);
+        prev = records[0][i].timestamp;
+      }
+      const Bytes packed = LzCompress(body);
+      SendU32(sock, static_cast<std::uint32_t>(packed.size()));
+      net::SendAll(sock, packed.data(), packed.size());
+    }  // closed mid-stream: no marker
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    SocketTraceWriter writer(net::ConnectTo("127.0.0.1", port), headers[0],
+                             /*source_id=*/1, /*records_per_block=*/32);
+    for (const CaptureRecord& rec : records[0]) writer.Append(rec);
+    writer.Finish();
+  });
+  std::vector<std::thread> senders;
+  for (std::size_t i = 1; i < n; ++i) {
+    senders.emplace_back([&, i] {
+      SocketTraceWriter writer(net::ConnectTo("127.0.0.1", port),
+                               headers[i], /*source_id=*/1,
+                               /*records_per_block=*/64);
+      for (const CaptureRecord& rec : records[i]) writer.Append(rec);
+      writer.Finish();
+    });
+  }
+
+  std::vector<JFrame> streamed;
+  try {
+    root.Run([&streamed](JFrame&& jf) { streamed.push_back(std::move(jf)); });
+  } catch (...) {
+    dropper.join();
+    for (auto& t : senders) t.join();
+    throw;
+  }
+  dropper.join();
+  for (auto& t : senders) t.join();
+
+  ExpectIdenticalStreams(streamed, batch.jframes);
+  // The re-dial really was adopted, not re-accepted.
+  EXPECT_GE(obs::MetricRegistry::Global().Collect().Value(
+                "jig_socket_trace_resumes_total"),
+            resumes_before + 1);
+}
+
+// The stream-level seam the root builds on, pinned without a merge: a
+// resumable stream parks on disconnect (no-data-yet, NOT truncation),
+// then OpenOrResume routes the matching re-dial back into it and the
+// from-zero replay dedupes; a different identity stays a fresh stream.
+TEST(SocketTraceTest, ResumableStreamParksAndDeduplicatesReplay) {
+  Loopback lo;
+  TraceHeader header;
+  header.radio = 5;
+  auto send_records = [](net::Socket& sock, int from, int to) {
+    Bytes body;
+    LocalMicros prev = 0;
+    for (int i = from; i < to; ++i) {
+      SerializeRecord(MakeRecord(1'000 * (i + 1)), prev, body);
+      prev = 1'000 * (i + 1);
+    }
+    const Bytes packed = LzCompress(body);
+    SendU32(sock, static_cast<std::uint32_t>(packed.size()));
+    net::SendAll(sock, packed.data(), packed.size());
+  };
+
+  SendHelloAndHeader(lo.client, header, /*source_id=*/9);
+  send_records(lo.client, 0, 3);
+  lo.client.Close();
+
+  auto trace = SocketTrace::Open(std::move(lo.server));
+  trace->set_resumable(true);
+  EXPECT_EQ(trace->Next()->timestamp, 1'000);
+  EXPECT_EQ(trace->Next()->timestamp, 2'000);
+  EXPECT_EQ(trace->Next()->timestamp, 3'000);
+  // Disconnected before the marker: parked, not truncated.
+  EXPECT_EQ(trace->NextRef(), nullptr);
+  EXPECT_FALSE(trace->Finalized());
+  EXPECT_TRUE(trace->disconnected());
+
+  // A re-dial with a DIFFERENT identity must not adopt.
+  {
+    Loopback other;
+    TraceHeader other_header;
+    other_header.radio = 6;  // wrong radio
+    SendHelloAndHeader(other.client, other_header, /*source_id=*/9);
+    std::vector<SocketTrace*> existing{trace.get()};
+    auto fresh = SocketTrace::OpenOrResume(std::move(other.server), existing);
+    EXPECT_NE(fresh, nullptr);
+  }
+
+  // The matching re-dial adopts and replays from zero; records 1..3 are
+  // consumed silently, 4..5 surface exactly once, and the marker
+  // finalizes the stream.
+  {
+    Loopback redial;
+    SendHelloAndHeader(redial.client, header, /*source_id=*/9);
+    send_records(redial.client, 0, 5);
+    SendU32(redial.client, 0);  // finalize marker
+    std::vector<SocketTrace*> existing{trace.get()};
+    auto adopted = SocketTrace::OpenOrResume(std::move(redial.server),
+                                             existing);
+    EXPECT_EQ(adopted, nullptr);
+  }
+  EXPECT_EQ(trace->Next()->timestamp, 4'000);
+  EXPECT_EQ(trace->Next()->timestamp, 5'000);
+  EXPECT_EQ(trace->NextRef(), nullptr);
+  EXPECT_TRUE(trace->Finalized());
+
+  // Rewind (the late-bootstrap pass) replays the stitched stream whole.
+  trace->Rewind();
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(trace->Next()->timestamp, 1'000 * (i + 1));
+  }
+  EXPECT_EQ(trace->NextRef(), nullptr);
+}
 
 }  // namespace
 }  // namespace jig
